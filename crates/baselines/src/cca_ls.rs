@@ -1,0 +1,314 @@
+//! CCA-LS: multiset CCA via coupled least squares regressions (Vía et al. 2007).
+//!
+//! The paper's main multi-view CCA competitor. CCA-MAXVAR (Eq. 3.2) is reformulated as
+//! the coupled LS problem of Eq. 3.3: find per-view canonical vectors `h_p` and a shared
+//! latent variable `z` minimizing `Σ_p ‖X_pᵀ h_p − z‖²`, solved by alternating
+//!
+//! 1. `h_p ← argmin ‖X_pᵀ h_p − z‖² + ε‖h_p‖²` (a ridge regression per view), and
+//! 2. `z ← (1/m) Σ_p X_pᵀ h_p`, re-orthogonalized against previously extracted
+//!    components and normalized,
+//!
+//! exactly the adaptive scheme of Vía et al. Only *pairwise* correlations are exploited
+//! — the property TCCA improves on.
+
+use crate::{BaselineError, Result};
+use linalg::{center_rows, dot, normalize, Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted CCA-LS (multiset CCA) model.
+#[derive(Debug, Clone)]
+pub struct CcaLs {
+    means: Vec<Vec<f64>>,
+    /// Per-view projection matrices `H_p` (`d_p × r`).
+    projections: Vec<Matrix>,
+    /// Average per-component alignment `1 − residual`, a proxy for the canonical
+    /// correlation of each extracted component (descending in extraction order).
+    alignments: Vec<f64>,
+    iterations: usize,
+}
+
+/// Options for the alternating optimization.
+#[derive(Debug, Clone)]
+pub struct CcaLsOptions {
+    /// Ridge regularizer ε on every per-view regression.
+    pub epsilon: f64,
+    /// Maximum alternating iterations per component.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the change of `z`.
+    pub tolerance: f64,
+    /// RNG seed for the initialization of `z`.
+    pub seed: u64,
+}
+
+impl Default for CcaLsOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-2,
+            max_iterations: 100,
+            tolerance: 1e-8,
+            seed: 13,
+        }
+    }
+}
+
+impl CcaLs {
+    /// Fit CCA-LS on `m` views (`d_p × N`, shared instance axis) extracting `rank`
+    /// components with default options.
+    pub fn fit(views: &[Matrix], rank: usize, epsilon: f64) -> Result<Self> {
+        Self::fit_with_options(
+            views,
+            rank,
+            CcaLsOptions {
+                epsilon,
+                ..CcaLsOptions::default()
+            },
+        )
+    }
+
+    /// Fit with explicit options.
+    pub fn fit_with_options(views: &[Matrix], rank: usize, options: CcaLsOptions) -> Result<Self> {
+        if views.len() < 2 {
+            return Err(BaselineError::InvalidInput(
+                "CCA-LS needs at least two views".into(),
+            ));
+        }
+        if rank == 0 {
+            return Err(BaselineError::InvalidInput("rank must be positive".into()));
+        }
+        let n = views[0].cols();
+        for (p, v) in views.iter().enumerate() {
+            if v.cols() != n {
+                return Err(BaselineError::InvalidInput(format!(
+                    "view {p} has {} instances, expected {n}",
+                    v.cols()
+                )));
+            }
+        }
+        let m = views.len();
+        let centered: Vec<(Matrix, Vec<f64>)> = views.iter().map(center_rows).collect();
+
+        // Pre-factorize the per-view ridge systems (X_p X_pᵀ + εN I).
+        let mut factors = Vec::with_capacity(m);
+        for (x, _) in &centered {
+            let mut gram = x.gram();
+            gram.add_diagonal(options.epsilon * n.max(1) as f64 + 1e-10);
+            factors.push(Cholesky::new(&gram)?);
+        }
+
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let mut projections: Vec<Matrix> = centered
+            .iter()
+            .map(|(x, _)| Matrix::zeros(x.rows(), rank))
+            .collect();
+        let mut previous_z: Vec<Vec<f64>> = Vec::with_capacity(rank);
+        let mut alignments = Vec::with_capacity(rank);
+        let mut total_iterations = 0;
+
+        for component in 0..rank {
+            // Initialize z randomly, orthogonal to previous components.
+            let mut z: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            orthogonalize(&mut z, &previous_z);
+            if normalize(&mut z) <= 1e-300 {
+                z = vec![0.0; n];
+                if n > 0 {
+                    z[0] = 1.0;
+                }
+            }
+
+            let mut hs: Vec<Vec<f64>> = vec![Vec::new(); m];
+            for iter in 0..options.max_iterations {
+                total_iterations = total_iterations.max(iter + 1);
+                // Per-view ridge regressions h_p = (X Xᵀ + εNI)⁻¹ X z.
+                let mut new_z = vec![0.0; n];
+                for (p, (x, _)) in centered.iter().enumerate() {
+                    let xz = x.matvec(&z)?;
+                    let h = factors[p].solve_vec(&xz)?;
+                    let zp = x.t_matvec(&h)?;
+                    for (acc, v) in new_z.iter_mut().zip(zp.iter()) {
+                        *acc += v / m as f64;
+                    }
+                    hs[p] = h;
+                }
+                orthogonalize(&mut new_z, &previous_z);
+                let norm = normalize(&mut new_z);
+                if norm <= 1e-300 {
+                    break;
+                }
+                // Convergence: change in z direction.
+                let delta: f64 = new_z
+                    .iter()
+                    .zip(z.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                let delta_flipped: f64 = new_z
+                    .iter()
+                    .zip(z.iter())
+                    .map(|(a, b)| (a + b) * (a + b))
+                    .sum::<f64>()
+                    .sqrt();
+                z = new_z;
+                if delta.min(delta_flipped) < options.tolerance {
+                    break;
+                }
+            }
+
+            // Store the projection columns and the average alignment of z_p with z.
+            let mut alignment = 0.0;
+            for (p, (x, _)) in centered.iter().enumerate() {
+                if hs[p].is_empty() {
+                    hs[p] = vec![0.0; x.rows()];
+                }
+                projections[p].set_column(component, &hs[p]);
+                let mut zp = x.t_matvec(&hs[p])?;
+                let norm = normalize(&mut zp);
+                if norm > 1e-300 {
+                    alignment += dot(&zp, &z).abs() / m as f64;
+                }
+            }
+            alignments.push(alignment);
+            previous_z.push(z);
+        }
+
+        Ok(Self {
+            means: centered.into_iter().map(|(_, m)| m).collect(),
+            projections,
+            alignments,
+            iterations: total_iterations,
+        })
+    }
+
+    /// Per-view projection matrices (`d_p × r`).
+    pub fn projections(&self) -> &[Matrix] {
+        &self.projections
+    }
+
+    /// Average alignment (proxy canonical correlation) of each extracted component.
+    pub fn alignments(&self) -> &[f64] {
+        &self.alignments
+    }
+
+    /// Number of alternating iterations used by the slowest component.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Project a single view (`d_p × N`) into the common subspace (`N × r`).
+    pub fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        let proj = &self.projections[which];
+        if view.rows() != proj.rows() {
+            return Err(BaselineError::InvalidInput(format!(
+                "view {which} has {} features but the model expects {}",
+                view.rows(),
+                proj.rows()
+            )));
+        }
+        let mut centered = view.clone();
+        for i in 0..centered.rows() {
+            let m = self.means[which][i];
+            for v in centered.row_mut(i) {
+                *v -= m;
+            }
+        }
+        Ok(centered.t_matmul(proj)?)
+    }
+
+    /// Project every view and concatenate the embeddings (`N × m·r`).
+    pub fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        if views.len() != self.projections.len() {
+            return Err(BaselineError::InvalidInput(format!(
+                "expected {} views, got {}",
+                self.projections.len(),
+                views.len()
+            )));
+        }
+        let mut out = self.transform_view(0, &views[0])?;
+        for (p, v) in views.iter().enumerate().skip(1) {
+            out = out.hstack(&self.transform_view(p, v)?)?;
+        }
+        Ok(out)
+    }
+}
+
+fn orthogonalize(z: &mut [f64], previous: &[Vec<f64>]) {
+    for prev in previous {
+        let proj = dot(z, prev);
+        for (zi, pi) in z.iter_mut().zip(prev.iter()) {
+            *zi -= proj * pi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::GaussianRng;
+
+    fn shared_signal_views(n: usize, m: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = GaussianRng::new(seed);
+        let dims = [6usize, 5, 4, 7];
+        let mut views: Vec<Matrix> = (0..m).map(|p| Matrix::zeros(dims[p % 4], n)).collect();
+        for j in 0..n {
+            let t = rng.standard_normal();
+            for v in views.iter_mut() {
+                for i in 0..v.rows() {
+                    v[(i, j)] = t * ((i + 1) as f64 * 0.7) + 0.15 * rng.standard_normal();
+                }
+            }
+        }
+        views
+    }
+
+    #[test]
+    fn recovers_shared_component_across_three_views() {
+        let views = shared_signal_views(250, 3, 21);
+        let model = CcaLs::fit(&views, 1, 1e-3).unwrap();
+        assert!(model.alignments()[0] > 0.95, "alignment {:?}", model.alignments());
+        assert!(model.iterations() >= 1);
+        let z = model.transform(&views).unwrap();
+        assert_eq!(z.shape(), (250, 3));
+    }
+
+    #[test]
+    fn components_are_ordered_and_embedding_shapes_are_right() {
+        let views = shared_signal_views(120, 3, 22);
+        let model = CcaLs::fit(&views, 3, 1e-2).unwrap();
+        assert_eq!(model.projections().len(), 3);
+        for (p, proj) in model.projections().iter().enumerate() {
+            assert_eq!(proj.shape(), (views[p].rows(), 3));
+        }
+        let z = model.transform(&views).unwrap();
+        assert_eq!(z.shape(), (120, 9));
+        // The first (shared) component should carry the most alignment.
+        assert!(model.alignments()[0] >= model.alignments()[1] - 0.15);
+    }
+
+    #[test]
+    fn works_with_two_views_like_cca() {
+        let views = shared_signal_views(200, 2, 23);
+        let model = CcaLs::fit(&views, 1, 1e-3).unwrap();
+        assert!(model.alignments()[0] > 0.9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let views = shared_signal_views(30, 3, 24);
+        assert!(CcaLs::fit(&views[..1], 1, 1e-2).is_err());
+        assert!(CcaLs::fit(&views, 0, 1e-2).is_err());
+        let mut bad = views.clone();
+        bad[1] = Matrix::zeros(5, 29);
+        assert!(CcaLs::fit(&bad, 1, 1e-2).is_err());
+        let model = CcaLs::fit(&views, 1, 1e-2).unwrap();
+        assert!(model.transform(&views[..2]).is_err());
+        assert!(model.transform_view(0, &Matrix::zeros(99, 30)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let views = shared_signal_views(60, 3, 25);
+        let a = CcaLs::fit(&views, 2, 1e-2).unwrap();
+        let b = CcaLs::fit(&views, 2, 1e-2).unwrap();
+        assert_eq!(a.projections()[0], b.projections()[0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! DSE: distributed/consensus spectral embedding for multi-view data (Long et al. 2008).
+//!
+//! Long, Yu & Zhang's "general model for multiple view unsupervised learning" first
+//! reduces each view independently and then learns a low-dimensional **consensus**
+//! representation `B` by factorizing the per-view embeddings: `min Σ_p ‖A_p − B P_p‖²`
+//! over `B` (orthonormal columns) and per-view maps `P_p`. With orthonormal `B` the
+//! optimum is the top-`r` left singular subspace of the column-stacked `[A_1 … A_m]`.
+//!
+//! Following the paper's experimental setup (§5.1), the per-view reduction is PCA to
+//! 100 dimensions. DSE is transductive: it produces an embedding only for the instances
+//! it was trained on (no out-of-sample projection matrix), which is why the paper runs
+//! it on subsampled pools for the large datasets.
+
+use crate::{BaselineError, Pca, Result};
+use linalg::{Matrix, Svd};
+
+/// A fitted (transductive) DSE embedding.
+#[derive(Debug, Clone)]
+pub struct Dse {
+    /// The consensus embedding `B` (`N × r`).
+    embedding: Matrix,
+    /// Residual `Σ_p ‖A_p − B P_p‖²_F / Σ_p ‖A_p‖²_F` of the consensus factorization.
+    relative_residual: f64,
+}
+
+impl Dse {
+    /// Fit DSE on `m` views (`d_p × N`).
+    ///
+    /// * `rank` — dimension of the consensus embedding.
+    /// * `per_view_dim` — PCA dimension per view before consensus (paper uses 100).
+    pub fn fit(views: &[Matrix], rank: usize, per_view_dim: usize) -> Result<Self> {
+        if views.is_empty() {
+            return Err(BaselineError::InvalidInput("need at least one view".into()));
+        }
+        if rank == 0 || per_view_dim == 0 {
+            return Err(BaselineError::InvalidInput(
+                "rank and per-view dimension must be positive".into(),
+            ));
+        }
+        let n = views[0].cols();
+        for (p, v) in views.iter().enumerate() {
+            if v.cols() != n {
+                return Err(BaselineError::InvalidInput(format!(
+                    "view {p} has {} instances, expected {n}",
+                    v.cols()
+                )));
+            }
+        }
+
+        // Step 1: per-view PCA embeddings A_p (N × k_p), scaled to unit Frobenius norm so
+        // no single view dominates the consensus.
+        let mut stacked: Option<Matrix> = None;
+        let mut embeddings = Vec::with_capacity(views.len());
+        for v in views {
+            let k = per_view_dim.min(v.rows()).min(n.max(1));
+            let pca = Pca::fit(v, k)?;
+            let mut a = pca.transform(v)?;
+            let norm = a.frobenius_norm();
+            if norm > 1e-12 {
+                a = a.scale(1.0 / norm);
+            }
+            stacked = Some(match stacked {
+                None => a.clone(),
+                Some(acc) => acc.hstack(&a)?,
+            });
+            embeddings.push(a);
+        }
+        let stacked = stacked.expect("at least one view");
+
+        // Step 2: consensus B = top-r left singular vectors of [A_1 … A_m].
+        let svd = Svd::new(&stacked)?;
+        let r = rank.min(svd.len());
+        let b = svd.u.leading_columns(r);
+
+        // Residual of the factorization (P_p = Bᵀ A_p is optimal for orthonormal B).
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for a in &embeddings {
+            let p = b.t_matmul(a)?;
+            let approx = b.matmul(&p)?;
+            num += a.sub(&approx)?.frobenius_norm().powi(2);
+            den += a.frobenius_norm().powi(2);
+        }
+
+        Ok(Self {
+            embedding: b,
+            relative_residual: if den > 0.0 { num / den } else { 0.0 },
+        })
+    }
+
+    /// The consensus embedding (`N × r`, instances as rows).
+    pub fn embedding(&self) -> &Matrix {
+        &self.embedding
+    }
+
+    /// Relative residual of the consensus factorization (0 = views perfectly agree).
+    pub fn relative_residual(&self) -> f64 {
+        self.relative_residual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::GaussianRng;
+
+    fn shared_signal_views(n: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = GaussianRng::new(seed);
+        let dims = [8usize, 6, 5];
+        let mut views: Vec<Matrix> = dims.iter().map(|&d| Matrix::zeros(d, n)).collect();
+        for j in 0..n {
+            let t1 = rng.standard_normal();
+            let t2 = rng.standard_normal();
+            for v in views.iter_mut() {
+                for i in 0..v.rows() {
+                    v[(i, j)] = t1 * (i as f64 + 1.0) + t2 * ((i % 3) as f64) * 0.5
+                        + 0.1 * rng.standard_normal();
+                }
+            }
+        }
+        views
+    }
+
+    #[test]
+    fn embedding_shape_and_orthonormality() {
+        let views = shared_signal_views(100, 51);
+        let dse = Dse::fit(&views, 3, 10).unwrap();
+        let b = dse.embedding();
+        assert_eq!(b.shape(), (100, 3));
+        let btb = b.t_matmul(b).unwrap();
+        assert!(btb.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn shared_structure_gives_small_residual() {
+        let views = shared_signal_views(150, 52);
+        let dse = Dse::fit(&views, 2, 8).unwrap();
+        assert!(
+            dse.relative_residual() < 0.2,
+            "residual {}",
+            dse.relative_residual()
+        );
+    }
+
+    #[test]
+    fn rank_clamped_to_available_dimensions() {
+        let views = shared_signal_views(20, 53);
+        let dse = Dse::fit(&views, 500, 100).unwrap();
+        assert!(dse.embedding().cols() <= 20);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let views = shared_signal_views(30, 54);
+        assert!(Dse::fit(&[], 2, 10).is_err());
+        assert!(Dse::fit(&views, 0, 10).is_err());
+        assert!(Dse::fit(&views, 2, 0).is_err());
+        let mut bad = views.clone();
+        bad[1] = Matrix::zeros(6, 29);
+        assert!(Dse::fit(&bad, 2, 10).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the baseline methods.
+
+use std::fmt;
+
+/// Errors reported by the baseline dimension-reduction methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Inputs had inconsistent shapes (e.g. views with different instance counts).
+    InvalidInput(String),
+    /// An underlying linear-algebra routine failed.
+    Linalg(linalg::LinalgError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            BaselineError::Linalg(err) => write!(f, "linear algebra failure: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::LinalgError> for BaselineError {
+    fn from(err: linalg::LinalgError) -> Self {
+        BaselineError::Linalg(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = BaselineError::InvalidInput("views disagree".into());
+        assert!(e.to_string().contains("views disagree"));
+        assert!(e.source().is_none());
+        let e: BaselineError = linalg::LinalgError::NotSquare { rows: 1, cols: 2 }.into();
+        assert!(e.source().is_some());
+    }
+}

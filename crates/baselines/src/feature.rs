@@ -1,0 +1,147 @@
+//! Feature-level baselines: BSF (best single view), CAT (concatenation) and the kernel
+//! analogues BSK / AVG.
+//!
+//! These are the "no common subspace" baselines of the paper. BSF/BSK evaluate every
+//! single view (or kernel) and report the best; CAT stacks L2-normalized features of all
+//! views; AVG averages the per-view kernels. The selection of the *best* view happens in
+//! the experiment harness (it needs validation accuracy); this module provides the
+//! representations.
+
+use linalg::Matrix;
+
+/// Transpose a `d × N` view into the `N × d` instance-rows layout used by the learners.
+pub fn view_as_instances(view: &Matrix) -> Matrix {
+    view.transpose()
+}
+
+/// L2-normalize each instance (column) of a `d × N` view.
+///
+/// The paper's CAT baseline concatenates *normalized* features so that views with large
+/// dynamic range do not dominate the stacked representation.
+pub fn l2_normalize_instances(view: &Matrix) -> Matrix {
+    let mut out = view.clone();
+    for j in 0..out.cols() {
+        let norm: f64 = (0..out.rows())
+            .map(|i| out[(i, j)] * out[(i, j)])
+            .sum::<f64>()
+            .sqrt();
+        if norm > 1e-12 {
+            for i in 0..out.rows() {
+                out[(i, j)] /= norm;
+            }
+        }
+    }
+    out
+}
+
+/// The CAT baseline: concatenate the L2-normalized features of all views into a single
+/// long vector per instance. Returns an `N × (Σ d_p)` matrix (instances as rows).
+pub fn concatenate_views(views: &[Matrix]) -> Matrix {
+    assert!(!views.is_empty(), "need at least one view");
+    let normalized: Vec<Matrix> = views.iter().map(l2_normalize_instances).collect();
+    let mut stacked = normalized[0].clone();
+    for v in &normalized[1..] {
+        stacked = stacked.vstack(v).expect("views share the instance axis");
+    }
+    stacked.transpose()
+}
+
+/// The AVG kernel baseline: average the (trace-normalized) per-view Gram matrices.
+pub fn average_kernels(kernels: &[Matrix]) -> Matrix {
+    assert!(!kernels.is_empty(), "need at least one kernel");
+    let n = kernels[0].rows();
+    let mut acc = Matrix::zeros(n, n);
+    for k in kernels {
+        assert_eq!(k.shape(), (n, n), "kernels must share their shape");
+        let trace = k.trace().max(1e-12);
+        acc.axpy(n as f64 / trace, k).expect("same shape");
+    }
+    acc.scale(1.0 / kernels.len() as f64)
+}
+
+/// Convert a Gram matrix into the squared-distance matrix
+/// `d²(i, j) = k(i,i) + k(j,j) − 2 k(i,j)` used by kNN over kernel representations.
+pub fn kernel_to_distances(kernel: &Matrix) -> Matrix {
+    let n = kernel.rows();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = (kernel[(i, i)] + kernel[(j, j)] - 2.0 * kernel[(i, j)]).max(0.0);
+        }
+    }
+    out
+}
+
+/// Cross distances between two instance sets given the blocks of a joint kernel:
+/// `d²(i, j) = k_test(i,i) + k_train(j,j) − 2 k_cross(i,j)`.
+pub fn cross_kernel_distances(
+    k_test_diag: &[f64],
+    k_train_diag: &[f64],
+    k_cross: &Matrix,
+) -> Matrix {
+    assert_eq!(k_cross.rows(), k_test_diag.len());
+    assert_eq!(k_cross.cols(), k_train_diag.len());
+    let mut out = Matrix::zeros(k_cross.rows(), k_cross.cols());
+    for i in 0..k_cross.rows() {
+        for j in 0..k_cross.cols() {
+            out[(i, j)] = (k_test_diag[i] + k_train_diag[j] - 2.0 * k_cross[(i, j)]).max(0.0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_gives_unit_columns() {
+        let v = Matrix::from_rows(&[vec![3.0, 0.0, 0.0], vec![4.0, 2.0, 0.0]]).unwrap();
+        let n = l2_normalize_instances(&v);
+        assert!((n[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((n[(1, 0)] - 0.8).abs() < 1e-12);
+        assert!((n[(1, 1)] - 1.0).abs() < 1e-12);
+        // Zero columns stay zero.
+        assert_eq!(n[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn concatenation_shape_and_content() {
+        let v1 = Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let v2 = Matrix::from_rows(&[vec![0.0, 2.0], vec![0.0, 0.0]]).unwrap();
+        let cat = concatenate_views(&[v1, v2]);
+        assert_eq!(cat.shape(), (2, 3));
+        // First instance: view1 feature normalized to 1, view2 features 0.
+        assert!((cat[(0, 0)] - 1.0).abs() < 1e-12);
+        assert_eq!(cat[(0, 1)], 0.0);
+        // Second instance: view2's first feature normalized to 1.
+        assert!((cat[(1, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_as_instances_transposes() {
+        let v = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let x = view_as_instances(&v);
+        assert_eq!(x[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn kernel_average_and_distance() {
+        let k1 = Matrix::identity(3);
+        let k2 = Matrix::identity(3).scale(4.0);
+        let avg = average_kernels(&[k1.clone(), k2]);
+        // Trace normalization makes both kernels contribute identically.
+        assert!((avg[(0, 0)] - 1.0).abs() < 1e-12);
+        let d = kernel_to_distances(&k1);
+        assert_eq!(d[(0, 0)], 0.0);
+        assert_eq!(d[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn cross_distances() {
+        let cross = Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let d = cross_kernel_distances(&[1.0], &[1.0, 1.0], &cross);
+        assert_eq!(d[(0, 0)], 0.0);
+        assert_eq!(d[(0, 1)], 2.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Baseline multi-view dimension-reduction methods compared against TCCA.
+//!
+//! The paper's evaluation (Tables 1–4, Figures 3–10) compares TCCA/KTCCA against:
+//!
+//! | Name in paper | Type | Module |
+//! |---|---|---|
+//! | BSF / CAT | best single view / feature concatenation | [`feature`] |
+//! | CCA (BST) / CCA (AVG) | two-view regularized CCA over all view pairs | [`cca`], [`pairwise`] |
+//! | CCA-LS | multiset CCA via coupled least squares (Vía et al. 2007) | [`cca_ls`] |
+//! | CCA-MAXVAR | multiset CCA via SVD (Kettenring 1971) | [`maxvar`] |
+//! | DSE | distributed spectral embedding (Long et al. 2008) | [`dse`] |
+//! | SSMVD | structured-sparsity multi-view DR (Han et al. 2012) | [`ssmvd`] |
+//! | BSK / AVG | best single kernel / averaged kernels | [`feature`] (kernel helpers) |
+//! | KCCA (BST) / KCCA (AVG) | two-view kernel CCA (Hardoon et al. 2004) | [`kcca`] |
+//!
+//! plus [`pca`], which DSE and SSMVD use as their per-view pre-reduction step (the paper
+//! reduces each view to 100 principal components before learning the consensus).
+//!
+//! Conventions shared across the crate: views are `d_p × N` matrices with instances as
+//! columns (the paper's layout); every method produces an **embedding** with instances
+//! as *rows* (`N × dim`) ready to feed the downstream learners.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cca;
+pub mod cca_ls;
+pub mod dse;
+pub mod feature;
+pub mod kcca;
+pub mod maxvar;
+pub mod pairwise;
+pub mod pca;
+pub mod ssmvd;
+
+mod error;
+
+pub use cca::Cca;
+pub use cca_ls::CcaLs;
+pub use dse::Dse;
+pub use error::BaselineError;
+pub use kcca::Kcca;
+pub use maxvar::CcaMaxVar;
+pub use pairwise::{view_pairs, PairwiseCca, PairwiseKcca};
+pub use pca::Pca;
+pub use ssmvd::Ssmvd;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

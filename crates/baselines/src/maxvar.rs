@@ -1,0 +1,200 @@
+//! CCA-MAXVAR: multiset CCA via the SVD of stacked whitened views (Kettenring 1971).
+//!
+//! MAXVAR finds a shared latent variable `z` and per-view canonical vectors `h_p`
+//! minimizing `Σ_p ‖z − α_p X_pᵀ h_p‖²` (paper Eq. 3.2). After whitening each view
+//! (`Y_p = X_pᵀ C̃_pp^{-1/2}`), the optimal `z`'s are the top left singular vectors of
+//! the stacked matrix `[Y_1, …, Y_m]` and the canonical vectors are recovered from the
+//! corresponding blocks of the right singular vectors. The paper discusses MAXVAR as
+//! the classical (but SVD-heavy, non-adaptive) baseline that CCA-LS reformulates.
+
+use crate::{BaselineError, Result};
+use linalg::{center_rows, covariance, Matrix, Svd};
+
+/// A fitted CCA-MAXVAR model.
+#[derive(Debug, Clone)]
+pub struct CcaMaxVar {
+    means: Vec<Vec<f64>>,
+    /// Per-view projection matrices `H_p` (`d_p × r`).
+    projections: Vec<Matrix>,
+    /// Singular values of the stacked whitened data (per retained component).
+    singular_values: Vec<f64>,
+}
+
+impl CcaMaxVar {
+    /// Fit CCA-MAXVAR on `m` views (`d_p × N`), keeping `rank` components, with ridge
+    /// regularizer `epsilon` on every view covariance.
+    pub fn fit(views: &[Matrix], rank: usize, epsilon: f64) -> Result<Self> {
+        if views.len() < 2 {
+            return Err(BaselineError::InvalidInput(
+                "CCA-MAXVAR needs at least two views".into(),
+            ));
+        }
+        if rank == 0 {
+            return Err(BaselineError::InvalidInput("rank must be positive".into()));
+        }
+        let n = views[0].cols();
+        for (p, v) in views.iter().enumerate() {
+            if v.cols() != n {
+                return Err(BaselineError::InvalidInput(format!(
+                    "view {p} has {} instances, expected {n}",
+                    v.cols()
+                )));
+            }
+        }
+
+        let mut means = Vec::with_capacity(views.len());
+        let mut whiteners = Vec::with_capacity(views.len());
+        let mut stacked: Option<Matrix> = None;
+        for v in views {
+            let (x, mean) = center_rows(v);
+            let mut c = covariance(&x);
+            c.add_diagonal(epsilon);
+            let w = c.inverse_sqrt_spd(1e-12)?;
+            // Y_p = X_pᵀ W_p  (N × d_p)
+            let y = x.t_matmul(&w)?;
+            stacked = Some(match stacked {
+                None => y,
+                Some(acc) => acc.hstack(&y)?,
+            });
+            means.push(mean);
+            whiteners.push(w);
+        }
+        let stacked = stacked.expect("at least two views");
+
+        let svd = Svd::new(&stacked)?;
+        let r = rank.min(svd.len());
+
+        // Split the right singular vectors into per-view blocks and map back through the
+        // whiteners: h_p = W_p v_p.
+        let mut projections = Vec::with_capacity(views.len());
+        let mut offset = 0usize;
+        for (p, v) in views.iter().enumerate() {
+            let d = v.rows();
+            let mut block = Matrix::zeros(d, r);
+            for k in 0..r {
+                for i in 0..d {
+                    block[(i, k)] = svd.v[(offset + i, k)];
+                }
+            }
+            offset += d;
+            projections.push(whiteners[p].matmul(&block)?);
+        }
+
+        Ok(Self {
+            means,
+            projections,
+            singular_values: svd.singular_values[..r].to_vec(),
+        })
+    }
+
+    /// Per-view projection matrices (`d_p × r`).
+    pub fn projections(&self) -> &[Matrix] {
+        &self.projections
+    }
+
+    /// Singular values of the stacked whitened views (one per component, descending).
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Project a single view (`d_p × N`) into the common subspace (`N × r`).
+    pub fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        let proj = &self.projections[which];
+        if view.rows() != proj.rows() {
+            return Err(BaselineError::InvalidInput(format!(
+                "view {which} has {} features but the model expects {}",
+                view.rows(),
+                proj.rows()
+            )));
+        }
+        let mut centered = view.clone();
+        for i in 0..centered.rows() {
+            let m = self.means[which][i];
+            for v in centered.row_mut(i) {
+                *v -= m;
+            }
+        }
+        Ok(centered.t_matmul(proj)?)
+    }
+
+    /// Project every view and concatenate the embeddings (`N × m·r`).
+    pub fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        if views.len() != self.projections.len() {
+            return Err(BaselineError::InvalidInput(format!(
+                "expected {} views, got {}",
+                self.projections.len(),
+                views.len()
+            )));
+        }
+        let mut out = self.transform_view(0, &views[0])?;
+        for (p, v) in views.iter().enumerate().skip(1) {
+            out = out.hstack(&self.transform_view(p, v)?)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::GaussianRng;
+
+    fn shared_signal_views(n: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = GaussianRng::new(seed);
+        let dims = [5usize, 4, 6];
+        let mut views: Vec<Matrix> = dims.iter().map(|&d| Matrix::zeros(d, n)).collect();
+        for j in 0..n {
+            let t = rng.standard_normal();
+            for v in views.iter_mut() {
+                for i in 0..v.rows() {
+                    v[(i, j)] = t * (0.5 + i as f64) + 0.2 * rng.standard_normal();
+                }
+            }
+        }
+        views
+    }
+
+    #[test]
+    fn dominant_component_captures_shared_signal() {
+        let views = shared_signal_views(300, 31);
+        let model = CcaMaxVar::fit(&views, 2, 1e-3).unwrap();
+        // The leading singular value of the stacked whitened data approaches sqrt(m·N/N)
+        // when views are perfectly correlated; just require a clear gap.
+        assert!(model.singular_values()[0] > 1.5 * model.singular_values()[1]);
+        let z = model.transform(&views).unwrap();
+        assert_eq!(z.shape(), (300, 6));
+    }
+
+    #[test]
+    fn agrees_with_ccals_on_the_dominant_direction() {
+        use crate::CcaLs;
+        let views = shared_signal_views(250, 32);
+        let maxvar = CcaMaxVar::fit(&views, 1, 1e-3).unwrap();
+        let ccals = CcaLs::fit(&views, 1, 1e-3).unwrap();
+        // Compare the direction of the first view's projection (up to sign/scale).
+        let a = maxvar.projections()[0].column(0);
+        let b = ccals.projections()[0].column(0);
+        let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let cos = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x * y)
+            .sum::<f64>()
+            .abs()
+            / (na * nb);
+        assert!(cos > 0.98, "cosine similarity {cos}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let views = shared_signal_views(40, 33);
+        assert!(CcaMaxVar::fit(&views[..1], 1, 1e-2).is_err());
+        assert!(CcaMaxVar::fit(&views, 0, 1e-2).is_err());
+        let mut bad = views.clone();
+        bad[2] = Matrix::zeros(6, 39);
+        assert!(CcaMaxVar::fit(&bad, 1, 1e-2).is_err());
+        let model = CcaMaxVar::fit(&views, 1, 1e-2).unwrap();
+        assert!(model.transform(&views[..2]).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Pairwise wrappers used by the CCA (BST) / CCA (AVG) and KCCA (BST) / KCCA (AVG)
+//! baselines.
+//!
+//! With `m > 2` views the paper runs plain (kernel) CCA on all `m(m−1)/2` pairs of
+//! views. "BST" reports the best-performing pair (chosen on validation data); "AVG"
+//! combines all pairs — by averaging RLS decision scores, or by majority vote for kNN.
+//! The selection/combination needs labels and a learner, so it lives in the experiment
+//! harness; this module fits the per-pair models and exposes their embeddings.
+
+use crate::{Cca, Kcca, Result};
+use linalg::Matrix;
+
+/// All unordered pairs `(p, q)` with `p < q` of `m` views — the paper's `m(m−1)/2`
+/// two-view subsets.
+pub fn view_pairs(m: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(m * m.saturating_sub(1) / 2);
+    for p in 0..m {
+        for q in (p + 1)..m {
+            pairs.push((p, q));
+        }
+    }
+    pairs
+}
+
+/// CCA fitted on every pair of views.
+#[derive(Debug, Clone)]
+pub struct PairwiseCca {
+    pairs: Vec<(usize, usize)>,
+    models: Vec<Cca>,
+}
+
+impl PairwiseCca {
+    /// Fit plain CCA on every pair of the given `d_p × N` views.
+    pub fn fit(views: &[Matrix], rank: usize, epsilon: f64) -> Result<Self> {
+        let pairs = view_pairs(views.len());
+        let mut models = Vec::with_capacity(pairs.len());
+        for &(p, q) in &pairs {
+            models.push(Cca::fit(&views[p], &views[q], rank, epsilon)?);
+        }
+        Ok(Self { pairs, models })
+    }
+
+    /// The view-index pairs, parallel to [`PairwiseCca::models`].
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// The fitted per-pair models.
+    pub fn models(&self) -> &[Cca] {
+        &self.models
+    }
+
+    /// Embedding (`N × 2r`) of the given instances under the pair at `index`.
+    pub fn transform_pair(&self, index: usize, views: &[Matrix]) -> Result<Matrix> {
+        let (p, q) = self.pairs[index];
+        self.models[index].transform(&views[p], &views[q])
+    }
+
+    /// Embeddings for every pair, in pair order.
+    pub fn transform_all(&self, views: &[Matrix]) -> Result<Vec<Matrix>> {
+        (0..self.pairs.len())
+            .map(|i| self.transform_pair(i, views))
+            .collect()
+    }
+}
+
+/// Kernel CCA fitted on every pair of view kernels.
+#[derive(Debug, Clone)]
+pub struct PairwiseKcca {
+    pairs: Vec<(usize, usize)>,
+    models: Vec<Kcca>,
+}
+
+impl PairwiseKcca {
+    /// Fit KCCA on every pair of the given centered `N × N` Gram matrices.
+    pub fn fit(kernels: &[Matrix], rank: usize, epsilon: f64) -> Result<Self> {
+        let pairs = view_pairs(kernels.len());
+        let mut models = Vec::with_capacity(pairs.len());
+        for &(p, q) in &pairs {
+            models.push(Kcca::fit(&kernels[p], &kernels[q], rank, epsilon)?);
+        }
+        Ok(Self { pairs, models })
+    }
+
+    /// The view-index pairs, parallel to [`PairwiseKcca::models`].
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// The fitted per-pair models.
+    pub fn models(&self) -> &[Kcca] {
+        &self.models
+    }
+
+    /// Embedding (`N × 2r`) of the training instances under the pair at `index`.
+    pub fn transform_pair(&self, index: usize, kernels: &[Matrix]) -> Result<Matrix> {
+        let (p, q) = self.pairs[index];
+        self.models[index].transform(&kernels[p], &kernels[q])
+    }
+
+    /// Embeddings for every pair, in pair order.
+    pub fn transform_all(&self, kernels: &[Matrix]) -> Result<Vec<Matrix>> {
+        (0..self.pairs.len())
+            .map(|i| self.transform_pair(i, kernels))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{center_kernel, gram_matrix, GaussianRng, Kernel};
+
+    #[test]
+    fn pairs_enumeration() {
+        assert_eq!(view_pairs(2), vec![(0, 1)]);
+        assert_eq!(view_pairs(3), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(view_pairs(4).len(), 6);
+        assert!(view_pairs(1).is_empty());
+    }
+
+    fn three_views(n: usize) -> Vec<Matrix> {
+        let mut rng = GaussianRng::new(9);
+        let dims = [5usize, 4, 3];
+        let mut views: Vec<Matrix> = dims.iter().map(|&d| Matrix::zeros(d, n)).collect();
+        for j in 0..n {
+            let t = rng.standard_normal();
+            for (v, &d) in views.iter_mut().zip(dims.iter()) {
+                for i in 0..d {
+                    v[(i, j)] = t * (i as f64 + 0.5) + 0.2 * rng.standard_normal();
+                }
+            }
+        }
+        views
+    }
+
+    #[test]
+    fn pairwise_cca_fits_all_pairs() {
+        let views = three_views(80);
+        let pw = PairwiseCca::fit(&views, 2, 1e-2).unwrap();
+        assert_eq!(pw.pairs().len(), 3);
+        assert_eq!(pw.models().len(), 3);
+        let all = pw.transform_all(&views).unwrap();
+        assert_eq!(all.len(), 3);
+        for z in &all {
+            assert_eq!(z.shape(), (80, 4));
+        }
+        // The shared latent signal means every pair has a high leading correlation.
+        for model in pw.models() {
+            assert!(model.correlations()[0] > 0.9);
+        }
+    }
+
+    #[test]
+    fn pairwise_kcca_fits_all_pairs() {
+        let views = three_views(40);
+        let kernels: Vec<Matrix> = views
+            .iter()
+            .map(|v| center_kernel(&gram_matrix(v, Kernel::Linear)))
+            .collect();
+        let pw = PairwiseKcca::fit(&kernels, 2, 1e-1).unwrap();
+        assert_eq!(pw.pairs().len(), 3);
+        let embeddings = pw.transform_all(&kernels).unwrap();
+        for z in &embeddings {
+            assert_eq!(z.shape(), (40, 4));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Principal component analysis.
+//!
+//! PCA is not itself one of the compared methods, but the paper uses it as the first
+//! stage of DSE and SSMVD ("PCA is taken as the dimension reduction method for each
+//! view, and the result dimension is set to be 100"), and CCA-MAXVAR's latent variable
+//! `z` is "the best possible one-dimensional PCA representation" of the canonical
+//! variables. The implementation automatically switches between the covariance
+//! (`d × d`) and Gram (`N × N`) eigenproblems, whichever is smaller.
+
+use crate::{BaselineError, Result};
+use linalg::{center_rows, Matrix, SymmetricEigen};
+
+/// A fitted PCA model for a single `d × N` view.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `d × r` matrix of principal directions (unit columns).
+    components: Matrix,
+    /// Variance captured by each direction (descending).
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit PCA on a `d × N` view (instances as columns), keeping `rank` components.
+    pub fn fit(view: &Matrix, rank: usize) -> Result<Self> {
+        if rank == 0 {
+            return Err(BaselineError::InvalidInput("rank must be positive".into()));
+        }
+        let (x, mean) = center_rows(view);
+        let d = x.rows();
+        let n = x.cols();
+        let r = rank.min(d.min(n.max(1)));
+
+        if d <= n || n == 0 {
+            // Covariance route: eigen of (1/N) X Xᵀ  (d × d).
+            let cov = x.gram().scale(1.0 / n.max(1) as f64);
+            let eig = SymmetricEigen::new(&cov)?;
+            let components = eig.eigenvectors.leading_columns(r);
+            let explained_variance = eig.eigenvalues[..r].to_vec();
+            Ok(Self {
+                mean,
+                components,
+                explained_variance,
+            })
+        } else {
+            // Gram (dual) route: eigen of (1/N) Xᵀ X  (N × N); directions = X v / sqrt(Nλ).
+            let gram = x.gram_t().scale(1.0 / n as f64);
+            let eig = SymmetricEigen::new(&gram)?;
+            let mut components = Matrix::zeros(d, r);
+            let mut explained_variance = Vec::with_capacity(r);
+            for k in 0..r {
+                let lambda = eig.eigenvalues[k].max(0.0);
+                explained_variance.push(lambda);
+                let v = eig.eigenvectors.column(k);
+                let dir = x.matvec(&v)?;
+                let scale = (n as f64 * lambda).sqrt();
+                let col: Vec<f64> = if scale > 1e-12 {
+                    dir.iter().map(|x| x / scale).collect()
+                } else {
+                    vec![0.0; d]
+                };
+                components.set_column(k, &col);
+            }
+            Ok(Self {
+                mean,
+                components,
+                explained_variance,
+            })
+        }
+    }
+
+    /// The principal directions (`d × r`, unit columns).
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Variance captured by each retained direction.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Project a `d × N` view into the principal subspace, producing `N × r` scores.
+    pub fn transform(&self, view: &Matrix) -> Result<Matrix> {
+        if view.rows() != self.components.rows() {
+            return Err(BaselineError::InvalidInput(format!(
+                "view has {} features but the model expects {}",
+                view.rows(),
+                self.components.rows()
+            )));
+        }
+        let mut centered = view.clone();
+        for i in 0..centered.rows() {
+            let m = self.mean[i];
+            for v in centered.row_mut(i) {
+                *v -= m;
+            }
+        }
+        Ok(centered.t_matmul(&self.components)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::GaussianRng;
+
+    fn anisotropic_data(n: usize) -> Matrix {
+        // Variance 9 along (1,1)/sqrt(2), variance 0.01 along (1,-1)/sqrt(2).
+        let mut rng = GaussianRng::new(3);
+        let mut x = Matrix::zeros(2, n);
+        for j in 0..n {
+            let a = 3.0 * rng.standard_normal();
+            let b = 0.1 * rng.standard_normal();
+            x[(0, j)] = (a + b) / 2f64.sqrt() + 5.0;
+            x[(1, j)] = (a - b) / 2f64.sqrt() - 2.0;
+        }
+        x
+    }
+
+    #[test]
+    fn finds_dominant_direction() {
+        let x = anisotropic_data(500);
+        let pca = Pca::fit(&x, 2).unwrap();
+        let c = pca.components();
+        // First component ≈ (1,1)/sqrt(2) up to sign.
+        assert!((c[(0, 0)].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+        assert!((c[(0, 0)] - c[(1, 0)]).abs() < 0.1);
+        assert!(pca.explained_variance()[0] > 5.0);
+        assert!(pca.explained_variance()[1] < 0.1);
+    }
+
+    #[test]
+    fn transform_centers_and_projects() {
+        let x = anisotropic_data(200);
+        let pca = Pca::fit(&x, 1).unwrap();
+        let z = pca.transform(&x).unwrap();
+        assert_eq!(z.shape(), (200, 1));
+        let mean: f64 = z.column(0).iter().sum::<f64>() / 200.0;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_route_matches_primal_for_small_problem() {
+        // d > N triggers the Gram route; both must span the same subspace.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.1],
+            vec![0.0, 0.1, -0.1],
+            vec![1.0, 1.9, 3.0],
+            vec![-1.0, -2.0, -3.0],
+        ])
+        .unwrap();
+        let pca = Pca::fit(&x, 2).unwrap();
+        assert_eq!(pca.components().shape(), (5, 2));
+        let z = pca.transform(&x).unwrap();
+        assert_eq!(z.shape(), (3, 2));
+        // Unit-norm components.
+        for k in 0..2 {
+            let norm: f64 = pca.components().column(k).iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-6 || norm < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rank_is_clamped_and_validated() {
+        let x = anisotropic_data(50);
+        let pca = Pca::fit(&x, 10).unwrap();
+        assert_eq!(pca.components().cols(), 2);
+        assert!(Pca::fit(&x, 0).is_err());
+        assert!(pca.transform(&Matrix::zeros(3, 5)).is_err());
+    }
+}

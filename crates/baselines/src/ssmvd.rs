@@ -1,0 +1,222 @@
+//! SSMVD: sparse (structured-sparsity) unsupervised multi-view dimension reduction
+//! (Han et al. 2012).
+//!
+//! Han et al. learn a low-dimensional consensus representation while a structured
+//! sparsity-inducing norm (Jenatton et al. 2011) lets different subsets of *feature
+//! groups* — here, the views — contribute adaptively. This reproduction implements the
+//! standard iteratively-reweighted-least-squares treatment of the group (ℓ₂,₁) penalty
+//! on top of the same per-view PCA + consensus factorization pipeline as DSE:
+//!
+//! 1. reduce each view with PCA (paper: 100 dims),
+//! 2. alternately (a) fit the consensus `B` to the *view-weighted* stacked embeddings
+//!    and (b) update each view's weight as `w_p ∝ 1 / (‖A_p − B P_p‖_F + δ)`, the IRLS
+//!    surrogate of the group-sparse penalty, so poorly-agreeing views are down-weighted
+//!    (possibly to ≈ 0, the "subsets of features" behaviour).
+//!
+//! The substitution (IRLS instead of the exact proximal solver) is recorded in
+//! DESIGN.md; it preserves the behaviour the experiments compare: a consensus embedding
+//! that is more robust than DSE when one view is noisy, at a similar cost.
+
+use crate::{BaselineError, Pca, Result};
+use linalg::{Matrix, Svd};
+
+/// A fitted (transductive) SSMVD embedding.
+#[derive(Debug, Clone)]
+pub struct Ssmvd {
+    embedding: Matrix,
+    view_weights: Vec<f64>,
+    iterations: usize,
+}
+
+/// Options for the IRLS loop.
+#[derive(Debug, Clone)]
+pub struct SsmvdOptions {
+    /// PCA dimension per view before consensus (paper uses 100).
+    pub per_view_dim: usize,
+    /// Number of reweighting iterations.
+    pub max_iterations: usize,
+    /// Smoothing constant δ in the IRLS weight update.
+    pub delta: f64,
+}
+
+impl Default for SsmvdOptions {
+    fn default() -> Self {
+        Self {
+            per_view_dim: 100,
+            max_iterations: 10,
+            delta: 1e-6,
+        }
+    }
+}
+
+impl Ssmvd {
+    /// Fit SSMVD on `m` views (`d_p × N`) with default options.
+    pub fn fit(views: &[Matrix], rank: usize, per_view_dim: usize) -> Result<Self> {
+        Self::fit_with_options(
+            views,
+            rank,
+            SsmvdOptions {
+                per_view_dim,
+                ..SsmvdOptions::default()
+            },
+        )
+    }
+
+    /// Fit SSMVD with explicit options.
+    pub fn fit_with_options(views: &[Matrix], rank: usize, options: SsmvdOptions) -> Result<Self> {
+        if views.is_empty() {
+            return Err(BaselineError::InvalidInput("need at least one view".into()));
+        }
+        if rank == 0 || options.per_view_dim == 0 {
+            return Err(BaselineError::InvalidInput(
+                "rank and per-view dimension must be positive".into(),
+            ));
+        }
+        let n = views[0].cols();
+        for (p, v) in views.iter().enumerate() {
+            if v.cols() != n {
+                return Err(BaselineError::InvalidInput(format!(
+                    "view {p} has {} instances, expected {n}",
+                    v.cols()
+                )));
+            }
+        }
+        let m = views.len();
+
+        // Per-view PCA embeddings, unit Frobenius norm.
+        let mut embeddings = Vec::with_capacity(m);
+        for v in views {
+            let k = options.per_view_dim.min(v.rows()).min(n.max(1));
+            let pca = Pca::fit(v, k)?;
+            let mut a = pca.transform(v)?;
+            let norm = a.frobenius_norm();
+            if norm > 1e-12 {
+                a = a.scale(1.0 / norm);
+            }
+            embeddings.push(a);
+        }
+
+        let mut weights = vec![1.0 / m as f64; m];
+        let mut b = Matrix::zeros(n, rank.min(n.max(1)));
+        let mut iterations = 0;
+        for iter in 0..options.max_iterations.max(1) {
+            iterations = iter + 1;
+            // (a) consensus for the current weights.
+            let mut stacked: Option<Matrix> = None;
+            for (a, &w) in embeddings.iter().zip(weights.iter()) {
+                let scaled = a.scale(w.sqrt());
+                stacked = Some(match stacked {
+                    None => scaled,
+                    Some(acc) => acc.hstack(&scaled)?,
+                });
+            }
+            let svd = Svd::new(&stacked.expect("at least one view"))?;
+            let r = rank.min(svd.len());
+            b = svd.u.leading_columns(r);
+
+            // (b) IRLS view-weight update from the per-view residuals.
+            let mut residuals = Vec::with_capacity(m);
+            for a in &embeddings {
+                let p = b.t_matmul(a)?;
+                let approx = b.matmul(&p)?;
+                residuals.push(a.sub(&approx)?.frobenius_norm());
+            }
+            let mut new_weights: Vec<f64> = residuals
+                .iter()
+                .map(|res| 1.0 / (res + options.delta))
+                .collect();
+            let sum: f64 = new_weights.iter().sum();
+            for w in &mut new_weights {
+                *w /= sum;
+            }
+            let change: f64 = new_weights
+                .iter()
+                .zip(weights.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            weights = new_weights;
+            if change < 1e-8 {
+                break;
+            }
+        }
+
+        Ok(Self {
+            embedding: b,
+            view_weights: weights,
+            iterations,
+        })
+    }
+
+    /// The consensus embedding (`N × r`, instances as rows).
+    pub fn embedding(&self) -> &Matrix {
+        &self.embedding
+    }
+
+    /// The adaptive view weights (sum to 1).
+    pub fn view_weights(&self) -> &[f64] {
+        &self.view_weights
+    }
+
+    /// IRLS iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::GaussianRng;
+
+    /// Two informative views sharing a signal plus one pure-noise view.
+    fn views_with_noise_view(n: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = GaussianRng::new(seed);
+        let mut v1 = Matrix::zeros(6, n);
+        let mut v2 = Matrix::zeros(5, n);
+        let mut v3 = Matrix::zeros(7, n);
+        for j in 0..n {
+            let t = rng.standard_normal();
+            for i in 0..6 {
+                v1[(i, j)] = t * (i as f64 + 1.0) + 0.1 * rng.standard_normal();
+            }
+            for i in 0..5 {
+                v2[(i, j)] = t * (2.0 - i as f64) + 0.1 * rng.standard_normal();
+            }
+            for i in 0..7 {
+                v3[(i, j)] = rng.standard_normal(); // pure noise
+            }
+        }
+        vec![v1, v2, v3]
+    }
+
+    #[test]
+    fn embedding_is_orthonormal() {
+        let views = views_with_noise_view(80, 61);
+        let model = Ssmvd::fit(&views, 3, 10).unwrap();
+        let b = model.embedding();
+        assert_eq!(b.shape(), (80, 3));
+        let btb = b.t_matmul(b).unwrap();
+        assert!(btb.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-8);
+        assert!(model.iterations() >= 1);
+    }
+
+    #[test]
+    fn noise_view_is_downweighted() {
+        let views = views_with_noise_view(150, 62);
+        let model = Ssmvd::fit(&views, 2, 8).unwrap();
+        let w = model.view_weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(
+            w[2] < w[0] && w[2] < w[1],
+            "noise view should get the smallest weight: {w:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let views = views_with_noise_view(20, 63);
+        assert!(Ssmvd::fit(&[], 2, 10).is_err());
+        assert!(Ssmvd::fit(&views, 0, 10).is_err());
+        assert!(Ssmvd::fit(&views, 2, 0).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the tensor decomposition kernels (the dominant cost
+//! of TCCA, paper §4.5 and the time curves of Figs. 7–9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::GaussianRng;
+use tensor::{CpAls, DenseTensor, Hopm, RankRDecomposition, TensorPowerMethod};
+
+fn random_tensor(shape: &[usize], seed: u64) -> DenseTensor {
+    let mut rng = GaussianRng::new(seed);
+    let len: usize = shape.iter().product();
+    let data: Vec<f64> = (0..len).map(|_| rng.standard_normal()).collect();
+    DenseTensor::from_vec(shape, data).expect("shape matches data")
+}
+
+fn bench_rank_one(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank1_decomposition");
+    group.sample_size(10);
+    for dim in [16usize, 32] {
+        let t = random_tensor(&[dim, dim, dim], 1);
+        group.bench_with_input(BenchmarkId::new("als", dim), &t, |b, t| {
+            b.iter(|| CpAls::default().decompose(t, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hopm", dim), &t, |b, t| {
+            b.iter(|| Hopm::default().decompose(t, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("power", dim), &t, |b, t| {
+            b.iter(|| TensorPowerMethod::default().decompose(t, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("als_rank_sweep");
+    group.sample_size(10);
+    let t = random_tensor(&[24, 24, 24], 2);
+    for rank in [1usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, &r| {
+            b.iter(|| CpAls::default().decompose(&t, r).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_one, bench_rank_sweep);
+criterion_main!(benches);

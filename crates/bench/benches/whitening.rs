@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the whitening step (`C̃_pp^{-1/2}`) and the covariance
+//! tensor construction — the per-view preprocessing shared by CCA, CCA-LS and TCCA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::{secstr_dataset, SecStrConfig};
+use linalg::{center_rows, covariance};
+use tcca::covariance_tensor;
+
+fn bench_inverse_sqrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whitening_inverse_sqrt");
+    group.sample_size(10);
+    let data = secstr_dataset(&SecStrConfig {
+        n_instances: 400,
+        seed: 3,
+        difficulty: 0.8,
+    });
+    for p in 0..data.num_views() {
+        let (x, _) = center_rows(data.view(p));
+        let mut cov = covariance(&x);
+        cov.add_diagonal(1e-2);
+        group.bench_with_input(BenchmarkId::new("view", p), &cov, |b, cov| {
+            b.iter(|| cov.inverse_sqrt_spd(1e-12).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_covariance_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covariance_tensor");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let data = secstr_dataset(&SecStrConfig {
+            n_instances: n,
+            seed: 3,
+            difficulty: 0.8,
+        });
+        // Use the first 40 features of each view to keep the bench quick while still
+        // exercising the same code path as the full experiments.
+        let views: Vec<linalg::Matrix> = data
+            .views()
+            .iter()
+            .map(|v| v.select_rows(&(0..40).collect::<Vec<_>>()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &views, |b, views| {
+            b.iter(|| covariance_tensor(views).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inverse_sqrt, bench_covariance_tensor);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmark and experiment harness reproducing the TCCA paper's evaluation.
+//!
+//! The paper's evaluation section contains four tables and eight figures; each has a
+//! matching subcommand of the `experiments` binary (`cargo run --release -p tcca-bench
+//! --bin experiments -- <id>`) that regenerates the same rows / series:
+//!
+//! | id | paper artefact |
+//! |----|----------------|
+//! | `fig3`, `table1` | SecStr accuracy vs subspace dimension / at the best dimension |
+//! | `fig4`, `table2` | Ads accuracy vs dimension / at the best dimension |
+//! | `fig5`, `table3` | NUS-WIDE accuracy vs dimension for {4,6,8} labels per class |
+//! | `fig6`, `table4` | kernel methods on the 500-sample NUS-WIDE subset |
+//! | `fig7`–`fig10`   | time and memory cost vs dimension on each dataset |
+//! | `ablation-*`     | decomposition-method and regularization ablations (not in paper) |
+//!
+//! Module map: [`methods`] wraps every compared method behind a single
+//! "fit on a multi-view dataset, return an `N × dim` embedding plus cost accounting"
+//! interface; [`runner`] implements the paper's evaluation protocol (labeled subsets,
+//! 20% validation split, best-dimension selection, mean ± std over seeds); [`memcost`]
+//! is the allocation model used for the "memory cost" curves.
+//!
+//! Criterion micro-benchmarks (`benches/`) cover the tensor decompositions, the
+//! whitening step, end-to-end fits and the kernel pipeline.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod memcost;
+pub mod methods;
+pub mod runner;
+
+pub use memcost::MemoryModel;
+pub use methods::{KernelMethod, LinearMethod, MethodOutput};
+pub use runner::{
+    kernel_experiment, linear_experiment, sweep_to_table, ExperimentConfig, ExperimentResult,
+    MethodCurve,
+};

@@ -1,0 +1,442 @@
+//! A uniform "fit → representation + cost" wrapper around every compared method.
+//!
+//! The experiment runner does not care how a method works internally; it needs, for a
+//! given dataset and subspace dimension, one or more candidate representations of all
+//! instances plus the wall-clock time and modelled memory of producing them. Methods
+//! that internally evaluate several sub-models (CCA on every view pair) return one
+//! candidate per sub-model together with a [`CombineRule`] telling the runner whether to
+//! pick the best on validation (BST) or to combine predictions (AVG).
+
+use crate::memcost::MemoryModel;
+use baselines::{
+    feature::{average_kernels, concatenate_views, kernel_to_distances, view_as_instances},
+    CcaLs, CcaMaxVar, Dse, Kcca, PairwiseCca, PairwiseKcca, Ssmvd,
+};
+use datasets::MultiViewDataset;
+use linalg::Matrix;
+use std::time::Instant;
+use tcca::{Ktcca, KtccaOptions, Tcca, TccaOptions};
+
+/// How an instance is represented for the downstream learner.
+#[derive(Debug, Clone)]
+pub enum Representation {
+    /// An `N × dim` embedding; learners use it directly (RLS) or via Euclidean
+    /// distances (kNN).
+    Embedding(Matrix),
+    /// An `N × N` precomputed squared-distance matrix (kernel baselines evaluated by
+    /// kNN without an explicit embedding).
+    Distances(Matrix),
+}
+
+/// How multiple candidate representations are turned into one prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineRule {
+    /// Evaluate each candidate on the validation split and keep the best (the paper's
+    /// "BST" variants, and the BSF / BSK single-view baselines).
+    SelectBest,
+    /// Combine all candidates — averaged RLS decision scores or kNN majority vote (the
+    /// paper's "AVG" variants).
+    Average,
+}
+
+/// The output of fitting one method at one operating point.
+#[derive(Debug, Clone)]
+pub struct MethodOutput {
+    /// Display name (matches the paper's tables).
+    pub name: String,
+    /// One or more candidate representations covering *all* dataset instances, in
+    /// dataset order.
+    pub candidates: Vec<Representation>,
+    /// How the candidates are combined.
+    pub combine: CombineRule,
+    /// Wall-clock seconds spent fitting and producing the representations.
+    pub seconds: f64,
+    /// Modelled memory cost.
+    pub memory: MemoryModel,
+}
+
+/// The linear methods of the paper's Tables 1–3 / Figures 3–5 and 7–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearMethod {
+    /// Best single-view features.
+    Bsf,
+    /// Concatenation of normalized features of all views.
+    Cat,
+    /// Two-view CCA on the best view pair.
+    CcaBst,
+    /// Two-view CCA on all pairs, predictions combined.
+    CcaAvg,
+    /// Multiset CCA via coupled least squares (Vía et al. 2007).
+    CcaLs,
+    /// Multiset CCA via SVD (Kettenring 1971); not in the paper's tables but provided
+    /// for completeness and the ablation benches.
+    CcaMaxVar,
+    /// Distributed spectral embedding (Long et al. 2008).
+    Dse,
+    /// Structured-sparsity multi-view dimension reduction (Han et al. 2012).
+    Ssmvd,
+    /// The paper's tensor CCA.
+    Tcca,
+}
+
+impl LinearMethod {
+    /// The display name used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LinearMethod::Bsf => "BSF",
+            LinearMethod::Cat => "CAT",
+            LinearMethod::CcaBst => "CCA (BST)",
+            LinearMethod::CcaAvg => "CCA (AVG)",
+            LinearMethod::CcaLs => "CCA-LS",
+            LinearMethod::CcaMaxVar => "CCA-MAXVAR",
+            LinearMethod::Dse => "DSE",
+            LinearMethod::Ssmvd => "SSMVD",
+            LinearMethod::Tcca => "TCCA",
+        }
+    }
+
+    /// The methods compared in the paper's linear experiments, in table order.
+    pub fn paper_set() -> Vec<LinearMethod> {
+        vec![
+            LinearMethod::Bsf,
+            LinearMethod::Cat,
+            LinearMethod::CcaBst,
+            LinearMethod::CcaAvg,
+            LinearMethod::CcaLs,
+            LinearMethod::Dse,
+            LinearMethod::Ssmvd,
+            LinearMethod::Tcca,
+        ]
+    }
+
+    /// True when the representation changes with the subspace dimension `r`
+    /// (BSF and CAT are flat lines in the paper's figures).
+    pub fn depends_on_rank(&self) -> bool {
+        !matches!(self, LinearMethod::Bsf | LinearMethod::Cat)
+    }
+
+    /// Fit the method on a multi-view dataset and produce representations of all
+    /// instances.
+    ///
+    /// * `rank` — the subspace dimension `r` (per view where applicable).
+    /// * `epsilon` — the CCA/TCCA regularizer ε.
+    /// * `seed` — RNG seed for the iterative solvers.
+    /// * `tcca_iterations` — ALS iteration budget for TCCA (the costly part).
+    pub fn run(
+        &self,
+        dataset: &MultiViewDataset,
+        rank: usize,
+        epsilon: f64,
+        seed: u64,
+        tcca_iterations: usize,
+    ) -> MethodOutput {
+        let views = dataset.views();
+        let n = dataset.len();
+        let dims = dataset.dimensions();
+        let start = Instant::now();
+        let mut memory = MemoryModel::new();
+
+        let (candidates, combine) = match self {
+            LinearMethod::Bsf => {
+                let cands: Vec<Representation> = views
+                    .iter()
+                    .map(|v| Representation::Embedding(view_as_instances(v)))
+                    .collect();
+                for (p, d) in dims.iter().enumerate() {
+                    memory.add_matrix(format!("view {p} features"), n, *d);
+                }
+                (cands, CombineRule::SelectBest)
+            }
+            LinearMethod::Cat => {
+                let cat = concatenate_views(views);
+                memory.add_matrix("concatenated features", cat.rows(), cat.cols());
+                (vec![Representation::Embedding(cat)], CombineRule::SelectBest)
+            }
+            LinearMethod::CcaBst | LinearMethod::CcaAvg => {
+                let pw = PairwiseCca::fit(views, rank, epsilon).expect("pairwise CCA fit");
+                for &(p, q) in pw.pairs() {
+                    memory.add_matrix(format!("C{p}{p}"), dims[p], dims[p]);
+                    memory.add_matrix(format!("C{q}{q}"), dims[q], dims[q]);
+                    memory.add_matrix(format!("C{p}{q}"), dims[p], dims[q]);
+                    memory.add_matrix(format!("embedding {p}-{q}"), n, 2 * rank);
+                }
+                let cands = pw
+                    .transform_all(views)
+                    .expect("pairwise CCA transform")
+                    .into_iter()
+                    .map(Representation::Embedding)
+                    .collect();
+                let rule = if matches!(self, LinearMethod::CcaBst) {
+                    CombineRule::SelectBest
+                } else {
+                    CombineRule::Average
+                };
+                (cands, rule)
+            }
+            LinearMethod::CcaLs => {
+                let model = CcaLs::fit(views, rank, epsilon).expect("CCA-LS fit");
+                for (p, d) in dims.iter().enumerate() {
+                    memory.add_matrix(format!("gram {p}"), *d, *d);
+                }
+                memory.add_matrix("embedding", n, rank * views.len());
+                let z = model.transform(views).expect("CCA-LS transform");
+                (vec![Representation::Embedding(z)], CombineRule::SelectBest)
+            }
+            LinearMethod::CcaMaxVar => {
+                let model = CcaMaxVar::fit(views, rank, epsilon).expect("CCA-MAXVAR fit");
+                let total: usize = dims.iter().sum();
+                memory.add_matrix("stacked whitened views", n, total);
+                memory.add_matrix("embedding", n, rank * views.len());
+                let z = model.transform(views).expect("CCA-MAXVAR transform");
+                (vec![Representation::Embedding(z)], CombineRule::SelectBest)
+            }
+            LinearMethod::Dse => {
+                let per_view = 100;
+                let model = Dse::fit(views, rank, per_view).expect("DSE fit");
+                for (p, d) in dims.iter().enumerate() {
+                    memory.add_matrix(format!("PCA view {p}"), n, per_view.min(*d));
+                }
+                memory.add_matrix("consensus", n, rank);
+                (
+                    vec![Representation::Embedding(model.embedding().clone())],
+                    CombineRule::SelectBest,
+                )
+            }
+            LinearMethod::Ssmvd => {
+                let per_view = 100;
+                let model = Ssmvd::fit(views, rank, per_view).expect("SSMVD fit");
+                for (p, d) in dims.iter().enumerate() {
+                    memory.add_matrix(format!("PCA view {p}"), n, per_view.min(*d));
+                }
+                memory.add_matrix("consensus", n, rank);
+                (
+                    vec![Representation::Embedding(model.embedding().clone())],
+                    CombineRule::SelectBest,
+                )
+            }
+            LinearMethod::Tcca => {
+                let mut options = TccaOptions::with_rank(rank).epsilon(epsilon).seed(seed);
+                options.max_iterations = tcca_iterations;
+                let model = Tcca::fit(views, &options).expect("TCCA fit");
+                memory.add_tensor("covariance tensor", &dims);
+                for (p, d) in dims.iter().enumerate() {
+                    memory.add_matrix(format!("whitener {p}"), *d, *d);
+                    memory.add_matrix(format!("factor {p}"), *d, rank);
+                }
+                memory.add_matrix("embedding", n, rank * views.len());
+                let z = model.transform(views).expect("TCCA transform");
+                (vec![Representation::Embedding(z)], CombineRule::SelectBest)
+            }
+        };
+
+        MethodOutput {
+            name: self.name().to_string(),
+            candidates,
+            combine,
+            seconds: start.elapsed().as_secs_f64(),
+            memory,
+        }
+    }
+}
+
+/// The kernel methods of the paper's Table 4 / Figures 6 and 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMethod {
+    /// Best single-view kernel.
+    Bsk,
+    /// Average of the normalized per-view kernels.
+    Avg,
+    /// Two-view kernel CCA on the best pair.
+    KccaBst,
+    /// Two-view kernel CCA on all pairs, predictions combined.
+    KccaAvg,
+    /// The paper's kernel tensor CCA.
+    Ktcca,
+}
+
+impl KernelMethod {
+    /// The display name used in the paper's Table 4.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelMethod::Bsk => "BSK",
+            KernelMethod::Avg => "AVG",
+            KernelMethod::KccaBst => "KCCA (BST)",
+            KernelMethod::KccaAvg => "KCCA (AVG)",
+            KernelMethod::Ktcca => "KTCCA",
+        }
+    }
+
+    /// The methods compared in the paper's non-linear experiments, in table order.
+    pub fn paper_set() -> Vec<KernelMethod> {
+        vec![
+            KernelMethod::Bsk,
+            KernelMethod::Avg,
+            KernelMethod::KccaBst,
+            KernelMethod::KccaAvg,
+            KernelMethod::Ktcca,
+        ]
+    }
+
+    /// True when the representation changes with the subspace dimension `r`.
+    pub fn depends_on_rank(&self) -> bool {
+        !matches!(self, KernelMethod::Bsk | KernelMethod::Avg)
+    }
+
+    /// Fit the method on per-view centered Gram matrices (`N × N`, one per view).
+    pub fn run(
+        &self,
+        kernels: &[Matrix],
+        rank: usize,
+        epsilon: f64,
+        seed: u64,
+        tcca_iterations: usize,
+    ) -> MethodOutput {
+        let n = kernels[0].rows();
+        let m = kernels.len();
+        let start = Instant::now();
+        let mut memory = MemoryModel::new();
+        for p in 0..m {
+            memory.add_matrix(format!("kernel {p}"), n, n);
+        }
+
+        let (candidates, combine) = match self {
+            KernelMethod::Bsk => {
+                let cands: Vec<Representation> = kernels
+                    .iter()
+                    .map(|k| Representation::Distances(kernel_to_distances(k)))
+                    .collect();
+                memory.add_matrix("distance matrices", n, n * m);
+                (cands, CombineRule::SelectBest)
+            }
+            KernelMethod::Avg => {
+                let avg = average_kernels(kernels);
+                memory.add_matrix("averaged kernel", n, n);
+                (
+                    vec![Representation::Distances(kernel_to_distances(&avg))],
+                    CombineRule::SelectBest,
+                )
+            }
+            KernelMethod::KccaBst | KernelMethod::KccaAvg => {
+                let pw = PairwiseKcca::fit(kernels, rank, epsilon).expect("pairwise KCCA fit");
+                for _ in pw.pairs() {
+                    memory.add_matrix("dual coefficients", n, 2 * rank);
+                }
+                let cands = pw
+                    .transform_all(kernels)
+                    .expect("pairwise KCCA transform")
+                    .into_iter()
+                    .map(Representation::Embedding)
+                    .collect();
+                let rule = if matches!(self, KernelMethod::KccaBst) {
+                    CombineRule::SelectBest
+                } else {
+                    CombineRule::Average
+                };
+                (cands, rule)
+            }
+            KernelMethod::Ktcca => {
+                let mut options = KtccaOptions::with_rank(rank).epsilon(epsilon).seed(seed);
+                options.max_iterations = tcca_iterations;
+                let model = Ktcca::fit(kernels, &options).expect("KTCCA fit");
+                memory.add_tensor("gram tensor", &vec![n; m]);
+                memory.add_matrix("dual coefficients", n, rank * m);
+                let z = model.transform(kernels).expect("KTCCA transform");
+                (vec![Representation::Embedding(z)], CombineRule::SelectBest)
+            }
+        };
+
+        MethodOutput {
+            name: self.name().to_string(),
+            candidates,
+            combine,
+            seconds: start.elapsed().as_secs_f64(),
+            memory,
+        }
+    }
+}
+
+/// Convenience: two-view KCCA exposed for the ablation benches (fitting a single pair
+/// instead of all pairs).
+pub fn fit_single_kcca(k1: &Matrix, k2: &Matrix, rank: usize, epsilon: f64) -> Kcca {
+    Kcca::fit(k1, k2, rank, epsilon).expect("KCCA fit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{center_kernel, gram_matrix, secstr_dataset, Kernel, SecStrConfig};
+
+    fn tiny_dataset() -> MultiViewDataset {
+        secstr_dataset(&SecStrConfig {
+            n_instances: 60,
+            seed: 5,
+            difficulty: 0.8,
+        })
+    }
+
+    #[test]
+    fn names_and_paper_sets() {
+        assert_eq!(LinearMethod::Tcca.name(), "TCCA");
+        assert_eq!(LinearMethod::paper_set().len(), 8);
+        assert_eq!(KernelMethod::paper_set().len(), 5);
+        assert!(!LinearMethod::Bsf.depends_on_rank());
+        assert!(LinearMethod::Tcca.depends_on_rank());
+        assert!(!KernelMethod::Avg.depends_on_rank());
+        assert!(KernelMethod::Ktcca.depends_on_rank());
+    }
+
+    #[test]
+    fn every_linear_method_produces_representations() {
+        let data = tiny_dataset();
+        for method in LinearMethod::paper_set() {
+            let out = method.run(&data, 3, 1e-2, 1, 10);
+            assert!(!out.candidates.is_empty(), "{}", out.name);
+            for c in &out.candidates {
+                match c {
+                    Representation::Embedding(z) => assert_eq!(z.rows(), data.len()),
+                    Representation::Distances(d) => assert_eq!(d.rows(), data.len()),
+                }
+            }
+            assert!(out.seconds >= 0.0);
+            assert!(out.memory.total_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn bsf_yields_one_candidate_per_view_and_cat_one() {
+        let data = tiny_dataset();
+        let bsf = LinearMethod::Bsf.run(&data, 5, 1e-2, 1, 5);
+        assert_eq!(bsf.candidates.len(), 3);
+        assert_eq!(bsf.combine, CombineRule::SelectBest);
+        let cat = LinearMethod::Cat.run(&data, 5, 1e-2, 1, 5);
+        assert_eq!(cat.candidates.len(), 1);
+        if let Representation::Embedding(z) = &cat.candidates[0] {
+            assert_eq!(z.cols(), 315);
+        } else {
+            panic!("CAT must produce an embedding");
+        }
+    }
+
+    #[test]
+    fn cca_avg_uses_average_rule() {
+        let data = tiny_dataset();
+        let avg = LinearMethod::CcaAvg.run(&data, 2, 1e-2, 1, 5);
+        assert_eq!(avg.combine, CombineRule::Average);
+        assert_eq!(avg.candidates.len(), 3); // three view pairs
+    }
+
+    #[test]
+    fn kernel_methods_produce_representations() {
+        let data = tiny_dataset().subset(&(0..30).collect::<Vec<_>>());
+        let kernels: Vec<Matrix> = data
+            .views()
+            .iter()
+            .map(|v| center_kernel(&gram_matrix(v, Kernel::ExpEuclidean)))
+            .collect();
+        for method in KernelMethod::paper_set() {
+            let out = method.run(&kernels, 2, 1e-1, 1, 8);
+            assert!(!out.candidates.is_empty(), "{}", out.name);
+            assert!(out.memory.total_bytes() > 0);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Kernels, Gram matrices and kernel centering for the non-linear experiments.
+//!
+//! The paper's KTCCA evaluation (Fig. 6, Table 4) builds one kernel per view via
+//! `k(x_i, x_j) = exp(−d(x_i, x_j) / λ)` with `λ = max_{i,j} d(x_i, x_j)`, using the χ²
+//! distance for the visual-word histogram view and the L2 (Euclidean) distance for the
+//! other views. This module provides those kernels, the linear kernel (used to check
+//! that KTCCA with a linear kernel matches linear TCCA), Gram-matrix construction for
+//! `d × N` view matrices and the usual double-centering.
+
+use linalg::Matrix;
+
+/// Kernel functions between instance columns of a `d × N` view matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Plain inner product `xᵀy`.
+    Linear,
+    /// `exp(−‖x − y‖₂² / (2σ²))`.
+    Rbf {
+        /// Bandwidth σ.
+        sigma: f64,
+    },
+    /// The paper's distance-based kernel `exp(−d(x, y)/λ)` with the **Euclidean**
+    /// distance and `λ = max d` estimated from the data.
+    ExpEuclidean,
+    /// The paper's distance-based kernel with the **χ²** distance
+    /// `d(x, y) = Σ_i (x_i − y_i)² / (x_i + y_i)` and `λ = max d` estimated from data.
+    ExpChiSquare,
+}
+
+/// Squared Euclidean distance between two feature vectors.
+pub fn euclidean_distance(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// χ² distance between two non-negative feature vectors (histograms).
+pub fn chi_square_distance(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| {
+            let denom = a + b;
+            if denom > 1e-12 {
+                (a - b) * (a - b) / denom
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Build the `N × N` Gram matrix of a `d × N` view under the given kernel.
+pub fn gram_matrix(view: &Matrix, kernel: Kernel) -> Matrix {
+    let n = view.cols();
+    let columns: Vec<Vec<f64>> = (0..n).map(|j| view.column(j)).collect();
+    match kernel {
+        Kernel::Linear => {
+            let mut k = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let v = linalg::dot(&columns[i], &columns[j]);
+                    k[(i, j)] = v;
+                    k[(j, i)] = v;
+                }
+            }
+            k
+        }
+        Kernel::Rbf { sigma } => {
+            let gamma = 1.0 / (2.0 * sigma * sigma);
+            let mut k = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let d = euclidean_distance(&columns[i], &columns[j]);
+                    let v = (-gamma * d * d).exp();
+                    k[(i, j)] = v;
+                    k[(j, i)] = v;
+                }
+            }
+            k
+        }
+        Kernel::ExpEuclidean => kernel_from_distance(&columns, euclidean_distance),
+        Kernel::ExpChiSquare => kernel_from_distance(&columns, chi_square_distance),
+    }
+}
+
+/// Build the paper's `exp(−d/λ)` kernel from an arbitrary distance function, with
+/// `λ = max_{i,j} d(x_i, x_j)` estimated from the data (λ falls back to 1 when all
+/// distances are zero).
+pub fn kernel_from_distance<F>(columns: &[Vec<f64>], distance: F) -> Matrix
+where
+    F: Fn(&[f64], &[f64]) -> f64,
+{
+    let n = columns.len();
+    let mut dists = Matrix::zeros(n, n);
+    let mut max_d: f64 = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = distance(&columns[i], &columns[j]);
+            dists[(i, j)] = d;
+            dists[(j, i)] = d;
+            max_d = max_d.max(d);
+        }
+    }
+    let lambda = if max_d > 1e-12 { max_d } else { 1.0 };
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            k[(i, j)] = (-dists[(i, j)] / lambda).exp();
+        }
+    }
+    k
+}
+
+/// Double-center a Gram matrix: `K ← H K H` with `H = I − (1/N) 11ᵀ`.
+///
+/// Centering in feature space is the kernel analogue of subtracting the view means,
+/// which the linear formulation assumes (paper §4.2).
+pub fn center_kernel(k: &Matrix) -> Matrix {
+    let n = k.rows();
+    if n == 0 {
+        return k.clone();
+    }
+    let row_means: Vec<f64> = (0..n)
+        .map(|i| k.row(i).iter().sum::<f64>() / n as f64)
+        .collect();
+    let grand_mean: f64 = row_means.iter().sum::<f64>() / n as f64;
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = k[(i, j)] - row_means[i] - row_means[j] + grand_mean;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::SymmetricEigen;
+
+    fn toy_view() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.1, 0.4, 0.2, 0.9],
+            vec![0.5, 0.1, 0.3, 0.05],
+            vec![0.4, 0.5, 0.5, 0.05],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn distances_basic_properties() {
+        let x = [1.0, 0.0, 2.0];
+        let y = [0.0, 1.0, 2.0];
+        assert_eq!(euclidean_distance(&x, &x), 0.0);
+        assert!((euclidean_distance(&x, &y) - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(chi_square_distance(&x, &x), 0.0);
+        assert!(chi_square_distance(&x, &y) > 0.0);
+        // Symmetry.
+        assert_eq!(chi_square_distance(&x, &y), chi_square_distance(&y, &x));
+        // Zero denominators are skipped.
+        assert_eq!(chi_square_distance(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn linear_gram_matches_inner_products() {
+        let v = toy_view();
+        let k = gram_matrix(&v, Kernel::Linear);
+        assert_eq!(k.shape(), (4, 4));
+        let expected = v.t_matmul(&v).unwrap();
+        assert!(k.sub(&expected).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_kernels_have_unit_diagonal_and_are_psd() {
+        let v = toy_view();
+        for kern in [Kernel::ExpEuclidean, Kernel::ExpChiSquare, Kernel::Rbf { sigma: 0.5 }] {
+            let k = gram_matrix(&v, kern);
+            for i in 0..4 {
+                assert!((k[(i, i)] - 1.0).abs() < 1e-12);
+                for j in 0..4 {
+                    assert!(k[(i, j)] > 0.0 && k[(i, j)] <= 1.0 + 1e-12);
+                    assert!((k[(i, j)] - k[(j, i)]).abs() < 1e-12);
+                }
+            }
+            // The exp(-d/λ) family is positive definite for these small examples.
+            let eig = SymmetricEigen::new(&k).unwrap();
+            for &l in &eig.eigenvalues {
+                assert!(l > -1e-9, "kernel {kern:?} has negative eigenvalue {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn centering_zeroes_row_and_column_sums() {
+        let v = toy_view();
+        let k = gram_matrix(&v, Kernel::ExpEuclidean);
+        let kc = center_kernel(&k);
+        for i in 0..4 {
+            let row_sum: f64 = kc.row(i).iter().sum();
+            assert!(row_sum.abs() < 1e-9);
+            let col_sum: f64 = kc.column(i).iter().sum();
+            assert!(col_sum.abs() < 1e-9);
+        }
+        // Centering an empty kernel is a no-op.
+        let empty = Matrix::zeros(0, 0);
+        assert_eq!(center_kernel(&empty).shape(), (0, 0));
+    }
+
+    #[test]
+    fn degenerate_identical_columns_fall_back_to_lambda_one() {
+        let v = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        let k = gram_matrix(&v, Kernel::ExpEuclidean);
+        // All distances are zero so every entry is exp(0) = 1.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(k[(i, j)], 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The [`MultiViewDataset`] container shared by all generators and experiments.
+
+use linalg::Matrix;
+
+/// A dataset of `N` instances, each observed through `m` feature views, plus labels.
+///
+/// Following the paper's notation, view `p` is stored as a `d_p × N` matrix whose
+/// columns are instances. Labels are class indices in `0..n_classes`.
+#[derive(Debug, Clone)]
+pub struct MultiViewDataset {
+    views: Vec<Matrix>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+impl MultiViewDataset {
+    /// Construct a dataset; panics if view instance counts or label length disagree.
+    pub fn new(views: Vec<Matrix>, labels: Vec<usize>, n_classes: usize) -> Self {
+        assert!(!views.is_empty(), "a multi-view dataset needs at least one view");
+        let n = views[0].cols();
+        for (p, v) in views.iter().enumerate() {
+            assert_eq!(
+                v.cols(),
+                n,
+                "view {p} has {} instances but view 0 has {n}",
+                v.cols()
+            );
+        }
+        assert_eq!(labels.len(), n, "labels length must match instance count");
+        if n > 0 {
+            let max_label = labels.iter().copied().max().unwrap_or(0);
+            assert!(
+                max_label < n_classes,
+                "label {max_label} out of range for {n_classes} classes"
+            );
+        }
+        Self {
+            views,
+            labels,
+            n_classes,
+        }
+    }
+
+    /// The per-view data matrices (`d_p × N`).
+    pub fn views(&self) -> &[Matrix] {
+        &self.views
+    }
+
+    /// View `p` as a `d_p × N` matrix.
+    pub fn view(&self, p: usize) -> &Matrix {
+        &self.views[p]
+    }
+
+    /// Class labels, one per instance.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of views.
+    pub fn num_views(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Per-view feature dimensions.
+    pub fn dimensions(&self) -> Vec<usize> {
+        self.views.iter().map(|v| v.rows()).collect()
+    }
+
+    /// Extract the sub-dataset containing the given instances (columns), in order.
+    pub fn subset(&self, indices: &[usize]) -> MultiViewDataset {
+        let views = self
+            .views
+            .iter()
+            .map(|v| select_columns(v, indices))
+            .collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        MultiViewDataset {
+            views,
+            labels,
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Concatenate all views vertically into a single `(Σ d_p) × N` matrix.
+    ///
+    /// This is the "CAT" baseline representation; each view is L2-normalized per feature
+    /// beforehand by the caller if desired.
+    pub fn concatenated(&self) -> Matrix {
+        let mut acc = self.views[0].clone();
+        for v in &self.views[1..] {
+            acc = acc.vstack(v).expect("views share the instance axis");
+        }
+        acc
+    }
+
+    /// Count instances per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+/// Column selection for `d × N` matrices (column = instance).
+fn select_columns(m: &Matrix, indices: &[usize]) -> Matrix {
+    m.select_columns(indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MultiViewDataset {
+        let v1 = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let v2 = Matrix::from_rows(&[vec![7.0, 8.0, 9.0]]).unwrap();
+        MultiViewDataset::new(vec![v1, v2], vec![0, 1, 0], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_views(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.dimensions(), vec![2, 1]);
+        assert_eq!(d.class_counts(), vec![2, 1]);
+        assert_eq!(d.view(1)[(0, 2)], 9.0);
+    }
+
+    #[test]
+    fn subset_selects_columns_and_labels() {
+        let d = tiny();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[0, 0]);
+        assert_eq!(s.view(0)[(0, 0)], 3.0);
+        assert_eq!(s.view(0)[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn concatenated_stacks_views() {
+        let d = tiny();
+        let cat = d.concatenated();
+        assert_eq!(cat.shape(), (3, 3));
+        assert_eq!(cat[(2, 1)], 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels length")]
+    fn mismatched_labels_panic() {
+        let v1 = Matrix::zeros(2, 3);
+        MultiViewDataset::new(vec![v1], vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "instances")]
+    fn mismatched_views_panic() {
+        let v1 = Matrix::zeros(2, 3);
+        let v2 = Matrix::zeros(2, 4);
+        MultiViewDataset::new(vec![v1, v2], vec![0, 1, 0], 2);
+    }
+}

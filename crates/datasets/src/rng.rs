@@ -1,0 +1,131 @@
+//! Small random-sampling helpers (seeded Gaussian draws) built on `rand`.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the Gaussian
+//! sampler is a local Box–Muller transform. All generators in this crate are fully
+//! deterministic given their seed, which the experiment harness relies on for the
+//! "five random choices of the labeled instances" protocol.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator with Gaussian sampling.
+#[derive(Debug, Clone)]
+pub struct GaussianRng {
+    rng: StdRng,
+    cached: Option<f64>,
+}
+
+impl GaussianRng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            cached: None,
+        }
+    }
+
+    /// Draw a standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+
+    /// Draw a normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Draw a uniform sample in `[low, high)`.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        self.rng.gen_range(low..high)
+    }
+
+    /// Draw a uniform integer in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Fisher–Yates shuffle of `0..n`, returning the permutation.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        perm
+    }
+
+    /// Draw a Bernoulli sample with success probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = GaussianRng::new(5);
+        let mut b = GaussianRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = GaussianRng::new(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = GaussianRng::new(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = GaussianRng::new(3);
+        let perm = rng.permutation(50);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_and_index_bounds() {
+        let mut rng = GaussianRng::new(4);
+        for _ in 0..100 {
+            let u = rng.uniform(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&u));
+            assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = GaussianRng::new(6);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03);
+    }
+}

@@ -1,0 +1,146 @@
+//! Train/test splitting and labeled-subset sampling.
+//!
+//! The paper's protocol: split off a test set (web image annotation) or work
+//! transductively on the unlabeled pool (SecStr, Ads); draw five random labeled subsets
+//! (either a fixed count, or a fixed count per class); and reserve 20% of the
+//! test/unlabeled data as a validation set for choosing the subspace dimension and
+//! regularization parameters.
+
+use crate::rng::GaussianRng;
+
+/// A partition of instance indices into two groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices in the first group (train / labeled / validation depending on context).
+    pub first: Vec<usize>,
+    /// Indices in the second group.
+    pub second: Vec<usize>,
+}
+
+/// Randomly split `n` instances so that the first group has `round(n * first_fraction)`
+/// elements.
+pub fn train_test_split(n: usize, first_fraction: f64, seed: u64) -> Split {
+    let mut rng = GaussianRng::new(seed);
+    let perm = rng.permutation(n);
+    let n_first = ((n as f64) * first_fraction.clamp(0.0, 1.0)).round() as usize;
+    Split {
+        first: perm[..n_first.min(n)].to_vec(),
+        second: perm[n_first.min(n)..].to_vec(),
+    }
+}
+
+/// Sample `n_labeled` instances uniformly at random from `pool` (without replacement);
+/// returns `(labeled, rest)`.
+pub fn labeled_subset(pool: &[usize], n_labeled: usize, seed: u64) -> Split {
+    let mut rng = GaussianRng::new(seed);
+    let perm = rng.permutation(pool.len());
+    let k = n_labeled.min(pool.len());
+    Split {
+        first: perm[..k].iter().map(|&i| pool[i]).collect(),
+        second: perm[k..].iter().map(|&i| pool[i]).collect(),
+    }
+}
+
+/// Sample `per_class` labeled instances from every class (paper's NUS-WIDE protocol);
+/// returns `(labeled, rest)` where `rest` preserves the pool order.
+pub fn labeled_subset_per_class(
+    pool: &[usize],
+    labels: &[usize],
+    n_classes: usize,
+    per_class: usize,
+    seed: u64,
+) -> Split {
+    let mut rng = GaussianRng::new(seed);
+    let mut chosen = Vec::with_capacity(per_class * n_classes);
+    for class in 0..n_classes {
+        let members: Vec<usize> = pool
+            .iter()
+            .copied()
+            .filter(|&i| labels[i] == class)
+            .collect();
+        let perm = rng.permutation(members.len());
+        for &idx in perm.iter().take(per_class) {
+            chosen.push(members[idx]);
+        }
+    }
+    let chosen_set: std::collections::HashSet<usize> = chosen.iter().copied().collect();
+    let rest = pool
+        .iter()
+        .copied()
+        .filter(|i| !chosen_set.contains(i))
+        .collect();
+    Split {
+        first: chosen,
+        second: rest,
+    }
+}
+
+/// Reserve `fraction` of the given pool as a validation set (paper uses 20% of the
+/// test/unlabeled data); returns `(validation, remainder)`.
+pub fn validation_split(pool: &[usize], fraction: f64, seed: u64) -> Split {
+    let mut rng = GaussianRng::new(seed);
+    let perm = rng.permutation(pool.len());
+    let k = ((pool.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+    Split {
+        first: perm[..k.min(pool.len())].iter().map(|&i| pool[i]).collect(),
+        second: perm[k.min(pool.len())..].iter().map(|&i| pool[i]).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_test_split_partitions() {
+        let split = train_test_split(100, 0.3, 1);
+        assert_eq!(split.first.len(), 30);
+        assert_eq!(split.second.len(), 70);
+        let mut all: Vec<usize> = split.first.iter().chain(split.second.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn labeled_subset_respects_pool() {
+        let pool: Vec<usize> = (10..30).collect();
+        let split = labeled_subset(&pool, 5, 2);
+        assert_eq!(split.first.len(), 5);
+        assert_eq!(split.second.len(), 15);
+        for &i in split.first.iter().chain(split.second.iter()) {
+            assert!(pool.contains(&i));
+        }
+        // Requesting more than available returns everything.
+        let all = labeled_subset(&pool, 100, 2);
+        assert_eq!(all.first.len(), 20);
+        assert!(all.second.is_empty());
+    }
+
+    #[test]
+    fn per_class_sampling_balances_classes() {
+        let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let pool: Vec<usize> = (0..60).collect();
+        let split = labeled_subset_per_class(&pool, &labels, 3, 4, 7);
+        assert_eq!(split.first.len(), 12);
+        let mut counts = [0usize; 3];
+        for &i in &split.first {
+            counts[labels[i]] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4]);
+        assert_eq!(split.first.len() + split.second.len(), 60);
+    }
+
+    #[test]
+    fn validation_split_fraction() {
+        let pool: Vec<usize> = (0..50).collect();
+        let split = validation_split(&pool, 0.2, 3);
+        assert_eq!(split.first.len(), 10);
+        assert_eq!(split.second.len(), 40);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(train_test_split(40, 0.5, 9), train_test_split(40, 0.5, 9));
+        assert_ne!(train_test_split(40, 0.5, 9), train_test_split(40, 0.5, 10));
+    }
+}

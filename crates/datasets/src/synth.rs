@@ -1,0 +1,516 @@
+//! The shared latent-factor multi-view generator.
+//!
+//! All three dataset stand-ins (SecStr, Ads, NUS-WIDE) are instances of the same
+//! generative model:
+//!
+//! ```text
+//! class   y_n ~ Categorical(n_classes)
+//! latent  t_n = μ_{y_n} + σ_t · ε_n,              t_n ∈ R^k   (shared across views)
+//! private s_pn ~ N(0, I) ∈ R^{k_p}                            (view-specific nuisance)
+//! view p  x_pn = g_p(A_p t_n + B_p s_pn + σ_p · noise)        (d_p-dimensional)
+//! ```
+//!
+//! where `g_p` is an optional non-linearity (identity, quadratic+softplus "histogram",
+//! or thresholding to sparse binary features). Because the class signal lives in the
+//! shared latent code, (a) a common subspace recovered from *unlabeled* data carries the
+//! discriminative information, (b) the quality of that subspace improves with more
+//! unlabeled data, and (c) signal observable only by combining all views (the high-order
+//! correlation the paper targets) is present whenever more than two loading matrices
+//! overlap on the same latent coordinates.
+
+use crate::rng::GaussianRng;
+use crate::MultiViewDataset;
+use linalg::Matrix;
+
+/// How a view's linear responses are turned into observed features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewNonlinearity {
+    /// Observed features are the (noisy) linear responses themselves.
+    Linear,
+    /// Sparse binary features: a response is 1 when it exceeds a per-feature threshold.
+    /// Emulates the bag-of-words / categorical indicator views of SecStr and Ads.
+    Binary,
+    /// Non-negative histogram-like features via a softplus of a quadratic expansion.
+    /// Emulates visual bag-of-words / correlogram / wavelet histograms in NUS-WIDE, and
+    /// gives the χ² kernel something meaningful to act on.
+    Histogram,
+}
+
+/// Specification of a single view.
+#[derive(Debug, Clone)]
+pub struct ViewSpec {
+    /// Observed feature dimension `d_p`.
+    pub dimension: usize,
+    /// Number of view-private nuisance factors.
+    pub private_factors: usize,
+    /// Standard deviation of the additive observation noise.
+    pub noise: f64,
+    /// Output non-linearity.
+    pub nonlinearity: ViewNonlinearity,
+    /// Fraction of the shared latent coordinates this view actually observes (0..=1).
+    /// Lower values make single-view learning harder while joint learning still works.
+    pub shared_coverage: f64,
+}
+
+impl ViewSpec {
+    /// A linear view with sensible defaults.
+    pub fn linear(dimension: usize) -> Self {
+        Self {
+            dimension,
+            private_factors: 4,
+            noise: 0.5,
+            nonlinearity: ViewNonlinearity::Linear,
+            shared_coverage: 1.0,
+        }
+    }
+
+    /// A sparse binary view (bag-of-words / categorical indicators).
+    pub fn binary(dimension: usize) -> Self {
+        Self {
+            dimension,
+            private_factors: 6,
+            noise: 0.6,
+            nonlinearity: ViewNonlinearity::Binary,
+            shared_coverage: 1.0,
+        }
+    }
+
+    /// A non-negative histogram view (visual descriptors).
+    pub fn histogram(dimension: usize) -> Self {
+        Self {
+            dimension,
+            private_factors: 5,
+            noise: 0.4,
+            nonlinearity: ViewNonlinearity::Histogram,
+            shared_coverage: 1.0,
+        }
+    }
+}
+
+/// Configuration of the latent-factor multi-view generator.
+#[derive(Debug, Clone)]
+pub struct LatentMultiViewConfig {
+    /// Number of instances to generate.
+    pub n_instances: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Class prior probabilities. `None` means balanced (round-robin) classes.
+    ///
+    /// TCCA's objective is a **third-order** cross-moment: a centered two-point mixture
+    /// with equal masses is symmetric and therefore invisible to it, so two-class
+    /// datasets should use the (realistic) unbalanced priors of the originals — e.g.
+    /// only ~14% of the UCI Ads instances are advertisements.
+    pub class_proportions: Option<Vec<f64>>,
+    /// Dimension of the shared latent code `t`.
+    pub latent_dim: usize,
+    /// Standard deviation of the latent code around its class mean.
+    pub latent_noise: f64,
+    /// Skewness of the within-class latent noise (0 = Gaussian). Real bag-of-words /
+    /// histogram features are strongly right-skewed, which is precisely what gives the
+    /// covariance tensor its high-order signal; a value around 1 reproduces that.
+    pub latent_skewness: f64,
+    /// Separation between class means in latent space.
+    pub class_separation: f64,
+    /// Strength of **pairwise nuisance factors**: latent variables shared by exactly two
+    /// views and carrying no class information. This reproduces the situation of the
+    /// paper's Fig. 1 — pairwise CCA methods latch onto correlations that exist between
+    /// pairs of views, while the order-3 covariance tensor suppresses any structure that
+    /// is not present in *all* views simultaneously. Set to 0 to disable.
+    pub pairwise_nuisance: f64,
+    /// Per-view specifications.
+    pub views: Vec<ViewSpec>,
+    /// RNG seed; the same seed always produces the same dataset.
+    pub seed: u64,
+}
+
+impl LatentMultiViewConfig {
+    /// Generate the dataset described by this configuration.
+    pub fn generate(&self) -> MultiViewDataset {
+        assert!(self.n_classes >= 1, "need at least one class");
+        assert!(!self.views.is_empty(), "need at least one view");
+        assert!(self.latent_dim >= 1, "latent dimension must be positive");
+
+        let mut rng = GaussianRng::new(self.seed);
+        let n = self.n_instances;
+        let k = self.latent_dim;
+
+        // Class means in latent space: random directions scaled by the separation.
+        let mut class_means = Vec::with_capacity(self.n_classes);
+        for _ in 0..self.n_classes {
+            let mut mu: Vec<f64> = (0..k).map(|_| rng.standard_normal()).collect();
+            let norm = mu.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            for v in &mut mu {
+                *v *= self.class_separation / norm;
+            }
+            class_means.push(mu);
+        }
+
+        // Labels: proportional assignment (deterministic counts), then shuffled —
+        // or balanced round-robin when no proportions are given.
+        let perm = rng.permutation(n);
+        let mut labels = vec![0usize; n];
+        match &self.class_proportions {
+            None => {
+                for (slot, &idx) in perm.iter().enumerate() {
+                    labels[idx] = slot % self.n_classes;
+                }
+            }
+            Some(props) => {
+                assert_eq!(
+                    props.len(),
+                    self.n_classes,
+                    "class_proportions length must equal n_classes"
+                );
+                let total: f64 = props.iter().sum();
+                // Cumulative targets guarantee counts add up to n.
+                let mut slot_class = Vec::with_capacity(n);
+                let mut cumulative = 0.0;
+                let mut assigned = 0usize;
+                for (c, &p) in props.iter().enumerate() {
+                    cumulative += p / total;
+                    let target = if c + 1 == props.len() {
+                        n
+                    } else {
+                        (cumulative * n as f64).round() as usize
+                    };
+                    for _ in assigned..target {
+                        slot_class.push(c);
+                    }
+                    assigned = target.max(assigned);
+                }
+                while slot_class.len() < n {
+                    slot_class.push(self.n_classes - 1);
+                }
+                for (slot, &idx) in perm.iter().enumerate() {
+                    labels[idx] = slot_class[slot];
+                }
+            }
+        }
+
+        // Shared latent codes with optionally skewed within-class noise.
+        let mut latent = Matrix::zeros(k, n);
+        for (i, &label) in labels.iter().enumerate() {
+            for j in 0..k {
+                latent[(j, i)] =
+                    class_means[label][j] + self.latent_noise * self.skewed_noise(&mut rng);
+            }
+        }
+
+        // Pairwise nuisance latents: for every unordered pair of views, a small set of
+        // zero-mean factors shared by exactly those two views.
+        let nuisance_dim = 8usize;
+        let mut pair_nuisance: Vec<((usize, usize), Matrix)> = Vec::new();
+        if self.pairwise_nuisance > 0.0 {
+            for p in 0..self.views.len() {
+                for q in (p + 1)..self.views.len() {
+                    let mut s = Matrix::zeros(nuisance_dim, n);
+                    for i in 0..nuisance_dim {
+                        for j in 0..n {
+                            s[(i, j)] = rng.standard_normal();
+                        }
+                    }
+                    pair_nuisance.push(((p, q), s));
+                }
+            }
+        }
+
+        // Per-view observation models.
+        let mut views = Vec::with_capacity(self.views.len());
+        for (p, spec) in self.views.iter().enumerate() {
+            let relevant: Vec<&Matrix> = pair_nuisance
+                .iter()
+                .filter(|((a, b), _)| *a == p || *b == p)
+                .map(|(_, s)| s)
+                .collect();
+            views.push(self.generate_view(spec, &latent, &relevant, &mut rng));
+        }
+
+        MultiViewDataset::new(views, labels, self.n_classes)
+    }
+
+    /// A zero-mean, unit-ish-scale noise sample whose skewness is controlled by
+    /// `latent_skewness` (0 gives a plain standard normal).
+    fn skewed_noise(&self, rng: &mut GaussianRng) -> f64 {
+        let z = rng.standard_normal();
+        if self.latent_skewness == 0.0 {
+            return z;
+        }
+        // A scaled log-normal shifted to zero mean: exp(s·z) has mean exp(s²/2).
+        let s = 0.6 * self.latent_skewness;
+        let raw = (s * z).exp() - (s * s / 2.0).exp();
+        // Normalize to roughly unit standard deviation so `latent_noise` keeps meaning.
+        let var = ((s * s).exp() - 1.0) * (s * s).exp();
+        raw / var.sqrt().max(1e-6)
+    }
+
+    fn generate_view(
+        &self,
+        spec: &ViewSpec,
+        latent: &Matrix,
+        pair_nuisance: &[&Matrix],
+        rng: &mut GaussianRng,
+    ) -> Matrix {
+        let k = self.latent_dim;
+        let n = self.n_instances;
+        let d = spec.dimension;
+        let coverage = spec.shared_coverage.clamp(0.0, 1.0);
+        let observed_latents = ((k as f64 * coverage).round() as usize).clamp(1, k);
+
+        // Loading matrix A_p: d × k, only the first `observed_latents` latent coordinates
+        // receive non-zero loadings.
+        let mut loading = Matrix::zeros(d, k);
+        for i in 0..d {
+            for j in 0..observed_latents {
+                loading[(i, j)] = rng.standard_normal() / (observed_latents as f64).sqrt();
+            }
+        }
+        // Private factor loadings B_p: d × k_p.
+        let kp = spec.private_factors;
+        let mut private_loading = Matrix::zeros(d, kp.max(1));
+        for i in 0..d {
+            for j in 0..kp {
+                private_loading[(i, j)] = rng.standard_normal() / (kp.max(1) as f64).sqrt();
+            }
+        }
+
+        // Responses = A_p * T + B_p * S + noise.
+        let mut responses = loading.matmul(latent).expect("shapes agree");
+        if kp > 0 {
+            let mut private = Matrix::zeros(kp, n);
+            for i in 0..kp {
+                for j in 0..n {
+                    private[(i, j)] = rng.standard_normal();
+                }
+            }
+            let contribution = private_loading.matmul(&private).expect("shapes agree");
+            responses = responses.add(&contribution).expect("shapes agree");
+        }
+        // Pairwise nuisance contributions: correlations this view shares with exactly
+        // one other view, invisible to the order-3 covariance tensor.
+        for s in pair_nuisance {
+            let kn = s.rows();
+            let mut loading = Matrix::zeros(d, kn);
+            for i in 0..d {
+                for j in 0..kn {
+                    loading[(i, j)] =
+                        self.pairwise_nuisance * rng.standard_normal() / (kn as f64).sqrt();
+                }
+            }
+            let contribution = loading.matmul(s).expect("shapes agree");
+            responses = responses.add(&contribution).expect("shapes agree");
+        }
+        for i in 0..d {
+            for j in 0..n {
+                responses[(i, j)] += spec.noise * rng.standard_normal();
+            }
+        }
+
+        match spec.nonlinearity {
+            ViewNonlinearity::Linear => responses,
+            ViewNonlinearity::Binary => {
+                // Per-feature threshold set so that roughly 20-35% of entries fire, which
+                // matches the sparsity of indicator/bag-of-words features.
+                let mut out = Matrix::zeros(d, n);
+                for i in 0..d {
+                    let threshold = 0.4 + 0.4 * rng.uniform(0.0, 1.0);
+                    for j in 0..n {
+                        out[(i, j)] = if responses[(i, j)] > threshold { 1.0 } else { 0.0 };
+                    }
+                }
+                out
+            }
+            ViewNonlinearity::Histogram => {
+                // Softplus of a mild quadratic expansion, then L1-normalize each instance
+                // so columns look like histograms.
+                let mut out = Matrix::zeros(d, n);
+                for j in 0..n {
+                    let mut col_sum = 0.0;
+                    for i in 0..d {
+                        let r = responses[(i, j)];
+                        let v = softplus(r + 0.3 * r * r);
+                        out[(i, j)] = v;
+                        col_sum += v;
+                    }
+                    if col_sum > 1e-12 {
+                        for i in 0..d {
+                            out[(i, j)] /= col_sum;
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LatentMultiViewConfig {
+        LatentMultiViewConfig {
+            n_instances: 60,
+            n_classes: 3,
+            class_proportions: None,
+            latent_dim: 4,
+            latent_noise: 0.3,
+            latent_skewness: 0.0,
+            class_separation: 2.0,
+            pairwise_nuisance: 0.0,
+            views: vec![
+                ViewSpec::linear(10),
+                ViewSpec::binary(12),
+                ViewSpec::histogram(8),
+            ],
+            seed: 123,
+        }
+    }
+
+    #[test]
+    fn generates_requested_shapes() {
+        let d = small_config().generate();
+        assert_eq!(d.len(), 60);
+        assert_eq!(d.num_views(), 3);
+        assert_eq!(d.dimensions(), vec![10, 12, 8]);
+        assert_eq!(d.num_classes(), 3);
+    }
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let d = small_config().generate();
+        let counts = d.class_counts();
+        for &c in &counts {
+            assert!(c == 20, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_config().generate();
+        let b = small_config().generate();
+        assert_eq!(a.view(0), b.view(0));
+        assert_eq!(a.labels(), b.labels());
+        let mut other = small_config();
+        other.seed = 999;
+        let c = other.generate();
+        assert_ne!(a.view(0), c.view(0));
+    }
+
+    #[test]
+    fn binary_view_is_binary_and_sparse() {
+        let d = small_config().generate();
+        let v = d.view(1);
+        let mut ones = 0usize;
+        for i in 0..v.rows() {
+            for j in 0..v.cols() {
+                let x = v[(i, j)];
+                assert!(x == 0.0 || x == 1.0);
+                if x == 1.0 {
+                    ones += 1;
+                }
+            }
+        }
+        let density = ones as f64 / (v.rows() * v.cols()) as f64;
+        assert!(density > 0.02 && density < 0.7, "density {density}");
+    }
+
+    #[test]
+    fn histogram_view_is_nonnegative_and_normalized() {
+        let d = small_config().generate();
+        let v = d.view(2);
+        for j in 0..v.cols() {
+            let mut sum = 0.0;
+            for i in 0..v.rows() {
+                assert!(v[(i, j)] >= 0.0);
+                sum += v[(i, j)];
+            }
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn class_proportions_are_respected() {
+        let mut cfg = small_config();
+        cfg.n_instances = 200;
+        cfg.n_classes = 2;
+        cfg.class_proportions = Some(vec![0.2, 0.8]);
+        let d = cfg.generate();
+        let counts = d.class_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 200);
+        assert!((counts[0] as f64 - 40.0).abs() <= 1.0, "counts {counts:?}");
+        assert!((counts[1] as f64 - 160.0).abs() <= 1.0, "counts {counts:?}");
+    }
+
+    #[test]
+    fn skewed_latent_noise_has_positive_skewness_and_roughly_zero_mean() {
+        let cfg = LatentMultiViewConfig {
+            latent_skewness: 1.0,
+            ..small_config()
+        };
+        let mut rng = GaussianRng::new(77);
+        let samples: Vec<f64> = (0..20_000).map(|_| cfg.skewed_noise(&mut rng)).collect();
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let skew = samples
+            .iter()
+            .map(|x| (x - mean).powi(3))
+            .sum::<f64>()
+            / n
+            / var.powf(1.5);
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!(skew > 0.5, "skewness {skew}");
+        // Zero skewness falls back to the plain normal.
+        let plain = small_config();
+        let s = plain.skewed_noise(&mut rng);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn shared_signal_is_class_informative() {
+        // Nearest-class-mean classification on the *latent-linked* linear view should
+        // beat chance comfortably, confirming the planted signal exists.
+        let config = LatentMultiViewConfig {
+            n_instances: 200,
+            latent_noise: 0.2,
+            ..small_config()
+        };
+        let d = config.generate();
+        let v = d.view(0);
+        let n = d.len();
+        // Class means of the first view.
+        let mut means = vec![vec![0.0; v.rows()]; d.num_classes()];
+        let counts = d.class_counts();
+        for j in 0..n {
+            let c = d.labels()[j];
+            for i in 0..v.rows() {
+                means[c][i] += v[(i, j)] / counts[c] as f64;
+            }
+        }
+        let mut correct = 0;
+        for j in 0..n {
+            let mut best = 0;
+            let mut best_dist = f64::INFINITY;
+            for (c, mu) in means.iter().enumerate() {
+                let dist: f64 = (0..v.rows()).map(|i| (v[(i, j)] - mu[i]).powi(2)).sum();
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            if best == d.labels()[j] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / n as f64;
+        assert!(acc > 0.6, "in-sample nearest-mean accuracy only {acc}");
+    }
+}

@@ -1,0 +1,206 @@
+//! k-nearest-neighbour classification.
+//!
+//! The paper's base learner for the web image annotation experiments: majority vote over
+//! the `k` nearest training instances, with `k` chosen from `{1, …, 10}` on a validation
+//! split. The classifier accepts either raw feature vectors (Euclidean distance on the
+//! reduced representation) or a precomputed distance matrix, which is how the kernel
+//! baselines (BSK / AVG kernels) are evaluated: `d(x, y)² = k(x,x) + k(y,y) − 2 k(x,y)`.
+
+use linalg::Matrix;
+
+/// Where neighbour distances come from.
+#[derive(Debug, Clone)]
+pub enum NeighborSource {
+    /// Euclidean distance between feature rows (`N_train × d` training matrix stored).
+    Features(Matrix),
+    /// Precomputed `N_test × N_train` distance matrix; `predict_precomputed` must be
+    /// used in this mode.
+    Precomputed,
+}
+
+/// A k-nearest-neighbour majority-vote classifier.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    source: NeighborSource,
+    labels: Vec<usize>,
+    n_classes: usize,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Fit (store) the classifier on labeled feature rows (`N × d`).
+    pub fn fit(features: &Matrix, labels: &[usize], n_classes: usize, k: usize) -> Self {
+        assert_eq!(features.rows(), labels.len(), "rows must match labels");
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            source: NeighborSource::Features(features.clone()),
+            labels: labels.to_vec(),
+            n_classes,
+            k,
+        }
+    }
+
+    /// Create a classifier that expects precomputed test-to-train distances.
+    pub fn precomputed(labels: &[usize], n_classes: usize, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            source: NeighborSource::Precomputed,
+            labels: labels.to_vec(),
+            n_classes,
+            k,
+        }
+    }
+
+    /// The number of neighbours used.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Change `k` (used by validation-based model selection without re-fitting).
+    pub fn set_k(&mut self, k: usize) {
+        assert!(k >= 1, "k must be at least 1");
+        self.k = k;
+    }
+
+    /// Predict labels for feature rows (`M × d`).
+    pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let train = match &self.source {
+            NeighborSource::Features(train) => train,
+            NeighborSource::Precomputed => {
+                panic!("predict() called on a precomputed-distance classifier")
+            }
+        };
+        assert_eq!(
+            features.cols(),
+            train.cols(),
+            "train/test dimensionality mismatch"
+        );
+        let mut predictions = Vec::with_capacity(features.rows());
+        for i in 0..features.rows() {
+            let query = features.row(i);
+            let distances: Vec<f64> = (0..train.rows())
+                .map(|j| {
+                    let row = train.row(j);
+                    let mut acc = 0.0;
+                    for (a, b) in query.iter().zip(row.iter()) {
+                        let d = a - b;
+                        acc += d * d;
+                    }
+                    acc
+                })
+                .collect();
+            predictions.push(self.vote(&distances));
+        }
+        predictions
+    }
+
+    /// Predict labels from a precomputed `M × N_train` distance matrix.
+    pub fn predict_precomputed(&self, distances: &Matrix) -> Vec<usize> {
+        assert_eq!(
+            distances.cols(),
+            self.labels.len(),
+            "distance columns must match training size"
+        );
+        (0..distances.rows())
+            .map(|i| self.vote(distances.row(i)))
+            .collect()
+    }
+
+    /// Majority vote among the k nearest; ties are broken toward the smaller total
+    /// distance of the tied classes (then the smaller class index), which keeps the
+    /// result deterministic.
+    fn vote(&self, distances: &[f64]) -> usize {
+        let k = self.k.min(distances.len());
+        let mut order: Vec<usize> = (0..distances.len()).collect();
+        order.sort_by(|&a, &b| distances[a].partial_cmp(&distances[b]).expect("finite"));
+        let mut votes = vec![0usize; self.n_classes];
+        let mut dist_sum = vec![0.0f64; self.n_classes];
+        for &idx in order.iter().take(k) {
+            votes[self.labels[idx]] += 1;
+            dist_sum[self.labels[idx]] += distances[idx];
+        }
+        let mut best = 0usize;
+        for c in 1..self.n_classes {
+            let better_votes = votes[c] > votes[best];
+            let tie_closer = votes[c] == votes[best] && dist_sum[c] < dist_sum[best];
+            if better_votes || tie_closer {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered() -> (Matrix, Vec<usize>) {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.0, 0.2],
+            vec![5.0, 5.0],
+            vec![5.1, 4.9],
+            vec![4.9, 5.1],
+        ];
+        (Matrix::from_rows(&rows).unwrap(), vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let (x, y) = clustered();
+        let model = KnnClassifier::fit(&x, &y, 2, 3);
+        let test = Matrix::from_rows(&[vec![0.05, 0.05], vec![5.05, 5.05]]).unwrap();
+        assert_eq!(model.predict(&test), vec![0, 1]);
+        assert_eq!(model.k(), 3);
+    }
+
+    #[test]
+    fn k_equals_one_is_nearest_neighbour() {
+        let (x, y) = clustered();
+        let model = KnnClassifier::fit(&x, &y, 2, 1);
+        assert_eq!(model.predict(&x), y);
+    }
+
+    #[test]
+    fn precomputed_distances_path() {
+        let labels = vec![0, 0, 1, 1];
+        let model = KnnClassifier::precomputed(&labels, 2, 1);
+        // One test instance closest to training item 2 (class 1).
+        let d = Matrix::from_rows(&[vec![5.0, 4.0, 0.1, 3.0]]).unwrap();
+        assert_eq!(model.predict_precomputed(&d), vec![1]);
+    }
+
+    #[test]
+    fn tie_break_prefers_closer_class() {
+        let labels = vec![0, 1];
+        let model = KnnClassifier::precomputed(&labels, 2, 2);
+        // One vote each; class 1 is closer in total.
+        let d = Matrix::from_rows(&[vec![2.0, 1.0]]).unwrap();
+        assert_eq!(model.predict_precomputed(&d), vec![1]);
+    }
+
+    #[test]
+    fn set_k_changes_behaviour() {
+        let labels = vec![0, 1, 1];
+        let mut model = KnnClassifier::precomputed(&labels, 2, 1);
+        let d = Matrix::from_rows(&[vec![0.1, 0.5, 0.6]]).unwrap();
+        assert_eq!(model.predict_precomputed(&d), vec![0]);
+        model.set_k(3);
+        assert_eq!(model.predict_precomputed(&d), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "precomputed")]
+    fn predict_on_precomputed_panics() {
+        let model = KnnClassifier::precomputed(&[0, 1], 2, 1);
+        model.predict(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        KnnClassifier::fit(&Matrix::zeros(2, 2), &[0, 1], 2, 0);
+    }
+}

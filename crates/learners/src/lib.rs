@@ -1,0 +1,29 @@
+//! Downstream learners and the evaluation protocol used by the TCCA experiments.
+//!
+//! The paper never evaluates a dimension-reduction method directly; it always trains a
+//! simple classifier on the reduced representation and reports accuracy:
+//!
+//! * **Regularized least squares (RLS)** for SecStr and Ads (§5.1):
+//!   `argmin_w (1/N_l) Σ (wᵀx_n − y_n)² + γ‖w‖²` with `γ = 10⁻²`, a constant feature
+//!   appended for the bias, one-vs-rest for multi-class.
+//! * **k-nearest neighbours (kNN)** for NUS-WIDE, with `k` selected from `{1,…,10}` on a
+//!   validation split; majority vote; also usable with precomputed distances so the
+//!   kernel methods (BSK/AVG/KCCA/KTCCA) can share the code path.
+//!
+//! [`metrics`] provides the accuracy statistic and the mean ± std aggregation over the
+//! paper's five random label draws, and [`protocol`] the validation-based model
+//! selection that mirrors "the parameters corresponding to the best performance on the
+//! validation set are used for testing".
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod knn;
+mod metrics;
+mod protocol;
+mod rls;
+
+pub use knn::{KnnClassifier, NeighborSource};
+pub use metrics::{accuracy, mean_std, RunSummary};
+pub use protocol::{select_best, select_best_k_for_knn, ModelSelection};
+pub use rls::RlsClassifier;

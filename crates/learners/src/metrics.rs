@@ -1,0 +1,107 @@
+//! Evaluation metrics and aggregation across repeated runs.
+
+/// Classification accuracy: the fraction of predictions equal to the reference labels.
+///
+/// Panics if the two slices have different lengths; returns 0 for empty inputs.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must have the same length"
+    );
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Mean and (population) standard deviation of a set of per-run scores — the
+/// "mean ± std over five random choices of the labeled instances" the paper reports.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Accuracy summary over repeated runs of one method at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Method name as printed in the tables.
+    pub method: String,
+    /// Per-run accuracies.
+    pub accuracies: Vec<f64>,
+}
+
+impl RunSummary {
+    /// Create a summary for a method.
+    pub fn new(method: impl Into<String>, accuracies: Vec<f64>) -> Self {
+        Self {
+            method: method.into(),
+            accuracies,
+        }
+    }
+
+    /// Mean accuracy across runs.
+    pub fn mean(&self) -> f64 {
+        mean_std(&self.accuracies).0
+    }
+
+    /// Standard deviation across runs.
+    pub fn std(&self) -> f64 {
+        mean_std(&self.accuracies).1
+    }
+
+    /// Format as the paper's `mean±std` percentage string (e.g. `62.36±1.27`).
+    pub fn formatted_percent(&self) -> String {
+        format!("{:.2}±{:.2}", self.mean() * 100.0, self.std() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m1, s1) = mean_std(&[3.0]);
+        assert_eq!((m1, s1), (3.0, 0.0));
+    }
+
+    #[test]
+    fn run_summary_formatting() {
+        let summary = RunSummary::new("TCCA", vec![0.62, 0.64, 0.63]);
+        assert_eq!(summary.method, "TCCA");
+        assert!((summary.mean() - 0.63).abs() < 1e-12);
+        let s = summary.formatted_percent();
+        assert!(s.starts_with("63.00±"), "got {s}");
+    }
+}

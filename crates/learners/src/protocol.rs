@@ -1,0 +1,101 @@
+//! Validation-based model selection.
+//!
+//! The paper's protocol reserves 20% of the test/unlabeled data as a validation set and,
+//! for every method, reports the test accuracy of the hyper-parameter configuration
+//! (subspace dimension `r`, regularization `ε`, and `k` for kNN) that performed best on
+//! validation. These helpers implement that argmax-on-validation step generically.
+
+use crate::{accuracy, KnnClassifier};
+use linalg::Matrix;
+
+/// Result of a validation sweep: the best configuration index, its validation score and
+/// all scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSelection {
+    /// Index of the winning configuration in the candidate list.
+    pub best_index: usize,
+    /// Validation score of the winner.
+    pub best_score: f64,
+    /// Score for every candidate, in input order.
+    pub scores: Vec<f64>,
+}
+
+/// Evaluate `score` on every candidate and pick the argmax (ties go to the earlier
+/// candidate, matching "smallest adequate dimension" behaviour).
+pub fn select_best<T, F>(candidates: &[T], mut score: F) -> ModelSelection
+where
+    F: FnMut(&T) -> f64,
+{
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let scores: Vec<f64> = candidates.iter().map(&mut score).collect();
+    let mut best_index = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > scores[best_index] {
+            best_index = i;
+        }
+    }
+    ModelSelection {
+        best_index,
+        best_score: scores[best_index],
+        scores,
+    }
+}
+
+/// Select `k ∈ candidates` for a kNN classifier by validation accuracy
+/// (the paper sweeps `k ∈ {1, …, 10}`).
+pub fn select_best_k_for_knn(
+    train_features: &Matrix,
+    train_labels: &[usize],
+    val_features: &Matrix,
+    val_labels: &[usize],
+    n_classes: usize,
+    candidates: &[usize],
+) -> usize {
+    assert!(!candidates.is_empty(), "need at least one k candidate");
+    let selection = select_best(candidates, |&k| {
+        let model = KnnClassifier::fit(train_features, train_labels, n_classes, k);
+        accuracy(&model.predict(val_features), val_labels)
+    });
+    candidates[selection.best_index]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_best_picks_argmax() {
+        let sel = select_best(&[1, 2, 3, 4], |&x| -((x - 3) as f64).abs());
+        assert_eq!(sel.best_index, 2);
+        assert_eq!(sel.best_score, 0.0);
+        assert_eq!(sel.scores.len(), 4);
+    }
+
+    #[test]
+    fn select_best_ties_go_to_first() {
+        let sel = select_best(&[10, 20], |_| 1.0);
+        assert_eq!(sel.best_index, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panic() {
+        select_best::<usize, _>(&[], |_| 0.0);
+    }
+
+    #[test]
+    fn knn_k_selection_prefers_small_k_on_clean_data() {
+        let train = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.0],
+            vec![5.0, 5.0],
+            vec![5.2, 5.0],
+        ])
+        .unwrap();
+        let train_labels = vec![0, 0, 1, 1];
+        let val = Matrix::from_rows(&[vec![0.1, 0.1], vec![5.1, 5.1]]).unwrap();
+        let val_labels = vec![0, 1];
+        let k = select_best_k_for_knn(&train, &train_labels, &val, &val_labels, 2, &[1, 3]);
+        assert_eq!(k, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Regularized least squares (RLS) classification.
+//!
+//! The paper's base learner for the SecStr and Ads experiments (§5.1): ridge regression
+//! onto ±1 targets (one-vs-rest for more than two classes), with a constant feature
+//! appended to absorb the bias and `γ = 10⁻²` following Foster et al. (2008).
+
+use linalg::{ridge_solve, Matrix};
+
+/// A one-vs-rest regularized least squares classifier.
+///
+/// Instances are rows of an `N × d` feature matrix (the embedding produced by a
+/// dimension-reduction method, or raw features for the BSF/CAT baselines).
+#[derive(Debug, Clone)]
+pub struct RlsClassifier {
+    /// Per-class weight vectors, each of length `d + 1` (the last entry is the bias).
+    weights: Matrix,
+    n_classes: usize,
+}
+
+impl RlsClassifier {
+    /// Fit the classifier on labeled data.
+    ///
+    /// * `features` — `N × d` matrix, one instance per row.
+    /// * `labels` — class indices in `0..n_classes`.
+    /// * `gamma` — ridge penalty γ (the paper uses `1e-2`).
+    ///
+    /// Panics if the label vector length does not match the number of rows.
+    pub fn fit(features: &Matrix, labels: &[usize], n_classes: usize, gamma: f64) -> Self {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature rows must match label count"
+        );
+        assert!(n_classes >= 2, "need at least two classes");
+        let n = features.rows();
+        let d = features.cols();
+
+        // Augment with a constant 1 feature for the bias.
+        let mut x = Matrix::zeros(n, d + 1);
+        for i in 0..n {
+            x.row_mut(i)[..d].copy_from_slice(features.row(i));
+            x[(i, d)] = 1.0;
+        }
+
+        // Normal equations: (XᵀX + γ N I) W = Xᵀ Y with Y the ±1 indicator targets.
+        // The γN scaling matches the paper's 1/N_l factor in front of the squared loss.
+        let xtx = x.gram_t();
+        let mut targets = Matrix::filled(n, n_classes.max(2), -1.0);
+        for (i, &label) in labels.iter().enumerate() {
+            targets[(i, label)] = 1.0;
+        }
+        let xty = x.t_matmul(&targets).expect("shapes agree");
+        let weights = ridge_solve(&xtx, &xty, gamma * n as f64)
+            .expect("ridge system is positive definite");
+        Self {
+            weights,
+            n_classes,
+        }
+    }
+
+    /// Per-class decision scores for a batch of instances (`N × n_classes`).
+    pub fn decision_scores(&self, features: &Matrix) -> Matrix {
+        let n = features.rows();
+        let d = self.weights.rows() - 1;
+        assert_eq!(
+            features.cols(),
+            d,
+            "expected {d} features, got {}",
+            features.cols()
+        );
+        let mut scores = Matrix::zeros(n, self.n_classes);
+        for i in 0..n {
+            let row = features.row(i);
+            for c in 0..self.n_classes {
+                let mut s = self.weights[(d, c)];
+                for (j, &xj) in row.iter().enumerate() {
+                    s += xj * self.weights[(j, c)];
+                }
+                scores[(i, c)] = s;
+            }
+        }
+        scores
+    }
+
+    /// Predict class labels by the arg-max decision score.
+    pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let scores = self.decision_scores(features);
+        argmax_rows(&scores)
+    }
+
+    /// Predict labels from externally averaged decision scores (used by the CCA (AVG)
+    /// baseline, which averages the scores of all two-view subsets).
+    pub fn predict_from_scores(scores: &Matrix) -> Vec<usize> {
+        argmax_rows(scores)
+    }
+
+    /// Number of classes the model was trained for.
+    pub fn num_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+fn argmax_rows(scores: &Matrix) -> Vec<usize> {
+    (0..scores.rows())
+        .map(|i| {
+            let row = scores.row(i);
+            let mut best = 0usize;
+            let mut best_val = f64::NEG_INFINITY;
+            for (c, &v) in row.iter().enumerate() {
+                if v > best_val {
+                    best_val = v;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_data() -> (Matrix, Vec<usize>) {
+        // Two well-separated clusters in 2D.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let jitter = (i as f64) * 0.01;
+            rows.push(vec![2.0 + jitter, 2.0 - jitter]);
+            labels.push(0);
+            rows.push(vec![-2.0 - jitter, -2.0 + jitter]);
+            labels.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn fits_separable_binary_problem() {
+        let (x, y) = separable_data();
+        let model = RlsClassifier::fit(&x, &y, 2, 1e-2);
+        let pred = model.predict(&x);
+        assert_eq!(pred, y);
+        assert_eq!(model.num_classes(), 2);
+    }
+
+    #[test]
+    fn generalizes_to_new_points() {
+        let (x, y) = separable_data();
+        let model = RlsClassifier::fit(&x, &y, 2, 1e-2);
+        let test = Matrix::from_rows(&[vec![3.0, 3.0], vec![-3.0, -3.0]]).unwrap();
+        assert_eq!(model.predict(&test), vec![0, 1]);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.1, 0.1],
+            vec![0.0, 1.0],
+            vec![0.1, 1.1],
+            vec![-1.0, -1.0],
+            vec![-1.1, -0.9],
+        ])
+        .unwrap();
+        let y = vec![0, 0, 1, 1, 2, 2];
+        let model = RlsClassifier::fit(&x, &y, 3, 1e-2);
+        assert_eq!(model.predict(&x), y);
+        let scores = model.decision_scores(&x);
+        assert_eq!(scores.shape(), (6, 3));
+    }
+
+    #[test]
+    fn bias_handles_shifted_data() {
+        // Classes separated only by a threshold far from the origin.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![100.0 + i as f64]);
+            labels.push(0);
+            rows.push(vec![90.0 - i as f64]);
+            labels.push(1);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = RlsClassifier::fit(&x, &labels, 2, 1e-2);
+        let correct = model
+            .predict(&x)
+            .iter()
+            .zip(labels.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(correct >= 18, "only {correct}/20 correct");
+    }
+
+    #[test]
+    fn predict_from_scores_argmax() {
+        let scores = Matrix::from_rows(&[vec![0.2, 0.9], vec![1.5, -0.5]]).unwrap();
+        assert_eq!(RlsClassifier::predict_from_scores(&scores), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn mismatched_labels_panic() {
+        let x = Matrix::zeros(3, 2);
+        RlsClassifier::fit(&x, &[0, 1], 2, 0.1);
+    }
+
+    #[test]
+    fn heavy_regularization_shrinks_scores() {
+        let (x, y) = separable_data();
+        let light = RlsClassifier::fit(&x, &y, 2, 1e-4);
+        let heavy = RlsClassifier::fit(&x, &y, 2, 1e3);
+        let s_light = light.decision_scores(&x).max_abs();
+        let s_heavy = heavy.decision_scores(&x).max_abs();
+        assert!(s_heavy < s_light);
+    }
+}

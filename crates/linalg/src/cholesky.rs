@@ -1,0 +1,232 @@
+//! Cholesky factorization of symmetric positive definite matrices.
+//!
+//! Kernel TCCA whitens the Gram tensor with the Cholesky factor of `K² + εK`
+//! (paper Eq. 4.14–4.15), and the regularized least squares learner solves
+//! `(XXᵀ + γI) w = Xy` — both are SPD systems handled here.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    lower: Matrix,
+}
+
+impl Cholesky {
+    /// Factorize a symmetric positive definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
+    /// positive; callers that only have a positive *semi*-definite matrix should add a
+    /// small ridge (`add_diagonal`) first, mirroring the paper's `ε` regularizers.
+    pub fn new(matrix: &Matrix) -> Result<Self> {
+        if !matrix.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            });
+        }
+        let n = matrix.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = matrix[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { lower: l })
+    }
+
+    /// Borrow the lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix {
+        &self.lower
+    }
+
+    /// Consume the factorization and return `L`.
+    pub fn into_lower(self) -> Matrix {
+        self.lower
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lower.rows()
+    }
+
+    /// Solve `A x = b` for a single right-hand side using forward/backward substitution.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.lower[(i, k)] * y[k];
+            }
+            y[i] = sum / self.lower[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.lower[(k, i)] * x[k];
+            }
+            x[i] = sum / self.lower[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve `A X = B` column-by-column.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.column(j);
+            let x = self.solve_vec(&col)?;
+            out.set_column(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the lower-triangular factor, `L^{-1}`.
+    ///
+    /// Kernel TCCA needs `L^{-1}` explicitly because the whitened Gram tensor is
+    /// `S = K ×₁ (L₁^{-1})ᵀ … ×ₘ (Lₘ^{-1})ᵀ`.
+    pub fn inverse_lower(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        // Solve L * col_j(inv) = e_j, exploiting lower-triangularity.
+        for j in 0..n {
+            inv[(j, j)] = 1.0 / self.lower[(j, j)];
+            for i in (j + 1)..n {
+                let mut sum = 0.0;
+                for k in j..i {
+                    sum -= self.lower[(i, k)] * inv[(k, j)];
+                }
+                inv[(i, j)] = sum / self.lower[(i, i)];
+            }
+        }
+        inv
+    }
+
+    /// Inverse of the factored matrix, `A^{-1} = L^{-T} L^{-1}`.
+    pub fn inverse(&self) -> Matrix {
+        let linv = self.inverse_lower();
+        linv.t_matmul(&linv).expect("inverse: shapes agree")
+    }
+
+    /// Log-determinant of the factored matrix, `log det A = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.lower[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_example();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.lower();
+        let rec = l.matmul_t(l).unwrap();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-12);
+        // L is lower-triangular.
+        assert_eq!(l[(0, 1)], 0.0);
+        assert_eq!(l[(0, 2)], 0.0);
+        assert_eq!(l[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd_example();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = chol.solve_vec(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (ai, bi) in ax.iter().zip(b.iter()) {
+            assert!((ai - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = spd_example();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Matrix::identity(3);
+        let x = chol.solve(&b).unwrap();
+        let prod = a.matmul(&x).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_lower_and_full_inverse() {
+        let a = spd_example();
+        let chol = Cholesky::new(&a).unwrap();
+        let linv = chol.inverse_lower();
+        let should_be_identity = linv.matmul(chol.lower()).unwrap();
+        assert!(should_be_identity.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-10);
+        let ainv = chol.inverse();
+        assert!(a.matmul(&ainv).unwrap().sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_det_matches_product_of_pivots() {
+        let a = Matrix::from_diagonal(&[2.0, 3.0, 4.0]);
+        let chol = Cholesky::new(&a).unwrap();
+        assert!((chol.log_det() - (24.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite_and_non_square() {
+        let indef = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&indef),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_shape_errors() {
+        let chol = Cholesky::new(&spd_example()).unwrap();
+        assert!(chol.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(chol.solve(&Matrix::zeros(2, 2)).is_err());
+    }
+}

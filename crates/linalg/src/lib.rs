@@ -1,0 +1,45 @@
+//! Dense linear-algebra substrate for the TCCA reproduction.
+//!
+//! The paper's method (and every baseline it is compared against) is built on a small
+//! set of dense linear-algebra primitives:
+//!
+//! * a column-major-agnostic dense [`Matrix`] type with the usual arithmetic,
+//! * symmetric eigendecomposition (cyclic Jacobi) used for inverse square roots,
+//!   PCA and spectral embedding,
+//! * Cholesky factorization and triangular solves used for ridge/RLS systems and the
+//!   kernel-TCCA whitening `(K² + εK) = LᵀL`,
+//! * a thin SVD used by two-view CCA, CCA-MAXVAR and PCA,
+//! * statistics helpers (centering, covariance, cross-covariance).
+//!
+//! Everything is implemented from scratch on `f64` so the whole reproduction has no
+//! external linear-algebra dependency. The sizes involved in the paper's experiments
+//! (feature dimensions of a few hundred, a few thousand instances) are comfortably
+//! handled by straightforward `O(n³)` dense algorithms; the hot loops are written to be
+//! cache-friendly (row-major traversal, transposed operands for inner products).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+// Dense numerical kernels deliberately use explicit index loops over several arrays at
+// once (rotations, factorizations); iterator rewrites of these obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+mod cholesky;
+mod eigen;
+mod error;
+mod matrix;
+mod ops;
+mod solve;
+mod stats;
+mod svd;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use ops::{dot, norm2, normalize};
+pub use solve::{ridge_solve, solve_spd};
+pub use stats::{center_columns, center_rows, column_means, covariance, cross_covariance, row_means};
+pub use svd::Svd;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

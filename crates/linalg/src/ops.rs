@@ -1,0 +1,379 @@
+//! Matrix arithmetic: products, transposes, element-wise operations.
+//!
+//! The multiplication kernels are written so that the inner loops stream over contiguous
+//! row-major memory (the classic `i-k-j` ordering), which is the single most important
+//! optimization for the covariance / whitening products that dominate the experiments.
+
+use crate::{LinalgError, Matrix, Result};
+
+impl Matrix {
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), self.rows());
+        for i in 0..self.rows() {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out[(j, i)] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols() != other.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            // i-k-j ordering: accumulate scaled rows of `other` into the output row.
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                let o_row = out.row_mut(i);
+                for j in 0..n {
+                    o_row[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `selfᵀ * other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows() != other.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "t_matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a_pi) in a_row.iter().enumerate().take(m) {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let o_row = out.row_mut(i);
+                for j in 0..n {
+                    o_row[j] += a_pi * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `self * otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols() != other.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_t",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, n) = (self.rows(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let o_row = out.row_mut(i);
+            for j in 0..n {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                o_row[j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `self * selfᵀ` (rows treated as observations of a `rows`-dim object).
+    pub fn gram(&self) -> Matrix {
+        self.matmul_t(self).expect("gram: shapes always agree")
+    }
+
+    /// Gram matrix `selfᵀ * self`.
+    pub fn gram_t(&self) -> Matrix {
+        self.t_matmul(self).expect("gram_t: shapes always agree")
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols() != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows()];
+        for i in 0..self.rows() {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Vector–matrix product `selfᵀ * v` (i.e. `vᵀ * self` transposed).
+    pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows() != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "t_matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols()];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (j, &a) in row.iter().enumerate() {
+                out[j] += vi * a;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    /// Multiply every entry by a scalar, returning a new matrix.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Add `value` to every diagonal entry in place (used for ridge/Tikhonov terms).
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows().min(self.cols());
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+    }
+
+    /// Frobenius inner product `⟨self, other⟩`.
+    pub fn dot(&self, other: &Matrix) -> Result<f64> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "dot",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Symmetrize in place: `self ← (self + selfᵀ) / 2`. Useful to clean up numerical
+    /// asymmetry of covariance matrices before eigendecomposition.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for i in 0..self.rows() {
+            for j in (i + 1)..self.cols() {
+                let v = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = v;
+                self[(j, i)] = v;
+            }
+        }
+    }
+
+    fn zip_with<F: Fn(f64, f64) -> f64>(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: F,
+    ) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| f(*a, *b))
+            .collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Normalize a slice to unit Euclidean norm in place; returns the original norm.
+///
+/// Vectors with norm below `1e-300` are left untouched (and the tiny norm is returned)
+/// so callers can detect degenerate directions in ALS/power iterations.
+pub fn normalize(a: &mut [f64]) -> f64 {
+    let n = norm2(a);
+    if n > 1e-300 {
+        for v in a.iter_mut() {
+            *v /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(approx(c[(0, 0)], 19.0));
+        assert!(approx(c[(0, 1)], 22.0));
+        assert!(approx(c[(1, 0)], 43.0));
+        assert!(approx(c[(1, 1)], 50.0));
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn transposed_products_agree_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, -1.0], vec![0.5, -3.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![2.0, 1.0], vec![0.0, -1.0], vec![1.0, 4.0]]).unwrap();
+        // t_matmul: aᵀ (2x3)ᵀ=3x2 times b would mismatch; use same-row shapes instead.
+        let c1 = a.t_matmul(&a).unwrap();
+        let c2 = a.transpose().matmul(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx(c1[(i, j)], c2[(i, j)]));
+            }
+        }
+        let d1 = a.matmul_t(&b.transpose()).unwrap();
+        let d2 = a.matmul(&b).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(d1[(i, j)], d2[(i, j)]));
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, -1.0], vec![0.0, 1.0]]).unwrap();
+        let g = a.gram_t();
+        assert_eq!(g.shape(), (2, 2));
+        assert!(approx(g[(0, 1)], g[(1, 0)]));
+        assert!(g[(0, 0)] >= 0.0 && g[(1, 1)] >= 0.0);
+        let g2 = a.gram();
+        assert_eq!(g2.shape(), (3, 3));
+    }
+
+    #[test]
+    fn matvec_products() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert_eq!(a.t_matvec(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.t_matvec(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::identity(2);
+        assert_eq!(a.add(&b).unwrap()[(0, 0)], 2.0);
+        assert_eq!(a.sub(&b).unwrap()[(1, 1)], 3.0);
+        assert_eq!(a.hadamard(&b).unwrap()[(0, 1)], 0.0);
+        assert_eq!(a.scale(2.0)[(1, 0)], 6.0);
+        assert!(approx(a.dot(&b).unwrap(), 5.0));
+        let mut c = a.clone();
+        c.axpy(-1.0, &a).unwrap();
+        assert_eq!(c.frobenius_norm(), 0.0);
+        let mut d = a.clone();
+        d.add_diagonal(10.0);
+        assert_eq!(d[(0, 0)], 11.0);
+        assert_eq!(d[(1, 1)], 14.0);
+        assert!(a.add(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn symmetrize_cleans_asymmetry() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![4.0, 3.0]]).unwrap();
+        m.symmetrize();
+        assert!(approx(m[(0, 1)], 3.0));
+        assert!(approx(m[(1, 0)], 3.0));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert!(approx(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0));
+        assert!(approx(norm2(&[3.0, 4.0]), 5.0));
+    }
+}

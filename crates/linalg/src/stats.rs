@@ -1,0 +1,141 @@
+//! Statistics helpers: centering, means, covariance and cross-covariance.
+//!
+//! The paper assumes every view matrix `X_p ∈ R^{d_p × N}` (features in rows,
+//! instances in columns) has been centered, and builds the per-view variance matrices
+//! `C_pp = (1/N) Σ_n x_pn x_pnᵀ` and the cross-covariance `C_pq = (1/N) X_p X_qᵀ`.
+//! These helpers operate on that `d × N` layout.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Mean of every row (i.e. mean over instances when the matrix is `d × N`).
+pub fn row_means(x: &Matrix) -> Vec<f64> {
+    let n = x.cols().max(1);
+    (0..x.rows())
+        .map(|i| x.row(i).iter().sum::<f64>() / n as f64)
+        .collect()
+}
+
+/// Mean of every column (i.e. mean over instances when the matrix is `N × d`).
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let n = x.rows().max(1);
+    let mut means = vec![0.0; x.cols()];
+    for i in 0..x.rows() {
+        for (j, &v) in x.row(i).iter().enumerate() {
+            means[j] += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    means
+}
+
+/// Subtract the row mean from every row, returning the centered matrix and the means.
+///
+/// Use this for the paper's `d × N` view layout: every feature ends up with zero mean
+/// across instances.
+pub fn center_rows(x: &Matrix) -> (Matrix, Vec<f64>) {
+    let means = row_means(x);
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        let m = means[i];
+        for v in out.row_mut(i) {
+            *v -= m;
+        }
+    }
+    (out, means)
+}
+
+/// Subtract the column mean from every column, returning the centered matrix and means.
+pub fn center_columns(x: &Matrix) -> (Matrix, Vec<f64>) {
+    let means = column_means(x);
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+            *v -= means[j];
+        }
+    }
+    (out, means)
+}
+
+/// Covariance `C = (1/N) X Xᵀ` of a `d × N` (already centered) data matrix.
+pub fn covariance(x: &Matrix) -> Matrix {
+    let n = x.cols().max(1) as f64;
+    x.gram().scale(1.0 / n)
+}
+
+/// Cross-covariance `C₁₂ = (1/N) X₁ X₂ᵀ` of two centered `d × N` data matrices sharing
+/// the same instance axis.
+pub fn cross_covariance(x1: &Matrix, x2: &Matrix) -> Result<Matrix> {
+    if x1.cols() != x2.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cross_covariance",
+            lhs: x1.shape(),
+            rhs: x2.shape(),
+        });
+    }
+    let n = x1.cols().max(1) as f64;
+    Ok(x1.matmul_t(x2)?.scale(1.0 / n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_column_means() {
+        let x = Matrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(row_means(&x), vec![2.0, 3.0]);
+        assert_eq!(column_means(&x), vec![1.5, 3.5]);
+    }
+
+    #[test]
+    fn center_rows_zeroes_means() {
+        let x = Matrix::from_rows(&[vec![1.0, 3.0, 5.0], vec![2.0, 2.0, 2.0]]).unwrap();
+        let (c, means) = center_rows(&x);
+        assert_eq!(means, vec![3.0, 2.0]);
+        for i in 0..2 {
+            let sum: f64 = c.row(i).iter().sum();
+            assert!(sum.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn center_columns_zeroes_means() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 20.0]]).unwrap();
+        let (c, means) = center_columns(&x);
+        assert_eq!(means, vec![2.0, 15.0]);
+        for j in 0..2 {
+            let sum: f64 = c.column(j).iter().sum();
+            assert!(sum.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // Two features, three samples, already centered.
+        let x = Matrix::from_rows(&[vec![-1.0, 0.0, 1.0], vec![-2.0, 0.0, 2.0]]).unwrap();
+        let c = covariance(&x);
+        assert!((c[(0, 0)] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 8.0 / 3.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - c[(1, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_covariance_checks_shapes() {
+        let a = Matrix::zeros(2, 5);
+        let b = Matrix::zeros(3, 4);
+        assert!(cross_covariance(&a, &b).is_err());
+        let b_ok = Matrix::zeros(3, 5);
+        let c = cross_covariance(&a, &b_ok).unwrap();
+        assert_eq!(c.shape(), (2, 3));
+    }
+
+    #[test]
+    fn empty_matrix_means() {
+        let x = Matrix::zeros(0, 0);
+        assert!(row_means(&x).is_empty());
+        assert!(column_means(&x).is_empty());
+    }
+}

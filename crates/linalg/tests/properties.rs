@@ -1,0 +1,130 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These exercise the algebraic identities that the rest of the reproduction relies on:
+//! associativity/consistency of the product kernels, eigendecomposition reconstruction,
+//! Cholesky round-trips, SVD orthogonality, and whitening.
+
+use linalg::{center_rows, covariance, Cholesky, Matrix, SymmetricEigen, Svd};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with entries in [-5, 5] and the given shape bounds.
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-5.0..5.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+/// Strategy: a random symmetric positive definite matrix A = BᵀB + I.
+fn spd_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(-2.0..2.0f64, n * n).prop_map(move |data| {
+            let b = Matrix::from_vec(n, n, data).unwrap();
+            let mut a = b.gram_t();
+            a.add_diagonal(1.0);
+            a
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(8, 8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associativity(
+        adata in proptest::collection::vec(-3.0..3.0f64, 5 * 4),
+        bdata in proptest::collection::vec(-3.0..3.0f64, 4 * 3),
+        cdata in proptest::collection::vec(-3.0..3.0f64, 3 * 2),
+    ) {
+        let a = Matrix::from_vec(5, 4, adata).unwrap();
+        let b = Matrix::from_vec(4, 3, bdata).unwrap();
+        let c = Matrix::from_vec(3, 2, cdata).unwrap();
+        let ab_c = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let a_bc = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(ab_c.sub(&a_bc).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn transposed_kernels_match_naive(
+        adata in proptest::collection::vec(-3.0..3.0f64, 6 * 5),
+        bdata in proptest::collection::vec(-3.0..3.0f64, 6 * 4),
+    ) {
+        // aᵀ b computed two ways.
+        let a = Matrix::from_vec(6, 5, adata).unwrap();
+        let b = Matrix::from_vec(6, 4, bdata).unwrap();
+        let fast = a.t_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        prop_assert!(fast.sub(&slow).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in spd_strategy(7)) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let rec = eig.reconstruct();
+        prop_assert!(rec.sub(&a).unwrap().max_abs() < 1e-7 * (1.0 + a.max_abs()));
+    }
+
+    #[test]
+    fn eigenvalues_of_spd_are_positive(a in spd_strategy(6)) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for &l in &eig.eigenvalues {
+            prop_assert!(l > 0.0);
+        }
+        // Sorted descending.
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_roundtrip(a in spd_strategy(7)) {
+        let chol = Cholesky::new(&a).unwrap();
+        let rec = chol.lower().matmul_t(chol.lower()).unwrap();
+        prop_assert!(rec.sub(&a).unwrap().max_abs() < 1e-8 * (1.0 + a.max_abs()));
+    }
+
+    #[test]
+    fn cholesky_solve_gives_residual_zero(a in spd_strategy(6)) {
+        let n = a.rows();
+        let b = Matrix::filled(n, 1, 1.0);
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let residual = a.matmul(&x).unwrap().sub(&b).unwrap();
+        prop_assert!(residual.max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn svd_reconstructs(m in matrix_strategy(7, 5)) {
+        let svd = Svd::new(&m).unwrap();
+        prop_assert!(svd.reconstruct().sub(&m).unwrap().max_abs() < 1e-7 * (1.0 + m.max_abs()));
+        // Singular values non-negative and sorted.
+        for w in svd.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &s in &svd.singular_values {
+            prop_assert!(s >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_sqrt_whitens_spd(a in spd_strategy(6)) {
+        let w = a.inverse_sqrt_spd(1e-12).unwrap();
+        let prod = w.matmul(&a).unwrap().matmul(&w).unwrap();
+        let eye = Matrix::identity(a.rows());
+        prop_assert!(prod.sub(&eye).unwrap().max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn centering_then_covariance_is_psd(m in matrix_strategy(5, 12)) {
+        let (c, _) = center_rows(&m);
+        let cov = covariance(&c);
+        let eig = SymmetricEigen::new(&cov).unwrap();
+        for &l in &eig.eigenvalues {
+            prop_assert!(l > -1e-9);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Configuration of the TCCA estimators.
+
+use tensor::{CpAls, CpOptions, DenseTensor, Hopm, RankRDecomposition, TensorPowerMethod};
+use tensor::CpDecomposition;
+
+/// Which tensor decomposition algorithm solves the rank-r subproblem (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompositionMethod {
+    /// Alternating least squares (Kroonenberg & De Leeuw 1980) — the paper's choice,
+    /// which fits all `r` components simultaneously.
+    Als,
+    /// Higher-order power method (De Lathauwer et al. 2000b) with greedy deflation.
+    Hopm,
+    /// Greedy tensor power method with random restarts (Allen 2012).
+    PowerMethod,
+}
+
+/// Options shared by [`crate::Tcca`] and reused by [`crate::Ktcca`].
+#[derive(Debug, Clone)]
+pub struct TccaOptions {
+    /// Dimension `r` of the learned common subspace (per view).
+    pub rank: usize,
+    /// Regularizer ε added to every view covariance (`C̃_pp = C_pp + εI`, Eq. 4.8).
+    pub epsilon: f64,
+    /// Decomposition algorithm for the whitened covariance tensor.
+    pub method: DecompositionMethod,
+    /// Maximum decomposition iterations.
+    pub max_iterations: usize,
+    /// Decomposition convergence tolerance.
+    pub tolerance: f64,
+    /// RNG seed for the decomposition initialization.
+    pub seed: u64,
+}
+
+impl Default for TccaOptions {
+    fn default() -> Self {
+        Self {
+            rank: 10,
+            epsilon: 1e-2,
+            method: DecompositionMethod::Als,
+            max_iterations: 60,
+            tolerance: 1e-7,
+            seed: 7,
+        }
+    }
+}
+
+impl TccaOptions {
+    /// Default options with the given subspace dimension.
+    pub fn with_rank(rank: usize) -> Self {
+        Self {
+            rank,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the regularizer ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Builder-style setter for the decomposition method.
+    pub fn method(mut self, method: DecompositionMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Builder-style setter for the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run the configured decomposition on a tensor.
+    pub(crate) fn decompose(
+        &self,
+        tensor: &DenseTensor,
+        rank: usize,
+    ) -> tensor::Result<CpDecomposition> {
+        match self.method {
+            DecompositionMethod::Als => CpAls::new(CpOptions {
+                max_iterations: self.max_iterations,
+                tolerance: self.tolerance,
+                seed: self.seed,
+                hosvd_init: true,
+            })
+            .decompose(tensor, rank),
+            DecompositionMethod::Hopm => {
+                Hopm::new(self.max_iterations, self.tolerance).decompose(tensor, rank)
+            }
+            DecompositionMethod::PowerMethod => TensorPowerMethod {
+                max_iterations: self.max_iterations,
+                tolerance: self.tolerance,
+                restarts: 3,
+                seed: self.seed,
+            }
+            .decompose(tensor, rank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let opts = TccaOptions::with_rank(5)
+            .epsilon(0.5)
+            .method(DecompositionMethod::Hopm)
+            .seed(99);
+        assert_eq!(opts.rank, 5);
+        assert_eq!(opts.epsilon, 0.5);
+        assert_eq!(opts.method, DecompositionMethod::Hopm);
+        assert_eq!(opts.seed, 99);
+    }
+
+    #[test]
+    fn all_methods_decompose_a_small_tensor() {
+        let mut t = DenseTensor::zeros(&[3, 3, 3]);
+        t.add_rank_one(2.0, &[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        for method in [
+            DecompositionMethod::Als,
+            DecompositionMethod::Hopm,
+            DecompositionMethod::PowerMethod,
+        ] {
+            let opts = TccaOptions::with_rank(1).method(method);
+            let cp = opts.decompose(&t, 1).unwrap();
+            assert!((cp.weights[0].abs() - 2.0).abs() < 1e-6, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn default_is_als_rank_10() {
+        let opts = TccaOptions::default();
+        assert_eq!(opts.method, DecompositionMethod::Als);
+        assert_eq!(opts.rank, 10);
+    }
+}

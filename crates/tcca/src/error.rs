@@ -1,0 +1,66 @@
+//! Error type for TCCA / KTCCA.
+
+use std::fmt;
+
+/// Errors reported when fitting or applying TCCA models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TccaError {
+    /// Inputs had inconsistent shapes or invalid parameters.
+    InvalidInput(String),
+    /// A linear-algebra routine failed (whitening, Cholesky, …).
+    Linalg(linalg::LinalgError),
+    /// A tensor operation or decomposition failed.
+    Tensor(tensor::TensorError),
+}
+
+impl fmt::Display for TccaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TccaError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            TccaError::Linalg(err) => write!(f, "linear algebra failure: {err}"),
+            TccaError::Tensor(err) => write!(f, "tensor failure: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for TccaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TccaError::Linalg(e) => Some(e),
+            TccaError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::LinalgError> for TccaError {
+    fn from(err: linalg::LinalgError) -> Self {
+        TccaError::Linalg(err)
+    }
+}
+
+impl From<tensor::TensorError> for TccaError {
+    fn from(err: tensor::TensorError) -> Self {
+        TccaError::Tensor(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = TccaError::InvalidInput("need two views".into());
+        assert!(e.to_string().contains("two views"));
+        assert!(e.source().is_none());
+
+        let e: TccaError = linalg::LinalgError::NotSquare { rows: 2, cols: 1 }.into();
+        assert!(e.source().is_some());
+
+        let e: TccaError = tensor::TensorError::InvalidArgument("rank".into()).into();
+        assert!(e.to_string().contains("tensor failure"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,276 @@
+//! Kernel tensor CCA (paper §4.4).
+//!
+//! KTCCA lifts every view into a reproducing-kernel Hilbert space and maximizes the
+//! same high-order correlation over the dual coefficients `a_p` (Representer theorem,
+//! Eq. 4.12–4.13). The constraints get the PLS-style regularizer of Hardoon et al.:
+//! `a_pᵀ (K_p² + εK_p) a_p = 1` (Eq. 4.14). Writing the Cholesky factorization
+//! `K_p² + εK_p = L_pᵀ L_p` and `b_p = L_p a_p`, the problem reduces (Eq. 4.15) to the
+//! best rank-r approximation of the whitened **Gram tensor**
+//! `S = K₁₂…ₘ ×₁ (L₁^{-1})ᵀ ×₂ … ×ₘ (Lₘ^{-1})ᵀ`, where by Theorem 3
+//! `K₁₂…ₘ = (1/N) Σ_n k₁ₙ ∘ k₂ₙ ∘ … ∘ kₘₙ` with `k_pn` the `n`-th column of `K_p`.
+//! The projections are `Z_p = K_p L_p^{-1} B_p` (Eq. 4.16).
+//!
+//! The complexity is governed by `N` instead of the feature dimensions
+//! (space `O(Nᵐ)`, time `O(t·r·Nᵐ)`, §4.5), so KTCCA targets small-N / huge-d problems
+//! — the paper uses a 500-image subset for the non-linear experiments.
+
+use crate::{Result, TccaError, TccaOptions};
+use linalg::{Cholesky, Matrix};
+use tensor::DenseTensor;
+
+/// Options for [`Ktcca`]; currently identical to [`TccaOptions`] (the regularizer ε is
+/// interpreted as the PLS penalty of Eq. 4.14).
+pub type KtccaOptions = TccaOptions;
+
+/// A fitted kernel TCCA model.
+#[derive(Debug, Clone)]
+pub struct Ktcca {
+    /// Per-view dual coefficient matrices `A_p = L_p^{-1} B_p` (`N × r`).
+    coefficients: Vec<Matrix>,
+    /// Canonical correlations `ρ_k` (CP weights of the whitened Gram tensor).
+    correlations: Vec<f64>,
+    /// Number of training instances the kernels were computed on.
+    n_train: usize,
+}
+
+impl Ktcca {
+    /// Fit KTCCA on `m ≥ 2` **centered** `N × N` Gram matrices (one per view).
+    ///
+    /// Center the kernels first (e.g. with `datasets::center_kernel`); centering in
+    /// feature space plays the role of the zero-mean assumption of the linear model.
+    pub fn fit(kernels: &[Matrix], options: &KtccaOptions) -> Result<Self> {
+        if kernels.len() < 2 {
+            return Err(TccaError::InvalidInput(
+                "KTCCA needs at least two views".into(),
+            ));
+        }
+        let n = kernels[0].rows();
+        if n == 0 {
+            return Err(TccaError::InvalidInput("kernels are empty".into()));
+        }
+        for (p, k) in kernels.iter().enumerate() {
+            if !k.is_square() || k.rows() != n {
+                return Err(TccaError::InvalidInput(format!(
+                    "kernel {p} must be {n}x{n}, got {}x{}",
+                    k.rows(),
+                    k.cols()
+                )));
+            }
+        }
+        if options.rank == 0 {
+            return Err(TccaError::InvalidInput("rank must be positive".into()));
+        }
+
+        // Whitening factors: K_p² + εK_p (+ jitter for the centered kernel's null space),
+        // Cholesky-factorized as LᵀL; we need L^{-1}.
+        let mut inv_lowers = Vec::with_capacity(kernels.len());
+        for k in kernels {
+            let mut reg = k.matmul(k)?;
+            let scaled = k.scale(options.epsilon);
+            reg = reg.add(&scaled)?;
+            // Jitter keeps the factorization valid when the centered kernel is singular.
+            let jitter = 1e-10 * (reg.trace() / n as f64).max(1.0);
+            reg.add_diagonal(jitter);
+            let chol = Cholesky::new(&reg)?;
+            inv_lowers.push(chol.inverse_lower());
+        }
+
+        // Whitened Gram tensor S = (1/N) Σ_n (L₁^{-T} k₁ₙ) ∘ … ∘ (Lₘ^{-T} kₘₙ).
+        // (S = K₁₂…ₘ ×_p (L_p^{-1})ᵀ; accumulating per instance avoids the O(N^m) mode
+        // products on top of the O(N^m) tensor itself.)
+        let mut whitened_columns = Vec::with_capacity(kernels.len());
+        for (k, linv) in kernels.iter().zip(inv_lowers.iter()) {
+            // (L^{-1})ᵀ has shape N × N; columns of K map through it: Y = (L^{-1})ᵀ K.
+            let y = linv.t_matmul(k)?;
+            whitened_columns.push(y);
+        }
+        let shape = vec![n; kernels.len()];
+        let mut s = DenseTensor::zeros(&shape);
+        let weight = 1.0 / n as f64;
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); kernels.len()];
+        for j in 0..n {
+            for (p, y) in whitened_columns.iter().enumerate() {
+                cols[p] = y.column(j);
+            }
+            let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+            s.add_rank_one(weight, &refs);
+        }
+
+        // Rank-r decomposition and back-mapping a_p = L_p^{-1} b_p.
+        let cp = options.decompose(&s, options.rank)?;
+        let mut coefficients = Vec::with_capacity(kernels.len());
+        for (p, linv) in inv_lowers.iter().enumerate() {
+            coefficients.push(linv.matmul(&cp.factors[p])?);
+        }
+
+        Ok(Self {
+            coefficients,
+            correlations: cp.weights,
+            n_train: n,
+        })
+    }
+
+    /// Canonical correlations of the fitted components.
+    pub fn correlations(&self) -> &[f64] {
+        &self.correlations
+    }
+
+    /// Dual coefficient matrices `A_p` (`N × r`).
+    pub fn coefficients(&self) -> &[Matrix] {
+        &self.coefficients
+    }
+
+    /// Number of training instances.
+    pub fn num_train(&self) -> usize {
+        self.n_train
+    }
+
+    /// Project one view given a kernel block between query instances and the training
+    /// instances (`M × N`): `Z_p = K_p A_p` (Eq. 4.16, `M × r`).
+    pub fn transform_view(&self, which: usize, kernel_block: &Matrix) -> Result<Matrix> {
+        if which >= self.coefficients.len() {
+            return Err(TccaError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.coefficients.len()
+            )));
+        }
+        if kernel_block.cols() != self.n_train {
+            return Err(TccaError::InvalidInput(format!(
+                "kernel block has {} columns but the model was trained on {} instances",
+                kernel_block.cols(),
+                self.n_train
+            )));
+        }
+        Ok(kernel_block.matmul(&self.coefficients[which])?)
+    }
+
+    /// Project every view and concatenate the embeddings (`M × m·r`).
+    pub fn transform(&self, kernel_blocks: &[Matrix]) -> Result<Matrix> {
+        if kernel_blocks.len() != self.coefficients.len() {
+            return Err(TccaError::InvalidInput(format!(
+                "expected {} kernel blocks, got {}",
+                self.coefficients.len(),
+                kernel_blocks.len()
+            )));
+        }
+        let mut out = self.transform_view(0, &kernel_blocks[0])?;
+        for (p, k) in kernel_blocks.iter().enumerate().skip(1) {
+            out = out.hstack(&self.transform_view(p, k)?)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tcca, TccaOptions};
+    use datasets::{center_kernel, gram_matrix, GaussianRng, Kernel};
+
+    /// Views sharing a skewed 1-D latent signal (the order-3 correlation is a third
+    /// cross-moment, so a symmetric latent would make the planted signal invisible).
+    fn shared_signal_views(n: usize, seed: u64, noise: f64) -> Vec<Matrix> {
+        let mut rng = GaussianRng::new(seed);
+        let dims = [5usize, 4, 3];
+        let mut views: Vec<Matrix> = dims.iter().map(|&d| Matrix::zeros(d, n)).collect();
+        for j in 0..n {
+            let t = if rng.bernoulli(0.25) { 1.6 } else { -0.4 } + 0.05 * rng.standard_normal();
+            for v in views.iter_mut() {
+                for i in 0..v.rows() {
+                    v[(i, j)] = t * (i as f64 + 1.0) + noise * rng.standard_normal();
+                }
+            }
+        }
+        views
+    }
+
+    fn linear_kernels(views: &[Matrix]) -> Vec<Matrix> {
+        views
+            .iter()
+            .map(|v| center_kernel(&gram_matrix(v, Kernel::Linear)))
+            .collect()
+    }
+
+    #[test]
+    fn fits_and_transforms_with_expected_shapes() {
+        let views = shared_signal_views(50, 81, 0.2);
+        let kernels = linear_kernels(&views);
+        let model = Ktcca::fit(&kernels, &KtccaOptions::with_rank(2).epsilon(1e-1)).unwrap();
+        assert_eq!(model.coefficients().len(), 3);
+        assert_eq!(model.num_train(), 50);
+        let z = model.transform(&kernels).unwrap();
+        assert_eq!(z.shape(), (50, 6));
+        // A 7-row query block projects to 7 rows.
+        let block = kernels[0].select_rows(&[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(model.transform_view(0, &block).unwrap().shape(), (7, 2));
+    }
+
+    #[test]
+    fn shared_signal_gives_dominant_component() {
+        let views = shared_signal_views(60, 82, 0.15);
+        let kernels = linear_kernels(&views);
+        let model = Ktcca::fit(&kernels, &KtccaOptions::with_rank(2).epsilon(1e-1)).unwrap();
+        let c = model.correlations();
+        assert!(
+            c[0].abs() > 3.0 * c[1].abs().max(1e-6),
+            "expected a dominant component, got {c:?}"
+        );
+    }
+
+    #[test]
+    fn rbf_kernels_also_work() {
+        let views = shared_signal_views(40, 83, 0.2);
+        let kernels: Vec<Matrix> = views
+            .iter()
+            .map(|v| center_kernel(&gram_matrix(v, Kernel::ExpEuclidean)))
+            .collect();
+        let model = Ktcca::fit(&kernels, &KtccaOptions::with_rank(1).epsilon(1e-2)).unwrap();
+        assert_eq!(model.transform(&kernels).unwrap().shape(), (40, 3));
+        assert!(model.correlations()[0].abs() > 0.0);
+    }
+
+    #[test]
+    fn linear_kernel_embedding_preserves_tcca_class_structure() {
+        // KTCCA with linear kernels and linear TCCA both recover the shared subspace; we
+        // check that the dominant KTCCA canonical variable correlates strongly with the
+        // dominant TCCA canonical variable on the same data.
+        let views = shared_signal_views(60, 84, 0.2);
+        let kernels = linear_kernels(&views);
+        let ktcca = Ktcca::fit(&kernels, &KtccaOptions::with_rank(1).epsilon(1e-3)).unwrap();
+        let tcca = Tcca::fit(&views, &TccaOptions::with_rank(1).epsilon(1e-3)).unwrap();
+        let zk = ktcca.transform_view(0, &kernels[0]).unwrap().column(0);
+        let zl = tcca.transform_view(0, &views[0]).unwrap().column(0);
+        let corr = pearson(&zk, &zl).abs();
+        assert!(corr > 0.95, "correlation between KTCCA and TCCA variables: {corr}");
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma) * (x - ma);
+            db += (y - mb) * (y - mb);
+        }
+        num / (da.sqrt() * db.sqrt()).max(1e-300)
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let views = shared_signal_views(20, 85, 0.3);
+        let kernels = linear_kernels(&views);
+        assert!(Ktcca::fit(&kernels[..1], &KtccaOptions::default()).is_err());
+        assert!(Ktcca::fit(&kernels, &KtccaOptions::with_rank(0)).is_err());
+        let mut bad = kernels.clone();
+        bad[1] = Matrix::zeros(20, 19);
+        assert!(Ktcca::fit(&bad, &KtccaOptions::default()).is_err());
+        let model = Ktcca::fit(&kernels, &KtccaOptions::with_rank(1).epsilon(0.1)).unwrap();
+        assert!(model.transform(&kernels[..2]).is_err());
+        assert!(model.transform_view(9, &kernels[0]).is_err());
+        assert!(model.transform_view(0, &Matrix::zeros(5, 7)).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Tensor Canonical Correlation Analysis (TCCA) for multi-view dimension reduction.
+//!
+//! This crate implements the primary contribution of
+//! *Luo, Tao, Wen, Ramamohanarao, Xu — Tensor Canonical Correlation Analysis for
+//! Multi-view Dimension Reduction* (ICDE 2016):
+//!
+//! * [`Tcca`] — the linear method (paper §4.2–4.3). Given `m ≥ 2` views
+//!   `X_p ∈ R^{d_p × N}`, it maximizes the high-order canonical correlation
+//!   `ρ = corr(z₁, …, z_m)` over per-view canonical vectors `h_p`, which (Theorems 1–2)
+//!   equals the multilinear form of the covariance tensor and is solved as the best
+//!   rank-1/rank-r approximation of the whitened covariance tensor
+//!   `M = C₁₂…ₘ ×₁ C̃₁₁^{-1/2} … ×ₘ C̃ₘₘ^{-1/2}`.
+//! * [`Ktcca`] — the kernel extension (paper §4.4), which works on the per-view Gram
+//!   matrices with the PLS-style `(K_p² + εK_p)` whitening and supports `d_p ≫ N`.
+//!
+//! The rank-r decomposition is delegated to the `tensor` crate; the paper's default is
+//! ALS ([`DecompositionMethod::Als`]), with HOPM and the greedy tensor power method
+//! available for the ablation experiments.
+//!
+//! ```
+//! use linalg::Matrix;
+//! use tcca::{Tcca, TccaOptions};
+//!
+//! // Three tiny views of 40 instances sharing a *skewed* 1-D latent signal. (The
+//! // order-3 canonical correlation is a third cross-moment, so a symmetric latent
+//! // would be invisible to it — the paper's binary/histogram features are skewed.)
+//! let n = 40;
+//! let mut v1 = Matrix::zeros(3, n);
+//! let mut v2 = Matrix::zeros(4, n);
+//! let mut v3 = Matrix::zeros(2, n);
+//! for j in 0..n {
+//!     let t = if j % 4 == 0 { 1.5 } else { -0.4 };
+//!     for i in 0..3 { v1[(i, j)] = t * (i as f64 + 1.0); }
+//!     for i in 0..4 { v2[(i, j)] = -t * (i as f64 + 0.5); }
+//!     for i in 0..2 { v3[(i, j)] = t; }
+//! }
+//! let model = Tcca::fit(&[v1.clone(), v2.clone(), v3.clone()], &TccaOptions::with_rank(1)).unwrap();
+//! let z = model.transform(&[v1, v2, v3]).unwrap();
+//! assert_eq!(z.shape(), (40, 3)); // m views × rank 1, concatenated
+//! assert!(model.correlations()[0].abs() > 0.3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod config;
+mod error;
+mod kernel;
+mod linear;
+
+pub use config::{DecompositionMethod, TccaOptions};
+pub use error::TccaError;
+pub use kernel::{Ktcca, KtccaOptions};
+pub use linear::{covariance_tensor, whitened_covariance_tensor, Tcca};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TccaError>;

@@ -1,0 +1,415 @@
+//! Linear tensor CCA (paper §4.2–4.3).
+//!
+//! Pipeline implemented by [`Tcca::fit`]:
+//!
+//! 1. center every view `X_p` and form the regularized covariances `C̃_pp = C_pp + εI`,
+//! 2. compute the whiteners `W_p = C̃_pp^{-1/2}`,
+//! 3. build the **whitened covariance tensor**
+//!    `M = (1/N) Σ_n (W₁x₁ₙ) ∘ (W₂x₂ₙ) ∘ … ∘ (Wₘxₘₙ)`, which equals
+//!    `C₁₂…ₘ ×₁ W₁ ×₂ W₂ … ×ₘ Wₘ` (Theorem 2) but costs one pass over the data,
+//! 4. find its rank-`r` CP approximation `M ≈ Σ_k ρ_k u₁⁽ᵏ⁾ ∘ … ∘ uₘ⁽ᵏ⁾` (Eq. 4.10),
+//! 5. map back: the canonical vectors are `h_p⁽ᵏ⁾ = W_p u_p⁽ᵏ⁾` and each view is
+//!    projected as `Z_p = X_pᵀ W_p U_p` (Eq. 4.11); the final representation is the
+//!    concatenation `[Z₁ … Z_m] ∈ R^{N × m·r}`.
+
+use crate::{Result, TccaError, TccaOptions};
+use linalg::{center_rows, covariance, Matrix};
+use tensor::DenseTensor;
+
+/// Build the (centered) covariance tensor `C₁₂…ₘ = (1/N) Σ_n x₁ₙ ∘ x₂ₙ ∘ … ∘ xₘₙ` of a
+/// set of `d_p × N` views. Exposed mainly for tests and the benchmark harness; `Tcca`
+/// itself accumulates the whitened tensor directly.
+pub fn covariance_tensor(views: &[Matrix]) -> Result<DenseTensor> {
+    check_views(views)?;
+    let n = views[0].cols();
+    let centered: Vec<Matrix> = views.iter().map(|v| center_rows(v).0).collect();
+    let shape: Vec<usize> = centered.iter().map(|v| v.rows()).collect();
+    let mut tensor = DenseTensor::zeros(&shape);
+    let weight = 1.0 / n.max(1) as f64;
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); centered.len()];
+    for j in 0..n {
+        for (p, v) in centered.iter().enumerate() {
+            columns[p] = v.column(j);
+        }
+        let refs: Vec<&[f64]> = columns.iter().map(|c| c.as_slice()).collect();
+        tensor.add_rank_one(weight, &refs);
+    }
+    Ok(tensor)
+}
+
+/// Build the whitened covariance tensor `M = C₁₂…ₘ ×₁ W₁ … ×ₘ Wₘ` given per-view
+/// whiteners, in a single pass over the data.
+pub fn whitened_covariance_tensor(
+    centered_views: &[Matrix],
+    whiteners: &[Matrix],
+) -> Result<DenseTensor> {
+    if centered_views.len() != whiteners.len() {
+        return Err(TccaError::InvalidInput(format!(
+            "{} views but {} whiteners",
+            centered_views.len(),
+            whiteners.len()
+        )));
+    }
+    let n = centered_views[0].cols();
+    // Whitened data Y_p = W_p X_p (d_p × N).
+    let mut whitened = Vec::with_capacity(centered_views.len());
+    for (x, w) in centered_views.iter().zip(whiteners.iter()) {
+        whitened.push(w.matmul(x)?);
+    }
+    let shape: Vec<usize> = whitened.iter().map(|v| v.rows()).collect();
+    let mut tensor = DenseTensor::zeros(&shape);
+    let weight = 1.0 / n.max(1) as f64;
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); whitened.len()];
+    for j in 0..n {
+        for (p, v) in whitened.iter().enumerate() {
+            columns[p] = v.column(j);
+        }
+        let refs: Vec<&[f64]> = columns.iter().map(|c| c.as_slice()).collect();
+        tensor.add_rank_one(weight, &refs);
+    }
+    Ok(tensor)
+}
+
+/// A fitted linear TCCA model.
+#[derive(Debug, Clone)]
+pub struct Tcca {
+    means: Vec<Vec<f64>>,
+    /// Per-view projections `H_p = W_p U_p` (`d_p × r`).
+    projections: Vec<Matrix>,
+    /// Canonical correlations `ρ_k` (the CP weights), in decreasing magnitude.
+    correlations: Vec<f64>,
+    options: TccaOptions,
+}
+
+impl Tcca {
+    /// Fit TCCA on `m ≥ 2` views (`d_p × N` matrices sharing the instance axis).
+    pub fn fit(views: &[Matrix], options: &TccaOptions) -> Result<Self> {
+        check_views(views)?;
+        if options.rank == 0 {
+            return Err(TccaError::InvalidInput("rank must be positive".into()));
+        }
+
+        // 1–2: center, regularize, whiten.
+        let mut means = Vec::with_capacity(views.len());
+        let mut centered = Vec::with_capacity(views.len());
+        let mut whiteners = Vec::with_capacity(views.len());
+        for v in views {
+            let (x, mean) = center_rows(v);
+            let mut c = covariance(&x);
+            c.add_diagonal(options.epsilon);
+            whiteners.push(c.inverse_sqrt_spd(1e-12)?);
+            centered.push(x);
+            means.push(mean);
+        }
+
+        // 3: whitened covariance tensor M.
+        let m = whitened_covariance_tensor(&centered, &whiteners)?;
+
+        // 4: rank-r decomposition M ≈ Σ ρ_k u₁ ∘ … ∘ u_m.
+        let cp = options.decompose(&m, options.rank)?;
+
+        // 5: back-map the factors through the whiteners.
+        let mut projections = Vec::with_capacity(views.len());
+        for (p, w) in whiteners.iter().enumerate() {
+            projections.push(w.matmul(&cp.factors[p])?);
+        }
+
+        Ok(Self {
+            means,
+            projections,
+            correlations: cp.weights,
+            options: options.clone(),
+        })
+    }
+
+    /// The canonical correlations `ρ_k` discovered by the decomposition (one per
+    /// component, sorted by decreasing magnitude).
+    pub fn correlations(&self) -> &[f64] {
+        &self.correlations
+    }
+
+    /// The per-view projection matrices `H_p = C̃_pp^{-1/2} U_p` (`d_p × r`).
+    pub fn projections(&self) -> &[Matrix] {
+        &self.projections
+    }
+
+    /// Number of views the model was fitted on.
+    pub fn num_views(&self) -> usize {
+        self.projections.len()
+    }
+
+    /// The options the model was fitted with.
+    pub fn options(&self) -> &TccaOptions {
+        &self.options
+    }
+
+    /// Project a single view (`d_p × M` matrix of new or training instances) into the
+    /// common subspace, producing an `M × r` embedding `Z_p = X_pᵀ H_p`.
+    pub fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        if which >= self.projections.len() {
+            return Err(TccaError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.projections.len()
+            )));
+        }
+        let proj = &self.projections[which];
+        if view.rows() != proj.rows() {
+            return Err(TccaError::InvalidInput(format!(
+                "view {which} has {} features but the model expects {}",
+                view.rows(),
+                proj.rows()
+            )));
+        }
+        let mut centered = view.clone();
+        for i in 0..centered.rows() {
+            let m = self.means[which][i];
+            for v in centered.row_mut(i) {
+                *v -= m;
+            }
+        }
+        Ok(centered.t_matmul(proj)?)
+    }
+
+    /// Project every view and concatenate the per-view embeddings into the final
+    /// `M × (m · r)` representation (paper §4.3, following Foster et al.).
+    pub fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        if views.len() != self.projections.len() {
+            return Err(TccaError::InvalidInput(format!(
+                "expected {} views, got {}",
+                self.projections.len(),
+                views.len()
+            )));
+        }
+        let mut out = self.transform_view(0, &views[0])?;
+        for (p, v) in views.iter().enumerate().skip(1) {
+            out = out.hstack(&self.transform_view(p, v)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Evaluate the high-order canonical correlation (Theorem 1) of the fitted model's
+    /// `k`-th component on held-out views: `ρ = (z₁ ⊙ … ⊙ z_m)ᵀ e / M` with each `z_p`
+    /// normalized to unit variance. Useful for diagnostics and tests.
+    pub fn component_correlation(&self, views: &[Matrix], component: usize) -> Result<f64> {
+        if component >= self.correlations.len() {
+            return Err(TccaError::InvalidInput(format!(
+                "component {component} out of range for rank {}",
+                self.correlations.len()
+            )));
+        }
+        let m = views.len();
+        let n = views[0].cols();
+        let mut zs = Vec::with_capacity(m);
+        for (p, v) in views.iter().enumerate() {
+            let z = self.transform_view(p, v)?;
+            let mut col = z.column(component);
+            // Normalize to unit norm (the constraint z_pᵀ z_p = 1 of Eq. 4.5).
+            let norm = col.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-300 {
+                for x in &mut col {
+                    *x /= norm;
+                }
+            }
+            zs.push(col);
+        }
+        let mut rho = 0.0;
+        for j in 0..n {
+            let mut prod = 1.0;
+            for z in &zs {
+                prod *= z[j];
+            }
+            rho += prod;
+        }
+        Ok(rho)
+    }
+}
+
+fn check_views(views: &[Matrix]) -> Result<()> {
+    if views.len() < 2 {
+        return Err(TccaError::InvalidInput(
+            "TCCA needs at least two views".into(),
+        ));
+    }
+    let n = views[0].cols();
+    if n == 0 {
+        return Err(TccaError::InvalidInput("views hold no instances".into()));
+    }
+    for (p, v) in views.iter().enumerate() {
+        if v.cols() != n {
+            return Err(TccaError::InvalidInput(format!(
+                "view {p} has {} instances, expected {n}",
+                v.cols()
+            )));
+        }
+        if v.rows() == 0 {
+            return Err(TccaError::InvalidInput(format!("view {p} has no features")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecompositionMethod;
+    use datasets::GaussianRng;
+
+    /// Views sharing a strong 1-D latent signal observable in all three views.
+    ///
+    /// The latent is deliberately **skewed** (a two-point mixture with unequal masses):
+    /// the order-3 canonical correlation TCCA maximizes is a third cross-moment, which
+    /// vanishes for symmetric latents — exactly why the paper's datasets (binary
+    /// indicators, histograms) are the natural habitat of the method.
+    fn shared_signal_views(n: usize, seed: u64, noise: f64) -> Vec<Matrix> {
+        let mut rng = GaussianRng::new(seed);
+        let dims = [5usize, 4, 3];
+        let mut views: Vec<Matrix> = dims.iter().map(|&d| Matrix::zeros(d, n)).collect();
+        for j in 0..n {
+            let t = if rng.bernoulli(0.25) { 1.6 } else { -0.4 } + 0.05 * rng.standard_normal();
+            for v in views.iter_mut() {
+                for i in 0..v.rows() {
+                    v[(i, j)] = t * (i as f64 + 1.0) + noise * rng.standard_normal();
+                }
+            }
+        }
+        views
+    }
+
+    #[test]
+    fn covariance_tensor_matches_manual_small_case() {
+        // Two instances, tiny dims: verify a couple of entries by hand.
+        let v1 = Matrix::from_rows(&[vec![1.0, -1.0]]).unwrap(); // 1 x 2, mean 0
+        let v2 = Matrix::from_rows(&[vec![2.0, -2.0], vec![0.0, 0.0]]).unwrap(); // 2 x 2
+        let v3 = Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(); // constant => centered to 0
+        let t = covariance_tensor(&[v1, v2, v3]).unwrap();
+        assert_eq!(t.shape(), &[1, 2, 1]);
+        // Third view centers to zero, so every entry must be zero.
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+        assert_eq!(t.get(&[0, 1, 0]), 0.0);
+
+        let v1 = Matrix::from_rows(&[vec![1.0, -1.0]]).unwrap();
+        let v2 = Matrix::from_rows(&[vec![2.0, -2.0]]).unwrap();
+        let v3 = Matrix::from_rows(&[vec![3.0, -3.0]]).unwrap();
+        let t = covariance_tensor(&[v1, v2, v3]).unwrap();
+        // (1/2) [1*2*3 + (-1)(-2)(-3)] = (1/2)(6 - 6) = 0 — odd moments cancel.
+        assert!((t.get(&[0, 0, 0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whitened_tensor_equals_mode_products_of_covariance_tensor() {
+        let views = shared_signal_views(60, 5, 0.3);
+        let centered: Vec<Matrix> = views.iter().map(|v| center_rows(v).0).collect();
+        let mut whiteners = Vec::new();
+        for x in &centered {
+            let mut c = covariance(x);
+            c.add_diagonal(1e-2);
+            whiteners.push(c.inverse_sqrt_spd(1e-12).unwrap());
+        }
+        let direct = whitened_covariance_tensor(&centered, &whiteners).unwrap();
+        let mut via_modes = covariance_tensor(&views).unwrap();
+        for (p, w) in whiteners.iter().enumerate() {
+            via_modes = via_modes.mode_product(p, w).unwrap();
+        }
+        assert!(direct.sub(&via_modes).unwrap().frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_strong_shared_correlation() {
+        let views = shared_signal_views(400, 6, 0.15);
+        let model = Tcca::fit(&views, &TccaOptions::with_rank(2)).unwrap();
+        assert!(
+            model.correlations()[0] > 0.8,
+            "leading canonical correlation {:?}",
+            model.correlations()
+        );
+        // The empirical high-order correlation of the first component dominates the
+        // second. (Its absolute value scales like 1/√N because the z_p are normalized
+        // to unit norm, so we compare components rather than testing a magnitude.)
+        let rho0 = model.component_correlation(&views, 0).unwrap();
+        let rho1 = model.component_correlation(&views, 1).unwrap();
+        assert!(
+            rho0.abs() > rho1.abs(),
+            "component 0 ({rho0}) should dominate component 1 ({rho1})"
+        );
+    }
+
+    #[test]
+    fn transform_shapes_and_concatenation() {
+        let views = shared_signal_views(80, 7, 0.3);
+        let model = Tcca::fit(&views, &TccaOptions::with_rank(3)).unwrap();
+        assert_eq!(model.num_views(), 3);
+        let z = model.transform(&views).unwrap();
+        assert_eq!(z.shape(), (80, 9));
+        let z0 = model.transform_view(0, &views[0]).unwrap();
+        assert_eq!(z0.shape(), (80, 3));
+        // Out-of-sample projection works on fewer instances.
+        let subset = views[0].select_columns(&[0, 1, 2, 3]);
+        assert_eq!(model.transform_view(0, &subset).unwrap().shape(), (4, 3));
+    }
+
+    #[test]
+    fn all_decomposition_methods_agree_on_dominant_component() {
+        let views = shared_signal_views(250, 8, 0.2);
+        let mut leading = Vec::new();
+        for method in [
+            DecompositionMethod::Als,
+            DecompositionMethod::Hopm,
+            DecompositionMethod::PowerMethod,
+        ] {
+            let opts = TccaOptions::with_rank(1).method(method);
+            let model = Tcca::fit(&views, &opts).unwrap();
+            leading.push(model.correlations()[0].abs());
+        }
+        for pair in leading.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 0.05,
+                "methods disagree: {leading:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regularization_shrinks_correlations() {
+        let views = shared_signal_views(150, 9, 0.3);
+        let light = Tcca::fit(&views, &TccaOptions::with_rank(1).epsilon(1e-4)).unwrap();
+        let heavy = Tcca::fit(&views, &TccaOptions::with_rank(1).epsilon(10.0)).unwrap();
+        assert!(heavy.correlations()[0].abs() < light.correlations()[0].abs());
+    }
+
+    #[test]
+    fn two_view_tcca_behaves_like_cca() {
+        // With m = 2 the covariance tensor is the cross-covariance matrix and TCCA's
+        // leading correlation should match two-view CCA closely.
+        let views = shared_signal_views(300, 10, 0.2);
+        let two = vec![views[0].clone(), views[1].clone()];
+        let model = Tcca::fit(&two, &TccaOptions::with_rank(1).epsilon(1e-3)).unwrap();
+        assert!(model.correlations()[0] > 0.9);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let views = shared_signal_views(20, 11, 0.3);
+        assert!(Tcca::fit(&views[..1], &TccaOptions::default()).is_err());
+        assert!(Tcca::fit(&views, &TccaOptions::with_rank(0)).is_err());
+        let mut bad = views.clone();
+        bad[1] = Matrix::zeros(4, 19);
+        assert!(Tcca::fit(&bad, &TccaOptions::default()).is_err());
+        let empty = vec![Matrix::zeros(3, 0), Matrix::zeros(2, 0)];
+        assert!(Tcca::fit(&empty, &TccaOptions::default()).is_err());
+
+        let model = Tcca::fit(&views, &TccaOptions::with_rank(1)).unwrap();
+        assert!(model.transform(&views[..2]).is_err());
+        assert!(model.transform_view(5, &views[0]).is_err());
+        assert!(model.transform_view(0, &Matrix::zeros(99, 5)).is_err());
+        assert!(model.component_correlation(&views, 7).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let views = shared_signal_views(60, 12, 0.3);
+        let a = Tcca::fit(&views, &TccaOptions::with_rank(2).seed(5)).unwrap();
+        let b = Tcca::fit(&views, &TccaOptions::with_rank(2).seed(5)).unwrap();
+        assert_eq!(a.projections()[0], b.projections()[0]);
+        assert_eq!(a.correlations(), b.correlations());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the TCCA estimators.
+
+use datasets::GaussianRng;
+use linalg::Matrix;
+use proptest::prelude::*;
+use tcca::{covariance_tensor, DecompositionMethod, Tcca, TccaOptions};
+
+/// Generate three small views driven by a skewed shared latent variable.
+fn planted_views(n: usize, seed: u64, noise: f64) -> Vec<Matrix> {
+    let mut rng = GaussianRng::new(seed);
+    let dims = [4usize, 3, 3];
+    let mut views: Vec<Matrix> = dims.iter().map(|&d| Matrix::zeros(d, n)).collect();
+    for j in 0..n {
+        let t = if rng.bernoulli(0.3) { 1.4 } else { -0.6 } + 0.05 * rng.standard_normal();
+        for v in views.iter_mut() {
+            for i in 0..v.rows() {
+                v[(i, j)] = t * (0.5 + i as f64) + noise * rng.standard_normal();
+            }
+        }
+    }
+    views
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn correlations_are_finite_and_sorted(seed in 0u64..500, rank in 1usize..4) {
+        let views = planted_views(60, seed, 0.4);
+        let model = Tcca::fit(&views, &TccaOptions::with_rank(rank).seed(seed)).unwrap();
+        prop_assert_eq!(model.correlations().len(), rank);
+        for w in model.correlations().windows(2) {
+            prop_assert!(w[0].abs() >= w[1].abs() - 1e-9);
+        }
+        for &c in model.correlations() {
+            prop_assert!(c.is_finite());
+        }
+    }
+
+    #[test]
+    fn transform_is_invariant_to_per_view_shifts(seed in 0u64..200, shift in -5.0..5.0f64) {
+        // Adding a constant offset to every feature of a view must not change the model:
+        // centering removes it, so both the correlations and the embedding agree.
+        let views = planted_views(50, seed, 0.3);
+        let mut shifted = views.clone();
+        shifted[1].map_inplace(|v| v + shift);
+        let opts = TccaOptions::with_rank(2).seed(3);
+        let a = Tcca::fit(&views, &opts).unwrap();
+        let b = Tcca::fit(&shifted, &opts).unwrap();
+        for (x, y) in a.correlations().iter().zip(b.correlations()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+        let za = a.transform(&views).unwrap();
+        let zb = b.transform(&shifted).unwrap();
+        prop_assert!(za.sub(&zb).unwrap().max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn embedding_dimensions_follow_rank_and_views(rank in 1usize..4, seed in 0u64..100) {
+        let views = planted_views(40, seed, 0.4);
+        let model = Tcca::fit(&views, &TccaOptions::with_rank(rank).seed(seed)).unwrap();
+        let z = model.transform(&views).unwrap();
+        prop_assert_eq!(z.shape(), (40, 3 * rank));
+        prop_assert!(z.all_finite());
+    }
+
+    #[test]
+    fn covariance_tensor_is_permutation_consistent(seed in 0u64..100) {
+        // Swapping two views permutes the corresponding tensor modes.
+        let views = planted_views(30, seed, 0.5);
+        let t012 = covariance_tensor(&views).unwrap();
+        let swapped = vec![views[1].clone(), views[0].clone(), views[2].clone()];
+        let t102 = covariance_tensor(&swapped).unwrap();
+        for i in 0..views[0].rows() {
+            for j in 0..views[1].rows() {
+                for k in 0..views[2].rows() {
+                    let a = t012.get(&[i, j, k]);
+                    let b = t102.get(&[j, i, k]);
+                    prop_assert!((a - b).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_noise_never_helps_the_leading_correlation(seed in 0u64..60) {
+        let clean = planted_views(80, seed, 0.1);
+        let noisy = planted_views(80, seed, 1.5);
+        let opts = TccaOptions::with_rank(1).seed(1);
+        let c_clean = Tcca::fit(&clean, &opts).unwrap().correlations()[0].abs();
+        let c_noisy = Tcca::fit(&noisy, &opts).unwrap().correlations()[0].abs();
+        // Allow a small slack for decomposition noise.
+        prop_assert!(c_noisy <= c_clean + 0.1, "clean {c_clean} vs noisy {c_noisy}");
+    }
+
+    #[test]
+    fn hopm_and_als_agree_on_rank_one(seed in 0u64..60) {
+        let views = planted_views(70, seed, 0.3);
+        let als = Tcca::fit(&views, &TccaOptions::with_rank(1).seed(2)).unwrap();
+        let hopm = Tcca::fit(
+            &views,
+            &TccaOptions::with_rank(1).method(DecompositionMethod::Hopm),
+        )
+        .unwrap();
+        prop_assert!(
+            (als.correlations()[0].abs() - hopm.correlations()[0].abs()).abs() < 0.05,
+            "ALS {} vs HOPM {}",
+            als.correlations()[0],
+            hopm.correlations()[0]
+        );
+    }
+}

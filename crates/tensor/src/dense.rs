@@ -1,0 +1,645 @@
+//! The arbitrary-order [`DenseTensor`] type: storage, indexing, mode-n matricization,
+//! mode-n products and rank-1 accumulation.
+//!
+//! ## Layout and matricization convention
+//!
+//! Elements are stored with the **first index varying fastest** (generalized
+//! column-major, the convention of Kolda & Bader, *Tensor Decompositions and
+//! Applications*, SIAM Review 2009). The mode-`n` unfolding `T₍ₙ₎` maps element
+//! `(i₁, …, i_N)` to row `i_n` and column `Σ_{k≠n} i_k · J_k` with
+//! `J_k = Π_{m<k, m≠n} I_m`, i.e. the smallest remaining mode varies fastest. The
+//! Khatri–Rao helpers in [`crate::kr`] use the matching ordering so that
+//! `T₍ₙ₎ ≈ A_n (A_N ⊙ … ⊙ A_{n+1} ⊙ A_{n-1} ⊙ … ⊙ A_1)ᵀ` holds exactly.
+
+use crate::{Result, TensorError};
+use linalg::Matrix;
+
+/// A dense tensor of arbitrary order with `f64` entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor {
+    shape: Vec<usize>,
+    /// Strides matching the "first index fastest" layout: `strides[k] = Π_{m<k} I_m`.
+    strides: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// Create a zero tensor with the given shape.
+    ///
+    /// An empty shape (`&[]`) denotes a scalar tensor holding a single value.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let strides = compute_strides(shape);
+        let len = shape.iter().product::<usize>().max(1);
+        Self {
+            shape: shape.to_vec(),
+            strides,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Build a tensor from a flat data vector laid out with the first index fastest.
+    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Result<Self> {
+        let expected = shape.iter().product::<usize>().max(1);
+        if data.len() != expected {
+            return Err(TensorError::InvalidArgument(format!(
+                "data length {} does not match shape {:?} (expected {})",
+                data.len(),
+                shape,
+                expected
+            )));
+        }
+        Ok(Self {
+            shape: shape.to_vec(),
+            strides: compute_strides(shape),
+            data,
+        })
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The tensor order (number of modes).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no dimensions (scalar) — never true otherwise since
+    /// even a zero tensor stores its zeros.
+    pub fn is_empty(&self) -> bool {
+        self.shape.is_empty()
+    }
+
+    /// Borrow the flat storage (first index fastest).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Linear offset of a multi-index.
+    #[inline]
+    fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.shape.len());
+        let mut off = 0;
+        for (k, &i) in index.iter().enumerate() {
+            debug_assert!(i < self.shape[k]);
+            off += i * self.strides[k];
+        }
+        off
+    }
+
+    /// Read the element at a multi-index.
+    #[inline]
+    pub fn get(&self, index: &[usize]) -> f64 {
+        self.data[self.offset(index)]
+    }
+
+    /// Write the element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: f64) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Frobenius norm `‖T‖_F` (Eq. 4.4 in the paper).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Frobenius inner product `⟨self, other⟩`.
+    pub fn inner(&self, other: &DenseTensor) -> Result<f64> {
+        self.check_same_shape(other, "inner")?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Element-wise difference `self − other`.
+    pub fn sub(&self, other: &DenseTensor) -> Result<DenseTensor> {
+        self.check_same_shape(other, "sub")?;
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        DenseTensor::from_vec(&self.shape, data)
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &DenseTensor) -> Result<DenseTensor> {
+        self.check_same_shape(other, "add")?;
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        DenseTensor::from_vec(&self.shape, data)
+    }
+
+    /// Scale every entry by `s`.
+    pub fn scale(&self, s: f64) -> DenseTensor {
+        DenseTensor {
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Accumulate a weighted rank-1 tensor: `self += weight · v₁ ∘ v₂ ∘ … ∘ v_m`.
+    ///
+    /// This is how the covariance tensor `C = (1/N) Σ_n x₁ₙ ∘ … ∘ x_mₙ` is built without
+    /// materializing intermediate outer products.
+    pub fn add_rank_one(&mut self, weight: f64, vectors: &[&[f64]]) {
+        assert_eq!(
+            vectors.len(),
+            self.shape.len(),
+            "add_rank_one: expected {} vectors, got {}",
+            self.shape.len(),
+            vectors.len()
+        );
+        for (p, v) in vectors.iter().enumerate() {
+            assert_eq!(
+                v.len(),
+                self.shape[p],
+                "add_rank_one: vector {p} has length {} but mode has size {}",
+                v.len(),
+                self.shape[p]
+            );
+        }
+        if weight == 0.0 {
+            return;
+        }
+        // Recursive accumulation over modes from last (slowest) to first (fastest):
+        // at the innermost level the first-mode vector is streamed contiguously.
+        fn recurse(
+            data: &mut [f64],
+            strides: &[usize],
+            vectors: &[&[f64]],
+            mode: usize,
+            base: usize,
+            acc: f64,
+        ) {
+            if mode == 0 {
+                let v0 = vectors[0];
+                let out = &mut data[base..base + v0.len()];
+                for (o, x) in out.iter_mut().zip(v0.iter()) {
+                    *o += acc * x;
+                }
+                return;
+            }
+            let stride = strides[mode];
+            for (i, &vi) in vectors[mode].iter().enumerate() {
+                if vi == 0.0 {
+                    continue;
+                }
+                recurse(data, strides, vectors, mode - 1, base + i * stride, acc * vi);
+            }
+        }
+        let last = self.shape.len() - 1;
+        recurse(&mut self.data, &self.strides, vectors, last, 0, weight);
+    }
+
+    /// Mode-`n` matricization `T₍ₙ₎` (an `I_n × Π_{k≠n} I_k` matrix).
+    pub fn unfold(&self, mode: usize) -> Result<Matrix> {
+        if mode >= self.order() {
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
+        }
+        let i_n = self.shape[mode];
+        let cols: usize = self
+            .shape
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != mode)
+            .map(|(_, &s)| s)
+            .product::<usize>()
+            .max(1);
+        let mut out = Matrix::zeros(i_n, cols);
+
+        // Iterate over all elements once; compute (row, col) from the multi-index.
+        let order = self.order();
+        let mut index = vec![0usize; order];
+        for (flat, &value) in self.data.iter().enumerate() {
+            // Decode flat -> multi-index (first index fastest).
+            let mut rem = flat;
+            for k in 0..order {
+                index[k] = rem % self.shape[k];
+                rem /= self.shape[k];
+            }
+            let row = index[mode];
+            let mut col = 0usize;
+            let mut stride = 1usize;
+            for k in 0..order {
+                if k == mode {
+                    continue;
+                }
+                col += index[k] * stride;
+                stride *= self.shape[k];
+            }
+            out[(row, col)] = value;
+        }
+        Ok(out)
+    }
+
+    /// Inverse of [`DenseTensor::unfold`]: fold an `I_n × Π_{k≠n} I_k` matrix back into a
+    /// tensor with the given full shape.
+    pub fn fold(matrix: &Matrix, mode: usize, shape: &[usize]) -> Result<DenseTensor> {
+        if mode >= shape.len() {
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: shape.len(),
+            });
+        }
+        let expected_cols: usize = shape
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != mode)
+            .map(|(_, &s)| s)
+            .product::<usize>()
+            .max(1);
+        if matrix.rows() != shape[mode] || matrix.cols() != expected_cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "fold",
+                detail: format!(
+                    "matrix is {}x{} but mode-{mode} folding of {:?} needs {}x{}",
+                    matrix.rows(),
+                    matrix.cols(),
+                    shape,
+                    shape[mode],
+                    expected_cols
+                ),
+            });
+        }
+        let mut out = DenseTensor::zeros(shape);
+        let order = shape.len();
+        let mut index = vec![0usize; order];
+        for flat in 0..out.data.len() {
+            let mut rem = flat;
+            for k in 0..order {
+                index[k] = rem % shape[k];
+                rem /= shape[k];
+            }
+            let row = index[mode];
+            let mut col = 0usize;
+            let mut stride = 1usize;
+            for k in 0..order {
+                if k == mode {
+                    continue;
+                }
+                col += index[k] * stride;
+                stride *= shape[k];
+            }
+            out.data[flat] = matrix[(row, col)];
+        }
+        Ok(out)
+    }
+
+    /// Mode-`n` product `B = T ×ₙ U` with a `J × I_n` matrix `U` (paper Eq. 4.1):
+    /// every mode-`n` fiber of `T` is multiplied by `U`.
+    pub fn mode_product(&self, mode: usize, u: &Matrix) -> Result<DenseTensor> {
+        if mode >= self.order() {
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
+        }
+        if u.cols() != self.shape[mode] {
+            return Err(TensorError::ShapeMismatch {
+                op: "mode_product",
+                detail: format!(
+                    "matrix has {} columns but mode {mode} has size {}",
+                    u.cols(),
+                    self.shape[mode]
+                ),
+            });
+        }
+        let unfolded = self.unfold(mode)?;
+        let product = u.matmul(&unfolded)?;
+        let mut new_shape = self.shape.clone();
+        new_shape[mode] = u.rows();
+        DenseTensor::fold(&product, mode, &new_shape)
+    }
+
+    /// Mode-`n` contraction with a vector: `T ×ₙ vᵀ`, which drops mode `n` and returns a
+    /// tensor of order `m − 1` (the order-0 case is returned as a 1-element tensor).
+    pub fn mode_contract(&self, mode: usize, v: &[f64]) -> Result<DenseTensor> {
+        if mode >= self.order() {
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
+        }
+        if v.len() != self.shape[mode] {
+            return Err(TensorError::ShapeMismatch {
+                op: "mode_contract",
+                detail: format!(
+                    "vector has length {} but mode {mode} has size {}",
+                    v.len(),
+                    self.shape[mode]
+                ),
+            });
+        }
+        let unfolded = self.unfold(mode)?;
+        let contracted = unfolded.t_matvec(v)?;
+        let new_shape: Vec<usize> = self
+            .shape
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != mode)
+            .map(|(_, &s)| s)
+            .collect();
+        DenseTensor::from_vec(&new_shape, contracted)
+    }
+
+    /// The multilinear form `T ×₁ v₁ᵀ ×₂ v₂ᵀ … ×ₘ vₘᵀ` (a scalar).
+    ///
+    /// By Theorem 1 of the paper this equals the canonical correlation
+    /// `ρ = (z₁ ⊙ z₂ ⊙ … ⊙ zₘ)ᵀ e` when `T` is the covariance tensor and the `v_p` are
+    /// the canonical vectors.
+    pub fn multilinear_form(&self, vectors: &[&[f64]]) -> Result<f64> {
+        if vectors.len() != self.order() {
+            return Err(TensorError::ShapeMismatch {
+                op: "multilinear_form",
+                detail: format!(
+                    "expected {} vectors, got {}",
+                    self.order(),
+                    vectors.len()
+                ),
+            });
+        }
+        // Contract the last mode first so remaining mode indices stay valid.
+        let mut current = self.clone();
+        for (mode, v) in vectors.iter().enumerate().rev() {
+            current = current.mode_contract(mode, v)?;
+        }
+        Ok(current.data[0])
+    }
+
+    /// Contract every mode **except** `keep` with the corresponding vector, returning the
+    /// resulting mode-`keep` fiber of length `I_keep`.
+    ///
+    /// This is the inner step of both the HOPM and ALS rank-1 updates:
+    /// `u_p ← T ×₁ u₁ᵀ … ×_{p−1} u_{p−1}ᵀ ×_{p+1} u_{p+1}ᵀ … ×ₘ uₘᵀ`.
+    pub fn contract_all_but(&self, keep: usize, vectors: &[&[f64]]) -> Result<Vec<f64>> {
+        if vectors.len() != self.order() {
+            return Err(TensorError::ShapeMismatch {
+                op: "contract_all_but",
+                detail: format!(
+                    "expected {} vectors, got {}",
+                    self.order(),
+                    vectors.len()
+                ),
+            });
+        }
+        if keep >= self.order() {
+            return Err(TensorError::InvalidMode {
+                mode: keep,
+                order: self.order(),
+            });
+        }
+        let mut current = self.clone();
+        // Contract from the highest mode down, skipping `keep`; because we go from the
+        // back, the index of `keep` inside `current` never changes until all higher
+        // modes are gone, and lower modes keep their positions.
+        for mode in (0..self.order()).rev() {
+            if mode == keep {
+                continue;
+            }
+            current = current.mode_contract(mode, vectors[mode])?;
+        }
+        Ok(current.data)
+    }
+
+    fn check_same_shape(&self, other: &DenseTensor, op: &'static str) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                detail: format!("{:?} vs {:?}", self.shape, other.shape),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn compute_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for k in 1..shape.len() {
+        strides[k] = strides[k - 1] * shape[k - 1];
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_3d() -> DenseTensor {
+        // Shape 2x3x2, filled with 1..=12 in storage order (first index fastest).
+        DenseTensor::from_vec(&[2, 3, 2], (1..=12).map(|v| v as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn indexing_follows_first_index_fastest() {
+        let t = example_3d();
+        assert_eq!(t.get(&[0, 0, 0]), 1.0);
+        assert_eq!(t.get(&[1, 0, 0]), 2.0);
+        assert_eq!(t.get(&[0, 1, 0]), 3.0);
+        assert_eq!(t.get(&[1, 2, 0]), 6.0);
+        assert_eq!(t.get(&[0, 0, 1]), 7.0);
+        assert_eq!(t.get(&[1, 2, 1]), 12.0);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut t = DenseTensor::zeros(&[3, 4, 2]);
+        t.set(&[2, 3, 1], 42.0);
+        assert_eq!(t.get(&[2, 3, 1]), 42.0);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.order(), 3);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseTensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn unfold_mode0_matches_known_layout() {
+        let t = example_3d();
+        let m0 = t.unfold(0).unwrap();
+        assert_eq!(m0.shape(), (2, 6));
+        // Column j corresponds to (i2, i3) with i2 fastest: columns are
+        // (0,0),(1,0),(2,0),(0,1),(1,1),(2,1).
+        assert_eq!(m0.row(0), &[1.0, 3.0, 5.0, 7.0, 9.0, 11.0]);
+        assert_eq!(m0.row(1), &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn unfold_mode1_and_mode2() {
+        let t = example_3d();
+        let m1 = t.unfold(1).unwrap();
+        assert_eq!(m1.shape(), (3, 4));
+        // Columns ordered by (i1, i3) with i1 fastest: (0,0),(1,0),(0,1),(1,1).
+        assert_eq!(m1.row(0), &[1.0, 2.0, 7.0, 8.0]);
+        assert_eq!(m1.row(2), &[5.0, 6.0, 11.0, 12.0]);
+        let m2 = t.unfold(2).unwrap();
+        assert_eq!(m2.shape(), (2, 6));
+        assert_eq!(m2.row(0), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m2.row(1), &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn fold_is_inverse_of_unfold() {
+        let t = example_3d();
+        for mode in 0..3 {
+            let unfolded = t.unfold(mode).unwrap();
+            let folded = DenseTensor::fold(&unfolded, mode, t.shape()).unwrap();
+            assert_eq!(folded, t);
+        }
+    }
+
+    #[test]
+    fn fold_validates_shape() {
+        let m = Matrix::zeros(2, 5);
+        assert!(DenseTensor::fold(&m, 0, &[2, 3, 2]).is_err());
+        assert!(DenseTensor::fold(&m, 7, &[2, 5]).is_err());
+    }
+
+    #[test]
+    fn mode_product_against_manual() {
+        let t = example_3d();
+        // U is 1x2 summing the first mode.
+        let u = Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let b = t.mode_product(0, &u).unwrap();
+        assert_eq!(b.shape(), &[1, 3, 2]);
+        assert_eq!(b.get(&[0, 0, 0]), 3.0); // 1 + 2
+        assert_eq!(b.get(&[0, 2, 1]), 23.0); // 11 + 12
+        assert!(t.mode_product(0, &Matrix::zeros(2, 3)).is_err());
+        assert!(t.mode_product(9, &u).is_err());
+    }
+
+    #[test]
+    fn mode_product_identity_is_noop() {
+        let t = example_3d();
+        for mode in 0..3 {
+            let eye = Matrix::identity(t.shape()[mode]);
+            assert_eq!(t.mode_product(mode, &eye).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn mode_contract_drops_mode() {
+        let t = example_3d();
+        let c = t.mode_contract(1, &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.get(&[0, 0]), 1.0 + 3.0 + 5.0);
+        assert_eq!(c.get(&[1, 1]), 8.0 + 10.0 + 12.0);
+        assert!(t.mode_contract(1, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn multilinear_form_matches_elementwise_sum() {
+        let t = example_3d();
+        let ones2 = vec![1.0, 1.0];
+        let ones3 = vec![1.0, 1.0, 1.0];
+        let total = t
+            .multilinear_form(&[&ones2, &ones3, &ones2])
+            .unwrap();
+        assert_eq!(total, (1..=12).sum::<i32>() as f64);
+        // Selecting a single element via indicator vectors.
+        let e1 = vec![0.0, 1.0];
+        let e2 = vec![0.0, 0.0, 1.0];
+        let picked = t.multilinear_form(&[&e1, &e2, &e1]).unwrap();
+        assert_eq!(picked, t.get(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn contract_all_but_returns_fiber() {
+        let t = example_3d();
+        let ones2 = vec![1.0, 1.0];
+        let ones3 = vec![1.0, 1.0, 1.0];
+        let fiber = t.contract_all_but(1, &[&ones2, &ones3, &ones2]).unwrap();
+        assert_eq!(fiber.len(), 3);
+        assert_eq!(fiber[0], 1.0 + 2.0 + 7.0 + 8.0);
+        assert_eq!(fiber[2], 5.0 + 6.0 + 11.0 + 12.0);
+    }
+
+    #[test]
+    fn add_rank_one_matches_outer_product() {
+        let mut t = DenseTensor::zeros(&[2, 3, 2]);
+        let a = [1.0, 2.0];
+        let b = [3.0, 0.0, -1.0];
+        let c = [1.0, -2.0];
+        t.add_rank_one(2.0, &[&a, &b, &c]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..2 {
+                    let expected = 2.0 * a[i] * b[j] * c[k];
+                    assert!((t.get(&[i, j, k]) - expected).abs() < 1e-12);
+                }
+            }
+        }
+        // Zero weight is a no-op.
+        let before = t.clone();
+        t.add_rank_one(0.0, &[&a, &b, &c]);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn arithmetic_and_norms() {
+        let t = example_3d();
+        let sum = t.add(&t).unwrap();
+        assert_eq!(sum.get(&[1, 2, 1]), 24.0);
+        let diff = sum.sub(&t).unwrap();
+        assert_eq!(diff, t);
+        let scaled = t.scale(0.5);
+        assert_eq!(scaled.get(&[1, 2, 1]), 6.0);
+        let mut t2 = t.clone();
+        t2.scale_inplace(2.0);
+        assert_eq!(t2, sum);
+        let expected_norm = (1..=12).map(|v| (v * v) as f64).sum::<f64>().sqrt();
+        assert!((t.frobenius_norm() - expected_norm).abs() < 1e-12);
+        assert!((t.inner(&t).unwrap() - expected_norm * expected_norm).abs() < 1e-9);
+        assert!(t.inner(&DenseTensor::zeros(&[2, 2])).is_err());
+        assert!(t.add(&DenseTensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn order_two_tensor_behaves_like_matrix() {
+        let t = DenseTensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        // Storage is column-major: element (0,1) = 3.
+        assert_eq!(t.get(&[0, 1]), 3.0);
+        let unfolded = t.unfold(0).unwrap();
+        assert_eq!(unfolded[(0, 1)], 3.0);
+        assert_eq!(unfolded[(1, 0)], 2.0);
+    }
+}

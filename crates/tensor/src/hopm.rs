@@ -1,0 +1,193 @@
+//! Higher-order power method (HOPM) for the best rank-1 approximation.
+//!
+//! De Lathauwer, De Moor & Vandewalle (2000b) show that the best rank-1 approximation
+//! `T ≈ λ · u₁ ∘ … ∘ u_m` (the problem TCCA's Eq. 4.10 reduces to for a one-dimensional
+//! subspace) can be computed by a fixed-point iteration that repeatedly contracts the
+//! tensor against all but one of the current vectors. The paper cites HOPM as an
+//! alternative to ALS; for rank r > 1 this solver extracts components greedily by
+//! re-running HOPM on deflated residuals.
+
+use crate::{CpDecomposition, DenseTensor, RankRDecomposition, Result, TensorError};
+use linalg::{normalize, Matrix, SymmetricEigen};
+
+/// Best rank-1 approximation by the higher-order power method, extended to rank-r by
+/// greedy deflation.
+#[derive(Debug, Clone)]
+pub struct Hopm {
+    /// Maximum number of power iterations per component.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the change of the singular value λ.
+    pub tolerance: f64,
+}
+
+impl Default for Hopm {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+impl Hopm {
+    /// Create a solver with an explicit iteration budget and tolerance.
+    pub fn new(max_iterations: usize, tolerance: f64) -> Self {
+        Self {
+            max_iterations,
+            tolerance,
+        }
+    }
+
+    /// Compute the best rank-1 approximation `λ, (u₁, …, u_m)` of `tensor`.
+    ///
+    /// Vectors are initialized from the dominant left singular vector of each mode-n
+    /// unfolding (the initialization recommended by De Lathauwer et al.).
+    pub fn rank_one(&self, tensor: &DenseTensor) -> Result<(f64, Vec<Vec<f64>>)> {
+        let order = tensor.order();
+        if order < 2 {
+            return Err(TensorError::InvalidArgument(format!(
+                "HOPM needs an order >= 2 tensor, got order {order}"
+            )));
+        }
+        // Initialization: dominant eigenvector of T_(n) T_(n)ᵀ for each mode.
+        let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(order);
+        for mode in 0..order {
+            let unfolded = tensor.unfold(mode)?;
+            let gram = unfolded.gram();
+            let eig = SymmetricEigen::new(&gram)?;
+            let mut v = eig.eigenvectors.column(0);
+            if normalize(&mut v) <= 1e-300 {
+                // Degenerate (zero) mode: fall back to the first basis vector.
+                v = vec![0.0; tensor.shape()[mode]];
+                if !v.is_empty() {
+                    v[0] = 1.0;
+                }
+            }
+            vectors.push(v);
+        }
+
+        let mut lambda = 0.0;
+        for _ in 0..self.max_iterations {
+            let mut new_lambda = lambda;
+            for mode in 0..order {
+                let refs: Vec<&[f64]> = vectors.iter().map(|v| v.as_slice()).collect();
+                let mut fiber = tensor.contract_all_but(mode, &refs)?;
+                let norm = normalize(&mut fiber);
+                if norm <= 1e-300 {
+                    // The tensor is (numerically) zero along this direction.
+                    return Ok((0.0, vectors));
+                }
+                vectors[mode] = fiber;
+                new_lambda = norm;
+            }
+            if (new_lambda - lambda).abs() <= self.tolerance * new_lambda.abs().max(1.0) {
+                break;
+            }
+            lambda = new_lambda;
+        }
+        // λ is the multilinear form at the converged vectors (can be negative, in which
+        // case the sign is carried by the weight).
+        let refs: Vec<&[f64]> = vectors.iter().map(|v| v.as_slice()).collect();
+        let rho = tensor.multilinear_form(&refs)?;
+        Ok((rho, vectors))
+    }
+}
+
+impl RankRDecomposition for Hopm {
+    fn decompose(&self, tensor: &DenseTensor, rank: usize) -> Result<CpDecomposition> {
+        if rank == 0 {
+            return Err(TensorError::InvalidArgument(
+                "rank must be at least 1".into(),
+            ));
+        }
+        let order = tensor.order();
+        let shape = tensor.shape().to_vec();
+        let mut residual = tensor.clone();
+        let mut weights = Vec::with_capacity(rank);
+        let mut columns: Vec<Vec<Vec<f64>>> = vec![Vec::with_capacity(rank); order];
+
+        for _ in 0..rank {
+            let (lambda, vectors) = self.rank_one(&residual)?;
+            // Deflate: residual -= λ · u₁ ∘ … ∘ u_m.
+            let refs: Vec<&[f64]> = vectors.iter().map(|v| v.as_slice()).collect();
+            residual.add_rank_one(-lambda, &refs);
+            weights.push(lambda);
+            for (mode, v) in vectors.into_iter().enumerate() {
+                columns[mode].push(v);
+            }
+        }
+
+        let factors: Vec<Matrix> = columns
+            .into_iter()
+            .enumerate()
+            .map(|(mode, cols)| {
+                let mut f = Matrix::zeros(shape[mode], rank);
+                for (k, col) in cols.iter().enumerate() {
+                    f.set_column(k, col);
+                }
+                f
+            })
+            .collect();
+
+        Ok(CpDecomposition { weights, factors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_one_recovers_planted_component() {
+        let a = [0.6, 0.8];
+        let b = [1.0, 0.0, 0.0];
+        let c = [0.0, 1.0];
+        let mut t = DenseTensor::zeros(&[2, 3, 2]);
+        t.add_rank_one(3.0, &[&a, &b, &c]);
+        let (lambda, vectors) = Hopm::default().rank_one(&t).unwrap();
+        assert!((lambda - 3.0).abs() < 1e-8);
+        // Vectors match up to sign.
+        assert!((vectors[0][0].abs() - 0.6).abs() < 1e-8);
+        assert!((vectors[0][1].abs() - 0.8).abs() < 1e-8);
+        assert!((vectors[1][0].abs() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rank_one_of_matrix_matches_top_singular_value() {
+        // Diagonal matrix as an order-2 tensor: top singular value is 4.
+        let t = DenseTensor::from_vec(&[2, 2], vec![4.0, 0.0, 0.0, 1.0]).unwrap();
+        let (lambda, _) = Hopm::default().rank_one(&t).unwrap();
+        assert!((lambda - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn deflation_extracts_orthogonal_components() {
+        // Orthogonal rank-2 tensor: deflation recovers both weights.
+        let a1 = [1.0, 0.0];
+        let a2 = [0.0, 1.0];
+        let b1 = [1.0, 0.0, 0.0];
+        let b2 = [0.0, 1.0, 0.0];
+        let mut t = DenseTensor::zeros(&[2, 3, 2]);
+        t.add_rank_one(5.0, &[&a1, &b1, &a1]);
+        t.add_rank_one(2.0, &[&a2, &b2, &a2]);
+        let cp = Hopm::default().decompose(&t, 2).unwrap();
+        assert!((cp.weights[0] - 5.0).abs() < 1e-6);
+        assert!((cp.weights[1] - 2.0).abs() < 1e-6);
+        assert!(cp.relative_error(&t) < 1e-6);
+    }
+
+    #[test]
+    fn zero_tensor_gives_zero_lambda() {
+        let t = DenseTensor::zeros(&[2, 2, 2]);
+        let (lambda, _) = Hopm::default().rank_one(&t).unwrap();
+        assert_eq!(lambda, 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Hopm::default().rank_one(&DenseTensor::zeros(&[3])).is_err());
+        assert!(Hopm::default()
+            .decompose(&DenseTensor::zeros(&[2, 2]), 0)
+            .is_err());
+    }
+}

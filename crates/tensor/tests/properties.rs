@@ -1,0 +1,124 @@
+//! Property-based tests for the tensor substrate.
+
+use linalg::Matrix;
+use proptest::prelude::*;
+use tensor::{khatri_rao_list, CpAls, DenseTensor, Hopm, RankRDecomposition};
+
+/// Strategy: a random order-3 tensor with small dimensions.
+fn tensor3_strategy() -> impl Strategy<Value = DenseTensor> {
+    (2..4usize, 2..4usize, 2..4usize).prop_flat_map(|(a, b, c)| {
+        proptest::collection::vec(-3.0..3.0f64, a * b * c)
+            .prop_map(move |data| DenseTensor::from_vec(&[a, b, c], data).unwrap())
+    })
+}
+
+/// Strategy: a rank-1 order-3 tensor built from random vectors.
+fn rank1_strategy() -> impl Strategy<Value = (DenseTensor, f64)> {
+    (
+        proptest::collection::vec(-2.0..2.0f64, 3),
+        proptest::collection::vec(-2.0..2.0f64, 4),
+        proptest::collection::vec(-2.0..2.0f64, 2),
+        0.5..4.0f64,
+    )
+        .prop_map(|(a, b, c, w)| {
+            let mut t = DenseTensor::zeros(&[3, 4, 2]);
+            t.add_rank_one(w, &[&a, &b, &c]);
+            (t, w)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unfold_fold_roundtrip(t in tensor3_strategy()) {
+        for mode in 0..3 {
+            let unfolded = t.unfold(mode).unwrap();
+            let folded = DenseTensor::fold(&unfolded, mode, t.shape()).unwrap();
+            prop_assert_eq!(&folded, &t);
+        }
+    }
+
+    #[test]
+    fn unfolding_preserves_frobenius_norm(t in tensor3_strategy()) {
+        for mode in 0..3 {
+            let unfolded = t.unfold(mode).unwrap();
+            prop_assert!((unfolded.frobenius_norm() - t.frobenius_norm()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mode_product_matches_unfolded_matmul(t in tensor3_strategy()) {
+        // B = T ×₀ U  ⇔  B₍₀₎ = U · T₍₀₎
+        let rows = 3usize;
+        let u = Matrix::from_vec(rows, t.shape()[0], (0..rows * t.shape()[0]).map(|i| (i as f64) * 0.1 - 0.4).collect()).unwrap();
+        let b = t.mode_product(0, &u).unwrap();
+        let lhs = b.unfold(0).unwrap();
+        let rhs = u.matmul(&t.unfold(0).unwrap()).unwrap();
+        prop_assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn multilinear_form_is_multilinear_in_scaling(t in tensor3_strategy(), s in 0.1..3.0f64) {
+        let v0 = vec![1.0, -0.5, 0.3, 0.7][..t.shape()[0]].to_vec();
+        let v1 = vec![0.2, 1.0, -1.0, 0.4][..t.shape()[1]].to_vec();
+        let v2 = vec![-0.3, 0.8, 1.0, 0.1][..t.shape()[2]].to_vec();
+        let base = t.multilinear_form(&[&v0, &v1, &v2]).unwrap();
+        let scaled_v0: Vec<f64> = v0.iter().map(|x| s * x).collect();
+        let scaled = t.multilinear_form(&[&scaled_v0, &v1, &v2]).unwrap();
+        prop_assert!((scaled - s * base).abs() < 1e-9 * (1.0 + base.abs()));
+    }
+
+    #[test]
+    fn rank1_tensors_are_exactly_recovered(pair in rank1_strategy()) {
+        let (t, _) = pair;
+        if t.frobenius_norm() < 1e-6 {
+            // Degenerate draw (a random vector was nearly zero); skip.
+            return Ok(());
+        }
+        let cp = CpAls::default().decompose(&t, 1).unwrap();
+        prop_assert!(cp.relative_error(&t) < 1e-6);
+        let (lambda, vecs) = Hopm::default().rank_one(&t).unwrap();
+        let mut rec = DenseTensor::zeros(t.shape());
+        let refs: Vec<&[f64]> = vecs.iter().map(|v| v.as_slice()).collect();
+        rec.add_rank_one(lambda, &refs);
+        prop_assert!(rec.sub(&t).unwrap().frobenius_norm() / t.frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn cp_relative_error_is_at_most_one(t in tensor3_strategy()) {
+        if t.frobenius_norm() < 1e-9 {
+            return Ok(());
+        }
+        let cp = CpAls::default().decompose(&t, 2).unwrap();
+        let err = cp.relative_error(&t);
+        prop_assert!(err <= 1.0 + 1e-9, "relative error {err} exceeds 1");
+    }
+
+    #[test]
+    fn khatri_rao_matches_rank1_unfolding(
+        a in proptest::collection::vec(-2.0..2.0f64, 3),
+        b in proptest::collection::vec(-2.0..2.0f64, 2),
+        c in proptest::collection::vec(-2.0..2.0f64, 4),
+    ) {
+        let mut t = DenseTensor::zeros(&[3, 2, 4]);
+        t.add_rank_one(1.0, &[&a, &b, &c]);
+        let fa = Matrix::column_vector(&a);
+        let fb = Matrix::column_vector(&b);
+        let fc = Matrix::column_vector(&c);
+        let factors = [&fa, &fb, &fc];
+        for mode in 0..3 {
+            let others: Vec<&Matrix> = (0..3).rev().filter(|&k| k != mode).map(|k| factors[k]).collect();
+            let kr = khatri_rao_list(&others).unwrap();
+            let expected = factors[mode].matmul_t(&kr).unwrap();
+            let unfolded = t.unfold(mode).unwrap();
+            prop_assert!(unfolded.sub(&expected).unwrap().max_abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn hopm_lambda_bounded_by_frobenius_norm(t in tensor3_strategy()) {
+        let (lambda, _) = Hopm::default().rank_one(&t).unwrap();
+        prop_assert!(lambda.abs() <= t.frobenius_norm() + 1e-9);
+    }
+}

@@ -1,0 +1,61 @@
+//! Internet advertisement classification scenario from the paper's §5.1.2: three sparse
+//! binary term views of a hyperlinked image, only 100 labeled instances, and the
+//! over-fitting trap of naive feature concatenation.
+//!
+//! Run with: `cargo run --release --example ads_classification`
+
+use baselines::feature::concatenate_views;
+use multiview_tcca::prelude::*;
+
+fn main() {
+    // A scaled-down Ads-like dataset (the full 588/495/472 views make the covariance
+    // tensor ~1 GB; we keep the structure but trim each view — see EXPERIMENTS.md).
+    let data = ads_dataset(&AdsConfig {
+        n_instances: 800,
+        seed: 29,
+        difficulty: 0.55,
+    });
+    let views: Vec<Matrix> = data
+        .views()
+        .iter()
+        .map(|v| v.select_rows(&(0..v.rows().min(140)).collect::<Vec<_>>()))
+        .collect();
+    println!(
+        "dataset: {} instances, trimmed views {:?}",
+        data.len(),
+        views.iter().map(|v| v.rows()).collect::<Vec<_>>()
+    );
+
+    let labeled: Vec<usize> = (0..100).collect();
+    let rest: Vec<usize> = (100..data.len()).collect();
+    let train_labels: Vec<usize> = labeled.iter().map(|&i| data.labels()[i]).collect();
+    let test_labels: Vec<usize> = rest.iter().map(|&i| data.labels()[i]).collect();
+
+    let evaluate = |embedding: &Matrix| -> f64 {
+        let rls = RlsClassifier::fit(
+            &embedding.select_rows(&labeled),
+            &train_labels,
+            data.num_classes(),
+            1e-2,
+        );
+        accuracy(&rls.predict(&embedding.select_rows(&rest)), &test_labels)
+    };
+
+    // CAT: concatenate all (normalized) features — high-dimensional, prone to over-fit
+    // with only 100 labels.
+    let cat = concatenate_views(&views);
+    println!("CAT  ({} dims): {:.2}%", cat.cols(), 100.0 * evaluate(&cat));
+
+    // Two-view CCA on the best pair (here simply the first pair for the demo).
+    let cca = Cca::fit(&views[0], &views[1], 10, 1e-2).expect("CCA fit");
+    let z_cca = cca.transform(&views[0], &views[1]).expect("CCA transform");
+    println!("CCA  ({} dims): {:.2}%", z_cca.cols(), 100.0 * evaluate(&z_cca));
+
+    // TCCA across all three views.
+    let tcca = Tcca::fit(&views, &TccaOptions::with_rank(10)).expect("TCCA fit");
+    let z_tcca = tcca.transform(&views).expect("TCCA transform");
+    println!("TCCA ({} dims): {:.2}%", z_tcca.cols(), 100.0 * evaluate(&z_tcca));
+
+    println!("\nThe low-dimensional common-subspace representations avoid the CAT");
+    println!("over-fitting regime the paper describes for the Ads dataset (Fig. 4).");
+}

