@@ -134,7 +134,11 @@ mod tests {
     fn finds_strong_correlation_in_shared_signal() {
         let (v1, v2) = correlated_views(300, 1);
         let cca = Cca::fit(&v1, &v2, 2, 1e-3).unwrap();
-        assert!(cca.correlations()[0] > 0.95, "top correlation {}", cca.correlations()[0]);
+        assert!(
+            cca.correlations()[0] > 0.95,
+            "top correlation {}",
+            cca.correlations()[0]
+        );
         // The second direction carries almost no shared signal.
         assert!(cca.correlations()[1] < 0.5);
     }

@@ -264,7 +264,11 @@ mod tests {
     fn recovers_shared_component_across_three_views() {
         let views = shared_signal_views(250, 3, 21);
         let model = CcaLs::fit(&views, 1, 1e-3).unwrap();
-        assert!(model.alignments()[0] > 0.95, "alignment {:?}", model.alignments());
+        assert!(
+            model.alignments()[0] > 0.95,
+            "alignment {:?}",
+            model.alignments()
+        );
         assert!(model.iterations() >= 1);
         let z = model.transform(&views).unwrap();
         assert_eq!(z.shape(), (250, 3));

@@ -14,6 +14,83 @@
 use crate::{BaselineError, Pca, Result};
 use linalg::{Matrix, Svd};
 
+/// Learn the rank-`rank` consensus of per-view embeddings `A_p` (`N × k_p`, instances
+/// as rows): each embedding is scaled to unit Frobenius norm (so no view dominates),
+/// the scaled embeddings are column-stacked and the consensus `B` is the top-`rank`
+/// left singular subspace. Returns `(B, relative_residual)` with the residual
+/// `Σ_p ‖A_p − B P_p‖²_F / Σ_p ‖A_p‖²_F` of the factorization.
+///
+/// This is DSE's second stage, shared with SSMVD's inner loop and reusable behind any
+/// per-view pre-reduction (the `mvcore` pipeline runs PCA first, like the paper).
+pub fn consensus_embedding(embeddings: &[Matrix], rank: usize) -> Result<(Matrix, f64)> {
+    if embeddings.is_empty() {
+        return Err(BaselineError::InvalidInput("need at least one view".into()));
+    }
+    if rank == 0 {
+        return Err(BaselineError::InvalidInput("rank must be positive".into()));
+    }
+    let normalized = normalize_unit_frobenius(embeddings);
+    let mut stacked: Option<Matrix> = None;
+    for a in &normalized {
+        stacked = Some(match stacked {
+            None => a.clone(),
+            Some(acc) => acc.hstack(a)?,
+        });
+    }
+    let stacked = stacked.expect("at least one view");
+
+    let svd = Svd::new(&stacked)?;
+    let r = rank.min(svd.len());
+    let b = svd.u.leading_columns(r);
+
+    // Residual of the factorization (P_p = Bᵀ A_p is optimal for orthonormal B).
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for a in &normalized {
+        let p = b.t_matmul(a)?;
+        let approx = b.matmul(&p)?;
+        num += a.sub(&approx)?.frobenius_norm().powi(2);
+        den += a.frobenius_norm().powi(2);
+    }
+    Ok((b, if den > 0.0 { num / den } else { 0.0 }))
+}
+
+/// Scale each embedding to unit Frobenius norm (degenerate all-zero embeddings are
+/// returned unchanged) — the "no view dominates the consensus" normalization shared
+/// by DSE and SSMVD.
+pub(crate) fn normalize_unit_frobenius(embeddings: &[Matrix]) -> Vec<Matrix> {
+    embeddings
+        .iter()
+        .map(|a| {
+            let norm = a.frobenius_norm();
+            if norm > 1e-12 {
+                a.scale(1.0 / norm)
+            } else {
+                a.clone()
+            }
+        })
+        .collect()
+}
+
+/// Reduce each `d_p × N` view to at most `per_view_dim` principal components,
+/// returning the `N × k_p` score matrices (DSE's and SSMVD's first stage).
+pub fn per_view_pca(views: &[Matrix], per_view_dim: usize) -> Result<Vec<Matrix>> {
+    if per_view_dim == 0 {
+        return Err(BaselineError::InvalidInput(
+            "per-view dimension must be positive".into(),
+        ));
+    }
+    let n = views.first().map_or(0, Matrix::cols);
+    views
+        .iter()
+        .map(|v| {
+            let k = per_view_dim.min(v.rows()).min(n.max(1));
+            let pca = Pca::fit(v, k)?;
+            pca.transform(v)
+        })
+        .collect()
+}
+
 /// A fitted (transductive) DSE embedding.
 #[derive(Debug, Clone)]
 pub struct Dse {
@@ -47,50 +124,32 @@ impl Dse {
             }
         }
 
-        // Step 1: per-view PCA embeddings A_p (N × k_p), scaled to unit Frobenius norm so
-        // no single view dominates the consensus.
-        let mut stacked: Option<Matrix> = None;
-        let mut embeddings = Vec::with_capacity(views.len());
-        for v in views {
-            let k = per_view_dim.min(v.rows()).min(n.max(1));
-            let pca = Pca::fit(v, k)?;
-            let mut a = pca.transform(v)?;
-            let norm = a.frobenius_norm();
-            if norm > 1e-12 {
-                a = a.scale(1.0 / norm);
-            }
-            stacked = Some(match stacked {
-                None => a.clone(),
-                Some(acc) => acc.hstack(&a)?,
-            });
-            embeddings.push(a);
-        }
-        let stacked = stacked.expect("at least one view");
-
-        // Step 2: consensus B = top-r left singular vectors of [A_1 … A_m].
-        let svd = Svd::new(&stacked)?;
-        let r = rank.min(svd.len());
-        let b = svd.u.leading_columns(r);
-
-        // Residual of the factorization (P_p = Bᵀ A_p is optimal for orthonormal B).
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for a in &embeddings {
-            let p = b.t_matmul(a)?;
-            let approx = b.matmul(&p)?;
-            num += a.sub(&approx)?.frobenius_norm().powi(2);
-            den += a.frobenius_norm().powi(2);
-        }
+        // Step 1: per-view PCA embeddings A_p (N × k_p).
+        // Step 2: unit-Frobenius normalization and consensus B = top-r left singular
+        // vectors of [A_1 … A_m], via the shared consensus stage.
+        let embeddings = per_view_pca(views, per_view_dim)?;
+        let (embedding, relative_residual) = consensus_embedding(&embeddings, rank)?;
 
         Ok(Self {
-            embedding: b,
-            relative_residual: if den > 0.0 { num / den } else { 0.0 },
+            embedding,
+            relative_residual,
         })
     }
 
     /// The consensus embedding (`N × r`, instances as rows).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `mvcore::MultiViewEstimator` API: fit \"DSE\" through the \
+                registry and call `transform` on the returned model"
+    )]
     pub fn embedding(&self) -> &Matrix {
         &self.embedding
+    }
+
+    /// The consensus embedding (`N × r`), by value — the train-time representation
+    /// DSE produces (the method is transductive and has no out-of-sample map).
+    pub fn into_embedding(self) -> Matrix {
+        self.embedding
     }
 
     /// Relative residual of the consensus factorization (0 = views perfectly agree).
@@ -100,6 +159,7 @@ impl Dse {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated `embedding()` accessor keeps its coverage
 mod tests {
     use super::*;
     use datasets::GaussianRng;
@@ -113,7 +173,8 @@ mod tests {
             let t2 = rng.standard_normal();
             for v in views.iter_mut() {
                 for i in 0..v.rows() {
-                    v[(i, j)] = t1 * (i as f64 + 1.0) + t2 * ((i % 3) as f64) * 0.5
+                    v[(i, j)] = t1 * (i as f64 + 1.0)
+                        + t2 * ((i % 3) as f64) * 0.5
                         + 0.1 * rng.standard_normal();
                 }
             }

@@ -134,7 +134,11 @@ mod tests {
     fn finds_high_correlation_for_shared_signal() {
         let (k1, k2) = correlated_kernels(60, 71);
         let kcca = Kcca::fit(&k1, &k2, 2, 1e-1).unwrap();
-        assert!(kcca.correlations()[0] > 0.8, "corr {:?}", kcca.correlations());
+        assert!(
+            kcca.correlations()[0] > 0.8,
+            "corr {:?}",
+            kcca.correlations()
+        );
         assert!(kcca.correlations()[0] <= 1.0 + 1e-6);
     }
 

@@ -156,7 +156,13 @@ mod tests {
         assert_eq!(z.shape(), (3, 2));
         // Unit-norm components.
         for k in 0..2 {
-            let norm: f64 = pca.components().column(k).iter().map(|v| v * v).sum::<f64>().sqrt();
+            let norm: f64 = pca
+                .components()
+                .column(k)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt();
             assert!((norm - 1.0).abs() < 1e-6 || norm < 1e-6);
         }
     }

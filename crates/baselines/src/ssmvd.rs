@@ -17,8 +17,78 @@
 //! DESIGN.md; it preserves the behaviour the experiments compare: a consensus embedding
 //! that is more robust than DSE when one view is noisy, at a similar cost.
 
-use crate::{BaselineError, Pca, Result};
+use crate::dse::per_view_pca;
+use crate::{BaselineError, Result};
 use linalg::{Matrix, Svd};
+
+/// SSMVD's IRLS consensus stage on per-view embeddings `A_p` (`N × k_p`, instances as
+/// rows): alternate between the view-weighted consensus SVD and the IRLS group-sparse
+/// weight update. Returns `(B, view_weights, iterations)`.
+///
+/// Shared between [`Ssmvd::fit`] and the `mvcore` pipeline (which performs the
+/// per-view PCA pre-reduction before calling this).
+pub fn irls_consensus(
+    embeddings: &[Matrix],
+    rank: usize,
+    options: &SsmvdOptions,
+) -> Result<(Matrix, Vec<f64>, usize)> {
+    if embeddings.is_empty() {
+        return Err(BaselineError::InvalidInput("need at least one view".into()));
+    }
+    if rank == 0 {
+        return Err(BaselineError::InvalidInput("rank must be positive".into()));
+    }
+    let m = embeddings.len();
+    let n = embeddings[0].rows();
+
+    // Unit-Frobenius normalization, shared with DSE's consensus.
+    let normalized = crate::dse::normalize_unit_frobenius(embeddings);
+
+    let mut weights = vec![1.0 / m as f64; m];
+    let mut b = Matrix::zeros(n, rank.min(n.max(1)));
+    let mut iterations = 0;
+    for iter in 0..options.max_iterations.max(1) {
+        iterations = iter + 1;
+        // (a) consensus for the current weights.
+        let mut stacked: Option<Matrix> = None;
+        for (a, &w) in normalized.iter().zip(weights.iter()) {
+            let scaled = a.scale(w.sqrt());
+            stacked = Some(match stacked {
+                None => scaled,
+                Some(acc) => acc.hstack(&scaled)?,
+            });
+        }
+        let svd = Svd::new(&stacked.expect("at least one view"))?;
+        let r = rank.min(svd.len());
+        b = svd.u.leading_columns(r);
+
+        // (b) IRLS view-weight update from the per-view residuals.
+        let mut residuals = Vec::with_capacity(m);
+        for a in &normalized {
+            let p = b.t_matmul(a)?;
+            let approx = b.matmul(&p)?;
+            residuals.push(a.sub(&approx)?.frobenius_norm());
+        }
+        let mut new_weights: Vec<f64> = residuals
+            .iter()
+            .map(|res| 1.0 / (res + options.delta))
+            .collect();
+        let sum: f64 = new_weights.iter().sum();
+        for w in &mut new_weights {
+            *w /= sum;
+        }
+        let change: f64 = new_weights
+            .iter()
+            .zip(weights.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        weights = new_weights;
+        if change < 1e-8 {
+            break;
+        }
+    }
+    Ok((b, weights, iterations))
+}
 
 /// A fitted (transductive) SSMVD embedding.
 #[derive(Debug, Clone)]
@@ -81,75 +151,31 @@ impl Ssmvd {
                 )));
             }
         }
-        let m = views.len();
-
-        // Per-view PCA embeddings, unit Frobenius norm.
-        let mut embeddings = Vec::with_capacity(m);
-        for v in views {
-            let k = options.per_view_dim.min(v.rows()).min(n.max(1));
-            let pca = Pca::fit(v, k)?;
-            let mut a = pca.transform(v)?;
-            let norm = a.frobenius_norm();
-            if norm > 1e-12 {
-                a = a.scale(1.0 / norm);
-            }
-            embeddings.push(a);
-        }
-
-        let mut weights = vec![1.0 / m as f64; m];
-        let mut b = Matrix::zeros(n, rank.min(n.max(1)));
-        let mut iterations = 0;
-        for iter in 0..options.max_iterations.max(1) {
-            iterations = iter + 1;
-            // (a) consensus for the current weights.
-            let mut stacked: Option<Matrix> = None;
-            for (a, &w) in embeddings.iter().zip(weights.iter()) {
-                let scaled = a.scale(w.sqrt());
-                stacked = Some(match stacked {
-                    None => scaled,
-                    Some(acc) => acc.hstack(&scaled)?,
-                });
-            }
-            let svd = Svd::new(&stacked.expect("at least one view"))?;
-            let r = rank.min(svd.len());
-            b = svd.u.leading_columns(r);
-
-            // (b) IRLS view-weight update from the per-view residuals.
-            let mut residuals = Vec::with_capacity(m);
-            for a in &embeddings {
-                let p = b.t_matmul(a)?;
-                let approx = b.matmul(&p)?;
-                residuals.push(a.sub(&approx)?.frobenius_norm());
-            }
-            let mut new_weights: Vec<f64> = residuals
-                .iter()
-                .map(|res| 1.0 / (res + options.delta))
-                .collect();
-            let sum: f64 = new_weights.iter().sum();
-            for w in &mut new_weights {
-                *w /= sum;
-            }
-            let change: f64 = new_weights
-                .iter()
-                .zip(weights.iter())
-                .map(|(a, b)| (a - b).abs())
-                .sum();
-            weights = new_weights;
-            if change < 1e-8 {
-                break;
-            }
-        }
+        // Stage 1: per-view PCA, then the shared IRLS consensus.
+        let embeddings = per_view_pca(views, options.per_view_dim)?;
+        let (embedding, view_weights, iterations) = irls_consensus(&embeddings, rank, &options)?;
 
         Ok(Self {
-            embedding: b,
-            view_weights: weights,
+            embedding,
+            view_weights,
             iterations,
         })
     }
 
     /// The consensus embedding (`N × r`, instances as rows).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `mvcore::MultiViewEstimator` API: fit \"SSMVD\" through the \
+                registry and call `transform` on the returned model"
+    )]
     pub fn embedding(&self) -> &Matrix {
         &self.embedding
+    }
+
+    /// The consensus embedding (`N × r`), by value — the train-time representation
+    /// SSMVD produces (the method is transductive and has no out-of-sample map).
+    pub fn into_embedding(self) -> Matrix {
+        self.embedding
     }
 
     /// The adaptive view weights (sum to 1).
@@ -164,6 +190,7 @@ impl Ssmvd {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated `embedding()` accessor keeps its coverage
 mod tests {
     use super::*;
     use datasets::GaussianRng;

@@ -178,7 +178,11 @@ fn print_table(title: &str, result: &ExperimentResult) {
 /// SecStr experiment (Fig. 3 / Table 1 / Fig. 7). Returns one result per unlabeled-pool
 /// size (the paper's 84K and 1.3M panels, scaled down).
 fn run_secstr(cli: &Cli) -> Vec<(String, ExperimentResult)> {
-    let pools = if cli.full { vec![3000, 8000] } else { vec![1000, 3000] };
+    let pools = if cli.full {
+        vec![3000, 8000]
+    } else {
+        vec![1000, 3000]
+    };
     let config = ExperimentConfig {
         dims: vec![5, 10, 20, 40, 80],
         epsilon: 1e-2,
@@ -333,7 +337,11 @@ fn run_ablation_epsilon(cli: &Cli) {
 /// Ablation: number of unlabeled instances (the paper's observation 3 on Table 1).
 fn run_ablation_unlabeled(cli: &Cli) {
     println!("\n=== Ablation: unlabeled pool size (SecStr-like) ===");
-    let methods = [LinearMethod::CcaBst, LinearMethod::CcaLs, LinearMethod::Tcca];
+    let methods = [
+        LinearMethod::CcaBst,
+        LinearMethod::CcaLs,
+        LinearMethod::Tcca,
+    ];
     for n in [400usize, 1200, 2400] {
         let data = secstr(n, 17);
         let config = ExperimentConfig {

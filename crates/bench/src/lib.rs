@@ -13,11 +13,13 @@
 //! | `fig7`–`fig10`   | time and memory cost vs dimension on each dataset |
 //! | `ablation-*`     | decomposition-method and regularization ablations (not in paper) |
 //!
-//! Module map: [`methods`] wraps every compared method behind a single
-//! "fit on a multi-view dataset, return an `N × dim` embedding plus cost accounting"
-//! interface; [`runner`] implements the paper's evaluation protocol (labeled subsets,
-//! 20% validation split, best-dimension selection, mean ± std over seeds); [`memcost`]
-//! is the allocation model used for the "memory cost" curves.
+//! Module map: [`methods`] resolves every compared method by name through the
+//! `mvcore` [`mvcore::EstimatorRegistry`] — one [`mvcore::FitSpec`] drives every fit,
+//! and candidates, combine rules and memory accounting all come uniformly from the
+//! fitted [`mvcore::MultiViewModel`]; [`runner`] implements the paper's evaluation
+//! protocol (labeled subsets, 20% validation split, best-dimension selection,
+//! mean ± std over seeds); [`memcost`] re-exports the allocation model that now lives
+//! in `mvcore`.
 //!
 //! Criterion micro-benchmarks (`benches/`) cover the tensor decompositions, the
 //! whitening step, end-to-end fits and the kernel pipeline.
@@ -30,8 +32,8 @@ pub mod methods;
 pub mod runner;
 
 pub use memcost::MemoryModel;
-pub use methods::{KernelMethod, LinearMethod, MethodOutput};
+pub use methods::{registry, KernelMethod, LinearMethod, MethodOutput};
 pub use runner::{
-    kernel_experiment, linear_experiment, sweep_to_table, ExperimentConfig, ExperimentResult,
-    MethodCurve,
+    kernel_experiment, kernel_experiment_named, linear_experiment, linear_experiment_named,
+    sweep_to_table, ExperimentConfig, ExperimentResult, MethodCurve,
 };

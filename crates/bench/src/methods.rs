@@ -1,42 +1,40 @@
-//! A uniform "fit → representation + cost" wrapper around every compared method.
+//! Registry-driven method dispatch for the experiment harness.
 //!
 //! The experiment runner does not care how a method works internally; it needs, for a
 //! given dataset and subspace dimension, one or more candidate representations of all
-//! instances plus the wall-clock time and modelled memory of producing them. Methods
-//! that internally evaluate several sub-models (CCA on every view pair) return one
-//! candidate per sub-model together with a [`CombineRule`] telling the runner whether to
-//! pick the best on validation (BST) or to combine predictions (AVG).
+//! instances plus the wall-clock time and modelled memory of producing them. All of
+//! that now comes uniformly from the `mvcore` estimator API: a method name resolves
+//! through the [`EstimatorRegistry`], fits under one [`FitSpec`], and its fitted
+//! [`mvcore::MultiViewModel`] supplies the candidates ([`Output`]), the
+//! [`CombineRule`] and the [`MemoryModel`] — no per-method plumbing anywhere in this
+//! crate.
+//!
+//! [`LinearMethod`] and [`KernelMethod`] remain as typed method lists in the paper's
+//! table order; their `run` methods are thin wrappers over [`run_registered`].
 
 use crate::memcost::MemoryModel;
-use baselines::{
-    feature::{average_kernels, concatenate_views, kernel_to_distances, view_as_instances},
-    CcaLs, CcaMaxVar, Dse, Kcca, PairwiseCca, PairwiseKcca, Ssmvd,
-};
 use datasets::MultiViewDataset;
 use linalg::Matrix;
+use mvcore::{EstimatorRegistry, FitSpec};
+use std::sync::OnceLock;
 use std::time::Instant;
-use tcca::{Ktcca, KtccaOptions, Tcca, TccaOptions};
 
-/// How an instance is represented for the downstream learner.
-#[derive(Debug, Clone)]
-pub enum Representation {
-    /// An `N × dim` embedding; learners use it directly (RLS) or via Euclidean
-    /// distances (kNN).
-    Embedding(Matrix),
-    /// An `N × N` precomputed squared-distance matrix (kernel baselines evaluated by
-    /// kNN without an explicit embedding).
-    Distances(Matrix),
+pub use mvcore::{CombineRule, Output};
+
+/// How an instance is represented for the downstream learner (re-export of
+/// [`mvcore::Output`] under the harness's historical name).
+pub type Representation = Output;
+
+/// The process-wide estimator registry the harness dispatches through.
+pub fn registry() -> &'static EstimatorRegistry {
+    static REGISTRY: OnceLock<EstimatorRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(EstimatorRegistry::with_builtin)
 }
 
-/// How multiple candidate representations are turned into one prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CombineRule {
-    /// Evaluate each candidate on the validation split and keep the best (the paper's
-    /// "BST" variants, and the BSF / BSK single-view baselines).
-    SelectBest,
-    /// Combine all candidates — averaged RLS decision scores or kNN majority vote (the
-    /// paper's "AVG" variants).
-    Average,
+/// True when a method's representation changes with the subspace dimension `r`
+/// (the flat feature/kernel baselines are constant lines in the paper's figures).
+pub fn rank_dependent(name: &str) -> bool {
+    !matches!(name, "BSF" | "CAT" | "BSK" | "AVG")
 }
 
 /// The output of fitting one method at one operating point.
@@ -53,6 +51,40 @@ pub struct MethodOutput {
     pub seconds: f64,
     /// Modelled memory cost.
     pub memory: MemoryModel,
+}
+
+/// Resolve `name` through the registry, fit it on the inputs (feature views or
+/// centered Gram matrices, per the estimator's input kind) and collect its candidate
+/// representations plus cost accounting.
+pub fn run_registered(name: &str, inputs: &[Matrix], spec: &FitSpec) -> MethodOutput {
+    let estimator = registry()
+        .get(name)
+        .unwrap_or_else(|e| panic!("resolving {name}: {e}"));
+    let start = Instant::now();
+    let model = estimator
+        .fit(inputs, spec)
+        .unwrap_or_else(|e| panic!("fitting {name}: {e}"));
+    let candidates = model
+        .outputs(inputs)
+        .unwrap_or_else(|e| panic!("transforming {name}: {e}"));
+    MethodOutput {
+        name: model.name().to_string(),
+        candidates,
+        combine: model.combine(),
+        seconds: start.elapsed().as_secs_f64(),
+        memory: model.memory().clone(),
+    }
+}
+
+/// The [`FitSpec`] one experiment operating point translates into. The experiment's
+/// `tcca_iterations` caps only the tensor decomposition (the dominant cost); the
+/// other iterative solvers (CCA-LS, SSMVD's IRLS) keep the spec's general,
+/// convergence-bounded budget.
+pub fn experiment_spec(rank: usize, epsilon: f64, seed: u64, tcca_iterations: usize) -> FitSpec {
+    FitSpec::with_rank(rank)
+        .epsilon(epsilon)
+        .seed(seed)
+        .decomposition_iterations(tcca_iterations)
 }
 
 /// The linear methods of the paper's Tables 1–3 / Figures 3–5 and 7–9.
@@ -80,7 +112,7 @@ pub enum LinearMethod {
 }
 
 impl LinearMethod {
-    /// The display name used in the paper's tables.
+    /// The display name used in the paper's tables (and the registry key).
     pub fn name(&self) -> &'static str {
         match self {
             LinearMethod::Bsf => "BSF",
@@ -109,14 +141,13 @@ impl LinearMethod {
         ]
     }
 
-    /// True when the representation changes with the subspace dimension `r`
-    /// (BSF and CAT are flat lines in the paper's figures).
+    /// True when the representation changes with the subspace dimension `r`.
     pub fn depends_on_rank(&self) -> bool {
-        !matches!(self, LinearMethod::Bsf | LinearMethod::Cat)
+        rank_dependent(self.name())
     }
 
     /// Fit the method on a multi-view dataset and produce representations of all
-    /// instances.
+    /// instances, dispatching through the estimator registry.
     ///
     /// * `rank` — the subspace dimension `r` (per view where applicable).
     /// * `epsilon` — the CCA/TCCA regularizer ε.
@@ -130,112 +161,8 @@ impl LinearMethod {
         seed: u64,
         tcca_iterations: usize,
     ) -> MethodOutput {
-        let views = dataset.views();
-        let n = dataset.len();
-        let dims = dataset.dimensions();
-        let start = Instant::now();
-        let mut memory = MemoryModel::new();
-
-        let (candidates, combine) = match self {
-            LinearMethod::Bsf => {
-                let cands: Vec<Representation> = views
-                    .iter()
-                    .map(|v| Representation::Embedding(view_as_instances(v)))
-                    .collect();
-                for (p, d) in dims.iter().enumerate() {
-                    memory.add_matrix(format!("view {p} features"), n, *d);
-                }
-                (cands, CombineRule::SelectBest)
-            }
-            LinearMethod::Cat => {
-                let cat = concatenate_views(views);
-                memory.add_matrix("concatenated features", cat.rows(), cat.cols());
-                (vec![Representation::Embedding(cat)], CombineRule::SelectBest)
-            }
-            LinearMethod::CcaBst | LinearMethod::CcaAvg => {
-                let pw = PairwiseCca::fit(views, rank, epsilon).expect("pairwise CCA fit");
-                for &(p, q) in pw.pairs() {
-                    memory.add_matrix(format!("C{p}{p}"), dims[p], dims[p]);
-                    memory.add_matrix(format!("C{q}{q}"), dims[q], dims[q]);
-                    memory.add_matrix(format!("C{p}{q}"), dims[p], dims[q]);
-                    memory.add_matrix(format!("embedding {p}-{q}"), n, 2 * rank);
-                }
-                let cands = pw
-                    .transform_all(views)
-                    .expect("pairwise CCA transform")
-                    .into_iter()
-                    .map(Representation::Embedding)
-                    .collect();
-                let rule = if matches!(self, LinearMethod::CcaBst) {
-                    CombineRule::SelectBest
-                } else {
-                    CombineRule::Average
-                };
-                (cands, rule)
-            }
-            LinearMethod::CcaLs => {
-                let model = CcaLs::fit(views, rank, epsilon).expect("CCA-LS fit");
-                for (p, d) in dims.iter().enumerate() {
-                    memory.add_matrix(format!("gram {p}"), *d, *d);
-                }
-                memory.add_matrix("embedding", n, rank * views.len());
-                let z = model.transform(views).expect("CCA-LS transform");
-                (vec![Representation::Embedding(z)], CombineRule::SelectBest)
-            }
-            LinearMethod::CcaMaxVar => {
-                let model = CcaMaxVar::fit(views, rank, epsilon).expect("CCA-MAXVAR fit");
-                let total: usize = dims.iter().sum();
-                memory.add_matrix("stacked whitened views", n, total);
-                memory.add_matrix("embedding", n, rank * views.len());
-                let z = model.transform(views).expect("CCA-MAXVAR transform");
-                (vec![Representation::Embedding(z)], CombineRule::SelectBest)
-            }
-            LinearMethod::Dse => {
-                let per_view = 100;
-                let model = Dse::fit(views, rank, per_view).expect("DSE fit");
-                for (p, d) in dims.iter().enumerate() {
-                    memory.add_matrix(format!("PCA view {p}"), n, per_view.min(*d));
-                }
-                memory.add_matrix("consensus", n, rank);
-                (
-                    vec![Representation::Embedding(model.embedding().clone())],
-                    CombineRule::SelectBest,
-                )
-            }
-            LinearMethod::Ssmvd => {
-                let per_view = 100;
-                let model = Ssmvd::fit(views, rank, per_view).expect("SSMVD fit");
-                for (p, d) in dims.iter().enumerate() {
-                    memory.add_matrix(format!("PCA view {p}"), n, per_view.min(*d));
-                }
-                memory.add_matrix("consensus", n, rank);
-                (
-                    vec![Representation::Embedding(model.embedding().clone())],
-                    CombineRule::SelectBest,
-                )
-            }
-            LinearMethod::Tcca => {
-                let mut options = TccaOptions::with_rank(rank).epsilon(epsilon).seed(seed);
-                options.max_iterations = tcca_iterations;
-                let model = Tcca::fit(views, &options).expect("TCCA fit");
-                memory.add_tensor("covariance tensor", &dims);
-                for (p, d) in dims.iter().enumerate() {
-                    memory.add_matrix(format!("whitener {p}"), *d, *d);
-                    memory.add_matrix(format!("factor {p}"), *d, rank);
-                }
-                memory.add_matrix("embedding", n, rank * views.len());
-                let z = model.transform(views).expect("TCCA transform");
-                (vec![Representation::Embedding(z)], CombineRule::SelectBest)
-            }
-        };
-
-        MethodOutput {
-            name: self.name().to_string(),
-            candidates,
-            combine,
-            seconds: start.elapsed().as_secs_f64(),
-            memory,
-        }
+        let spec = experiment_spec(rank, epsilon, seed, tcca_iterations);
+        run_registered(self.name(), dataset.views(), &spec)
     }
 }
 
@@ -255,7 +182,7 @@ pub enum KernelMethod {
 }
 
 impl KernelMethod {
-    /// The display name used in the paper's Table 4.
+    /// The display name used in the paper's Table 4 (and the registry key).
     pub fn name(&self) -> &'static str {
         match self {
             KernelMethod::Bsk => "BSK",
@@ -279,10 +206,11 @@ impl KernelMethod {
 
     /// True when the representation changes with the subspace dimension `r`.
     pub fn depends_on_rank(&self) -> bool {
-        !matches!(self, KernelMethod::Bsk | KernelMethod::Avg)
+        rank_dependent(self.name())
     }
 
-    /// Fit the method on per-view centered Gram matrices (`N × N`, one per view).
+    /// Fit the method on per-view centered Gram matrices (`N × N`, one per view),
+    /// dispatching through the estimator registry.
     pub fn run(
         &self,
         kernels: &[Matrix],
@@ -291,74 +219,15 @@ impl KernelMethod {
         seed: u64,
         tcca_iterations: usize,
     ) -> MethodOutput {
-        let n = kernels[0].rows();
-        let m = kernels.len();
-        let start = Instant::now();
-        let mut memory = MemoryModel::new();
-        for p in 0..m {
-            memory.add_matrix(format!("kernel {p}"), n, n);
-        }
-
-        let (candidates, combine) = match self {
-            KernelMethod::Bsk => {
-                let cands: Vec<Representation> = kernels
-                    .iter()
-                    .map(|k| Representation::Distances(kernel_to_distances(k)))
-                    .collect();
-                memory.add_matrix("distance matrices", n, n * m);
-                (cands, CombineRule::SelectBest)
-            }
-            KernelMethod::Avg => {
-                let avg = average_kernels(kernels);
-                memory.add_matrix("averaged kernel", n, n);
-                (
-                    vec![Representation::Distances(kernel_to_distances(&avg))],
-                    CombineRule::SelectBest,
-                )
-            }
-            KernelMethod::KccaBst | KernelMethod::KccaAvg => {
-                let pw = PairwiseKcca::fit(kernels, rank, epsilon).expect("pairwise KCCA fit");
-                for _ in pw.pairs() {
-                    memory.add_matrix("dual coefficients", n, 2 * rank);
-                }
-                let cands = pw
-                    .transform_all(kernels)
-                    .expect("pairwise KCCA transform")
-                    .into_iter()
-                    .map(Representation::Embedding)
-                    .collect();
-                let rule = if matches!(self, KernelMethod::KccaBst) {
-                    CombineRule::SelectBest
-                } else {
-                    CombineRule::Average
-                };
-                (cands, rule)
-            }
-            KernelMethod::Ktcca => {
-                let mut options = KtccaOptions::with_rank(rank).epsilon(epsilon).seed(seed);
-                options.max_iterations = tcca_iterations;
-                let model = Ktcca::fit(kernels, &options).expect("KTCCA fit");
-                memory.add_tensor("gram tensor", &vec![n; m]);
-                memory.add_matrix("dual coefficients", n, rank * m);
-                let z = model.transform(kernels).expect("KTCCA transform");
-                (vec![Representation::Embedding(z)], CombineRule::SelectBest)
-            }
-        };
-
-        MethodOutput {
-            name: self.name().to_string(),
-            candidates,
-            combine,
-            seconds: start.elapsed().as_secs_f64(),
-            memory,
-        }
+        let spec = experiment_spec(rank, epsilon, seed, tcca_iterations);
+        run_registered(self.name(), kernels, &spec)
     }
 }
 
 /// Convenience: two-view KCCA exposed for the ablation benches (fitting a single pair
 /// instead of all pairs).
-pub fn fit_single_kcca(k1: &Matrix, k2: &Matrix, rank: usize, epsilon: f64) -> Kcca {
-    Kcca::fit(k1, k2, rank, epsilon).expect("KCCA fit")
+pub fn fit_single_kcca(k1: &Matrix, k2: &Matrix, rank: usize, epsilon: f64) -> baselines::Kcca {
+    baselines::Kcca::fit(k1, k2, rank, epsilon).expect("KCCA fit")
 }
 
 #[cfg(test)]
@@ -383,6 +252,20 @@ mod tests {
         assert!(LinearMethod::Tcca.depends_on_rank());
         assert!(!KernelMethod::Avg.depends_on_rank());
         assert!(KernelMethod::Ktcca.depends_on_rank());
+    }
+
+    #[test]
+    fn every_paper_method_resolves_through_the_registry() {
+        for method in LinearMethod::paper_set() {
+            assert!(registry().contains(method.name()), "{}", method.name());
+        }
+        for method in KernelMethod::paper_set() {
+            assert!(registry().contains(method.name()), "{}", method.name());
+        }
+        assert_eq!(
+            registry().input_kind("KTCCA"),
+            Some(mvcore::InputKind::Kernels)
+        );
     }
 
     #[test]

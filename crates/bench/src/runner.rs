@@ -9,10 +9,13 @@
 //! (candidate sub-model for BST baselines, `k` for kNN, the dimension for the tables) on
 //! validation accuracy, and (v) reports test accuracy.
 
-use crate::methods::{CombineRule, KernelMethod, LinearMethod, MethodOutput, Representation};
+use crate::methods::{
+    experiment_spec, rank_dependent, run_registered, CombineRule, KernelMethod, LinearMethod,
+    MethodOutput, Representation,
+};
 use datasets::{
-    center_kernel, gram_matrix, labeled_subset, labeled_subset_per_class, validation_split,
-    Kernel, MultiViewDataset,
+    center_kernel, gram_matrix, labeled_subset, labeled_subset_per_class, validation_split, Kernel,
+    MultiViewDataset,
 };
 use learners::{accuracy, mean_std, KnnClassifier, RlsClassifier};
 use linalg::Matrix;
@@ -116,7 +119,10 @@ pub struct ExperimentResult {
 /// Render the best-dimension summaries as aligned text rows (the paper's table format).
 pub fn sweep_to_table(result: &ExperimentResult) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<12} {:>14} {:>10}\n", "Method", "Accuracy (%)", "best r"));
+    out.push_str(&format!(
+        "{:<12} {:>14} {:>10}\n",
+        "Method", "Accuracy (%)", "best r"
+    ));
     for row in &result.best {
         out.push_str(&format!(
             "{:<12} {:>14} {:>10}\n",
@@ -144,13 +150,27 @@ pub fn linear_experiment(
     methods: &[LinearMethod],
     config: &ExperimentConfig,
 ) -> ExperimentResult {
+    let names: Vec<&str> = methods.iter().map(LinearMethod::name).collect();
+    linear_experiment_named(dataset, &names, config)
+}
+
+/// Run a linear-methods experiment with the methods given by registry name — the
+/// registry-driven entry point; any estimator registered under
+/// [`crate::methods::registry`] (including ones added by downstream code) can be
+/// swept without touching this crate.
+pub fn linear_experiment_named(
+    dataset: &MultiViewDataset,
+    names: &[&str],
+    config: &ExperimentConfig,
+) -> ExperimentResult {
     run_experiment(dataset, config, |rank, seed| {
-        methods
+        let spec = experiment_spec(rank, config.epsilon, seed, config.tcca_iterations);
+        names
             .iter()
-            .map(|m| {
+            .map(|name| {
                 (
-                    m.depends_on_rank(),
-                    m.run(dataset, rank, config.epsilon, seed, config.tcca_iterations),
+                    rank_dependent(name),
+                    run_registered(name, dataset.views(), &spec),
                 )
             })
             .collect()
@@ -164,6 +184,16 @@ pub fn linear_experiment(
 pub fn kernel_experiment(
     dataset: &MultiViewDataset,
     methods: &[KernelMethod],
+    config: &ExperimentConfig,
+) -> ExperimentResult {
+    let names: Vec<&str> = methods.iter().map(KernelMethod::name).collect();
+    kernel_experiment_named(dataset, &names, config)
+}
+
+/// Run a kernel-methods experiment with the methods given by registry name.
+pub fn kernel_experiment_named(
+    dataset: &MultiViewDataset,
+    names: &[&str],
     config: &ExperimentConfig,
 ) -> ExperimentResult {
     let kernels: Vec<Matrix> = dataset
@@ -180,14 +210,10 @@ pub fn kernel_experiment(
         })
         .collect();
     run_experiment(dataset, config, |rank, seed| {
-        methods
+        let spec = experiment_spec(rank, config.epsilon, seed, config.tcca_iterations);
+        names
             .iter()
-            .map(|m| {
-                (
-                    m.depends_on_rank(),
-                    m.run(&kernels, rank, config.epsilon, seed, config.tcca_iterations),
-                )
-            })
+            .map(|name| (rank_dependent(name), run_registered(name, &kernels, &spec)))
             .collect()
     })
 }
@@ -480,12 +506,7 @@ fn candidate_scores(candidate: &Representation, ctx: &EvalContext<'_>) -> (Matri
     )
 }
 
-fn select_k(
-    train: &Matrix,
-    train_labels: &[usize],
-    val: &Matrix,
-    ctx: &EvalContext<'_>,
-) -> usize {
+fn select_k(train: &Matrix, train_labels: &[usize], val: &Matrix, ctx: &EvalContext<'_>) -> usize {
     let val_labels = select_labels(ctx.labels, ctx.validation);
     let mut best_k = ctx.config.knn_candidates[0];
     let mut best_acc = f64::NEG_INFINITY;
@@ -576,14 +597,29 @@ mod tests {
 
     #[test]
     fn multiview_reduction_beats_chance_on_planted_data() {
-        let data = secstr_dataset(&SecStrConfig {
-            n_instances: 300,
-            seed: 7,
-            difficulty: 0.5,
+        // Views are trimmed to their first 40 features: the order-3 covariance tensor
+        // has d₁·d₂·d₃ entries estimated from N samples, so the full 105-dim views at
+        // this small N drown the planted signal in estimation noise (the full-size
+        // sweeps live in the experiments harness, which uses the large pools).
+        let full = secstr_dataset(&SecStrConfig {
+            n_instances: 350,
+            seed: 31,
+            difficulty: 0.3,
         });
+        let rows: Vec<usize> = (0..40).collect();
+        let data = datasets::MultiViewDataset::new(
+            full.views().iter().map(|v| v.select_rows(&rows)).collect(),
+            full.labels().to_vec(),
+            full.num_classes(),
+        );
         let methods = [LinearMethod::Tcca];
-        let mut config = quick_config();
-        config.labeled = LabeledSpec::Count(60);
+        let config = ExperimentConfig {
+            dims: vec![4, 8],
+            seeds: vec![0, 1],
+            labeled: LabeledSpec::Count(100),
+            tcca_iterations: 8,
+            ..ExperimentConfig::default()
+        };
         let result = linear_experiment(&data, &methods, &config);
         // Two balanced classes => chance is 0.5; the planted shared signal must help.
         assert!(

@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API used by this workspace's
+//! benchmarks.
+//!
+//! The build environment has no crates.io access, so this crate provides a small
+//! wall-clock harness with the same surface: [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`] and the [`criterion_group!`]/[`criterion_main!`] macros. Each
+//! benchmark runs its closure `sample_size` times and prints mean / min wall-clock
+//! time per iteration. There is no statistical analysis, warm-up or HTML report —
+//! enough to keep `cargo bench` building and giving usable relative numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter, e.g. `view/3`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    fn with_iterations(iterations: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(iterations),
+            iterations,
+        }
+    }
+
+    /// Run `routine` once per sample, recording each sample's wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            let value = routine();
+            self.samples.push(start.elapsed());
+            drop(value);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark (mirrors criterion's method; here it is
+    /// simply the number of timed iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into();
+        let mut bencher = Bencher::with_iterations(self.sample_size);
+        f(&mut bencher);
+        self.report(&label, &bencher);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::with_iterations(self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        if bencher.samples.is_empty() {
+            println!("{}/{label}: no samples", self.name);
+            return;
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len() as u32;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{}/{label}: mean {mean:?}, min {min:?} ({} samples)",
+            self.name,
+            bencher.samples.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declare a group function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("view", 2).to_string(), "view/2");
+        assert_eq!(BenchmarkId::from_parameter(300).to_string(), "300");
+    }
+}

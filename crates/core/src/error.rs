@@ -1,0 +1,129 @@
+//! The workspace-wide estimator error type.
+//!
+//! Every per-crate error (`linalg::LinalgError`, `tensor::TensorError`,
+//! `baselines::BaselineError`, `tcca::TccaError`) converts into [`CoreError`] via
+//! `From`, so code written against the [`crate::MultiViewEstimator`] trait handles one
+//! error type regardless of which method is behind the trait object.
+
+use std::fmt;
+
+/// Unified error type of the [`crate::MultiViewEstimator`] API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Inputs had inconsistent shapes or invalid parameters.
+    InvalidInput(String),
+    /// A method name was not found in the [`crate::EstimatorRegistry`].
+    UnknownEstimator {
+        /// The requested name.
+        name: String,
+        /// The names the registry does know, in registration order.
+        known: Vec<String>,
+    },
+    /// An underlying dense linear-algebra routine failed.
+    Linalg(linalg::LinalgError),
+    /// An underlying tensor operation or decomposition failed.
+    Tensor(tensor::TensorError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::UnknownEstimator { name, known } => {
+                write!(
+                    f,
+                    "unknown estimator {name:?}; registered: {}",
+                    known.join(", ")
+                )
+            }
+            CoreError::Linalg(err) => write!(f, "linear algebra failure: {err}"),
+            CoreError::Tensor(err) => write!(f, "tensor failure: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::LinalgError> for CoreError {
+    fn from(err: linalg::LinalgError) -> Self {
+        CoreError::Linalg(err)
+    }
+}
+
+impl From<tensor::TensorError> for CoreError {
+    fn from(err: tensor::TensorError) -> Self {
+        CoreError::Tensor(err)
+    }
+}
+
+impl From<baselines::BaselineError> for CoreError {
+    fn from(err: baselines::BaselineError) -> Self {
+        match err {
+            baselines::BaselineError::InvalidInput(msg) => CoreError::InvalidInput(msg),
+            baselines::BaselineError::Linalg(e) => CoreError::Linalg(e),
+        }
+    }
+}
+
+impl From<tcca::TccaError> for CoreError {
+    fn from(err: tcca::TccaError) -> Self {
+        match err {
+            tcca::TccaError::InvalidInput(msg) => CoreError::InvalidInput(msg),
+            tcca::TccaError::Linalg(e) => CoreError::Linalg(e),
+            tcca::TccaError::Tensor(e) => CoreError::Tensor(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn every_workspace_error_converts() {
+        let e: CoreError = linalg::LinalgError::NotSquare { rows: 1, cols: 2 }.into();
+        assert!(matches!(e, CoreError::Linalg(_)));
+        assert!(e.source().is_some());
+
+        let e: CoreError = tensor::TensorError::InvalidArgument("rank".into()).into();
+        assert!(matches!(e, CoreError::Tensor(_)));
+
+        let e: CoreError = baselines::BaselineError::InvalidInput("views".into()).into();
+        assert_eq!(e, CoreError::InvalidInput("views".into()));
+
+        let e: CoreError =
+            baselines::BaselineError::Linalg(linalg::LinalgError::NotSquare { rows: 3, cols: 1 })
+                .into();
+        assert!(matches!(e, CoreError::Linalg(_)));
+
+        let e: CoreError = tcca::TccaError::InvalidInput("two views".into()).into();
+        assert_eq!(e, CoreError::InvalidInput("two views".into()));
+
+        let e: CoreError =
+            tcca::TccaError::Tensor(tensor::TensorError::InvalidArgument("rank".into())).into();
+        assert!(matches!(e, CoreError::Tensor(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::UnknownEstimator {
+            name: "TCCA2".into(),
+            known: vec!["TCCA".into(), "CCA-LS".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("TCCA2") && msg.contains("CCA-LS"), "{msg}");
+        assert!(e.source().is_none());
+
+        let e = CoreError::InvalidInput("rank must be positive".into());
+        assert!(e.to_string().contains("rank must be positive"));
+    }
+}

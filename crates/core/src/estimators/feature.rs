@@ -1,0 +1,309 @@
+//! Feature-level estimators: BSF, CAT and the kernel analogues BSK, AVG.
+//!
+//! These are the paper's "no common subspace" baselines. They have no learned
+//! parameters; fitting only validates shapes and records the allocation model, and
+//! the models replay the feature-level construction on whatever instances they are
+//! given.
+
+use crate::model::{check_same_instances, check_square_kernels};
+use crate::{
+    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, MultiViewEstimator, MultiViewModel,
+    Output, Result,
+};
+use baselines::feature::{
+    average_kernels, concatenate_views, kernel_to_distances, view_as_instances,
+};
+use linalg::Matrix;
+
+fn check_view_dims(views: &[Matrix], dims: &[usize]) -> Result<usize> {
+    let n = check_same_instances(views)?;
+    if views.len() != dims.len() {
+        return Err(CoreError::InvalidInput(format!(
+            "expected {} views, got {}",
+            dims.len(),
+            views.len()
+        )));
+    }
+    for (p, (v, &d)) in views.iter().zip(dims.iter()).enumerate() {
+        if v.rows() != d {
+            return Err(CoreError::InvalidInput(format!(
+                "view {p} has {} features but the model expects {d}",
+                v.rows()
+            )));
+        }
+    }
+    Ok(n)
+}
+
+/// BSF — best single-view features. One candidate per view, selected on validation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bsf;
+
+impl MultiViewEstimator for Bsf {
+    fn name(&self) -> &str {
+        "BSF"
+    }
+
+    fn fit(&self, views: &[Matrix], _spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_same_instances(views)?;
+        let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
+        let mut memory = MemoryModel::new();
+        for (p, d) in dims.iter().enumerate() {
+            memory.add_matrix(format!("view {p} features"), n, *d);
+        }
+        Ok(Box::new(BsfModel { dims, memory }))
+    }
+}
+
+struct BsfModel {
+    dims: Vec<usize>,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for BsfModel {
+    fn name(&self) -> &str {
+        "BSF"
+    }
+
+    fn dim(&self) -> usize {
+        0
+    }
+
+    fn transform(&self, _views: &[Matrix]) -> Result<Matrix> {
+        Err(CoreError::InvalidInput(
+            "BSF has no single embedding: it produces one candidate per view, selected \
+             on validation data; use outputs() or transform_view()"
+                .into(),
+        ))
+    }
+
+    fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        let expected = *self.dims.get(which).ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.dims.len()
+            ))
+        })?;
+        if view.rows() != expected {
+            return Err(CoreError::InvalidInput(format!(
+                "view {which} has {} features but the model expects {expected}",
+                view.rows()
+            )));
+        }
+        Ok(view_as_instances(view))
+    }
+
+    fn outputs(&self, views: &[Matrix]) -> Result<Vec<Output>> {
+        check_view_dims(views, &self.dims)?;
+        Ok(views
+            .iter()
+            .map(|v| Output::Embedding(view_as_instances(v)))
+            .collect())
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+/// CAT — concatenation of the L2-normalized features of all views.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cat;
+
+impl MultiViewEstimator for Cat {
+    fn name(&self) -> &str {
+        "CAT"
+    }
+
+    fn fit(&self, views: &[Matrix], _spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_same_instances(views)?;
+        let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
+        let mut memory = MemoryModel::new();
+        memory.add_matrix("concatenated features", n, dims.iter().sum());
+        Ok(Box::new(CatModel { dims, memory }))
+    }
+}
+
+struct CatModel {
+    dims: Vec<usize>,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for CatModel {
+    fn name(&self) -> &str {
+        "CAT"
+    }
+
+    fn dim(&self) -> usize {
+        self.dims.iter().sum()
+    }
+
+    fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        check_view_dims(views, &self.dims)?;
+        Ok(concatenate_views(views))
+    }
+
+    fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        let expected = *self.dims.get(which).ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.dims.len()
+            ))
+        })?;
+        if view.rows() != expected {
+            return Err(CoreError::InvalidInput(format!(
+                "view {which} has {} features but the model expects {expected}",
+                view.rows()
+            )));
+        }
+        Ok(concatenate_views(std::slice::from_ref(view)))
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+/// BSK — best single-view kernel, evaluated through per-kernel distance matrices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bsk;
+
+impl MultiViewEstimator for Bsk {
+    fn name(&self) -> &str {
+        "BSK"
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Kernels
+    }
+
+    fn fit(&self, kernels: &[Matrix], _spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_square_kernels(kernels)?;
+        let m = kernels.len();
+        let mut memory = MemoryModel::new();
+        for p in 0..m {
+            memory.add_matrix(format!("kernel {p}"), n, n);
+        }
+        memory.add_matrix("distance matrices", n, n * m);
+        Ok(Box::new(BskModel { n, m, memory }))
+    }
+}
+
+struct BskModel {
+    n: usize,
+    m: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for BskModel {
+    fn name(&self) -> &str {
+        "BSK"
+    }
+
+    fn dim(&self) -> usize {
+        0
+    }
+
+    fn transform(&self, _kernels: &[Matrix]) -> Result<Matrix> {
+        Err(CoreError::InvalidInput(
+            "BSK produces per-kernel distance matrices, not an embedding; use outputs()".into(),
+        ))
+    }
+
+    fn transform_view(&self, _which: usize, _kernel: &Matrix) -> Result<Matrix> {
+        Err(CoreError::InvalidInput(
+            "BSK produces per-kernel distance matrices, not an embedding; use outputs()".into(),
+        ))
+    }
+
+    fn outputs(&self, kernels: &[Matrix]) -> Result<Vec<Output>> {
+        let n = check_square_kernels(kernels)?;
+        if n != self.n || kernels.len() != self.m {
+            return Err(CoreError::InvalidInput(format!(
+                "BSK was fitted on {} {}x{} kernels",
+                self.m, self.n, self.n
+            )));
+        }
+        Ok(kernels
+            .iter()
+            .map(|k| Output::Distances(kernel_to_distances(k)))
+            .collect())
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+/// AVG — average of the trace-normalized per-view kernels, evaluated by distances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AvgKernel;
+
+impl MultiViewEstimator for AvgKernel {
+    fn name(&self) -> &str {
+        "AVG"
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Kernels
+    }
+
+    fn fit(&self, kernels: &[Matrix], _spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_square_kernels(kernels)?;
+        let m = kernels.len();
+        let mut memory = MemoryModel::new();
+        for p in 0..m {
+            memory.add_matrix(format!("kernel {p}"), n, n);
+        }
+        memory.add_matrix("averaged kernel", n, n);
+        Ok(Box::new(AvgKernelModel { n, m, memory }))
+    }
+}
+
+struct AvgKernelModel {
+    n: usize,
+    m: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for AvgKernelModel {
+    fn name(&self) -> &str {
+        "AVG"
+    }
+
+    fn dim(&self) -> usize {
+        0
+    }
+
+    fn transform(&self, _kernels: &[Matrix]) -> Result<Matrix> {
+        Err(CoreError::InvalidInput(
+            "AVG produces a distance matrix, not an embedding; use outputs()".into(),
+        ))
+    }
+
+    fn transform_view(&self, _which: usize, _kernel: &Matrix) -> Result<Matrix> {
+        Err(CoreError::InvalidInput(
+            "AVG produces a distance matrix, not an embedding; use outputs()".into(),
+        ))
+    }
+
+    fn outputs(&self, kernels: &[Matrix]) -> Result<Vec<Output>> {
+        let n = check_square_kernels(kernels)?;
+        if n != self.n || kernels.len() != self.m {
+            return Err(CoreError::InvalidInput(format!(
+                "AVG was fitted on {} {}x{} kernels",
+                self.m, self.n, self.n
+            )));
+        }
+        let avg = average_kernels(kernels);
+        Ok(vec![Output::Distances(kernel_to_distances(&avg))])
+    }
+
+    fn combine(&self) -> CombineRule {
+        CombineRule::SelectBest
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}

@@ -1,0 +1,180 @@
+//! Kernel-method estimators: pairwise KCCA and the paper's KTCCA.
+//!
+//! These expect per-view **centered** `N × N` Gram matrices as their inputs
+//! ([`crate::InputKind::Kernels`]); at transform time they accept `M × N` kernel
+//! blocks between query instances and the training instances.
+
+use crate::model::check_square_kernels;
+use crate::{
+    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, MultiViewEstimator, MultiViewModel,
+    Output, Result,
+};
+use baselines::PairwiseKcca;
+use linalg::Matrix;
+use tcca::Ktcca;
+
+/// Kernel CCA fitted on every pair of view kernels — "KCCA (BST)" / "KCCA (AVG)".
+#[derive(Debug, Clone, Copy)]
+pub struct PairwiseKccaEstimator {
+    rule: CombineRule,
+}
+
+impl PairwiseKccaEstimator {
+    /// The "KCCA (BST)" variant: keep the best pair on validation data.
+    pub fn best() -> Self {
+        Self {
+            rule: CombineRule::SelectBest,
+        }
+    }
+
+    /// The "KCCA (AVG)" variant: combine the predictions of all pairs.
+    pub fn average() -> Self {
+        Self {
+            rule: CombineRule::Average,
+        }
+    }
+}
+
+impl MultiViewEstimator for PairwiseKccaEstimator {
+    fn name(&self) -> &str {
+        match self.rule {
+            CombineRule::SelectBest => "KCCA (BST)",
+            CombineRule::Average => "KCCA (AVG)",
+        }
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Kernels
+    }
+
+    fn fit(&self, kernels: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_square_kernels(kernels)?;
+        let inner = PairwiseKcca::fit(kernels, spec.rank, spec.epsilon)?;
+        let mut memory = MemoryModel::new();
+        for p in 0..kernels.len() {
+            memory.add_matrix(format!("kernel {p}"), n, n);
+        }
+        let mut dim = 0;
+        for (index, _) in inner.pairs().iter().enumerate() {
+            let pair_dim = 2 * inner.models()[index].coefficients()[0].cols();
+            memory.add_matrix("dual coefficients", n, pair_dim);
+            dim += pair_dim;
+        }
+        Ok(Box::new(PairwiseKccaModel {
+            rule: self.rule,
+            inner,
+            dim,
+            memory,
+        }))
+    }
+}
+
+struct PairwiseKccaModel {
+    rule: CombineRule,
+    inner: PairwiseKcca,
+    dim: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for PairwiseKccaModel {
+    fn name(&self) -> &str {
+        match self.rule {
+            CombineRule::SelectBest => "KCCA (BST)",
+            CombineRule::Average => "KCCA (AVG)",
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn transform(&self, kernels: &[Matrix]) -> Result<Matrix> {
+        let mut out: Option<Matrix> = None;
+        for z in self.inner.transform_all(kernels)? {
+            out = Some(match out {
+                None => z,
+                Some(acc) => acc.hstack(&z)?,
+            });
+        }
+        out.ok_or_else(|| CoreError::InvalidInput("pairwise KCCA fitted on no pairs".into()))
+    }
+
+    fn transform_view(&self, _which: usize, _kernel: &Matrix) -> Result<Matrix> {
+        Err(CoreError::InvalidInput(
+            "pairwise KCCA defines projections per kernel pair, not per view; use outputs()".into(),
+        ))
+    }
+
+    fn outputs(&self, kernels: &[Matrix]) -> Result<Vec<Output>> {
+        Ok(self
+            .inner
+            .transform_all(kernels)?
+            .into_iter()
+            .map(Output::Embedding)
+            .collect())
+    }
+
+    fn combine(&self) -> CombineRule {
+        self.rule
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+/// KTCCA — the paper's kernel tensor CCA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KtccaEstimator;
+
+impl MultiViewEstimator for KtccaEstimator {
+    fn name(&self) -> &str {
+        "KTCCA"
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Kernels
+    }
+
+    fn fit(&self, kernels: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_square_kernels(kernels)?;
+        let m = kernels.len();
+        let inner = Ktcca::fit(kernels, &spec.tcca_options())?;
+        let mut memory = MemoryModel::new();
+        for p in 0..m {
+            memory.add_matrix(format!("kernel {p}"), n, n);
+        }
+        memory.add_tensor("gram tensor", &vec![n; m]);
+        let dim: usize = inner.coefficients().iter().map(Matrix::cols).sum();
+        memory.add_matrix("dual coefficients", n, dim);
+        Ok(Box::new(KtccaModel { inner, dim, memory }))
+    }
+}
+
+struct KtccaModel {
+    inner: Ktcca,
+    dim: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for KtccaModel {
+    fn name(&self) -> &str {
+        "KTCCA"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn transform(&self, kernel_blocks: &[Matrix]) -> Result<Matrix> {
+        Ok(self.inner.transform(kernel_blocks)?)
+    }
+
+    fn transform_view(&self, which: usize, kernel_block: &Matrix) -> Result<Matrix> {
+        Ok(self.inner.transform_view(which, kernel_block)?)
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}

@@ -1,0 +1,370 @@
+//! Linear-method estimators: pairwise CCA, CCA-LS, CCA-MAXVAR, PCA and TCCA.
+
+use crate::model::check_same_instances;
+use crate::{
+    CombineRule, CoreError, FitSpec, MemoryModel, MultiViewEstimator, MultiViewModel, Output,
+    Result,
+};
+use baselines::cca_ls::CcaLsOptions;
+use baselines::{CcaLs, CcaMaxVar, PairwiseCca, Pca};
+use linalg::Matrix;
+use tcca::Tcca;
+
+/// CCA fitted on every pair of views — the paper's "CCA (BST)" / "CCA (AVG)".
+#[derive(Debug, Clone, Copy)]
+pub struct PairwiseCcaEstimator {
+    rule: CombineRule,
+}
+
+impl PairwiseCcaEstimator {
+    /// The "CCA (BST)" variant: keep the best pair on validation data.
+    pub fn best() -> Self {
+        Self {
+            rule: CombineRule::SelectBest,
+        }
+    }
+
+    /// The "CCA (AVG)" variant: combine the predictions of all pairs.
+    pub fn average() -> Self {
+        Self {
+            rule: CombineRule::Average,
+        }
+    }
+}
+
+impl MultiViewEstimator for PairwiseCcaEstimator {
+    fn name(&self) -> &str {
+        match self.rule {
+            CombineRule::SelectBest => "CCA (BST)",
+            CombineRule::Average => "CCA (AVG)",
+        }
+    }
+
+    fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_same_instances(views)?;
+        let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
+        let inner = PairwiseCca::fit(views, spec.rank, spec.epsilon)?;
+        let mut memory = MemoryModel::new();
+        let mut dim = 0;
+        for (index, &(p, q)) in inner.pairs().iter().enumerate() {
+            memory.add_matrix(format!("C{p}{p}"), dims[p], dims[p]);
+            memory.add_matrix(format!("C{q}{q}"), dims[q], dims[q]);
+            memory.add_matrix(format!("C{p}{q}"), dims[p], dims[q]);
+            let pair_dim = 2 * inner.models()[index].projections()[0].cols();
+            memory.add_matrix(format!("embedding {p}-{q}"), n, pair_dim);
+            dim += pair_dim;
+        }
+        Ok(Box::new(PairwiseCcaModel {
+            rule: self.rule,
+            inner,
+            dim,
+            memory,
+        }))
+    }
+}
+
+struct PairwiseCcaModel {
+    rule: CombineRule,
+    inner: PairwiseCca,
+    dim: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for PairwiseCcaModel {
+    fn name(&self) -> &str {
+        match self.rule {
+            CombineRule::SelectBest => "CCA (BST)",
+            CombineRule::Average => "CCA (AVG)",
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        let mut out: Option<Matrix> = None;
+        for z in self.inner.transform_all(views)? {
+            out = Some(match out {
+                None => z,
+                Some(acc) => acc.hstack(&z)?,
+            });
+        }
+        out.ok_or_else(|| CoreError::InvalidInput("pairwise CCA fitted on no pairs".into()))
+    }
+
+    fn transform_view(&self, _which: usize, _view: &Matrix) -> Result<Matrix> {
+        Err(CoreError::InvalidInput(
+            "pairwise CCA defines projections per view pair, not per view; use outputs()".into(),
+        ))
+    }
+
+    fn outputs(&self, views: &[Matrix]) -> Result<Vec<Output>> {
+        Ok(self
+            .inner
+            .transform_all(views)?
+            .into_iter()
+            .map(Output::Embedding)
+            .collect())
+    }
+
+    fn combine(&self) -> CombineRule {
+        self.rule
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+/// CCA-LS — multiset CCA via coupled least squares (Vía et al. 2007).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CcaLsEstimator;
+
+impl MultiViewEstimator for CcaLsEstimator {
+    fn name(&self) -> &str {
+        "CCA-LS"
+    }
+
+    fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_same_instances(views)?;
+        let options = CcaLsOptions {
+            epsilon: spec.epsilon,
+            max_iterations: spec.max_iterations.max(1),
+            tolerance: spec.tolerance,
+            seed: spec.seed,
+        };
+        let inner = CcaLs::fit_with_options(views, spec.rank, options)?;
+        let mut memory = MemoryModel::new();
+        for (p, v) in views.iter().enumerate() {
+            memory.add_matrix(format!("gram {p}"), v.rows(), v.rows());
+        }
+        let dim: usize = inner.projections().iter().map(Matrix::cols).sum();
+        memory.add_matrix("embedding", n, dim);
+        Ok(Box::new(CcaLsModel { inner, dim, memory }))
+    }
+}
+
+struct CcaLsModel {
+    inner: CcaLs,
+    dim: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for CcaLsModel {
+    fn name(&self) -> &str {
+        "CCA-LS"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        Ok(self.inner.transform(views)?)
+    }
+
+    fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        if which >= self.inner.projections().len() {
+            return Err(CoreError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.inner.projections().len()
+            )));
+        }
+        Ok(self.inner.transform_view(which, view)?)
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+/// CCA-MAXVAR — multiset CCA via the SVD of stacked whitened views (Kettenring 1971).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CcaMaxVarEstimator;
+
+impl MultiViewEstimator for CcaMaxVarEstimator {
+    fn name(&self) -> &str {
+        "CCA-MAXVAR"
+    }
+
+    fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_same_instances(views)?;
+        let inner = CcaMaxVar::fit(views, spec.rank, spec.epsilon)?;
+        let total: usize = views.iter().map(Matrix::rows).sum();
+        let mut memory = MemoryModel::new();
+        memory.add_matrix("stacked whitened views", n, total);
+        let dim: usize = inner.projections().iter().map(Matrix::cols).sum();
+        memory.add_matrix("embedding", n, dim);
+        Ok(Box::new(CcaMaxVarModel { inner, dim, memory }))
+    }
+}
+
+struct CcaMaxVarModel {
+    inner: CcaMaxVar,
+    dim: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for CcaMaxVarModel {
+    fn name(&self) -> &str {
+        "CCA-MAXVAR"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        Ok(self.inner.transform(views)?)
+    }
+
+    fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        if which >= self.inner.projections().len() {
+            return Err(CoreError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.inner.projections().len()
+            )));
+        }
+        Ok(self.inner.transform_view(which, view)?)
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+/// Per-view PCA to `spec.rank` components, concatenated across views. Not one of the
+/// paper's compared methods on its own, but the building block of DSE/SSMVD and the
+/// natural unsupervised reference point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcaEstimator;
+
+impl MultiViewEstimator for PcaEstimator {
+    fn name(&self) -> &str {
+        "PCA"
+    }
+
+    fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_same_instances(views)?;
+        if spec.rank == 0 {
+            return Err(CoreError::InvalidInput("rank must be positive".into()));
+        }
+        let mut pcas = Vec::with_capacity(views.len());
+        let mut memory = MemoryModel::new();
+        let mut dim = 0;
+        for (p, v) in views.iter().enumerate() {
+            let pca = Pca::fit(v, spec.rank)?;
+            let k = pca.components().cols();
+            memory.add_matrix(format!("components {p}"), v.rows(), k);
+            memory.add_matrix(format!("scores {p}"), n, k);
+            dim += k;
+            pcas.push(pca);
+        }
+        Ok(Box::new(PcaModel { pcas, dim, memory }))
+    }
+}
+
+struct PcaModel {
+    pcas: Vec<Pca>,
+    dim: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for PcaModel {
+    fn name(&self) -> &str {
+        "PCA"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        if views.len() != self.pcas.len() {
+            return Err(CoreError::InvalidInput(format!(
+                "expected {} views, got {}",
+                self.pcas.len(),
+                views.len()
+            )));
+        }
+        let mut out: Option<Matrix> = None;
+        for (pca, v) in self.pcas.iter().zip(views.iter()) {
+            let z = pca.transform(v)?;
+            out = Some(match out {
+                None => z,
+                Some(acc) => acc.hstack(&z)?,
+            });
+        }
+        out.ok_or_else(|| CoreError::InvalidInput("PCA fitted on no views".into()))
+    }
+
+    fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        let pca = self.pcas.get(which).ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.pcas.len()
+            ))
+        })?;
+        Ok(pca.transform(view)?)
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+/// TCCA — the paper's linear tensor CCA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TccaEstimator;
+
+impl MultiViewEstimator for TccaEstimator {
+    fn name(&self) -> &str {
+        "TCCA"
+    }
+
+    fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_same_instances(views)?;
+        let inner = Tcca::fit(views, &spec.tcca_options())?;
+        let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
+        let mut memory = MemoryModel::new();
+        memory.add_tensor("covariance tensor", &dims);
+        let mut dim = 0;
+        for (p, d) in dims.iter().enumerate() {
+            let r = inner.projections()[p].cols();
+            memory.add_matrix(format!("whitener {p}"), *d, *d);
+            memory.add_matrix(format!("factor {p}"), *d, r);
+            dim += r;
+        }
+        memory.add_matrix("embedding", n, dim);
+        Ok(Box::new(TccaModel { inner, dim, memory }))
+    }
+}
+
+struct TccaModel {
+    inner: Tcca,
+    dim: usize,
+    memory: MemoryModel,
+}
+
+impl MultiViewModel for TccaModel {
+    fn name(&self) -> &str {
+        "TCCA"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        Ok(self.inner.transform(views)?)
+    }
+
+    fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        Ok(self.inner.transform_view(which, view)?)
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}

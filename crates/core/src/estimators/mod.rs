@@ -1,0 +1,33 @@
+//! [`crate::MultiViewEstimator`] implementations for TCCA, KTCCA and every baseline.
+//!
+//! Each estimator is a thin, stateless adapter: `fit` validates the inputs, delegates
+//! to the underlying method crate (`tcca`, `baselines`), records the method's
+//! allocation model and wraps the fitted state in a [`crate::MultiViewModel`]. The
+//! method crates keep their inherent APIs; these adapters are what the
+//! [`crate::EstimatorRegistry`] hands out.
+
+mod consensus;
+mod feature;
+mod kernel;
+mod linear;
+
+pub use consensus::{DseConsensus, SsmvdConsensus};
+pub use feature::{AvgKernel, Bsf, Bsk, Cat};
+pub use kernel::{KtccaEstimator, PairwiseKccaEstimator};
+pub use linear::{
+    CcaLsEstimator, CcaMaxVarEstimator, PairwiseCcaEstimator, PcaEstimator, TccaEstimator,
+};
+
+use crate::Pipeline;
+
+/// The paper's DSE: per-view PCA pre-reduction (to `spec.effective_per_view_dim()`
+/// components) followed by the spectral consensus, expressed as a [`Pipeline`].
+pub fn dse_pipeline() -> Pipeline {
+    Pipeline::with_pca(Box::new(DseConsensus))
+}
+
+/// The paper's SSMVD: per-view PCA pre-reduction followed by the IRLS group-sparse
+/// consensus, expressed as a [`Pipeline`].
+pub fn ssmvd_pipeline() -> Pipeline {
+    Pipeline::with_pca(Box::new(SsmvdConsensus))
+}

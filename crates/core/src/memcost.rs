@@ -1,0 +1,93 @@
+//! Allocation model behind the paper's "memory cost" curves (Figs. 7–10, bottom).
+//!
+//! The MATLAB measurements in the paper are dominated by the live arrays each method
+//! keeps around: covariance matrices or tensors, whiteners, kernels, factor matrices and
+//! the produced embeddings. This model sums exactly those, in bytes of `f64` storage,
+//! which reproduces the *shape* of the paper's curves (who needs more memory, how the
+//! gap scales with the subspace dimension) without depending on allocator details.
+//!
+//! Every [`crate::MultiViewModel`] records its model during `fit`, so the experiment
+//! harness reads cost accounting uniformly through the trait instead of re-deriving it
+//! per method. (This type lived in the bench crate before the unified-estimator API;
+//! `bench::memcost` re-exports it for compatibility.)
+
+/// A running tally of the dominant live allocations of one method run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryModel {
+    entries: Vec<(String, usize)>,
+}
+
+impl MemoryModel {
+    /// Create an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a matrix of the given shape.
+    pub fn add_matrix(&mut self, label: impl Into<String>, rows: usize, cols: usize) {
+        self.entries.push((label.into(), rows * cols * 8));
+    }
+
+    /// Record a dense tensor with the given mode sizes.
+    pub fn add_tensor(&mut self, label: impl Into<String>, shape: &[usize]) {
+        let elems: usize = shape.iter().product();
+        self.entries.push((label.into(), elems * 8));
+    }
+
+    /// Record an arbitrary number of bytes.
+    pub fn add_bytes(&mut self, label: impl Into<String>, bytes: usize) {
+        self.entries.push((label.into(), bytes));
+    }
+
+    /// Total modelled bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total in megabytes (the paper's plots label the unit "Megabits"; the comparison
+    /// is relative, so the constant factor is irrelevant — we report MB).
+    pub fn total_megabytes(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The individual entries (label, bytes).
+    pub fn entries(&self) -> &[(String, usize)] {
+        &self.entries
+    }
+
+    /// Merge another model into this one.
+    pub fn merge(&mut self, other: &MemoryModel) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut m = MemoryModel::new();
+        m.add_matrix("cov", 10, 10);
+        m.add_tensor("tensor", &[4, 5, 6]);
+        m.add_bytes("misc", 100);
+        assert_eq!(m.total_bytes(), 10 * 10 * 8 + 120 * 8 + 100);
+        assert_eq!(m.entries().len(), 3);
+        assert!(m.total_megabytes() > 0.0);
+    }
+
+    #[test]
+    fn merge_combines_entries() {
+        let mut a = MemoryModel::new();
+        a.add_matrix("x", 2, 2);
+        let mut b = MemoryModel::new();
+        b.add_matrix("y", 3, 3);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), (4 + 9) * 8);
+    }
+
+    #[test]
+    fn empty_model_is_zero() {
+        assert_eq!(MemoryModel::new().total_bytes(), 0);
+    }
+}

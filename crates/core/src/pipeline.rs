@@ -1,0 +1,262 @@
+//! [`Pipeline`]: center/scale → per-view PCA pre-reduction → inner estimator.
+//!
+//! The paper's DSE and SSMVD runs reduce every view to 100 principal components
+//! before learning the consensus; cca_zoo-style workflows standardize features
+//! first. Both preambles used to be hand-rolled inside the individual methods —
+//! the pipeline factors them into one reusable combinator that wraps *any*
+//! [`MultiViewEstimator`] and replays the training-time preprocessing on held-out
+//! instances at transform time.
+
+use crate::model::check_same_instances;
+use crate::preprocess::Standardizer;
+use crate::{
+    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, MultiViewEstimator, MultiViewModel,
+    Output, Result,
+};
+use baselines::Pca;
+use linalg::Matrix;
+
+/// An estimator combinator applying per-view preprocessing before an inner estimator.
+///
+/// Preprocessing has two optional stages, both driven by the [`FitSpec`]:
+///
+/// 1. **Standardization** — when `spec.center` / `spec.scale` are set, each feature is
+///    centered and/or scaled with statistics learned at fit time.
+/// 2. **PCA pre-reduction** — when built with [`Pipeline::with_pca`], each view is
+///    reduced to at most `spec.effective_per_view_dim()` principal components.
+///
+/// The pipeline reports the inner estimator's name, so registering
+/// `Pipeline::with_pca(Box::new(DseConsensus))` under `"DSE"` is transparent to
+/// callers.
+pub struct Pipeline {
+    inner: Box<dyn MultiViewEstimator>,
+    pre_reduce: bool,
+}
+
+impl Pipeline {
+    /// Wrap an estimator with standardization-only preprocessing (active when the
+    /// spec's `center`/`scale` switches are set).
+    pub fn new(inner: Box<dyn MultiViewEstimator>) -> Self {
+        Self {
+            inner,
+            pre_reduce: false,
+        }
+    }
+
+    /// Wrap an estimator with standardization plus per-view PCA pre-reduction to
+    /// `spec.effective_per_view_dim()` components.
+    pub fn with_pca(inner: Box<dyn MultiViewEstimator>) -> Self {
+        Self {
+            inner,
+            pre_reduce: true,
+        }
+    }
+}
+
+impl MultiViewEstimator for Pipeline {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn input_kind(&self) -> InputKind {
+        self.inner.input_kind()
+    }
+
+    fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
+        let n = check_same_instances(views)?;
+        let mut memory = MemoryModel::new();
+
+        let standardizers: Option<Vec<Standardizer>> = if spec.center || spec.scale {
+            Some(
+                views
+                    .iter()
+                    .map(|v| Standardizer::fit(v, spec.center, spec.scale))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        // Borrow the inputs unless standardization produced new matrices — a plain
+        // PCA pipeline must not deep-copy every raw view just to read it.
+        let standardized: Option<Vec<Matrix>> = match &standardizers {
+            Some(scalers) => Some(
+                views
+                    .iter()
+                    .zip(scalers.iter())
+                    .map(|(v, s)| s.apply(v))
+                    .collect::<Result<_>>()?,
+            ),
+            None => None,
+        };
+        let inputs: &[Matrix] = standardized.as_deref().unwrap_or(views);
+
+        let (pcas, reduced) = if self.pre_reduce {
+            let width = spec.effective_per_view_dim();
+            if width == 0 {
+                return Err(CoreError::InvalidInput(
+                    "per-view dimension must be positive".into(),
+                ));
+            }
+            let mut pcas = Vec::with_capacity(views.len());
+            let mut reduced = Vec::with_capacity(views.len());
+            for (p, v) in inputs.iter().enumerate() {
+                let k = width.min(v.rows()).min(n.max(1));
+                let pca = Pca::fit(v, k)?;
+                let scores = pca.transform(v)?; // N × k
+                memory.add_matrix(format!("PCA view {p}"), n, k);
+                reduced.push(scores.transpose()); // back to the k × N view layout
+                pcas.push(pca);
+            }
+            (Some(pcas), Some(reduced))
+        } else {
+            (None, None)
+        };
+
+        let inner = self.inner.fit(reduced.as_deref().unwrap_or(inputs), spec)?;
+        memory.merge(inner.memory());
+        Ok(Box::new(PipelineModel {
+            standardizers,
+            pcas,
+            inner,
+            memory,
+        }))
+    }
+}
+
+struct PipelineModel {
+    standardizers: Option<Vec<Standardizer>>,
+    pcas: Option<Vec<Pca>>,
+    inner: Box<dyn MultiViewModel>,
+    memory: MemoryModel,
+}
+
+impl PipelineModel {
+    fn num_views(&self) -> Option<usize> {
+        self.standardizers
+            .as_ref()
+            .map(Vec::len)
+            .or_else(|| self.pcas.as_ref().map(Vec::len))
+    }
+
+    fn reduce_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        let mut out = view.clone();
+        if let Some(scalers) = &self.standardizers {
+            out = scalers
+                .get(which)
+                .ok_or_else(|| CoreError::InvalidInput(format!("view index {which} out of range")))?
+                .apply(&out)?;
+        }
+        if let Some(pcas) = &self.pcas {
+            let pca = pcas.get(which).ok_or_else(|| {
+                CoreError::InvalidInput(format!("view index {which} out of range"))
+            })?;
+            out = pca.transform(&out)?.transpose();
+        }
+        Ok(out)
+    }
+
+    fn reduce(&self, views: &[Matrix]) -> Result<Vec<Matrix>> {
+        if let Some(m) = self.num_views() {
+            if views.len() != m {
+                return Err(CoreError::InvalidInput(format!(
+                    "expected {m} views, got {}",
+                    views.len()
+                )));
+            }
+        }
+        views
+            .iter()
+            .enumerate()
+            .map(|(p, v)| self.reduce_view(p, v))
+            .collect()
+    }
+}
+
+impl MultiViewModel for PipelineModel {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn transform(&self, views: &[Matrix]) -> Result<Matrix> {
+        self.inner.transform(&self.reduce(views)?)
+    }
+
+    fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        self.inner
+            .transform_view(which, &self.reduce_view(which, view)?)
+    }
+
+    fn outputs(&self, views: &[Matrix]) -> Result<Vec<Output>> {
+        self.inner.outputs(&self.reduce(views)?)
+    }
+
+    fn combine(&self) -> CombineRule {
+        self.inner.combine()
+    }
+
+    fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::PcaEstimator;
+
+    fn toy_views() -> Vec<Matrix> {
+        let n = 24;
+        let mut v1 = Matrix::zeros(6, n);
+        let mut v2 = Matrix::zeros(5, n);
+        for j in 0..n {
+            let t = if j % 3 == 0 { 1.2 } else { -0.4 };
+            for i in 0..6 {
+                v1[(i, j)] = t * (i as f64 + 1.0) + 10.0;
+            }
+            for i in 0..5 {
+                v2[(i, j)] = -t * (i as f64 + 0.5) + (j as f64) * 0.01;
+            }
+        }
+        vec![v1, v2]
+    }
+
+    #[test]
+    fn pca_pipeline_reduces_each_view() {
+        let views = toy_views();
+        let pipeline = Pipeline::with_pca(Box::new(PcaEstimator));
+        let spec = FitSpec::with_rank(2).per_view_dim(3);
+        let model = pipeline.fit(&views, &spec).unwrap();
+        assert_eq!(model.name(), "PCA");
+        let z = model.transform(&views).unwrap();
+        assert_eq!(z.rows(), 24);
+        assert_eq!(z.cols(), model.dim());
+        // The pipeline accounted for the PCA stage plus the inner model.
+        assert!(model
+            .memory()
+            .entries()
+            .iter()
+            .any(|(l, _)| l.contains("PCA view")));
+    }
+
+    #[test]
+    fn standardization_is_replayed_on_new_instances() {
+        let views = toy_views();
+        let pipeline = Pipeline::new(Box::new(PcaEstimator));
+        let spec = FitSpec::with_rank(2).center(true).scale(true);
+        let model = pipeline.fit(&views, &spec).unwrap();
+        // Transforming the training views must agree with per-view transforms.
+        let z = model.transform(&views).unwrap();
+        let z0 = model.transform_view(0, &views[0]).unwrap();
+        for i in 0..z.rows() {
+            for j in 0..z0.cols() {
+                assert!((z[(i, j)] - z0[(i, j)]).abs() < 1e-12);
+            }
+        }
+        // Wrong view count is rejected.
+        assert!(model.transform(&views[..1]).is_err());
+    }
+}

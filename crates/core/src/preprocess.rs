@@ -1,0 +1,113 @@
+//! Per-view feature standardization (the cca_zoo-style center/scale preprocessing).
+//!
+//! Fitted on the training view (`d × N`, instances as columns), a [`Standardizer`]
+//! remembers per-feature means and inverse standard deviations so held-out instances
+//! go through exactly the training-time transformation — the contract every member of
+//! a [`crate::Pipeline`] has to honour.
+
+use crate::{CoreError, Result};
+use linalg::Matrix;
+
+/// Floor below which a feature's standard deviation is treated as zero (the feature is
+/// left unscaled instead of being blown up).
+const MIN_STD: f64 = 1e-12;
+
+/// A fitted per-feature center/scale transformation for one view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    inverse_stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Learn the transformation from a `d × N` view. `center` subtracts the feature
+    /// mean, `scale` divides by the feature's population standard deviation.
+    pub fn fit(view: &Matrix, center: bool, scale: bool) -> Self {
+        let d = view.rows();
+        let n = view.cols().max(1) as f64;
+        let mut means = vec![0.0; d];
+        let mut inverse_stds = vec![1.0; d];
+        for i in 0..d {
+            let row = view.row(i);
+            let mean = row.iter().sum::<f64>() / n;
+            if center {
+                means[i] = mean;
+            }
+            if scale {
+                let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+                let std = var.sqrt();
+                if std > MIN_STD {
+                    inverse_stds[i] = 1.0 / std;
+                }
+            }
+        }
+        Self {
+            means,
+            inverse_stds,
+        }
+    }
+
+    /// Apply the fitted transformation to a `d × M` view (any instance count).
+    pub fn apply(&self, view: &Matrix) -> Result<Matrix> {
+        if view.rows() != self.means.len() {
+            return Err(CoreError::InvalidInput(format!(
+                "view has {} features but the standardizer expects {}",
+                view.rows(),
+                self.means.len()
+            )));
+        }
+        let mut out = view.clone();
+        for i in 0..out.rows() {
+            let mean = self.means[i];
+            let inv = self.inverse_stds[i];
+            for v in out.row_mut(i) {
+                *v = (*v - mean) * inv;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_view() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 10.0, 10.0, 10.0]]).unwrap()
+    }
+
+    #[test]
+    fn centers_and_scales_features() {
+        let v = toy_view();
+        let s = Standardizer::fit(&v, true, true);
+        let t = s.apply(&v).unwrap();
+        for i in 0..2 {
+            let mean: f64 = t.row(i).iter().sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12, "row {i} mean {mean}");
+        }
+        // First row has unit population variance after scaling.
+        let var: f64 = t.row(0).iter().map(|x| x * x).sum::<f64>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-12, "variance {var}");
+        // Constant rows are centered but not blown up.
+        assert!(t.row(1).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn center_only_and_scale_only() {
+        let v = toy_view();
+        let centered = Standardizer::fit(&v, true, false).apply(&v).unwrap();
+        assert!((centered[(0, 0)] + 1.5).abs() < 1e-12);
+        let scaled = Standardizer::fit(&v, false, true).apply(&v).unwrap();
+        // Mean is untouched when only scaling.
+        let mean: f64 = scaled.row(0).iter().sum::<f64>() / 4.0;
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_dimensionality() {
+        let s = Standardizer::fit(&toy_view(), true, true);
+        assert!(s.apply(&Matrix::zeros(3, 4)).is_err());
+        // Same feature count, different instance count is fine (out-of-sample use).
+        assert!(s.apply(&Matrix::zeros(2, 9)).is_ok());
+    }
+}

@@ -1,0 +1,191 @@
+//! Name → estimator dispatch: the [`EstimatorRegistry`].
+//!
+//! The registry is the single place where method names (as printed in the paper's
+//! tables) map to estimator factories. The experiment harness, the examples and any
+//! future serving layer construct methods exclusively through it, so adding a new
+//! method (DTCCA, higher-order correlation analysis, …) means implementing
+//! [`MultiViewEstimator`] and registering one factory here — no `match` arms anywhere
+//! else.
+
+use crate::estimators;
+use crate::{CoreError, FitSpec, InputKind, MultiViewEstimator, MultiViewModel, Result};
+use linalg::Matrix;
+
+/// A factory producing a fresh boxed estimator.
+pub type EstimatorFactory = Box<dyn Fn() -> Box<dyn MultiViewEstimator> + Send + Sync>;
+
+struct Entry {
+    name: String,
+    kind: InputKind,
+    factory: EstimatorFactory,
+}
+
+/// Maps method display names to boxed estimator factories, preserving registration
+/// order (the paper's table order for the built-in set).
+#[derive(Default)]
+pub struct EstimatorRegistry {
+    entries: Vec<Entry>,
+}
+
+impl EstimatorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-populated with every method of the paper's evaluation:
+    /// the linear set (BSF, CAT, CCA (BST)/(AVG), CCA-LS, CCA-MAXVAR, DSE, SSMVD,
+    /// PCA, TCCA) followed by the kernel set (BSK, AVG, KCCA (BST)/(AVG), KTCCA).
+    pub fn with_builtin() -> Self {
+        let mut registry = Self::new();
+        registry.register(Box::new(|| Box::new(estimators::Bsf)));
+        registry.register(Box::new(|| Box::new(estimators::Cat)));
+        registry.register(Box::new(|| {
+            Box::new(estimators::PairwiseCcaEstimator::best())
+        }));
+        registry.register(Box::new(|| {
+            Box::new(estimators::PairwiseCcaEstimator::average())
+        }));
+        registry.register(Box::new(|| Box::new(estimators::CcaLsEstimator)));
+        registry.register(Box::new(|| Box::new(estimators::CcaMaxVarEstimator)));
+        registry.register(Box::new(|| Box::new(estimators::dse_pipeline())));
+        registry.register(Box::new(|| Box::new(estimators::ssmvd_pipeline())));
+        registry.register(Box::new(|| Box::new(estimators::PcaEstimator)));
+        registry.register(Box::new(|| Box::new(estimators::TccaEstimator)));
+        registry.register(Box::new(|| Box::new(estimators::Bsk)));
+        registry.register(Box::new(|| Box::new(estimators::AvgKernel)));
+        registry.register(Box::new(|| {
+            Box::new(estimators::PairwiseKccaEstimator::best())
+        }));
+        registry.register(Box::new(|| {
+            Box::new(estimators::PairwiseKccaEstimator::average())
+        }));
+        registry.register(Box::new(|| Box::new(estimators::KtccaEstimator)));
+        registry
+    }
+
+    /// Register a factory. The entry's name and input kind are read from a probe
+    /// instance, which guarantees `registry.get(estimator.name())` round-trips.
+    /// Re-registering a name replaces the previous factory.
+    pub fn register(&mut self, factory: EstimatorFactory) {
+        let probe = factory();
+        let entry = Entry {
+            name: probe.name().to_string(),
+            kind: probe.input_kind(),
+            factory,
+        };
+        match self.entries.iter_mut().find(|e| e.name == entry.name) {
+            Some(existing) => *existing = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Construct a fresh estimator for a registered name.
+    pub fn get(&self, name: &str) -> Result<Box<dyn MultiViewEstimator>> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| (e.factory)())
+            .ok_or_else(|| CoreError::UnknownEstimator {
+                name: name.to_string(),
+                known: self.entries.iter().map(|e| e.name.clone()).collect(),
+            })
+    }
+
+    /// Whether a name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// The input kind a registered name expects.
+    pub fn input_kind(&self, name: &str) -> Option<InputKind> {
+        self.entries.iter().find(|e| e.name == name).map(|e| e.kind)
+    }
+
+    /// All registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// The registered names expecting the given input kind, in registration order.
+    pub fn names_of(&self, kind: InputKind) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+
+    /// Convenience: resolve `name` and fit it in one call.
+    pub fn fit(
+        &self,
+        name: &str,
+        inputs: &[Matrix],
+        spec: &FitSpec,
+    ) -> Result<Box<dyn MultiViewModel>> {
+        self.get(name)?.fit(inputs, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_the_paper_tables() {
+        let registry = EstimatorRegistry::with_builtin();
+        for name in [
+            "BSF",
+            "CAT",
+            "CCA (BST)",
+            "CCA (AVG)",
+            "CCA-LS",
+            "CCA-MAXVAR",
+            "DSE",
+            "SSMVD",
+            "PCA",
+            "TCCA",
+            "BSK",
+            "AVG",
+            "KCCA (BST)",
+            "KCCA (AVG)",
+            "KTCCA",
+        ] {
+            assert!(registry.contains(name), "missing {name}");
+            let est = registry.get(name).unwrap();
+            assert_eq!(est.name(), name);
+        }
+        assert_eq!(registry.names().len(), 15);
+        assert_eq!(registry.names_of(InputKind::Views).len(), 10);
+        assert_eq!(registry.names_of(InputKind::Kernels).len(), 5);
+        assert_eq!(registry.input_kind("KTCCA"), Some(InputKind::Kernels));
+        assert_eq!(registry.input_kind("TCCA"), Some(InputKind::Views));
+    }
+
+    #[test]
+    fn unknown_names_report_the_known_set() {
+        let registry = EstimatorRegistry::with_builtin();
+        let err = match registry.get("DTCCA") {
+            Err(e) => e,
+            Ok(_) => panic!("expected an unknown-estimator error"),
+        };
+        match err {
+            CoreError::UnknownEstimator { name, known } => {
+                assert_eq!(name, "DTCCA");
+                assert!(known.iter().any(|n| n == "TCCA"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registration_replaces_and_extends() {
+        let mut registry = EstimatorRegistry::new();
+        assert!(registry.names().is_empty());
+        registry.register(Box::new(|| Box::new(estimators::TccaEstimator)));
+        assert_eq!(registry.names(), vec!["TCCA"]);
+        // Re-registering the same name keeps a single entry.
+        registry.register(Box::new(|| Box::new(estimators::TccaEstimator)));
+        assert_eq!(registry.names(), vec!["TCCA"]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Trait-conformance test: every estimator in the built-in registry fits on a shared
+//! SecStr-like fixture and honours the `MultiViewEstimator` contract — embedding shape
+//! `(N, dim)`, determinism under a fixed seed, and registry-name round-trips.
+
+use datasets::{center_kernel, gram_matrix, secstr_dataset, Kernel, SecStrConfig};
+use linalg::Matrix;
+use mvcore::{EstimatorRegistry, FitSpec, InputKind, Output};
+
+const N: usize = 60;
+
+/// The shared fixture: a small SecStr-like dataset, each view trimmed to its first 12
+/// features so the order-3 covariance tensor stays tiny and the whole registry sweep
+/// runs quickly in debug builds.
+fn fixture_views() -> Vec<Matrix> {
+    let data = secstr_dataset(&SecStrConfig {
+        n_instances: N,
+        seed: 11,
+        difficulty: 0.8,
+    });
+    data.views()
+        .iter()
+        .map(|v| v.select_rows(&(0..12.min(v.rows())).collect::<Vec<_>>()))
+        .collect()
+}
+
+fn fixture_kernels() -> Vec<Matrix> {
+    fixture_views()
+        .iter()
+        .map(|v| center_kernel(&gram_matrix(v, Kernel::ExpEuclidean)))
+        .collect()
+}
+
+fn spec() -> FitSpec {
+    FitSpec::with_rank(2)
+        .epsilon(1e-2)
+        .seed(3)
+        .max_iterations(10)
+        .per_view_dim(8)
+}
+
+fn output_matrix(output: &Output) -> &Matrix {
+    match output {
+        Output::Embedding(z) => z,
+        Output::Distances(d) => d,
+    }
+}
+
+fn assert_outputs_equal(a: &[Output], b: &[Output], name: &str) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{name}: candidate counts differ across refits"
+    );
+    for (x, y) in a.iter().zip(b.iter()) {
+        let (x, y) = (output_matrix(x), output_matrix(y));
+        assert_eq!(x.shape(), y.shape(), "{name}: candidate shapes differ");
+        let mut max_diff = 0.0f64;
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                max_diff = max_diff.max((x[(i, j)] - y[(i, j)]).abs());
+            }
+        }
+        assert_eq!(max_diff, 0.0, "{name}: refit with the same seed differs");
+    }
+}
+
+fn conformance_sweep(kind: InputKind, inputs: &[Matrix]) {
+    let registry = EstimatorRegistry::with_builtin();
+    let names = registry.names_of(kind);
+    assert!(!names.is_empty());
+    for name in names {
+        let estimator = registry.get(name).unwrap();
+        assert_eq!(estimator.name(), name);
+        assert_eq!(estimator.input_kind(), kind);
+
+        let model = estimator
+            .fit(inputs, &spec())
+            .unwrap_or_else(|e| panic!("{name}: fit failed: {e}"));
+        assert_eq!(model.name(), name, "model must report its registry name");
+
+        // Registry names round-trip through the fitted model.
+        assert!(
+            registry.get(model.name()).is_ok(),
+            "{name}: model name does not resolve in the registry"
+        );
+
+        // Every candidate representation covers all N instances; embeddings are
+        // finite and, where a single embedding exists, match the advertised dim.
+        let outputs = model
+            .outputs(inputs)
+            .unwrap_or_else(|e| panic!("{name}: outputs failed: {e}"));
+        assert!(!outputs.is_empty(), "{name}: no candidates");
+        for output in &outputs {
+            assert_eq!(output.len(), N, "{name}: candidate instance count");
+            if let Output::Embedding(z) = output {
+                assert!(z.all_finite(), "{name}: non-finite embedding");
+            }
+        }
+        if let Ok(z) = model.transform(inputs) {
+            assert_eq!(z.shape(), (N, model.dim()), "{name}: transform shape");
+        } else {
+            // Models without a single embedding (BSK, AVG) advertise dim 0 and still
+            // provide their candidates through outputs().
+            assert_eq!(model.dim(), 0, "{name}: transform failed but dim != 0");
+        }
+
+        // Cost accounting is recorded uniformly through the trait.
+        assert!(
+            model.memory().total_bytes() > 0,
+            "{name}: empty memory model"
+        );
+
+        // Determinism under a fixed seed: a refit reproduces the candidates exactly.
+        let refit = registry.fit(name, inputs, &spec()).unwrap();
+        assert_outputs_equal(&outputs, &refit.outputs(inputs).unwrap(), name);
+    }
+}
+
+#[test]
+fn every_linear_estimator_conforms() {
+    conformance_sweep(InputKind::Views, &fixture_views());
+}
+
+#[test]
+fn every_kernel_estimator_conforms() {
+    conformance_sweep(InputKind::Kernels, &fixture_kernels());
+}
+
+#[test]
+fn transductive_models_reject_out_of_sample_instances() {
+    let registry = EstimatorRegistry::with_builtin();
+    let views = fixture_views();
+    for name in ["DSE", "SSMVD"] {
+        let model = registry.fit(name, &views, &spec()).unwrap();
+        // Same instance count: the train-time consensus comes back.
+        let z = model.transform(&views).unwrap();
+        assert_eq!(z.shape(), (N, model.dim()));
+        // Different instance count: a descriptive transductivity error.
+        let shorter: Vec<Matrix> = views
+            .iter()
+            .map(|v| v.select_columns(&(0..N / 2).collect::<Vec<_>>()))
+            .collect();
+        let err = model.transform(&shorter).unwrap_err();
+        assert!(err.to_string().contains("transductive"), "{name}: {err}");
+        // A *different* batch with the same instance count must also be rejected —
+        // returning the cached training consensus for it would silently mislabel
+        // held-out data.
+        let mut perturbed = views.clone();
+        perturbed[0] = perturbed[0].scale(2.0);
+        let err = model.transform(&perturbed).unwrap_err();
+        assert!(err.to_string().contains("transductive"), "{name}: {err}");
+    }
+}
+
+#[test]
+fn spec_epsilon_reaches_the_estimators() {
+    // Heavier regularization must shrink TCCA's leading canonical correlation, which
+    // shows FitSpec fields actually flow through the trait into the methods.
+    let views = fixture_views();
+    let registry = EstimatorRegistry::with_builtin();
+    let light = registry
+        .fit("TCCA", &views, &spec().epsilon(1e-4))
+        .unwrap()
+        .transform(&views)
+        .unwrap();
+    let heavy = registry
+        .fit("TCCA", &views, &spec().epsilon(10.0))
+        .unwrap()
+        .transform(&views)
+        .unwrap();
+    let norm = |z: &Matrix| {
+        let mut s = 0.0;
+        for i in 0..z.rows() {
+            for j in 0..z.cols() {
+                s += z[(i, j)] * z[(i, j)];
+            }
+        }
+        s.sqrt()
+    };
+    assert!(norm(&heavy) < norm(&light));
+}

@@ -175,7 +175,11 @@ mod tests {
     #[test]
     fn exponential_kernels_have_unit_diagonal_and_are_psd() {
         let v = toy_view();
-        for kern in [Kernel::ExpEuclidean, Kernel::ExpChiSquare, Kernel::Rbf { sigma: 0.5 }] {
+        for kern in [
+            Kernel::ExpEuclidean,
+            Kernel::ExpChiSquare,
+            Kernel::Rbf { sigma: 0.5 },
+        ] {
             let k = gram_matrix(&v, kern);
             for i in 0..4 {
                 assert!((k[(i, i)] - 1.0).abs() < 1e-12);

@@ -37,5 +37,7 @@ pub use multiview::MultiViewDataset;
 pub use nuswide::{nuswide_dataset, NusWideConfig};
 pub use rng::GaussianRng;
 pub use secstr::{secstr_dataset, SecStrConfig};
-pub use split::{labeled_subset, labeled_subset_per_class, train_test_split, validation_split, Split};
-pub use synth::{LatentMultiViewConfig, ViewSpec, ViewNonlinearity};
+pub use split::{
+    labeled_subset, labeled_subset_per_class, train_test_split, validation_split, Split,
+};
+pub use synth::{LatentMultiViewConfig, ViewNonlinearity, ViewSpec};

@@ -16,7 +16,10 @@ pub struct MultiViewDataset {
 impl MultiViewDataset {
     /// Construct a dataset; panics if view instance counts or label length disagree.
     pub fn new(views: Vec<Matrix>, labels: Vec<usize>, n_classes: usize) -> Self {
-        assert!(!views.is_empty(), "a multi-view dataset needs at least one view");
+        assert!(
+            !views.is_empty(),
+            "a multi-view dataset needs at least one view"
+        );
         let n = views[0].cols();
         for (p, v) in views.iter().enumerate() {
             assert_eq!(

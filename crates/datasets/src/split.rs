@@ -96,7 +96,12 @@ mod tests {
         let split = train_test_split(100, 0.3, 1);
         assert_eq!(split.first.len(), 30);
         assert_eq!(split.second.len(), 70);
-        let mut all: Vec<usize> = split.first.iter().chain(split.second.iter()).copied().collect();
+        let mut all: Vec<usize> = split
+            .first
+            .iter()
+            .chain(split.second.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }

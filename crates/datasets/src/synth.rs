@@ -314,7 +314,11 @@ impl LatentMultiViewConfig {
                 for i in 0..d {
                     let threshold = 0.4 + 0.4 * rng.uniform(0.0, 1.0);
                     for j in 0..n {
-                        out[(i, j)] = if responses[(i, j)] > threshold { 1.0 } else { 0.0 };
+                        out[(i, j)] = if responses[(i, j)] > threshold {
+                            1.0
+                        } else {
+                            0.0
+                        };
                     }
                 }
                 out
@@ -460,12 +464,7 @@ mod tests {
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        let skew = samples
-            .iter()
-            .map(|x| (x - mean).powi(3))
-            .sum::<f64>()
-            / n
-            / var.powf(1.5);
+        let skew = samples.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n / var.powf(1.5);
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!(skew > 0.5, "skewness {skew}");
         // Zero skewness falls back to the plain normal.

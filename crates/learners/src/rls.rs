@@ -50,12 +50,9 @@ impl RlsClassifier {
             targets[(i, label)] = 1.0;
         }
         let xty = x.t_matmul(&targets).expect("shapes agree");
-        let weights = ridge_solve(&xtx, &xty, gamma * n as f64)
-            .expect("ridge system is positive definite");
-        Self {
-            weights,
-            n_classes,
-        }
+        let weights =
+            ridge_solve(&xtx, &xty, gamma * n as f64).expect("ridge system is positive definite");
+        Self { weights, n_classes }
     }
 
     /// Per-class decision scores for a batch of instances (`N × n_classes`).

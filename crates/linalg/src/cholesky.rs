@@ -143,7 +143,10 @@ impl Cholesky {
 
     /// Log-determinant of the factored matrix, `log det A = 2 Σ log L_ii`.
     pub fn log_det(&self) -> f64 {
-        (0..self.dim()).map(|i| self.lower[(i, i)].ln()).sum::<f64>() * 2.0
+        (0..self.dim())
+            .map(|i| self.lower[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
     }
 }
 
@@ -201,9 +204,22 @@ mod tests {
         let chol = Cholesky::new(&a).unwrap();
         let linv = chol.inverse_lower();
         let should_be_identity = linv.matmul(chol.lower()).unwrap();
-        assert!(should_be_identity.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-10);
+        assert!(
+            should_be_identity
+                .sub(&Matrix::identity(3))
+                .unwrap()
+                .max_abs()
+                < 1e-10
+        );
         let ainv = chol.inverse();
-        assert!(a.matmul(&ainv).unwrap().sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-9);
+        assert!(
+            a.matmul(&ainv)
+                .unwrap()
+                .sub(&Matrix::identity(3))
+                .unwrap()
+                .max_abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -268,7 +268,14 @@ mod tests {
         let s = m.sqrt_spd(0.0).unwrap();
         assert!(s.matmul(&s).unwrap().sub(&m).unwrap().max_abs() < 1e-10);
         let inv = m.inverse_spd(1e-15).unwrap();
-        assert!(inv.matmul(&m).unwrap().sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-10);
+        assert!(
+            inv.matmul(&m)
+                .unwrap()
+                .sub(&Matrix::identity(2))
+                .unwrap()
+                .max_abs()
+                < 1e-10
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl fmt::Display for LinalgError {
             LinalgError::DidNotConverge {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

@@ -38,7 +38,9 @@ pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use ops::{dot, norm2, normalize};
 pub use solve::{ridge_solve, solve_spd};
-pub use stats::{center_columns, center_rows, column_means, covariance, cross_covariance, row_means};
+pub use stats::{
+    center_columns, center_rows, column_means, covariance, cross_covariance, row_means,
+};
 pub use svd::Svd;
 
 /// Convenience alias for results produced by this crate.

@@ -38,8 +38,12 @@ impl Svd {
             // Eigen-decompose AᵀA (n × n), recover U = A V Σ⁻¹.
             let gram = a.gram_t();
             let eig = SymmetricEigen::new(&gram)?;
-            let singular_values: Vec<f64> =
-                eig.eigenvalues.iter().take(k).map(|&l| l.max(0.0).sqrt()).collect();
+            let singular_values: Vec<f64> = eig
+                .eigenvalues
+                .iter()
+                .take(k)
+                .map(|&l| l.max(0.0).sqrt())
+                .collect();
             let v = eig.eigenvectors.leading_columns(k);
             let av = a.matmul(&v)?;
             let mut u = Matrix::zeros(m, k);

@@ -4,7 +4,7 @@
 //! associativity/consistency of the product kernels, eigendecomposition reconstruction,
 //! Cholesky round-trips, SVD orthogonality, and whitening.
 
-use linalg::{center_rows, covariance, Cholesky, Matrix, SymmetricEigen, Svd};
+use linalg::{center_rows, covariance, Cholesky, Matrix, Svd, SymmetricEigen};
 use proptest::prelude::*;
 
 /// Strategy: a matrix with entries in [-5, 5] and the given shape bounds.

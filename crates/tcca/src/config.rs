@@ -1,7 +1,7 @@
 //! Configuration of the TCCA estimators.
 
-use tensor::{CpAls, CpOptions, DenseTensor, Hopm, RankRDecomposition, TensorPowerMethod};
 use tensor::CpDecomposition;
+use tensor::{CpAls, CpOptions, DenseTensor, Hopm, RankRDecomposition, TensorPowerMethod};
 
 /// Which tensor decomposition algorithm solves the rank-r subproblem (paper §4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -241,7 +241,10 @@ mod tests {
         let zk = ktcca.transform_view(0, &kernels[0]).unwrap().column(0);
         let zl = tcca.transform_view(0, &views[0]).unwrap().column(0);
         let corr = pearson(&zk, &zl).abs();
-        assert!(corr > 0.95, "correlation between KTCCA and TCCA variables: {corr}");
+        assert!(
+            corr > 0.95,
+            "correlation between KTCCA and TCCA variables: {corr}"
+        );
     }
 
     fn pearson(a: &[f64], b: &[f64]) -> f64 {

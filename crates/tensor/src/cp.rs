@@ -10,8 +10,8 @@
 //! factors rather than concentrating greedily in the first ones — which is why TCCA's
 //! accuracy degrades less at large subspace dimensions than the greedy baselines.
 
-use crate::{CpDecomposition, DenseTensor, RankRDecomposition, Result, TensorError};
 use crate::kr::khatri_rao_list;
+use crate::{CpDecomposition, DenseTensor, RankRDecomposition, Result, TensorError};
 use linalg::{Matrix, SymmetricEigen};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -280,10 +280,17 @@ mod tests {
         let (t, _) = planted_rank2();
         let als = CpAls::default();
         let (cp, iters, err) = als.decompose_detailed(&t, 2).unwrap();
-        assert!(err < 1e-6, "relative error {err} too large after {iters} iterations");
+        assert!(
+            err < 1e-6,
+            "relative error {err} too large after {iters} iterations"
+        );
         assert_eq!(cp.rank(), 2);
         // The dominant weight should be close to 5, the second close to 2.
-        assert!((cp.weights[0] - 5.0).abs() < 1e-4, "weights: {:?}", cp.weights);
+        assert!(
+            (cp.weights[0] - 5.0).abs() < 1e-4,
+            "weights: {:?}",
+            cp.weights
+        );
         assert!((cp.weights[1] - 2.0).abs() < 1e-4);
     }
 

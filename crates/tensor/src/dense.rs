@@ -219,7 +219,14 @@ impl DenseTensor {
                 if vi == 0.0 {
                     continue;
                 }
-                recurse(data, strides, vectors, mode - 1, base + i * stride, acc * vi);
+                recurse(
+                    data,
+                    strides,
+                    vectors,
+                    mode - 1,
+                    base + i * stride,
+                    acc * vi,
+                );
             }
         }
         let last = self.shape.len() - 1;
@@ -389,11 +396,7 @@ impl DenseTensor {
         if vectors.len() != self.order() {
             return Err(TensorError::ShapeMismatch {
                 op: "multilinear_form",
-                detail: format!(
-                    "expected {} vectors, got {}",
-                    self.order(),
-                    vectors.len()
-                ),
+                detail: format!("expected {} vectors, got {}", self.order(), vectors.len()),
             });
         }
         // Contract the last mode first so remaining mode indices stay valid.
@@ -413,11 +416,7 @@ impl DenseTensor {
         if vectors.len() != self.order() {
             return Err(TensorError::ShapeMismatch {
                 op: "contract_all_but",
-                detail: format!(
-                    "expected {} vectors, got {}",
-                    self.order(),
-                    vectors.len()
-                ),
+                detail: format!("expected {} vectors, got {}", self.order(), vectors.len()),
             });
         }
         if keep >= self.order() {
@@ -571,9 +570,7 @@ mod tests {
         let t = example_3d();
         let ones2 = vec![1.0, 1.0];
         let ones3 = vec![1.0, 1.0, 1.0];
-        let total = t
-            .multilinear_form(&[&ones2, &ones3, &ones2])
-            .unwrap();
+        let total = t.multilinear_form(&[&ones2, &ones3, &ones2]).unwrap();
         assert_eq!(total, (1..=12).sum::<i32>() as f64);
         // Selecting a single element via indicator vectors.
         let e1 = vec![0.0, 1.0];

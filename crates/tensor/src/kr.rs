@@ -17,11 +17,7 @@ pub fn khatri_rao(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.cols() != b.cols() {
         return Err(TensorError::ShapeMismatch {
             op: "khatri_rao",
-            detail: format!(
-                "column counts differ: {} vs {}",
-                a.cols(),
-                b.cols()
-            ),
+            detail: format!("column counts differ: {} vs {}", a.cols(), b.cols()),
         });
     }
     let r = a.cols();
@@ -109,11 +105,18 @@ mod tests {
 
         for mode in 0..3 {
             // Descending order, skipping `mode`.
-            let others: Vec<&Matrix> = (0..3).rev().filter(|&k| k != mode).map(|k| factors[k]).collect();
+            let others: Vec<&Matrix> = (0..3)
+                .rev()
+                .filter(|&k| k != mode)
+                .map(|k| factors[k])
+                .collect();
             let kr = khatri_rao_list(&others).unwrap();
             let expected = factors[mode].matmul_t(&kr).unwrap();
             let unfolded = t.unfold(mode).unwrap();
-            assert!(unfolded.sub(&expected).unwrap().max_abs() < 1e-12, "mode {mode}");
+            assert!(
+                unfolded.sub(&expected).unwrap().max_abs() < 1e-12,
+                "mode {mode}"
+            );
         }
     }
 }

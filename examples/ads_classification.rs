@@ -49,12 +49,20 @@ fn main() {
     // Two-view CCA on the best pair (here simply the first pair for the demo).
     let cca = Cca::fit(&views[0], &views[1], 10, 1e-2).expect("CCA fit");
     let z_cca = cca.transform(&views[0], &views[1]).expect("CCA transform");
-    println!("CCA  ({} dims): {:.2}%", z_cca.cols(), 100.0 * evaluate(&z_cca));
+    println!(
+        "CCA  ({} dims): {:.2}%",
+        z_cca.cols(),
+        100.0 * evaluate(&z_cca)
+    );
 
     // TCCA across all three views.
     let tcca = Tcca::fit(&views, &TccaOptions::with_rank(10)).expect("TCCA fit");
     let z_tcca = tcca.transform(&views).expect("TCCA transform");
-    println!("TCCA ({} dims): {:.2}%", z_tcca.cols(), 100.0 * evaluate(&z_tcca));
+    println!(
+        "TCCA ({} dims): {:.2}%",
+        z_tcca.cols(),
+        100.0 * evaluate(&z_tcca)
+    );
 
     println!("\nThe low-dimensional common-subspace representations avoid the CAT");
     println!("over-fitting regime the paper describes for the Ads dataset (Fig. 4).");

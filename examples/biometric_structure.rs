@@ -25,7 +25,10 @@ fn evaluate(embedding: &Matrix, labels: &[usize], n_classes: usize, n_labeled: u
 }
 
 fn main() {
-    println!("{:<12} {:>12} {:>12} {:>12}", "unlabeled", "CCA (0,1)", "CCA-LS", "TCCA");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "unlabeled", "CCA (0,1)", "CCA-LS", "TCCA"
+    );
     for &n in &[400usize, 1000, 2000] {
         let data = secstr_dataset(&SecStrConfig {
             n_instances: n,
@@ -36,7 +39,9 @@ fn main() {
 
         // Two-view CCA on the first pair of context windows.
         let cca = Cca::fit(data.view(0), data.view(1), rank, 1e-2).expect("CCA fit");
-        let z_cca = cca.transform(data.view(0), data.view(1)).expect("CCA transform");
+        let z_cca = cca
+            .transform(data.view(0), data.view(1))
+            .expect("CCA transform");
 
         // CCA-LS across all three views.
         let ccals = CcaLs::fit(data.views(), rank, 1e-2).expect("CCA-LS fit");

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example kernel_tcca`
 
-use multiview_tcca::prelude::*;
 use datasets::labeled_subset_per_class;
+use multiview_tcca::prelude::*;
 
 fn main() {
     // The paper uses a 500-image subset for the non-linear experiments; the Gram tensor
@@ -30,7 +30,12 @@ fn main() {
             center_kernel(&gram_matrix(v, kernel))
         })
         .collect();
-    println!("built {} kernels of size {}x{}", kernels.len(), data.len(), data.len());
+    println!(
+        "built {} kernels of size {}x{}",
+        kernels.len(),
+        data.len(),
+        data.len()
+    );
 
     let options = KtccaOptions::with_rank(8).epsilon(1e-1);
     let model = Ktcca::fit(&kernels, &options).expect("KTCCA fit");

@@ -22,7 +22,10 @@ fn main() {
     // 2. Fit TCCA: whiten each view, build the covariance tensor, decompose it with ALS.
     let options = TccaOptions::with_rank(10).epsilon(1e-2);
     let model = Tcca::fit(data.views(), &options).expect("TCCA fit");
-    println!("leading canonical correlations: {:?}", &model.correlations()[..5.min(model.correlations().len())]);
+    println!(
+        "leading canonical correlations: {:?}",
+        &model.correlations()[..5.min(model.correlations().len())]
+    );
 
     // 3. Project every instance into the shared subspace (m views × rank dims).
     let embedding = model.transform(data.views()).expect("transform");
@@ -53,5 +56,8 @@ fn main() {
         let acc = accuracy(&rls.predict(&features.select_rows(&rest)), &test_labels);
         best_single = best_single.max(acc);
     }
-    println!("best single view + RLS accuracy:  {:.2}%", best_single * 100.0);
+    println!(
+        "best single view + RLS accuracy:  {:.2}%",
+        best_single * 100.0
+    );
 }

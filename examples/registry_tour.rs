@@ -1,0 +1,72 @@
+//! Tour of the unified estimator API: every registered method fitted on one dataset
+//! through one registry, one `FitSpec` and one error type.
+//!
+//! Run with: `cargo run --release --example registry_tour`
+
+use multiview_tcca::prelude::*;
+
+fn main() {
+    // A small SecStr-like dataset, views trimmed so the order-3 covariance tensor
+    // stays tiny for a demo run.
+    let data = secstr_dataset(&SecStrConfig {
+        n_instances: 120,
+        seed: 11,
+        difficulty: 0.8,
+    });
+    let views: Vec<Matrix> = data
+        .views()
+        .iter()
+        .map(|v| v.select_rows(&(0..30).collect::<Vec<_>>()))
+        .collect();
+    let kernels: Vec<Matrix> = views
+        .iter()
+        .map(|v| center_kernel(&gram_matrix(v, Kernel::ExpEuclidean)))
+        .collect();
+
+    let registry = EstimatorRegistry::with_builtin();
+    let spec = FitSpec::with_rank(3)
+        .epsilon(1e-2)
+        .seed(7)
+        .per_view_dim(20)
+        .max_iterations(15);
+
+    println!(
+        "{:<12} {:>5} {:>11} {:>10}  combine",
+        "method", "dim", "candidates", "MB"
+    );
+    for kind in [InputKind::Views, InputKind::Kernels] {
+        let inputs = match kind {
+            InputKind::Views => &views,
+            InputKind::Kernels => &kernels,
+        };
+        for name in registry.names_of(kind) {
+            let model = registry.fit(name, inputs, &spec).expect("fit");
+            let outputs = model.outputs(inputs).expect("outputs");
+            println!(
+                "{:<12} {:>5} {:>11} {:>10.3}  {:?}",
+                model.name(),
+                model.dim(),
+                outputs.len(),
+                model.memory().total_megabytes(),
+                model.combine(),
+            );
+        }
+    }
+
+    // One error type everywhere: unknown names and shape mismatches both surface as
+    // `CoreError`, so callers handle the whole method table uniformly.
+    match registry.get("DTCCA") {
+        Err(CoreError::UnknownEstimator { name, known }) => {
+            println!(
+                "\nunknown method {name:?} — registry knows: {}",
+                known.join(", ")
+            );
+        }
+        _ => unreachable!("DTCCA is not registered yet"),
+    }
+    let err = registry
+        .fit("TCCA", &views[..1], &spec)
+        .err()
+        .expect("one view must be rejected");
+    println!("one-view fit rejected: {err}");
+}

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example web_image_annotation`
 
-use multiview_tcca::prelude::*;
 use datasets::{labeled_subset_per_class, validation_split};
+use multiview_tcca::prelude::*;
 
 fn main() {
     let data = nuswide_dataset(&NusWideConfig {
