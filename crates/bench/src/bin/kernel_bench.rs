@@ -1,0 +1,182 @@
+//! Machine-readable kernel timings for the perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p tcca-bench --bin kernel_bench [-- --samples N] [--out FILE]
+//! ```
+//!
+//! Times the hot kernels of the TCCA pipeline — MTTKRP, the dense matrix products,
+//! the covariance / whitened-covariance tensor build, and the three decomposition
+//! solvers — and emits one JSON object per run:
+//!
+//! ```json
+//! {"schema": "tcca-kernel-bench/v1", "threads": 1, "kernels": [
+//!    {"name": "mttkrp/32x32x32/r8", "mean_ns": 123, "min_ns": 100, "samples": 10}, …
+//! ]}
+//! ```
+//!
+//! The JSON goes to stdout (or `--out FILE`) so CI and `BENCH_*.json` snapshots can
+//! diff kernel timings across PRs without scraping human-oriented bench output.
+
+use datasets::GaussianRng;
+use linalg::Matrix;
+use std::fmt::Write as _;
+use std::time::Instant;
+use tcca::{covariance_tensor, whitened_covariance_tensor};
+use tensor::{CpAls, DenseTensor, Hopm, RankRDecomposition, TensorPowerMethod};
+
+struct Record {
+    name: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+fn time<F: FnMut()>(name: &str, samples: usize, mut f: F) -> Record {
+    // One warm-up run keeps first-touch page faults out of the measurement.
+    f();
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_nanos());
+    }
+    Record {
+        name: name.to_string(),
+        mean_ns: times.iter().sum::<u128>() / times.len().max(1) as u128,
+        min_ns: times.iter().min().copied().unwrap_or(0),
+        samples,
+    }
+}
+
+fn random_tensor(shape: &[usize], seed: u64) -> DenseTensor {
+    let mut rng = GaussianRng::new(seed);
+    let len: usize = shape.iter().product();
+    let data: Vec<f64> = (0..len).map(|_| rng.standard_normal()).collect();
+    DenseTensor::from_vec(shape, data).expect("shape matches data")
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = GaussianRng::new(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.standard_normal()).collect();
+    Matrix::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+fn random_views(dims: &[usize], n: usize, seed: u64) -> Vec<Matrix> {
+    dims.iter()
+        .enumerate()
+        .map(|(p, &d)| random_matrix(d, n, seed + p as u64))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut samples = 10usize;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--samples" | "--out" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .unwrap_or_else(|| panic!("{flag} requires a value"));
+                if flag == "--samples" {
+                    samples = value.parse().expect("--samples takes an integer");
+                } else {
+                    out_path = Some(value.clone());
+                }
+            }
+            other => panic!("unknown argument {other}; use --samples N / --out FILE"),
+        }
+        i += 1;
+    }
+
+    let mut records = Vec::new();
+
+    // MTTKRP across modes and ranks (the CP-ALS inner kernel).
+    for dim in [16usize, 32] {
+        let t = random_tensor(&[dim, dim, dim], 1);
+        for rank in [1usize, 8] {
+            let factors: Vec<Matrix> = (0..3)
+                .map(|p| random_matrix(dim, rank, 100 + p as u64))
+                .collect();
+            let refs: Vec<&Matrix> = factors.iter().collect();
+            records.push(time(
+                &format!("mttkrp/{dim}x{dim}x{dim}/r{rank}"),
+                samples,
+                || {
+                    for mode in 0..3 {
+                        std::hint::black_box(t.mttkrp(mode, &refs).unwrap());
+                    }
+                },
+            ));
+        }
+    }
+
+    // Dense products at covariance-build-like sizes.
+    let a = random_matrix(200, 400, 2);
+    let b = random_matrix(400, 200, 3);
+    records.push(time("matmul/200x400x200", samples, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    }));
+    records.push(time("t_matmul/400x200x200", samples, || {
+        std::hint::black_box(a.t_matmul(&a).unwrap());
+    }));
+    records.push(time("transpose/200x400", samples, || {
+        std::hint::black_box(a.transpose());
+    }));
+
+    // Covariance / whitened-covariance tensor build (3 views, paper-scale dims).
+    let views = random_views(&[40, 40, 30], 300, 4);
+    records.push(time("covariance_tensor/40x40x30/n300", samples, || {
+        std::hint::black_box(covariance_tensor(&views).unwrap());
+    }));
+    let centered: Vec<Matrix> = views.iter().map(|v| linalg::center_rows(v).0).collect();
+    let whiteners: Vec<Matrix> = centered
+        .iter()
+        .map(|x| {
+            let mut c = linalg::covariance(x);
+            c.add_diagonal(1e-2);
+            c.inverse_sqrt_spd(1e-12).unwrap()
+        })
+        .collect();
+    records.push(time(
+        "whitened_covariance_tensor/40x40x30/n300",
+        samples,
+        || {
+            std::hint::black_box(whitened_covariance_tensor(&centered, &whiteners).unwrap());
+        },
+    ));
+
+    // Decomposition solvers end to end.
+    let t = random_tensor(&[24, 24, 24], 5);
+    records.push(time("cp_als/24x24x24/r8", samples, || {
+        std::hint::black_box(CpAls::default().decompose(&t, 8).unwrap());
+    }));
+    records.push(time("hopm/24x24x24/r1", samples, || {
+        std::hint::black_box(Hopm::default().decompose(&t, 1).unwrap());
+    }));
+    records.push(time("power/24x24x24/r1", samples, || {
+        std::hint::black_box(TensorPowerMethod::default().decompose(&t, 1).unwrap());
+    }));
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"tcca-kernel-bench/v1\",\n");
+    let _ = writeln!(json, "  \"threads\": {},", parallel::max_threads());
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}",
+            r.name, r.mean_ns, r.min_ns, r.samples
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    match out_path {
+        Some(path) => std::fs::write(&path, &json).expect("write --out file"),
+        None => print!("{json}"),
+    }
+}

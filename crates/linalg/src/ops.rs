@@ -3,17 +3,105 @@
 //! The multiplication kernels are written so that the inner loops stream over contiguous
 //! row-major memory (the classic `i-k-j` ordering), which is the single most important
 //! optimization for the covariance / whitening products that dominate the experiments.
+//!
+//! Products are additionally parallelized over **row blocks of the output**: each block
+//! of output rows is computed independently with a fixed per-element accumulation order
+//! (the reduction index always ascends), so results are bit-identical across thread
+//! counts — including the serial fallback that [`parallel::threads_for_work`] selects
+//! for small operands. The `*_with_threads` variants expose the thread count explicitly
+//! for the determinism property tests and for tuning; the plain methods pick it from
+//! the flop count and the `TCCA_NUM_THREADS` override.
 
 use crate::{LinalgError, Matrix, Result};
 
+/// Edge length of the tiles used by the blocked transpose: 32×32 f64 tiles (8 KiB for
+/// source + destination) sit comfortably in L1 while amortizing the column-strided
+/// writes of a naive transpose.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Run `kernel(row_index, output_row)` over every row of `out` using `threads` scoped
+/// threads. Rows are grouped into contiguous blocks for load balance (block boundaries
+/// may vary with `threads`); determinism comes from each row being computed
+/// independently by `kernel`, never from the blocking.
+fn for_each_row<F>(out: &mut Matrix, threads: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let cols = out.cols();
+    let rows = out.rows();
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    // A few blocks per thread for load balance; at least one row per block.
+    let rows_per_block = rows.div_ceil(threads.max(1) * 4).max(1);
+    parallel::for_each_chunk_mut(
+        out.as_mut_slice(),
+        rows_per_block * cols,
+        threads,
+        |block, chunk| {
+            for (r, row) in chunk.chunks_mut(cols).enumerate() {
+                kernel(block * rows_per_block + r, row);
+            }
+        },
+    );
+}
+
+/// Shared kernel for `out += aᵀ · b`, tiled over blocks of output rows.
+///
+/// For a block of output rows `[i0, i1)`, the reduction walks `p` outermost: the
+/// segment `a.row(p)[i0..i1]` is **contiguous** (it indexes columns of `a`, i.e. rows
+/// of `aᵀ`), `b.row(p)` is contiguous, and the output block stays cache-hot. This is
+/// what makes the outer-product-shaped chunks of the covariance-tensor build (short
+/// reduction, huge output) stream instead of thrash. Every output element accumulates
+/// over `p` in ascending order regardless of the block size or thread count, so the
+/// result is bit-deterministic.
+fn t_matmul_blocked(a: &Matrix, b: &Matrix, out: &mut Matrix, threads: usize) {
+    let (k, m, n) = (a.rows(), out.rows(), out.cols());
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Target ~32 KiB output tiles so the block being accumulated stays in L1, while
+    // still exposing at least a few blocks per thread for load balance.
+    let cache_rows = (4096 / n.max(1)).max(1);
+    let balance_rows = m.div_ceil(threads.max(1) * 4).max(1);
+    let rows_per_block = cache_rows.min(balance_rows);
+    parallel::for_each_chunk_mut(out.as_mut_slice(), rows_per_block * n, threads, {
+        move |block, chunk| {
+            let i0 = block * rows_per_block;
+            for p in 0..k {
+                let a_seg = &a.row(p)[i0..i0 + chunk.len() / n];
+                let b_row = b.row(p);
+                for (di, &a_pi) in a_seg.iter().enumerate() {
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let o_row = &mut chunk[di * n..(di + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                        *o += a_pi * bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
 impl Matrix {
-    /// Matrix transpose.
+    /// Matrix transpose (blocked/tiled so both source reads and destination writes stay
+    /// within cache-resident tiles).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols(), self.rows());
-        for i in 0..self.rows() {
-            let row = self.row(i);
-            for (j, &v) in row.iter().enumerate() {
-                out[(j, i)] = v;
+        let (rows, cols) = self.shape();
+        let mut out = Matrix::zeros(cols, rows);
+        let b = TRANSPOSE_TILE;
+        for ib in (0..rows).step_by(b) {
+            let i_end = (ib + b).min(rows);
+            for jb in (0..cols).step_by(b) {
+                let j_end = (jb + b).min(cols);
+                for i in ib..i_end {
+                    let row = &self.row(i)[jb..j_end];
+                    for (j, &v) in row.iter().enumerate() {
+                        out[(jb + j, i)] = v;
+                    }
+                }
             }
         }
         out
@@ -21,6 +109,13 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let flops = self.rows() * self.cols() * other.cols();
+        self.matmul_with_threads(other, parallel::threads_for_work(flops))
+    }
+
+    /// [`Matrix::matmul`] with an explicit thread count. The result is bit-identical
+    /// for every `threads >= 1`.
+    pub fn matmul_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols() != other.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -28,9 +123,9 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let (m, k, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        let (k, n) = (self.cols(), other.cols());
+        let mut out = Matrix::zeros(self.rows(), n);
+        for_each_row(&mut out, threads, |i, o_row| {
             let a_row = self.row(i);
             // i-k-j ordering: accumulate scaled rows of `other` into the output row.
             for (p, &a_ip) in a_row.iter().enumerate().take(k) {
@@ -38,17 +133,24 @@ impl Matrix {
                     continue;
                 }
                 let b_row = other.row(p);
-                let o_row = out.row_mut(i);
                 for j in 0..n {
                     o_row[j] += a_ip * b_row[j];
                 }
             }
-        }
+        });
         Ok(out)
     }
 
     /// Product `selfᵀ * other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let flops = self.rows() * self.cols() * other.cols();
+        self.t_matmul_with_threads(other, parallel::threads_for_work(flops))
+    }
+
+    /// [`Matrix::t_matmul`] with an explicit thread count. The result is bit-identical
+    /// for every `threads >= 1`: each output row accumulates over the shared dimension
+    /// in ascending order exactly as the serial kernel does.
+    pub fn t_matmul_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
         if self.rows() != other.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "t_matmul",
@@ -56,26 +158,36 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let (k, m, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a_pi) in a_row.iter().enumerate().take(m) {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let o_row = out.row_mut(i);
-                for j in 0..n {
-                    o_row[j] += a_pi * b_row[j];
-                }
-            }
-        }
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        t_matmul_blocked(self, other, &mut out, threads);
         Ok(out)
+    }
+
+    /// Accumulating product `out += selfᵀ * other`, used by the chunked covariance
+    /// tensor build to avoid a temporary per chunk. Keeps the same ascending reduction
+    /// order as [`Matrix::t_matmul`].
+    pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.rows() != other.rows() || out.rows() != self.cols() || out.cols() != other.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "t_matmul_acc",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let flops = self.rows() * self.cols() * other.cols();
+        t_matmul_blocked(self, other, out, parallel::threads_for_work(flops));
+        Ok(())
     }
 
     /// Product `self * otherᵀ` without materializing the transpose.
     pub fn matmul_t(&self, other: &Matrix) -> Result<Matrix> {
+        let flops = self.rows() * self.cols() * other.rows();
+        self.matmul_t_with_threads(other, parallel::threads_for_work(flops))
+    }
+
+    /// [`Matrix::matmul_t`] with an explicit thread count. The result is bit-identical
+    /// for every `threads >= 1`.
+    pub fn matmul_t_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols() != other.cols() {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_t",
@@ -83,11 +195,10 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let (m, n) = (self.rows(), other.rows());
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        let n = other.rows();
+        let mut out = Matrix::zeros(self.rows(), n);
+        for_each_row(&mut out, threads, |i, o_row| {
             let a_row = self.row(i);
-            let o_row = out.row_mut(i);
             for j in 0..n {
                 let b_row = other.row(j);
                 let mut acc = 0.0;
@@ -96,7 +207,7 @@ impl Matrix {
                 }
                 o_row[j] = acc;
             }
-        }
+        });
         Ok(out)
     }
 

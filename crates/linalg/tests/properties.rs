@@ -119,6 +119,46 @@ proptest! {
     }
 
     #[test]
+    fn parallel_products_are_bit_identical_to_serial(
+        adata in proptest::collection::vec(-3.0..3.0f64, 9 * 7),
+        bdata in proptest::collection::vec(-3.0..3.0f64, 7 * 5),
+    ) {
+        // Determinism across thread counts: the row-blocked parallel kernels keep the
+        // per-element accumulation order of the serial path, so results must be
+        // *exactly* equal, not merely close.
+        let a = Matrix::from_vec(9, 7, adata).unwrap();
+        let b = Matrix::from_vec(7, 5, bdata).unwrap();
+        let serial = a.matmul_with_threads(&b, 1).unwrap();
+        let serial_t = a.t_matmul_with_threads(&a, 1).unwrap();
+        let serial_mt = a.matmul_t_with_threads(&a, 1).unwrap();
+        for threads in [2usize, 3, 4, 16] {
+            prop_assert_eq!(&a.matmul_with_threads(&b, threads).unwrap(), &serial);
+            prop_assert_eq!(&a.t_matmul_with_threads(&a, threads).unwrap(), &serial_t);
+            prop_assert_eq!(&a.matmul_t_with_threads(&a, threads).unwrap(), &serial_mt);
+        }
+        // And the auto-threaded entry points agree too.
+        prop_assert_eq!(&a.matmul(&b).unwrap(), &serial);
+        prop_assert_eq!(&a.t_matmul(&a).unwrap(), &serial_t);
+        prop_assert_eq!(&a.matmul_t(&a).unwrap(), &serial_mt);
+    }
+
+    #[test]
+    fn t_matmul_acc_accumulates(
+        adata in proptest::collection::vec(-3.0..3.0f64, 6 * 4),
+        bdata in proptest::collection::vec(-3.0..3.0f64, 6 * 3),
+    ) {
+        let a = Matrix::from_vec(6, 4, adata).unwrap();
+        let b = Matrix::from_vec(6, 3, bdata).unwrap();
+        let mut acc = Matrix::filled(4, 3, 1.0);
+        a.t_matmul_acc(&b, &mut acc).unwrap();
+        let expected = Matrix::filled(4, 3, 1.0).add(&a.t_matmul(&b).unwrap()).unwrap();
+        prop_assert!(acc.sub(&expected).unwrap().max_abs() < 1e-12);
+        // Shape mismatches are rejected.
+        let mut wrong = Matrix::zeros(2, 2);
+        prop_assert!(a.t_matmul_acc(&b, &mut wrong).is_err());
+    }
+
+    #[test]
     fn centering_then_covariance_is_psd(m in matrix_strategy(5, 12)) {
         let (c, _) = center_rows(&m);
         let cov = covariance(&c);

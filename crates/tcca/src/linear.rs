@@ -16,25 +16,107 @@ use crate::{Result, TccaError, TccaOptions};
 use linalg::{center_rows, covariance, Matrix};
 use tensor::DenseTensor;
 
+/// Samples per block of the chunked moment-tensor accumulation. 64 keeps the
+/// Khatri–Rao block (`64 × Π_{p≥2} d_p`) cache-resident at paper-scale dimensions
+/// while amortizing the GEMM over enough columns to pay off. Fixed (never derived
+/// from the thread count) so results are reproducible run to run.
+const MOMENT_CHUNK: usize = 64;
+
+/// Accumulate the `m`-th-order moment tensor `(1/N) Σ_n y₁ₙ ∘ y₂ₙ ∘ … ∘ yₘₙ` of
+/// already-centered (or whitened) `d_p × N` views.
+///
+/// Instead of one [`DenseTensor::add_rank_one`] scatter per sample — which walks the
+/// whole tensor per sample with per-sample column allocations — this builds the tensor
+/// GEMM-style over sample chunks. With the first-index-fastest layout, the flat storage
+/// *is* the row-major `(Π_{p≥2} d_p) × d₁` matrix `unfold₁(M)ᵀ`, and for each chunk of
+/// `c` samples `unfold₁(M)ᵀ += Kᵀ B` where row `j` of `K` (`c × Π_{p≥2} d_p`) is the
+/// Khatri–Rao column `y_mⱼ ⊗ … ⊗ y₂ⱼ` and row `j` of `B` (`c × d₁`) is `y₁ⱼᵀ` — for
+/// order 3 this is exactly `unfold₁(M) = Y₁ (Y₃ ⊙ Y₂)ᵀ / N` built chunk by chunk.
+/// All scratch buffers (the per-view column buffers and both chunk matrices) are
+/// allocated once and reused across chunks.
+fn moment_tensor(views: &[Matrix]) -> Result<DenseTensor> {
+    let n = views[0].cols();
+    let shape: Vec<usize> = views.iter().map(|v| v.rows()).collect();
+    let d0 = shape[0];
+    let rest: usize = shape[1..].iter().product::<usize>().max(1);
+    let chunk = MOMENT_CHUNK.min(n.max(1));
+    // Flat accumulator: row-major (rest × d0) == the tensor's first-index-fastest data.
+    let mut acc = Matrix::zeros(rest, d0);
+    // Reused scratch: sample columns of views 1.., the KR block and the view-0 block.
+    let mut col_bufs: Vec<Vec<f64>> = shape[1..].iter().map(|&d| vec![0.0; d]).collect();
+    let mut kr_block = Matrix::zeros(chunk, rest);
+    let mut b_block = Matrix::zeros(chunk, d0);
+    for start in (0..n).step_by(chunk) {
+        let c = chunk.min(n - start);
+        for j in 0..c {
+            let sample = start + j;
+            let b_row = b_block.row_mut(j);
+            for (i, b) in b_row.iter_mut().enumerate() {
+                *b = views[0][(i, sample)];
+            }
+            for (buf, v) in col_bufs.iter_mut().zip(views[1..].iter()) {
+                for (i, x) in buf.iter_mut().enumerate() {
+                    *x = v[(i, sample)];
+                }
+            }
+            kr_expand_row(kr_block.row_mut(j), &col_bufs);
+        }
+        // Zero the tail rows of a short final chunk so the full-height GEMM adds 0.
+        for j in c..chunk {
+            kr_block.row_mut(j).fill(0.0);
+        }
+        kr_block
+            .t_matmul_acc(&b_block, &mut acc)
+            .map_err(tensor_shape_bug)?;
+    }
+    let weight = 1.0 / n.max(1) as f64;
+    let mut data = acc.into_vec();
+    for v in &mut data {
+        *v *= weight;
+    }
+    DenseTensor::from_vec(&shape, data).map_err(|e| TccaError::InvalidInput(e.to_string()))
+}
+
+fn tensor_shape_bug(e: linalg::LinalgError) -> TccaError {
+    TccaError::InvalidInput(format!("internal moment-tensor shape error: {e}"))
+}
+
+/// Fill `row` (length `Π d_k`) with the Khatri–Rao column `v_L ⊗ … ⊗ v_1` of the
+/// per-view sample columns, first view's index varying fastest (matching the tensor
+/// layout). Expands in place: after step `k` the leading `Π_{l≤k} d_l` entries hold the
+/// partial product, processed backwards so nothing is overwritten before use.
+fn kr_expand_row(row: &mut [f64], columns: &[Vec<f64>]) {
+    if columns.is_empty() {
+        if let Some(first) = row.first_mut() {
+            *first = 1.0;
+        }
+        return;
+    }
+    let mut len = columns[0].len();
+    row[..len].copy_from_slice(&columns[0]);
+    for col in &columns[1..] {
+        for j in (1..col.len()).rev() {
+            let cj = col[j];
+            let (head, tail) = row.split_at_mut(j * len);
+            for (t, &h) in tail[..len].iter_mut().zip(head[..len].iter()) {
+                *t = h * cj;
+            }
+        }
+        let c0 = col[0];
+        for x in row[..len].iter_mut() {
+            *x *= c0;
+        }
+        len *= col.len();
+    }
+}
+
 /// Build the (centered) covariance tensor `C₁₂…ₘ = (1/N) Σ_n x₁ₙ ∘ x₂ₙ ∘ … ∘ xₘₙ` of a
 /// set of `d_p × N` views. Exposed mainly for tests and the benchmark harness; `Tcca`
 /// itself accumulates the whitened tensor directly.
 pub fn covariance_tensor(views: &[Matrix]) -> Result<DenseTensor> {
     check_views(views)?;
-    let n = views[0].cols();
     let centered: Vec<Matrix> = views.iter().map(|v| center_rows(v).0).collect();
-    let shape: Vec<usize> = centered.iter().map(|v| v.rows()).collect();
-    let mut tensor = DenseTensor::zeros(&shape);
-    let weight = 1.0 / n.max(1) as f64;
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); centered.len()];
-    for j in 0..n {
-        for (p, v) in centered.iter().enumerate() {
-            columns[p] = v.column(j);
-        }
-        let refs: Vec<&[f64]> = columns.iter().map(|c| c.as_slice()).collect();
-        tensor.add_rank_one(weight, &refs);
-    }
-    Ok(tensor)
+    moment_tensor(&centered)
 }
 
 /// Build the whitened covariance tensor `M = C₁₂…ₘ ×₁ W₁ … ×ₘ Wₘ` given per-view
@@ -50,24 +132,12 @@ pub fn whitened_covariance_tensor(
             whiteners.len()
         )));
     }
-    let n = centered_views[0].cols();
     // Whitened data Y_p = W_p X_p (d_p × N).
     let mut whitened = Vec::with_capacity(centered_views.len());
     for (x, w) in centered_views.iter().zip(whiteners.iter()) {
         whitened.push(w.matmul(x)?);
     }
-    let shape: Vec<usize> = whitened.iter().map(|v| v.rows()).collect();
-    let mut tensor = DenseTensor::zeros(&shape);
-    let weight = 1.0 / n.max(1) as f64;
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); whitened.len()];
-    for j in 0..n {
-        for (p, v) in whitened.iter().enumerate() {
-            columns[p] = v.column(j);
-        }
-        let refs: Vec<&[f64]> = columns.iter().map(|c| c.as_slice()).collect();
-        tensor.add_rank_one(weight, &refs);
-    }
-    Ok(tensor)
+    moment_tensor(&whitened)
 }
 
 /// A fitted linear TCCA model.

@@ -9,8 +9,18 @@
 //! components *simultaneously*, so the explained correlation tends to spread across the
 //! factors rather than concentrating greedily in the first ones — which is why TCCA's
 //! accuracy degrades less at large subspace dimensions than the greedy baselines.
+//!
+//! ## Kernel structure
+//!
+//! Each mode update needs the matricized-tensor-times-Khatri–Rao product
+//! `T₍ₙ₎ · KR(..)`. Earlier revisions materialized the Khatri–Rao matrix
+//! (`Π_{k≠n} I_k × r` — quadratic in the tensor dimensions) and cached one full
+//! unfolding per mode; both are gone. The sweep now calls the fused
+//! [`DenseTensor::mttkrp`] kernel, which streams the tensor's storage once per mode,
+//! and the convergence check uses the standard Gram-based fit
+//! `‖T − T̂‖² = ‖T‖² − 2⟨T, T̂⟩ + ‖T̂‖²`, where `⟨T, T̂⟩` is read off the last MTTKRP
+//! and `‖T̂‖²` from the cached `r × r` factor Grams — no per-sweep reconstruction.
 
-use crate::kr::khatri_rao_list;
 use crate::{CpDecomposition, DenseTensor, RankRDecomposition, Result, TensorError};
 use linalg::{Matrix, SymmetricEigen};
 use rand::rngs::StdRng;
@@ -102,37 +112,32 @@ impl CpAls {
             ));
         }
 
-        // Pre-compute unfoldings once; they are reused every sweep.
-        let unfoldings: Vec<Matrix> = (0..order)
-            .map(|mode| tensor.unfold(mode))
-            .collect::<Result<_>>()?;
-
-        let mut factors = self.initialize(&unfoldings, &shape, rank)?;
+        let mut factors = self.initialize(tensor, &shape, rank)?;
+        // Cached r × r Grams A_kᵀ A_k, refreshed whenever a factor is updated.
+        let mut grams: Vec<Matrix> = factors.iter().map(|f| f.gram_t()).collect();
         let mut weights = vec![1.0; rank];
+        let norm_sq = norm * norm;
         let mut previous_fit = f64::INFINITY;
         let mut iterations = 0;
 
         for iter in 0..self.options.max_iterations {
             iterations = iter + 1;
+            // ⟨T, T̂⟩ via the final mode's MTTKRP and updated factor (valid because by
+            // then every factor in the sweep is current).
+            let mut inner = 0.0;
             for mode in 0..order {
                 // V = hadamard product over other modes of (A_kᵀ A_k)  (r × r)
                 let mut v = Matrix::filled(rank, rank, 1.0);
-                for (k, f) in factors.iter().enumerate() {
+                for (k, g) in grams.iter().enumerate() {
                     if k == mode {
                         continue;
                     }
-                    let g = f.gram_t();
-                    v = v.hadamard(&g)?;
+                    v = v.hadamard(g)?;
                 }
-                // KR of the other factors in descending mode order.
-                let others: Vec<&Matrix> = (0..order)
-                    .rev()
-                    .filter(|&k| k != mode)
-                    .map(|k| &factors[k])
-                    .collect();
-                let kr = khatri_rao_list(&others)?;
-                // Unnormalized update: A_mode = T_(mode) * KR * pinv(V)
-                let mttkrp = unfoldings[mode].matmul(&kr)?;
+                // Fused MTTKRP: T_(mode) · KR(other factors) with no materialization.
+                let factor_refs: Vec<&Matrix> = factors.iter().collect();
+                let mttkrp = tensor.mttkrp(mode, &factor_refs)?;
+                // Unnormalized update: A_mode = MTTKRP * pinv(V)
                 let vinv = pseudo_inverse_symmetric(&v)?;
                 let mut updated = mttkrp.matmul(&vinv)?;
                 // Normalize columns and store the norms as weights.
@@ -142,15 +147,27 @@ impl CpAls {
                     weights[k] = if n > 1e-300 { n } else { 0.0 };
                     updated.set_column(k, &col);
                 }
+                if mode == order - 1 {
+                    inner = weighted_inner(&updated, &mttkrp, &weights);
+                }
+                grams[mode] = updated.gram_t();
                 factors[mode] = updated;
             }
 
-            let cp = CpDecomposition {
-                weights: weights.clone(),
-                factors: factors.clone(),
-            };
-            let fit = cp.relative_error(tensor);
+            // ‖T̂‖² = Σ_{k,l} w_k w_l Π_p Gram_p[k,l], all cached r × r matrices.
+            let mut had = Matrix::filled(rank, rank, 1.0);
+            for g in &grams {
+                had = had.hadamard(g)?;
+            }
+            let mut model_sq = 0.0;
+            for k in 0..rank {
+                for l in 0..rank {
+                    model_sq += weights[k] * weights[l] * had[(k, l)];
+                }
+            }
+            let fit = (norm_sq - 2.0 * inner + model_sq).max(0.0).sqrt() / norm;
             if (previous_fit - fit).abs() < self.options.tolerance {
+                previous_fit = fit;
                 break;
             }
             previous_fit = fit;
@@ -174,13 +191,20 @@ impl CpAls {
             weights: sorted_weights,
             factors: sorted_factors,
         };
-        let err = cp.relative_error(tensor);
+        // Reordering components leaves the reconstruction unchanged, so the last
+        // sweep's Gram-based fit is the final relative error (the reconstruction
+        // fallback only fires when max_iterations == 0).
+        let err = if previous_fit.is_finite() {
+            previous_fit
+        } else {
+            cp.relative_error(tensor)
+        };
         Ok((cp, iterations, err))
     }
 
     fn initialize(
         &self,
-        unfoldings: &[Matrix],
+        tensor: &DenseTensor,
         shape: &[usize],
         rank: usize,
     ) -> Result<Vec<Matrix>> {
@@ -189,8 +213,9 @@ impl CpAls {
         for (mode, &dim) in shape.iter().enumerate() {
             let factor = if self.options.hosvd_init && dim >= 2 {
                 // Leading eigenvectors of T_(n) T_(n)ᵀ (HOSVD initialization), padded
-                // with random columns when rank exceeds the mode dimension.
-                let gram = unfoldings[mode].gram();
+                // with random columns when rank exceeds the mode dimension. The Gram
+                // is streamed off the flat storage; no unfolding is materialized.
+                let gram = tensor.mode_gram(mode)?;
                 let eig = SymmetricEigen::new(&gram)?;
                 let k = rank.min(dim);
                 let mut f = eig.eigenvectors.leading_columns(k);
@@ -226,6 +251,20 @@ impl RankRDecomposition for CpAls {
     fn decompose(&self, tensor: &DenseTensor, rank: usize) -> Result<CpDecomposition> {
         self.decompose_detailed(tensor, rank).map(|(cp, _, _)| cp)
     }
+}
+
+/// Weighted Frobenius inner product `Σ_k w_k Σ_i A[i,k] M[i,k]` — evaluates `⟨T, T̂⟩`
+/// from the final mode's (normalized) factor `A` and its MTTKRP `M`.
+fn weighted_inner(a: &Matrix, m: &Matrix, weights: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let m_row = m.row(i);
+        for (k, w) in weights.iter().enumerate() {
+            total += w * a_row[k] * m_row[k];
+        }
+    }
+    total
 }
 
 /// Pseudo-inverse of a small symmetric (Gram/Hadamard) matrix via its eigendecomposition,

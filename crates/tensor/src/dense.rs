@@ -332,6 +332,12 @@ impl DenseTensor {
 
     /// Mode-`n` product `B = T ×ₙ U` with a `J × I_n` matrix `U` (paper Eq. 4.1):
     /// every mode-`n` fiber of `T` is multiplied by `U`.
+    ///
+    /// Fibers are written directly into the output's flat storage (no unfold → matmul →
+    /// fold round-trip), streaming contiguous `inner`-sized runs. For mode 0 the
+    /// independent output slabs are parallelized; for higher modes every contiguous
+    /// output run (one `(o, j)` pair) is an independent chunk, so even the highest
+    /// mode — whose single slab spans the whole tensor — parallelizes.
     pub fn mode_product(&self, mode: usize, u: &Matrix) -> Result<DenseTensor> {
         if mode >= self.order() {
             return Err(TensorError::InvalidMode {
@@ -349,11 +355,169 @@ impl DenseTensor {
                 ),
             });
         }
-        let unfolded = self.unfold(mode)?;
-        let product = u.matmul(&unfolded)?;
+        let d = self.shape[mode];
+        let j_new = u.rows();
+        let inner = self.strides[mode];
+        let slab_in = inner * d;
+        let slab_out = inner * j_new;
+        let outer = self.data.len().checked_div(slab_in).unwrap_or(0);
         let mut new_shape = self.shape.clone();
-        new_shape[mode] = u.rows();
-        DenseTensor::fold(&product, mode, &new_shape)
+        new_shape[mode] = j_new;
+        let mut out = DenseTensor::zeros(&new_shape);
+        if out.data.is_empty() || outer == 0 {
+            return Ok(out);
+        }
+        let data = &self.data;
+        let threads = parallel::threads_for_work(2 * outer * d * j_new * inner);
+        if mode == 0 {
+            // Each output entry is a dot of a row of `u` with a contiguous fiber;
+            // chunk by output slab (one per fiber of the input).
+            parallel::for_each_chunk_mut(&mut out.data, slab_out, threads, |o, out_slab| {
+                let in_slab = &data[o * slab_in..(o + 1) * slab_in];
+                for (j, ov) in out_slab.iter_mut().enumerate() {
+                    let u_row = u.row(j);
+                    let mut acc = 0.0;
+                    for (a, b) in u_row.iter().zip(in_slab.iter()) {
+                        acc += a * b;
+                    }
+                    *ov = acc;
+                }
+            });
+        } else {
+            // Higher modes: each contiguous `inner`-run of the output (an `(o, j)`
+            // pair) accumulates scaled input runs independently, with `i` ascending so
+            // the per-element addition order is fixed and deterministic. Chunking per
+            // run (not per slab) keeps the highest mode — one slab spanning the whole
+            // tensor — parallelizable.
+            parallel::for_each_chunk_mut(&mut out.data, inner, threads, |c, out_run| {
+                let (o, j) = (c / j_new, c % j_new);
+                let in_slab = &data[o * slab_in..(o + 1) * slab_in];
+                for i in 0..d {
+                    let coeff = u[(j, i)];
+                    if coeff == 0.0 {
+                        continue;
+                    }
+                    let in_run = &in_slab[i * inner..(i + 1) * inner];
+                    for (o_val, x) in out_run.iter_mut().zip(in_run.iter()) {
+                        *o_val += coeff * x;
+                    }
+                }
+            });
+        }
+        Ok(out)
+    }
+
+    /// Matricized-tensor times Khatri–Rao product (MTTKRP), the workhorse of CP-ALS:
+    /// `T₍ₙ₎ · (A_N ⊙ … ⊙ A_{n+1} ⊙ A_{n−1} ⊙ … ⊙ A_1)` — the mode-`mode` unfolding
+    /// times the Khatri–Rao product of the other factors in descending mode order —
+    /// computed by streaming the tensor's contiguous storage **once**, materializing
+    /// neither the unfolding nor the Khatri–Rao matrix.
+    ///
+    /// `factors` must hold one matrix per mode with `factors[k].rows() == shape[k]` and
+    /// a common column count `r`; `factors[mode]` is ignored (CP-ALS passes the full
+    /// factor list). The result is `shape[mode] × r`.
+    pub fn mttkrp(&self, mode: usize, factors: &[&Matrix]) -> Result<Matrix> {
+        let r = factors.first().map_or(0, |f| f.cols());
+        self.mttkrp_with_threads(
+            mode,
+            factors,
+            parallel::threads_for_work(2 * self.data.len() * r.max(1)),
+        )
+    }
+
+    /// [`DenseTensor::mttkrp`] with an explicit thread count. Output rows are
+    /// partitioned into blocks; every row accumulates over the tensor's fibers in
+    /// storage order regardless of blocking, so the result is bit-identical for every
+    /// `threads >= 1`.
+    pub fn mttkrp_with_threads(
+        &self,
+        mode: usize,
+        factors: &[&Matrix],
+        threads: usize,
+    ) -> Result<Matrix> {
+        let order = self.order();
+        if order < 2 {
+            return Err(TensorError::InvalidArgument(format!(
+                "mttkrp needs an order >= 2 tensor, got order {order}"
+            )));
+        }
+        if mode >= order {
+            return Err(TensorError::InvalidMode { mode, order });
+        }
+        if factors.len() != order {
+            return Err(TensorError::ShapeMismatch {
+                op: "mttkrp",
+                detail: format!("expected {} factor matrices, got {}", order, factors.len()),
+            });
+        }
+        let r = factors[if mode == 0 { 1 } else { 0 }].cols();
+        for (k, f) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            if f.rows() != self.shape[k] || f.cols() != r {
+                return Err(TensorError::ShapeMismatch {
+                    op: "mttkrp",
+                    detail: format!(
+                        "factor {k} is {}x{} but mode {k} needs {}x{r}",
+                        f.rows(),
+                        f.cols(),
+                        self.shape[k]
+                    ),
+                });
+            }
+        }
+        let d_out = self.shape[mode];
+        let mut out = Matrix::zeros(d_out, r);
+        if r == 0 || self.data.is_empty() {
+            return Ok(out);
+        }
+        let rows_per_block = d_out.div_ceil(threads.max(1) * 4).max(1);
+        parallel::for_each_chunk_mut(out.as_mut_slice(), rows_per_block * r, threads, {
+            let shape = &self.shape;
+            let data = &self.data;
+            move |block, chunk| {
+                mttkrp_rows(data, shape, mode, factors, r, block * rows_per_block, chunk);
+            }
+        });
+        Ok(out)
+    }
+
+    /// Gram matrix of the mode-`n` unfolding, `G = T₍ₙ₎ T₍ₙ₎ᵀ` (`I_n × I_n`), computed
+    /// by streaming the flat storage — the unfolding itself is never materialized.
+    /// Used by the HOSVD-style initializations of CP-ALS and HOPM.
+    pub fn mode_gram(&self, mode: usize) -> Result<Matrix> {
+        if mode >= self.order() {
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
+        }
+        let d = self.shape[mode];
+        let inner = self.strides[mode];
+        let slab = inner * d;
+        let outer = self.data.len().checked_div(slab).unwrap_or(0);
+        let mut g = Matrix::zeros(d, d);
+        for o in 0..outer {
+            let base = o * slab;
+            for i in 0..d {
+                let a = &self.data[base + i * inner..base + (i + 1) * inner];
+                for j in i..d {
+                    let b = &self.data[base + j * inner..base + (j + 1) * inner];
+                    let mut acc = 0.0;
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        acc += x * y;
+                    }
+                    g[(i, j)] += acc;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        Ok(g)
     }
 
     /// Mode-`n` contraction with a vector: `T ×ₙ vᵀ`, which drops mode `n` and returns a
@@ -399,12 +563,25 @@ impl DenseTensor {
                 detail: format!("expected {} vectors, got {}", self.order(), vectors.len()),
             });
         }
-        // Contract the last mode first so remaining mode indices stay valid.
-        let mut current = self.clone();
-        for (mode, v) in vectors.iter().enumerate().rev() {
-            current = current.mode_contract(mode, v)?;
+        if !vectors.is_empty() && vectors[0].len() != self.shape[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "multilinear_form",
+                detail: format!(
+                    "vector 0 has length {} but mode 0 has size {}",
+                    vectors[0].len(),
+                    self.shape[0]
+                ),
+            });
         }
-        Ok(current.data[0])
+        if self.order() == 0 {
+            return Ok(self.data[0]);
+        }
+        let fiber = self.contract_all_but(0, vectors)?;
+        let mut acc = 0.0;
+        for (a, b) in vectors[0].iter().zip(fiber.iter()) {
+            acc += a * b;
+        }
+        Ok(acc)
     }
 
     /// Contract every mode **except** `keep` with the corresponding vector, returning the
@@ -412,30 +589,70 @@ impl DenseTensor {
     ///
     /// This is the inner step of both the HOPM and ALS rank-1 updates:
     /// `u_p ← T ×₁ u₁ᵀ … ×_{p−1} u_{p−1}ᵀ ×_{p+1} u_{p+1}ᵀ … ×ₘ uₘᵀ`.
+    ///
+    /// This is the rank-1 specialization of the fused MTTKRP kernel: the tensor's flat
+    /// storage is streamed exactly once, with no intermediate tensors (the entry of
+    /// `vectors` at position `keep` is ignored).
     pub fn contract_all_but(&self, keep: usize, vectors: &[&[f64]]) -> Result<Vec<f64>> {
-        if vectors.len() != self.order() {
+        let order = self.order();
+        if vectors.len() != order {
             return Err(TensorError::ShapeMismatch {
                 op: "contract_all_but",
-                detail: format!("expected {} vectors, got {}", self.order(), vectors.len()),
+                detail: format!("expected {} vectors, got {}", order, vectors.len()),
             });
         }
-        if keep >= self.order() {
-            return Err(TensorError::InvalidMode {
-                mode: keep,
-                order: self.order(),
-            });
+        if keep >= order {
+            return Err(TensorError::InvalidMode { mode: keep, order });
         }
-        let mut current = self.clone();
-        // Contract from the highest mode down, skipping `keep`; because we go from the
-        // back, the index of `keep` inside `current` never changes until all higher
-        // modes are gone, and lower modes keep their positions.
-        for mode in (0..self.order()).rev() {
-            if mode == keep {
-                continue;
+        for (k, v) in vectors.iter().enumerate() {
+            if k != keep && v.len() != self.shape[k] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "contract_all_but",
+                    detail: format!(
+                        "vector {k} has length {} but mode {k} has size {}",
+                        v.len(),
+                        self.shape[k]
+                    ),
+                });
             }
-            current = current.mode_contract(mode, vectors[mode])?;
         }
-        Ok(current.data)
+        let d0 = self.shape[0];
+        let mut out = vec![0.0; self.shape[keep]];
+        if self.data.is_empty() || d0 == 0 {
+            return Ok(out);
+        }
+        let mut idx = vec![0usize; order];
+        for fiber in self.data.chunks_exact(d0) {
+            // Scalar weight from every mode above 0 except `keep`.
+            let mut w = 1.0;
+            for k in 1..order {
+                if k != keep {
+                    w *= vectors[k][idx[k]];
+                }
+            }
+            if w != 0.0 {
+                if keep == 0 {
+                    for (o, &t) in out.iter_mut().zip(fiber.iter()) {
+                        *o += t * w;
+                    }
+                } else {
+                    let v0 = vectors[0];
+                    let mut acc = 0.0;
+                    for (&t, &v) in fiber.iter().zip(v0.iter()) {
+                        acc += t * v;
+                    }
+                    out[idx[keep]] += acc * w;
+                }
+            }
+            for k in 1..order {
+                idx[k] += 1;
+                if idx[k] < self.shape[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+        Ok(out)
     }
 
     fn check_same_shape(&self, other: &DenseTensor, op: &'static str) -> Result<()> {
@@ -446,6 +663,79 @@ impl DenseTensor {
             });
         }
         Ok(())
+    }
+}
+
+/// Serial MTTKRP kernel for a block of output rows `[row0, row0 + out_rows.len()/r)`.
+///
+/// Streams the tensor as contiguous mode-0 fibers. For every fiber the scalar weights
+/// of the modes above 0 come from one row of each non-`mode` factor; mode 0 either
+/// scatters into the output rows (mode == 0) or is reduced against `factors[0]` first.
+/// Each output element accumulates over fibers in storage order, independent of the
+/// block partition — which is what makes the parallel driver bit-deterministic.
+fn mttkrp_rows(
+    data: &[f64],
+    shape: &[usize],
+    mode: usize,
+    factors: &[&Matrix],
+    r: usize,
+    row0: usize,
+    out_rows: &mut [f64],
+) {
+    let order = shape.len();
+    let d0 = shape[0];
+    let row1 = row0 + out_rows.len() / r;
+    let mut idx = vec![0usize; order];
+    let mut w = vec![1.0f64; r];
+    let mut acc = vec![0.0f64; r];
+    for fiber in data.chunks_exact(d0) {
+        if mode == 0 || (idx[mode] >= row0 && idx[mode] < row1) {
+            w.fill(1.0);
+            for k in 1..order {
+                if k == mode {
+                    continue;
+                }
+                let f_row = factors[k].row(idx[k]);
+                for (wv, &fv) in w.iter_mut().zip(f_row.iter()) {
+                    *wv *= fv;
+                }
+            }
+            if mode == 0 {
+                for i0 in row0..row1 {
+                    let t = fiber[i0];
+                    if t == 0.0 {
+                        continue;
+                    }
+                    let o = &mut out_rows[(i0 - row0) * r..(i0 - row0 + 1) * r];
+                    for (ov, &wv) in o.iter_mut().zip(w.iter()) {
+                        *ov += t * wv;
+                    }
+                }
+            } else {
+                acc.fill(0.0);
+                for (i0, &t) in fiber.iter().enumerate() {
+                    if t == 0.0 {
+                        continue;
+                    }
+                    let a_row = factors[0].row(i0);
+                    for (av, &fv) in acc.iter_mut().zip(a_row.iter()) {
+                        *av += t * fv;
+                    }
+                }
+                let local = idx[mode] - row0;
+                let o = &mut out_rows[local * r..(local + 1) * r];
+                for ((ov, &av), &wv) in o.iter_mut().zip(acc.iter()).zip(w.iter()) {
+                    *ov += av * wv;
+                }
+            }
+        }
+        for k in 1..order {
+            idx[k] += 1;
+            if idx[k] < shape[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
     }
 }
 

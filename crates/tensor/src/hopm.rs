@@ -49,11 +49,12 @@ impl Hopm {
                 "HOPM needs an order >= 2 tensor, got order {order}"
             )));
         }
-        // Initialization: dominant eigenvector of T_(n) T_(n)ᵀ for each mode.
+        // Initialization: dominant eigenvector of T_(n) T_(n)ᵀ for each mode. The Gram
+        // is streamed off the flat storage (no unfolding is materialized), and the
+        // power iterations below run on the fused contract_all_but kernel.
         let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(order);
         for mode in 0..order {
-            let unfolded = tensor.unfold(mode)?;
-            let gram = unfolded.gram();
+            let gram = tensor.mode_gram(mode)?;
             let eig = SymmetricEigen::new(&gram)?;
             let mut v = eig.eigenvectors.column(0);
             if normalize(&mut v) <= 1e-300 {

@@ -5,6 +5,12 @@
 //! Khatri–Rao product taken in **descending** mode order so that its row ordering
 //! matches the mode-`n` unfolding used by [`crate::DenseTensor::unfold`] (smallest mode
 //! index varying fastest).
+//!
+//! The solvers themselves no longer materialize this product — the fused
+//! [`crate::DenseTensor::mttkrp`] kernel computes `T₍ₙ₎ · KR(..)` directly from the
+//! tensor's flat storage. These helpers remain as the reference definition the
+//! property tests check the fused kernel against, and for callers that need the
+//! explicit matrix.
 
 use crate::{Result, TensorError};
 use linalg::Matrix;

@@ -121,4 +121,87 @@ proptest! {
         let (lambda, _) = Hopm::default().rank_one(&t).unwrap();
         prop_assert!(lambda.abs() <= t.frobenius_norm() + 1e-9);
     }
+
+    #[test]
+    fn mttkrp_matches_unfolded_khatri_rao_reference(t in tensor3_strategy(), rank in 1..4usize) {
+        // The fused kernel must agree with the textbook definition
+        // T₍ₙ₎ · KR(A_N, …, A_{n+1}, A_{n−1}, …, A_1) for every mode.
+        let factors: Vec<Matrix> = t
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(p, &d)| {
+                Matrix::from_vec(
+                    d,
+                    rank,
+                    (0..d * rank)
+                        .map(|i| ((i + 7 * p) as f64) * 0.37 - 1.1)
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for mode in 0..3 {
+            let fused = t.mttkrp(mode, &refs).unwrap();
+            let others: Vec<&Matrix> =
+                (0..3).rev().filter(|&k| k != mode).map(|k| &factors[k]).collect();
+            let kr = khatri_rao_list(&others).unwrap();
+            let reference = t.unfold(mode).unwrap().matmul(&kr).unwrap();
+            prop_assert!(
+                fused.sub(&reference).unwrap().max_abs() < 1e-10,
+                "mode {mode} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn mttkrp_is_bit_identical_across_thread_counts(t in tensor3_strategy()) {
+        let rank = 2;
+        let factors: Vec<Matrix> = t
+            .shape()
+            .iter()
+            .map(|&d| {
+                Matrix::from_vec(d, rank, (0..d * rank).map(|i| (i as f64).sin()).collect())
+                    .unwrap()
+            })
+            .collect();
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for mode in 0..3 {
+            let serial = t.mttkrp_with_threads(mode, &refs, 1).unwrap();
+            for threads in [2usize, 3, 8] {
+                let parallel = t.mttkrp_with_threads(mode, &refs, threads).unwrap();
+                prop_assert_eq!(&parallel, &serial);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_gram_matches_unfolded_gram(t in tensor3_strategy()) {
+        for mode in 0..3 {
+            let fused = t.mode_gram(mode).unwrap();
+            let reference = t.unfold(mode).unwrap().gram();
+            prop_assert!(fused.sub(&reference).unwrap().max_abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn contract_all_but_is_rank1_mttkrp(t in tensor3_strategy()) {
+        // The fused vector contraction is the r = 1 case of MTTKRP.
+        let vectors: Vec<Vec<f64>> = t
+            .shape()
+            .iter()
+            .map(|&d| (0..d).map(|i| 0.5 * (i as f64) - 0.8).collect())
+            .collect();
+        let refs: Vec<&[f64]> = vectors.iter().map(|v| v.as_slice()).collect();
+        let columns: Vec<Matrix> = vectors.iter().map(|v| Matrix::column_vector(v)).collect();
+        let col_refs: Vec<&Matrix> = columns.iter().collect();
+        for keep in 0..3 {
+            let fiber = t.contract_all_but(keep, &refs).unwrap();
+            let via_mttkrp = t.mttkrp(keep, &col_refs).unwrap();
+            for (i, &v) in fiber.iter().enumerate() {
+                prop_assert!((v - via_mttkrp[(i, 0)]).abs() < 1e-10);
+            }
+        }
+    }
 }
