@@ -66,6 +66,40 @@ impl Cca {
         })
     }
 
+    /// Rebuild a fitted model from its parts (the persistence path).
+    pub fn from_parts(
+        means: [Vec<f64>; 2],
+        projections: [Matrix; 2],
+        correlations: Vec<f64>,
+    ) -> Result<Self> {
+        for p in 0..2 {
+            if means[p].len() != projections[p].rows() {
+                return Err(BaselineError::InvalidInput(format!(
+                    "view {p}: mean has {} entries but projection has {} rows",
+                    means[p].len(),
+                    projections[p].rows()
+                )));
+            }
+            if projections[p].cols() != correlations.len() {
+                return Err(BaselineError::InvalidInput(format!(
+                    "view {p}: projection has {} columns but {} correlations given",
+                    projections[p].cols(),
+                    correlations.len()
+                )));
+            }
+        }
+        Ok(Self {
+            means,
+            projections,
+            correlations,
+        })
+    }
+
+    /// The per-view training means subtracted before projecting.
+    pub fn means(&self) -> &[Vec<f64>; 2] {
+        &self.means
+    }
+
     /// Canonical correlations of the fitted directions (descending).
     pub fn correlations(&self) -> &[f64] {
         &self.correlations

@@ -136,16 +136,6 @@ impl Dse {
         })
     }
 
-    /// The consensus embedding (`N × r`, instances as rows).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `mvcore::MultiViewEstimator` API: fit \"DSE\" through the \
-                registry and call `transform` on the returned model"
-    )]
-    pub fn embedding(&self) -> &Matrix {
-        &self.embedding
-    }
-
     /// The consensus embedding (`N × r`), by value — the train-time representation
     /// DSE produces (the method is transductive and has no out-of-sample map).
     pub fn into_embedding(self) -> Matrix {
@@ -159,7 +149,6 @@ impl Dse {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated `embedding()` accessor keeps its coverage
 mod tests {
     use super::*;
     use datasets::GaussianRng;
@@ -185,10 +174,9 @@ mod tests {
     #[test]
     fn embedding_shape_and_orthonormality() {
         let views = shared_signal_views(100, 51);
-        let dse = Dse::fit(&views, 3, 10).unwrap();
-        let b = dse.embedding();
+        let b = Dse::fit(&views, 3, 10).unwrap().into_embedding();
         assert_eq!(b.shape(), (100, 3));
-        let btb = b.t_matmul(b).unwrap();
+        let btb = b.t_matmul(&b).unwrap();
         assert!(btb.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-8);
     }
 
@@ -207,7 +195,7 @@ mod tests {
     fn rank_clamped_to_available_dimensions() {
         let views = shared_signal_views(20, 53);
         let dse = Dse::fit(&views, 500, 100).unwrap();
-        assert!(dse.embedding().cols() <= 20);
+        assert!(dse.into_embedding().cols() <= 20);
     }
 
     #[test]

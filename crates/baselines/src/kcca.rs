@@ -56,6 +56,29 @@ impl Kcca {
         })
     }
 
+    /// Rebuild a fitted model from its parts (the persistence path). Both coefficient
+    /// matrices must share their shape (`N × r`).
+    pub fn from_parts(coefficients: [Matrix; 2], correlations: Vec<f64>) -> Result<Self> {
+        if coefficients[0].shape() != coefficients[1].shape() {
+            return Err(BaselineError::InvalidInput(format!(
+                "coefficient matrices disagree: {:?} vs {:?}",
+                coefficients[0].shape(),
+                coefficients[1].shape()
+            )));
+        }
+        if coefficients[0].cols() != correlations.len() {
+            return Err(BaselineError::InvalidInput(format!(
+                "coefficients have {} columns but {} correlations given",
+                coefficients[0].cols(),
+                correlations.len()
+            )));
+        }
+        Ok(Self {
+            coefficients,
+            correlations,
+        })
+    }
+
     /// Canonical correlations (descending).
     pub fn correlations(&self) -> &[f64] {
         &self.correlations

@@ -87,6 +87,40 @@ impl CcaMaxVar {
         })
     }
 
+    /// Rebuild a fitted model from its parts (the persistence path).
+    pub fn from_parts(
+        means: Vec<Vec<f64>>,
+        projections: Vec<Matrix>,
+        singular_values: Vec<f64>,
+    ) -> Result<Self> {
+        if means.len() != projections.len() {
+            return Err(BaselineError::InvalidInput(format!(
+                "{} means but {} projections",
+                means.len(),
+                projections.len()
+            )));
+        }
+        for (p, (mean, proj)) in means.iter().zip(projections.iter()).enumerate() {
+            if mean.len() != proj.rows() {
+                return Err(BaselineError::InvalidInput(format!(
+                    "view {p}: mean has {} entries but projection has {} rows",
+                    mean.len(),
+                    proj.rows()
+                )));
+            }
+        }
+        Ok(Self {
+            means,
+            projections,
+            singular_values,
+        })
+    }
+
+    /// The per-view training means subtracted before projecting.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
     /// Per-view projection matrices (`d_p × r`).
     pub fn projections(&self) -> &[Matrix] {
         &self.projections

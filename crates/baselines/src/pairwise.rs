@@ -7,7 +7,7 @@
 //! The selection/combination needs labels and a learner, so it lives in the experiment
 //! harness; this module fits the per-pair models and exposes their embeddings.
 
-use crate::{Cca, Kcca, Result};
+use crate::{BaselineError, Cca, Kcca, Result};
 use linalg::Matrix;
 
 /// All unordered pairs `(p, q)` with `p < q` of `m` views — the paper's `m(m−1)/2`
@@ -36,6 +36,20 @@ impl PairwiseCca {
         let mut models = Vec::with_capacity(pairs.len());
         for &(p, q) in &pairs {
             models.push(Cca::fit(&views[p], &views[q], rank, epsilon)?);
+        }
+        Ok(Self { pairs, models })
+    }
+
+    /// Rebuild from per-pair models (the persistence path): `models` must hold one
+    /// fitted [`Cca`] per unordered pair of `num_views` views, in [`view_pairs`] order.
+    pub fn from_models(num_views: usize, models: Vec<Cca>) -> Result<Self> {
+        let pairs = view_pairs(num_views);
+        if models.len() != pairs.len() {
+            return Err(BaselineError::InvalidInput(format!(
+                "{num_views} views need {} pair models, got {}",
+                pairs.len(),
+                models.len()
+            )));
         }
         Ok(Self { pairs, models })
     }
@@ -78,6 +92,21 @@ impl PairwiseKcca {
         let mut models = Vec::with_capacity(pairs.len());
         for &(p, q) in &pairs {
             models.push(Kcca::fit(&kernels[p], &kernels[q], rank, epsilon)?);
+        }
+        Ok(Self { pairs, models })
+    }
+
+    /// Rebuild from per-pair models (the persistence path): `models` must hold one
+    /// fitted [`Kcca`] per unordered pair of `num_views` kernels, in [`view_pairs`]
+    /// order.
+    pub fn from_models(num_views: usize, models: Vec<Kcca>) -> Result<Self> {
+        let pairs = view_pairs(num_views);
+        if models.len() != pairs.len() {
+            return Err(BaselineError::InvalidInput(format!(
+                "{num_views} views need {} pair models, got {}",
+                pairs.len(),
+                models.len()
+            )));
         }
         Ok(Self { pairs, models })
     }

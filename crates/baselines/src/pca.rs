@@ -69,6 +69,40 @@ impl Pca {
         }
     }
 
+    /// Rebuild a fitted model from its parts (the persistence path). `mean` must have
+    /// one entry per feature row of `components`, and `explained_variance` one entry
+    /// per retained component.
+    pub fn from_parts(
+        mean: Vec<f64>,
+        components: Matrix,
+        explained_variance: Vec<f64>,
+    ) -> Result<Self> {
+        if mean.len() != components.rows() {
+            return Err(BaselineError::InvalidInput(format!(
+                "mean has {} entries but components has {} rows",
+                mean.len(),
+                components.rows()
+            )));
+        }
+        if explained_variance.len() != components.cols() {
+            return Err(BaselineError::InvalidInput(format!(
+                "explained variance has {} entries but components has {} columns",
+                explained_variance.len(),
+                components.cols()
+            )));
+        }
+        Ok(Self {
+            mean,
+            components,
+            explained_variance,
+        })
+    }
+
+    /// The per-feature training means subtracted before projecting.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
     /// The principal directions (`d × r`, unit columns).
     pub fn components(&self) -> &Matrix {
         &self.components

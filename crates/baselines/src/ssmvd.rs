@@ -162,16 +162,6 @@ impl Ssmvd {
         })
     }
 
-    /// The consensus embedding (`N × r`, instances as rows).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `mvcore::MultiViewEstimator` API: fit \"SSMVD\" through the \
-                registry and call `transform` on the returned model"
-    )]
-    pub fn embedding(&self) -> &Matrix {
-        &self.embedding
-    }
-
     /// The consensus embedding (`N × r`), by value — the train-time representation
     /// SSMVD produces (the method is transductive and has no out-of-sample map).
     pub fn into_embedding(self) -> Matrix {
@@ -190,7 +180,6 @@ impl Ssmvd {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated `embedding()` accessor keeps its coverage
 mod tests {
     use super::*;
     use datasets::GaussianRng;
@@ -220,11 +209,11 @@ mod tests {
     fn embedding_is_orthonormal() {
         let views = views_with_noise_view(80, 61);
         let model = Ssmvd::fit(&views, 3, 10).unwrap();
-        let b = model.embedding();
-        assert_eq!(b.shape(), (80, 3));
-        let btb = b.t_matmul(b).unwrap();
-        assert!(btb.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-8);
         assert!(model.iterations() >= 1);
+        let b = model.into_embedding();
+        assert_eq!(b.shape(), (80, 3));
+        let btb = b.t_matmul(&b).unwrap();
+        assert!(btb.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-8);
     }
 
     #[test]

@@ -127,6 +127,18 @@ fn main() {
         std::hint::black_box(a.transpose());
     }));
 
+    // Self-products (the covariance / whitening symmetric rank-k path).
+    records.push(time("gram/200x400", samples, || {
+        std::hint::black_box(a.gram());
+    }));
+    records.push(time("gram_t/200x400", samples, || {
+        std::hint::black_box(a.gram_t());
+    }));
+    let tall = random_matrix(2000, 100, 6);
+    records.push(time("gram_t/2000x100", samples, || {
+        std::hint::black_box(tall.gram_t());
+    }));
+
     // Covariance / whitened-covariance tensor build (3 views, paper-scale dims).
     let views = random_views(&[40, 40, 30], 300, 4);
     records.push(time("covariance_tensor/40x40x30/n300", samples, || {

@@ -23,6 +23,9 @@ pub enum CoreError {
     Linalg(linalg::LinalgError),
     /// An underlying tensor operation or decomposition failed.
     Tensor(tensor::TensorError),
+    /// Saving or loading a serialized model failed (I/O, corruption, bad format
+    /// version, checksum mismatch, missing or mistyped sections).
+    Persist(String),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +41,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Linalg(err) => write!(f, "linear algebra failure: {err}"),
             CoreError::Tensor(err) => write!(f, "tensor failure: {err}"),
+            CoreError::Persist(msg) => write!(f, "model persistence failure: {msg}"),
         }
     }
 }

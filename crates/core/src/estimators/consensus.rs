@@ -13,7 +13,9 @@
 //! pre-reduction that used to be hand-rolled inside `Dse::fit` / `Ssmvd::fit`.
 
 use crate::model::check_same_instances;
-use crate::{CoreError, FitSpec, MemoryModel, MultiViewEstimator, MultiViewModel, Result};
+use crate::{
+    CoreError, FitSpec, MemoryModel, ModelState, MultiViewEstimator, MultiViewModel, Result,
+};
 use baselines::dse::consensus_embedding;
 use baselines::ssmvd::{irls_consensus, SsmvdOptions};
 use linalg::Matrix;
@@ -101,6 +103,62 @@ impl MultiViewModel for ConsensusModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_matrix("embedding", &self.embedding);
+        state.put_int("fingerprints/len", self.fingerprints.len() as u64);
+        for (i, fp) in self.fingerprints.iter().enumerate() {
+            // Shape counts are exact in f64 far beyond any realistic view size; the
+            // three statistics are stored as their exact bit patterns, so the loaded
+            // model accepts exactly the same training batches the original did.
+            state.put_vector(
+                format!("fingerprints/{i}"),
+                &[
+                    fp.rows as f64,
+                    fp.cols as f64,
+                    fp.frobenius,
+                    fp.first,
+                    fp.last,
+                ],
+            );
+        }
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
+}
+
+/// Shared loader for the two consensus models ([`DseConsensus`] / [`SsmvdConsensus`]
+/// produce the same model shape and differ only in name).
+fn load_consensus(name: &'static str, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+    let len = state.index("fingerprints/len")?;
+    let mut fingerprints = Vec::with_capacity(len);
+    for i in 0..len {
+        let raw = state.vector(&format!("fingerprints/{i}"))?;
+        if raw.len() != 5 {
+            return Err(CoreError::Persist(format!(
+                "fingerprint {i} has {} entries, expected 5",
+                raw.len()
+            )));
+        }
+        fingerprints.push(ViewFingerprint {
+            rows: raw[0] as usize,
+            cols: raw[1] as usize,
+            frobenius: raw[2],
+            first: raw[3],
+            last: raw[4],
+        });
+    }
+    Ok(Box::new(ConsensusModel {
+        name,
+        embedding: state.matrix("embedding")?.clone(),
+        fingerprints,
+        memory: state.memory()?,
+    }))
 }
 
 /// The consensus stage of DSE (Long et al. 2008): unit-Frobenius normalization of the
@@ -126,6 +184,10 @@ impl MultiViewEstimator for DseConsensus {
             fingerprints: views.iter().map(fingerprint).collect(),
             memory,
         }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        load_consensus("DSE", state)
     }
 }
 
@@ -162,5 +224,9 @@ impl MultiViewEstimator for SsmvdConsensus {
             fingerprints: views.iter().map(fingerprint).collect(),
             memory,
         }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        load_consensus("SSMVD", state)
     }
 }

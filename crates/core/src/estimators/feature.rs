@@ -7,13 +7,34 @@
 
 use crate::model::{check_same_instances, check_square_kernels};
 use crate::{
-    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, MultiViewEstimator, MultiViewModel,
-    Output, Result,
+    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, ModelState, MultiViewEstimator,
+    MultiViewModel, Output, Result,
 };
 use baselines::feature::{
     average_kernels, concatenate_views, kernel_to_distances, view_as_instances,
 };
 use linalg::Matrix;
+
+/// Store per-view feature dimensions (exact for any realistic width: `f64` holds
+/// integers up to 2⁵³).
+fn save_dims(state: &mut ModelState, dims: &[usize]) {
+    state.put_vector("dims", &dims.iter().map(|&d| d as f64).collect::<Vec<_>>());
+}
+
+/// Read per-view feature dimensions written by [`save_dims`].
+fn load_dims(state: &ModelState) -> Result<Vec<usize>> {
+    state
+        .vector("dims")?
+        .iter()
+        .map(|&d| {
+            if d >= 0.0 && d.fract() == 0.0 {
+                Ok(d as usize)
+            } else {
+                Err(CoreError::Persist(format!("invalid view dimension {d}")))
+            }
+        })
+        .collect()
+}
 
 fn check_view_dims(views: &[Matrix], dims: &[usize]) -> Result<usize> {
     let n = check_same_instances(views)?;
@@ -52,6 +73,13 @@ impl MultiViewEstimator for Bsf {
             memory.add_matrix(format!("view {p} features"), n, *d);
         }
         Ok(Box::new(BsfModel { dims, memory }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        Ok(Box::new(BsfModel {
+            dims: load_dims(state)?,
+            memory: state.memory()?,
+        }))
     }
 }
 
@@ -104,6 +132,17 @@ impl MultiViewModel for BsfModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        save_dims(&mut state, &self.dims);
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
 }
 
 /// CAT — concatenation of the L2-normalized features of all views.
@@ -121,6 +160,13 @@ impl MultiViewEstimator for Cat {
         let mut memory = MemoryModel::new();
         memory.add_matrix("concatenated features", n, dims.iter().sum());
         Ok(Box::new(CatModel { dims, memory }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        Ok(Box::new(CatModel {
+            dims: load_dims(state)?,
+            memory: state.memory()?,
+        }))
     }
 }
 
@@ -162,6 +208,17 @@ impl MultiViewModel for CatModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        save_dims(&mut state, &self.dims);
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
 }
 
 /// BSK — best single-view kernel, evaluated through per-kernel distance matrices.
@@ -186,6 +243,14 @@ impl MultiViewEstimator for Bsk {
         }
         memory.add_matrix("distance matrices", n, n * m);
         Ok(Box::new(BskModel { n, m, memory }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        Ok(Box::new(BskModel {
+            n: state.index("n")?,
+            m: state.index("m")?,
+            memory: state.memory()?,
+        }))
     }
 }
 
@@ -233,6 +298,22 @@ impl MultiViewModel for BskModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.m
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Kernels
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("n", self.n as u64);
+        state.put_int("m", self.m as u64);
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
 }
 
 /// AVG — average of the trace-normalized per-view kernels, evaluated by distances.
@@ -257,6 +338,14 @@ impl MultiViewEstimator for AvgKernel {
         }
         memory.add_matrix("averaged kernel", n, n);
         Ok(Box::new(AvgKernelModel { n, m, memory }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        Ok(Box::new(AvgKernelModel {
+            n: state.index("n")?,
+            m: state.index("m")?,
+            memory: state.memory()?,
+        }))
     }
 }
 
@@ -305,5 +394,21 @@ impl MultiViewModel for AvgKernelModel {
 
     fn memory(&self) -> &MemoryModel {
         &self.memory
+    }
+
+    fn num_views(&self) -> usize {
+        self.m
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Kernels
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("n", self.n as u64);
+        state.put_int("m", self.m as u64);
+        state.put_memory(&self.memory);
+        Ok(state)
     }
 }

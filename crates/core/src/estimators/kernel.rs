@@ -6,10 +6,10 @@
 
 use crate::model::check_square_kernels;
 use crate::{
-    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, MultiViewEstimator, MultiViewModel,
-    Output, Result,
+    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, ModelState, MultiViewEstimator,
+    MultiViewModel, Output, Result,
 };
-use baselines::PairwiseKcca;
+use baselines::{Kcca, PairwiseKcca};
 use linalg::Matrix;
 use tcca::Ktcca;
 
@@ -62,15 +62,39 @@ impl MultiViewEstimator for PairwiseKccaEstimator {
         }
         Ok(Box::new(PairwiseKccaModel {
             rule: self.rule,
+            num_views: kernels.len(),
             inner,
             dim,
             memory,
+        }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        let num_views = state.index("num_views")?;
+        let pairs = state.index("pairs/len")?;
+        let mut models = Vec::with_capacity(pairs);
+        for i in 0..pairs {
+            models.push(Kcca::from_parts(
+                [
+                    state.matrix(&format!("pairs/{i}/coeff0"))?.clone(),
+                    state.matrix(&format!("pairs/{i}/coeff1"))?.clone(),
+                ],
+                state.vector(&format!("pairs/{i}/correlations"))?.to_vec(),
+            )?);
+        }
+        Ok(Box::new(PairwiseKccaModel {
+            rule: self.rule,
+            num_views,
+            inner: PairwiseKcca::from_models(num_views, models)?,
+            dim: state.index("dim")?,
+            memory: state.memory()?,
         }))
     }
 }
 
 struct PairwiseKccaModel {
     rule: CombineRule,
+    num_views: usize,
     inner: PairwiseKcca,
     dim: usize,
     memory: MemoryModel,
@@ -121,6 +145,28 @@ impl MultiViewModel for PairwiseKccaModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.num_views
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Kernels
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("num_views", self.num_views as u64);
+        state.put_int("dim", self.dim as u64);
+        state.put_int("pairs/len", self.inner.models().len() as u64);
+        for (i, kcca) in self.inner.models().iter().enumerate() {
+            state.put_matrix(format!("pairs/{i}/coeff0"), &kcca.coefficients()[0]);
+            state.put_matrix(format!("pairs/{i}/coeff1"), &kcca.coefficients()[1]);
+            state.put_vector(format!("pairs/{i}/correlations"), kcca.correlations());
+        }
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
 }
 
 /// KTCCA — the paper's kernel tensor CCA.
@@ -149,6 +195,19 @@ impl MultiViewEstimator for KtccaEstimator {
         memory.add_matrix("dual coefficients", n, dim);
         Ok(Box::new(KtccaModel { inner, dim, memory }))
     }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        let inner = Ktcca::from_parts(
+            state.matrices("coefficients")?,
+            state.vector("correlations")?.to_vec(),
+            state.index("n_train")?,
+        )?;
+        Ok(Box::new(KtccaModel {
+            inner,
+            dim: state.index("dim")?,
+            memory: state.memory()?,
+        }))
+    }
 }
 
 struct KtccaModel {
@@ -176,5 +235,23 @@ impl MultiViewModel for KtccaModel {
 
     fn memory(&self) -> &MemoryModel {
         &self.memory
+    }
+
+    fn num_views(&self) -> usize {
+        self.inner.coefficients().len()
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Kernels
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("dim", self.dim as u64);
+        state.put_int("n_train", self.inner.num_train() as u64);
+        state.put_matrices("coefficients", self.inner.coefficients());
+        state.put_vector("correlations", self.inner.correlations());
+        state.put_memory(&self.memory);
+        Ok(state)
     }
 }

@@ -2,13 +2,50 @@
 
 use crate::model::check_same_instances;
 use crate::{
-    CombineRule, CoreError, FitSpec, MemoryModel, MultiViewEstimator, MultiViewModel, Output,
-    Result,
+    CombineRule, CoreError, FitSpec, MemoryModel, ModelState, MultiViewEstimator, MultiViewModel,
+    Output, Result,
 };
 use baselines::cca_ls::CcaLsOptions;
-use baselines::{CcaLs, CcaMaxVar, PairwiseCca, Pca};
+use baselines::{Cca, CcaLs, CcaMaxVar, PairwiseCca, Pca};
 use linalg::Matrix;
-use tcca::Tcca;
+use tcca::{DecompositionMethod, Tcca, TccaOptions};
+
+/// Encode a decomposition method as a stable on-disk discriminant.
+pub(crate) fn decomposition_to_int(method: DecompositionMethod) -> u64 {
+    match method {
+        DecompositionMethod::Als => 0,
+        DecompositionMethod::Hopm => 1,
+        DecompositionMethod::PowerMethod => 2,
+    }
+}
+
+/// Decode a decomposition-method discriminant written by [`decomposition_to_int`].
+pub(crate) fn decomposition_from_int(v: u64) -> Result<DecompositionMethod> {
+    match v {
+        0 => Ok(DecompositionMethod::Als),
+        1 => Ok(DecompositionMethod::Hopm),
+        2 => Ok(DecompositionMethod::PowerMethod),
+        other => Err(CoreError::Persist(format!(
+            "unknown decomposition method discriminant {other}"
+        ))),
+    }
+}
+
+/// Store a fitted per-view PCA's parts under `prefix/…`.
+pub(crate) fn save_pca(state: &mut ModelState, prefix: &str, pca: &Pca) {
+    state.put_vector(format!("{prefix}/mean"), pca.mean());
+    state.put_matrix(format!("{prefix}/components"), pca.components());
+    state.put_vector(format!("{prefix}/variance"), pca.explained_variance());
+}
+
+/// Rebuild a fitted per-view PCA from `prefix/…`.
+pub(crate) fn load_pca(state: &ModelState, prefix: &str) -> Result<Pca> {
+    Ok(Pca::from_parts(
+        state.vector(&format!("{prefix}/mean"))?.to_vec(),
+        state.matrix(&format!("{prefix}/components"))?.clone(),
+        state.vector(&format!("{prefix}/variance"))?.to_vec(),
+    )?)
+}
 
 /// CCA fitted on every pair of views — the paper's "CCA (BST)" / "CCA (AVG)".
 #[derive(Debug, Clone, Copy)]
@@ -56,15 +93,43 @@ impl MultiViewEstimator for PairwiseCcaEstimator {
         }
         Ok(Box::new(PairwiseCcaModel {
             rule: self.rule,
+            num_views: views.len(),
             inner,
             dim,
             memory,
+        }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        let num_views = state.index("num_views")?;
+        let pairs = state.index("pairs/len")?;
+        let mut models = Vec::with_capacity(pairs);
+        for i in 0..pairs {
+            models.push(Cca::from_parts(
+                [
+                    state.vector(&format!("pairs/{i}/mean0"))?.to_vec(),
+                    state.vector(&format!("pairs/{i}/mean1"))?.to_vec(),
+                ],
+                [
+                    state.matrix(&format!("pairs/{i}/proj0"))?.clone(),
+                    state.matrix(&format!("pairs/{i}/proj1"))?.clone(),
+                ],
+                state.vector(&format!("pairs/{i}/correlations"))?.to_vec(),
+            )?);
+        }
+        Ok(Box::new(PairwiseCcaModel {
+            rule: self.rule,
+            num_views,
+            inner: PairwiseCca::from_models(num_views, models)?,
+            dim: state.index("dim")?,
+            memory: state.memory()?,
         }))
     }
 }
 
 struct PairwiseCcaModel {
     rule: CombineRule,
+    num_views: usize,
     inner: PairwiseCca,
     dim: usize,
     memory: MemoryModel,
@@ -115,6 +180,26 @@ impl MultiViewModel for PairwiseCcaModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.num_views
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("num_views", self.num_views as u64);
+        state.put_int("dim", self.dim as u64);
+        state.put_int("pairs/len", self.inner.models().len() as u64);
+        for (i, cca) in self.inner.models().iter().enumerate() {
+            state.put_vector(format!("pairs/{i}/mean0"), &cca.means()[0]);
+            state.put_vector(format!("pairs/{i}/mean1"), &cca.means()[1]);
+            state.put_matrix(format!("pairs/{i}/proj0"), &cca.projections()[0]);
+            state.put_matrix(format!("pairs/{i}/proj1"), &cca.projections()[1]);
+            state.put_vector(format!("pairs/{i}/correlations"), cca.correlations());
+        }
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
 }
 
 /// CCA-LS — multiset CCA via coupled least squares (Vía et al. 2007).
@@ -142,6 +227,20 @@ impl MultiViewEstimator for CcaLsEstimator {
         let dim: usize = inner.projections().iter().map(Matrix::cols).sum();
         memory.add_matrix("embedding", n, dim);
         Ok(Box::new(CcaLsModel { inner, dim, memory }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        let inner = CcaLs::from_parts(
+            state.vectors("means")?,
+            state.matrices("projections")?,
+            state.vector("alignments")?.to_vec(),
+            state.index("iterations")?,
+        )?;
+        Ok(Box::new(CcaLsModel {
+            inner,
+            dim: state.index("dim")?,
+            memory: state.memory()?,
+        }))
     }
 }
 
@@ -177,6 +276,21 @@ impl MultiViewModel for CcaLsModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.inner.projections().len()
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("dim", self.dim as u64);
+        state.put_vectors("means", self.inner.means());
+        state.put_matrices("projections", self.inner.projections());
+        state.put_vector("alignments", self.inner.alignments());
+        state.put_int("iterations", self.inner.iterations() as u64);
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
 }
 
 /// CCA-MAXVAR — multiset CCA via the SVD of stacked whitened views (Kettenring 1971).
@@ -197,6 +311,19 @@ impl MultiViewEstimator for CcaMaxVarEstimator {
         let dim: usize = inner.projections().iter().map(Matrix::cols).sum();
         memory.add_matrix("embedding", n, dim);
         Ok(Box::new(CcaMaxVarModel { inner, dim, memory }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        let inner = CcaMaxVar::from_parts(
+            state.vectors("means")?,
+            state.matrices("projections")?,
+            state.vector("singular_values")?.to_vec(),
+        )?;
+        Ok(Box::new(CcaMaxVarModel {
+            inner,
+            dim: state.index("dim")?,
+            memory: state.memory()?,
+        }))
     }
 }
 
@@ -232,6 +359,20 @@ impl MultiViewModel for CcaMaxVarModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.inner.projections().len()
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("dim", self.dim as u64);
+        state.put_vectors("means", self.inner.means());
+        state.put_matrices("projections", self.inner.projections());
+        state.put_vector("singular_values", self.inner.singular_values());
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
 }
 
 /// Per-view PCA to `spec.rank` components, concatenated across views. Not one of the
@@ -262,6 +403,18 @@ impl MultiViewEstimator for PcaEstimator {
             pcas.push(pca);
         }
         Ok(Box::new(PcaModel { pcas, dim, memory }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        let n = state.index("pcas/len")?;
+        let pcas = (0..n)
+            .map(|i| load_pca(state, &format!("pcas/{i}")))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Box::new(PcaModel {
+            pcas,
+            dim: state.index("dim")?,
+            memory: state.memory()?,
+        }))
     }
 }
 
@@ -312,6 +465,21 @@ impl MultiViewModel for PcaModel {
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
+
+    fn num_views(&self) -> usize {
+        self.pcas.len()
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("dim", self.dim as u64);
+        state.put_int("pcas/len", self.pcas.len() as u64);
+        for (i, pca) in self.pcas.iter().enumerate() {
+            save_pca(&mut state, &format!("pcas/{i}"), pca);
+        }
+        state.put_memory(&self.memory);
+        Ok(state)
+    }
 }
 
 /// TCCA — the paper's linear tensor CCA.
@@ -338,6 +506,28 @@ impl MultiViewEstimator for TccaEstimator {
         }
         memory.add_matrix("embedding", n, dim);
         Ok(Box::new(TccaModel { inner, dim, memory }))
+    }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        let options = TccaOptions {
+            rank: state.index("options/rank")?,
+            epsilon: state.scalar("options/epsilon")?,
+            method: decomposition_from_int(state.int("options/method")?)?,
+            max_iterations: state.index("options/max_iterations")?,
+            tolerance: state.scalar("options/tolerance")?,
+            seed: state.int("options/seed")?,
+        };
+        let inner = Tcca::from_parts(
+            state.vectors("means")?,
+            state.matrices("projections")?,
+            state.vector("correlations")?.to_vec(),
+            options,
+        )?;
+        Ok(Box::new(TccaModel {
+            inner,
+            dim: state.index("dim")?,
+            memory: state.memory()?,
+        }))
     }
 }
 
@@ -366,5 +556,26 @@ impl MultiViewModel for TccaModel {
 
     fn memory(&self) -> &MemoryModel {
         &self.memory
+    }
+
+    fn num_views(&self) -> usize {
+        self.inner.num_views()
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_int("dim", self.dim as u64);
+        state.put_vectors("means", self.inner.means());
+        state.put_matrices("projections", self.inner.projections());
+        state.put_vector("correlations", self.inner.correlations());
+        let options = self.inner.options();
+        state.put_int("options/rank", options.rank as u64);
+        state.put_scalar("options/epsilon", options.epsilon);
+        state.put_int("options/method", decomposition_to_int(options.method));
+        state.put_int("options/max_iterations", options.max_iterations as u64);
+        state.put_scalar("options/tolerance", options.tolerance);
+        state.put_int("options/seed", options.seed);
+        state.put_memory(&self.memory);
+        Ok(state)
     }
 }

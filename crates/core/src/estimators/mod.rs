@@ -14,6 +14,7 @@ mod linear;
 pub use consensus::{DseConsensus, SsmvdConsensus};
 pub use feature::{AvgKernel, Bsf, Bsk, Cat};
 pub use kernel::{KtccaEstimator, PairwiseKccaEstimator};
+pub(crate) use linear::{load_pca, save_pca};
 pub use linear::{
     CcaLsEstimator, CcaMaxVarEstimator, PairwiseCcaEstimator, PcaEstimator, TccaEstimator,
 };

@@ -53,6 +53,7 @@ mod error;
 pub mod estimators;
 mod memcost;
 mod model;
+pub mod persist;
 mod pipeline;
 mod preprocess;
 mod registry;
@@ -64,6 +65,7 @@ pub use model::{
     check_same_instances, check_square_kernels, CombineRule, InputKind, MultiViewEstimator,
     MultiViewModel, Output,
 };
+pub use persist::{ModelMeta, ModelState};
 pub use pipeline::Pipeline;
 pub use preprocess::Standardizer;
 pub use registry::{EstimatorFactory, EstimatorRegistry};

@@ -6,8 +6,10 @@
 //! `Box<dyn MultiViewEstimator>` and callers can sweep every method through one code
 //! path — the prerequisite for serving, persistence and the experiment harness.
 
+use crate::persist::{self, ModelState};
 use crate::{CoreError, FitSpec, MemoryModel, Result};
 use linalg::Matrix;
+use std::io::Write;
 
 /// What an estimator expects as its input matrices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +70,15 @@ pub trait MultiViewEstimator: Send + Sync {
     /// Fit the method on the input matrices (one per view, sharing the instance
     /// axis), returning a fitted model.
     fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>>;
+
+    /// Reconstruct a fitted model from the named sections written by
+    /// [`MultiViewModel::save_state`]. The inverse of persistence: for every model
+    /// this estimator can produce, `load_state(model.save_state()?)` must yield a
+    /// model whose `transform` output is bit-identical to the original's.
+    ///
+    /// Callers normally go through [`crate::EstimatorRegistry::load_model`], which
+    /// reads the file header and dispatches here by method name.
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>>;
 }
 
 /// A fitted multi-view model that projects instances into the learned subspace.
@@ -78,6 +89,17 @@ pub trait MultiViewModel: Send + Sync {
     /// Width of the embedding produced by [`MultiViewModel::transform`]
     /// (0 for models that only produce distance matrices).
     fn dim(&self) -> usize;
+
+    /// Number of input matrices (views or kernel blocks) `transform` expects.
+    fn num_views(&self) -> usize;
+
+    /// Whether `transform` expects feature views (`d_p × M`, instances as columns)
+    /// or kernel blocks (`M × N`, instances as rows). Mirrors
+    /// [`MultiViewEstimator::input_kind`]; the serving layer uses it to decide which
+    /// axis to batch along.
+    fn input_kind(&self) -> InputKind {
+        InputKind::Views
+    }
 
     /// Project every view and produce the method's `N × dim` representation.
     fn transform(&self, views: &[Matrix]) -> Result<Matrix>;
@@ -99,6 +121,27 @@ pub trait MultiViewModel: Send + Sync {
 
     /// The allocation model recorded while fitting (the paper's memory-cost curves).
     fn memory(&self) -> &MemoryModel;
+
+    /// Convert the fitted state into named sections for persistence. Together with
+    /// the matching [`MultiViewEstimator::load_state`], this must round-trip
+    /// `transform` output bit-identically (the codec stores exact `f64` bit
+    /// patterns, so faithfully listing the fields is sufficient).
+    fn save_state(&self) -> Result<ModelState>;
+
+    /// Serialize the model into the versioned `MVTC` binary format (see
+    /// [`crate::persist`]). Load it back with
+    /// [`crate::EstimatorRegistry::load_model`].
+    fn save(&self, w: &mut dyn Write) -> Result<()> {
+        let state = self.save_state()?;
+        persist::write_model(
+            w,
+            self.name(),
+            self.dim(),
+            self.num_views(),
+            self.input_kind(),
+            &state,
+        )
+    }
 }
 
 /// Shared validation for kernel estimators: same instance count and every Gram

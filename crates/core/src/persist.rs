@@ -1,0 +1,758 @@
+//! Versioned, self-describing binary persistence for fitted models.
+//!
+//! A fitted [`crate::MultiViewModel`] is the paper's end product — per-view factor
+//! matrices, dual coefficients, means — and serving embeddings must not require
+//! refitting. This module defines the on-disk format and the conversion surface every
+//! model implements; the actual field lists live next to each model in
+//! [`crate::estimators`].
+//!
+//! ## On-disk format (`MVTC`, version 1)
+//!
+//! All integers are little-endian; all floats are IEEE-754 `f64` bit patterns (so a
+//! save → load round-trip reproduces `transform` output **bit-identically**).
+//!
+//! ```text
+//! header:
+//!   magic      4 bytes   b"MVTC"
+//!   version    u32       format version (currently 1)
+//!   method     u32 + n   display name of the method (registry key), UTF-8
+//!   dim        u64       embedding width reported by the model
+//!   num_views  u32       number of input views / kernels `transform` expects
+//!   input_kind u8        0 = feature views, 1 = kernel blocks
+//!   payload_len u64      byte length of the section payload that follows
+//!   crc32      u32       CRC-32 (IEEE) of the payload bytes
+//! payload:
+//!   count      u32       number of sections
+//!   section*:
+//!     name     u32 + n   section name, UTF-8
+//!     tag      u8        0 scalar, 1 int, 2 text, 3 vector, 4 matrix, 5 bytes
+//!     body     …         tag-dependent (see [`Value`])
+//! ```
+//!
+//! The header alone is enough for a model store to index a directory (method, shape,
+//! checksum) without deserializing the payload. Unknown *section names* are ignored by
+//! loaders (forward-compatible field additions); an unknown *version* or a checksum
+//! mismatch is an error (incompatible layout / corruption).
+
+use crate::{CoreError, InputKind, MemoryModel, Result};
+use linalg::Matrix;
+use std::io::{Read, Write};
+
+/// File magic identifying a serialized multi-view model.
+pub const MAGIC: [u8; 4] = *b"MVTC";
+
+/// Current format version written by [`write_model`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Upper bound accepted for any length field while reading (guards corrupt or
+/// malicious headers from driving huge allocations before the CRC check can run).
+const MAX_LEN: u64 = 1 << 31;
+
+/// One named, typed section of a serialized model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A single `f64` (stored as its exact bit pattern).
+    Scalar(f64),
+    /// A single unsigned integer (counts, sizes, enum discriminants).
+    Int(u64),
+    /// A UTF-8 string.
+    Text(String),
+    /// A flat `f64` vector.
+    Vector(Vec<f64>),
+    /// A dense matrix (row-major `f64`).
+    Matrix(Matrix),
+    /// Raw bytes — used for nested model states (e.g. a pipeline's inner model).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Scalar(_) => "scalar",
+            Value::Int(_) => "int",
+            Value::Text(_) => "text",
+            Value::Vector(_) => "vector",
+            Value::Matrix(_) => "matrix",
+            Value::Bytes(_) => "bytes",
+        }
+    }
+}
+
+/// The ordered, named sections a model converts itself to and from.
+///
+/// [`crate::MultiViewModel::save_state`] produces one; the matching
+/// [`crate::MultiViewEstimator::load_state`] consumes one. Getters report missing
+/// names and type mismatches as [`CoreError::Persist`] so a corrupted or
+/// wrong-method file fails with a descriptive error instead of garbage numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelState {
+    sections: Vec<(String, Value)>,
+}
+
+impl ModelState {
+    /// An empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Section names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.sections.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Whether a section exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _)| n == name)
+    }
+
+    fn put(&mut self, name: impl Into<String>, value: Value) {
+        self.sections.push((name.into(), value));
+    }
+
+    fn get(&self, name: &str) -> Result<&Value> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| CoreError::Persist(format!("missing section {name:?}")))
+    }
+
+    fn expect<'a, T>(
+        &'a self,
+        name: &str,
+        want: &'static str,
+        f: impl FnOnce(&'a Value) -> Option<T>,
+    ) -> Result<T> {
+        let value = self.get(name)?;
+        f(value).ok_or_else(|| {
+            CoreError::Persist(format!(
+                "section {name:?} holds a {}, expected a {want}",
+                value.kind()
+            ))
+        })
+    }
+
+    /// Store a scalar.
+    pub fn put_scalar(&mut self, name: impl Into<String>, v: f64) {
+        self.put(name, Value::Scalar(v));
+    }
+
+    /// Store an integer.
+    pub fn put_int(&mut self, name: impl Into<String>, v: u64) {
+        self.put(name, Value::Int(v));
+    }
+
+    /// Store a boolean (as 0/1).
+    pub fn put_bool(&mut self, name: impl Into<String>, v: bool) {
+        self.put_int(name, u64::from(v));
+    }
+
+    /// Store a string.
+    pub fn put_text(&mut self, name: impl Into<String>, v: impl Into<String>) {
+        self.put(name, Value::Text(v.into()));
+    }
+
+    /// Store a flat `f64` vector.
+    pub fn put_vector(&mut self, name: impl Into<String>, v: &[f64]) {
+        self.put(name, Value::Vector(v.to_vec()));
+    }
+
+    /// Store a matrix.
+    pub fn put_matrix(&mut self, name: impl Into<String>, m: &Matrix) {
+        self.put(name, Value::Matrix(m.clone()));
+    }
+
+    /// Store raw bytes.
+    pub fn put_bytes(&mut self, name: impl Into<String>, v: Vec<u8>) {
+        self.put(name, Value::Bytes(v));
+    }
+
+    /// Store a list of matrices under `prefix/len` + `prefix/i`.
+    pub fn put_matrices(&mut self, prefix: &str, ms: &[Matrix]) {
+        self.put_int(format!("{prefix}/len"), ms.len() as u64);
+        for (i, m) in ms.iter().enumerate() {
+            self.put_matrix(format!("{prefix}/{i}"), m);
+        }
+    }
+
+    /// Store a list of vectors under `prefix/len` + `prefix/i`.
+    pub fn put_vectors(&mut self, prefix: &str, vs: &[Vec<f64>]) {
+        self.put_int(format!("{prefix}/len"), vs.len() as u64);
+        for (i, v) in vs.iter().enumerate() {
+            self.put_vector(format!("{prefix}/{i}"), v);
+        }
+    }
+
+    /// Store a nested state (e.g. a pipeline's inner model) as a byte section.
+    pub fn put_nested(&mut self, name: impl Into<String>, state: &ModelState) {
+        self.put_bytes(name, encode_sections(state));
+    }
+
+    /// Store a [`MemoryModel`] under the reserved `memory/…` names.
+    pub fn put_memory(&mut self, memory: &MemoryModel) {
+        self.put_int("memory/len", memory.entries().len() as u64);
+        for (i, (label, bytes)) in memory.entries().iter().enumerate() {
+            self.put_text(format!("memory/{i}/label"), label.clone());
+            self.put_int(format!("memory/{i}/bytes"), *bytes as u64);
+        }
+    }
+
+    /// Read a scalar.
+    pub fn scalar(&self, name: &str) -> Result<f64> {
+        self.expect(name, "scalar", |v| match v {
+            Value::Scalar(x) => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Read an integer.
+    pub fn int(&self, name: &str) -> Result<u64> {
+        self.expect(name, "int", |v| match v {
+            Value::Int(x) => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Read an integer as `usize`.
+    pub fn index(&self, name: &str) -> Result<usize> {
+        usize::try_from(self.int(name)?)
+            .map_err(|_| CoreError::Persist(format!("section {name:?} does not fit in usize")))
+    }
+
+    /// Read a boolean (any non-zero integer is `true`).
+    pub fn boolean(&self, name: &str) -> Result<bool> {
+        Ok(self.int(name)? != 0)
+    }
+
+    /// Read a string.
+    pub fn text(&self, name: &str) -> Result<&str> {
+        self.expect(name, "text", |v| match v {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Read a vector.
+    pub fn vector(&self, name: &str) -> Result<&[f64]> {
+        self.expect(name, "vector", |v| match v {
+            Value::Vector(x) => Some(x.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// Read a matrix.
+    pub fn matrix(&self, name: &str) -> Result<&Matrix> {
+        self.expect(name, "matrix", |v| match v {
+            Value::Matrix(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Read raw bytes.
+    pub fn bytes(&self, name: &str) -> Result<&[u8]> {
+        self.expect(name, "bytes", |v| match v {
+            Value::Bytes(b) => Some(b.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// Read a matrix list written by [`ModelState::put_matrices`].
+    pub fn matrices(&self, prefix: &str) -> Result<Vec<Matrix>> {
+        let len = self.index(&format!("{prefix}/len"))?;
+        (0..len)
+            .map(|i| self.matrix(&format!("{prefix}/{i}")).cloned())
+            .collect()
+    }
+
+    /// Read a vector list written by [`ModelState::put_vectors`].
+    pub fn vectors(&self, prefix: &str) -> Result<Vec<Vec<f64>>> {
+        let len = self.index(&format!("{prefix}/len"))?;
+        (0..len)
+            .map(|i| self.vector(&format!("{prefix}/{i}")).map(<[f64]>::to_vec))
+            .collect()
+    }
+
+    /// Read a nested state written by [`ModelState::put_nested`].
+    pub fn nested(&self, name: &str) -> Result<ModelState> {
+        decode_sections(self.bytes(name)?)
+    }
+
+    /// Read a [`MemoryModel`] written by [`ModelState::put_memory`].
+    pub fn memory(&self) -> Result<MemoryModel> {
+        let len = self.index("memory/len")?;
+        let mut memory = MemoryModel::new();
+        for i in 0..len {
+            let label = self.text(&format!("memory/{i}/label"))?.to_string();
+            let bytes = self.index(&format!("memory/{i}/bytes"))?;
+            memory.add_bytes(label, bytes);
+        }
+        Ok(memory)
+    }
+}
+
+/// Everything the header records about a serialized model — enough for a model store
+/// to index a directory without touching the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMeta {
+    /// Method display name (the registry key needed to load the model).
+    pub method: String,
+    /// Embedding width ([`crate::MultiViewModel::dim`]).
+    pub dim: usize,
+    /// Number of input views / kernel blocks `transform` expects.
+    pub num_views: usize,
+    /// Whether `transform` expects feature views or kernel blocks.
+    pub input_kind: InputKind,
+    /// Byte length of the section payload.
+    pub payload_len: u64,
+    /// CRC-32 (IEEE) of the payload bytes.
+    pub checksum: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Low-level encoding
+// ---------------------------------------------------------------------------
+
+fn io_err(context: &str, e: std::io::Error) -> CoreError {
+    CoreError::Persist(format!("{context}: {e}"))
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_f64_slice(out: &mut Vec<u8>, xs: &[f64]) {
+    out.reserve(xs.len() * 8);
+    for &x in xs {
+        push_f64(out, x);
+    }
+}
+
+/// Encode just the section list (no header) — the nested-state representation.
+fn encode_sections(state: &ModelState) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u32(&mut out, state.sections.len() as u32);
+    for (name, value) in &state.sections {
+        push_str(&mut out, name);
+        match value {
+            Value::Scalar(x) => {
+                out.push(0);
+                push_f64(&mut out, *x);
+            }
+            Value::Int(x) => {
+                out.push(1);
+                push_u64(&mut out, *x);
+            }
+            Value::Text(s) => {
+                out.push(2);
+                push_str(&mut out, s);
+            }
+            Value::Vector(xs) => {
+                out.push(3);
+                push_u64(&mut out, xs.len() as u64);
+                push_f64_slice(&mut out, xs);
+            }
+            Value::Matrix(m) => {
+                out.push(4);
+                push_u64(&mut out, m.rows() as u64);
+                push_u64(&mut out, m.cols() as u64);
+                push_f64_slice(&mut out, m.as_slice());
+            }
+            Value::Bytes(b) => {
+                out.push(5);
+                push_u64(&mut out, b.len() as u64);
+                out.extend_from_slice(b);
+            }
+        }
+    }
+    out
+}
+
+/// Byte-slice reader with bounds-checked primitives and descriptive errors.
+struct SliceReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        match end {
+            Some(end) => {
+                let s = &self.data[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(CoreError::Persist(format!(
+                "truncated payload while reading {what} (need {n} bytes at offset {}, have {})",
+                self.pos,
+                self.data.len() - self.pos
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn len(&mut self, what: &str) -> Result<usize> {
+        let n = self.u64(what)?;
+        if n > MAX_LEN {
+            return Err(CoreError::Persist(format!(
+                "{what} length {n} exceeds the supported maximum"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        let n = self.u32(what)? as usize;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CoreError::Persist(format!("{what} is not valid UTF-8")))
+    }
+
+    fn f64_vec(&mut self, n: usize, what: &str) -> Result<Vec<f64>> {
+        let bytes = self.take(
+            n.checked_mul(8)
+                .ok_or_else(|| CoreError::Persist(format!("{what} length overflows")))?,
+            what,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+}
+
+/// Decode a section list written by [`encode_sections`].
+fn decode_sections(payload: &[u8]) -> Result<ModelState> {
+    let mut r = SliceReader::new(payload);
+    let count = r.u32("section count")? as usize;
+    let mut state = ModelState::new();
+    for _ in 0..count {
+        let name = r.string("section name")?;
+        let tag = r.u8("section tag")?;
+        let value = match tag {
+            0 => Value::Scalar(r.f64("scalar body")?),
+            1 => Value::Int(r.u64("int body")?),
+            2 => Value::Text(r.string("text body")?),
+            3 => {
+                let n = r.len("vector length")?;
+                Value::Vector(r.f64_vec(n, "vector body")?)
+            }
+            4 => {
+                let rows = r.len("matrix rows")?;
+                let cols = r.len("matrix cols")?;
+                let n = rows
+                    .checked_mul(cols)
+                    .ok_or_else(|| CoreError::Persist("matrix shape overflows".into()))?;
+                let data = r.f64_vec(n, "matrix body")?;
+                Value::Matrix(
+                    Matrix::from_vec(rows, cols, data)
+                        .map_err(|e| CoreError::Persist(format!("bad matrix section: {e}")))?,
+                )
+            }
+            5 => {
+                let n = r.len("bytes length")?;
+                Value::Bytes(r.take(n, "bytes body")?.to_vec())
+            }
+            other => {
+                return Err(CoreError::Persist(format!(
+                    "unknown section tag {other} for section {name:?}"
+                )))
+            }
+        };
+        state.put(name, value);
+    }
+    if r.pos != payload.len() {
+        return Err(CoreError::Persist(format!(
+            "payload has {} trailing bytes after the last section",
+            payload.len() - r.pos
+        )));
+    }
+    Ok(state)
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Write a complete model file: header + checksummed section payload.
+pub fn write_model(
+    w: &mut dyn Write,
+    method: &str,
+    dim: usize,
+    num_views: usize,
+    input_kind: InputKind,
+    state: &ModelState,
+) -> Result<()> {
+    let payload = encode_sections(state);
+    let mut header = Vec::with_capacity(32 + method.len());
+    header.extend_from_slice(&MAGIC);
+    push_u32(&mut header, FORMAT_VERSION);
+    push_str(&mut header, method);
+    push_u64(&mut header, dim as u64);
+    push_u32(&mut header, num_views as u32);
+    header.push(match input_kind {
+        InputKind::Views => 0,
+        InputKind::Kernels => 1,
+    });
+    push_u64(&mut header, payload.len() as u64);
+    push_u32(&mut header, crc32(&payload));
+    w.write_all(&header)
+        .and_then(|()| w.write_all(&payload))
+        .map_err(|e| io_err("writing model", e))
+}
+
+fn read_exact(r: &mut dyn Read, n: usize, what: &str) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CoreError::Persist(format!("truncated model file while reading {what}"))
+        } else {
+            io_err(&format!("reading {what}"), e)
+        }
+    })?;
+    Ok(buf)
+}
+
+/// Read and validate the header, leaving the reader positioned at the payload.
+pub fn read_meta(r: &mut dyn Read) -> Result<ModelMeta> {
+    let magic = read_exact(r, 4, "magic")?;
+    if magic != MAGIC {
+        return Err(CoreError::Persist(format!(
+            "bad magic {magic:?}: not a serialized multi-view model"
+        )));
+    }
+    let version_bytes = read_exact(r, 4, "format version")?;
+    let version = u32::from_le_bytes(version_bytes.try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(CoreError::Persist(format!(
+            "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
+        )));
+    }
+    let name_len = u32::from_le_bytes(
+        read_exact(r, 4, "method name length")?
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    if name_len as u64 > MAX_LEN {
+        return Err(CoreError::Persist("method name length is absurd".into()));
+    }
+    let method = String::from_utf8(read_exact(r, name_len, "method name")?)
+        .map_err(|_| CoreError::Persist("method name is not valid UTF-8".into()))?;
+    let dim = u64::from_le_bytes(read_exact(r, 8, "dim")?.try_into().expect("8 bytes"));
+    let num_views = u32::from_le_bytes(read_exact(r, 4, "num_views")?.try_into().expect("4 bytes"));
+    let kind_byte = read_exact(r, 1, "input kind")?[0];
+    let input_kind = match kind_byte {
+        0 => InputKind::Views,
+        1 => InputKind::Kernels,
+        other => {
+            return Err(CoreError::Persist(format!(
+                "unknown input-kind byte {other}"
+            )))
+        }
+    };
+    let payload_len = u64::from_le_bytes(
+        read_exact(r, 8, "payload length")?
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if payload_len > MAX_LEN {
+        return Err(CoreError::Persist(format!(
+            "payload length {payload_len} exceeds the supported maximum"
+        )));
+    }
+    let checksum = u32::from_le_bytes(read_exact(r, 4, "checksum")?.try_into().expect("4 bytes"));
+    Ok(ModelMeta {
+        method,
+        dim: dim as usize,
+        num_views: num_views as usize,
+        input_kind,
+        payload_len,
+        checksum,
+    })
+}
+
+/// Read a complete model file into its header metadata and section state, verifying
+/// the payload checksum.
+pub fn read_model(r: &mut dyn Read) -> Result<(ModelMeta, ModelState)> {
+    let meta = read_meta(r)?;
+    let payload = read_exact(r, meta.payload_len as usize, "payload")?;
+    let actual = crc32(&payload);
+    if actual != meta.checksum {
+        return Err(CoreError::Persist(format!(
+            "payload checksum mismatch (header says {:#010x}, payload is {actual:#010x}): \
+             the file is corrupt",
+            meta.checksum
+        )));
+    }
+    let state = decode_sections(&payload)?;
+    Ok((meta, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> ModelState {
+        let mut s = ModelState::new();
+        s.put_scalar("eps", 1e-2);
+        s.put_int("rank", 7);
+        s.put_bool("whitened", true);
+        s.put_text("note", "héllo");
+        s.put_vector("mean", &[1.0, -2.5, f64::MIN_POSITIVE]);
+        s.put_matrix(
+            "proj",
+            &Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, -0.0]]).unwrap(),
+        );
+        s.put_bytes("blob", vec![0, 255, 7]);
+        s
+    }
+
+    #[test]
+    fn state_roundtrips_through_bytes() {
+        let s = sample_state();
+        let decoded = decode_sections(&encode_sections(&s)).unwrap();
+        assert_eq!(s, decoded);
+        assert_eq!(decoded.scalar("eps").unwrap(), 1e-2);
+        assert_eq!(decoded.index("rank").unwrap(), 7);
+        assert!(decoded.boolean("whitened").unwrap());
+        assert_eq!(decoded.text("note").unwrap(), "héllo");
+        assert_eq!(decoded.vector("mean").unwrap()[2], f64::MIN_POSITIVE);
+        assert_eq!(decoded.matrix("proj").unwrap()[(1, 0)], 3.0);
+        assert_eq!(decoded.bytes("blob").unwrap(), &[0, 255, 7]);
+    }
+
+    #[test]
+    fn getters_report_missing_and_mistyped_sections() {
+        let s = sample_state();
+        assert!(matches!(s.scalar("nope"), Err(CoreError::Persist(_))));
+        let err = s.matrix("mean").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("vector") && msg.contains("matrix"), "{msg}");
+    }
+
+    #[test]
+    fn lists_nested_and_memory_roundtrip() {
+        let mut s = ModelState::new();
+        let ms = vec![Matrix::identity(2), Matrix::zeros(1, 3)];
+        s.put_matrices("proj", &ms);
+        s.put_vectors("means", &[vec![1.0], vec![2.0, 3.0]]);
+        let mut inner = ModelState::new();
+        inner.put_int("x", 9);
+        s.put_nested("inner", &inner);
+        let mut mm = MemoryModel::new();
+        mm.add_matrix("cov", 4, 4);
+        mm.add_bytes("misc", 10);
+        s.put_memory(&mm);
+
+        let d = decode_sections(&encode_sections(&s)).unwrap();
+        assert_eq!(d.matrices("proj").unwrap(), ms);
+        assert_eq!(d.vectors("means").unwrap(), vec![vec![1.0], vec![2.0, 3.0]]);
+        assert_eq!(d.nested("inner").unwrap().int("x").unwrap(), 9);
+        assert_eq!(d.memory().unwrap(), mm);
+    }
+
+    #[test]
+    fn model_file_roundtrips_with_meta() {
+        let s = sample_state();
+        let mut buf = Vec::new();
+        write_model(&mut buf, "TCCA", 6, 3, InputKind::Views, &s).unwrap();
+        let (meta, state) = read_model(&mut buf.as_slice()).unwrap();
+        assert_eq!(meta.method, "TCCA");
+        assert_eq!(meta.dim, 6);
+        assert_eq!(meta.num_views, 3);
+        assert_eq!(meta.input_kind, InputKind::Views);
+        assert_eq!(state, s);
+        // Header-only read agrees.
+        let meta2 = read_meta(&mut buf.as_slice()).unwrap();
+        assert_eq!(meta2, meta);
+    }
+
+    #[test]
+    fn corrupt_header_and_payload_are_rejected() {
+        let s = sample_state();
+        let mut buf = Vec::new();
+        write_model(&mut buf, "KTCCA", 4, 2, InputKind::Kernels, &s).unwrap();
+
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_model(&mut bad.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+
+        // Future version.
+        let mut bad = buf.clone();
+        bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(read_model(&mut bad.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("version 99"));
+
+        // Truncation.
+        let bad = &buf[..buf.len() - 3];
+        assert!(read_model(&mut &bad[..])
+            .unwrap_err()
+            .to_string()
+            .contains("truncated"));
+
+        // Payload bit flip → checksum mismatch.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(read_model(&mut bad.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("checksum"));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -7,11 +7,12 @@
 //! [`MultiViewEstimator`] and replays the training-time preprocessing on held-out
 //! instances at transform time.
 
+use crate::estimators::{load_pca, save_pca};
 use crate::model::check_same_instances;
 use crate::preprocess::Standardizer;
 use crate::{
-    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, MultiViewEstimator, MultiViewModel,
-    Output, Result,
+    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, ModelState, MultiViewEstimator,
+    MultiViewModel, Output, Result,
 };
 use baselines::Pca;
 use linalg::Matrix;
@@ -121,6 +122,48 @@ impl MultiViewEstimator for Pipeline {
             memory,
         }))
     }
+
+    fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
+        let standardizers = if state.boolean("has_standardizers")? {
+            let len = state.index("standardizers/len")?;
+            let mut scalers = Vec::with_capacity(len);
+            for i in 0..len {
+                scalers.push(Standardizer::from_parts(
+                    state.vector(&format!("standardizers/{i}/means"))?.to_vec(),
+                    state
+                        .vector(&format!("standardizers/{i}/inverse_stds"))?
+                        .to_vec(),
+                )?);
+            }
+            Some(scalers)
+        } else {
+            None
+        };
+        let pcas = if state.boolean("has_pcas")? {
+            let len = state.index("pcas/len")?;
+            Some(
+                (0..len)
+                    .map(|i| load_pca(state, &format!("pcas/{i}")))
+                    .collect::<Result<Vec<_>>>()?,
+            )
+        } else {
+            None
+        };
+        let inner_name = state.text("inner/name")?;
+        if inner_name != self.inner.name() {
+            return Err(CoreError::Persist(format!(
+                "pipeline inner model is {inner_name:?} but this pipeline wraps {:?}",
+                self.inner.name()
+            )));
+        }
+        let inner = self.inner.load_state(&state.nested("inner")?)?;
+        Ok(Box::new(PipelineModel {
+            standardizers,
+            pcas,
+            inner,
+            memory: state.memory()?,
+        }))
+    }
 }
 
 struct PipelineModel {
@@ -131,7 +174,7 @@ struct PipelineModel {
 }
 
 impl PipelineModel {
-    fn num_views(&self) -> Option<usize> {
+    fn preprocessed_views(&self) -> Option<usize> {
         self.standardizers
             .as_ref()
             .map(Vec::len)
@@ -156,7 +199,7 @@ impl PipelineModel {
     }
 
     fn reduce(&self, views: &[Matrix]) -> Result<Vec<Matrix>> {
-        if let Some(m) = self.num_views() {
+        if let Some(m) = self.preprocessed_views() {
             if views.len() != m {
                 return Err(CoreError::InvalidInput(format!(
                     "expected {m} views, got {}",
@@ -200,6 +243,38 @@ impl MultiViewModel for PipelineModel {
 
     fn memory(&self) -> &MemoryModel {
         &self.memory
+    }
+
+    fn num_views(&self) -> usize {
+        self.preprocessed_views()
+            .unwrap_or_else(|| self.inner.num_views())
+    }
+
+    fn input_kind(&self) -> InputKind {
+        self.inner.input_kind()
+    }
+
+    fn save_state(&self) -> Result<ModelState> {
+        let mut state = ModelState::new();
+        state.put_bool("has_standardizers", self.standardizers.is_some());
+        if let Some(scalers) = &self.standardizers {
+            state.put_int("standardizers/len", scalers.len() as u64);
+            for (i, s) in scalers.iter().enumerate() {
+                state.put_vector(format!("standardizers/{i}/means"), s.means());
+                state.put_vector(format!("standardizers/{i}/inverse_stds"), s.inverse_stds());
+            }
+        }
+        state.put_bool("has_pcas", self.pcas.is_some());
+        if let Some(pcas) = &self.pcas {
+            state.put_int("pcas/len", pcas.len() as u64);
+            for (i, pca) in pcas.iter().enumerate() {
+                save_pca(&mut state, &format!("pcas/{i}"), pca);
+            }
+        }
+        state.put_text("inner/name", self.inner.name());
+        state.put_nested("inner", &self.inner.save_state()?);
+        state.put_memory(&self.memory);
+        Ok(state)
     }
 }
 

@@ -47,6 +47,32 @@ impl Standardizer {
         }
     }
 
+    /// Rebuild a fitted standardizer from its parts (the persistence path).
+    pub fn from_parts(means: Vec<f64>, inverse_stds: Vec<f64>) -> Result<Self> {
+        if means.len() != inverse_stds.len() {
+            return Err(CoreError::InvalidInput(format!(
+                "{} means but {} inverse stds",
+                means.len(),
+                inverse_stds.len()
+            )));
+        }
+        Ok(Self {
+            means,
+            inverse_stds,
+        })
+    }
+
+    /// The per-feature means subtracted by [`Standardizer::apply`].
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The per-feature inverse standard deviations multiplied by
+    /// [`Standardizer::apply`].
+    pub fn inverse_stds(&self) -> &[f64] {
+        &self.inverse_stds
+    }
+
     /// Apply the fitted transformation to a `d × M` view (any instance count).
     pub fn apply(&self, view: &Matrix) -> Result<Matrix> {
         if view.rows() != self.means.len() {

@@ -125,6 +125,26 @@ impl EstimatorRegistry {
     ) -> Result<Box<dyn MultiViewModel>> {
         self.get(name)?.fit(inputs, spec)
     }
+
+    /// Load a model serialized with [`MultiViewModel::save`]: read and validate the
+    /// `MVTC` header, verify the payload checksum, resolve the recorded method name
+    /// to its registered estimator and let it rebuild the fitted model.
+    pub fn load_model(&self, r: &mut dyn std::io::Read) -> Result<Box<dyn MultiViewModel>> {
+        let (meta, state) = crate::persist::read_model(r)?;
+        let estimator = self.get(&meta.method)?;
+        let model = estimator.load_state(&state)?;
+        if model.dim() != meta.dim || model.num_views() != meta.num_views {
+            return Err(CoreError::Persist(format!(
+                "loaded {:?} model disagrees with its header: dim {} vs {}, views {} vs {}",
+                meta.method,
+                model.dim(),
+                meta.dim,
+                model.num_views(),
+                meta.num_views
+            )));
+        }
+        Ok(model)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,227 @@
+//! Round-trip persistence tests: every method in the built-in registry must survive
+//! fit → save → load with **bit-identical** `transform` / `outputs` results, and the
+//! codec must reject corrupt, truncated and version-mismatched files with
+//! descriptive errors.
+
+use datasets::{center_kernel, gram_matrix, secstr_dataset, Kernel, SecStrConfig};
+use linalg::Matrix;
+use mvcore::{CoreError, EstimatorRegistry, FitSpec, InputKind, Output};
+
+const N: usize = 40;
+
+fn fixture_views() -> Vec<Matrix> {
+    let data = secstr_dataset(&SecStrConfig {
+        n_instances: N,
+        seed: 23,
+        difficulty: 0.8,
+    });
+    data.views()
+        .iter()
+        .map(|v| v.select_rows(&(0..10.min(v.rows())).collect::<Vec<_>>()))
+        .collect()
+}
+
+fn fixture_kernels() -> Vec<Matrix> {
+    fixture_views()
+        .iter()
+        .map(|v| center_kernel(&gram_matrix(v, Kernel::ExpEuclidean)))
+        .collect()
+}
+
+fn spec() -> FitSpec {
+    FitSpec::with_rank(2)
+        .epsilon(1e-2)
+        .seed(5)
+        .max_iterations(8)
+        .per_view_dim(6)
+}
+
+fn output_matrix(output: &Output) -> &Matrix {
+    match output {
+        Output::Embedding(z) => z,
+        Output::Distances(d) => d,
+    }
+}
+
+/// Exact equality, not approximate: the codec stores `f64` bit patterns, so a loaded
+/// model must reproduce the original's output to the last bit.
+fn assert_bit_identical(a: &Matrix, b: &Matrix, context: &str) {
+    assert_eq!(a.shape(), b.shape(), "{context}: shapes differ");
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_eq!(
+                a[(i, j)].to_bits(),
+                b[(i, j)].to_bits(),
+                "{context}: entry ({i},{j}) differs: {} vs {}",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registry_method_roundtrips_bit_identically() {
+    let registry = EstimatorRegistry::with_builtin();
+    let views = fixture_views();
+    let kernels = fixture_kernels();
+    let spec = spec();
+
+    for name in registry.names() {
+        let inputs = match registry.input_kind(name).unwrap() {
+            InputKind::Views => &views,
+            InputKind::Kernels => &kernels,
+        };
+        let model = registry.fit(name, inputs, &spec).unwrap();
+
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = registry.load_model(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.name(), model.name(), "{name}: name mismatch");
+        assert_eq!(loaded.dim(), model.dim(), "{name}: dim mismatch");
+        assert_eq!(
+            loaded.num_views(),
+            model.num_views(),
+            "{name}: num_views mismatch"
+        );
+        assert_eq!(
+            loaded.input_kind(),
+            model.input_kind(),
+            "{name}: input kind mismatch"
+        );
+        assert_eq!(
+            loaded.combine(),
+            model.combine(),
+            "{name}: combine rule mismatch"
+        );
+        assert_eq!(
+            loaded.memory(),
+            model.memory(),
+            "{name}: memory model mismatch"
+        );
+
+        // transform (where defined) must agree bit for bit.
+        match (model.transform(inputs), loaded.transform(inputs)) {
+            (Ok(a), Ok(b)) => assert_bit_identical(&a, &b, name),
+            (Err(_), Err(_)) => {} // BSF/BSK/AVG define no single embedding
+            (a, b) => panic!("{name}: transform disagreement: {a:?} vs {b:?}"),
+        }
+
+        // outputs always exist and must agree candidate by candidate.
+        let a = model.outputs(inputs).unwrap();
+        let b = loaded.outputs(inputs).unwrap();
+        assert_eq!(a.len(), b.len(), "{name}: candidate counts differ");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_bit_identical(output_matrix(x), output_matrix(y), name);
+        }
+
+        // Saving the loaded model reproduces the original bytes exactly (the state
+        // listing is deterministic), so persistence is idempotent.
+        let mut buf2 = Vec::new();
+        loaded.save(&mut buf2).unwrap();
+        assert_eq!(buf, buf2, "{name}: second save differs from the first");
+    }
+}
+
+#[test]
+fn out_of_sample_transform_matches_after_roundtrip() {
+    // The serving path: project *held-out* instances through a loaded model.
+    let registry = EstimatorRegistry::with_builtin();
+    let views = fixture_views();
+    let spec = spec();
+    let holdout: Vec<Matrix> = views
+        .iter()
+        .map(|v| v.select_columns(&[0, 3, 7, 11, 19]))
+        .collect();
+
+    for name in ["TCCA", "CCA-LS", "CCA-MAXVAR", "PCA", "CAT", "CCA (AVG)"] {
+        let model = registry.fit(name, &views, &spec).unwrap();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = registry.load_model(&mut buf.as_slice()).unwrap();
+        let a = model.transform(&holdout).unwrap();
+        let b = loaded.transform(&holdout).unwrap();
+        assert_bit_identical(&a, &b, name);
+        assert_eq!(a.rows(), 5, "{name}: held-out instance count");
+    }
+}
+
+#[test]
+fn transductive_models_keep_their_fingerprints() {
+    let registry = EstimatorRegistry::with_builtin();
+    let views = fixture_views();
+    let spec = spec();
+    for name in ["DSE", "SSMVD"] {
+        let model = registry.fit(name, &views, &spec).unwrap();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = registry.load_model(&mut buf.as_slice()).unwrap();
+        // The training batch is still accepted…
+        let a = model.transform(&views).unwrap();
+        let b = loaded.transform(&views).unwrap();
+        assert_bit_identical(&a, &b, name);
+        // …and a different batch is still rejected as out-of-sample.
+        let other: Vec<Matrix> = views.iter().map(|v| v.scale(2.0)).collect();
+        assert!(loaded.transform(&other).is_err(), "{name}");
+    }
+}
+
+#[test]
+fn loading_unregistered_methods_fails_cleanly() {
+    let full = EstimatorRegistry::with_builtin();
+    let views = fixture_views();
+    let model = full.fit("TCCA", &views, &spec()).unwrap();
+    let mut buf = Vec::new();
+    model.save(&mut buf).unwrap();
+
+    // A registry without TCCA cannot load the file, and says so.
+    let empty = EstimatorRegistry::new();
+    match empty.load_model(&mut buf.as_slice()) {
+        Err(CoreError::UnknownEstimator { name, .. }) => assert_eq!(name, "TCCA"),
+        Err(other) => panic!("expected UnknownEstimator, got {other:?}"),
+        Ok(_) => panic!("expected UnknownEstimator, loading succeeded"),
+    }
+}
+
+/// `Box<dyn MultiViewModel>` has no `Debug`, so unwrap the error by hand.
+fn load_err(registry: &EstimatorRegistry, bytes: &[u8]) -> CoreError {
+    match registry.load_model(&mut &bytes[..]) {
+        Err(e) => e,
+        Ok(_) => panic!("expected loading to fail"),
+    }
+}
+
+#[test]
+fn corrupt_files_are_rejected_at_registry_level() {
+    let registry = EstimatorRegistry::with_builtin();
+    let views = fixture_views();
+    let model = registry.fit("PCA", &views, &spec()).unwrap();
+    let mut buf = Vec::new();
+    model.save(&mut buf).unwrap();
+
+    // Bad magic.
+    let mut bad = buf.clone();
+    bad[1] = b'?';
+    let err = load_err(&registry, &bad);
+    assert!(err.to_string().contains("magic"), "{err}");
+
+    // Version from the future.
+    let mut bad = buf.clone();
+    bad[4..8].copy_from_slice(&2u32.to_le_bytes());
+    let err = load_err(&registry, &bad);
+    assert!(err.to_string().contains("version 2"), "{err}");
+
+    // Truncation at several depths: inside the header and inside the payload.
+    for keep in [3usize, 10, buf.len() / 2, buf.len() - 1] {
+        let err = load_err(&registry, &buf[..keep]);
+        assert!(err.to_string().contains("truncated"), "keep={keep}: {err}");
+    }
+
+    // A flipped payload bit fails the checksum before any section is trusted.
+    let mut bad = buf.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01;
+    let err = load_err(&registry, &bad);
+    assert!(err.to_string().contains("checksum"), "{err}");
+}

@@ -212,13 +212,86 @@ impl Matrix {
     }
 
     /// Gram matrix `self * selfᵀ` (rows treated as observations of a `rows`-dim object).
+    ///
+    /// Routed through the symmetric rank-k update [`Matrix::syrk`], which computes only
+    /// the upper triangle and mirrors — the covariance / whitening paths pay half the
+    /// flops of the general product.
     pub fn gram(&self) -> Matrix {
-        self.matmul_t(self).expect("gram: shapes always agree")
+        let flops = self.rows() * self.rows() * self.cols() / 2;
+        self.syrk_with_threads(parallel::threads_for_work(flops))
     }
 
-    /// Gram matrix `selfᵀ * self`.
+    /// Gram matrix `selfᵀ * self`. Routed through [`Matrix::syrk_t`] (symmetric rank-k:
+    /// upper triangle + mirror; see there for the non-finite-input caveat).
     pub fn gram_t(&self) -> Matrix {
-        self.t_matmul(self).expect("gram_t: shapes always agree")
+        let flops = self.cols() * self.cols() * self.rows() / 2;
+        self.syrk_t_with_threads(parallel::threads_for_work(flops))
+    }
+
+    /// Symmetric rank-k update `self * selfᵀ` (`m × m`): only the upper triangle is
+    /// computed, the lower is mirrored. Bit-identical to `self.matmul_t(self)` — each
+    /// entry is the dot product of two rows accumulated in ascending index order, and
+    /// multiplication is commutative, so the mirrored entry carries the exact bits the
+    /// general kernel would produce.
+    pub fn syrk(&self) -> Matrix {
+        let flops = self.rows() * self.rows() * self.cols() / 2;
+        self.syrk_with_threads(parallel::threads_for_work(flops))
+    }
+
+    /// [`Matrix::syrk`] with an explicit thread count (bit-identical for every
+    /// `threads >= 1`).
+    pub fn syrk_with_threads(&self, threads: usize) -> Matrix {
+        let m = self.rows();
+        let mut out = Matrix::zeros(m, m);
+        for_each_row(&mut out, threads, |i, o_row| {
+            let a_row = self.row(i);
+            for (j, o) in o_row.iter_mut().enumerate().skip(i) {
+                let b_row = self.row(j);
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        });
+        mirror_upper(&mut out);
+        out
+    }
+
+    /// Symmetric rank-k update `selfᵀ * self` (`n × n`): only the upper triangle is
+    /// computed, the lower is mirrored. For **finite** inputs this is bit-identical
+    /// to `self.t_matmul(self)` (same ascending reduction over rows for every
+    /// entry, same zero-skip). With non-finite entries the two can differ on the
+    /// mirrored triangle: `t_matmul`'s zero-skip makes `0 · ∞` vanish in one
+    /// triangle but produce NaN in the other, i.e. an *asymmetric* result, whereas
+    /// this kernel always returns the symmetrized upper triangle.
+    pub fn syrk_t(&self) -> Matrix {
+        let flops = self.cols() * self.cols() * self.rows() / 2;
+        self.syrk_t_with_threads(parallel::threads_for_work(flops))
+    }
+
+    /// [`Matrix::syrk_t`] with an explicit thread count (bit-identical for every
+    /// `threads >= 1`).
+    pub fn syrk_t_with_threads(&self, threads: usize) -> Matrix {
+        let (k, n) = self.shape();
+        let mut out = Matrix::zeros(n, n);
+        for_each_row(&mut out, threads, |i, o_row| {
+            // Upper-triangle row i: out[i][j >= i] += a[p][i] * a[p][j..], streaming
+            // the contiguous tail of each row of `self` (the reduction index p ascends
+            // for every entry, matching the general t_matmul kernel bit for bit).
+            for p in 0..k {
+                let a_row = self.row(p);
+                let a_pi = a_row[i];
+                if a_pi == 0.0 {
+                    continue;
+                }
+                for (o, &a_pj) in o_row[i..].iter_mut().zip(a_row[i..].iter()) {
+                    *o += a_pi * a_pj;
+                }
+            }
+        });
+        mirror_upper(&mut out);
+        out
     }
 
     /// Matrix–vector product `self * v`.
@@ -357,6 +430,15 @@ impl Matrix {
             .map(|(a, b)| f(*a, *b))
             .collect();
         Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+}
+
+/// Copy the strict upper triangle of a square matrix onto the lower triangle.
+fn mirror_upper(m: &mut Matrix) {
+    for i in 1..m.rows() {
+        for j in 0..i {
+            m[(i, j)] = m[(j, i)];
+        }
     }
 }
 

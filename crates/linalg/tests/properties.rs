@@ -143,6 +143,28 @@ proptest! {
     }
 
     #[test]
+    fn syrk_matches_general_product_bit_for_bit(m in matrix_strategy(9, 7)) {
+        // The symmetric rank-k kernels compute only the upper triangle and mirror.
+        // Every entry keeps the ascending reduction order of the general kernels and
+        // multiplication is commutative, so for the finite inputs generated here the
+        // results must be *exactly* equal — gram/gram_t switching to syrk must not
+        // perturb a single bit downstream. (Non-finite inputs are the documented
+        // exception for syrk_t: its mirrored triangle symmetrizes where t_matmul's
+        // zero-skip could produce an asymmetric NaN pattern.)
+        prop_assert_eq!(&m.syrk(), &m.matmul_t(&m).unwrap());
+        prop_assert_eq!(&m.syrk_t(), &m.t_matmul(&m).unwrap());
+        prop_assert_eq!(&m.gram(), &m.matmul_t(&m).unwrap());
+        prop_assert_eq!(&m.gram_t(), &m.t_matmul(&m).unwrap());
+        // Bit-identical across thread counts, including the serial fallback.
+        let serial = m.syrk_with_threads(1);
+        let serial_t = m.syrk_t_with_threads(1);
+        for threads in [2usize, 3, 16] {
+            prop_assert_eq!(&m.syrk_with_threads(threads), &serial);
+            prop_assert_eq!(&m.syrk_t_with_threads(threads), &serial_t);
+        }
+    }
+
+    #[test]
     fn t_matmul_acc_accumulates(
         adata in proptest::collection::vec(-3.0..3.0f64, 6 * 4),
         bdata in proptest::collection::vec(-3.0..3.0f64, 6 * 3),

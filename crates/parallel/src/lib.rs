@@ -32,6 +32,10 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod pool;
+
+pub use pool::Pool;
+
 use std::sync::OnceLock;
 
 /// Environment variable overriding the detected thread count (read once per process).

@@ -1,0 +1,521 @@
+//! [`BatchEngine`]: micro-batching transform execution on one shared thread pool.
+//!
+//! Transform requests are tiny (often a handful of instances) while the dense kernels
+//! amortize best over many columns. The engine therefore **coalesces** concurrent
+//! requests for the same model into one batched `transform`:
+//!
+//! 1. a dispatcher thread pops the oldest pending request, opening a batch for that
+//!    request's model,
+//! 2. it keeps absorbing queued requests for the *same* model until the batch holds
+//!    [`BatchConfig::max_batch`] instances or [`BatchConfig::max_wait`] has elapsed
+//!    since the batch opened,
+//! 3. the batch is stitched together along the instance axis — `hstack` of the
+//!    per-view matrices for feature-view models, `vstack` of kernel blocks for
+//!    kernel models — and executed as **one** `transform` call on the process-wide
+//!    [`parallel::Pool`], so concurrent fits and transforms share a single thread
+//!    pool instead of oversubscribing the machine,
+//! 4. the embedding rows are split back per request.
+//!
+//! If a batched call fails (e.g. a transductive DSE model that only accepts its
+//! exact training batch, or one malformed request in the batch), the engine falls
+//! back to executing the batch's requests individually so a bad request cannot
+//! poison its neighbours. Requests for *different* models never wait on each other
+//! beyond queue order: each batch is dispatched to the pool asynchronously and the
+//! dispatcher immediately opens the next one.
+
+use crate::{ModelStore, Result, ServeError};
+use linalg::Matrix;
+use mvcore::{InputKind, MultiViewModel};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Maximum instances coalesced into one `transform` call.
+    pub max_batch: usize,
+    /// Maximum time a batch stays open waiting for more same-model requests.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 256,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Counters for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Transform requests accepted.
+    pub requests: usize,
+    /// Batched `transform` executions (≤ `requests` when coalescing happens).
+    pub batches: usize,
+    /// Requests that were coalesced into a batch with at least one other request.
+    pub coalesced_requests: usize,
+    /// Batches that failed as a whole and were retried request by request.
+    pub fallbacks: usize,
+}
+
+struct Pending {
+    model: String,
+    inputs: Vec<Matrix>,
+    reply: SyncSender<Result<Matrix>>,
+}
+
+struct Shared {
+    store: Arc<ModelStore>,
+    config: BatchConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    wake: Condvar,
+    stop: AtomicBool,
+    /// Behind its own `Arc` so pool jobs can record fallbacks after the dispatcher
+    /// has moved on.
+    stats: Arc<Mutex<EngineStats>>,
+}
+
+/// The micro-batching transform engine. Cheap to clone handles are not provided;
+/// share it behind an [`Arc`].
+pub struct BatchEngine {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BatchEngine {
+    /// Start the engine's dispatcher thread over a store.
+    pub fn start(store: Arc<ModelStore>, config: BatchConfig) -> Self {
+        let shared = Arc::new(Shared {
+            store,
+            config: BatchConfig {
+                max_batch: config.max_batch.max(1),
+                max_wait: config.max_wait,
+            },
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            stats: Arc::new(Mutex::new(EngineStats::default())),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tcca-batch-dispatch".into())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawning the batch dispatcher")
+        };
+        Self {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Project instances through a stored model, transparently coalescing with
+    /// concurrent requests for the same model. Blocks until the result is ready.
+    pub fn transform(&self, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
+        if self.shared.stop.load(Ordering::SeqCst) {
+            return Err(ServeError::EngineStopped);
+        }
+        // Resolve the name eagerly so unknown models fail fast with the catalog.
+        self.shared.store.entry(model)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        {
+            let mut queue = self.shared.queue.lock().expect("engine queue lock");
+            queue.push_back(Pending {
+                model: model.to_string(),
+                inputs,
+                reply: tx,
+            });
+            self.shared
+                .stats
+                .lock()
+                .expect("engine stats lock")
+                .requests += 1;
+        }
+        self.shared.wake.notify_one();
+        rx.recv().map_err(|_| ServeError::EngineStopped)?
+    }
+
+    /// Counters since start.
+    pub fn stats(&self) -> EngineStats {
+        *self.shared.stats.lock().expect("engine stats lock")
+    }
+
+    /// The store the engine serves from.
+    pub fn store(&self) -> &Arc<ModelStore> {
+        &self.shared.store
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Number of instances a request contributes, along the model's batching axis.
+fn request_instances(kind: InputKind, inputs: &[Matrix]) -> usize {
+    match (kind, inputs.first()) {
+        (InputKind::Views, Some(m)) => m.cols(),
+        (InputKind::Kernels, Some(m)) => m.rows(),
+        (_, None) => 0,
+    }
+}
+
+fn dispatch_loop(shared: &Shared) {
+    loop {
+        // Wait for the first request of the next batch.
+        let first = {
+            let mut queue = shared.queue.lock().expect("engine queue lock");
+            loop {
+                if let Some(p) = queue.pop_front() {
+                    break p;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.wake.wait(queue).expect("engine queue lock");
+            }
+        };
+
+        // The batching axis comes from the header metadata alone — a *cold* model's
+        // payload is deserialized inside the pool job below, never on the
+        // dispatcher thread, so a slow first load of one model cannot head-of-line
+        // block batching for every other model.
+        let kind = match shared.store.entry(&first.model) {
+            Ok(entry) => entry.meta().input_kind,
+            Err(e) => {
+                let _ = first.reply.send(Err(e));
+                continue;
+            }
+        };
+
+        // Absorb same-model requests until the batch is full or the window closes.
+        let mut batch = vec![first];
+        let mut instances = request_instances(kind, &batch[0].inputs);
+        let deadline = Instant::now() + shared.config.max_wait;
+        {
+            let mut queue = shared.queue.lock().expect("engine queue lock");
+            loop {
+                while instances < shared.config.max_batch {
+                    let next = queue
+                        .iter()
+                        .position(|p| p.model == batch[0].model)
+                        .and_then(|i| queue.remove(i));
+                    match next {
+                        Some(p) => {
+                            instances += request_instances(kind, &p.inputs);
+                            batch.push(p);
+                        }
+                        None => break,
+                    }
+                }
+                if instances >= shared.config.max_batch || shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                // Woken by a new request or the window closing; the next loop
+                // iteration sweeps the queue again either way.
+                let (q, _timeout) = shared
+                    .wake
+                    .wait_timeout(queue, deadline - now)
+                    .expect("engine queue lock");
+                queue = q;
+            }
+        }
+
+        // Execute asynchronously on the shared pool; the dispatcher moves on.
+        {
+            let mut stats = shared.stats.lock().expect("engine stats lock");
+            stats.batches += 1;
+            if batch.len() > 1 {
+                stats.coalesced_requests += batch.len();
+            }
+        }
+        let stats = Arc::clone(&shared.stats);
+        let store = Arc::clone(&shared.store);
+        parallel::Pool::global().spawn(move || execute_batch(&store, kind, batch, &stats));
+    }
+}
+
+fn execute_batch(
+    store: &ModelStore,
+    kind: InputKind,
+    batch: Vec<Pending>,
+    stats: &Arc<Mutex<EngineStats>>,
+) {
+    let model: Arc<dyn MultiViewModel> = match store.get(&batch[0].model) {
+        Ok(m) => m,
+        Err(e) => {
+            // ServeError is not Clone (it can wrap io::Error); forward the load
+            // failure to every waiter as a persistence error message.
+            let msg = e.to_string();
+            for pending in batch {
+                let _ = pending
+                    .reply
+                    .send(Err(mvcore::CoreError::Persist(msg.clone()).into()));
+            }
+            return;
+        }
+    };
+    if batch.len() == 1 {
+        let Pending { inputs, reply, .. } = batch.into_iter().next().expect("one request");
+        let result = model.transform(&inputs).map_err(ServeError::from);
+        let _ = reply.send(result);
+        return;
+    }
+
+    match run_coalesced(model.as_ref(), kind, &batch) {
+        Ok(embeddings) => {
+            for (pending, z) in batch.into_iter().zip(embeddings) {
+                let _ = pending.reply.send(Ok(z));
+            }
+        }
+        Err(_) => {
+            // One bad (or transductive) request must not fail its neighbours: retry
+            // individually.
+            stats.lock().expect("engine stats lock").fallbacks += 1;
+            for pending in batch {
+                let result = model.transform(&pending.inputs).map_err(ServeError::from);
+                let _ = pending.reply.send(result);
+            }
+        }
+    }
+}
+
+/// Concatenate view `v` of every request along the instance axis into one
+/// preallocated matrix (columns for feature views, rows for kernel blocks). Each
+/// request's block is copied exactly once — no repeated pairwise `hstack`/`vstack`
+/// whose data movement would grow quadratically with the batch size.
+fn stitch_view(kind: InputKind, batch: &[Pending], v: usize) -> Result<Matrix> {
+    let shape_err = |what: String| ServeError::Protocol(what);
+    let head = &batch[0].inputs[v];
+    match kind {
+        InputKind::Views => {
+            let d = head.rows();
+            let mut total = 0usize;
+            for p in batch {
+                let part = &p.inputs[v];
+                if part.rows() != d {
+                    return Err(shape_err(format!(
+                        "view {v}: request has {} features, batch peer has {d}",
+                        part.rows()
+                    )));
+                }
+                total += part.cols();
+            }
+            let mut out = Matrix::zeros(d, total);
+            let mut col = 0usize;
+            for p in batch {
+                let part = &p.inputs[v];
+                for i in 0..d {
+                    out.row_mut(i)[col..col + part.cols()].copy_from_slice(part.row(i));
+                }
+                col += part.cols();
+            }
+            Ok(out)
+        }
+        InputKind::Kernels => {
+            let n = head.cols();
+            let mut total = 0usize;
+            for p in batch {
+                let part = &p.inputs[v];
+                if part.cols() != n {
+                    return Err(shape_err(format!(
+                        "kernel block {v}: request has {} columns, batch peer has {n}",
+                        part.cols()
+                    )));
+                }
+                total += part.rows();
+            }
+            let mut out = Matrix::zeros(total, n);
+            let mut row = 0usize;
+            for p in batch {
+                let part = &p.inputs[v];
+                out.as_mut_slice()[row * n..row * n + part.as_slice().len()]
+                    .copy_from_slice(part.as_slice());
+                row += part.rows();
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Stitch the batch along the instance axis, run one `transform`, split the rows.
+fn run_coalesced(
+    model: &dyn MultiViewModel,
+    kind: InputKind,
+    batch: &[Pending],
+) -> Result<Vec<Matrix>> {
+    let views = model.num_views();
+    for p in batch {
+        if p.inputs.len() != views {
+            return Err(ServeError::Protocol(format!(
+                "request has {} inputs, model expects {views}",
+                p.inputs.len()
+            )));
+        }
+    }
+    let mut stitched = Vec::with_capacity(views);
+    for v in 0..views {
+        stitched.push(stitch_view(kind, batch, v)?);
+    }
+    let z = model.transform(&stitched)?;
+
+    let mut out = Vec::with_capacity(batch.len());
+    let mut row = 0usize;
+    for p in batch {
+        let n = request_instances(kind, &p.inputs);
+        if row + n > z.rows() {
+            return Err(ServeError::Protocol(format!(
+                "batched embedding has {} rows, expected at least {}",
+                z.rows(),
+                row + n
+            )));
+        }
+        out.push(z.select_rows(&(row..row + n).collect::<Vec<_>>()));
+        row += n;
+    }
+    if row != z.rows() {
+        return Err(ServeError::Protocol(format!(
+            "batched embedding has {} rows, requests account for {row}",
+            z.rows()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{secstr_dataset, SecStrConfig};
+    use mvcore::{EstimatorRegistry, FitSpec};
+
+    fn fixture_views() -> Vec<Matrix> {
+        let data = secstr_dataset(&SecStrConfig {
+            n_instances: 32,
+            seed: 17,
+            difficulty: 0.8,
+        });
+        data.views()
+            .iter()
+            .map(|v| v.select_rows(&(0..8.min(v.rows())).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    fn engine_with(name: &str, method: &str, views: &[Matrix]) -> BatchEngine {
+        let registry = EstimatorRegistry::with_builtin();
+        let model = registry
+            .fit(method, views, &FitSpec::with_rank(2).seed(2))
+            .unwrap();
+        let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+        store.insert(name, model);
+        BatchEngine::start(
+            store,
+            BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(20),
+            },
+        )
+    }
+
+    #[test]
+    fn single_requests_match_direct_transform() {
+        let views = fixture_views();
+        let engine = engine_with("tcca", "TCCA", &views);
+        let direct = engine
+            .store()
+            .get("tcca")
+            .unwrap()
+            .transform(&views)
+            .unwrap();
+        let served = engine.transform("tcca", views.clone()).unwrap();
+        assert_eq!(served, direct);
+        assert!(matches!(
+            engine.transform("missing", views),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_and_split_correctly() {
+        let views = fixture_views();
+        let engine = Arc::new(engine_with("pca", "PCA", &views));
+        let direct = engine
+            .store()
+            .get("pca")
+            .unwrap()
+            .transform(&views)
+            .unwrap();
+
+        // 8 clients each asking for a distinct 4-instance slice.
+        let mut handles = Vec::new();
+        for c in 0..8usize {
+            let engine = Arc::clone(&engine);
+            let slice: Vec<Matrix> = views
+                .iter()
+                .map(|v| v.select_columns(&(4 * c..4 * (c + 1)).collect::<Vec<_>>()))
+                .collect();
+            handles.push(std::thread::spawn(move || {
+                (c, engine.transform("pca", slice).unwrap())
+            }));
+        }
+        for h in handles {
+            let (c, z) = h.join().unwrap();
+            let expected = direct.select_rows(&(4 * c..4 * (c + 1)).collect::<Vec<_>>());
+            assert_eq!(z, expected, "client {c}");
+        }
+
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 8);
+        assert!(
+            stats.batches <= stats.requests,
+            "batches {} > requests {}",
+            stats.batches,
+            stats.requests
+        );
+    }
+
+    #[test]
+    fn transductive_batches_fall_back_to_individual_execution() {
+        let views = fixture_views();
+        let engine = Arc::new(engine_with("dse", "DSE", &views));
+        // Two concurrent requests for the exact training batch: coalescing doubles
+        // the instance count, the fingerprint check rejects it, and the fallback
+        // serves both individually.
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            let inputs = views.clone();
+            handles.push(std::thread::spawn(move || {
+                engine.transform("dse", inputs).unwrap()
+            }));
+        }
+        let results: Vec<Matrix> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0].rows(), 32);
+    }
+
+    #[test]
+    fn stopped_engine_rejects_new_requests() {
+        let views = fixture_views();
+        let engine = engine_with("cat", "CAT", &views);
+        drop(engine);
+        // A fresh engine whose store lacks the model reports the catalog.
+        let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+        let engine = BatchEngine::start(store, BatchConfig::default());
+        let err = engine.transform("cat", views).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel { .. }));
+    }
+}

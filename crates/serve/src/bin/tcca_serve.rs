@@ -1,0 +1,261 @@
+//! `tcca_serve` — serve fitted multi-view models over TCP, or embed offline.
+//!
+//! ```text
+//! tcca_serve serve   --models DIR [--addr HOST:PORT] [--max-batch N] [--max-wait-ms M]
+//! tcca_serve embed   --model FILE --view CSV [--view CSV ...] [--out FILE]
+//! tcca_serve inspect --model FILE
+//! tcca_serve demo    --out DIR [--method NAME] [--instances N] [--rank R]
+//! ```
+//!
+//! * `serve` indexes a directory of `.mvm` files and answers length-prefixed frame
+//!   requests (see `serve::wire`), printing `listening on ADDR` once bound — with
+//!   `--addr 127.0.0.1:0` the OS picks the port and the printed line is the source
+//!   of truth (the CI smoke test parses it).
+//! * `embed` is the one-shot offline mode: load one model file, read one CSV per
+//!   view (rows = features, columns = instances, matching the `d × N` layout), and
+//!   write the `N × dim` embedding as CSV to `--out` (default stdout).
+//! * `inspect` prints a model file's header metadata without loading the payload.
+//! * `demo` fits a small model on synthetic SecStr-like data and saves it — enough
+//!   to smoke-test the serving path end to end without a dataset download.
+
+use linalg::Matrix;
+use mvcore::{EstimatorRegistry, FitSpec, MultiViewModel};
+use serve::{BatchConfig, ModelStore, Server};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("embed") => cmd_embed(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tcca_serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  tcca_serve serve   --models DIR [--addr HOST:PORT] [--max-batch N] [--max-wait-ms M]
+  tcca_serve embed   --model FILE --view CSV [--view CSV ...] [--out FILE]
+  tcca_serve inspect --model FILE
+  tcca_serve demo    --out DIR [--method NAME] [--instances N] [--rank R]";
+
+/// Minimal `--flag value` parser; repeated flags accumulate.
+struct Flags {
+    values: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = &args[i];
+            if !flag.starts_with("--") {
+                return Err(format!("expected a --flag, got {flag:?}\n{USAGE}"));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            values.push((flag[2..].to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Self { values })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required\n{USAGE}"))
+    }
+
+    fn all(&self, name: &str) -> Vec<&str> {
+        self.values
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} takes a number, got {v:?}")),
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let dir = flags.require("models")?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let config = BatchConfig {
+        max_batch: flags.parsed("max-batch", BatchConfig::default().max_batch)?,
+        max_wait: Duration::from_millis(flags.parsed("max-wait-ms", 2u64)?),
+    };
+    let store = Arc::new(
+        ModelStore::open(EstimatorRegistry::with_builtin(), dir)
+            .map_err(|e| format!("indexing {dir}: {e}"))?,
+    );
+    let names = store.names();
+    let server = Server::bind(addr, store, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!("serving {} model(s): {}", names.len(), names.join(", "));
+    println!("listening on {bound}");
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| e.to_string())
+}
+
+fn cmd_embed(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let model_path = flags.require("model")?;
+    let view_paths = flags.all("view");
+    if view_paths.is_empty() {
+        return Err("at least one --view CSV is required".into());
+    }
+    let model = load_model_file(model_path)?;
+    if view_paths.len() != model.num_views() {
+        return Err(format!(
+            "model expects {} views, got {}",
+            model.num_views(),
+            view_paths.len()
+        ));
+    }
+    let views = view_paths
+        .iter()
+        .map(|p| read_csv_matrix(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let z = model
+        .transform(&views)
+        .map_err(|e| format!("transform failed: {e}"))?;
+    let csv = matrix_to_csv(&z);
+    match flags.get("out") {
+        Some(path) => std::fs::write(path, csv).map_err(|e| format!("writing {path}: {e}"))?,
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags.require("model")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let meta = mvcore::persist::read_meta(&mut reader).map_err(|e| e.to_string())?;
+    println!("method:     {}", meta.method);
+    println!("dim:        {}", meta.dim);
+    println!("views:      {}", meta.num_views);
+    println!("input kind: {:?}", meta.input_kind);
+    println!("payload:    {} bytes", meta.payload_len);
+    println!("checksum:   {:#010x}", meta.checksum);
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let dir = PathBuf::from(flags.require("out")?);
+    let method = flags.get("method").unwrap_or("TCCA");
+    let instances: usize = flags.parsed("instances", 60)?;
+    let rank: usize = flags.parsed("rank", 2)?;
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+
+    let data = datasets::secstr_dataset(&datasets::SecStrConfig {
+        n_instances: instances,
+        seed: 7,
+        difficulty: 0.8,
+    });
+    let views: Vec<Matrix> = data
+        .views()
+        .iter()
+        .map(|v| v.select_rows(&(0..10.min(v.rows())).collect::<Vec<_>>()))
+        .collect();
+
+    let registry = EstimatorRegistry::with_builtin();
+    let spec = FitSpec::with_rank(rank)
+        .epsilon(1e-2)
+        .seed(7)
+        .per_view_dim(8);
+    let model = registry
+        .fit(method, &views, &spec)
+        .map_err(|e| format!("fitting {method}: {e}"))?;
+
+    let name = method.to_lowercase().replace([' ', '(', ')'], "");
+    let store = ModelStore::new(EstimatorRegistry::with_builtin());
+    store
+        .save(&dir, &name, model.as_ref())
+        .map_err(|e| format!("saving: {e}"))?;
+    for (p, v) in views.iter().enumerate() {
+        let path = dir.join(format!("{name}.view{p}.csv"));
+        std::fs::write(&path, matrix_to_csv(v))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    println!(
+        "saved {name}.{} and {} view CSV(s) to {}",
+        serve::MODEL_EXTENSION,
+        views.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn load_model_file(path: &str) -> Result<Box<dyn MultiViewModel>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    EstimatorRegistry::with_builtin()
+        .load_model(&mut reader)
+        .map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn read_csv_matrix(path: &str) -> Result<Matrix, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row = line
+            .split(',')
+            .map(|cell| {
+                cell.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("{path}:{}: not a number: {cell:?}", lineno + 1))
+            })
+            .collect::<Result<Vec<f64>, _>>()?;
+        rows.push(row);
+    }
+    Matrix::from_rows(&rows).map_err(|e| format!("{path}: {e}"))
+}
+
+fn matrix_to_csv(m: &Matrix) -> String {
+    let mut out = String::new();
+    for i in 0..m.rows() {
+        let row: Vec<String> = m.row(i).iter().map(|v| format!("{v:?}")).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}

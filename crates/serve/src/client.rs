@@ -1,0 +1,70 @@
+//! Blocking TCP client for the `tcca_serve` protocol.
+
+use crate::wire::{read_frame, write_frame, ModelInfo, Request, Response};
+use crate::{Result, ServeError};
+use linalg::Matrix;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a serving endpoint. Requests are pipelined strictly one at a
+/// time per connection; open several clients for concurrency (the server coalesces
+/// same-model requests across connections).
+pub struct Client {
+    reader: std::io::BufReader<TcpStream>,
+    writer: std::io::BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a serving endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: std::io::BufReader::new(stream.try_clone()?),
+            writer: std::io::BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Protocol("server closed the connection before replying".into())
+        })?;
+        Response::decode(&payload)
+    }
+
+    /// Project instances through a stored model; the reply is bit-exact against the
+    /// in-process `transform` of the same model.
+    pub fn transform(&mut self, model: &str, inputs: &[Matrix]) -> Result<Matrix> {
+        match self.call(&Request::Transform {
+            model: model.to_string(),
+            inputs: inputs.to_vec(),
+        })? {
+            Response::Embedding(z) => Ok(z),
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Transform: {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's model catalog.
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>> {
+        match self.call(&Request::ListModels)? {
+            Response::Models(models) => Ok(models),
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to ListModels: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Ping: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The serving-stack error type.
+
+use std::fmt;
+
+/// Errors produced by the model store, batch engine, protocol codec and server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A model name was not present in the store.
+    UnknownModel {
+        /// The requested name.
+        name: String,
+        /// The names the store does know.
+        known: Vec<String>,
+    },
+    /// Loading, saving or transforming through a model failed.
+    Core(mvcore::CoreError),
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// A frame or message violated the wire protocol.
+    Protocol(String),
+    /// The remote side reported an error for our request.
+    Remote(String),
+    /// The batch engine is shutting down and dropped the request.
+    EngineStopped,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel { name, known } => {
+                write!(f, "unknown model {name:?}; available: {}", known.join(", "))
+            }
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "I/O failure: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::Remote(msg) => write!(f, "server error: {msg}"),
+            ServeError::EngineStopped => write!(f, "batch engine stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mvcore::CoreError> for ServeError {
+    fn from(e: mvcore::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::UnknownModel {
+            name: "tcca-prod".into(),
+            known: vec!["a".into(), "b".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("tcca-prod") && msg.contains("a, b"), "{msg}");
+        assert!(ServeError::EngineStopped.to_string().contains("stopped"));
+        let e: ServeError = mvcore::CoreError::InvalidInput("x".into()).into();
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,49 @@
+//! `serve` — model persistence store and batched transform serving.
+//!
+//! The fitting side of this workspace is offline; the *serving* side — projecting new
+//! instances through an already-fitted model — is the hot path of any deployment.
+//! This crate turns the registry's uniform `Box<dyn MultiViewModel>` surface into a
+//! small serving stack:
+//!
+//! * [`ModelStore`] — maps model names to lazily-loaded models backed by `.mvm` files
+//!   (the `MVTC` format of `mvcore::persist`), with header-only metadata for cheap
+//!   directory indexing and checksum reporting.
+//! * [`BatchEngine`] — a micro-batching transform engine: concurrent requests for the
+//!   same model are coalesced (up to `max_batch` instances / `max_wait`) into one
+//!   batched `transform` executed on the process-wide [`parallel::Pool`], so many
+//!   clients share one thread pool instead of oversubscribing the machine.
+//! * [`Server`] / [`Client`] — a length-prefixed binary frame protocol over
+//!   `std::net` TCP (see [`wire`]) plus the `tcca_serve` binary, which also offers a
+//!   one-shot CLI mode for offline embedding.
+//!
+//! ```no_run
+//! use mvcore::EstimatorRegistry;
+//! use serve::{BatchConfig, ModelStore, Server};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(ModelStore::open(
+//!     EstimatorRegistry::with_builtin(),
+//!     "models/",
+//! ).unwrap());
+//! let server = Server::bind("127.0.0.1:7878", store, BatchConfig::default()).unwrap();
+//! server.run().unwrap(); // accept loop
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod batch;
+mod client;
+mod error;
+mod server;
+mod store;
+pub mod wire;
+
+pub use batch::{BatchConfig, BatchEngine, EngineStats};
+pub use client::Client;
+pub use error::ServeError;
+pub use server::Server;
+pub use store::{ModelStore, StoredModel, MODEL_EXTENSION};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,214 @@
+//! The TCP front of the serving stack.
+//!
+//! One listener thread accepts connections; each connection gets its own handler
+//! thread that reads request frames, routes `Transform` requests through the shared
+//! [`BatchEngine`] (where same-model requests from *different* connections coalesce)
+//! and writes response frames. Request errors are reported in-band as
+//! [`Response::Error`]; protocol violations close the connection.
+
+use crate::wire::{read_frame, write_frame, ModelInfo, Request, Response};
+use crate::{BatchConfig, BatchEngine, ModelStore, Result, ServeError};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A bound serving endpoint.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<BatchEngine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind a listener and start a batch engine over the store. Use port 0 to let
+    /// the OS pick a free port (see [`Server::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: Arc<ModelStore>,
+        config: BatchConfig,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let engine = Arc::new(BatchEngine::start(store, config));
+        Ok(Self {
+            listener,
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the real port when bound with port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The engine requests are routed through (exposed for stats).
+    pub fn engine(&self) -> &Arc<BatchEngine> {
+        &self.engine
+    }
+
+    /// A handle that makes [`Server::run`] return: sets the stop flag and pokes the
+    /// listener with a throwaway connection.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.listener.local_addr().ok(),
+        }
+    }
+
+    /// Accept connections until shut down, spawning one handler thread per
+    /// connection. Blocks the calling thread.
+    pub fn run(&self) -> Result<()> {
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    // A failed accept (e.g. the peer vanished) is not fatal.
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("tcca_serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            let engine = Arc::clone(&self.engine);
+            std::thread::Builder::new()
+                .name("tcca-serve-conn".into())
+                .spawn(move || {
+                    if let Err(e) = handle_connection(stream, &engine) {
+                        // Protocol violations and broken pipes end the connection;
+                        // the server keeps running.
+                        eprintln!("tcca_serve: connection closed: {e}");
+                    }
+                })
+                .expect("spawning a connection handler");
+        }
+        Ok(())
+    }
+}
+
+/// Makes a running [`Server::run`] loop return.
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl ShutdownHandle {
+    /// Signal the accept loop to exit.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            // Unblock the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn catalog(store: &ModelStore) -> Vec<ModelInfo> {
+    store
+        .names()
+        .into_iter()
+        .filter_map(|name| store.entry(&name).ok())
+        .map(|entry| ModelInfo {
+            name: entry.name().to_string(),
+            method: entry.meta().method.clone(),
+            dim: entry.meta().dim,
+            num_views: entry.meta().num_views,
+            input_kind: entry.meta().input_kind,
+        })
+        .collect()
+}
+
+fn handle_connection(stream: TcpStream, engine: &BatchEngine) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let response = match Request::decode(&payload) {
+            Ok(Request::Transform { model, inputs }) => match engine.transform(&model, inputs) {
+                Ok(z) => Response::Embedding(z),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Ok(Request::ListModels) => Response::Models(catalog(engine.store())),
+            Ok(Request::Ping) => Response::Pong,
+            Err(e @ ServeError::Protocol(_)) => return Err(e),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        write_frame(&mut writer, &response.encode())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Client;
+    use datasets::{secstr_dataset, SecStrConfig};
+    use linalg::Matrix;
+    use mvcore::{EstimatorRegistry, FitSpec, InputKind};
+    use std::time::Duration;
+
+    fn fixture_views() -> Vec<Matrix> {
+        let data = secstr_dataset(&SecStrConfig {
+            n_instances: 24,
+            seed: 31,
+            difficulty: 0.8,
+        });
+        data.views()
+            .iter()
+            .map(|v| v.select_rows(&(0..6.min(v.rows())).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    #[test]
+    fn tcp_roundtrip_matches_in_process_transform() {
+        let views = fixture_views();
+        let registry = EstimatorRegistry::with_builtin();
+        let model = registry
+            .fit("TCCA", &views, &FitSpec::with_rank(2).seed(6))
+            .unwrap();
+        let expected = model.transform(&views).unwrap();
+
+        let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+        store.insert("tcca", model);
+        let server = Server::bind(
+            "127.0.0.1:0",
+            store,
+            BatchConfig {
+                max_batch: 16,
+                max_wait: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+
+        let catalog = client.list_models().unwrap();
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog[0].name, "tcca");
+        assert_eq!(catalog[0].method, "TCCA");
+        assert_eq!(catalog[0].input_kind, InputKind::Views);
+
+        let served = client.transform("tcca", &views).unwrap();
+        assert_eq!(served, expected, "wire transport must be bit-exact");
+
+        // Request errors arrive in-band and the connection survives them.
+        let err = client.transform("missing", &views).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+        let err = client
+            .transform("tcca", &views[..1])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("view"), "{err}");
+        client.ping().unwrap();
+
+        shutdown.shutdown();
+        server_thread.join().unwrap();
+    }
+}

@@ -1,0 +1,292 @@
+//! [`ModelStore`]: name → fitted model, backed by a directory of `.mvm` files.
+//!
+//! The store indexes a directory by reading only the `MVTC` *headers* (method,
+//! embedding width, view count, input kind, payload checksum) — cheap even for large
+//! factor matrices — and deserializes a model's payload lazily on first use. Models
+//! may also be inserted directly (a freshly fitted model being promoted to serving
+//! without a disk round-trip).
+
+use crate::{Result, ServeError};
+use mvcore::{persist, EstimatorRegistry, ModelMeta, MultiViewModel};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// File extension of serialized models recognized by [`ModelStore::open`].
+pub const MODEL_EXTENSION: &str = "mvm";
+
+/// One store entry: header metadata plus the lazily-loaded model.
+pub struct StoredModel {
+    name: String,
+    meta: ModelMeta,
+    path: Option<PathBuf>,
+    model: Mutex<Option<Arc<dyn MultiViewModel>>>,
+}
+
+impl StoredModel {
+    /// Store name (the file stem for disk-backed entries).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Header metadata (method, dim, views, input kind, checksum).
+    pub fn meta(&self) -> &ModelMeta {
+        &self.meta
+    }
+
+    /// Backing file, if the entry came from disk.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Whether the payload has been deserialized yet.
+    pub fn is_loaded(&self) -> bool {
+        self.model.lock().expect("store entry lock").is_some()
+    }
+}
+
+/// A registry-driven model store with lazy loading.
+pub struct ModelStore {
+    registry: EstimatorRegistry,
+    entries: RwLock<BTreeMap<String, Arc<StoredModel>>>,
+}
+
+impl ModelStore {
+    /// An empty store dispatching loads through the given registry.
+    pub fn new(registry: EstimatorRegistry) -> Self {
+        Self {
+            registry,
+            entries: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Create a store and index every `*.mvm` file in `dir` (header-only; payloads
+    /// load lazily). The file stem becomes the model name.
+    pub fn open(registry: EstimatorRegistry, dir: impl AsRef<Path>) -> Result<Self> {
+        let store = Self::new(registry);
+        store.index_dir(dir)?;
+        Ok(store)
+    }
+
+    /// Index (or re-index) every `*.mvm` file in a directory into the store.
+    /// Existing entries with the same name are replaced.
+    pub fn index_dir(&self, dir: impl AsRef<Path>) -> Result<usize> {
+        let dir = dir.as_ref();
+        let mut added = 0;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(MODEL_EXTENSION) {
+                continue;
+            }
+            self.index_file(&path)?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Index one model file under its file stem.
+    pub fn index_file(&self, path: &Path) -> Result<Arc<StoredModel>> {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| {
+                ServeError::Protocol(format!("model file {} has no UTF-8 stem", path.display()))
+            })?
+            .to_string();
+        let mut reader = BufReader::new(std::fs::File::open(path)?);
+        let meta = persist::read_meta(&mut reader)?;
+        if !self.registry.contains(&meta.method) {
+            return Err(ServeError::Core(mvcore::CoreError::UnknownEstimator {
+                name: meta.method,
+                known: self
+                    .registry
+                    .names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            }));
+        }
+        let entry = Arc::new(StoredModel {
+            name: name.clone(),
+            meta,
+            path: Some(path.to_path_buf()),
+            model: Mutex::new(None),
+        });
+        self.entries
+            .write()
+            .expect("store lock")
+            .insert(name, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Insert an already-fitted model under a name (no disk backing).
+    pub fn insert(&self, name: impl Into<String>, model: Box<dyn MultiViewModel>) {
+        let name = name.into();
+        let meta = ModelMeta {
+            method: model.name().to_string(),
+            dim: model.dim(),
+            num_views: model.num_views(),
+            input_kind: model.input_kind(),
+            payload_len: 0,
+            checksum: 0,
+        };
+        let entry = Arc::new(StoredModel {
+            name: name.clone(),
+            meta,
+            path: None,
+            model: Mutex::new(Some(Arc::from(model))),
+        });
+        self.entries
+            .write()
+            .expect("store lock")
+            .insert(name, entry);
+    }
+
+    /// Serialize a model into `dir/name.mvm` and index it. Returns the entry.
+    pub fn save(
+        &self,
+        dir: impl AsRef<Path>,
+        name: &str,
+        model: &dyn MultiViewModel,
+    ) -> Result<Arc<StoredModel>> {
+        let path = dir.as_ref().join(format!("{name}.{MODEL_EXTENSION}"));
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        model.save(&mut file)?;
+        std::io::Write::flush(&mut file)?;
+        self.index_file(&path)
+    }
+
+    /// All model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries
+            .read()
+            .expect("store lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The entry for a name (metadata without forcing a load).
+    pub fn entry(&self, name: &str) -> Result<Arc<StoredModel>> {
+        self.entries
+            .read()
+            .expect("store lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: name.to_string(),
+                known: self.names(),
+            })
+    }
+
+    /// The loaded model for a name, deserializing the file payload on first use.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn MultiViewModel>> {
+        let entry = self.entry(name)?;
+        let mut slot = entry.model.lock().expect("store entry lock");
+        if let Some(model) = slot.as_ref() {
+            return Ok(Arc::clone(model));
+        }
+        let path = entry.path.as_ref().ok_or_else(|| {
+            ServeError::Protocol(format!("model {name:?} has neither payload nor path"))
+        })?;
+        let mut reader = BufReader::new(std::fs::File::open(path)?);
+        let model: Arc<dyn MultiViewModel> = Arc::from(self.registry.load_model(&mut reader)?);
+        *slot = Some(Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// The registry used to load models.
+    pub fn registry(&self) -> &EstimatorRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{secstr_dataset, SecStrConfig};
+    use linalg::Matrix;
+    use mvcore::FitSpec;
+
+    fn fixture_views() -> Vec<Matrix> {
+        let data = secstr_dataset(&SecStrConfig {
+            n_instances: 30,
+            seed: 9,
+            difficulty: 0.8,
+        });
+        data.views()
+            .iter()
+            .map(|v| v.select_rows(&(0..8.min(v.rows())).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcca-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_index_and_lazy_load() {
+        let dir = tmp_dir("roundtrip");
+        let views = fixture_views();
+        let registry = EstimatorRegistry::with_builtin();
+        let spec = FitSpec::with_rank(2).epsilon(1e-2).seed(4);
+        let model = registry.fit("PCA", &views, &spec).unwrap();
+        let expected = model.transform(&views).unwrap();
+
+        let store = ModelStore::new(EstimatorRegistry::with_builtin());
+        store.save(&dir, "pca-demo", model.as_ref()).unwrap();
+
+        // A second store discovers the file by scanning the directory.
+        let store2 = ModelStore::open(EstimatorRegistry::with_builtin(), &dir).unwrap();
+        assert_eq!(store2.names(), vec!["pca-demo".to_string()]);
+        let entry = store2.entry("pca-demo").unwrap();
+        assert_eq!(entry.meta().method, "PCA");
+        assert_ne!(entry.meta().checksum, 0);
+        assert!(
+            !entry.is_loaded(),
+            "metadata read must not load the payload"
+        );
+
+        let loaded = store2.get("pca-demo").unwrap();
+        assert!(entry.is_loaded());
+        let z = loaded.transform(&views).unwrap();
+        assert_eq!(z, expected);
+
+        // Unknown names list what is available.
+        let err = store2.get("nope").map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("pca-demo"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn insert_serves_in_memory_models() {
+        let views = fixture_views();
+        let registry = EstimatorRegistry::with_builtin();
+        let model = registry.fit("CAT", &views, &FitSpec::with_rank(2)).unwrap();
+        let store = ModelStore::new(EstimatorRegistry::with_builtin());
+        store.insert("cat", model);
+        let entry = store.entry("cat").unwrap();
+        assert_eq!(entry.meta().method, "CAT");
+        assert!(entry.is_loaded());
+        assert!(store.get("cat").unwrap().transform(&views).is_ok());
+    }
+
+    #[test]
+    fn non_model_files_are_skipped_and_corrupt_headers_error() {
+        let dir = tmp_dir("corrupt");
+        std::fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        let store = ModelStore::open(EstimatorRegistry::with_builtin(), &dir).unwrap();
+        assert!(store.names().is_empty());
+
+        std::fs::write(dir.join("bad.mvm"), b"not a model at all").unwrap();
+        let err = ModelStore::open(EstimatorRegistry::with_builtin(), &dir)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

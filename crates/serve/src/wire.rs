@@ -1,0 +1,411 @@
+//! The binary wire protocol spoken by [`crate::Server`] and [`crate::Client`].
+//!
+//! Every message travels in one **frame**: a `u32` little-endian payload length
+//! followed by that many payload bytes (capped at 1 GiB — a corrupt length must not
+//! drive a huge allocation). The payload's first byte is an opcode; matrices are
+//! `u64 rows, u64 cols` followed by row-major IEEE-754 `f64` bit patterns, exactly
+//! like the `MVTC` persistence format, so embeddings survive the wire bit-for-bit.
+//!
+//! Requests:
+//!
+//! | opcode | message | layout |
+//! |---|---|---|
+//! | 1 | `Transform` | name (`u32` + UTF-8), `u32` input count, matrices |
+//! | 2 | `ListModels` | — |
+//! | 3 | `Ping` | — |
+//!
+//! Responses:
+//!
+//! | opcode | message | layout |
+//! |---|---|---|
+//! | 0 | `Embedding` | one matrix |
+//! | 1 | `Error` | message (`u32` + UTF-8) |
+//! | 2 | `Models` | `u32` count, then per model: name, method, `u64` dim, `u32` views, `u8` kind |
+//! | 3 | `Pong` | — |
+
+use crate::{Result, ServeError};
+use linalg::Matrix;
+use mvcore::InputKind;
+use std::io::{Read, Write};
+
+/// Maximum accepted frame payload (1 GiB).
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// A request from client to server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Project instances through the named model.
+    Transform {
+        /// Store name of the model.
+        model: String,
+        /// One matrix per view (features × instances) or per kernel block
+        /// (instances × train instances), matching the model's input kind.
+        inputs: Vec<Matrix>,
+    },
+    /// Ask for the store's model catalog.
+    ListModels,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Catalog entry returned by [`Response::Models`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Store name (file stem).
+    pub name: String,
+    /// Method display name (registry key).
+    pub method: String,
+    /// Embedding width.
+    pub dim: usize,
+    /// Number of input matrices `transform` expects.
+    pub num_views: usize,
+    /// Input kind expected by `transform`.
+    pub input_kind: InputKind,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The embedding produced by a `Transform` request.
+    Embedding(Matrix),
+    /// The request failed; human-readable reason.
+    Error(String),
+    /// The store catalog.
+    Models(Vec<ModelInfo>),
+    /// Reply to `Ping`.
+    Pong,
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    push_u64(out, m.rows() as u64);
+    push_u64(out, m.cols() as u64);
+    out.reserve(m.as_slice().len() * 8);
+    for &x in m.as_slice() {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        match end {
+            Some(end) => {
+                let s = &self.data[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(ServeError::Protocol(format!(
+                "frame truncated while reading {what}"
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        let n = self.u32(what)? as usize;
+        String::from_utf8(self.take(n, what)?.to_vec())
+            .map_err(|_| ServeError::Protocol(format!("{what} is not valid UTF-8")))
+    }
+
+    fn matrix(&mut self, what: &str) -> Result<Matrix> {
+        let rows = self.u64(what)? as usize;
+        let cols = self.u64(what)? as usize;
+        let n = rows
+            .checked_mul(cols)
+            .filter(|&n| n as u64 * 8 <= u64::from(MAX_FRAME_LEN))
+            .ok_or_else(|| ServeError::Protocol(format!("{what} shape is absurd")))?;
+        let bytes = self.take(n * 8, what)?;
+        let data = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+            .map_err(|e| ServeError::Protocol(format!("bad {what}: {e}")))
+    }
+
+    fn finish(self, what: &str) -> Result<()> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(ServeError::Protocol(format!(
+                "{} trailing bytes after {what}",
+                self.data.len() - self.pos
+            )))
+        }
+    }
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Transform { model, inputs } => {
+                out.push(1);
+                push_str(&mut out, model);
+                push_u32(&mut out, inputs.len() as u32);
+                for m in inputs {
+                    push_matrix(&mut out, m);
+                }
+            }
+            Request::ListModels => out.push(2),
+            Request::Ping => out.push(3),
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut c = Cursor {
+            data: payload,
+            pos: 0,
+        };
+        let req = match c.u8("request opcode")? {
+            1 => {
+                let model = c.string("model name")?;
+                let count = c.u32("input count")? as usize;
+                let inputs = (0..count)
+                    .map(|_| c.matrix("input matrix"))
+                    .collect::<Result<Vec<_>>>()?;
+                Request::Transform { model, inputs }
+            }
+            2 => Request::ListModels,
+            3 => Request::Ping,
+            op => return Err(ServeError::Protocol(format!("unknown request opcode {op}"))),
+        };
+        c.finish("request")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Embedding(m) => {
+                out.push(0);
+                push_matrix(&mut out, m);
+            }
+            Response::Error(msg) => {
+                out.push(1);
+                push_str(&mut out, msg);
+            }
+            Response::Models(models) => {
+                out.push(2);
+                push_u32(&mut out, models.len() as u32);
+                for info in models {
+                    push_str(&mut out, &info.name);
+                    push_str(&mut out, &info.method);
+                    push_u64(&mut out, info.dim as u64);
+                    push_u32(&mut out, info.num_views as u32);
+                    out.push(match info.input_kind {
+                        InputKind::Views => 0,
+                        InputKind::Kernels => 1,
+                    });
+                }
+            }
+            Response::Pong => out.push(3),
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut c = Cursor {
+            data: payload,
+            pos: 0,
+        };
+        let resp = match c.u8("response opcode")? {
+            0 => Response::Embedding(c.matrix("embedding")?),
+            1 => Response::Error(c.string("error message")?),
+            2 => {
+                let count = c.u32("model count")? as usize;
+                let mut models = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = c.string("model name")?;
+                    let method = c.string("method name")?;
+                    let dim = c.u64("dim")? as usize;
+                    let num_views = c.u32("num_views")? as usize;
+                    let input_kind = match c.u8("input kind")? {
+                        0 => InputKind::Views,
+                        1 => InputKind::Kernels,
+                        k => {
+                            return Err(ServeError::Protocol(format!(
+                                "unknown input-kind byte {k}"
+                            )))
+                        }
+                    };
+                    models.push(ModelInfo {
+                        name,
+                        method,
+                        dim,
+                        num_views,
+                        input_kind,
+                    });
+                }
+                Response::Models(models)
+            }
+            3 => Response::Pong,
+            op => {
+                return Err(ServeError::Protocol(format!(
+                    "unknown response opcode {op}"
+                )))
+            }
+        };
+        c.finish("response")?;
+        Ok(resp)
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> Result<()> {
+    if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
+        return Err(ServeError::Protocol(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. Returns `None` on a clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame(r: &mut dyn Read) -> Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ServeError::Protocol(
+                    "connection closed mid frame header".into(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::Protocol("connection closed mid frame payload".into())
+        } else {
+            ServeError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_rows(&[vec![1.5, -2.0, 0.0], vec![f64::MIN_POSITIVE, 7.0, -0.0]]).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Transform {
+                model: "tcca-prod".into(),
+                inputs: vec![sample_matrix(), Matrix::zeros(1, 3)],
+            },
+            Request::ListModels,
+            Request::Ping,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Embedding(sample_matrix()),
+            Response::Error("boom".into()),
+            Response::Models(vec![ModelInfo {
+                name: "m".into(),
+                method: "KTCCA".into(),
+                dim: 6,
+                num_views: 3,
+                input_kind: InputKind::Kernels,
+            }]),
+            Response::Pong,
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"abc");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // Length field says 8 bytes but only 3 follow.
+        let mut buf = 8u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+
+        // Oversized length is refused before allocating.
+        let buf = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+
+        // Unknown opcode and trailing junk.
+        assert!(Request::decode(&[99]).is_err());
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(Request::decode(&payload).is_err());
+    }
+}

@@ -110,6 +110,29 @@ impl Ktcca {
         })
     }
 
+    /// Rebuild a fitted model from its parts (the persistence path). Every dual
+    /// coefficient matrix must have `n_train` rows.
+    pub fn from_parts(
+        coefficients: Vec<Matrix>,
+        correlations: Vec<f64>,
+        n_train: usize,
+    ) -> Result<Self> {
+        for (p, a) in coefficients.iter().enumerate() {
+            if a.rows() != n_train {
+                return Err(TccaError::InvalidInput(format!(
+                    "coefficients {p} have {} rows but the model was trained on {n_train} \
+                     instances",
+                    a.rows()
+                )));
+            }
+        }
+        Ok(Self {
+            coefficients,
+            correlations,
+            n_train,
+        })
+    }
+
     /// Canonical correlations of the fitted components.
     pub fn correlations(&self) -> &[f64] {
         &self.correlations

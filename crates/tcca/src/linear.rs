@@ -192,6 +192,42 @@ impl Tcca {
         })
     }
 
+    /// Rebuild a fitted model from its parts (the persistence path).
+    pub fn from_parts(
+        means: Vec<Vec<f64>>,
+        projections: Vec<Matrix>,
+        correlations: Vec<f64>,
+        options: TccaOptions,
+    ) -> Result<Self> {
+        if means.len() != projections.len() {
+            return Err(TccaError::InvalidInput(format!(
+                "{} means but {} projections",
+                means.len(),
+                projections.len()
+            )));
+        }
+        for (p, (mean, proj)) in means.iter().zip(projections.iter()).enumerate() {
+            if mean.len() != proj.rows() {
+                return Err(TccaError::InvalidInput(format!(
+                    "view {p}: mean has {} entries but projection has {} rows",
+                    mean.len(),
+                    proj.rows()
+                )));
+            }
+        }
+        Ok(Self {
+            means,
+            projections,
+            correlations,
+            options,
+        })
+    }
+
+    /// The per-view training means subtracted before projecting.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
     /// The canonical correlations `ρ_k` discovered by the decomposition (one per
     /// component, sorted by decreasing magnitude).
     pub fn correlations(&self) -> &[f64] {

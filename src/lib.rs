@@ -17,6 +17,10 @@
 //! * [`datasets`] — synthetic multi-view generators emulating the paper's SecStr, Ads
 //!   and NUS-WIDE benchmarks, plus kernels and split helpers.
 //! * [`learners`] — the downstream RLS and kNN classifiers and the evaluation protocol.
+//! * [`serve`] — model persistence ([`prelude::ModelStore`]) and the micro-batching
+//!   TCP transform server behind the `tcca_serve` binary; fitted models `save` into
+//!   the versioned `MVTC` format and load back through the registry with
+//!   bit-identical `transform` output.
 //!
 //! See `examples/` for runnable end-to-end walkthroughs and the `tcca-bench` crate for
 //! the harness that regenerates every table and figure of the paper.
@@ -48,6 +52,7 @@ pub use datasets;
 pub use learners;
 pub use linalg;
 pub use mvcore;
+pub use serve;
 pub use tcca;
 pub use tensor;
 
@@ -64,6 +69,7 @@ pub mod prelude {
         CombineRule, CoreError, EstimatorRegistry, FitSpec, InputKind, MemoryModel,
         MultiViewEstimator, MultiViewModel, Output, Pipeline,
     };
+    pub use serve::{BatchConfig, BatchEngine, Client, ModelStore, Server};
     pub use tcca::{DecompositionMethod, Ktcca, KtccaOptions, Tcca, TccaOptions};
     pub use tensor::{CpAls, DenseTensor, Hopm, RankRDecomposition, TensorPowerMethod};
 }
