@@ -129,6 +129,10 @@ impl MultiViewModel for BsfModel {
             .collect())
     }
 
+    fn output_labels(&self) -> Vec<String> {
+        (0..self.dims.len()).map(|p| format!("view{p}")).collect()
+    }
+
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
@@ -295,6 +299,10 @@ impl MultiViewModel for BskModel {
             .collect())
     }
 
+    fn output_labels(&self) -> Vec<String> {
+        (0..self.m).map(|p| format!("kernel{p}")).collect()
+    }
+
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
@@ -386,6 +394,10 @@ impl MultiViewModel for AvgKernelModel {
         }
         let avg = average_kernels(kernels);
         Ok(vec![Output::Distances(kernel_to_distances(&avg))])
+    }
+
+    fn output_labels(&self) -> Vec<String> {
+        vec!["averaged-kernel".to_string()]
     }
 
     fn combine(&self) -> CombineRule {

@@ -138,6 +138,14 @@ impl MultiViewModel for PairwiseKccaModel {
             .collect())
     }
 
+    fn output_labels(&self) -> Vec<String> {
+        self.inner
+            .pairs()
+            .iter()
+            .map(|(p, q)| format!("pair({p},{q})"))
+            .collect()
+    }
+
     fn combine(&self) -> CombineRule {
         self.rule
     }

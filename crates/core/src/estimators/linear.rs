@@ -173,6 +173,14 @@ impl MultiViewModel for PairwiseCcaModel {
             .collect())
     }
 
+    fn output_labels(&self) -> Vec<String> {
+        self.inner
+            .pairs()
+            .iter()
+            .map(|(p, q)| format!("pair({p},{q})"))
+            .collect()
+    }
+
     fn combine(&self) -> CombineRule {
         self.rule
     }

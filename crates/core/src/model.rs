@@ -114,6 +114,17 @@ pub trait MultiViewModel: Send + Sync {
         Ok(vec![Output::Embedding(self.transform(views)?)])
     }
 
+    /// Human-readable names for the candidates returned by
+    /// [`MultiViewModel::outputs`], parallel to that vector. The serving layer
+    /// attaches these labels to multi-candidate replies so clients can tell the
+    /// per-view / per-pair candidates apart. The default single-embedding case is
+    /// labelled `"embedding"`; implementations whose candidate count depends on the
+    /// fitted state override this (per-view baselines, pairwise CCA/KCCA). A
+    /// mismatch in length falls back to positional `candidate{i}` labels downstream.
+    fn output_labels(&self) -> Vec<String> {
+        vec!["embedding".to_string()]
+    }
+
     /// How this model's candidates are combined downstream.
     fn combine(&self) -> CombineRule {
         CombineRule::SelectBest

@@ -237,6 +237,10 @@ impl MultiViewModel for PipelineModel {
         self.inner.outputs(&self.reduce(views)?)
     }
 
+    fn output_labels(&self) -> Vec<String> {
+        self.inner.output_labels()
+    }
+
     fn combine(&self) -> CombineRule {
         self.inner.combine()
     }

@@ -61,8 +61,14 @@ impl Pool {
     /// `TCCA_NUM_THREADS` bounds serving concurrency exactly as it bounds the dense
     /// kernels). Created on first use and never torn down.
     pub fn global() -> &'static Pool {
-        static GLOBAL: OnceLock<Pool> = OnceLock::new();
-        GLOBAL.get_or_init(|| Pool::new(crate::max_threads()))
+        global_arc()
+    }
+
+    /// The [`Pool::global`] pool behind a cloneable handle — the shape components
+    /// that *default* to the shared pool but accept a dedicated one (a serving
+    /// shard's private execution pool) want to store.
+    pub fn shared() -> Arc<Pool> {
+        Arc::clone(global_arc())
     }
 
     /// Number of worker threads.
@@ -114,6 +120,13 @@ impl Drop for Pool {
         drop(state);
         self.inner.wake.notify_all();
     }
+}
+
+/// Backing storage for [`Pool::global`] / [`Pool::shared`]: one `Arc` in a static,
+/// so the `&'static` and the cloneable handle are the same pool.
+fn global_arc() -> &'static Arc<Pool> {
+    static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Pool::new(crate::max_threads())))
 }
 
 fn worker_loop(inner: &PoolInner) {
@@ -210,5 +223,9 @@ mod tests {
         assert!(std::ptr::eq(a, b));
         assert_eq!(a.workers(), crate::max_threads());
         assert_eq!(a.run(|| 5), 5);
+        // The cloneable handle is the same pool, not a second one.
+        let c = Pool::shared();
+        assert!(std::ptr::eq(a, &*c));
+        assert_eq!(c.run(|| 8), 8);
     }
 }

@@ -1,20 +1,27 @@
-//! [`BatchEngine`]: micro-batching transform execution on one shared thread pool.
+//! [`BatchEngine`]: micro-batching transform execution on a bounded thread pool.
 //!
 //! Transform requests are tiny (often a handful of instances) while the dense kernels
 //! amortize best over many columns. The engine therefore **coalesces** concurrent
-//! requests for the same model into one batched `transform`:
+//! requests for the same model into one batched call:
 //!
 //! 1. a dispatcher thread pops the oldest pending request, opening a batch for that
-//!    request's model,
-//! 2. it keeps absorbing queued requests for the *same* model until the batch holds
+//!    request's `(model, op)` key — full transforms and per-view projections batch
+//!    separately,
+//! 2. it keeps absorbing queued requests for the *same* key until the batch holds
 //!    [`BatchConfig::max_batch`] instances or [`BatchConfig::max_wait`] has elapsed
 //!    since the batch opened,
 //! 3. the batch is stitched together along the instance axis — `hstack` of the
 //!    per-view matrices for feature-view models, `vstack` of kernel blocks for
-//!    kernel models — and executed as **one** `transform` call on the process-wide
-//!    [`parallel::Pool`], so concurrent fits and transforms share a single thread
-//!    pool instead of oversubscribing the machine,
+//!    kernel models; a `transform_view` batch stitches **one** view instead of all
+//!    `m` — and executed as **one** model call on the engine's [`parallel::Pool`]
+//!    ([`Pool::shared`] by default, a dedicated pool per router shard), so
+//!    concurrent fits and transforms share bounded pools instead of
+//!    oversubscribing the machine,
 //! 4. the embedding rows are split back per request.
+//!
+//! Submission is **callback-based** ([`BatchEngine::submit_transform`] and
+//! friends): the submitter never blocks, which is what the poll-loop server needs.
+//! Blocking wrappers ([`BatchEngine::transform`], …) remain for direct callers.
 //!
 //! If a batched call fails (e.g. a transductive DSE model that only accepts its
 //! exact training batch, or one malformed request in the batch), the engine falls
@@ -23,14 +30,22 @@
 //! beyond queue order: each batch is dispatched to the pool asynchronously and the
 //! dispatcher immediately opens the next one.
 
+use crate::wire::{CandidateKind, NamedOutput};
 use crate::{ModelStore, Result, ServeError};
 use linalg::Matrix;
-use mvcore::{InputKind, MultiViewModel};
+use mvcore::{InputKind, MultiViewModel, Output};
+use parallel::Pool;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Completion callback for an asynchronously submitted transform. Invoked exactly
+/// once, from a pool worker (or from the dispatcher/submitter on fast-fail paths).
+pub type ReplyCallback = Box<dyn FnOnce(Result<Matrix>) + Send + 'static>;
+
+/// Completion callback for an `outputs` request: the model's named candidates.
+pub type OutputsCallback = Box<dyn FnOnce(Result<Vec<NamedOutput>>) + Send + 'static>;
 
 /// Micro-batching knobs.
 #[derive(Debug, Clone, Copy)]
@@ -63,15 +78,28 @@ pub struct EngineStats {
     pub fallbacks: usize,
 }
 
+/// What a pending request asks the model to do — part of the batching key, so
+/// full transforms and per-view projections never coalesce with each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchOp {
+    /// `model.transform(all views)`.
+    Transform,
+    /// `model.transform_view(v, view)` — single-view requests carry exactly one
+    /// matrix, so batching them stitches **one** view instead of all `m`.
+    View(usize),
+}
+
 struct Pending {
     model: String,
+    op: BatchOp,
     inputs: Vec<Matrix>,
-    reply: SyncSender<Result<Matrix>>,
+    reply: ReplyCallback,
 }
 
 struct Shared {
     store: Arc<ModelStore>,
     config: BatchConfig,
+    pool: Arc<Pool>,
     queue: Mutex<VecDeque<Pending>>,
     wake: Condvar,
     stop: AtomicBool,
@@ -88,14 +116,23 @@ pub struct BatchEngine {
 }
 
 impl BatchEngine {
-    /// Start the engine's dispatcher thread over a store.
+    /// Start the engine's dispatcher thread over a store, executing batches on the
+    /// process-wide [`Pool::shared`].
     pub fn start(store: Arc<ModelStore>, config: BatchConfig) -> Self {
+        Self::start_with_pool(store, config, Pool::shared())
+    }
+
+    /// Start the engine on a dedicated execution pool. A sharded router gives each
+    /// in-process shard its own pool so one shard's heavy batch cannot starve its
+    /// siblings' execution slots.
+    pub fn start_with_pool(store: Arc<ModelStore>, config: BatchConfig, pool: Arc<Pool>) -> Self {
         let shared = Arc::new(Shared {
             store,
             config: BatchConfig {
                 max_batch: config.max_batch.max(1),
                 max_wait: config.max_wait,
             },
+            pool,
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -114,21 +151,28 @@ impl BatchEngine {
         }
     }
 
-    /// Project instances through a stored model, transparently coalescing with
-    /// concurrent requests for the same model. Blocks until the result is ready.
-    pub fn transform(&self, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
-        if self.shared.stop.load(Ordering::SeqCst) {
-            return Err(ServeError::EngineStopped);
-        }
+    /// Enqueue an op, or fast-fail the callback without queueing.
+    fn enqueue(&self, model: &str, op: BatchOp, inputs: Vec<Matrix>, reply: ReplyCallback) {
         // Resolve the name eagerly so unknown models fail fast with the catalog.
-        self.shared.store.entry(model)?;
-        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        if let Err(e) = self.shared.store.entry(model) {
+            return reply(Err(e));
+        }
         {
             let mut queue = self.shared.queue.lock().expect("engine queue lock");
+            // The stop check happens *under the queue lock*: the dispatcher drains
+            // the queue under this lock before exiting, so a request either lands
+            // in the queue in time to be failed by that drain, or observes the
+            // flag here — it can never be pushed after the drain and stranded with
+            // its callback forever uncalled.
+            if self.shared.stop.load(Ordering::SeqCst) {
+                drop(queue);
+                return reply(Err(ServeError::EngineStopped));
+            }
             queue.push_back(Pending {
                 model: model.to_string(),
+                op,
                 inputs,
-                reply: tx,
+                reply,
             });
             self.shared
                 .stats
@@ -137,7 +181,91 @@ impl BatchEngine {
                 .requests += 1;
         }
         self.shared.wake.notify_one();
+    }
+
+    /// Asynchronously project instances through a stored model, transparently
+    /// coalescing with concurrent requests for the same model. The callback runs
+    /// when the result is ready — the submitting thread never blocks, which is what
+    /// the event-loop server needs.
+    pub fn submit_transform(&self, model: &str, inputs: Vec<Matrix>, reply: ReplyCallback) {
+        self.enqueue(model, BatchOp::Transform, inputs, reply);
+    }
+
+    /// Asynchronously project a *single* view through the model's per-view
+    /// projection. Concurrent single-view requests for the same `(model, view)`
+    /// coalesce into one `transform_view` call that stitches only this view —
+    /// skipping the other `m − 1` per-view stitch allocations a full `transform`
+    /// batch would pay.
+    pub fn submit_transform_view(
+        &self,
+        model: &str,
+        which: usize,
+        input: Matrix,
+        reply: ReplyCallback,
+    ) {
+        self.enqueue(model, BatchOp::View(which), vec![input], reply);
+    }
+
+    /// Asynchronously compute all named candidate outputs. Multi-candidate requests
+    /// are comparatively rare and heterogeneous, so they skip the micro-batcher and
+    /// run directly on the pool.
+    pub fn submit_outputs(&self, model: &str, inputs: Vec<Matrix>, reply: OutputsCallback) {
+        if self.shared.stop.load(Ordering::SeqCst) {
+            return reply(Err(ServeError::EngineStopped));
+        }
+        if let Err(e) = self.shared.store.entry(model) {
+            return reply(Err(e));
+        }
+        self.shared
+            .stats
+            .lock()
+            .expect("engine stats lock")
+            .requests += 1;
+        let store = Arc::clone(&self.shared.store);
+        let model = model.to_string();
+        self.shared.pool.spawn(move || {
+            let result = store
+                .get(&model)
+                .and_then(|m| named_outputs(m.as_ref(), &inputs));
+            reply(result);
+        });
+    }
+
+    /// Project instances through a stored model, transparently coalescing with
+    /// concurrent requests for the same model. Blocks until the result is ready.
+    /// (Do not call from a pool worker of this engine's own pool — batches execute
+    /// there, and blocking a worker on its own queue can deadlock.)
+    pub fn transform(&self, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit_transform(model, inputs, Box::new(move |r| drop(tx.send(r))));
         rx.recv().map_err(|_| ServeError::EngineStopped)?
+    }
+
+    /// Blocking counterpart of [`BatchEngine::submit_transform_view`].
+    pub fn transform_view(&self, model: &str, which: usize, input: Matrix) -> Result<Matrix> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit_transform_view(model, which, input, Box::new(move |r| drop(tx.send(r))));
+        rx.recv().map_err(|_| ServeError::EngineStopped)?
+    }
+
+    /// Blocking counterpart of [`BatchEngine::submit_outputs`].
+    pub fn outputs(&self, model: &str, inputs: Vec<Matrix>) -> Result<Vec<NamedOutput>> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit_outputs(model, inputs, Box::new(move |r| drop(tx.send(r))));
+        rx.recv().map_err(|_| ServeError::EngineStopped)?
+    }
+
+    /// Stop accepting work and fail queued requests with
+    /// [`ServeError::EngineStopped`]. Used by the router to simulate/realize shard
+    /// death; idempotent.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+    }
+
+    /// Whether [`BatchEngine::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
     }
 
     /// Counters since start.
@@ -149,16 +277,47 @@ impl BatchEngine {
     pub fn store(&self) -> &Arc<ModelStore> {
         &self.shared.store
     }
+
+    /// The pool batches execute on.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.shared.pool
+    }
 }
 
 impl Drop for BatchEngine {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.wake.notify_all();
+        self.stop();
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
         }
     }
+}
+
+/// Attach the model's labels to its candidates (positional fallback on mismatch).
+fn named_outputs(model: &dyn MultiViewModel, inputs: &[Matrix]) -> Result<Vec<NamedOutput>> {
+    let outputs = model.outputs(inputs)?;
+    let labels = model.output_labels();
+    let labelled = labels.len() == outputs.len();
+    Ok(outputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, out)| {
+            let label = if labelled {
+                labels[i].clone()
+            } else {
+                format!("candidate{i}")
+            };
+            let (kind, matrix) = match out {
+                Output::Embedding(m) => (CandidateKind::Embedding, m),
+                Output::Distances(d) => (CandidateKind::Distances, d),
+            };
+            NamedOutput {
+                label,
+                kind,
+                matrix,
+            }
+        })
+        .collect())
 }
 
 /// Number of instances a request contributes, along the model's batching axis.
@@ -172,15 +331,22 @@ fn request_instances(kind: InputKind, inputs: &[Matrix]) -> usize {
 
 fn dispatch_loop(shared: &Shared) {
     loop {
-        // Wait for the first request of the next batch.
+        // Wait for the first request of the next batch. On stop, fail everything
+        // still queued with `EngineStopped` *under the queue lock* (paired with the
+        // in-lock stop check in `enqueue`) so no callback is ever stranded.
         let first = {
             let mut queue = shared.queue.lock().expect("engine queue lock");
             loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    let drained: Vec<Pending> = queue.drain(..).collect();
+                    drop(queue);
+                    for pending in drained {
+                        (pending.reply)(Err(ServeError::EngineStopped));
+                    }
+                    return;
+                }
                 if let Some(p) = queue.pop_front() {
                     break p;
-                }
-                if shared.stop.load(Ordering::SeqCst) {
-                    return;
                 }
                 queue = shared.wake.wait(queue).expect("engine queue lock");
             }
@@ -193,12 +359,13 @@ fn dispatch_loop(shared: &Shared) {
         let kind = match shared.store.entry(&first.model) {
             Ok(entry) => entry.meta().input_kind,
             Err(e) => {
-                let _ = first.reply.send(Err(e));
+                (first.reply)(Err(e));
                 continue;
             }
         };
 
-        // Absorb same-model requests until the batch is full or the window closes.
+        // Absorb same-(model, op) requests until the batch is full or the window
+        // closes.
         let mut batch = vec![first];
         let mut instances = request_instances(kind, &batch[0].inputs);
         let deadline = Instant::now() + shared.config.max_wait;
@@ -208,7 +375,7 @@ fn dispatch_loop(shared: &Shared) {
                 while instances < shared.config.max_batch {
                     let next = queue
                         .iter()
-                        .position(|p| p.model == batch[0].model)
+                        .position(|p| p.model == batch[0].model && p.op == batch[0].op)
                         .and_then(|i| queue.remove(i));
                     match next {
                         Some(p) => {
@@ -235,7 +402,7 @@ fn dispatch_loop(shared: &Shared) {
             }
         }
 
-        // Execute asynchronously on the shared pool; the dispatcher moves on.
+        // Execute asynchronously on the engine's pool; the dispatcher moves on.
         {
             let mut stats = shared.stats.lock().expect("engine stats lock");
             stats.batches += 1;
@@ -245,7 +412,24 @@ fn dispatch_loop(shared: &Shared) {
         }
         let stats = Arc::clone(&shared.stats);
         let store = Arc::clone(&shared.store);
-        parallel::Pool::global().spawn(move || execute_batch(&store, kind, batch, &stats));
+        shared
+            .pool
+            .spawn(move || execute_batch(&store, kind, batch, &stats));
+    }
+}
+
+/// Run one request alone (the no-coalescing and fallback path).
+fn run_single(model: &dyn MultiViewModel, op: BatchOp, inputs: &[Matrix]) -> Result<Matrix> {
+    match op {
+        BatchOp::Transform => model.transform(inputs).map_err(ServeError::from),
+        BatchOp::View(v) => model
+            .transform_view(
+                v,
+                inputs.first().ok_or_else(|| {
+                    ServeError::Protocol("single-view request carries no matrix".into())
+                })?,
+            )
+            .map_err(ServeError::from),
     }
 }
 
@@ -262,24 +446,23 @@ fn execute_batch(
             // failure to every waiter as a persistence error message.
             let msg = e.to_string();
             for pending in batch {
-                let _ = pending
-                    .reply
-                    .send(Err(mvcore::CoreError::Persist(msg.clone()).into()));
+                (pending.reply)(Err(mvcore::CoreError::Persist(msg.clone()).into()));
             }
             return;
         }
     };
     if batch.len() == 1 {
-        let Pending { inputs, reply, .. } = batch.into_iter().next().expect("one request");
-        let result = model.transform(&inputs).map_err(ServeError::from);
-        let _ = reply.send(result);
+        let Pending {
+            op, inputs, reply, ..
+        } = batch.into_iter().next().expect("one request");
+        reply(run_single(model.as_ref(), op, &inputs));
         return;
     }
 
     match run_coalesced(model.as_ref(), kind, &batch) {
         Ok(embeddings) => {
             for (pending, z) in batch.into_iter().zip(embeddings) {
-                let _ = pending.reply.send(Ok(z));
+                (pending.reply)(Ok(z));
             }
         }
         Err(_) => {
@@ -287,8 +470,8 @@ fn execute_batch(
             // individually.
             stats.lock().expect("engine stats lock").fallbacks += 1;
             for pending in batch {
-                let result = model.transform(&pending.inputs).map_err(ServeError::from);
-                let _ = pending.reply.send(result);
+                let result = run_single(model.as_ref(), pending.op, &pending.inputs);
+                (pending.reply)(result);
             }
         }
     }
@@ -352,26 +535,44 @@ fn stitch_view(kind: InputKind, batch: &[Pending], v: usize) -> Result<Matrix> {
     }
 }
 
-/// Stitch the batch along the instance axis, run one `transform`, split the rows.
+/// Stitch the batch along the instance axis, run one model call, split the rows.
+/// For [`BatchOp::Transform`] every view is stitched; for [`BatchOp::View`] the
+/// batch carries exactly one matrix per request and only *that* view is stitched —
+/// the per-view `hstack` allocations for the other `m − 1` views never happen.
 fn run_coalesced(
     model: &dyn MultiViewModel,
     kind: InputKind,
     batch: &[Pending],
 ) -> Result<Vec<Matrix>> {
-    let views = model.num_views();
-    for p in batch {
-        if p.inputs.len() != views {
-            return Err(ServeError::Protocol(format!(
-                "request has {} inputs, model expects {views}",
-                p.inputs.len()
-            )));
+    let z = match batch[0].op {
+        BatchOp::Transform => {
+            let views = model.num_views();
+            for p in batch {
+                if p.inputs.len() != views {
+                    return Err(ServeError::Protocol(format!(
+                        "request has {} inputs, model expects {views}",
+                        p.inputs.len()
+                    )));
+                }
+            }
+            let mut stitched = Vec::with_capacity(views);
+            for v in 0..views {
+                stitched.push(stitch_view(kind, batch, v)?);
+            }
+            model.transform(&stitched)?
         }
-    }
-    let mut stitched = Vec::with_capacity(views);
-    for v in 0..views {
-        stitched.push(stitch_view(kind, batch, v)?);
-    }
-    let z = model.transform(&stitched)?;
+        BatchOp::View(which) => {
+            for p in batch {
+                if p.inputs.len() != 1 {
+                    return Err(ServeError::Protocol(format!(
+                        "single-view request carries {} matrices",
+                        p.inputs.len()
+                    )));
+                }
+            }
+            model.transform_view(which, &stitch_view(kind, batch, 0)?)?
+        }
+    };
 
     let mut out = Vec::with_capacity(batch.len());
     let mut row = 0usize;
@@ -505,6 +706,75 @@ mod tests {
         let results: Vec<Matrix> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0].rows(), 32);
+    }
+
+    #[test]
+    fn concurrent_single_view_requests_coalesce_without_full_stitch() {
+        let views = fixture_views();
+        let engine = Arc::new(engine_with("ccals", "CCA-LS", &views));
+        let model = engine.store().get("ccals").unwrap();
+        let direct = model.transform_view(1, &views[1]).unwrap();
+
+        // 8 clients each projecting a distinct 4-instance slice of view 1 only.
+        let mut handles = Vec::new();
+        for c in 0..8usize {
+            let engine = Arc::clone(&engine);
+            let slice = views[1].select_columns(&(4 * c..4 * (c + 1)).collect::<Vec<_>>());
+            handles.push(std::thread::spawn(move || {
+                (c, engine.transform_view("ccals", 1, slice).unwrap())
+            }));
+        }
+        for h in handles {
+            let (c, z) = h.join().unwrap();
+            let expected = direct.select_rows(&(4 * c..4 * (c + 1)).collect::<Vec<_>>());
+            assert_eq!(z, expected, "client {c}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 8);
+        assert!(stats.batches <= stats.requests);
+
+        // Full-transform and single-view requests never coalesce with each other:
+        // a full transform interleaved with view requests still matches direct.
+        let full = engine.transform("ccals", views.clone()).unwrap();
+        assert_eq!(full, model.transform(&views).unwrap());
+
+        // Out-of-range view indexes fail in-band.
+        let err = engine
+            .transform_view("ccals", 99, views[0].clone())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("99"), "{err}");
+    }
+
+    #[test]
+    fn outputs_are_served_with_model_labels() {
+        let views = fixture_views();
+        let engine = engine_with("bsf", "BSF", &views);
+        let outputs = engine.outputs("bsf", views.clone()).unwrap();
+        assert_eq!(outputs.len(), views.len());
+        for (p, candidate) in outputs.iter().enumerate() {
+            assert_eq!(candidate.label, format!("view{p}"));
+            assert_eq!(candidate.kind, crate::wire::CandidateKind::Embedding);
+            assert_eq!(candidate.matrix.rows(), views[p].cols());
+        }
+        // BSF rejects plain transform by design — but outputs() serves it.
+        assert!(engine.transform("bsf", views).is_err());
+    }
+
+    #[test]
+    fn stopped_engine_fails_fast() {
+        let views = fixture_views();
+        let engine = engine_with("pca2", "PCA", &views);
+        engine.stop();
+        assert!(matches!(
+            engine.transform("pca2", views.clone()),
+            Err(ServeError::EngineStopped)
+        ));
+        assert!(matches!(
+            engine.outputs("pca2", views),
+            Err(ServeError::EngineStopped)
+        ));
+        assert!(engine.is_stopped());
     }
 
     #[test]

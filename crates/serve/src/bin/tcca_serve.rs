@@ -2,6 +2,10 @@
 //!
 //! ```text
 //! tcca_serve serve   --models DIR [--addr HOST:PORT] [--max-batch N] [--max-wait-ms M]
+//!                    [--rescan-ms MS] [--payload-budget-mb MB]
+//! tcca_serve route   [--models DIR --shards N] [--shard ADDR ...] [--addr HOST:PORT]
+//!                    [--replication R] [--max-batch N] [--max-wait-ms M]
+//! tcca_serve bench   [--clients N] [--requests N] [--shards N] [--models N] [--out FILE]
 //! tcca_serve embed   --model FILE --view CSV [--view CSV ...] [--out FILE]
 //! tcca_serve inspect --model FILE
 //! tcca_serve demo    --out DIR [--method NAME] [--instances N] [--rank R]
@@ -10,7 +14,18 @@
 //! * `serve` indexes a directory of `.mvm` files and answers length-prefixed frame
 //!   requests (see `serve::wire`), printing `listening on ADDR` once bound — with
 //!   `--addr 127.0.0.1:0` the OS picks the port and the printed line is the source
-//!   of truth (the CI smoke test parses it).
+//!   of truth (the CI smoke test parses it). `--rescan-ms` re-scans the directory on
+//!   that period so new models become servable without a restart; the `Rescan` wire
+//!   op does the same on demand. `--payload-budget-mb` bounds resident payload bytes
+//!   with LRU eviction.
+//! * `route` runs the sharded tier: N in-process shards over `--models`, and/or one
+//!   remote shard per `--shard ADDR` (typically `tcca_serve serve` children).
+//!   Requests shard by model name (rendezvous hashing, `--replication` replicas) and
+//!   fail over when a shard dies. Prints one `shard N: LABEL` line per shard, then
+//!   `listening on ADDR`.
+//! * `bench` measures loopback throughput: a single-process server vs a local
+//!   `--shards`-way router under the same many-client small-request workload, plus
+//!   the batched `transform_view` path vs full `transform`. Emits JSON.
 //! * `embed` is the one-shot offline mode: load one model file, read one CSV per
 //!   view (rows = features, columns = instances, matching the `d × N` layout), and
 //!   write the `N × dim` embedding as CSV to `--out` (default stdout).
@@ -20,17 +35,19 @@
 
 use linalg::Matrix;
 use mvcore::{EstimatorRegistry, FitSpec, MultiViewModel};
-use serve::{BatchConfig, ModelStore, Server};
+use serve::{BatchConfig, Client, ModelStore, Router, RouterBuilder, RouterConfig, Server};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("embed") => cmd_embed(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
@@ -51,6 +68,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   tcca_serve serve   --models DIR [--addr HOST:PORT] [--max-batch N] [--max-wait-ms M]
+                     [--rescan-ms MS] [--payload-budget-mb MB]
+  tcca_serve route   [--models DIR --shards N] [--shard ADDR ...] [--addr HOST:PORT]
+                     [--replication R] [--max-batch N] [--max-wait-ms M]
+  tcca_serve bench   [--clients N] [--requests N] [--shards N] [--models N] [--out FILE]
   tcca_serve embed   --model FILE --view CSV [--view CSV ...] [--out FILE]
   tcca_serve inspect --model FILE
   tcca_serve demo    --out DIR [--method NAME] [--instances N] [--rank R]";
@@ -116,10 +137,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_batch: flags.parsed("max-batch", BatchConfig::default().max_batch)?,
         max_wait: Duration::from_millis(flags.parsed("max-wait-ms", 2u64)?),
     };
+    let rescan_ms: u64 = flags.parsed("rescan-ms", 0)?;
+    let budget_mb: u64 = flags.parsed("payload-budget-mb", 0)?;
     let store = Arc::new(
         ModelStore::open(EstimatorRegistry::with_builtin(), dir)
             .map_err(|e| format!("indexing {dir}: {e}"))?,
     );
+    if budget_mb > 0 {
+        store.set_payload_budget(budget_mb * 1024 * 1024);
+    }
+    if rescan_ms > 0 {
+        let store = Arc::clone(&store);
+        std::thread::Builder::new()
+            .name("tcca-serve-rescan".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(rescan_ms));
+                match store.rescan() {
+                    Ok(report) if report.added + report.removed + report.reloaded > 0 => {
+                        eprintln!(
+                            "tcca_serve: rescan: +{} -{} ~{}",
+                            report.added, report.removed, report.reloaded
+                        );
+                    }
+                    Ok(_) => {}
+                    Err(e) => eprintln!("tcca_serve: rescan failed: {e}"),
+                }
+            })
+            .map_err(|e| format!("spawning the rescan thread: {e}"))?;
+    }
     let names = store.names();
     let server = Server::bind(addr, store, config).map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
@@ -127,6 +172,274 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("listening on {bound}");
     std::io::stdout().flush().ok();
     server.run().map_err(|e| e.to_string())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7879");
+    let batch = BatchConfig {
+        max_batch: flags.parsed("max-batch", BatchConfig::default().max_batch)?,
+        max_wait: Duration::from_millis(flags.parsed("max-wait-ms", 2u64)?),
+    };
+    let config = RouterConfig {
+        replication: flags.parsed("replication", RouterConfig::default().replication)?,
+        ..RouterConfig::default()
+    };
+    let local_shards: usize = flags.parsed("shards", 0)?;
+    let remote_shards = flags.all("shard");
+    if local_shards == 0 && remote_shards.is_empty() {
+        return Err("route needs --shards N (with --models DIR) and/or --shard ADDR".into());
+    }
+    let mut builder = RouterBuilder::new(config);
+    if local_shards > 0 {
+        let dir = flags.require("models")?;
+        for _ in 0..local_shards {
+            let store = Arc::new(
+                ModelStore::open(EstimatorRegistry::with_builtin(), dir)
+                    .map_err(|e| format!("indexing {dir}: {e}"))?,
+            );
+            builder = builder.local_shard(store, batch);
+        }
+    }
+    for shard_addr in &remote_shards {
+        builder = builder.remote_shard(*shard_addr);
+    }
+    let router = Arc::new(builder.build());
+    for shard in router.shards().iter() {
+        println!("shard {}: {}", shard.id(), shard.label());
+    }
+    let server = Server::bind_service(addr, Arc::clone(&router) as _)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {bound}");
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Fit `n_models` small PCA models over shared synthetic views and save them into
+/// a fresh temp directory. Returns `(dir, model names, views)`.
+fn bench_fixture(n_models: usize) -> Result<(PathBuf, Vec<String>, Vec<Matrix>), String> {
+    let dir = std::env::temp_dir().join(format!("tcca-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let data = datasets::secstr_dataset(&datasets::SecStrConfig {
+        n_instances: 64,
+        seed: 13,
+        difficulty: 0.8,
+    });
+    let views: Vec<Matrix> = data
+        .views()
+        .iter()
+        .map(|v| v.select_rows(&(0..8.min(v.rows())).collect::<Vec<_>>()))
+        .collect();
+    let registry = EstimatorRegistry::with_builtin();
+    let store = ModelStore::new(EstimatorRegistry::with_builtin());
+    let mut names = Vec::with_capacity(n_models);
+    for i in 0..n_models {
+        let name = format!("m{i}");
+        let model = registry
+            .fit(
+                "PCA",
+                &views,
+                &FitSpec::with_rank(2).epsilon(1e-2).seed(40 + i as u64),
+            )
+            .map_err(|e| format!("fitting {name}: {e}"))?;
+        store
+            .save(&dir, &name, model.as_ref())
+            .map_err(|e| format!("saving {name}: {e}"))?;
+        names.push(name);
+    }
+    Ok((dir, names, views))
+}
+
+/// Drive `clients` concurrent connections of `requests` small transform requests
+/// each against a serving endpoint; client `c` always requests model `c % models`
+/// (the multi-tenant shape: distinct callers hammer distinct models). Returns
+/// requests/second over the timed (post-warmup) phase.
+fn run_workload(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    names: &[String],
+    views: &[Matrix],
+) -> Result<f64, String> {
+    let block = 4usize;
+    let blocks = views[0].cols() / block;
+    let slices: Arc<Vec<Vec<Matrix>>> = Arc::new(
+        (0..blocks)
+            .map(|b| {
+                views
+                    .iter()
+                    .map(|v| v.select_columns(&(block * b..block * (b + 1)).collect::<Vec<_>>()))
+                    .collect()
+            })
+            .collect(),
+    );
+    // Warmup: touch every model a few times so payload loads and replica warmup
+    // happen outside the timed window.
+    let mut warm = Client::connect(addr).map_err(|e| format!("warmup connect: {e}"))?;
+    for _ in 0..4 {
+        for name in names {
+            warm.transform(name, &slices[0])
+                .map_err(|e| format!("warmup {name}: {e}"))?;
+        }
+    }
+    let names: Arc<Vec<String>> = Arc::new(names.to_vec());
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let names = Arc::clone(&names);
+        let slices = Arc::clone(&slices);
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            let name = &names[c % names.len()];
+            for i in 0..requests {
+                let slice = &slices[i % slices.len()];
+                client
+                    .transform(name, slice)
+                    .map_err(|e| format!("client {c} request {i} ({name}): {e}"))?;
+            }
+            Ok(())
+        }));
+    }
+    for h in handles {
+        h.join()
+            .map_err(|_| "client thread panicked".to_string())??;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Ok((clients * requests) as f64 / secs)
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let clients: usize = flags.parsed("clients", 16)?;
+    let requests: usize = flags.parsed("requests", 100)?;
+    let shards: usize = flags.parsed("shards", 4)?;
+    let n_models: usize = flags.parsed("models", 8)?;
+    // The production-shaped batching window. In the single-process server ONE
+    // dispatcher opens one model's window at a time, so an 8-model workload pays up
+    // to 8 windows of latency per round; the router runs one dispatcher per shard
+    // and the windows overlap. That serialization — not CPU — is what sharding
+    // removes (and all a 1-core container can honestly measure).
+    let max_wait_ms: u64 = flags.parsed("max-wait-ms", 5)?;
+    let (dir, names, views) = bench_fixture(n_models.max(1))?;
+    let batch = BatchConfig {
+        max_batch: 256,
+        max_wait: Duration::from_millis(max_wait_ms),
+    };
+
+    // Baseline: the single-process server (one engine, one dispatcher).
+    let single_rps = {
+        let store = Arc::new(
+            ModelStore::open(EstimatorRegistry::with_builtin(), &dir)
+                .map_err(|e| format!("indexing: {e}"))?,
+        );
+        let server =
+            Server::bind("127.0.0.1:0", store, batch).map_err(|e| format!("binding: {e}"))?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        let rps = run_workload(addr, clients, requests, &names, &views)?;
+        shutdown.shutdown();
+        let _ = thread.join();
+        rps
+    };
+
+    // The sharded router over the same models, same workload.
+    let router_rps = {
+        let router = Router::open_local(&dir, shards, batch, RouterConfig::default())
+            .map_err(|e| format!("building the router: {e}"))?;
+        let router = Arc::new(router);
+        let server = Server::bind_service("127.0.0.1:0", Arc::clone(&router) as _)
+            .map_err(|e| format!("binding: {e}"))?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        let rps = run_workload(addr, clients, requests, &names, &views)?;
+        shutdown.shutdown();
+        let _ = thread.join();
+        rps
+    };
+
+    // Satellite: per-coalesced-batch execution cost of serving a *single-view*
+    // projection before vs after the batched `transform_view` path. Before, the
+    // only batched route was the full `transform`: stitch all `m` views, project
+    // all `m` views. Now: stitch one view, one `transform_view` call. Measured on
+    // the model directly (what a pool worker executes per batch), so the batching
+    // window does not mask the saving.
+    let (full_bps, view_bps) = {
+        let file = std::fs::File::open(dir.join(format!("{}.mvm", names[0])))
+            .map_err(|e| format!("opening model: {e}"))?;
+        let model = EstimatorRegistry::with_builtin()
+            .load_model(&mut std::io::BufReader::new(file))
+            .map_err(|e| format!("loading model: {e}"))?;
+        let block = 4usize;
+        let batch_requests = 16usize;
+        let slices: Vec<Vec<Matrix>> = (0..batch_requests)
+            .map(|b| {
+                let start = (block * b) % (views[0].cols() - block);
+                let cols: Vec<usize> = (start..start + block).collect();
+                views.iter().map(|v| v.select_columns(&cols)).collect()
+            })
+            .collect();
+        let stitch = |v: usize| -> Matrix {
+            let d = slices[0][v].rows();
+            let total: usize = slices.iter().map(|s| s[v].cols()).sum();
+            let mut out = Matrix::zeros(d, total);
+            let mut col = 0;
+            for s in &slices {
+                let part = &s[v];
+                for i in 0..d {
+                    out.row_mut(i)[col..col + part.cols()].copy_from_slice(part.row(i));
+                }
+                col += part.cols();
+            }
+            out
+        };
+        let iters = 2000usize;
+        let full = {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let stitched: Vec<Matrix> = (0..views.len()).map(stitch).collect();
+                model
+                    .transform(&stitched)
+                    .map_err(|e| format!("transform: {e}"))?;
+            }
+            iters as f64 / start.elapsed().as_secs_f64()
+        };
+        let view = {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let stitched = stitch(0);
+                model
+                    .transform_view(0, &stitched)
+                    .map_err(|e| format!("transform_view: {e}"))?;
+            }
+            iters as f64 / start.elapsed().as_secs_f64()
+        };
+        (full, view)
+    };
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"clients\": {clients}, \"requests_per_client\": {requests}, \
+         \"models\": {n_models}, \"instances_per_request\": 4, \
+         \"batch_window_ms\": {max_wait_ms}}},\n  \
+         \"loopback_throughput\": {{\"single_server_rps\": {single_rps:.1}, \
+         \"router_{shards}_shards_rps\": {router_rps:.1}, \
+         \"speedup\": {:.2}}},\n  \
+         \"transform_view_batched\": {{\"full_transform_batches_per_s\": {full_bps:.1}, \
+         \"transform_view_batches_per_s\": {view_bps:.1}, \"speedup\": {:.2}}}\n}}",
+        router_rps / single_rps,
+        view_bps / full_bps,
+    );
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).map_err(|e| format!("writing {path}: {e}"))?
+        }
+        None => println!("{json}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
 }
 
 fn cmd_embed(args: &[String]) -> Result<(), String> {

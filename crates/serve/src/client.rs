@@ -1,26 +1,55 @@
-//! Blocking TCP client for the `tcca_serve` protocol.
+//! Blocking TCP client for the `tcca_serve` protocol (v1 and v2).
+//!
+//! The one-call-at-a-time methods ([`Client::transform`], [`Client::ping`], …)
+//! speak plain v1 frames. The v2 surface is [`Client::send`] / [`Client::recv`]:
+//! `send` fires a [`Request`] wrapped in a tagged envelope *without waiting*, and
+//! `recv` returns the next `(id, response)` pair the server produced — possibly out
+//! of request order. Pipelining many tagged requests over one connection keeps the
+//! socket full instead of paying a round trip per request.
 
-use crate::wire::{read_frame, write_frame, ModelInfo, Request, Response};
+use crate::wire::{
+    read_frame, write_frame, ModelInfo, NamedOutput, Request, RescanReport, Response,
+};
 use crate::{Result, ServeError};
 use linalg::Matrix;
 use std::net::{TcpStream, ToSocketAddrs};
 
-/// One connection to a serving endpoint. Requests are pipelined strictly one at a
-/// time per connection; open several clients for concurrency (the server coalesces
-/// same-model requests across connections).
+/// One connection to a serving endpoint.
 pub struct Client {
     reader: std::io::BufReader<TcpStream>,
     writer: std::io::BufWriter<TcpStream>,
+    next_id: u64,
 }
 
 impl Client {
     /// Connect to a serving endpoint.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connect with a deadline on the connect *and* every subsequent read/write.
+    /// The router uses this for its shard links: a hung shard then surfaces as an
+    /// I/O error (and fails over) instead of wedging a worker forever.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: std::time::Duration) -> Result<Self> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            ))
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self> {
         stream.set_nodelay(true)?;
         Ok(Self {
             reader: std::io::BufReader::new(stream.try_clone()?),
             writer: std::io::BufWriter::new(stream),
+            next_id: 1,
         })
     }
 
@@ -30,6 +59,30 @@ impl Client {
             ServeError::Protocol("server closed the connection before replying".into())
         })?;
         Response::decode(&payload)
+    }
+
+    /// Pipelined send (protocol v2): wrap `request` in a tagged envelope with a
+    /// fresh id, write it, and return the id without waiting for the reply.
+    pub fn send(&mut self, request: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let tagged = request.clone().tagged(id);
+        write_frame(&mut self.writer, &tagged.encode())?;
+        Ok(id)
+    }
+
+    /// Pipelined receive (protocol v2): the next tagged reply as `(id, response)`.
+    /// Replies may arrive out of request order; match them by id.
+    pub fn recv(&mut self) -> Result<(u64, Response)> {
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Protocol("server closed the connection before replying".into())
+        })?;
+        match Response::decode(&payload)? {
+            Response::Tagged { id, inner } => Ok((id, *inner)),
+            other => Err(ServeError::Protocol(format!(
+                "expected a tagged reply, got {other:?}"
+            ))),
+        }
     }
 
     /// Project instances through a stored model; the reply is bit-exact against the
@@ -43,6 +96,47 @@ impl Client {
             Response::Error(msg) => Err(ServeError::Remote(msg)),
             other => Err(ServeError::Protocol(format!(
                 "unexpected reply to Transform: {other:?}"
+            ))),
+        }
+    }
+
+    /// Project a single view through the model's per-view projection (v2).
+    pub fn transform_view(&mut self, model: &str, view: usize, input: &Matrix) -> Result<Matrix> {
+        match self.call(&Request::TransformView {
+            model: model.to_string(),
+            view: view as u32,
+            input: input.clone(),
+        })? {
+            Response::Embedding(z) => Ok(z),
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to TransformView: {other:?}"
+            ))),
+        }
+    }
+
+    /// All named candidate outputs of a stored model (v2) — the serving path for
+    /// the multi-candidate baselines whose `transform` rejects by design.
+    pub fn outputs(&mut self, model: &str, inputs: &[Matrix]) -> Result<Vec<NamedOutput>> {
+        match self.call(&Request::Outputs {
+            model: model.to_string(),
+            inputs: inputs.to_vec(),
+        })? {
+            Response::Outputs(candidates) => Ok(candidates),
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Outputs: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to re-scan its model directory (v2). Returns what changed.
+    pub fn rescan(&mut self) -> Result<RescanReport> {
+        match self.call(&Request::Rescan)? {
+            Response::Rescanned(report) => Ok(report),
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Rescan: {other:?}"
             ))),
         }
     }

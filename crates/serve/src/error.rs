@@ -22,6 +22,8 @@ pub enum ServeError {
     Remote(String),
     /// The batch engine is shutting down and dropped the request.
     EngineStopped,
+    /// Every shard that could serve the request is dead.
+    NoLiveShards,
 }
 
 impl fmt::Display for ServeError {
@@ -35,6 +37,7 @@ impl fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ServeError::Remote(msg) => write!(f, "server error: {msg}"),
             ServeError::EngineStopped => write!(f, "batch engine stopped"),
+            ServeError::NoLiveShards => write!(f, "no live shard can serve the request"),
         }
     }
 }

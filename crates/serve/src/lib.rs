@@ -7,14 +7,21 @@
 //!
 //! * [`ModelStore`] — maps model names to lazily-loaded models backed by `.mvm` files
 //!   (the `MVTC` format of `mvcore::persist`), with header-only metadata for cheap
-//!   directory indexing and checksum reporting.
+//!   directory indexing, mtime-based [`ModelStore::rescan`] (new files become
+//!   servable without a restart) and LRU payload eviction under a byte budget.
 //! * [`BatchEngine`] — a micro-batching transform engine: concurrent requests for the
 //!   same model are coalesced (up to `max_batch` instances / `max_wait`) into one
-//!   batched `transform` executed on the process-wide [`parallel::Pool`], so many
-//!   clients share one thread pool instead of oversubscribing the machine.
-//! * [`Server`] / [`Client`] — a length-prefixed binary frame protocol over
-//!   `std::net` TCP (see [`wire`]) plus the `tcca_serve` binary, which also offers a
-//!   one-shot CLI mode for offline embedding.
+//!   batched `transform` executed on a [`parallel::Pool`], so many clients share
+//!   bounded thread pools instead of oversubscribing the machine. Submission is
+//!   callback-based ([`BatchEngine::submit_transform`]) so the event-loop server
+//!   never blocks; batched `transform_view` requests stitch a single view.
+//! * [`Router`] — a sharded serving tier: N in-process or child-process shards,
+//!   rendezvous-hash placement by model name with a replicated hot set, and
+//!   mid-request failover when a shard dies.
+//! * [`Server`] / [`Client`] — a poll(2)-based event-loop TCP server speaking the
+//!   length-prefixed frame protocol (see [`wire`]; v2 adds tagged request ids for
+//!   pipelined, out-of-order replies) plus the `tcca_serve` binary, which also
+//!   offers one-shot CLI modes for offline embedding and routing.
 //!
 //! ```no_run
 //! use mvcore::EstimatorRegistry;
@@ -26,7 +33,7 @@
 //!     "models/",
 //! ).unwrap());
 //! let server = Server::bind("127.0.0.1:7878", store, BatchConfig::default()).unwrap();
-//! server.run().unwrap(); // accept loop
+//! server.run().unwrap(); // event loop
 //! ```
 
 #![warn(missing_docs)]
@@ -35,14 +42,18 @@
 mod batch;
 mod client;
 mod error;
+mod router;
 mod server;
+mod service;
 mod store;
 pub mod wire;
 
-pub use batch::{BatchConfig, BatchEngine, EngineStats};
+pub use batch::{BatchConfig, BatchEngine, EngineStats, OutputsCallback, ReplyCallback};
 pub use client::Client;
 pub use error::ServeError;
+pub use router::{Router, RouterBuilder, RouterConfig, RouterStats, Shard};
 pub use server::Server;
+pub use service::TransformService;
 pub use store::{ModelStore, StoredModel, MODEL_EXTENSION};
 
 /// Convenience alias for results produced by this crate.

@@ -1,0 +1,736 @@
+//! [`Router`] — shard requests by model name across N serving workers.
+//!
+//! The router owns a set of **shards**, each one a worker that can answer the full
+//! transform surface:
+//!
+//! * **local** shards — an in-process [`BatchEngine`] over its own [`ModelStore`]
+//!   and its own execution [`Pool`], so one shard's heavy batch never starves a
+//!   sibling's workers;
+//! * **remote** shards — a child process (or any host) speaking the existing frame
+//!   protocol, reached through a small pooled-connection [`Client`] set.
+//!
+//! ## Placement: rendezvous hashing with replication
+//!
+//! Each request's model name is scored against every shard with rendezvous
+//! (highest-random-weight) hashing; the `replication` highest-scoring live shards
+//! form the model's **replica set**. Requests rotate round-robin inside the replica
+//! set, so a hot model's payload ends up resident on several shards and its traffic
+//! spreads — while cold models stay resident on few shards (payload budgets evict
+//! what a shard stops seeing). Adding or removing a shard only remaps the models
+//! whose top-scoring shard changed — no global reshuffle.
+//!
+//! ## Failover
+//!
+//! A transport-level failure (dead socket, stopped engine, protocol corruption)
+//! marks the shard dead and **re-submits the request** to the next candidate: the
+//! rest of the replica set first, then every remaining live shard. In-band request
+//! errors (unknown model, shape mismatch) are *not* retried — they would fail
+//! identically everywhere. The caller only sees an error when every live shard has
+//! been exhausted.
+
+use crate::batch::{OutputsCallback, ReplyCallback};
+use crate::service::{store_catalog, TransformService};
+use crate::wire::{ModelInfo, NamedOutput, RescanReport};
+use crate::{BatchConfig, BatchEngine, Client, ModelStore, Result, ServeError};
+use linalg::Matrix;
+use mvcore::EstimatorRegistry;
+use parallel::Pool;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Router knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Size of each model's replica set (clamped to the live shard count).
+    pub replication: usize,
+    /// Pooled connections kept per remote shard.
+    pub connections_per_shard: usize,
+    /// Deadline on remote-shard connects, reads and writes. A shard that hangs
+    /// (rather than erroring) surfaces as an I/O failure after this long and
+    /// fails over, instead of wedging an I/O worker forever. Generous by default:
+    /// it must exceed the slowest legitimate batched transform.
+    pub remote_timeout: std::time::Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            replication: 2,
+            connections_per_shard: 4,
+            remote_timeout: std::time::Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters for observability and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Requests routed to each shard (by shard id).
+    pub routed: Vec<usize>,
+    /// Requests re-submitted to another shard after a shard failure.
+    pub failovers: usize,
+}
+
+enum Backend {
+    Local {
+        engine: Arc<BatchEngine>,
+    },
+    Remote {
+        addr: String,
+        conns: Mutex<Vec<Client>>,
+    },
+}
+
+/// One serving worker owned by the router.
+pub struct Shard {
+    id: usize,
+    label: String,
+    backend: Backend,
+    alive: AtomicBool,
+}
+
+impl Shard {
+    /// Shard id (index in the router).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Human-readable identity: `local-N` or the remote address.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether the shard is still considered servable.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+}
+
+struct Inner {
+    shards: Vec<Arc<Shard>>,
+    replication: usize,
+    connections_per_shard: usize,
+    remote_timeout: std::time::Duration,
+    /// Executes blocking remote-shard I/O so callers (the event loop!) never wait
+    /// on a socket. Sized by the shard count, independent of the kernel pools.
+    io_pool: Pool,
+    /// Round-robin cursor rotating requests inside a replica set.
+    rr: AtomicUsize,
+    stats: Mutex<RouterStats>,
+}
+
+/// A sharded serving tier implementing [`TransformService`] — drop it behind a
+/// [`crate::Server`] and the wire protocol fans out over all shards.
+pub struct Router {
+    inner: Arc<Inner>,
+}
+
+/// 64-bit FNV-1a over the model name and shard id — the rendezvous score.
+fn rendezvous_score(model: &str, shard_id: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in model.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for b in (shard_id as u64).to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Errors that indicate the *shard* (not the request) failed: worth a failover.
+fn is_shard_failure(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::Io(_) | ServeError::EngineStopped | ServeError::Protocol(_)
+    )
+}
+
+/// One shard description held until [`RouterBuilder::build`] (local engines are
+/// created at build time, when the shard count — and so each shard's fair slice
+/// of the thread budget — is known).
+enum PendingShard {
+    Local {
+        store: Arc<ModelStore>,
+        batch: BatchConfig,
+    },
+    Remote {
+        addr: String,
+    },
+}
+
+/// Builder for a router: add shards, then [`RouterBuilder::build`].
+pub struct RouterBuilder {
+    config: RouterConfig,
+    pending: Vec<PendingShard>,
+}
+
+impl RouterBuilder {
+    /// Start an empty router description.
+    pub fn new(config: RouterConfig) -> Self {
+        Self {
+            config,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Add an in-process shard serving `store` with its own batch engine and its
+    /// own execution pool (one pool per shard — the "pool handle per shard" that
+    /// keeps shards from contending for execution slots). The machine's thread
+    /// budget ([`parallel::max_threads`]) is divided across the local shards at
+    /// build time, so an N-shard router does not oversubscribe the CPU N-fold.
+    pub fn local_shard(mut self, store: Arc<ModelStore>, batch: BatchConfig) -> Self {
+        self.pending.push(PendingShard::Local { store, batch });
+        self
+    }
+
+    /// Add a remote shard reached over TCP at `addr` (a `tcca_serve serve` child
+    /// process or any wire-protocol speaker).
+    pub fn remote_shard(mut self, addr: impl Into<String>) -> Self {
+        self.pending
+            .push(PendingShard::Remote { addr: addr.into() });
+        self
+    }
+
+    /// Finish: the shard set is fixed from here on.
+    pub fn build(self) -> Router {
+        let n = self.pending.len();
+        let locals = self
+            .pending
+            .iter()
+            .filter(|p| matches!(p, PendingShard::Local { .. }))
+            .count();
+        let workers_per_shard = (parallel::max_threads() / locals.max(1)).max(1);
+        let shards: Vec<Arc<Shard>> = self
+            .pending
+            .into_iter()
+            .enumerate()
+            .map(|(id, pending)| {
+                Arc::new(match pending {
+                    PendingShard::Local { store, batch } => {
+                        let pool = Arc::new(Pool::new(workers_per_shard));
+                        let engine = Arc::new(BatchEngine::start_with_pool(store, batch, pool));
+                        Shard {
+                            id,
+                            label: format!("local-{id}"),
+                            backend: Backend::Local { engine },
+                            alive: AtomicBool::new(true),
+                        }
+                    }
+                    PendingShard::Remote { addr } => Shard {
+                        id,
+                        label: addr.clone(),
+                        backend: Backend::Remote {
+                            addr,
+                            conns: Mutex::new(Vec::new()),
+                        },
+                        alive: AtomicBool::new(true),
+                    },
+                })
+            })
+            .collect();
+        Router {
+            inner: Arc::new(Inner {
+                shards,
+                replication: self.config.replication.max(1),
+                connections_per_shard: self.config.connections_per_shard.max(1),
+                remote_timeout: self.config.remote_timeout,
+                // Remote calls block a worker each; size for every shard making
+                // progress concurrently plus failover headroom.
+                io_pool: Pool::new((2 * n).max(4)),
+                rr: AtomicUsize::new(0),
+                stats: Mutex::new(RouterStats {
+                    routed: vec![0; n],
+                    failovers: 0,
+                }),
+            }),
+        }
+    }
+}
+
+impl Router {
+    /// A router over `n` in-process shards, each indexing `dir` with its own store
+    /// (independent lazy payload caches — replicas warm up only what they serve).
+    pub fn open_local(
+        dir: impl AsRef<Path>,
+        n: usize,
+        batch: BatchConfig,
+        config: RouterConfig,
+    ) -> Result<Self> {
+        let mut builder = RouterBuilder::new(config);
+        for _ in 0..n.max(1) {
+            let store = Arc::new(ModelStore::open(EstimatorRegistry::with_builtin(), &dir)?);
+            builder = builder.local_shard(store, batch);
+        }
+        Ok(builder.build())
+    }
+
+    /// The shards, in id order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.inner.shards
+    }
+
+    /// Ids of shards still considered live.
+    pub fn live_shards(&self) -> Vec<usize> {
+        self.inner
+            .shards
+            .iter()
+            .filter(|s| s.is_alive())
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Kill a shard administratively: mark it dead and stop its engine (local
+    /// shards). New requests never route to it.
+    pub fn kill_shard(&self, id: usize) {
+        if let Some(shard) = self.inner.shards.get(id) {
+            shard.alive.store(false, Ordering::SeqCst);
+            if let Backend::Local { engine } = &shard.backend {
+                engine.stop();
+            }
+        }
+    }
+
+    /// Crash a local shard *without telling the router* — the engine stops but the
+    /// shard stays in the routing table, exactly like a child process dying under
+    /// a remote shard. The next request routed to it fails, gets failed over, and
+    /// only then is the shard marked dead. Tests and the failover smoke use this.
+    pub fn crash_shard(&self, id: usize) {
+        if let Some(shard) = self.inner.shards.get(id) {
+            if let Backend::Local { engine } = &shard.backend {
+                engine.stop();
+            }
+        }
+    }
+
+    /// Counters since start.
+    pub fn stats(&self) -> RouterStats {
+        self.inner.stats.lock().expect("router stats lock").clone()
+    }
+
+    /// The failover candidate order for a model: the replica set (top-`replication`
+    /// live shards by rendezvous score, rotated round-robin), then every other live
+    /// shard as a last resort.
+    fn candidates(&self, model: &str) -> Vec<usize> {
+        let inner = &self.inner;
+        let mut scored: Vec<(u64, usize)> = inner
+            .shards
+            .iter()
+            .filter(|s| s.is_alive())
+            .map(|s| (rendezvous_score(model, s.id), s.id))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        let ids: Vec<usize> = scored.into_iter().map(|(_, id)| id).collect();
+        if ids.is_empty() {
+            return ids;
+        }
+        let r = inner.replication.min(ids.len());
+        let start = inner.rr.fetch_add(1, Ordering::Relaxed) % r;
+        let mut out = Vec::with_capacity(ids.len());
+        for k in 0..ids.len() {
+            if k < r {
+                out.push(ids[(start + k) % r]);
+            } else {
+                out.push(ids[k]);
+            }
+        }
+        out
+    }
+}
+
+/// How one attempt of an op executes on one shard. `Fn` (not `FnOnce`) because a
+/// failover re-runs it against the next candidate.
+type Attempt<T> = Arc<dyn Fn(&Arc<Inner>, usize, Box<dyn FnOnce(Result<T>) + Send>) + Send + Sync>;
+
+/// Try candidates in order, failing over on shard-level errors. Each attempt's
+/// continuation recurses from whatever thread completed it (pool worker or the
+/// submitting thread on fast-fail paths) — nothing here blocks.
+fn try_shards<T: Send + 'static>(
+    inner: Arc<Inner>,
+    candidates: Vec<usize>,
+    idx: usize,
+    attempt: Attempt<T>,
+    reply: Box<dyn FnOnce(Result<T>) + Send>,
+) {
+    let Some(&sid) = candidates.get(idx) else {
+        return reply(Err(ServeError::NoLiveShards));
+    };
+    {
+        let mut stats = inner.stats.lock().expect("router stats lock");
+        stats.routed[sid] += 1;
+    }
+    let inner2 = Arc::clone(&inner);
+    let attempt2 = Arc::clone(&attempt);
+    let cont: Box<dyn FnOnce(Result<T>) + Send> = Box::new(move |result| match result {
+        Err(e) if is_shard_failure(&e) => {
+            inner2.shards[sid].alive.store(false, Ordering::SeqCst);
+            if idx + 1 < candidates.len() {
+                inner2.stats.lock().expect("router stats lock").failovers += 1;
+                try_shards(inner2, candidates, idx + 1, attempt2, reply);
+            } else {
+                reply(Err(e));
+            }
+        }
+        other => reply(other),
+    });
+    attempt(&inner, sid, cont);
+}
+
+/// Run a blocking remote call through the shard's connection pool. Connections
+/// return to the pool after a success *or* a clean in-band error reply (the frame
+/// boundary held, so the stream is still synchronized); they are dropped only on
+/// transport-level failures, where the stream state is unknown. A transport
+/// failure on a *pooled* connection is retried once on a fresh connection before
+/// it counts against the shard — a restarted shard at the same address (whose old
+/// sockets are all stale) must not be declared dead by its own redeploy. Fresh
+/// connections carry the router's remote timeout so a hung shard fails over
+/// instead of wedging an I/O worker.
+fn with_remote_conn<T>(
+    inner: &Inner,
+    shard: &Shard,
+    f: impl Fn(&mut Client) -> Result<T>,
+) -> Result<T> {
+    let Backend::Remote { addr, conns } = &shard.backend else {
+        return Err(ServeError::Protocol("not a remote shard".into()));
+    };
+    let pool_back = |client: Client| {
+        let mut pool = conns.lock().expect("shard connection pool lock");
+        if pool.len() < inner.connections_per_shard {
+            pool.push(client);
+        }
+    };
+    // Bind the pop outside the `if let` so the pool guard (a scrutinee temporary,
+    // which would otherwise live for the whole body) is released before `f` runs —
+    // `pool_back` re-locks the same mutex.
+    let pooled = conns.lock().expect("shard connection pool lock").pop();
+    if let Some(mut client) = pooled {
+        let result = f(&mut client);
+        match result {
+            Err(ref e) if is_shard_failure(e) => {} // stale socket? try fresh below
+            other => {
+                if matches!(other, Ok(_) | Err(ServeError::Remote(_))) {
+                    pool_back(client);
+                }
+                return other;
+            }
+        }
+    }
+    let mut client = Client::connect_timeout(addr, inner.remote_timeout)?;
+    let result = f(&mut client);
+    if matches!(result, Ok(_) | Err(ServeError::Remote(_))) {
+        pool_back(client);
+    }
+    result
+}
+
+impl TransformService for Router {
+    fn submit_transform(&self, model: &str, inputs: Vec<Matrix>, reply: ReplyCallback) {
+        let candidates = self.candidates(model);
+        let model = model.to_string();
+        let attempt: Attempt<Matrix> = Arc::new(move |inner, sid, cb| {
+            let shard = &inner.shards[sid];
+            match &shard.backend {
+                Backend::Local { engine } => engine.submit_transform(&model, inputs.clone(), cb),
+                Backend::Remote { .. } => {
+                    let inner = Arc::clone(inner);
+                    let model = model.clone();
+                    let inputs = inputs.clone();
+                    inner.clone().io_pool.spawn(move || {
+                        let shard = Arc::clone(&inner.shards[sid]);
+                        cb(with_remote_conn(&inner, &shard, |c| {
+                            c.transform(&model, &inputs)
+                        }));
+                    });
+                }
+            }
+        });
+        try_shards(Arc::clone(&self.inner), candidates, 0, attempt, reply);
+    }
+
+    fn submit_transform_view(
+        &self,
+        model: &str,
+        which: usize,
+        input: Matrix,
+        reply: ReplyCallback,
+    ) {
+        let candidates = self.candidates(model);
+        let model = model.to_string();
+        let attempt: Attempt<Matrix> = Arc::new(move |inner, sid, cb| {
+            let shard = &inner.shards[sid];
+            match &shard.backend {
+                Backend::Local { engine } => {
+                    engine.submit_transform_view(&model, which, input.clone(), cb)
+                }
+                Backend::Remote { .. } => {
+                    let inner = Arc::clone(inner);
+                    let model = model.clone();
+                    let input = input.clone();
+                    inner.clone().io_pool.spawn(move || {
+                        let shard = Arc::clone(&inner.shards[sid]);
+                        cb(with_remote_conn(&inner, &shard, |c| {
+                            c.transform_view(&model, which, &input)
+                        }));
+                    });
+                }
+            }
+        });
+        try_shards(Arc::clone(&self.inner), candidates, 0, attempt, reply);
+    }
+
+    fn submit_outputs(&self, model: &str, inputs: Vec<Matrix>, reply: OutputsCallback) {
+        let candidates = self.candidates(model);
+        let model = model.to_string();
+        let attempt: Attempt<Vec<NamedOutput>> = Arc::new(move |inner, sid, cb| {
+            let shard = &inner.shards[sid];
+            match &shard.backend {
+                Backend::Local { engine } => engine.submit_outputs(&model, inputs.clone(), cb),
+                Backend::Remote { .. } => {
+                    let inner = Arc::clone(inner);
+                    let model = model.clone();
+                    let inputs = inputs.clone();
+                    inner.clone().io_pool.spawn(move || {
+                        let shard = Arc::clone(&inner.shards[sid]);
+                        cb(with_remote_conn(&inner, &shard, |c| {
+                            c.outputs(&model, &inputs)
+                        }));
+                    });
+                }
+            }
+        });
+        try_shards(Arc::clone(&self.inner), candidates, 0, attempt, reply);
+    }
+
+    /// The union of every live shard's catalog (first shard wins on name clashes).
+    fn catalog(&self) -> Result<Vec<ModelInfo>> {
+        let mut merged: BTreeMap<String, ModelInfo> = BTreeMap::new();
+        let mut last_err = None;
+        let mut reached = 0usize;
+        for shard in self.inner.shards.iter().filter(|s| s.is_alive()) {
+            let listed = match &shard.backend {
+                Backend::Local { engine } => Ok(store_catalog(engine.store())),
+                Backend::Remote { .. } => with_remote_conn(&self.inner, shard, |c| c.list_models()),
+            };
+            match listed {
+                Ok(models) => {
+                    reached += 1;
+                    for info in models {
+                        merged.entry(info.name.clone()).or_insert(info);
+                    }
+                }
+                Err(e) => {
+                    if is_shard_failure(&e) {
+                        shard.alive.store(false, Ordering::SeqCst);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        match (reached, last_err) {
+            (0, Some(e)) => Err(e),
+            (0, None) => Err(ServeError::NoLiveShards),
+            _ => Ok(merged.into_values().collect()),
+        }
+    }
+
+    /// Shard-aware registration: forward the rescan to every live shard so new
+    /// `.mvm` files become servable everywhere without a restart.
+    fn rescan(&self) -> Result<RescanReport> {
+        let mut total = RescanReport::default();
+        let mut reached = 0usize;
+        let mut last_err = None;
+        for shard in self.inner.shards.iter().filter(|s| s.is_alive()) {
+            let report = match &shard.backend {
+                Backend::Local { engine } => engine.store().rescan(),
+                Backend::Remote { .. } => with_remote_conn(&self.inner, shard, |c| c.rescan()),
+            };
+            match report {
+                Ok(r) => {
+                    reached += 1;
+                    total.merge(r);
+                }
+                Err(e) => {
+                    if is_shard_failure(&e) {
+                        shard.alive.store(false, Ordering::SeqCst);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        match (reached, last_err) {
+            (0, Some(e)) => Err(e),
+            (0, None) => Err(ServeError::NoLiveShards),
+            _ => Ok(total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{secstr_dataset, SecStrConfig};
+    use mvcore::FitSpec;
+    use std::time::Duration;
+
+    fn fixture_views() -> Vec<Matrix> {
+        let data = secstr_dataset(&SecStrConfig {
+            n_instances: 24,
+            seed: 21,
+            difficulty: 0.8,
+        });
+        data.views()
+            .iter()
+            .map(|v| v.select_rows(&(0..6.min(v.rows())).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    fn tmp_models_dir(tag: &str, views: &[Matrix], names: &[&str]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcca-router-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = EstimatorRegistry::with_builtin();
+        let writer = ModelStore::new(EstimatorRegistry::with_builtin());
+        for name in names {
+            let model = registry
+                .fit("PCA", views, &FitSpec::with_rank(2).epsilon(1e-2).seed(2))
+                .unwrap();
+            writer.save(&dir, name, model.as_ref()).unwrap();
+        }
+        dir
+    }
+
+    fn router_over(dir: &std::path::Path, n: usize) -> Router {
+        Router::open_local(
+            dir,
+            n,
+            BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(1),
+            },
+            RouterConfig {
+                replication: 2,
+                connections_per_shard: 2,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Blocking helper mirroring `BatchEngine::transform`.
+    fn transform(router: &Router, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        router.submit_transform(model, inputs, Box::new(move |r| drop(tx.send(r))));
+        rx.recv().expect("router reply")
+    }
+
+    #[test]
+    fn routes_by_model_name_within_the_replica_set() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("route", &views, &["a", "b", "c", "d"]);
+        let router = router_over(&dir, 4);
+        let expected = router.shards()[0].id;
+        assert_eq!(expected, 0);
+
+        for _ in 0..3 {
+            for name in ["a", "b", "c", "d"] {
+                let z = transform(&router, name, views.clone()).unwrap();
+                assert_eq!(z.rows(), views[0].cols());
+            }
+        }
+        let stats = router.stats();
+        assert_eq!(stats.failovers, 0);
+        assert_eq!(stats.routed.iter().sum::<usize>(), 12);
+        // Replication 2 of 4 shards: every model's traffic stays inside a 2-shard
+        // replica set, so with 4 models at least 2 shards must have seen traffic,
+        // and round-robin inside the set spreads it.
+        let active = stats.routed.iter().filter(|&&n| n > 0).count();
+        assert!(active >= 2, "routed: {:?}", stats.routed);
+
+        // The same model always lands in the same replica set: candidate lists for
+        // one name only ever rotate within their first `replication` entries.
+        let c1 = router.candidates("a");
+        let c2 = router.candidates("a");
+        let mut head1 = c1[..2].to_vec();
+        let mut head2 = c2[..2].to_vec();
+        head1.sort_unstable();
+        head2.sort_unstable();
+        assert_eq!(head1, head2);
+        assert_eq!(c1[2..], c2[2..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killing_a_shard_fails_over_mid_stream() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("failover", &views, &["m0", "m1"]);
+        let router = router_over(&dir, 3);
+        let direct = transform(&router, "m0", views.clone()).unwrap();
+
+        // Crash two of the three shards *without telling the router*: the routing
+        // table still lists them, so requests keep landing on dead shards, fail
+        // over mid-request, and succeed bit-identically on the survivor. (The
+        // replica set rotates round-robin, so within two requests at least one
+        // must hit a crashed primary.)
+        router.crash_shard(0);
+        router.crash_shard(1);
+        for _ in 0..4 {
+            let z = transform(&router, "m0", views.clone()).unwrap();
+            assert_eq!(z, direct, "failover changed the embedding");
+        }
+        assert!(router.stats().failovers >= 1);
+        assert!(
+            router.shards()[2].is_alive(),
+            "the survivor must stay alive"
+        );
+        assert!(
+            router.live_shards().len() < 3,
+            "crashed shards must be discovered and marked dead"
+        );
+
+        // Killing every shard exhausts the candidates.
+        for id in router.live_shards() {
+            router.kill_shard(id);
+        }
+        assert!(matches!(
+            transform(&router, "m0", views.clone()),
+            Err(ServeError::NoLiveShards)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn catalog_and_rescan_merge_across_shards() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("merge", &views, &["x"]);
+        let router = router_over(&dir, 2);
+        let catalog = router.catalog().unwrap();
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog[0].name, "x");
+
+        // A new model dropped into the directory reaches every shard via rescan.
+        let registry = EstimatorRegistry::with_builtin();
+        let model = registry
+            .fit("PCA", &views, &FitSpec::with_rank(2).epsilon(1e-2).seed(8))
+            .unwrap();
+        ModelStore::new(EstimatorRegistry::with_builtin())
+            .save(&dir, "y", model.as_ref())
+            .unwrap();
+        let report = router.rescan().unwrap();
+        assert_eq!(report.added, 2, "both shards must index the new file");
+        assert!(transform(&router, "y", views.clone()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rendezvous_scores_are_stable_and_spread() {
+        // Stability: same inputs, same score.
+        assert_eq!(rendezvous_score("m", 3), rendezvous_score("m", 3));
+        // Different shards get different scores for the same model.
+        let scores: std::collections::BTreeSet<u64> =
+            (0..8).map(|s| rendezvous_score("model", s)).collect();
+        assert_eq!(scores.len(), 8);
+    }
+}

@@ -1,22 +1,125 @@
-//! The TCP front of the serving stack.
+//! The TCP front of the serving stack: a poll(2)-based event loop.
 //!
-//! One listener thread accepts connections; each connection gets its own handler
-//! thread that reads request frames, routes `Transform` requests through the shared
-//! [`BatchEngine`] (where same-model requests from *different* connections coalesce)
-//! and writes response frames. Request errors are reported in-band as
-//! [`Response::Error`]; protocol violations close the connection.
+//! One thread owns every socket. The loop multiplexes the listener, a self-pipe
+//! waker and all client connections through nonblocking `poll` readiness — thousands
+//! of idle connections cost one `pollfd` each, not one parked thread each (the
+//! thread-per-connection model this replaced). Transform work never runs on the
+//! loop: requests are submitted to a [`TransformService`] (a [`BatchEngine`] or a
+//! [`crate::Router`]) with a completion callback that encodes the reply, pushes it
+//! onto a completion queue and pokes the waker; the loop drains completions into
+//! per-connection write buffers. Cheap metadata ops (`Ping`, `ListModels`,
+//! `Rescan`) are answered inline — which is also what lets tagged (protocol v2)
+//! replies overtake in-flight transforms out of request order. Untagged (v1)
+//! replies pass through a per-connection sequencing gate instead, so a v1 client
+//! pipelining plain frames still sees replies in request order, exactly like the
+//! thread-per-connection server it replaced. A connection that half-closes after
+//! sending requests stays alive until every owed reply has been written.
+//!
+//! Malformed frames get an in-band [`Response::Error`] instead of a dropped
+//! connection wherever the frame boundary is still trustworthy (bad opcode, bad
+//! payload); only framing-level violations (oversized declared length, EOF mid
+//! frame) close the connection — after an error reply is flushed where possible.
 
-use crate::wire::{read_frame, write_frame, ModelInfo, Request, Response};
-use crate::{BatchConfig, BatchEngine, ModelStore, Result, ServeError};
+use crate::service::TransformService;
+use crate::wire::{Request, Response};
+use crate::{BatchConfig, BatchEngine, ModelStore, Result};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// A bound serving endpoint.
+#[cfg(unix)]
+use crate::wire::MAX_FRAME_LEN;
+#[cfg(unix)]
+use std::io::{Read, Write};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// Connections accepted at once; beyond this the listener stops accepting until a
+/// slot frees up (pending connections wait in the OS backlog).
+const MAX_CONNS: usize = 4096;
+
+/// Read-buffer chunk size for one `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Bytes read per readiness event per socket before yielding back to the loop, so
+/// one firehose connection cannot starve its neighbours (poll is level-triggered:
+/// leftover bytes re-report readiness on the next pass).
+const READ_BUDGET: usize = 4 * READ_CHUNK;
+
+/// Write-buffer high-water mark: while a connection has this many unflushed reply
+/// bytes, the loop stops reading (and so parsing) new requests from it. A client
+/// that pipelines requests but never reads its replies gets backpressure instead
+/// of growing `wbuf` without bound — the same effect the old thread-per-connection
+/// server got from blocking on `write_frame`.
+const WBUF_HIGH_WATER: usize = 8 * 1024 * 1024;
+
+/// Raw poll(2) FFI — the libc symbols are always linked; declaring them here keeps
+/// the workspace free of external crates (the build environment has no registry).
+#[cfg(unix)]
+mod sys {
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// `poll` retrying on EINTR. `timeout` in milliseconds.
+    pub fn poll_retry(fds: &mut [PollFd], timeout: i32) -> std::io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// A completed transform reply waiting to be copied into a connection's write
+/// buffer: `(connection slot, slot generation, v1 ordering sequence for untagged
+/// requests, encoded response payload)`.
+type Completion = (usize, u64, Option<u64>, Vec<u8>);
+
+/// Wakes the poll loop from worker threads (completion callbacks, shutdown).
+struct Waker {
+    #[cfg(unix)]
+    tx: UnixStream,
+}
+
+impl Waker {
+    fn wake(&self) {
+        #[cfg(unix)]
+        {
+            // Nonblocking: if the pipe is already full the loop is awake anyway.
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+}
+
+/// A bound serving endpoint running a poll-based event loop.
 pub struct Server {
     listener: TcpListener,
-    engine: Arc<BatchEngine>,
+    service: Arc<dyn TransformService>,
+    engine: Option<Arc<BatchEngine>>,
     stop: Arc<AtomicBool>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    waker: Arc<Waker>,
+    #[cfg(unix)]
+    wake_rx: UnixStream,
 }
 
 impl Server {
@@ -27,12 +130,39 @@ impl Server {
         store: Arc<ModelStore>,
         config: BatchConfig,
     ) -> Result<Self> {
-        let listener = TcpListener::bind(addr)?;
         let engine = Arc::new(BatchEngine::start(store, config));
+        let mut server =
+            Self::bind_service(addr, Arc::clone(&engine) as Arc<dyn TransformService>)?;
+        server.engine = Some(engine);
+        Ok(server)
+    }
+
+    /// Bind a listener over any [`TransformService`] — the entry point the sharded
+    /// router uses to put the same wire protocol in front of many shards.
+    pub fn bind_service(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn TransformService>,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        #[cfg(unix)]
+        let (wake_rx, wake_tx) = {
+            let (rx, tx) = UnixStream::pair()?;
+            rx.set_nonblocking(true)?;
+            tx.set_nonblocking(true)?;
+            (rx, tx)
+        };
         Ok(Self {
             listener,
-            engine,
+            service,
+            engine: None,
             stop: Arc::new(AtomicBool::new(false)),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            waker: Arc::new(Waker {
+                #[cfg(unix)]
+                tx: wake_tx,
+            }),
+            #[cfg(unix)]
+            wake_rx,
         })
     }
 
@@ -41,99 +171,589 @@ impl Server {
         Ok(self.listener.local_addr()?)
     }
 
-    /// The engine requests are routed through (exposed for stats).
-    pub fn engine(&self) -> &Arc<BatchEngine> {
-        &self.engine
+    /// The engine requests are routed through, when the server was built with
+    /// [`Server::bind`] (a router-backed server has no single engine).
+    pub fn engine(&self) -> Option<&Arc<BatchEngine>> {
+        self.engine.as_ref()
     }
 
-    /// A handle that makes [`Server::run`] return: sets the stop flag and pokes the
-    /// listener with a throwaway connection.
+    /// A handle that makes [`Server::run`] return.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
             stop: Arc::clone(&self.stop),
+            waker: Arc::clone(&self.waker),
             addr: self.listener.local_addr().ok(),
         }
     }
 
-    /// Accept connections until shut down, spawning one handler thread per
-    /// connection. Blocks the calling thread.
+    /// Run the event loop until shut down. Blocks the calling thread; every
+    /// connection is serviced by this one thread plus the service's workers.
     pub fn run(&self) -> Result<()> {
-        for stream in self.listener.incoming() {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(e) => {
-                    // A failed accept (e.g. the peer vanished) is not fatal.
-                    if self.stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    eprintln!("tcca_serve: accept failed: {e}");
-                    continue;
-                }
-            };
-            let engine = Arc::clone(&self.engine);
-            std::thread::Builder::new()
-                .name("tcca-serve-conn".into())
-                .spawn(move || {
-                    if let Err(e) = handle_connection(stream, &engine) {
-                        // Protocol violations and broken pipes end the connection;
-                        // the server keeps running.
-                        eprintln!("tcca_serve: connection closed: {e}");
-                    }
-                })
-                .expect("spawning a connection handler");
+        #[cfg(unix)]
+        {
+            self.run_event_loop()
         }
-        Ok(())
+        #[cfg(not(unix))]
+        {
+            self.run_threaded()
+        }
+    }
+
+    /// Dispatch one untagged request. Metadata ops answer inline (the returned
+    /// response, already tagged when `id` is set); transform ops are submitted
+    /// asynchronously (returns `None`) and reply through the completion queue,
+    /// carrying `v1_seq` so untagged replies regain request order.
+    fn handle_request(
+        &self,
+        conn_id: usize,
+        gen: u64,
+        id: Option<u64>,
+        v1_seq: Option<u64>,
+        inner: Request,
+    ) -> Option<Response> {
+        let tag = move |resp: Response| match id {
+            Some(id) => resp.tagged(id),
+            None => resp,
+        };
+        match inner {
+            Request::Ping => Some(tag(Response::Pong)),
+            Request::ListModels => Some(tag(match self.service.catalog() {
+                Ok(models) => Response::Models(models),
+                Err(e) => Response::Error(e.to_string()),
+            })),
+            Request::Rescan => Some(tag(match self.service.rescan() {
+                Ok(report) => Response::Rescanned(report),
+                Err(e) => Response::Error(e.to_string()),
+            })),
+            Request::Transform { model, inputs } => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                self.service.submit_transform(
+                    &model,
+                    inputs,
+                    Box::new(move |result| {
+                        complete(match result {
+                            Ok(z) => Response::Embedding(z),
+                            Err(e) => Response::Error(e.to_string()),
+                        })
+                    }),
+                );
+                None
+            }
+            Request::TransformView { model, view, input } => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                self.service.submit_transform_view(
+                    &model,
+                    view as usize,
+                    input,
+                    Box::new(move |result| {
+                        complete(match result {
+                            Ok(z) => Response::Embedding(z),
+                            Err(e) => Response::Error(e.to_string()),
+                        })
+                    }),
+                );
+                None
+            }
+            Request::Outputs { model, inputs } => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                self.service.submit_outputs(
+                    &model,
+                    inputs,
+                    Box::new(move |result| {
+                        complete(match result {
+                            Ok(candidates) => Response::Outputs(candidates),
+                            Err(e) => Response::Error(e.to_string()),
+                        })
+                    }),
+                );
+                None
+            }
+            Request::Tagged { .. } => {
+                // Decode rejects nested tags; unreachable but harmless.
+                Some(tag(Response::Error("nested tagged request".into())))
+            }
+        }
+    }
+
+    /// A callback that encodes a reply (tagged when the request was), pushes it on
+    /// the completion queue and wakes the poll loop. Invoked once from a worker.
+    fn completer(
+        &self,
+        conn_id: usize,
+        gen: u64,
+        id: Option<u64>,
+        v1_seq: Option<u64>,
+    ) -> impl Fn(Response) + Send {
+        let completions = Arc::clone(&self.completions);
+        let waker = Arc::clone(&self.waker);
+        move |resp: Response| {
+            let resp = match id {
+                Some(id) => resp.tagged(id),
+                None => resp,
+            };
+            completions.lock().expect("completion queue lock").push((
+                conn_id,
+                gen,
+                v1_seq,
+                resp.encode(),
+            ));
+            waker.wake();
+        }
     }
 }
 
 /// Makes a running [`Server::run`] loop return.
 pub struct ShutdownHandle {
     stop: Arc<AtomicBool>,
+    waker: Arc<Waker>,
     addr: Option<SocketAddr>,
 }
 
 impl ShutdownHandle {
-    /// Signal the accept loop to exit.
+    /// Signal the event loop to exit.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        // Also poke the listener in case the loop is in a blocking accept
+        // (non-unix threaded fallback).
         if let Some(addr) = self.addr {
-            // Unblock the blocking accept with a throwaway connection.
             let _ = TcpStream::connect(addr);
         }
     }
 }
 
-fn catalog(store: &ModelStore) -> Vec<ModelInfo> {
-    store
-        .names()
-        .into_iter()
-        .filter_map(|name| store.entry(&name).ok())
-        .map(|entry| ModelInfo {
-            name: entry.name().to_string(),
-            method: entry.meta().method.clone(),
-            dim: entry.meta().dim,
-            num_views: entry.meta().num_views,
-            input_kind: entry.meta().input_kind,
-        })
-        .collect()
+/// One client connection's event-loop state.
+#[cfg(unix)]
+struct Conn {
+    stream: TcpStream,
+    /// Slot generation: completions for a previous tenant of this slot are dropped.
+    gen: u64,
+    /// Received, not yet parsed bytes.
+    rbuf: Vec<u8>,
+    /// Encoded frames not yet written to the socket.
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written.
+    wpos: usize,
+    /// Peer hung up (or a framing violation): flush `wbuf`, then drop.
+    closing: bool,
+    /// Fatal socket error: drop immediately.
+    dead: bool,
+    /// Async replies still owed to this connection. A half-closed connection
+    /// (client sent its requests, then `shutdown(SHUT_WR)`, and is reading) stays
+    /// alive until every owed reply has been queued.
+    inflight: usize,
+    /// Next sequence number assigned to an untagged (v1) request.
+    v1_assign: u64,
+    /// Next untagged reply sequence allowed onto the wire.
+    v1_send: u64,
+    /// Untagged replies that completed out of order, held until their turn — v1
+    /// clients are promised replies in request order.
+    v1_held: std::collections::BTreeMap<u64, Vec<u8>>,
+    /// Total payload bytes parked in `v1_held`, counted against the write
+    /// backpressure high-water mark (a reply held behind a slow earlier request
+    /// occupies memory just like one sitting in `wbuf`).
+    v1_held_bytes: usize,
 }
 
-fn handle_connection(stream: TcpStream, engine: &BatchEngine) -> Result<()> {
+#[cfg(unix)]
+impl Conn {
+    fn queue_frame(&mut self, payload: &[u8]) {
+        self.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload);
+    }
+
+    /// Queue an untagged reply in request order: hold it until every untagged
+    /// reply with a smaller sequence number has been queued.
+    fn deliver_v1(&mut self, seq: u64, payload: Vec<u8>) {
+        self.v1_held_bytes += payload.len();
+        self.v1_held.insert(seq, payload);
+        while let Some(ready) = self.v1_held.remove(&self.v1_send) {
+            self.v1_held_bytes -= ready.len();
+            self.queue_frame(&ready);
+            self.v1_send += 1;
+        }
+    }
+
+    /// Write as much of `wbuf` as the socket accepts right now.
+    fn flush(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+    }
+
+    fn has_pending_writes(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+#[cfg(unix)]
+impl Server {
+    fn run_event_loop(&self) -> Result<()> {
+        use std::os::unix::io::AsRawFd;
+        use sys::*;
+
+        self.listener.set_nonblocking(true)?;
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut next_gen: u64 = 1;
+
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+
+            // 1. Drain completions into per-connection write buffers (untagged
+            //    replies via the v1 ordering gate).
+            let ready: Vec<Completion> =
+                std::mem::take(&mut *self.completions.lock().expect("completion queue lock"));
+            for (conn_id, gen, v1_seq, payload) in ready {
+                if let Some(Some(conn)) = conns.get_mut(conn_id) {
+                    if conn.gen == gen && !conn.dead {
+                        conn.inflight = conn.inflight.saturating_sub(1);
+                        match v1_seq {
+                            Some(seq) => conn.deliver_v1(seq, payload),
+                            None => conn.queue_frame(&payload),
+                        }
+                    }
+                }
+            }
+
+            // 2. Opportunistic flush (skips a poll round-trip for small replies).
+            for conn in conns.iter_mut().flatten() {
+                if conn.has_pending_writes() {
+                    conn.flush();
+                }
+            }
+            self.reap(&mut conns);
+
+            // 3. Build the pollfd set: waker, listener, then live connections.
+            let live = conns.iter().flatten().count();
+            let mut fds = Vec::with_capacity(live + 2);
+            fds.push(PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            fds.push(PollFd {
+                fd: self.listener.as_raw_fd(),
+                events: if live < MAX_CONNS { POLLIN } else { 0 },
+                revents: 0,
+            });
+            let mut slots = Vec::with_capacity(live);
+            for (slot, conn) in conns.iter().enumerate() {
+                if let Some(conn) = conn {
+                    // Backpressure: stop reading while the peer owes us a drain.
+                    let throttled = conn.wbuf.len().saturating_sub(conn.wpos) + conn.v1_held_bytes
+                        >= WBUF_HIGH_WATER;
+                    let mut events = if conn.closing || throttled { 0 } else { POLLIN };
+                    if conn.has_pending_writes() {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd {
+                        fd: conn.stream.as_raw_fd(),
+                        events,
+                        revents: 0,
+                    });
+                    slots.push(slot);
+                }
+            }
+
+            // 4. Wait for readiness (bounded so the stop flag is honoured).
+            poll_retry(&mut fds, 250)?;
+
+            // 5. Waker: drain the self-pipe; completions are picked up next pass.
+            if fds[0].revents & POLLIN != 0 {
+                let mut sink = [0u8; 64];
+                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+            }
+
+            // 6. Listener: accept everything that is ready.
+            if fds[1].revents & POLLIN != 0 {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            let conn = Conn {
+                                stream,
+                                gen: next_gen,
+                                rbuf: Vec::new(),
+                                wbuf: Vec::new(),
+                                wpos: 0,
+                                closing: false,
+                                dead: false,
+                                inflight: 0,
+                                v1_assign: 0,
+                                v1_send: 0,
+                                v1_held: std::collections::BTreeMap::new(),
+                                v1_held_bytes: 0,
+                            };
+                            next_gen += 1;
+                            match conns.iter().position(Option::is_none) {
+                                Some(slot) => conns[slot] = Some(conn),
+                                None => conns.push(Some(conn)),
+                            }
+                            if conns.iter().flatten().count() >= MAX_CONNS {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            // A failed accept (peer vanished) is not fatal.
+                            eprintln!("tcca_serve: accept failed: {e}");
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // 7. Connection readiness.
+            for (fd_idx, &slot) in slots.iter().enumerate() {
+                let revents = fds[fd_idx + 2].revents;
+                if revents == 0 {
+                    continue;
+                }
+                let Some(conn) = conns[slot].as_mut() else {
+                    continue;
+                };
+                if revents & (POLLERR | POLLNVAL) != 0 {
+                    conn.dead = true;
+                    continue;
+                }
+                if revents & POLLIN != 0 {
+                    self.read_ready(slot, conn);
+                }
+                if revents & (POLLOUT | POLLHUP) != 0 && !conn.dead {
+                    conn.flush();
+                }
+            }
+            self.reap(&mut conns);
+        }
+    }
+
+    /// Drop connections that are dead, or closing with nothing left to flush and
+    /// no replies still owed (a half-closed peer is still waiting to read them).
+    fn reap(&self, conns: &mut [Option<Conn>]) {
+        for conn in conns.iter_mut() {
+            let drop_it = match conn {
+                Some(c) => c.dead || (c.closing && !c.has_pending_writes() && c.inflight == 0),
+                None => false,
+            };
+            if drop_it {
+                *conn = None;
+            }
+        }
+    }
+
+    /// Read up to [`READ_BUDGET`] bytes, then parse and dispatch complete frames.
+    fn read_ready(&self, slot: usize, conn: &mut Conn) {
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut eof = false;
+        let mut taken = 0usize;
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    taken += n;
+                    if taken >= READ_BUDGET {
+                        break; // level-triggered poll re-reports the leftovers
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+
+        // Parse complete frames off the front of rbuf.
+        let mut pos = 0usize;
+        while conn.rbuf.len() - pos >= 4 && !conn.closing {
+            let len =
+                u32::from_le_bytes(conn.rbuf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            if len as u64 > u64::from(MAX_FRAME_LEN) {
+                // Framing is lost: reply in-band (ordered behind any replies
+                // still owed), then close after flushing.
+                let seq = conn.v1_assign;
+                conn.v1_assign += 1;
+                let resp = Response::Error(format!(
+                    "protocol violation: frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+                ));
+                conn.deliver_v1(seq, resp.encode());
+                conn.closing = true;
+                break;
+            }
+            if conn.rbuf.len() - pos - 4 < len {
+                break; // incomplete frame: wait for more bytes
+            }
+            let payload = conn.rbuf[pos + 4..pos + 4 + len].to_vec();
+            pos += 4 + len;
+            match Request::decode(&payload) {
+                Ok(req) => {
+                    let (id, inner) = match req {
+                        Request::Tagged { id, inner } => (Some(id), *inner),
+                        other => (None, other),
+                    };
+                    // Untagged requests get a sequence number so their replies go
+                    // out in request order even when an async transform is slower
+                    // than a later inline op. Tagged replies may overtake freely.
+                    let v1_seq = if id.is_none() {
+                        let seq = conn.v1_assign;
+                        conn.v1_assign += 1;
+                        Some(seq)
+                    } else {
+                        None
+                    };
+                    match self.handle_request(slot, conn.gen, id, v1_seq, inner) {
+                        Some(resp) => match v1_seq {
+                            Some(seq) => conn.deliver_v1(seq, resp.encode()),
+                            None => conn.queue_frame(&resp.encode()),
+                        },
+                        None => conn.inflight += 1,
+                    }
+                }
+                Err(e) => {
+                    // The frame boundary held; the *content* was bad. Reply
+                    // in-band (in order — the frame was untagged as far as the
+                    // client's reply matching cares) and keep serving.
+                    let seq = conn.v1_assign;
+                    conn.v1_assign += 1;
+                    conn.deliver_v1(seq, Response::Error(e.to_string()).encode());
+                }
+            }
+        }
+        conn.rbuf.drain(..pos);
+
+        if eof {
+            if !conn.rbuf.is_empty() && !conn.closing {
+                // Peer hung up mid-frame; tell it (it may still read) and close.
+                // Through the ordering gate, so earlier replies still in flight
+                // reach the wire first.
+                let seq = conn.v1_assign;
+                conn.v1_assign += 1;
+                conn.deliver_v1(
+                    seq,
+                    Response::Error("protocol violation: connection closed mid frame".into())
+                        .encode(),
+                );
+            }
+            conn.closing = true;
+        }
+    }
+}
+
+/// Fallback for platforms without `poll`: the classic thread-per-connection loop.
+#[cfg(not(unix))]
+impl Server {
+    fn run_threaded(&self) -> Result<()> {
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let service = Arc::clone(&self.service);
+            std::thread::spawn(move || {
+                let _ = serve_blocking(stream, &service);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Blocking per-connection loop used by the non-unix fallback.
+#[cfg(not(unix))]
+fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Result<()> {
+    use crate::wire::{read_frame, write_frame};
+    use crate::ServeError;
     stream.set_nodelay(true)?;
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
     while let Some(payload) = read_frame(&mut reader)? {
         let response = match Request::decode(&payload) {
-            Ok(Request::Transform { model, inputs }) => match engine.transform(&model, inputs) {
-                Ok(z) => Response::Embedding(z),
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Ok(Request::ListModels) => Response::Models(catalog(engine.store())),
-            Ok(Request::Ping) => Response::Pong,
-            Err(e @ ServeError::Protocol(_)) => return Err(e),
+            Ok(req) => {
+                let (id, inner) = match req {
+                    Request::Tagged { id, inner } => (Some(id), *inner),
+                    other => (None, other),
+                };
+                let resp = match inner {
+                    Request::Ping => Response::Pong,
+                    Request::ListModels => match service.catalog() {
+                        Ok(models) => Response::Models(models),
+                        Err(e) => Response::Error(e.to_string()),
+                    },
+                    Request::Rescan => match service.rescan() {
+                        Ok(report) => Response::Rescanned(report),
+                        Err(e) => Response::Error(e.to_string()),
+                    },
+                    Request::Transform { model, inputs } => {
+                        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                        service.submit_transform(
+                            &model,
+                            inputs,
+                            Box::new(move |r| drop(tx.send(r))),
+                        );
+                        match rx.recv() {
+                            Ok(Ok(z)) => Response::Embedding(z),
+                            Ok(Err(e)) => Response::Error(e.to_string()),
+                            Err(_) => Response::Error(ServeError::EngineStopped.to_string()),
+                        }
+                    }
+                    Request::TransformView { model, view, input } => {
+                        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                        service.submit_transform_view(
+                            &model,
+                            view as usize,
+                            input,
+                            Box::new(move |r| drop(tx.send(r))),
+                        );
+                        match rx.recv() {
+                            Ok(Ok(z)) => Response::Embedding(z),
+                            Ok(Err(e)) => Response::Error(e.to_string()),
+                            Err(_) => Response::Error(ServeError::EngineStopped.to_string()),
+                        }
+                    }
+                    Request::Outputs { model, inputs } => {
+                        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                        service.submit_outputs(&model, inputs, Box::new(move |r| drop(tx.send(r))));
+                        match rx.recv() {
+                            Ok(Ok(c)) => Response::Outputs(c),
+                            Ok(Err(e)) => Response::Error(e.to_string()),
+                            Err(_) => Response::Error(ServeError::EngineStopped.to_string()),
+                        }
+                    }
+                    Request::Tagged { .. } => Response::Error("nested tagged request".into()),
+                };
+                match id {
+                    Some(id) => resp.tagged(id),
+                    None => resp,
+                }
+            }
             Err(e) => Response::Error(e.to_string()),
         };
         write_frame(&mut writer, &response.encode())?;
@@ -162,6 +782,20 @@ mod tests {
             .collect()
     }
 
+    fn bound_server(store: Arc<ModelStore>) -> (Server, SocketAddr) {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            store,
+            BatchConfig {
+                max_batch: 16,
+                max_wait: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        (server, addr)
+    }
+
     #[test]
     fn tcp_roundtrip_matches_in_process_transform() {
         let views = fixture_views();
@@ -173,16 +807,7 @@ mod tests {
 
         let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
         store.insert("tcca", model);
-        let server = Server::bind(
-            "127.0.0.1:0",
-            store,
-            BatchConfig {
-                max_batch: 16,
-                max_wait: Duration::from_millis(1),
-            },
-        )
-        .unwrap();
-        let addr = server.local_addr().unwrap();
+        let (server, addr) = bound_server(store);
         let shutdown = server.shutdown_handle();
         let server_thread = std::thread::spawn(move || server.run().unwrap());
 
@@ -206,6 +831,77 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(err.to_string().contains("view"), "{err}");
+        client.ping().unwrap();
+
+        shutdown.shutdown();
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_tagged_requests_complete_out_of_order() {
+        let views = fixture_views();
+        let registry = EstimatorRegistry::with_builtin();
+        let model = registry
+            .fit("PCA", &views, &FitSpec::with_rank(2).seed(5))
+            .unwrap();
+        let expected = model.transform(&views).unwrap();
+
+        let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+        store.insert("pca", model);
+        let (server, addr) = bound_server(store);
+        let shutdown = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+        // Fire three tagged requests back to back without reading, then collect
+        // replies by id: the transform is free to complete after the pings.
+        let mut client = Client::connect(addr).unwrap();
+        let id_a = client
+            .send(&Request::Transform {
+                model: "pca".into(),
+                inputs: views.clone(),
+            })
+            .unwrap();
+        let id_b = client.send(&Request::Ping).unwrap();
+        let id_c = client.send(&Request::ListModels).unwrap();
+        let mut replies = std::collections::BTreeMap::new();
+        for _ in 0..3 {
+            let (id, resp) = client.recv().unwrap();
+            replies.insert(id, resp);
+        }
+        assert_eq!(replies.len(), 3);
+        match replies.remove(&id_a) {
+            Some(Response::Embedding(z)) => assert_eq!(z, expected),
+            other => panic!("unexpected transform reply: {other:?}"),
+        }
+        assert_eq!(replies.remove(&id_b), Some(Response::Pong));
+        match replies.remove(&id_c) {
+            Some(Response::Models(models)) => assert_eq!(models.len(), 1),
+            other => panic!("unexpected catalog reply: {other:?}"),
+        }
+
+        shutdown.shutdown();
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn many_idle_connections_do_not_block_service() {
+        let views = fixture_views();
+        let registry = EstimatorRegistry::with_builtin();
+        let model = registry
+            .fit("PCA", &views, &FitSpec::with_rank(2).seed(9))
+            .unwrap();
+        let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+        store.insert("pca", model);
+        let (server, addr) = bound_server(store);
+        let shutdown = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+        // Park a pile of idle connections, then serve a request through a fresh
+        // one — the event loop must not be pinned by the idlers.
+        let idle: Vec<Client> = (0..64).map(|_| Client::connect(addr).unwrap()).collect();
+        let mut client = Client::connect(addr).unwrap();
+        assert!(client.transform("pca", &views).is_ok());
+        drop(idle);
         client.ping().unwrap();
 
         shutdown.shutdown();

@@ -1,0 +1,76 @@
+//! [`TransformService`] — the uniform asynchronous interface the TCP front speaks.
+//!
+//! The event-loop server in [`crate::Server`] never blocks on model execution: it
+//! submits work with a completion callback and keeps polling sockets. Anything that
+//! can answer those submissions can sit behind the server — a single
+//! [`BatchEngine`] (one-process serving) or a [`crate::Router`] fanning out to
+//! shards. Catalog and rescan are synchronous: they are cheap metadata operations
+//! served from headers, never from payloads.
+
+use crate::batch::{OutputsCallback, ReplyCallback};
+use crate::wire::{ModelInfo, RescanReport};
+use crate::{BatchEngine, ModelStore, Result};
+use linalg::Matrix;
+
+/// An asynchronous transform backend: the [`crate::Server`] submits requests and
+/// returns to its poll loop; the backend invokes each callback exactly once.
+pub trait TransformService: Send + Sync {
+    /// Project instances through the named model (all views).
+    fn submit_transform(&self, model: &str, inputs: Vec<Matrix>, reply: ReplyCallback);
+
+    /// Project a single view through the model's per-view projection.
+    fn submit_transform_view(&self, model: &str, which: usize, input: Matrix, reply: ReplyCallback);
+
+    /// Compute all named candidate outputs of the model.
+    fn submit_outputs(&self, model: &str, inputs: Vec<Matrix>, reply: OutputsCallback);
+
+    /// The model catalog (header metadata only).
+    fn catalog(&self) -> Result<Vec<ModelInfo>>;
+
+    /// Re-scan backing model directories for new/changed/removed files.
+    fn rescan(&self) -> Result<RescanReport>;
+}
+
+/// Catalog of one store, from header metadata alone.
+pub fn store_catalog(store: &ModelStore) -> Vec<ModelInfo> {
+    store
+        .names()
+        .into_iter()
+        .filter_map(|name| store.entry(&name).ok())
+        .map(|entry| ModelInfo {
+            name: entry.name().to_string(),
+            method: entry.meta().method.clone(),
+            dim: entry.meta().dim,
+            num_views: entry.meta().num_views,
+            input_kind: entry.meta().input_kind,
+        })
+        .collect()
+}
+
+impl TransformService for BatchEngine {
+    fn submit_transform(&self, model: &str, inputs: Vec<Matrix>, reply: ReplyCallback) {
+        BatchEngine::submit_transform(self, model, inputs, reply);
+    }
+
+    fn submit_transform_view(
+        &self,
+        model: &str,
+        which: usize,
+        input: Matrix,
+        reply: ReplyCallback,
+    ) {
+        BatchEngine::submit_transform_view(self, model, which, input, reply);
+    }
+
+    fn submit_outputs(&self, model: &str, inputs: Vec<Matrix>, reply: OutputsCallback) {
+        BatchEngine::submit_outputs(self, model, inputs, reply);
+    }
+
+    fn catalog(&self) -> Result<Vec<ModelInfo>> {
+        Ok(store_catalog(self.store()))
+    }
+
+    fn rescan(&self) -> Result<RescanReport> {
+        self.store().rescan()
+    }
+}

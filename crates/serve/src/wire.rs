@@ -13,6 +13,10 @@
 //! | 1 | `Transform` | name (`u32` + UTF-8), `u32` input count, matrices |
 //! | 2 | `ListModels` | — |
 //! | 3 | `Ping` | — |
+//! | 4 | `Outputs` | name, `u32` input count, matrices (v2) |
+//! | 5 | `TransformView` | name, `u32` view index, one matrix (v2) |
+//! | 6 | `Rescan` | — (v2) |
+//! | 16 | `Tagged` | `u64` request id, then a nested untagged request (v2) |
 //!
 //! Responses:
 //!
@@ -22,6 +26,21 @@
 //! | 1 | `Error` | message (`u32` + UTF-8) |
 //! | 2 | `Models` | `u32` count, then per model: name, method, `u64` dim, `u32` views, `u8` kind |
 //! | 3 | `Pong` | — |
+//! | 4 | `Outputs` | `u32` count, then per candidate: label, `u8` kind, one matrix (v2) |
+//! | 5 | `Rescanned` | `u32` added, `u32` removed, `u32` reloaded (v2) |
+//! | 16 | `Tagged` | `u64` request id, then a nested untagged response (v2) |
+//!
+//! ## Protocol v2: request ids and pipelining
+//!
+//! Opcodes 0–3 are **protocol v1** and keep working unchanged — a v1 client talking
+//! to a v2 server sees exactly the v1 behaviour (one untagged reply per untagged
+//! request, in request order). Protocol v2 adds the `Tagged` envelope: a client may
+//! send many tagged requests without waiting, and the server replies with the *same
+//! id* wrapped around the reply — **possibly out of request order** (cheap inline
+//! ops like `Ping` overtake in-flight transforms, and transforms for different
+//! models complete independently). Clients match replies to requests by id. The
+//! nested message may be any untagged request; nesting a `Tagged` inside a `Tagged`
+//! is a protocol violation.
 
 use crate::{Result, ServeError};
 use linalg::Matrix;
@@ -30,6 +49,9 @@ use std::io::{Read, Write};
 
 /// Maximum accepted frame payload (1 GiB).
 pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Opcode of the v2 `Tagged` envelope (shared by requests and responses).
+pub const TAGGED_OPCODE: u8 = 16;
 
 /// A request from client to server.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +68,36 @@ pub enum Request {
     ListModels,
     /// Liveness probe.
     Ping,
+    /// All named candidate representations of the given instances (v2). This is the
+    /// serving path for multi-candidate methods (BSF/BSK/AVG, pairwise CCA/KCCA)
+    /// whose `transform` rejects by design.
+    Outputs {
+        /// Store name of the model.
+        model: String,
+        /// One matrix per view or kernel block, as for `Transform`.
+        inputs: Vec<Matrix>,
+    },
+    /// Project instances of a *single* view through the model's per-view projection
+    /// (v2). Batched without stitching the other `m − 1` views.
+    TransformView {
+        /// Store name of the model.
+        model: String,
+        /// Which view the matrix belongs to.
+        view: u32,
+        /// The view matrix (features × instances, or a kernel block).
+        input: Matrix,
+    },
+    /// Re-scan the server's model directory for new/changed/removed `.mvm` files
+    /// (v2). A router forwards this to every live shard.
+    Rescan,
+    /// The v2 envelope: an id the server echoes around its reply, enabling
+    /// pipelining and out-of-order completion.
+    Tagged {
+        /// Client-chosen request id.
+        id: u64,
+        /// The wrapped (untagged) request.
+        inner: Box<Request>,
+    },
 }
 
 /// Catalog entry returned by [`Response::Models`].
@@ -63,6 +115,47 @@ pub struct ModelInfo {
     pub input_kind: InputKind,
 }
 
+/// Whether a served candidate is an embedding or a precomputed distance matrix
+/// (the wire-level mirror of `mvcore::Output`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateKind {
+    /// An `N × dim` embedding.
+    Embedding,
+    /// An `N × N` squared-distance matrix.
+    Distances,
+}
+
+/// One labelled candidate in a [`Response::Outputs`] reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedOutput {
+    /// Model-provided candidate name (`view0`, `pair(0,2)`, …).
+    pub label: String,
+    /// Embedding or distance matrix.
+    pub kind: CandidateKind,
+    /// The candidate's values.
+    pub matrix: Matrix,
+}
+
+/// Counters reported by a [`Response::Rescanned`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RescanReport {
+    /// Files indexed for the first time.
+    pub added: usize,
+    /// Entries dropped because their backing file vanished.
+    pub removed: usize,
+    /// Entries whose file changed on disk (header re-read, cached payload dropped).
+    pub reloaded: usize,
+}
+
+impl RescanReport {
+    /// Element-wise sum (a router accumulates per-shard reports).
+    pub fn merge(&mut self, other: RescanReport) {
+        self.added += other.added;
+        self.removed += other.removed;
+        self.reloaded += other.reloaded;
+    }
+}
+
 /// A server reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -74,6 +167,17 @@ pub enum Response {
     Models(Vec<ModelInfo>),
     /// Reply to `Ping`.
     Pong,
+    /// The named candidates produced by an `Outputs` request (v2).
+    Outputs(Vec<NamedOutput>),
+    /// Reply to `Rescan` (v2).
+    Rescanned(RescanReport),
+    /// The v2 envelope echoing a `Tagged` request's id.
+    Tagged {
+        /// The id of the request this reply answers.
+        id: u64,
+        /// The wrapped (untagged) reply.
+        inner: Box<Response>,
+    },
 }
 
 fn push_u32(out: &mut Vec<u8>, v: u32) {
@@ -172,19 +276,51 @@ impl Request {
     /// Encode into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Request::Transform { model, inputs } => {
                 out.push(1);
-                push_str(&mut out, model);
-                push_u32(&mut out, inputs.len() as u32);
+                push_str(out, model);
+                push_u32(out, inputs.len() as u32);
                 for m in inputs {
-                    push_matrix(&mut out, m);
+                    push_matrix(out, m);
                 }
             }
             Request::ListModels => out.push(2),
             Request::Ping => out.push(3),
+            Request::Outputs { model, inputs } => {
+                out.push(4);
+                push_str(out, model);
+                push_u32(out, inputs.len() as u32);
+                for m in inputs {
+                    push_matrix(out, m);
+                }
+            }
+            Request::TransformView { model, view, input } => {
+                out.push(5);
+                push_str(out, model);
+                push_u32(out, *view);
+                push_matrix(out, input);
+            }
+            Request::Rescan => out.push(6),
+            Request::Tagged { id, inner } => {
+                out.push(TAGGED_OPCODE);
+                push_u64(out, *id);
+                inner.encode_into(out);
+            }
         }
-        out
+    }
+
+    /// Wrap this request in a v2 [`Request::Tagged`] envelope.
+    pub fn tagged(self, id: u64) -> Request {
+        Request::Tagged {
+            id,
+            inner: Box::new(self),
+        }
     }
 
     /// Decode a frame payload.
@@ -193,6 +329,12 @@ impl Request {
             data: payload,
             pos: 0,
         };
+        let req = Self::decode_cursor(&mut c, true)?;
+        c.finish("request")?;
+        Ok(req)
+    }
+
+    fn decode_cursor(c: &mut Cursor<'_>, allow_tag: bool) -> Result<Self> {
         let req = match c.u8("request opcode")? {
             1 => {
                 let model = c.string("model name")?;
@@ -204,9 +346,33 @@ impl Request {
             }
             2 => Request::ListModels,
             3 => Request::Ping,
+            4 => {
+                let model = c.string("model name")?;
+                let count = c.u32("input count")? as usize;
+                let inputs = (0..count)
+                    .map(|_| c.matrix("input matrix"))
+                    .collect::<Result<Vec<_>>>()?;
+                Request::Outputs { model, inputs }
+            }
+            5 => {
+                let model = c.string("model name")?;
+                let view = c.u32("view index")?;
+                let input = c.matrix("view matrix")?;
+                Request::TransformView { model, view, input }
+            }
+            6 => Request::Rescan,
+            TAGGED_OPCODE if allow_tag => {
+                let id = c.u64("request id")?;
+                let inner = Box::new(Self::decode_cursor(c, false)?);
+                Request::Tagged { id, inner }
+            }
+            TAGGED_OPCODE => {
+                return Err(ServeError::Protocol(
+                    "tagged request nested inside a tagged request".into(),
+                ))
+            }
             op => return Err(ServeError::Protocol(format!("unknown request opcode {op}"))),
         };
-        c.finish("request")?;
         Ok(req)
     }
 }
@@ -215,23 +381,28 @@ impl Response {
     /// Encode into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Response::Embedding(m) => {
                 out.push(0);
-                push_matrix(&mut out, m);
+                push_matrix(out, m);
             }
             Response::Error(msg) => {
                 out.push(1);
-                push_str(&mut out, msg);
+                push_str(out, msg);
             }
             Response::Models(models) => {
                 out.push(2);
-                push_u32(&mut out, models.len() as u32);
+                push_u32(out, models.len() as u32);
                 for info in models {
-                    push_str(&mut out, &info.name);
-                    push_str(&mut out, &info.method);
-                    push_u64(&mut out, info.dim as u64);
-                    push_u32(&mut out, info.num_views as u32);
+                    push_str(out, &info.name);
+                    push_str(out, &info.method);
+                    push_u64(out, info.dim as u64);
+                    push_u32(out, info.num_views as u32);
                     out.push(match info.input_kind {
                         InputKind::Views => 0,
                         InputKind::Kernels => 1,
@@ -239,8 +410,38 @@ impl Response {
                 }
             }
             Response::Pong => out.push(3),
+            Response::Outputs(candidates) => {
+                out.push(4);
+                push_u32(out, candidates.len() as u32);
+                for c in candidates {
+                    push_str(out, &c.label);
+                    out.push(match c.kind {
+                        CandidateKind::Embedding => 0,
+                        CandidateKind::Distances => 1,
+                    });
+                    push_matrix(out, &c.matrix);
+                }
+            }
+            Response::Rescanned(report) => {
+                out.push(5);
+                push_u32(out, report.added as u32);
+                push_u32(out, report.removed as u32);
+                push_u32(out, report.reloaded as u32);
+            }
+            Response::Tagged { id, inner } => {
+                out.push(TAGGED_OPCODE);
+                push_u64(out, *id);
+                inner.encode_into(out);
+            }
         }
-        out
+    }
+
+    /// Wrap this response in a v2 [`Response::Tagged`] envelope.
+    pub fn tagged(self, id: u64) -> Response {
+        Response::Tagged {
+            id,
+            inner: Box::new(self),
+        }
     }
 
     /// Decode a frame payload.
@@ -249,6 +450,12 @@ impl Response {
             data: payload,
             pos: 0,
         };
+        let resp = Self::decode_cursor(&mut c, true)?;
+        c.finish("response")?;
+        Ok(resp)
+    }
+
+    fn decode_cursor(c: &mut Cursor<'_>, allow_tag: bool) -> Result<Self> {
         let resp = match c.u8("response opcode")? {
             0 => Response::Embedding(c.matrix("embedding")?),
             1 => Response::Error(c.string("error message")?),
@@ -280,13 +487,50 @@ impl Response {
                 Response::Models(models)
             }
             3 => Response::Pong,
+            4 => {
+                let count = c.u32("candidate count")? as usize;
+                let mut candidates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let label = c.string("candidate label")?;
+                    let kind = match c.u8("candidate kind")? {
+                        0 => CandidateKind::Embedding,
+                        1 => CandidateKind::Distances,
+                        k => {
+                            return Err(ServeError::Protocol(format!(
+                                "unknown candidate-kind byte {k}"
+                            )))
+                        }
+                    };
+                    let matrix = c.matrix("candidate matrix")?;
+                    candidates.push(NamedOutput {
+                        label,
+                        kind,
+                        matrix,
+                    });
+                }
+                Response::Outputs(candidates)
+            }
+            5 => Response::Rescanned(RescanReport {
+                added: c.u32("rescan added")? as usize,
+                removed: c.u32("rescan removed")? as usize,
+                reloaded: c.u32("rescan reloaded")? as usize,
+            }),
+            TAGGED_OPCODE if allow_tag => {
+                let id = c.u64("response id")?;
+                let inner = Box::new(Self::decode_cursor(c, false)?);
+                Response::Tagged { id, inner }
+            }
+            TAGGED_OPCODE => {
+                return Err(ServeError::Protocol(
+                    "tagged response nested inside a tagged response".into(),
+                ))
+            }
             op => {
                 return Err(ServeError::Protocol(format!(
                     "unknown response opcode {op}"
                 )))
             }
         };
-        c.finish("response")?;
         Ok(resp)
     }
 }
@@ -357,9 +601,33 @@ mod tests {
             },
             Request::ListModels,
             Request::Ping,
+            Request::Outputs {
+                model: "bsf".into(),
+                inputs: vec![sample_matrix()],
+            },
+            Request::TransformView {
+                model: "cca-ls".into(),
+                view: 2,
+                input: sample_matrix(),
+            },
+            Request::Rescan,
+            Request::Ping.tagged(u64::MAX),
+            Request::Transform {
+                model: "m".into(),
+                inputs: vec![sample_matrix()],
+            }
+            .tagged(7),
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn nested_tags_are_rejected() {
+        let req = Request::Ping.tagged(1).tagged(2);
+        assert!(Request::decode(&req.encode()).is_err());
+        let resp = Response::Pong.tagged(1).tagged(2);
+        assert!(Response::decode(&resp.encode()).is_err());
     }
 
     #[test]
@@ -375,6 +643,24 @@ mod tests {
                 input_kind: InputKind::Kernels,
             }]),
             Response::Pong,
+            Response::Outputs(vec![
+                NamedOutput {
+                    label: "view0".into(),
+                    kind: CandidateKind::Embedding,
+                    matrix: sample_matrix(),
+                },
+                NamedOutput {
+                    label: "kernel1".into(),
+                    kind: CandidateKind::Distances,
+                    matrix: Matrix::zeros(2, 2),
+                },
+            ]),
+            Response::Rescanned(RescanReport {
+                added: 2,
+                removed: 1,
+                reloaded: 3,
+            }),
+            Response::Embedding(sample_matrix()).tagged(99),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }

@@ -1,0 +1,229 @@
+//! Fuzz-style wire tests: the server must answer malformed or hostile frames with
+//! an in-band protocol error — never hang, never panic, never take down service
+//! for other connections.
+
+use linalg::Matrix;
+use mvcore::{EstimatorRegistry, FitSpec};
+use serve::wire::{read_frame, Response, MAX_FRAME_LEN};
+use serve::{BatchConfig, Client, ModelStore, Server};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture_views() -> Vec<Matrix> {
+    let data = datasets::secstr_dataset(&datasets::SecStrConfig {
+        n_instances: 24,
+        seed: 3,
+        difficulty: 0.8,
+    });
+    data.views()
+        .iter()
+        .map(|v| v.select_rows(&(0..6.min(v.rows())).collect::<Vec<_>>()))
+        .collect()
+}
+
+fn start_server() -> (SocketAddr, impl FnOnce()) {
+    let views = fixture_views();
+    let registry = EstimatorRegistry::with_builtin();
+    let model = registry
+        .fit("PCA", &views, &FitSpec::with_rank(2).seed(7))
+        .unwrap();
+    let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+    store.insert("pca", model);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        store,
+        BatchConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(1),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().unwrap());
+    (addr, move || {
+        shutdown.shutdown();
+        thread.join().unwrap();
+    })
+}
+
+/// Read one frame with a deadline so a hung server fails the test instead of
+/// wedging it.
+fn read_reply(stream: &mut TcpStream) -> Response {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let payload = read_frame(stream)
+        .expect("reading the server's reply")
+        .expect("server closed without replying");
+    Response::decode(&payload).expect("decoding the server's reply")
+}
+
+fn expect_protocol_error(resp: Response, needle: &str) {
+    match resp {
+        Response::Error(msg) => {
+            assert!(
+                msg.contains(needle),
+                "error {msg:?} must mention {needle:?}"
+            )
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_length_prefix_gets_an_error_not_a_hang() {
+    let (addr, stop) = start_server();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Two bytes of a four-byte length prefix, then half-close: the server sees EOF
+    // mid frame header and must reply with a protocol error, then close.
+    stream.write_all(&[0x10, 0x00]).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    expect_protocol_error(read_reply(&mut stream), "protocol violation");
+    // The connection then closes cleanly.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no trailing bytes after the error reply");
+    stop();
+}
+
+#[test]
+fn truncated_payload_gets_an_error_not_a_hang() {
+    let (addr, stop) = start_server();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Frame declares 64 bytes but only 3 arrive before the peer gives up.
+    stream.write_all(&64u32.to_le_bytes()).unwrap();
+    stream.write_all(&[1, 2, 3]).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    expect_protocol_error(read_reply(&mut stream), "protocol violation");
+    stop();
+}
+
+#[test]
+fn oversized_declared_length_is_refused_without_allocation() {
+    let (addr, stop) = start_server();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Length far beyond the cap: the server must refuse it outright (never try to
+    // read or allocate the claimed 4 GiB) and report the limit.
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    expect_protocol_error(
+        read_reply(&mut stream),
+        &format!("{MAX_FRAME_LEN}-byte limit"),
+    );
+    stop();
+}
+
+#[test]
+fn junk_opcode_is_answered_in_band_and_the_connection_survives() {
+    let (addr, stop) = start_server();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // A perfectly framed request with a nonsense opcode.
+    stream.write_all(&1u32.to_le_bytes()).unwrap();
+    stream.write_all(&[0xEE]).unwrap();
+    expect_protocol_error(read_reply(&mut stream), "unknown request opcode");
+    // The frame boundary held, so the same connection keeps working: a valid ping
+    // (opcode 3) still gets its pong.
+    stream.write_all(&1u32.to_le_bytes()).unwrap();
+    stream.write_all(&[3]).unwrap();
+    assert_eq!(read_reply(&mut stream), Response::Pong);
+    stop();
+}
+
+#[test]
+fn garbage_payload_inside_a_valid_opcode_is_answered_in_band() {
+    let (addr, stop) = start_server();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Opcode 1 (Transform) followed by a name length that runs past the frame.
+    let mut payload = vec![1u8];
+    payload.extend_from_slice(&1000u32.to_le_bytes());
+    payload.extend_from_slice(b"short");
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(&payload).unwrap();
+    expect_protocol_error(read_reply(&mut stream), "truncated");
+    stop();
+}
+
+#[test]
+fn half_closed_connection_still_receives_its_reply() {
+    let (addr, stop) = start_server();
+    let views = fixture_views();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Send one well-formed transform, then shut down the write half and wait: the
+    // async reply must still arrive (the server may not reap the connection while
+    // a reply is owed).
+    let req = serve::wire::Request::Transform {
+        model: "pca".into(),
+        inputs: views.clone(),
+    };
+    serve::wire::write_frame(&mut stream, &req.encode()).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    match read_reply(&mut stream) {
+        Response::Embedding(z) => assert_eq!(z.rows(), views[0].cols()),
+        other => panic!("expected the embedding, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    stop();
+}
+
+#[test]
+fn pipelined_v1_requests_get_replies_in_request_order() {
+    let (addr, stop) = start_server();
+    let views = fixture_views();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Two *untagged* frames back to back: a transform (async, slow) then a ping
+    // (answered inline). A v1 client matches replies by order, so the embedding
+    // must come back first even though the pong was ready earlier.
+    let transform = serve::wire::Request::Transform {
+        model: "pca".into(),
+        inputs: views.clone(),
+    };
+    serve::wire::write_frame(&mut stream, &transform.encode()).unwrap();
+    serve::wire::write_frame(&mut stream, &serve::wire::Request::Ping.encode()).unwrap();
+    match read_reply(&mut stream) {
+        Response::Embedding(z) => assert_eq!(z.rows(), views[0].cols()),
+        other => panic!("v1 ordering violated: first reply was {other:?}"),
+    }
+    assert_eq!(read_reply(&mut stream), Response::Pong);
+    stop();
+}
+
+#[test]
+fn hostile_connections_do_not_poison_service_for_others() {
+    let (addr, stop) = start_server();
+    let views = fixture_views();
+
+    // A pile of hostile connections in every flavour...
+    let mut hostiles = Vec::new();
+    for flavour in 0..12u8 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        match flavour % 4 {
+            0 => stream.write_all(&[0xFF]).unwrap(), // partial prefix, left open
+            1 => stream.write_all(&u32::MAX.to_le_bytes()).unwrap(), // absurd length
+            2 => {
+                stream.write_all(&1u32.to_le_bytes()).unwrap();
+                stream.write_all(&[0x7F]).unwrap(); // junk opcode
+            }
+            _ => {
+                // Claims 1 KiB, delivers half, stalls.
+                stream.write_all(&1024u32.to_le_bytes()).unwrap();
+                stream.write_all(&vec![0u8; 512]).unwrap();
+            }
+        }
+        hostiles.push(stream);
+    }
+
+    // ...while a well-behaved client gets correct service throughout.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    let z = client.transform("pca", &views).unwrap();
+    assert_eq!(z.rows(), views[0].cols());
+    drop(hostiles);
+    client.ping().unwrap();
+    stop();
+}

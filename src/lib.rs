@@ -69,7 +69,10 @@ pub mod prelude {
         CombineRule, CoreError, EstimatorRegistry, FitSpec, InputKind, MemoryModel,
         MultiViewEstimator, MultiViewModel, Output, Pipeline,
     };
-    pub use serve::{BatchConfig, BatchEngine, Client, ModelStore, Server};
+    pub use serve::{
+        BatchConfig, BatchEngine, Client, ModelStore, Router, RouterBuilder, RouterConfig, Server,
+        TransformService,
+    };
     pub use tcca::{DecompositionMethod, Ktcca, KtccaOptions, Tcca, TccaOptions};
     pub use tensor::{CpAls, DenseTensor, Hopm, RankRDecomposition, TensorPowerMethod};
 }
