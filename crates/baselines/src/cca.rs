@@ -218,7 +218,7 @@ mod tests {
             assert!(w[0] >= w[1] - 1e-12);
         }
         for &x in c {
-            assert!(x >= -1e-12 && x <= 1.0 + 1e-6);
+            assert!((-1e-12..=1.0 + 1e-6).contains(&x));
         }
     }
 

@@ -133,22 +133,26 @@ impl CcaMaxVar {
 
     /// Project a single view (`d_p × N`) into the common subspace (`N × r`).
     pub fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
+        // One-part view through the shifted GEMM: centering happens while the
+        // kernel packs, so no centered copy of the input is ever allocated. The
+        // result is bit-identical to clone-center-then-`t_matmul` (property-tested).
+        self.transform_view_cols(which, &linalg::ColsView::from_matrices([view])?)
+    }
+
+    /// Zero-copy variant of [`CcaMaxVar::transform_view`] over the horizontal
+    /// concatenation of borrowed column blocks: centering happens while the blocked
+    /// GEMM packs, so no stitched or centered copy of the input is ever made and the
+    /// result is bit-identical to the materialized path.
+    pub fn transform_view_cols(&self, which: usize, cols: &linalg::ColsView<'_>) -> Result<Matrix> {
         let proj = &self.projections[which];
-        if view.rows() != proj.rows() {
+        if cols.rows() != proj.rows() {
             return Err(BaselineError::InvalidInput(format!(
                 "view {which} has {} features but the model expects {}",
-                view.rows(),
+                cols.rows(),
                 proj.rows()
             )));
         }
-        let mut centered = view.clone();
-        for i in 0..centered.rows() {
-            let m = self.means[which][i];
-            for v in centered.row_mut(i) {
-                *v -= m;
-            }
-        }
-        Ok(centered.t_matmul(proj)?)
+        Ok(cols.shifted_t_matmul(Some(&self.means[which]), proj)?)
     }
 
     /// Project every view and concatenate the embeddings (`N × m·r`).

@@ -122,14 +122,25 @@ impl Pca {
                 self.components.rows()
             )));
         }
-        let mut centered = view.clone();
-        for i in 0..centered.rows() {
-            let m = self.mean[i];
-            for v in centered.row_mut(i) {
-                *v -= m;
-            }
+        // One-part view through the shifted GEMM: centering happens while the
+        // kernel packs, so no centered copy of the input is ever allocated. The
+        // result is bit-identical to clone-center-then-`t_matmul` (property-tested).
+        self.transform_cols(&linalg::ColsView::from_matrices([view])?)
+    }
+
+    /// Zero-copy variant of [`Pca::transform`] over the horizontal concatenation of
+    /// borrowed column blocks: the mean is subtracted while the blocked GEMM packs,
+    /// so no stitched or centered copy of the input is ever made and the result is
+    /// bit-identical to the materialized path.
+    pub fn transform_cols(&self, cols: &linalg::ColsView<'_>) -> Result<Matrix> {
+        if cols.rows() != self.components.rows() {
+            return Err(BaselineError::InvalidInput(format!(
+                "view has {} features but the model expects {}",
+                cols.rows(),
+                self.components.rows()
+            )));
         }
-        Ok(centered.t_matmul(&self.components)?)
+        Ok(cols.shifted_t_matmul(Some(&self.mean), &self.components)?)
     }
 }
 

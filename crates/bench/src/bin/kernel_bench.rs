@@ -1,11 +1,15 @@
-//! Machine-readable kernel timings for the perf trajectory.
+//! Machine-readable kernel timings *and determinism checksums* for the perf
+//! trajectory and the CI `perf-determinism` harness.
 //!
 //! ```text
 //! cargo run --release -p tcca-bench --bin kernel_bench [-- --samples N] [--out FILE]
+//! cargo run --release -p tcca-bench --bin kernel_bench -- --checksums [--out FILE]
 //! ```
 //!
-//! Times the hot kernels of the TCCA pipeline — MTTKRP, the dense matrix products,
-//! the covariance / whitened-covariance tensor build, and the three decomposition
+//! The default mode times the hot kernels of the TCCA pipeline — MTTKRP, the dense
+//! matrix products (including a tile-sweep straddling the blocked GEMM's
+//! `MR`/`KC`/`MC` boundaries and the skinny serving-projection shape), the
+//! covariance / whitened-covariance tensor build, and the three decomposition
 //! solvers — and emits one JSON object per run:
 //!
 //! ```json
@@ -14,11 +18,24 @@
 //! ]}
 //! ```
 //!
-//! The JSON goes to stdout (or `--out FILE`) so CI and `BENCH_*.json` snapshots can
-//! diff kernel timings across PRs without scraping human-oriented bench output.
+//! `--checksums` instead runs every kernel **once** on fixed seeded inputs at sizes
+//! large enough to engage multithreading, and emits an FNV-1a hash of each output's
+//! exact f64 bit patterns — deliberately *excluding* the thread count, timings or
+//! anything else machine-dependent from the JSON:
+//!
+//! ```json
+//! {"schema": "tcca-kernel-checksums/v1", "kernels": [
+//!    {"name": "matmul/131x163x127", "checksum": "a1b2c3…"}, …
+//! ]}
+//! ```
+//!
+//! CI runs the checksum mode under `TCCA_NUM_THREADS=1` and `=4` and diffs the two
+//! files byte for byte: any divergence means a kernel's accumulation schedule leaked
+//! a thread-count dependence. Timings are logged as artifacts, never asserted —
+//! shared runners lie about speed, but bits are bits.
 
 use datasets::GaussianRng;
-use linalg::Matrix;
+use linalg::{gemm, ColsView, Matrix};
 use std::fmt::Write as _;
 use std::time::Instant;
 use tcca::{covariance_tensor, whitened_covariance_tensor};
@@ -68,10 +85,118 @@ fn random_views(dims: &[usize], n: usize, seed: u64) -> Vec<Matrix> {
         .collect()
 }
 
+/// FNV-1a over the exact bit patterns of a slice of f64 values.
+fn checksum(data: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in data {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The determinism suite: every blocked kernel once, on seeded inputs at sizes that
+/// straddle the GEMM tile boundaries *and* clear the multithreading threshold (so a
+/// `TCCA_NUM_THREADS=4` run really does partition the work differently from `=1`).
+/// Returns `(name, checksum-of-output-bits)` pairs in a fixed order.
+fn checksum_suite() -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = Vec::new();
+    let mut push = |name: String, data: &[f64]| out.push((name, checksum(data)));
+
+    // General products at mutually-prime sizes straddling MR/NR/KC multiples.
+    let (m, k, n) = (2 * gemm::MC + 3, gemm::KC + 7, 16 * gemm::NR - 1);
+    let a = random_matrix(m, k, 11);
+    let b = random_matrix(k, n, 12);
+    push(
+        format!("matmul/{m}x{k}x{n}"),
+        a.matmul(&b).unwrap().as_slice(),
+    );
+    let at = random_matrix(k, m, 13);
+    push(
+        format!("t_matmul/{m}x{k}x{n}"),
+        at.t_matmul(&b).unwrap().as_slice(),
+    );
+    let bt = random_matrix(n, k, 14);
+    push(
+        format!("matmul_t/{m}x{k}x{n}"),
+        a.matmul_t(&bt).unwrap().as_slice(),
+    );
+    let mut acc = Matrix::filled(m, n, 0.25);
+    at.t_matmul_acc(&b, &mut acc).unwrap();
+    push(format!("t_matmul_acc/{m}x{k}x{n}"), acc.as_slice());
+
+    // Symmetric rank-k (upper triangle + mirror) at a non-multiple size.
+    let s = random_matrix(gemm::KC / 2 + 5, 2 * gemm::MC + 1, 15);
+    push(
+        format!("syrk/{}x{}", s.rows(), s.cols()),
+        s.syrk().as_slice(),
+    );
+    push(
+        format!("syrk_t/{}x{}", s.rows(), s.cols()),
+        s.syrk_t().as_slice(),
+    );
+
+    // The zero-copy serving projection: column blocks of uneven widths, with a
+    // centering shift applied during packing.
+    let wide = random_matrix(131, 1024, 16);
+    let parts: Vec<Matrix> = {
+        let widths = [3usize, 64, 1, 421, 535];
+        let mut start = 0;
+        widths
+            .iter()
+            .map(|&w| {
+                let cols: Vec<usize> = (start..start + w).collect();
+                start += w;
+                wide.select_columns(&cols)
+            })
+            .collect()
+    };
+    let cols_view = ColsView::from_matrices(parts.iter()).unwrap();
+    let proj = random_matrix(131, 8, 17);
+    let shift: Vec<f64> = (0..131).map(|i| (i as f64) * 0.01 - 0.5).collect();
+    push(
+        "cols_shifted_t_matmul/131x1024x8".to_string(),
+        cols_view
+            .shifted_t_matmul(Some(&shift), &proj)
+            .unwrap()
+            .as_slice(),
+    );
+
+    // Fused tensor kernels.
+    let t = random_tensor(&[32, 32, 32], 18);
+    let factors: Vec<Matrix> = (0..3)
+        .map(|p| random_matrix(32, 8, 19 + p as u64))
+        .collect();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    for mode in 0..3 {
+        push(
+            format!("mttkrp/32x32x32/r8/mode{mode}"),
+            t.mttkrp(mode, &refs).unwrap().as_slice(),
+        );
+    }
+    let u = random_matrix(16, 32, 22);
+    push(
+        "mode_product/32x32x32/mode1".to_string(),
+        t.mode_product(1, &u).unwrap().as_slice(),
+    );
+
+    // Covariance tensor build (chunked t_matmul_acc underneath).
+    let views = random_views(&[24, 24, 20], 300, 23);
+    push(
+        "covariance_tensor/24x24x20/n300".to_string(),
+        covariance_tensor(&views).unwrap().as_slice(),
+    );
+
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut samples = 10usize;
     let mut out_path: Option<String> = None;
+    let mut checksums = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -87,9 +212,29 @@ fn main() {
                     out_path = Some(value.clone());
                 }
             }
-            other => panic!("unknown argument {other}; use --samples N / --out FILE"),
+            "--checksums" => checksums = true,
+            other => panic!("unknown argument {other}; use --samples N / --out FILE / --checksums"),
         }
         i += 1;
+    }
+
+    if checksums {
+        let mut json = String::new();
+        json.push_str("{\n  \"schema\": \"tcca-kernel-checksums/v1\",\n  \"kernels\": [\n");
+        let records = checksum_suite();
+        for (i, (name, sum)) in records.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{name}\", \"checksum\": \"{sum:016x}\"}}"
+            );
+            json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ]\n}\n");
+        match out_path {
+            Some(path) => std::fs::write(&path, &json).expect("write --out file"),
+            None => print!("{json}"),
+        }
+        return;
     }
 
     let mut records = Vec::new();
@@ -125,6 +270,26 @@ fn main() {
     }));
     records.push(time("transpose/200x400", samples, || {
         std::hint::black_box(a.transpose());
+    }));
+
+    // Tile sweep: square-ish products one element below, at, and above the blocked
+    // engine's MC/KC boundaries, so a packing or edge-tile regression shows up as a
+    // step between adjacent entries rather than hiding in round sizes.
+    for delta in [-1i64, 0, 1] {
+        let m = (2 * gemm::MC as i64 + delta) as usize;
+        let k = (gemm::KC as i64 + delta) as usize;
+        let n = (16 * gemm::NR as i64 + delta) as usize;
+        let ta = random_matrix(m, k, 40 + delta as u64);
+        let tb = random_matrix(k, n, 43 + delta as u64);
+        records.push(time(&format!("matmul_tile/{m}x{k}x{n}"), samples, || {
+            std::hint::black_box(ta.matmul(&tb).unwrap());
+        }));
+    }
+    // The serving-projection shape: many instances, few features, skinny output.
+    let inst = random_matrix(64, 4096, 7);
+    let proj = random_matrix(64, 4, 8);
+    records.push(time("t_matmul_proj/4096x64x4", samples, || {
+        std::hint::black_box(inst.t_matmul(&proj).unwrap());
     }));
 
     // Self-products (the covariance / whitening symmetric rank-k path).

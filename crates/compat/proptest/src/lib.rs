@@ -3,7 +3,7 @@
 //! property tests.
 //!
 //! The build environment has no crates.io access, so this crate implements the small
-//! surface the tests rely on: range and tuple [`Strategy`]s, `prop_map` /
+//! surface the tests rely on: range and tuple [`strategy::Strategy`]s, `prop_map` /
 //! `prop_flat_map`, [`collection::vec`], the [`proptest!`] macro with an optional
 //! `#![proptest_config(...)]` attribute, and the `prop_assert!`/`prop_assert_eq!`
 //! assertion macros.

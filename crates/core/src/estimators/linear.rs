@@ -281,6 +281,16 @@ impl MultiViewModel for CcaLsModel {
         Ok(self.inner.transform_view(which, view)?)
     }
 
+    fn transform_view_cols(&self, which: usize, cols: &linalg::ColsView<'_>) -> Result<Matrix> {
+        if which >= self.inner.projections().len() {
+            return Err(CoreError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.inner.projections().len()
+            )));
+        }
+        Ok(self.inner.transform_view_cols(which, cols)?)
+    }
+
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
@@ -362,6 +372,16 @@ impl MultiViewModel for CcaMaxVarModel {
             )));
         }
         Ok(self.inner.transform_view(which, view)?)
+    }
+
+    fn transform_view_cols(&self, which: usize, cols: &linalg::ColsView<'_>) -> Result<Matrix> {
+        if which >= self.inner.projections().len() {
+            return Err(CoreError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.inner.projections().len()
+            )));
+        }
+        Ok(self.inner.transform_view_cols(which, cols)?)
     }
 
     fn memory(&self) -> &MemoryModel {
@@ -470,6 +490,16 @@ impl MultiViewModel for PcaModel {
         Ok(pca.transform(view)?)
     }
 
+    fn transform_view_cols(&self, which: usize, cols: &linalg::ColsView<'_>) -> Result<Matrix> {
+        let pca = self.pcas.get(which).ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.pcas.len()
+            ))
+        })?;
+        Ok(pca.transform_cols(cols)?)
+    }
+
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
@@ -560,6 +590,10 @@ impl MultiViewModel for TccaModel {
 
     fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
         Ok(self.inner.transform_view(which, view)?)
+    }
+
+    fn transform_view_cols(&self, which: usize, cols: &linalg::ColsView<'_>) -> Result<Matrix> {
+        Ok(self.inner.transform_view_cols(which, cols)?)
     }
 
     fn memory(&self) -> &MemoryModel {

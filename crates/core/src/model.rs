@@ -8,7 +8,7 @@
 
 use crate::persist::{self, ModelState};
 use crate::{CoreError, FitSpec, MemoryModel, Result};
-use linalg::Matrix;
+use linalg::{ColsView, Matrix};
 use std::io::Write;
 
 /// What an estimator expects as its input matrices.
@@ -106,6 +106,17 @@ pub trait MultiViewModel: Send + Sync {
 
     /// Project a single view (where the method defines a per-view projection).
     fn transform_view(&self, which: usize, view: &Matrix) -> Result<Matrix>;
+
+    /// Project a single view given as the horizontal concatenation of borrowed
+    /// column blocks — the shape of a coalesced serving batch. The default
+    /// materializes the concatenation (which counts against
+    /// [`linalg::input_stitches`]) and delegates to
+    /// [`MultiViewModel::transform_view`]; projection-based models override it to
+    /// feed the blocked GEMM straight from the borrowed blocks with **zero input
+    /// copies**. Every implementation must be bit-identical to the stitched path.
+    fn transform_view_cols(&self, which: usize, cols: &ColsView<'_>) -> Result<Matrix> {
+        self.transform_view(which, &cols.to_matrix())
+    }
 
     /// All candidate representations of the given instances. Most methods produce one
     /// embedding; the pairwise and single-view baselines produce several candidates

@@ -10,10 +10,10 @@
 //!   validation split; majority vote; also usable with precomputed distances so the
 //!   kernel methods (BSK/AVG/KCCA/KTCCA) can share the code path.
 //!
-//! [`metrics`] provides the accuracy statistic and the mean ± std aggregation over the
-//! paper's five random label draws, and [`protocol`] the validation-based model
-//! selection that mirrors "the parameters corresponding to the best performance on the
-//! validation set are used for testing".
+//! [`accuracy`] / [`mean_std`] provide the accuracy statistic and the mean ± std
+//! aggregation over the paper's five random label draws, and [`select_best`] the
+//! validation-based model selection that mirrors "the parameters corresponding to the
+//! best performance on the validation set are used for testing".
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

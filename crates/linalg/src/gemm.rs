@@ -1,0 +1,295 @@
+//! The blocked, packed GEMM engine behind every dense product kernel.
+//!
+//! All of `matmul`, `t_matmul`, `matmul_t`, `t_matmul_acc`, `syrk`/`syrk_t` (and
+//! through them `gram`, covariance/whitening, PCA and the CP-ALS solvers) funnel into
+//! `gemm`, a single BLIS-style driver:
+//!
+//! * the reduction dimension is split into blocks of [`KC`] values;
+//! * for each k-block, panels of `B` ([`KC`]`×`[`NR`]) and micro-panels of `A`
+//!   ([`KC`]`×`[`MR`]) are **packed** into dense, cache-resident scratch buffers laid
+//!   out exactly as the inner loop consumes them (one `MR`-lane and one `NR`-lane row
+//!   per reduction step);
+//! * the `microkernel` computes an `MR×NR` output tile with all `MR·NR`
+//!   accumulators live in registers, reading each packed value once. Its body indexes
+//!   fixed-size arrays only (`&[f64; MR]` / `&[f64; NR]` obtained via
+//!   `chunks_exact`), so there are **no bounds checks inside the tile loop** and the
+//!   `NR`-wide lane arithmetic autovectorizes.
+//!
+//! Edge tiles are handled by zero-padding the packed panels to full `MR`/`NR` width
+//! and copying back only the valid lanes, so the hot loop never branches on tile
+//! validity.
+//!
+//! ## Determinism contract
+//!
+//! Every output element accumulates its reduction in **ascending index order**: the
+//! k-blocks are visited in ascending order, each micro-tile accumulates ascending
+//! within a block, and the per-element partial sums are added onto the output in
+//! k-block order. That schedule depends only on the problem shape — never on the
+//! thread count, which partitions output *rows* exclusively — so results are
+//! bit-identical for every `threads >= 1` (the invariant `crates/parallel` documents
+//! and `crates/linalg/tests/properties.rs` pins down). The packing source is
+//! abstracted over closures, which is what lets the zero-copy
+//! [`ColsView`](crate::ColsView) serving path reuse the exact same schedule — and
+//! therefore produce the exact same bits — as a materialized matrix would.
+
+use crate::Matrix;
+
+/// Micro-tile rows: output rows whose accumulators stay live in registers.
+pub const MR: usize = 4;
+/// Micro-tile columns: the autovectorized f64 lane width of the inner loop.
+pub const NR: usize = 8;
+/// Reduction block depth: one packed `KC×NR` B-panel (16 KiB) stays L1-resident
+/// while each A micro-panel streams against it.
+pub const KC: usize = 256;
+/// Rows of `A` packed per block: `MC×KC` doubles (128 KiB) sit in L2 while the
+/// packed micro-panels are re-read once per B panel.
+pub const MC: usize = 64;
+
+/// Packing callback: `pack(dst, first, valid, p0, kc)` fills `dst` (length
+/// `kc * MR` for A sources, `kc * NR` for B sources) with the operand values for
+/// lanes `first..first + valid` over reduction indices `p0..p0 + kc`, laid out
+/// lane-fastest (`dst[step * LANES + lane]`). Lanes `>= valid` must be zeroed.
+type Pack<'a> = &'a (dyn Fn(&mut [f64], usize, usize, usize, usize) + Sync);
+
+/// Compute one `MR×NR` tile: `acc[i][j] += Σ_p ap[p][i] · bp[p][j]` over `kc`
+/// ascending reduction steps of the packed panels. The only loop bounds are the
+/// compile-time `MR`/`NR` and the exact-chunk iterator, so the body is free of
+/// bounds checks and the `j` loop vectorizes over the f64 lanes.
+///
+/// `inline(always)` so the caller's target features (the AVX band below) apply to
+/// this body — that is what turns the `NR` lanes into 256-bit `vmulpd`/`vaddpd`.
+#[inline(always)]
+fn microkernel(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        let a: &[f64; MR] = a.try_into().expect("packed A lane width");
+        let b: &[f64; NR] = b.try_into().expect("packed B lane width");
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] += ai * b[j];
+            }
+        }
+    }
+}
+
+/// Blocked GEMM driver: `out[m×n] += Aᵒᵖ[m×k] · Bᵒᵖ[k×n]`, with the operands
+/// supplied as packing closures (see [`Pack`]) so normal, transposed and
+/// multi-part zero-copy sources all share one engine.
+///
+/// With `upper_only` set, micro-tiles strictly below the main diagonal are
+/// skipped — the symmetric rank-k callers mirror the upper triangle afterwards.
+/// Rows are partitioned over `threads` in multiples of [`MR`]; the accumulation
+/// schedule is independent of the partition (see module docs).
+// The argument list mirrors the BLAS gemm surface (shape triple, output, threading,
+// triangle restriction, two operand sources); a param struct would only rename it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut Matrix,
+    threads: usize,
+    upper_only: bool,
+    pack_a: Pack<'_>,
+    pack_b: Pack<'_>,
+) {
+    debug_assert_eq!(out.shape(), (m, n));
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Whole MR-blocks per thread band (a couple per thread for load balance); the
+    // band boundary never splits a micro-tile, so each band is an independent
+    // sub-problem of the same schedule.
+    let mr_blocks = m.div_ceil(MR);
+    let blocks_per_band = mr_blocks.div_ceil(threads.max(1) * 2).max(1);
+    let band_rows = blocks_per_band * MR;
+    parallel::for_each_chunk_mut(out.as_mut_slice(), band_rows * n, threads, |band, chunk| {
+        gemm_band(band * band_rows, chunk, n, k, upper_only, pack_a, pack_b);
+    });
+}
+
+/// One thread's share of the output: rows `band_i0..band_i0 + c.len() / n`.
+/// Dispatches once per band to the widest SIMD build of the loop the host
+/// supports; every build runs the identical accumulation schedule (vector lanes
+/// are independent output elements), so the dispatch never affects a single bit.
+fn gemm_band(
+    band_i0: usize,
+    c: &mut [f64],
+    n: usize,
+    k: usize,
+    upper_only: bool,
+    pack_a: Pack<'_>,
+    pack_b: Pack<'_>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static HAS_AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *HAS_AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2")) {
+            // SAFETY: AVX2 support was verified at runtime just above.
+            unsafe { gemm_band_avx2(band_i0, c, n, k, upper_only, pack_a, pack_b) };
+            return;
+        }
+    }
+    gemm_band_impl(band_i0, c, n, k, upper_only, pack_a, pack_b);
+}
+
+/// The band loop recompiled with 256-bit vectors enabled: the `inline(always)`
+/// body below (microkernel included) picks up the target feature, so the `NR`
+/// f64 lanes become ymm arithmetic. No FMA contraction — Rust keeps mul and add
+/// separate — so the results are bit-identical to the scalar build.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_band_avx2(
+    band_i0: usize,
+    c: &mut [f64],
+    n: usize,
+    k: usize,
+    upper_only: bool,
+    pack_a: Pack<'_>,
+    pack_b: Pack<'_>,
+) {
+    gemm_band_impl(band_i0, c, n, k, upper_only, pack_a, pack_b);
+}
+
+#[inline(always)]
+fn gemm_band_impl(
+    band_i0: usize,
+    c: &mut [f64],
+    n: usize,
+    k: usize,
+    upper_only: bool,
+    pack_a: Pack<'_>,
+    pack_b: Pack<'_>,
+) {
+    let band_m = c.len() / n;
+    let n_panels = n.div_ceil(NR);
+    let kc_max = KC.min(k);
+    let mut bp = vec![0.0f64; n_panels * NR * kc_max];
+    let mut ap = vec![0.0f64; MC * kc_max];
+
+    let mut p0 = 0;
+    while p0 < k {
+        let kc = KC.min(k - p0);
+        for jp in 0..n_panels {
+            let j0 = jp * NR;
+            pack_b(
+                &mut bp[jp * NR * kc..(jp + 1) * NR * kc],
+                j0,
+                NR.min(n - j0),
+                p0,
+                kc,
+            );
+        }
+        let mut i0 = 0;
+        while i0 < band_m {
+            let mc = MC.min(band_m - i0);
+            let a_blocks = mc.div_ceil(MR);
+            for ib in 0..a_blocks {
+                let i = i0 + ib * MR;
+                pack_a(
+                    &mut ap[ib * MR * kc..(ib + 1) * MR * kc],
+                    band_i0 + i,
+                    MR.min(mc - ib * MR),
+                    p0,
+                    kc,
+                );
+            }
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let nv = NR.min(n - j0);
+                let bp_panel = &bp[jp * NR * kc..(jp + 1) * NR * kc];
+                for ib in 0..a_blocks {
+                    let row0 = i0 + ib * MR;
+                    // Tiles whose every column lies strictly below the diagonal
+                    // contribute nothing to the upper triangle; the caller's mirror
+                    // pass fills those entries.
+                    if upper_only && j0 + nv <= band_i0 + row0 {
+                        continue;
+                    }
+                    let mut acc = [[0.0f64; NR]; MR];
+                    microkernel(
+                        kc,
+                        &ap[ib * MR * kc..(ib + 1) * MR * kc],
+                        bp_panel,
+                        &mut acc,
+                    );
+                    let mv = MR.min(mc - ib * MR);
+                    for (ii, acc_row) in acc.iter().enumerate().take(mv) {
+                        let base = (row0 + ii) * n + j0;
+                        let row = &mut c[base..base + nv];
+                        for (o, v) in row.iter_mut().zip(acc_row[..nv].iter()) {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+            i0 += mc;
+        }
+        p0 += kc;
+    }
+}
+
+/// Pack lanes of `A` itself (`lane i`, `step p` → `a[i][p]`): the `C = A·B` and
+/// `C = A·Bᵀ` left operand.
+pub(crate) fn pack_rows(a: &Matrix) -> impl Fn(&mut [f64], usize, usize, usize, usize) + Sync + '_ {
+    move |dst, i0, valid, p0, kc| {
+        if valid < MR {
+            dst.fill(0.0);
+        }
+        for ii in 0..valid {
+            let row = &a.row(i0 + ii)[p0..p0 + kc];
+            for (p, &v) in row.iter().enumerate() {
+                dst[p * MR + ii] = v;
+            }
+        }
+    }
+}
+
+/// Pack lanes of `Aᵀ` (`lane i`, `step p` → `a[p][i]`): the `C = Aᵀ·B` left
+/// operand. Reads stream along the rows of `a`.
+pub(crate) fn pack_cols(a: &Matrix) -> impl Fn(&mut [f64], usize, usize, usize, usize) + Sync + '_ {
+    move |dst, i0, valid, p0, kc| {
+        if valid < MR {
+            dst.fill(0.0);
+        }
+        for p in 0..kc {
+            let seg = &a.row(p0 + p)[i0..i0 + valid];
+            let lane = &mut dst[p * MR..p * MR + valid];
+            lane.copy_from_slice(seg);
+        }
+    }
+}
+
+/// Pack `NR`-wide row panels of `B` (`step p`, `lane j` → `b[p][j]`): the `C = A·B`
+/// and `C = Aᵀ·B` right operand. Copies are contiguous row segments.
+pub(crate) fn pack_panel_rows(
+    b: &Matrix,
+) -> impl Fn(&mut [f64], usize, usize, usize, usize) + Sync + '_ {
+    move |dst, j0, valid, p0, kc| {
+        if valid < NR {
+            dst.fill(0.0);
+        }
+        for p in 0..kc {
+            let seg = &b.row(p0 + p)[j0..j0 + valid];
+            dst[p * NR..p * NR + valid].copy_from_slice(seg);
+        }
+    }
+}
+
+/// Pack `NR`-wide panels of `Bᵀ` (`step p`, `lane j` → `b[j][p]`): the `C = A·Bᵀ`
+/// right operand. Reads stream along the rows of `b`.
+pub(crate) fn pack_panel_cols(
+    b: &Matrix,
+) -> impl Fn(&mut [f64], usize, usize, usize, usize) + Sync + '_ {
+    move |dst, j0, valid, p0, kc| {
+        if valid < NR {
+            dst.fill(0.0);
+        }
+        for jj in 0..valid {
+            let row = &b.row(j0 + jj)[p0..p0 + kc];
+            for (p, &v) in row.iter().enumerate() {
+                dst[p * NR + jj] = v;
+            }
+        }
+    }
+}

@@ -12,10 +12,10 @@
 //! * statistics helpers (centering, covariance, cross-covariance).
 //!
 //! Everything is implemented from scratch on `f64` so the whole reproduction has no
-//! external linear-algebra dependency. The sizes involved in the paper's experiments
-//! (feature dimensions of a few hundred, a few thousand instances) are comfortably
-//! handled by straightforward `O(n³)` dense algorithms; the hot loops are written to be
-//! cache-friendly (row-major traversal, transposed operands for inner products).
+//! external linear-algebra dependency. The dense products all route through one
+//! blocked, packed GEMM engine ([`gemm`]) with an explicitly register-tiled
+//! microkernel; the borrowed [`MatrixView`]/[`ColsView`] types let the serving path
+//! feed that engine straight from request payloads with zero input copies.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -26,11 +26,13 @@
 mod cholesky;
 mod eigen;
 mod error;
+pub mod gemm;
 mod matrix;
 mod ops;
 mod solve;
 mod stats;
 mod svd;
+mod view;
 
 pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
@@ -42,6 +44,7 @@ pub use stats::{
     center_columns, center_rows, column_means, covariance, cross_covariance, row_means,
 };
 pub use svd::Svd;
+pub use view::{input_stitches, matrix_clones, note_input_stitch, ColsView, MatrixView};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

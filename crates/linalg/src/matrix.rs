@@ -12,11 +12,25 @@ use std::ops::{Index, IndexMut};
 ///
 /// The storage is a single contiguous `Vec<f64>` with `rows * cols` entries where the
 /// element at row `i`, column `j` lives at `data[i * cols + j]`.
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl Clone for Matrix {
+    /// Deep-copies the buffer and bumps the process-wide clone counter
+    /// ([`crate::matrix_clones`]) so zero-copy code paths can *assert* they never
+    /// duplicate input matrices instead of merely claiming it.
+    fn clone(&self) -> Self {
+        crate::view::note_matrix_clone();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl Matrix {

@@ -1,89 +1,26 @@
 //! Matrix arithmetic: products, transposes, element-wise operations.
 //!
-//! The multiplication kernels are written so that the inner loops stream over contiguous
-//! row-major memory (the classic `i-k-j` ordering), which is the single most important
-//! optimization for the covariance / whitening products that dominate the experiments.
+//! Every dense product routes through the blocked, packed GEMM engine in
+//! [`crate::gemm`]: operand panels are packed into cache-resident tiles and an
+//! `MR×NR` register-tiled microkernel does the arithmetic with no bounds checks in
+//! the tile body. The symmetric rank-k kernels (`syrk`/`syrk_t`) run the same engine
+//! restricted to the upper triangle and mirror.
 //!
-//! Products are additionally parallelized over **row blocks of the output**: each block
-//! of output rows is computed independently with a fixed per-element accumulation order
-//! (the reduction index always ascends), so results are bit-identical across thread
-//! counts — including the serial fallback that [`parallel::threads_for_work`] selects
-//! for small operands. The `*_with_threads` variants expose the thread count explicitly
-//! for the determinism property tests and for tuning; the plain methods pick it from
-//! the flop count and the `TCCA_NUM_THREADS` override.
+//! Products are parallelized over **row blocks of the output**: each band of output
+//! rows is an independent sub-problem with a fixed per-element accumulation order
+//! (the reduction index always ascends, k-blocks are visited in ascending order), so
+//! results are bit-identical across thread counts — including the serial fallback
+//! that [`parallel::threads_for_work`] selects for small operands. The
+//! `*_with_threads` variants expose the thread count explicitly for the determinism
+//! property tests and for tuning; the plain methods pick it from the flop count and
+//! the `TCCA_NUM_THREADS` override.
 
-use crate::{LinalgError, Matrix, Result};
+use crate::{gemm, LinalgError, Matrix, Result};
 
 /// Edge length of the tiles used by the blocked transpose: 32×32 f64 tiles (8 KiB for
 /// source + destination) sit comfortably in L1 while amortizing the column-strided
 /// writes of a naive transpose.
 const TRANSPOSE_TILE: usize = 32;
-
-/// Run `kernel(row_index, output_row)` over every row of `out` using `threads` scoped
-/// threads. Rows are grouped into contiguous blocks for load balance (block boundaries
-/// may vary with `threads`); determinism comes from each row being computed
-/// independently by `kernel`, never from the blocking.
-fn for_each_row<F>(out: &mut Matrix, threads: usize, kernel: F)
-where
-    F: Fn(usize, &mut [f64]) + Sync,
-{
-    let cols = out.cols();
-    let rows = out.rows();
-    if rows == 0 || cols == 0 {
-        return;
-    }
-    // A few blocks per thread for load balance; at least one row per block.
-    let rows_per_block = rows.div_ceil(threads.max(1) * 4).max(1);
-    parallel::for_each_chunk_mut(
-        out.as_mut_slice(),
-        rows_per_block * cols,
-        threads,
-        |block, chunk| {
-            for (r, row) in chunk.chunks_mut(cols).enumerate() {
-                kernel(block * rows_per_block + r, row);
-            }
-        },
-    );
-}
-
-/// Shared kernel for `out += aᵀ · b`, tiled over blocks of output rows.
-///
-/// For a block of output rows `[i0, i1)`, the reduction walks `p` outermost: the
-/// segment `a.row(p)[i0..i1]` is **contiguous** (it indexes columns of `a`, i.e. rows
-/// of `aᵀ`), `b.row(p)` is contiguous, and the output block stays cache-hot. This is
-/// what makes the outer-product-shaped chunks of the covariance-tensor build (short
-/// reduction, huge output) stream instead of thrash. Every output element accumulates
-/// over `p` in ascending order regardless of the block size or thread count, so the
-/// result is bit-deterministic.
-fn t_matmul_blocked(a: &Matrix, b: &Matrix, out: &mut Matrix, threads: usize) {
-    let (k, m, n) = (a.rows(), out.rows(), out.cols());
-    if m == 0 || n == 0 {
-        return;
-    }
-    // Target ~32 KiB output tiles so the block being accumulated stays in L1, while
-    // still exposing at least a few blocks per thread for load balance.
-    let cache_rows = (4096 / n.max(1)).max(1);
-    let balance_rows = m.div_ceil(threads.max(1) * 4).max(1);
-    let rows_per_block = cache_rows.min(balance_rows);
-    parallel::for_each_chunk_mut(out.as_mut_slice(), rows_per_block * n, threads, {
-        move |block, chunk| {
-            let i0 = block * rows_per_block;
-            for p in 0..k {
-                let a_seg = &a.row(p)[i0..i0 + chunk.len() / n];
-                let b_row = b.row(p);
-                for (di, &a_pi) in a_seg.iter().enumerate() {
-                    if a_pi == 0.0 {
-                        continue;
-                    }
-                    let o_row = &mut chunk[di * n..(di + 1) * n];
-                    for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                        *o += a_pi * bv;
-                    }
-                }
-            }
-        }
-    });
-}
 
 impl Matrix {
     /// Matrix transpose (blocked/tiled so both source reads and destination writes stay
@@ -125,19 +62,16 @@ impl Matrix {
         }
         let (k, n) = (self.cols(), other.cols());
         let mut out = Matrix::zeros(self.rows(), n);
-        for_each_row(&mut out, threads, |i, o_row| {
-            let a_row = self.row(i);
-            // i-k-j ordering: accumulate scaled rows of `other` into the output row.
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                for j in 0..n {
-                    o_row[j] += a_ip * b_row[j];
-                }
-            }
-        });
+        gemm::gemm(
+            self.rows(),
+            n,
+            k,
+            &mut out,
+            threads,
+            false,
+            &gemm::pack_rows(self),
+            &gemm::pack_panel_rows(other),
+        );
         Ok(out)
     }
 
@@ -159,7 +93,16 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols(), other.cols());
-        t_matmul_blocked(self, other, &mut out, threads);
+        gemm::gemm(
+            self.cols(),
+            other.cols(),
+            self.rows(),
+            &mut out,
+            threads,
+            false,
+            &gemm::pack_cols(self),
+            &gemm::pack_panel_rows(other),
+        );
         Ok(out)
     }
 
@@ -175,7 +118,16 @@ impl Matrix {
             });
         }
         let flops = self.rows() * self.cols() * other.cols();
-        t_matmul_blocked(self, other, out, parallel::threads_for_work(flops));
+        gemm::gemm(
+            self.cols(),
+            other.cols(),
+            self.rows(),
+            out,
+            parallel::threads_for_work(flops),
+            false,
+            &gemm::pack_cols(self),
+            &gemm::pack_panel_rows(other),
+        );
         Ok(())
     }
 
@@ -197,17 +149,16 @@ impl Matrix {
         }
         let n = other.rows();
         let mut out = Matrix::zeros(self.rows(), n);
-        for_each_row(&mut out, threads, |i, o_row| {
-            let a_row = self.row(i);
-            for j in 0..n {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                o_row[j] = acc;
-            }
-        });
+        gemm::gemm(
+            self.rows(),
+            n,
+            self.cols(),
+            &mut out,
+            threads,
+            false,
+            &gemm::pack_rows(self),
+            &gemm::pack_panel_cols(other),
+        );
         Ok(out)
     }
 
@@ -243,28 +194,25 @@ impl Matrix {
     pub fn syrk_with_threads(&self, threads: usize) -> Matrix {
         let m = self.rows();
         let mut out = Matrix::zeros(m, m);
-        for_each_row(&mut out, threads, |i, o_row| {
-            let a_row = self.row(i);
-            for (j, o) in o_row.iter_mut().enumerate().skip(i) {
-                let b_row = self.row(j);
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        });
+        gemm::gemm(
+            m,
+            m,
+            self.cols(),
+            &mut out,
+            threads,
+            true,
+            &gemm::pack_rows(self),
+            &gemm::pack_panel_cols(self),
+        );
         mirror_upper(&mut out);
         out
     }
 
-    /// Symmetric rank-k update `selfᵀ * self` (`n × n`): only the upper triangle is
-    /// computed, the lower is mirrored. For **finite** inputs this is bit-identical
-    /// to `self.t_matmul(self)` (same ascending reduction over rows for every
-    /// entry, same zero-skip). With non-finite entries the two can differ on the
-    /// mirrored triangle: `t_matmul`'s zero-skip makes `0 · ∞` vanish in one
-    /// triangle but produce NaN in the other, i.e. an *asymmetric* result, whereas
-    /// this kernel always returns the symmetrized upper triangle.
+    /// Symmetric rank-k update `selfᵀ * self` (`n × n`): only the upper triangle's
+    /// micro-tiles run through the blocked engine, the lower is mirrored. For finite
+    /// inputs this is bit-identical to `self.t_matmul(self)` — every computed entry
+    /// follows the exact blocked schedule of the general kernel, and the mirrored
+    /// entries equal their transposes because multiplication is commutative.
     pub fn syrk_t(&self) -> Matrix {
         let flops = self.cols() * self.cols() * self.rows() / 2;
         self.syrk_t_with_threads(parallel::threads_for_work(flops))
@@ -275,21 +223,16 @@ impl Matrix {
     pub fn syrk_t_with_threads(&self, threads: usize) -> Matrix {
         let (k, n) = self.shape();
         let mut out = Matrix::zeros(n, n);
-        for_each_row(&mut out, threads, |i, o_row| {
-            // Upper-triangle row i: out[i][j >= i] += a[p][i] * a[p][j..], streaming
-            // the contiguous tail of each row of `self` (the reduction index p ascends
-            // for every entry, matching the general t_matmul kernel bit for bit).
-            for p in 0..k {
-                let a_row = self.row(p);
-                let a_pi = a_row[i];
-                if a_pi == 0.0 {
-                    continue;
-                }
-                for (o, &a_pj) in o_row[i..].iter_mut().zip(a_row[i..].iter()) {
-                    *o += a_pi * a_pj;
-                }
-            }
-        });
+        gemm::gemm(
+            n,
+            n,
+            k,
+            &mut out,
+            threads,
+            true,
+            &gemm::pack_cols(self),
+            &gemm::pack_panel_rows(self),
+        );
         mirror_upper(&mut out);
         out
     }

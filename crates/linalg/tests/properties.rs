@@ -4,8 +4,131 @@
 //! associativity/consistency of the product kernels, eigendecomposition reconstruction,
 //! Cholesky round-trips, SVD orthogonality, and whitening.
 
-use linalg::{center_rows, covariance, Cholesky, Matrix, Svd, SymmetricEigen};
+use linalg::gemm::{KC, MC, MR, NR};
+use linalg::{center_rows, covariance, Cholesky, ColsView, Matrix, Svd, SymmetricEigen};
 use proptest::prelude::*;
+
+/// Seeded pseudo-random matrix for the deterministic tile-boundary tests.
+fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|i| ((i as f64) * 0.618 + seed as f64 * 0.347).sin() * 3.0)
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// Textbook triple-loop reference: `a · b` with each element a single ascending
+/// accumulation chain. The blocked engine must agree to rounding error at every
+/// shape, and bit-for-bit whenever the reduction fits in one k-block.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// Dimensions one below, at, and one above a tile parameter.
+fn straddle(t: usize) -> [usize; 3] {
+    [t - 1, t, t + 1]
+}
+
+/// The blocked kernels at dimensions straddling every tile boundary (MR, NR, MC,
+/// KC), against the naive reference and across thread counts. An off-by-one in
+/// packing, edge-tile write-back or the band partition shows up here, not in the
+/// random-shape proptests below (which rarely hit exact multiples).
+#[test]
+fn blocked_kernels_survive_tile_boundaries() {
+    let mut cases: Vec<(usize, usize, usize)> = Vec::new();
+    for m in straddle(MR).into_iter().chain(straddle(MC)) {
+        cases.push((m, 10, 11));
+    }
+    for n in straddle(NR) {
+        cases.push((9, 10, n));
+    }
+    for k in straddle(KC) {
+        cases.push((9, k, 11));
+    }
+    // A boundary-everything worst case.
+    cases.push((MC + 1, KC + 1, 2 * NR + 1));
+
+    for (m, k, n) in cases {
+        let a = seeded_matrix(m, k, 1);
+        let b = seeded_matrix(k, n, 2);
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        let scale = 1.0 + slow.max_abs();
+        assert!(
+            fast.sub(&slow).unwrap().max_abs() < 1e-12 * scale,
+            "matmul diverged from naive at {m}x{k}x{n}"
+        );
+        if k <= KC {
+            // Single k-block: the accumulation chain is literally the naive one.
+            assert_eq!(fast, slow, "matmul not bit-exact at {m}x{k}x{n}");
+        }
+
+        let at = seeded_matrix(k, m, 3);
+        let t_fast = at.t_matmul(&b).unwrap();
+        let t_slow = naive_matmul(&at.transpose(), &b);
+        assert!(
+            t_fast.sub(&t_slow).unwrap().max_abs() < 1e-12 * (1.0 + t_slow.max_abs()),
+            "t_matmul diverged from naive at {m}x{k}x{n}"
+        );
+
+        let bt = seeded_matrix(n, k, 4);
+        let mt_fast = a.matmul_t(&bt).unwrap();
+        let mt_slow = naive_matmul(&a, &bt.transpose());
+        assert!(
+            mt_fast.sub(&mt_slow).unwrap().max_abs() < 1e-12 * (1.0 + mt_slow.max_abs()),
+            "matmul_t diverged from naive at {m}x{k}x{n}"
+        );
+
+        // Bit-identical across thread counts at every boundary shape, including
+        // thread counts that exceed the number of MR bands.
+        for threads in [2usize, 3, 5, 64] {
+            assert_eq!(a.matmul_with_threads(&b, threads).unwrap(), fast);
+            assert_eq!(at.t_matmul_with_threads(&b, threads).unwrap(), t_fast);
+            assert_eq!(a.matmul_t_with_threads(&bt, threads).unwrap(), mt_fast);
+        }
+    }
+}
+
+/// `syrk`/`syrk_t` upper-triangle computation + mirroring at tile-straddling
+/// sizes: exactly symmetric (bitwise) and bit-identical to the general product.
+#[test]
+fn syrk_mirroring_survives_tile_boundaries() {
+    for d in straddle(MR)
+        .into_iter()
+        .chain(straddle(NR))
+        .chain(straddle(MC))
+    {
+        let a = seeded_matrix(d, 13, 5);
+        let s = a.syrk();
+        let g = a.matmul_t(&a).unwrap();
+        assert_eq!(s, g, "syrk != matmul_t at dim {d}");
+        let at = seeded_matrix(13, d, 6);
+        let st = at.syrk_t();
+        let gt = at.t_matmul(&at).unwrap();
+        assert_eq!(st, gt, "syrk_t != t_matmul at dim {d}");
+        for i in 0..d {
+            for j in 0..d {
+                assert_eq!(s[(i, j)].to_bits(), s[(j, i)].to_bits());
+                assert_eq!(st[(i, j)].to_bits(), st[(j, i)].to_bits());
+            }
+        }
+        for threads in [2usize, 7] {
+            assert_eq!(a.syrk_with_threads(threads), s);
+            assert_eq!(at.syrk_t_with_threads(threads), st);
+        }
+    }
+}
 
 /// Strategy: a matrix with entries in [-5, 5] and the given shape bounds.
 fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
@@ -178,6 +301,40 @@ proptest! {
         // Shape mismatches are rejected.
         let mut wrong = Matrix::zeros(2, 2);
         prop_assert!(a.t_matmul_acc(&b, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn cols_view_projection_matches_stitched_bit_for_bit(
+        data in proptest::collection::vec(-3.0..3.0f64, 7 * 24),
+        pdata in proptest::collection::vec(-3.0..3.0f64, 7 * 3),
+        splits in proptest::collection::vec(1usize..6, 5),
+    ) {
+        // The zero-copy serving path: a projection over arbitrarily-split column
+        // blocks, with centering applied during packing, must equal centering a
+        // stitched copy and multiplying — exactly, not approximately.
+        let x = Matrix::from_vec(7, 24, data).unwrap();
+        let proj = Matrix::from_vec(7, 3, pdata).unwrap();
+        let mut parts = Vec::new();
+        let mut start = 0usize;
+        for w in splits {
+            if start >= 24 { break; }
+            let end = (start + w).min(24);
+            parts.push(x.select_columns(&(start..end).collect::<Vec<_>>()));
+            start = end;
+        }
+        if start < 24 {
+            parts.push(x.select_columns(&(start..24).collect::<Vec<_>>()));
+        }
+        let view = ColsView::from_matrices(parts.iter()).unwrap();
+        let shift: Vec<f64> = (0..7).map(|i| 0.1 * i as f64 - 0.2).collect();
+        let zero_copy = view.shifted_t_matmul(Some(&shift), &proj).unwrap();
+        let mut centered = x.clone();
+        for (i, &s) in shift.iter().enumerate() {
+            for v in centered.row_mut(i) {
+                *v -= s;
+            }
+        }
+        prop_assert_eq!(zero_copy, centered.t_matmul(&proj).unwrap());
     }
 
     #[test]

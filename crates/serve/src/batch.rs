@@ -10,18 +10,28 @@
 //! 2. it keeps absorbing queued requests for the *same* key until the batch holds
 //!    [`BatchConfig::max_batch`] instances or [`BatchConfig::max_wait`] has elapsed
 //!    since the batch opened,
-//! 3. the batch is stitched together along the instance axis — `hstack` of the
-//!    per-view matrices for feature-view models, `vstack` of kernel blocks for
-//!    kernel models; a `transform_view` batch stitches **one** view instead of all
-//!    `m` — and executed as **one** model call on the engine's [`parallel::Pool`]
-//!    ([`Pool::shared`] by default, a dedicated pool per router shard), so
-//!    concurrent fits and transforms share bounded pools instead of
-//!    oversubscribing the machine,
+//! 3. the batch is joined along the instance axis and executed as **one** model
+//!    call on the engine's [`parallel::Pool`] ([`Pool::shared`] by default, a
+//!    dedicated pool per router shard), so concurrent fits and transforms share
+//!    bounded pools instead of oversubscribing the machine. A coalesced
+//!    `transform_view` batch of feature views is the **zero-copy** path: the
+//!    request matrices are wrapped in a borrowed [`linalg::ColsView`] and the
+//!    model's blocked GEMM packs its panels straight from them — no stitched
+//!    copy is ever materialized ([`EngineStats::zero_copy_batches`] counts these,
+//!    and [`linalg::matrix_clones`] / [`linalg::input_stitches`] let tests assert
+//!    the absence of copies). Full `transform` batches and kernel-block batches
+//!    still stitch (`hstack` of per-view matrices / `vstack` of kernel rows),
 //! 4. the embedding rows are split back per request.
 //!
+//! Singleton batches — the window closed with one request — bypass the
+//! coalescing machinery entirely: the model is called directly on the borrowed
+//! request input, with no stitch and no copy regardless of the op or input kind.
+//!
 //! Submission is **callback-based** ([`BatchEngine::submit_transform`] and
-//! friends): the submitter never blocks, which is what the poll-loop server needs.
-//! Blocking wrappers ([`BatchEngine::transform`], …) remain for direct callers.
+//! friends) and inputs arrive `Arc`-shared: the router's retryable submissions
+//! and the engine's queue all hold the same buffers the server decoded off the
+//! wire, so the happy path never deep-copies a request matrix. Blocking wrappers
+//! ([`BatchEngine::transform`], …) remain for direct callers.
 //!
 //! If a batched call fails (e.g. a transductive DSE model that only accepts its
 //! exact training batch, or one malformed request in the batch), the engine falls
@@ -32,7 +42,7 @@
 
 use crate::wire::{CandidateKind, NamedOutput};
 use crate::{ModelStore, Result, ServeError};
-use linalg::Matrix;
+use linalg::{ColsView, Matrix};
 use mvcore::{InputKind, MultiViewModel, Output};
 use parallel::Pool;
 use std::collections::VecDeque;
@@ -76,6 +86,14 @@ pub struct EngineStats {
     pub coalesced_requests: usize,
     /// Batches that failed as a whole and were retried request by request.
     pub fallbacks: usize,
+    /// Batches of exactly one request, executed directly on the borrowed input
+    /// with no stitching or copying of any kind.
+    pub singleton_batches: usize,
+    /// Coalesced `transform_view` batches that completed through the zero-copy
+    /// [`linalg::ColsView`] path without materializing any stitched input —
+    /// verified against the stitch counter, so a model that falls back to the
+    /// stitching default impl is never miscounted as zero-copy.
+    pub zero_copy_batches: usize,
 }
 
 /// What a pending request asks the model to do — part of the batching key, so
@@ -89,10 +107,41 @@ enum BatchOp {
     View(usize),
 }
 
+/// A request's input matrices, `Arc`-shared with the submitter (the server's
+/// decoded frames, or the router's retry state) so queueing never copies them.
+enum PendingInputs {
+    /// All views of a full `transform` request.
+    Full(Arc<Vec<Matrix>>),
+    /// The single matrix of a `transform_view` request.
+    View(Arc<Matrix>),
+}
+
+impl PendingInputs {
+    /// The matrix whose shape defines the request's instance count.
+    fn first(&self) -> Option<&Matrix> {
+        match self {
+            PendingInputs::Full(views) => views.first(),
+            PendingInputs::View(m) => Some(m),
+        }
+    }
+
+    /// Input matrix `v` of the request: view `v` of a full transform, or the single
+    /// matrix (`v == 0`) of a `transform_view` request.
+    fn part(&self, v: usize) -> &Matrix {
+        match self {
+            PendingInputs::Full(views) => &views[v],
+            PendingInputs::View(m) => {
+                debug_assert_eq!(v, 0, "single-view requests carry one matrix");
+                m
+            }
+        }
+    }
+}
+
 struct Pending {
     model: String,
     op: BatchOp,
-    inputs: Vec<Matrix>,
+    inputs: PendingInputs,
     reply: ReplyCallback,
 }
 
@@ -152,7 +201,7 @@ impl BatchEngine {
     }
 
     /// Enqueue an op, or fast-fail the callback without queueing.
-    fn enqueue(&self, model: &str, op: BatchOp, inputs: Vec<Matrix>, reply: ReplyCallback) {
+    fn enqueue(&self, model: &str, op: BatchOp, inputs: PendingInputs, reply: ReplyCallback) {
         // Resolve the name eagerly so unknown models fail fast with the catalog.
         if let Err(e) = self.shared.store.entry(model) {
             return reply(Err(e));
@@ -186,30 +235,41 @@ impl BatchEngine {
     /// Asynchronously project instances through a stored model, transparently
     /// coalescing with concurrent requests for the same model. The callback runs
     /// when the result is ready — the submitting thread never blocks, which is what
-    /// the event-loop server needs.
-    pub fn submit_transform(&self, model: &str, inputs: Vec<Matrix>, reply: ReplyCallback) {
-        self.enqueue(model, BatchOp::Transform, inputs, reply);
+    /// the event-loop server needs. The inputs are `Arc`-shared: the engine only
+    /// ever borrows them.
+    pub fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback) {
+        self.enqueue(
+            model,
+            BatchOp::Transform,
+            PendingInputs::Full(inputs),
+            reply,
+        );
     }
 
     /// Asynchronously project a *single* view through the model's per-view
     /// projection. Concurrent single-view requests for the same `(model, view)`
-    /// coalesce into one `transform_view` call that stitches only this view —
-    /// skipping the other `m − 1` per-view stitch allocations a full `transform`
-    /// batch would pay.
+    /// coalesce into one `transform_view` call that — for feature views — addresses
+    /// every request's columns in place through a [`linalg::ColsView`]: no stitched
+    /// copy, no per-view `hstack`, zero input copies.
     pub fn submit_transform_view(
         &self,
         model: &str,
         which: usize,
-        input: Matrix,
+        input: Arc<Matrix>,
         reply: ReplyCallback,
     ) {
-        self.enqueue(model, BatchOp::View(which), vec![input], reply);
+        self.enqueue(
+            model,
+            BatchOp::View(which),
+            PendingInputs::View(input),
+            reply,
+        );
     }
 
     /// Asynchronously compute all named candidate outputs. Multi-candidate requests
     /// are comparatively rare and heterogeneous, so they skip the micro-batcher and
     /// run directly on the pool.
-    pub fn submit_outputs(&self, model: &str, inputs: Vec<Matrix>, reply: OutputsCallback) {
+    pub fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback) {
         if self.shared.stop.load(Ordering::SeqCst) {
             return reply(Err(ServeError::EngineStopped));
         }
@@ -237,21 +297,26 @@ impl BatchEngine {
     /// there, and blocking a worker on its own queue can deadlock.)
     pub fn transform(&self, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_transform(model, inputs, Box::new(move |r| drop(tx.send(r))));
+        self.submit_transform(model, Arc::new(inputs), Box::new(move |r| drop(tx.send(r))));
         rx.recv().map_err(|_| ServeError::EngineStopped)?
     }
 
     /// Blocking counterpart of [`BatchEngine::submit_transform_view`].
     pub fn transform_view(&self, model: &str, which: usize, input: Matrix) -> Result<Matrix> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_transform_view(model, which, input, Box::new(move |r| drop(tx.send(r))));
+        self.submit_transform_view(
+            model,
+            which,
+            Arc::new(input),
+            Box::new(move |r| drop(tx.send(r))),
+        );
         rx.recv().map_err(|_| ServeError::EngineStopped)?
     }
 
     /// Blocking counterpart of [`BatchEngine::submit_outputs`].
     pub fn outputs(&self, model: &str, inputs: Vec<Matrix>) -> Result<Vec<NamedOutput>> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_outputs(model, inputs, Box::new(move |r| drop(tx.send(r))));
+        self.submit_outputs(model, Arc::new(inputs), Box::new(move |r| drop(tx.send(r))));
         rx.recv().map_err(|_| ServeError::EngineStopped)?
     }
 
@@ -321,7 +386,7 @@ fn named_outputs(model: &dyn MultiViewModel, inputs: &[Matrix]) -> Result<Vec<Na
 }
 
 /// Number of instances a request contributes, along the model's batching axis.
-fn request_instances(kind: InputKind, inputs: &[Matrix]) -> usize {
+fn request_instances(kind: InputKind, inputs: &PendingInputs) -> usize {
     match (kind, inputs.first()) {
         (InputKind::Views, Some(m)) => m.cols(),
         (InputKind::Kernels, Some(m)) => m.rows(),
@@ -418,18 +483,19 @@ fn dispatch_loop(shared: &Shared) {
     }
 }
 
-/// Run one request alone (the no-coalescing and fallback path).
-fn run_single(model: &dyn MultiViewModel, op: BatchOp, inputs: &[Matrix]) -> Result<Matrix> {
-    match op {
-        BatchOp::Transform => model.transform(inputs).map_err(ServeError::from),
-        BatchOp::View(v) => model
-            .transform_view(
-                v,
-                inputs.first().ok_or_else(|| {
-                    ServeError::Protocol("single-view request carries no matrix".into())
-                })?,
-            )
-            .map_err(ServeError::from),
+/// Run one request alone (the singleton-bypass and fallback path): the model reads
+/// the borrowed `Arc`'d input directly — no stitch, no copy.
+fn run_single(model: &dyn MultiViewModel, op: BatchOp, inputs: &PendingInputs) -> Result<Matrix> {
+    match (op, inputs) {
+        (BatchOp::Transform, PendingInputs::Full(views)) => {
+            model.transform(views).map_err(ServeError::from)
+        }
+        (BatchOp::View(v), PendingInputs::View(input)) => {
+            model.transform_view(v, input).map_err(ServeError::from)
+        }
+        _ => Err(ServeError::Protocol(
+            "request inputs do not match its operation".into(),
+        )),
     }
 }
 
@@ -452,6 +518,9 @@ fn execute_batch(
         }
     };
     if batch.len() == 1 {
+        // Singleton bypass: the coalescing path (and any stitching it might do) is
+        // skipped entirely — the model reads the request's own matrices in place.
+        stats.lock().expect("engine stats lock").singleton_batches += 1;
         let Pending {
             op, inputs, reply, ..
         } = batch.into_iter().next().expect("one request");
@@ -459,8 +528,18 @@ fn execute_batch(
         return;
     }
 
+    // A View batch over feature views *attempts* the ColsView path, but a model
+    // that does not override `transform_view_cols` still stitches in the default
+    // impl — so the batch only counts as zero-copy if the process-wide stitch
+    // counter did not move while it ran. (Under concurrent stitching elsewhere
+    // this can undercount, never overcount: the stat stays honest.)
+    let view_batch = matches!(batch[0].op, BatchOp::View(_)) && kind == InputKind::Views;
+    let stitches_before = linalg::input_stitches();
     match run_coalesced(model.as_ref(), kind, &batch) {
         Ok(embeddings) => {
+            if view_batch && linalg::input_stitches() == stitches_before {
+                stats.lock().expect("engine stats lock").zero_copy_batches += 1;
+            }
             for (pending, z) in batch.into_iter().zip(embeddings) {
                 (pending.reply)(Ok(z));
             }
@@ -480,16 +559,18 @@ fn execute_batch(
 /// Concatenate view `v` of every request along the instance axis into one
 /// preallocated matrix (columns for feature views, rows for kernel blocks). Each
 /// request's block is copied exactly once — no repeated pairwise `hstack`/`vstack`
-/// whose data movement would grow quadratically with the batch size.
+/// whose data movement would grow quadratically with the batch size. Every call
+/// materializes request data, so it counts against [`linalg::input_stitches`].
 fn stitch_view(kind: InputKind, batch: &[Pending], v: usize) -> Result<Matrix> {
+    linalg::note_input_stitch();
     let shape_err = |what: String| ServeError::Protocol(what);
-    let head = &batch[0].inputs[v];
+    let head = batch[0].inputs.part(v);
     match kind {
         InputKind::Views => {
             let d = head.rows();
             let mut total = 0usize;
             for p in batch {
-                let part = &p.inputs[v];
+                let part = p.inputs.part(v);
                 if part.rows() != d {
                     return Err(shape_err(format!(
                         "view {v}: request has {} features, batch peer has {d}",
@@ -501,7 +582,7 @@ fn stitch_view(kind: InputKind, batch: &[Pending], v: usize) -> Result<Matrix> {
             let mut out = Matrix::zeros(d, total);
             let mut col = 0usize;
             for p in batch {
-                let part = &p.inputs[v];
+                let part = p.inputs.part(v);
                 for i in 0..d {
                     out.row_mut(i)[col..col + part.cols()].copy_from_slice(part.row(i));
                 }
@@ -513,7 +594,7 @@ fn stitch_view(kind: InputKind, batch: &[Pending], v: usize) -> Result<Matrix> {
             let n = head.cols();
             let mut total = 0usize;
             for p in batch {
-                let part = &p.inputs[v];
+                let part = p.inputs.part(v);
                 if part.cols() != n {
                     return Err(shape_err(format!(
                         "kernel block {v}: request has {} columns, batch peer has {n}",
@@ -525,7 +606,7 @@ fn stitch_view(kind: InputKind, batch: &[Pending], v: usize) -> Result<Matrix> {
             let mut out = Matrix::zeros(total, n);
             let mut row = 0usize;
             for p in batch {
-                let part = &p.inputs[v];
+                let part = p.inputs.part(v);
                 out.as_mut_slice()[row * n..row * n + part.as_slice().len()]
                     .copy_from_slice(part.as_slice());
                 row += part.rows();
@@ -535,10 +616,15 @@ fn stitch_view(kind: InputKind, batch: &[Pending], v: usize) -> Result<Matrix> {
     }
 }
 
-/// Stitch the batch along the instance axis, run one model call, split the rows.
-/// For [`BatchOp::Transform`] every view is stitched; for [`BatchOp::View`] the
-/// batch carries exactly one matrix per request and only *that* view is stitched —
-/// the per-view `hstack` allocations for the other `m − 1` views never happen.
+/// Join the batch along the instance axis, run one model call, split the rows.
+///
+/// * [`BatchOp::View`] over feature views is the zero-copy path: the requests'
+///   matrices become the parts of a borrowed [`ColsView`] and the model's blocked
+///   GEMM packs straight from them — bit-identical to the stitched path, with no
+///   input copy at all.
+/// * [`BatchOp::Transform`] stitches every view; [`BatchOp::View`] over kernel
+///   blocks stitches the one block row-wise (kernel models need the contiguous
+///   block). Both count against [`linalg::input_stitches`].
 fn run_coalesced(
     model: &dyn MultiViewModel,
     kind: InputKind,
@@ -548,10 +634,15 @@ fn run_coalesced(
         BatchOp::Transform => {
             let views = model.num_views();
             for p in batch {
-                if p.inputs.len() != views {
+                let PendingInputs::Full(inputs) = &p.inputs else {
+                    return Err(ServeError::Protocol(
+                        "full-transform batch holds a single-view request".into(),
+                    ));
+                };
+                if inputs.len() != views {
                     return Err(ServeError::Protocol(format!(
                         "request has {} inputs, model expects {views}",
-                        p.inputs.len()
+                        inputs.len()
                     )));
                 }
             }
@@ -561,17 +652,14 @@ fn run_coalesced(
             }
             model.transform(&stitched)?
         }
-        BatchOp::View(which) => {
-            for p in batch {
-                if p.inputs.len() != 1 {
-                    return Err(ServeError::Protocol(format!(
-                        "single-view request carries {} matrices",
-                        p.inputs.len()
-                    )));
-                }
+        BatchOp::View(which) => match kind {
+            InputKind::Views => {
+                let cols = ColsView::from_matrices(batch.iter().map(|p| p.inputs.part(0)))
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                model.transform_view_cols(which, &cols)?
             }
-            model.transform_view(which, &stitch_view(kind, batch, 0)?)?
-        }
+            InputKind::Kernels => model.transform_view(which, &stitch_view(kind, batch, 0)?)?,
+        },
     };
 
     let mut out = Vec::with_capacity(batch.len());

@@ -427,17 +427,22 @@ fn with_remote_conn<T>(
 }
 
 impl TransformService for Router {
-    fn submit_transform(&self, model: &str, inputs: Vec<Matrix>, reply: ReplyCallback) {
+    fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback) {
         let candidates = self.candidates(model);
         let model = model.to_string();
+        // Each retryable attempt clones the `Arc` handle, never the matrices: on
+        // the zero-failover happy path the request buffers the server decoded are
+        // the very ones the winning shard's engine reads.
         let attempt: Attempt<Matrix> = Arc::new(move |inner, sid, cb| {
             let shard = &inner.shards[sid];
             match &shard.backend {
-                Backend::Local { engine } => engine.submit_transform(&model, inputs.clone(), cb),
+                Backend::Local { engine } => {
+                    engine.submit_transform(&model, Arc::clone(&inputs), cb)
+                }
                 Backend::Remote { .. } => {
                     let inner = Arc::clone(inner);
                     let model = model.clone();
-                    let inputs = inputs.clone();
+                    let inputs = Arc::clone(&inputs);
                     inner.clone().io_pool.spawn(move || {
                         let shard = Arc::clone(&inner.shards[sid]);
                         cb(with_remote_conn(&inner, &shard, |c| {
@@ -454,7 +459,7 @@ impl TransformService for Router {
         &self,
         model: &str,
         which: usize,
-        input: Matrix,
+        input: Arc<Matrix>,
         reply: ReplyCallback,
     ) {
         let candidates = self.candidates(model);
@@ -463,12 +468,12 @@ impl TransformService for Router {
             let shard = &inner.shards[sid];
             match &shard.backend {
                 Backend::Local { engine } => {
-                    engine.submit_transform_view(&model, which, input.clone(), cb)
+                    engine.submit_transform_view(&model, which, Arc::clone(&input), cb)
                 }
                 Backend::Remote { .. } => {
                     let inner = Arc::clone(inner);
                     let model = model.clone();
-                    let input = input.clone();
+                    let input = Arc::clone(&input);
                     inner.clone().io_pool.spawn(move || {
                         let shard = Arc::clone(&inner.shards[sid]);
                         cb(with_remote_conn(&inner, &shard, |c| {
@@ -481,17 +486,17 @@ impl TransformService for Router {
         try_shards(Arc::clone(&self.inner), candidates, 0, attempt, reply);
     }
 
-    fn submit_outputs(&self, model: &str, inputs: Vec<Matrix>, reply: OutputsCallback) {
+    fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback) {
         let candidates = self.candidates(model);
         let model = model.to_string();
         let attempt: Attempt<Vec<NamedOutput>> = Arc::new(move |inner, sid, cb| {
             let shard = &inner.shards[sid];
             match &shard.backend {
-                Backend::Local { engine } => engine.submit_outputs(&model, inputs.clone(), cb),
+                Backend::Local { engine } => engine.submit_outputs(&model, Arc::clone(&inputs), cb),
                 Backend::Remote { .. } => {
                     let inner = Arc::clone(inner);
                     let model = model.clone();
-                    let inputs = inputs.clone();
+                    let inputs = Arc::clone(&inputs);
                     inner.clone().io_pool.spawn(move || {
                         let shard = Arc::clone(&inner.shards[sid]);
                         cb(with_remote_conn(&inner, &shard, |c| {
@@ -622,7 +627,7 @@ mod tests {
     /// Blocking helper mirroring `BatchEngine::transform`.
     fn transform(router: &Router, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        router.submit_transform(model, inputs, Box::new(move |r| drop(tx.send(r))));
+        router.submit_transform(model, Arc::new(inputs), Box::new(move |r| drop(tx.send(r))));
         rx.recv().expect("router reply")
     }
 

@@ -229,7 +229,7 @@ impl Server {
                 let complete = self.completer(conn_id, gen, id, v1_seq);
                 self.service.submit_transform(
                     &model,
-                    inputs,
+                    std::sync::Arc::new(inputs),
                     Box::new(move |result| {
                         complete(match result {
                             Ok(z) => Response::Embedding(z),
@@ -244,7 +244,7 @@ impl Server {
                 self.service.submit_transform_view(
                     &model,
                     view as usize,
-                    input,
+                    std::sync::Arc::new(input),
                     Box::new(move |result| {
                         complete(match result {
                             Ok(z) => Response::Embedding(z),
@@ -258,7 +258,7 @@ impl Server {
                 let complete = self.completer(conn_id, gen, id, v1_seq);
                 self.service.submit_outputs(
                     &model,
-                    inputs,
+                    std::sync::Arc::new(inputs),
                     Box::new(move |result| {
                         complete(match result {
                             Ok(candidates) => Response::Outputs(candidates),
@@ -715,7 +715,7 @@ fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Res
                         let (tx, rx) = std::sync::mpsc::sync_channel(1);
                         service.submit_transform(
                             &model,
-                            inputs,
+                            std::sync::Arc::new(inputs),
                             Box::new(move |r| drop(tx.send(r))),
                         );
                         match rx.recv() {
@@ -729,7 +729,7 @@ fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Res
                         service.submit_transform_view(
                             &model,
                             view as usize,
-                            input,
+                            std::sync::Arc::new(input),
                             Box::new(move |r| drop(tx.send(r))),
                         );
                         match rx.recv() {
@@ -740,7 +740,11 @@ fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Res
                     }
                     Request::Outputs { model, inputs } => {
                         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-                        service.submit_outputs(&model, inputs, Box::new(move |r| drop(tx.send(r))));
+                        service.submit_outputs(
+                            &model,
+                            std::sync::Arc::new(inputs),
+                            Box::new(move |r| drop(tx.send(r))),
+                        );
                         match rx.recv() {
                             Ok(Ok(c)) => Response::Outputs(c),
                             Ok(Err(e)) => Response::Error(e.to_string()),

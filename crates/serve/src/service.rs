@@ -11,18 +11,29 @@ use crate::batch::{OutputsCallback, ReplyCallback};
 use crate::wire::{ModelInfo, RescanReport};
 use crate::{BatchEngine, ModelStore, Result};
 use linalg::Matrix;
+use std::sync::Arc;
 
 /// An asynchronous transform backend: the [`crate::Server`] submits requests and
 /// returns to its poll loop; the backend invokes each callback exactly once.
+///
+/// Inputs are `Arc`-shared end to end: the server wraps each decoded request once,
+/// and every layer below (router failover retries, engine queueing, coalescing)
+/// clones the handle, never the matrices.
 pub trait TransformService: Send + Sync {
     /// Project instances through the named model (all views).
-    fn submit_transform(&self, model: &str, inputs: Vec<Matrix>, reply: ReplyCallback);
+    fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback);
 
     /// Project a single view through the model's per-view projection.
-    fn submit_transform_view(&self, model: &str, which: usize, input: Matrix, reply: ReplyCallback);
+    fn submit_transform_view(
+        &self,
+        model: &str,
+        which: usize,
+        input: Arc<Matrix>,
+        reply: ReplyCallback,
+    );
 
     /// Compute all named candidate outputs of the model.
-    fn submit_outputs(&self, model: &str, inputs: Vec<Matrix>, reply: OutputsCallback);
+    fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback);
 
     /// The model catalog (header metadata only).
     fn catalog(&self) -> Result<Vec<ModelInfo>>;
@@ -48,7 +59,7 @@ pub fn store_catalog(store: &ModelStore) -> Vec<ModelInfo> {
 }
 
 impl TransformService for BatchEngine {
-    fn submit_transform(&self, model: &str, inputs: Vec<Matrix>, reply: ReplyCallback) {
+    fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback) {
         BatchEngine::submit_transform(self, model, inputs, reply);
     }
 
@@ -56,13 +67,13 @@ impl TransformService for BatchEngine {
         &self,
         model: &str,
         which: usize,
-        input: Matrix,
+        input: Arc<Matrix>,
         reply: ReplyCallback,
     ) {
         BatchEngine::submit_transform_view(self, model, which, input, reply);
     }
 
-    fn submit_outputs(&self, model: &str, inputs: Vec<Matrix>, reply: OutputsCallback) {
+    fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback) {
         BatchEngine::submit_outputs(self, model, inputs, reply);
     }
 

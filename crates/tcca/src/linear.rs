@@ -258,22 +258,33 @@ impl Tcca {
                 self.projections.len()
             )));
         }
+        // One-part view through the shifted GEMM: centering happens while the
+        // kernel packs, so no centered copy of the input is ever allocated. The
+        // result is bit-identical to clone-center-then-`t_matmul` (property-tested).
+        self.transform_view_cols(which, &linalg::ColsView::from_matrices([view])?)
+    }
+
+    /// Zero-copy variant of [`Tcca::transform_view`]: project the horizontal
+    /// concatenation of borrowed column blocks (a coalesced serving batch) without
+    /// materializing it — the training means are subtracted while the blocked GEMM
+    /// packs its panels, so the result is **bit-identical** to stitching the blocks
+    /// and calling [`Tcca::transform_view`].
+    pub fn transform_view_cols(&self, which: usize, cols: &linalg::ColsView<'_>) -> Result<Matrix> {
+        if which >= self.projections.len() {
+            return Err(TccaError::InvalidInput(format!(
+                "view index {which} out of range for {} views",
+                self.projections.len()
+            )));
+        }
         let proj = &self.projections[which];
-        if view.rows() != proj.rows() {
+        if cols.rows() != proj.rows() {
             return Err(TccaError::InvalidInput(format!(
                 "view {which} has {} features but the model expects {}",
-                view.rows(),
+                cols.rows(),
                 proj.rows()
             )));
         }
-        let mut centered = view.clone();
-        for i in 0..centered.rows() {
-            let m = self.means[which][i];
-            for v in centered.row_mut(i) {
-                *v -= m;
-            }
-        }
-        Ok(centered.t_matmul(proj)?)
+        Ok(cols.shifted_t_matmul(Some(&self.means[which]), proj)?)
     }
 
     /// Project every view and concatenate the per-view embeddings into the final
