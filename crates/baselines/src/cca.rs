@@ -11,7 +11,7 @@
 //! representation.
 
 use crate::{BaselineError, Result};
-use linalg::{center_rows, covariance, cross_covariance, Matrix, Svd};
+use linalg::{JointMoments, Matrix, Svd};
 
 /// A fitted two-view CCA model.
 #[derive(Debug, Clone)]
@@ -38,17 +38,42 @@ impl Cca {
                 view2.cols()
             )));
         }
+        if view1.cols() == 0 {
+            return Err(BaselineError::InvalidInput(
+                "cannot fit CCA on zero instances".into(),
+            ));
+        }
+        let moments = JointMoments::from_views(&[view1, view2])?;
+        Self::fit_from_moments(&moments, rank, epsilon)
+    }
+
+    /// Fit CCA from accumulated two-view moments (the streaming finalize path).
+    ///
+    /// [`JointMoments`] is exact and mergeable, so any chunking of the same samples
+    /// yields the same moments — and therefore the same model, bit for bit — as
+    /// [`Cca::fit`] on the full batch.
+    pub fn fit_from_moments(moments: &JointMoments, rank: usize, epsilon: f64) -> Result<Self> {
         if rank == 0 {
             return Err(BaselineError::InvalidInput("rank must be positive".into()));
         }
-        let (x1, m1) = center_rows(view1);
-        let (x2, m2) = center_rows(view2);
-
-        let mut c11 = covariance(&x1);
-        let mut c22 = covariance(&x2);
+        if moments.dims().len() != 2 {
+            return Err(BaselineError::InvalidInput(format!(
+                "CCA moments must cover exactly two views, got {}",
+                moments.dims().len()
+            )));
+        }
+        if moments.count() == 0 {
+            return Err(BaselineError::InvalidInput(
+                "cannot fit CCA on zero instances".into(),
+            ));
+        }
+        let m1 = moments.mean(0);
+        let m2 = moments.mean(1);
+        let mut c11 = moments.covariance(0, 0);
+        let mut c22 = moments.covariance(1, 1);
         c11.add_diagonal(epsilon);
         c22.add_diagonal(epsilon);
-        let c12 = cross_covariance(&x1, &x2)?;
+        let c12 = moments.covariance(0, 1);
 
         let w1 = c11.inverse_sqrt_spd(1e-12)?;
         let w2 = c22.inverse_sqrt_spd(1e-12)?;

@@ -8,7 +8,7 @@
 //! the classical (but SVD-heavy, non-adaptive) baseline that CCA-LS reformulates.
 
 use crate::{BaselineError, Result};
-use linalg::{center_rows, covariance, Matrix, Svd};
+use linalg::{JointMoments, Matrix, SymmetricEigen};
 
 /// A fitted CCA-MAXVAR model.
 #[derive(Debug, Clone)]
@@ -24,15 +24,7 @@ impl CcaMaxVar {
     /// Fit CCA-MAXVAR on `m` views (`d_p × N`), keeping `rank` components, with ridge
     /// regularizer `epsilon` on every view covariance.
     pub fn fit(views: &[Matrix], rank: usize, epsilon: f64) -> Result<Self> {
-        if views.len() < 2 {
-            return Err(BaselineError::InvalidInput(
-                "CCA-MAXVAR needs at least two views".into(),
-            ));
-        }
-        if rank == 0 {
-            return Err(BaselineError::InvalidInput("rank must be positive".into()));
-        }
-        let n = views[0].cols();
+        let n = views.first().map_or(0, Matrix::cols);
         for (p, v) in views.iter().enumerate() {
             if v.cols() != n {
                 return Err(BaselineError::InvalidInput(format!(
@@ -41,49 +33,100 @@ impl CcaMaxVar {
                 )));
             }
         }
-
-        let mut means = Vec::with_capacity(views.len());
-        let mut whiteners = Vec::with_capacity(views.len());
-        let mut stacked: Option<Matrix> = None;
-        for v in views {
-            let (x, mean) = center_rows(v);
-            let mut c = covariance(&x);
-            c.add_diagonal(epsilon);
-            let w = c.inverse_sqrt_spd(1e-12)?;
-            // Y_p = X_pᵀ W_p  (N × d_p)
-            let y = x.t_matmul(&w)?;
-            stacked = Some(match stacked {
-                None => y,
-                Some(acc) => acc.hstack(&y)?,
-            });
-            means.push(mean);
-            whiteners.push(w);
+        if !views.is_empty() && n == 0 {
+            return Err(BaselineError::InvalidInput(
+                "cannot fit CCA-MAXVAR on zero instances".into(),
+            ));
         }
-        let stacked = stacked.expect("at least two views");
+        let moments = JointMoments::from_views(views)?;
+        Self::fit_from_moments(&moments, rank, epsilon)
+    }
 
-        let svd = Svd::new(&stacked)?;
-        let r = rank.min(svd.len());
+    /// Fit CCA-MAXVAR from accumulated multi-view moments (the streaming finalize
+    /// path).
+    ///
+    /// Instead of the SVD of the stacked whitened data `[Y_1, …, Y_m]` (which needs
+    /// the raw samples), this solves the equivalent eigenproblem of its Gram matrix
+    /// `G`, whose blocks `G_pq = N · W_p C_pq W_q` are derivable from mergeable
+    /// moments: the eigenvectors of `G` are the right singular vectors of the stack
+    /// and `σ_k = sqrt(λ_k)`. [`JointMoments`] is exact, so any chunking of the same
+    /// samples produces the same model, bit for bit, as [`CcaMaxVar::fit`].
+    pub fn fit_from_moments(moments: &JointMoments, rank: usize, epsilon: f64) -> Result<Self> {
+        if moments.dims().len() < 2 {
+            return Err(BaselineError::InvalidInput(
+                "CCA-MAXVAR needs at least two views".into(),
+            ));
+        }
+        if rank == 0 {
+            return Err(BaselineError::InvalidInput("rank must be positive".into()));
+        }
+        if moments.count() == 0 {
+            return Err(BaselineError::InvalidInput(
+                "cannot fit CCA-MAXVAR on zero instances".into(),
+            ));
+        }
+        let m = moments.dims().len();
+        let n = moments.count() as f64;
+        let mut means = Vec::with_capacity(m);
+        let mut whiteners = Vec::with_capacity(m);
+        for p in 0..m {
+            let mut c = moments.covariance(p, p);
+            c.add_diagonal(epsilon);
+            whiteners.push(c.inverse_sqrt_spd(1e-12)?);
+            means.push(moments.mean(p));
+        }
 
-        // Split the right singular vectors into per-view blocks and map back through the
-        // whiteners: h_p = W_p v_p.
-        let mut projections = Vec::with_capacity(views.len());
-        let mut offset = 0usize;
-        for (p, v) in views.iter().enumerate() {
-            let d = v.rows();
+        // Gram of the stacked whitened data: G_pq = N · W_p C_pq W_q. Only the upper
+        // block triangle is computed; the lower is mirrored so G is exactly symmetric.
+        let dims = moments.dims().to_vec();
+        let total: usize = dims.iter().sum();
+        let mut offsets = Vec::with_capacity(m);
+        let mut acc = 0usize;
+        for &d in &dims {
+            offsets.push(acc);
+            acc += d;
+        }
+        let mut g = Matrix::zeros(total, total);
+        for p in 0..m {
+            for q in p..m {
+                let block = whiteners[p]
+                    .matmul(&moments.covariance(p, q))?
+                    .matmul(&whiteners[q])?;
+                for i in 0..dims[p] {
+                    for j in 0..dims[q] {
+                        let v = n * block[(i, j)];
+                        g[(offsets[p] + i, offsets[q] + j)] = v;
+                        g[(offsets[q] + j, offsets[p] + i)] = v;
+                    }
+                }
+            }
+        }
+
+        let eig = SymmetricEigen::new(&g)?;
+        let r = rank.min(total);
+        let singular_values: Vec<f64> = eig.eigenvalues[..r]
+            .iter()
+            .map(|&l| l.max(0.0).sqrt())
+            .collect();
+
+        // Split the eigenvectors (right singular vectors of the stack) into per-view
+        // blocks and map back through the whiteners: h_p = W_p v_p.
+        let mut projections = Vec::with_capacity(m);
+        for p in 0..m {
+            let d = dims[p];
             let mut block = Matrix::zeros(d, r);
             for k in 0..r {
                 for i in 0..d {
-                    block[(i, k)] = svd.v[(offset + i, k)];
+                    block[(i, k)] = eig.eigenvectors[(offsets[p] + i, k)];
                 }
             }
-            offset += d;
             projections.push(whiteners[p].matmul(&block)?);
         }
 
         Ok(Self {
             means,
             projections,
-            singular_values: svd.singular_values[..r].to_vec(),
+            singular_values,
         })
     }
 

@@ -4,11 +4,12 @@
 //! stage of DSE and SSMVD ("PCA is taken as the dimension reduction method for each
 //! view, and the result dimension is set to be 100"), and CCA-MAXVAR's latent variable
 //! `z` is "the best possible one-dimensional PCA representation" of the canonical
-//! variables. The implementation automatically switches between the covariance
-//! (`d × d`) and Gram (`N × N`) eigenproblems, whichever is smaller.
+//! variables. The fit routes through exact mergeable moments ([`JointMoments`]) and the
+//! covariance (`d × d`) eigenproblem, so the streaming `partial_fit`/`merge`/`finalize`
+//! path reproduces the one-shot fit bit for bit under any chunking.
 
 use crate::{BaselineError, Result};
-use linalg::{center_rows, Matrix, SymmetricEigen};
+use linalg::{JointMoments, Matrix, SymmetricEigen};
 
 /// A fitted PCA model for a single `d × N` view.
 #[derive(Debug, Clone)]
@@ -22,51 +23,53 @@ pub struct Pca {
 
 impl Pca {
     /// Fit PCA on a `d × N` view (instances as columns), keeping `rank` components.
+    ///
+    /// Routes through [`JointMoments`] so that streaming `partial_fit`/`merge` over any
+    /// chunking of the same samples finalizes ([`Pca::fit_from_moments`]) to a model
+    /// bit-identical to this one-shot fit.
     pub fn fit(view: &Matrix, rank: usize) -> Result<Self> {
+        if view.cols() == 0 {
+            return Err(BaselineError::InvalidInput(
+                "cannot fit PCA on zero instances".into(),
+            ));
+        }
+        let moments = JointMoments::from_views(std::slice::from_ref(view))?;
+        Self::fit_from_moments(&moments, rank)
+    }
+
+    /// Fit PCA from accumulated single-view moments (the streaming finalize path).
+    ///
+    /// Because [`JointMoments`] is exact and mergeable, any chunking of the same
+    /// samples yields the same moments — and therefore the same model, bit for bit —
+    /// as [`Pca::fit`] on the full batch.
+    pub fn fit_from_moments(moments: &JointMoments, rank: usize) -> Result<Self> {
         if rank == 0 {
             return Err(BaselineError::InvalidInput("rank must be positive".into()));
         }
-        let (x, mean) = center_rows(view);
-        let d = x.rows();
-        let n = x.cols();
-        let r = rank.min(d.min(n.max(1)));
-
-        if d <= n || n == 0 {
-            // Covariance route: eigen of (1/N) X Xᵀ  (d × d).
-            let cov = x.gram().scale(1.0 / n.max(1) as f64);
-            let eig = SymmetricEigen::new(&cov)?;
-            let components = eig.eigenvectors.leading_columns(r);
-            let explained_variance = eig.eigenvalues[..r].to_vec();
-            Ok(Self {
-                mean,
-                components,
-                explained_variance,
-            })
-        } else {
-            // Gram (dual) route: eigen of (1/N) Xᵀ X  (N × N); directions = X v / sqrt(Nλ).
-            let gram = x.gram_t().scale(1.0 / n as f64);
-            let eig = SymmetricEigen::new(&gram)?;
-            let mut components = Matrix::zeros(d, r);
-            let mut explained_variance = Vec::with_capacity(r);
-            for k in 0..r {
-                let lambda = eig.eigenvalues[k].max(0.0);
-                explained_variance.push(lambda);
-                let v = eig.eigenvectors.column(k);
-                let dir = x.matvec(&v)?;
-                let scale = (n as f64 * lambda).sqrt();
-                let col: Vec<f64> = if scale > 1e-12 {
-                    dir.iter().map(|x| x / scale).collect()
-                } else {
-                    vec![0.0; d]
-                };
-                components.set_column(k, &col);
-            }
-            Ok(Self {
-                mean,
-                components,
-                explained_variance,
-            })
+        if moments.dims().len() != 1 {
+            return Err(BaselineError::InvalidInput(format!(
+                "PCA moments must cover exactly one view, got {}",
+                moments.dims().len()
+            )));
         }
+        if moments.count() == 0 {
+            return Err(BaselineError::InvalidInput(
+                "cannot fit PCA on zero instances".into(),
+            ));
+        }
+        let d = moments.dims()[0];
+        let n = moments.count() as usize;
+        let r = rank.min(d.min(n));
+        let mean = moments.mean(0);
+        let cov = moments.covariance(0, 0);
+        let eig = SymmetricEigen::new(&cov)?;
+        let components = eig.eigenvectors.leading_columns(r);
+        let explained_variance = eig.eigenvalues[..r].to_vec();
+        Ok(Self {
+            mean,
+            components,
+            explained_variance,
+        })
     }
 
     /// Rebuild a fitted model from its parts (the persistence path). `mean` must have

@@ -68,11 +68,7 @@ impl MultiViewEstimator for Bsf {
     fn fit(&self, views: &[Matrix], _spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
         let n = check_same_instances(views)?;
         let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
-        let mut memory = MemoryModel::new();
-        for (p, d) in dims.iter().enumerate() {
-            memory.add_matrix(format!("view {p} features"), n, *d);
-        }
-        Ok(Box::new(BsfModel { dims, memory }))
+        Ok(bsf_model_from_parts(dims, n))
     }
 
     fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
@@ -81,6 +77,16 @@ impl MultiViewEstimator for Bsf {
             memory: state.memory()?,
         }))
     }
+}
+
+/// Build the registry's "BSF" model from per-view feature dimensions and a training
+/// instance count (the streaming finalize path — BSF has no learned parameters).
+pub fn bsf_model_from_parts(dims: Vec<usize>, n: usize) -> Box<dyn MultiViewModel> {
+    let mut memory = MemoryModel::new();
+    for (p, d) in dims.iter().enumerate() {
+        memory.add_matrix(format!("view {p} features"), n, *d);
+    }
+    Box::new(BsfModel { dims, memory })
 }
 
 struct BsfModel {
@@ -161,9 +167,7 @@ impl MultiViewEstimator for Cat {
     fn fit(&self, views: &[Matrix], _spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
         let n = check_same_instances(views)?;
         let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
-        let mut memory = MemoryModel::new();
-        memory.add_matrix("concatenated features", n, dims.iter().sum());
-        Ok(Box::new(CatModel { dims, memory }))
+        Ok(cat_model_from_parts(dims, n))
     }
 
     fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
@@ -172,6 +176,14 @@ impl MultiViewEstimator for Cat {
             memory: state.memory()?,
         }))
     }
+}
+
+/// Build the registry's "CAT" model from per-view feature dimensions and a training
+/// instance count (the streaming finalize path — CAT has no learned parameters).
+pub fn cat_model_from_parts(dims: Vec<usize>, n: usize) -> Box<dyn MultiViewModel> {
+    let mut memory = MemoryModel::new();
+    memory.add_matrix("concatenated features", n, dims.iter().sum());
+    Box::new(CatModel { dims, memory })
 }
 
 struct CatModel {

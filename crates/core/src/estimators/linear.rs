@@ -47,6 +47,48 @@ pub(crate) fn load_pca(state: &ModelState, prefix: &str) -> Result<Pca> {
     )?)
 }
 
+/// Memory model and embedding dimension of a pairwise-CCA model, shared by the batch
+/// fit and the streaming finalize path so both produce identical models.
+fn pairwise_cca_memory(inner: &PairwiseCca, dims: &[usize], n: usize) -> (MemoryModel, usize) {
+    let mut memory = MemoryModel::new();
+    let mut dim = 0;
+    for (index, &(p, q)) in inner.pairs().iter().enumerate() {
+        memory.add_matrix(format!("C{p}{p}"), dims[p], dims[p]);
+        memory.add_matrix(format!("C{q}{q}"), dims[q], dims[q]);
+        memory.add_matrix(format!("C{p}{q}"), dims[p], dims[q]);
+        let pair_dim = 2 * inner.models()[index].projections()[0].cols();
+        memory.add_matrix(format!("embedding {p}-{q}"), n, pair_dim);
+        dim += pair_dim;
+    }
+    (memory, dim)
+}
+
+/// Wrap per-pair fitted [`Cca`] models into the registry's "CCA (BST)"/"CCA (AVG)"
+/// model (the streaming finalize path). `models` must be in
+/// [`baselines::pairwise::view_pairs`] order; `n` is the number of training
+/// instances the stats were accumulated over. Produces exactly what
+/// [`PairwiseCcaEstimator::fit`] builds from the same per-pair models.
+pub fn pairwise_cca_model_from_parts(
+    best: bool,
+    dims: &[usize],
+    models: Vec<Cca>,
+    n: usize,
+) -> Result<Box<dyn MultiViewModel>> {
+    let inner = PairwiseCca::from_models(dims.len(), models)?;
+    let (memory, dim) = pairwise_cca_memory(&inner, dims, n);
+    Ok(Box::new(PairwiseCcaModel {
+        rule: if best {
+            CombineRule::SelectBest
+        } else {
+            CombineRule::Average
+        },
+        num_views: dims.len(),
+        inner,
+        dim,
+        memory,
+    }))
+}
+
 /// CCA fitted on every pair of views — the paper's "CCA (BST)" / "CCA (AVG)".
 #[derive(Debug, Clone, Copy)]
 pub struct PairwiseCcaEstimator {
@@ -81,16 +123,7 @@ impl MultiViewEstimator for PairwiseCcaEstimator {
         let n = check_same_instances(views)?;
         let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
         let inner = PairwiseCca::fit(views, spec.rank, spec.epsilon)?;
-        let mut memory = MemoryModel::new();
-        let mut dim = 0;
-        for (index, &(p, q)) in inner.pairs().iter().enumerate() {
-            memory.add_matrix(format!("C{p}{p}"), dims[p], dims[p]);
-            memory.add_matrix(format!("C{q}{q}"), dims[q], dims[q]);
-            memory.add_matrix(format!("C{p}{q}"), dims[p], dims[q]);
-            let pair_dim = 2 * inner.models()[index].projections()[0].cols();
-            memory.add_matrix(format!("embedding {p}-{q}"), n, pair_dim);
-            dim += pair_dim;
-        }
+        let (memory, dim) = pairwise_cca_memory(&inner, &dims, n);
         Ok(Box::new(PairwiseCcaModel {
             rule: self.rule,
             num_views: views.len(),
@@ -323,12 +356,8 @@ impl MultiViewEstimator for CcaMaxVarEstimator {
     fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
         let n = check_same_instances(views)?;
         let inner = CcaMaxVar::fit(views, spec.rank, spec.epsilon)?;
-        let total: usize = views.iter().map(Matrix::rows).sum();
-        let mut memory = MemoryModel::new();
-        memory.add_matrix("stacked whitened views", n, total);
-        let dim: usize = inner.projections().iter().map(Matrix::cols).sum();
-        memory.add_matrix("embedding", n, dim);
-        Ok(Box::new(CcaMaxVarModel { inner, dim, memory }))
+        let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
+        Ok(cca_maxvar_model_from_parts(inner, &dims, n))
     }
 
     fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
@@ -343,6 +372,23 @@ impl MultiViewEstimator for CcaMaxVarEstimator {
             memory: state.memory()?,
         }))
     }
+}
+
+/// Wrap a fitted [`CcaMaxVar`] into the registry's "CCA-MAXVAR" model (the streaming
+/// finalize path). `n` is the number of training instances the stats were accumulated
+/// over. Produces exactly what [`CcaMaxVarEstimator::fit`] builds from the same inner
+/// model.
+pub fn cca_maxvar_model_from_parts(
+    inner: CcaMaxVar,
+    dims: &[usize],
+    n: usize,
+) -> Box<dyn MultiViewModel> {
+    let total: usize = dims.iter().sum();
+    let mut memory = MemoryModel::new();
+    memory.add_matrix("stacked whitened views", n, total);
+    let dim: usize = inner.projections().iter().map(Matrix::cols).sum();
+    memory.add_matrix("embedding", n, dim);
+    Box::new(CcaMaxVarModel { inner, dim, memory })
 }
 
 struct CcaMaxVarModel {
@@ -419,18 +465,11 @@ impl MultiViewEstimator for PcaEstimator {
         if spec.rank == 0 {
             return Err(CoreError::InvalidInput("rank must be positive".into()));
         }
-        let mut pcas = Vec::with_capacity(views.len());
-        let mut memory = MemoryModel::new();
-        let mut dim = 0;
-        for (p, v) in views.iter().enumerate() {
-            let pca = Pca::fit(v, spec.rank)?;
-            let k = pca.components().cols();
-            memory.add_matrix(format!("components {p}"), v.rows(), k);
-            memory.add_matrix(format!("scores {p}"), n, k);
-            dim += k;
-            pcas.push(pca);
-        }
-        Ok(Box::new(PcaModel { pcas, dim, memory }))
+        let pcas = views
+            .iter()
+            .map(|v| Pca::fit(v, spec.rank))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(pca_model_from_parts(pcas, n))
     }
 
     fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
@@ -444,6 +483,22 @@ impl MultiViewEstimator for PcaEstimator {
             memory: state.memory()?,
         }))
     }
+}
+
+/// Wrap per-view fitted [`Pca`] models into the registry's "PCA" model (the streaming
+/// finalize path). `n` is the number of training instances the stats were accumulated
+/// over. Produces exactly what [`PcaEstimator::fit`] builds from the same per-view
+/// models.
+pub fn pca_model_from_parts(pcas: Vec<Pca>, n: usize) -> Box<dyn MultiViewModel> {
+    let mut memory = MemoryModel::new();
+    let mut dim = 0;
+    for (p, pca) in pcas.iter().enumerate() {
+        let k = pca.components().cols();
+        memory.add_matrix(format!("components {p}"), pca.components().rows(), k);
+        memory.add_matrix(format!("scores {p}"), n, k);
+        dim += k;
+    }
+    Box::new(PcaModel { pcas, dim, memory })
 }
 
 struct PcaModel {
@@ -533,17 +588,7 @@ impl MultiViewEstimator for TccaEstimator {
         let n = check_same_instances(views)?;
         let inner = Tcca::fit(views, &spec.tcca_options())?;
         let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
-        let mut memory = MemoryModel::new();
-        memory.add_tensor("covariance tensor", &dims);
-        let mut dim = 0;
-        for (p, d) in dims.iter().enumerate() {
-            let r = inner.projections()[p].cols();
-            memory.add_matrix(format!("whitener {p}"), *d, *d);
-            memory.add_matrix(format!("factor {p}"), *d, r);
-            dim += r;
-        }
-        memory.add_matrix("embedding", n, dim);
-        Ok(Box::new(TccaModel { inner, dim, memory }))
+        Ok(tcca_model_from_parts(inner, &dims, n))
     }
 
     fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
@@ -555,18 +600,40 @@ impl MultiViewEstimator for TccaEstimator {
             tolerance: state.scalar("options/tolerance")?,
             seed: state.int("options/seed")?,
         };
-        let inner = Tcca::from_parts(
+        let mut inner = Tcca::from_parts(
             state.vectors("means")?,
             state.matrices("projections")?,
             state.vector("correlations")?.to_vec(),
             options,
         )?;
+        // Files persisted before streaming refits existed carry no CP factors; they
+        // load fine and simply cannot warm-start a refit.
+        if state.contains("factors/len") {
+            inner = inner.with_factors(state.matrices("factors")?)?;
+        }
         Ok(Box::new(TccaModel {
             inner,
             dim: state.index("dim")?,
             memory: state.memory()?,
         }))
     }
+}
+
+/// Wrap a fitted [`Tcca`] into the registry's "TCCA" model (the streaming finalize
+/// path). `n` is the number of training instances the stats were accumulated over.
+/// Produces exactly what [`TccaEstimator::fit`] builds from the same inner model.
+pub fn tcca_model_from_parts(inner: Tcca, dims: &[usize], n: usize) -> Box<dyn MultiViewModel> {
+    let mut memory = MemoryModel::new();
+    memory.add_tensor("covariance tensor", dims);
+    let mut dim = 0;
+    for (p, d) in dims.iter().enumerate() {
+        let r = inner.projections()[p].cols();
+        memory.add_matrix(format!("whitener {p}"), *d, *d);
+        memory.add_matrix(format!("factor {p}"), *d, r);
+        dim += r;
+    }
+    memory.add_matrix("embedding", n, dim);
+    Box::new(TccaModel { inner, dim, memory })
 }
 
 struct TccaModel {
@@ -617,6 +684,9 @@ impl MultiViewModel for TccaModel {
         state.put_int("options/max_iterations", options.max_iterations as u64);
         state.put_scalar("options/tolerance", options.tolerance);
         state.put_int("options/seed", options.seed);
+        if !self.inner.factors().is_empty() {
+            state.put_matrices("factors", self.inner.factors());
+        }
         state.put_memory(&self.memory);
         Ok(state)
     }

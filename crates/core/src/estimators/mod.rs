@@ -12,12 +12,14 @@ mod kernel;
 mod linear;
 
 pub use consensus::{DseConsensus, SsmvdConsensus};
-pub use feature::{AvgKernel, Bsf, Bsk, Cat};
+pub use feature::{bsf_model_from_parts, cat_model_from_parts, AvgKernel, Bsf, Bsk, Cat};
 pub use kernel::{KtccaEstimator, PairwiseKccaEstimator};
-pub(crate) use linear::{load_pca, save_pca};
 pub use linear::{
-    CcaLsEstimator, CcaMaxVarEstimator, PairwiseCcaEstimator, PcaEstimator, TccaEstimator,
+    cca_maxvar_model_from_parts, pairwise_cca_model_from_parts, pca_model_from_parts,
+    tcca_model_from_parts, CcaLsEstimator, CcaMaxVarEstimator, PairwiseCcaEstimator, PcaEstimator,
+    TccaEstimator,
 };
+pub(crate) use linear::{load_pca, save_pca};
 
 use crate::Pipeline;
 

@@ -58,6 +58,7 @@ mod pipeline;
 mod preprocess;
 mod registry;
 mod spec;
+mod streaming;
 
 pub use error::CoreError;
 pub use memcost::MemoryModel;
@@ -70,6 +71,7 @@ pub use pipeline::Pipeline;
 pub use preprocess::Standardizer;
 pub use registry::{EstimatorFactory, EstimatorRegistry};
 pub use spec::{FitSpec, DEFAULT_DECOMPOSITION_ITERATIONS, DEFAULT_PER_VIEW_DIM};
+pub use streaming::{StreamingEstimator, SufficientStats};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -6,7 +6,7 @@
 //! model implements; the actual field lists live next to each model in
 //! [`crate::estimators`].
 //!
-//! ## On-disk format (`MVTC`, version 1)
+//! ## On-disk format (`MVTC`, version 2)
 //!
 //! All integers are little-endian; all floats are IEEE-754 `f64` bit patterns (so a
 //! save → load round-trip reproduces `transform` output **bit-identically**).
@@ -14,11 +14,14 @@
 //! ```text
 //! header:
 //!   magic      4 bytes   b"MVTC"
-//!   version    u32       format version (currently 1)
+//!   version    u32       format version (currently 2; version 1 still reads)
 //!   method     u32 + n   display name of the method (registry key), UTF-8
 //!   dim        u64       embedding width reported by the model
 //!   num_views  u32       number of input views / kernels `transform` expects
 //!   input_kind u8        0 = feature views, 1 = kernel blocks
+//!   model_version u64    lineage: refit generation, 0 for a one-shot fit   (v2+)
+//!   parent_crc u32       lineage: payload CRC of the model refit started
+//!                        from, 0 for a one-shot fit                        (v2+)
 //!   payload_len u64      byte length of the section payload that follows
 //!   crc32      u32       CRC-32 (IEEE) of the payload bytes
 //! payload:
@@ -30,9 +33,11 @@
 //! ```
 //!
 //! The header alone is enough for a model store to index a directory (method, shape,
-//! checksum) without deserializing the payload. Unknown *section names* are ignored by
-//! loaders (forward-compatible field additions); an unknown *version* or a checksum
-//! mismatch is an error (incompatible layout / corruption).
+//! checksum, refit lineage) without deserializing the payload. Unknown *section names*
+//! are ignored by loaders (forward-compatible field additions); an unknown *version*
+//! or a checksum mismatch is an error (incompatible layout / corruption). Version 1
+//! files (written before streaming refits existed) read back with lineage
+//! `model_version = 0`, `parent_crc = 0`.
 
 use crate::{CoreError, InputKind, MemoryModel, Result};
 use linalg::Matrix;
@@ -42,7 +47,11 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"MVTC";
 
 /// Current format version written by [`write_model`].
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this build still reads (version 1 lacks the lineage
+/// fields; they default to zero).
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Upper bound accepted for any length field while reading (guards corrupt or
 /// malicious headers from driving huge allocations before the CRC check can run).
@@ -302,6 +311,10 @@ pub struct ModelMeta {
     pub num_views: usize,
     /// Whether `transform` expects feature views or kernel blocks.
     pub input_kind: InputKind,
+    /// Refit generation: 0 for a one-shot fit, incremented on every streaming refit.
+    pub model_version: u64,
+    /// Payload CRC of the model this refit warm-started from (0 for a one-shot fit).
+    pub parent_crc: u32,
     /// Byte length of the section payload.
     pub payload_len: u64,
     /// CRC-32 (IEEE) of the payload bytes.
@@ -517,7 +530,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Write a complete model file: header + checksummed section payload.
+/// Write a complete model file: header + checksummed section payload. Lineage is
+/// zeroed (`model_version = 0`, `parent_crc = 0`) — the one-shot-fit convention; a
+/// streaming refit uses [`write_model_versioned`] instead.
 pub fn write_model(
     w: &mut dyn Write,
     method: &str,
@@ -526,8 +541,25 @@ pub fn write_model(
     input_kind: InputKind,
     state: &ModelState,
 ) -> Result<()> {
+    write_model_versioned(w, method, dim, num_views, input_kind, 0, 0, state)
+}
+
+/// Write a complete model file with explicit refit lineage: `model_version` is the
+/// refit generation and `parent_crc` the payload checksum of the model the refit
+/// warm-started from.
+#[allow(clippy::too_many_arguments)]
+pub fn write_model_versioned(
+    w: &mut dyn Write,
+    method: &str,
+    dim: usize,
+    num_views: usize,
+    input_kind: InputKind,
+    model_version: u64,
+    parent_crc: u32,
+    state: &ModelState,
+) -> Result<()> {
     let payload = encode_sections(state);
-    let mut header = Vec::with_capacity(32 + method.len());
+    let mut header = Vec::with_capacity(44 + method.len());
     header.extend_from_slice(&MAGIC);
     push_u32(&mut header, FORMAT_VERSION);
     push_str(&mut header, method);
@@ -537,6 +569,8 @@ pub fn write_model(
         InputKind::Views => 0,
         InputKind::Kernels => 1,
     });
+    push_u64(&mut header, model_version);
+    push_u32(&mut header, parent_crc);
     push_u64(&mut header, payload.len() as u64);
     push_u32(&mut header, crc32(&payload));
     w.write_all(&header)
@@ -566,9 +600,10 @@ pub fn read_meta(r: &mut dyn Read) -> Result<ModelMeta> {
     }
     let version_bytes = read_exact(r, 4, "format version")?;
     let version = u32::from_le_bytes(version_bytes.try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(CoreError::Persist(format!(
-            "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
+            "unsupported format version {version} (this build reads versions \
+             {MIN_FORMAT_VERSION} through {FORMAT_VERSION})"
         )));
     }
     let name_len = u32::from_le_bytes(
@@ -593,6 +628,21 @@ pub fn read_meta(r: &mut dyn Read) -> Result<ModelMeta> {
             )))
         }
     };
+    let (model_version, parent_crc) = if version >= 2 {
+        let mv = u64::from_le_bytes(
+            read_exact(r, 8, "model version")?
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let pc = u32::from_le_bytes(
+            read_exact(r, 4, "parent checksum")?
+                .try_into()
+                .expect("4 bytes"),
+        );
+        (mv, pc)
+    } else {
+        (0, 0)
+    };
     let payload_len = u64::from_le_bytes(
         read_exact(r, 8, "payload length")?
             .try_into()
@@ -609,6 +659,8 @@ pub fn read_meta(r: &mut dyn Read) -> Result<ModelMeta> {
         dim: dim as usize,
         num_views: num_views as usize,
         input_kind,
+        model_version,
+        parent_crc,
         payload_len,
         checksum,
     })
@@ -747,6 +799,48 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("checksum"));
+    }
+
+    #[test]
+    fn lineage_roundtrips_and_defaults_to_zero() {
+        let s = sample_state();
+        let mut buf = Vec::new();
+        write_model_versioned(&mut buf, "TCCA", 6, 3, InputKind::Views, 4, 0xDEAD_BEEF, &s)
+            .unwrap();
+        let (meta, state) = read_model(&mut buf.as_slice()).unwrap();
+        assert_eq!(meta.model_version, 4);
+        assert_eq!(meta.parent_crc, 0xDEAD_BEEF);
+        assert_eq!(state, s);
+
+        // write_model is the one-shot-fit convention: lineage zeroed.
+        let mut buf = Vec::new();
+        write_model(&mut buf, "TCCA", 6, 3, InputKind::Views, &s).unwrap();
+        let meta = read_meta(&mut buf.as_slice()).unwrap();
+        assert_eq!(meta.model_version, 0);
+        assert_eq!(meta.parent_crc, 0);
+    }
+
+    #[test]
+    fn version_1_files_still_read_with_zero_lineage() {
+        // Hand-assemble a version-1 header (no lineage fields) around a payload.
+        let s = sample_state();
+        let payload = encode_sections(&s);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        push_u32(&mut buf, 1);
+        push_str(&mut buf, "TCCA");
+        push_u64(&mut buf, 6);
+        push_u32(&mut buf, 3);
+        buf.push(0);
+        push_u64(&mut buf, payload.len() as u64);
+        push_u32(&mut buf, crc32(&payload));
+        buf.extend_from_slice(&payload);
+
+        let (meta, state) = read_model(&mut buf.as_slice()).unwrap();
+        assert_eq!(meta.method, "TCCA");
+        assert_eq!(meta.model_version, 0);
+        assert_eq!(meta.parent_crc, 0);
+        assert_eq!(state, s);
     }
 
     #[test]

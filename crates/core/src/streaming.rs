@@ -1,0 +1,72 @@
+//! Trait surface for streaming (incremental) fitting.
+//!
+//! A streaming fit splits the paper's one-shot `fit(views)` into three phases that
+//! commute with chunking:
+//!
+//! 1. **accumulate** — [`SufficientStats::partial_fit`] folds a chunk of instances
+//!    (one `d_p × n_chunk` matrix per view) into a fixed-size summary,
+//! 2. **merge** — [`SufficientStats::merge`] combines summaries built on disjoint
+//!    chunks (associative and order-insensitive, so chunks can be processed on
+//!    different threads or machines and combined in any order),
+//! 3. **finalize** — [`SufficientStats::finalize`] solves the method's closed-form
+//!    problem from the summary alone.
+//!
+//! The contract for the linear methods is **bit-identity**: finalize over any
+//! chunking of the samples must produce a model whose `transform` output is
+//! bit-for-bit identical to the one-shot fit on the concatenated data. Iterative
+//! methods (TCCA's CP decomposition) are instead held to a convergence tolerance
+//! and support warm starting through [`StreamingEstimator::refit`].
+//!
+//! The trait objects live here in `mvcore` so the serving layer can drive a
+//! background trainer without depending on the per-method implementations; the
+//! implementations and their registry live in the `stream` crate.
+
+use crate::{FitSpec, MultiViewModel, Result};
+use linalg::Matrix;
+use std::any::Any;
+
+/// A mergeable, fixed-size summary of the samples seen so far, specific to one
+/// estimator family.
+pub trait SufficientStats: Send {
+    /// Registry name of the method these stats finalize into (e.g. `"TCCA"`).
+    fn method(&self) -> &str;
+
+    /// Number of instances accumulated so far.
+    fn count(&self) -> u64;
+
+    /// Fold one chunk of instances into the summary. `views[p]` is `d_p × n_chunk`;
+    /// every view must carry the same number of columns.
+    fn partial_fit(&mut self, views: &[Matrix]) -> Result<()>;
+
+    /// Combine with stats accumulated on a disjoint set of chunks. Errors if
+    /// `other` is for a different method or shape. Merging is associative and (for
+    /// the linear families) exact: any merge tree over the same chunks yields
+    /// bit-identical stats.
+    fn merge(&mut self, other: &dyn SufficientStats) -> Result<()>;
+
+    /// Solve the method from the accumulated summary.
+    fn finalize(&self) -> Result<Box<dyn MultiViewModel>>;
+
+    /// Downcasting hook used by [`SufficientStats::merge`] implementations.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An estimator family that can fit from [`SufficientStats`] and warm-start from a
+/// previously fitted model.
+pub trait StreamingEstimator {
+    /// Registry name (matches [`crate::MultiViewEstimator::name`]).
+    fn name(&self) -> &str;
+
+    /// Fresh, empty stats for views of the given per-view feature dimensions.
+    fn new_stats(&self, dims: &[usize], spec: &FitSpec) -> Result<Box<dyn SufficientStats>>;
+
+    /// Refit from accumulated stats, warm-starting from `prev` where the method
+    /// supports it (TCCA seeds its CP-ALS sweeps from the previous factors; the
+    /// closed-form linear methods ignore `prev`). Returns the new model and the
+    /// number of iterative sweeps it took (0 for closed-form methods).
+    fn refit(
+        &self,
+        prev: Option<&dyn MultiViewModel>,
+        stats: &dyn SufficientStats,
+    ) -> Result<(Box<dyn MultiViewModel>, usize)>;
+}

@@ -206,11 +206,11 @@ fn corrupt_files_are_rejected_at_registry_level() {
     let err = load_err(&registry, &bad);
     assert!(err.to_string().contains("magic"), "{err}");
 
-    // Version from the future.
+    // Version from the future (the current format is 2).
     let mut bad = buf.clone();
-    bad[4..8].copy_from_slice(&2u32.to_le_bytes());
+    bad[4..8].copy_from_slice(&3u32.to_le_bytes());
     let err = load_err(&registry, &bad);
-    assert!(err.to_string().contains("version 2"), "{err}");
+    assert!(err.to_string().contains("version 3"), "{err}");
 
     // Truncation at several depths: inside the header and inside the payload.
     for keep in [3usize, 10, buf.len() / 2, buf.len() - 1] {

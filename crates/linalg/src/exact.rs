@@ -1,0 +1,615 @@
+//! Exact (Kulisch-style) `f64` accumulation and mergeable joint moments.
+//!
+//! Streaming fits are only trustworthy if chunking is *invisible*: `partial_fit`
+//! over one chunk, k chunks, or a shuffled chunk order must finalize to the same
+//! model bit for bit. Floating-point addition is not associative, so an ordinary
+//! `f64` running sum cannot deliver that. [`ExactSum`] can: every addend is
+//! decomposed into its exact integer significand and exponent and added into a
+//! wide fixed-point accumulator (34 × 128-bit limbs spanning the entire `f64`
+//! range, subnormals included). Integer addition is associative and commutative,
+//! so the accumulated value — and therefore [`ExactSum::round`], the correctly
+//! rounded (nearest-even) `f64` of the exact total — is independent of the order
+//! and grouping of `add`/`merge` calls.
+//!
+//! [`JointMoments`] builds on that: exact first and second moments of the
+//! *concatenation* of all views, updated chunk by chunk and merged associatively.
+//! Every mean and covariance block derived from it is a deterministic function of
+//! the exact sums, which is what lets the streaming estimators reproduce a
+//! one-shot fit bit-identically from any chunking of the same samples.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Number of 128-bit limbs in the accumulator. The scaled integer value of any
+/// finite `f64` spans bit positions `[0, 2098)` (value × 2¹⁰⁷⁴); 64-bit limb
+/// bases cover that with index ≤ 32, plus headroom for carries.
+const LIMBS: usize = 34;
+
+/// How many raw adds a limb can absorb before carries must be propagated:
+/// a single addend contributes at most 2¹¹⁶ to one limb, so 2¹¹ adds stay
+/// safely below the `i128` limit; 1024 leaves a factor-2 margin.
+const NORMALIZE_EVERY: u32 = 1024;
+
+/// An exact accumulator for `f64` sums.
+///
+/// `add` and `merge` are exact: the internal state represents the mathematical
+/// sum of every finite addend with no rounding at all. `round` produces the
+/// nearest-even `f64` of that exact value (±∞ on overflow). Non-finite addends
+/// are tracked separately and dominate the result, mirroring `f64` addition.
+#[derive(Clone, Debug)]
+pub struct ExactSum {
+    /// Fixed-point limbs: the value is `Σ limbs[k] · 2^(64k) · 2^-1074`.
+    /// Between normalizations limbs may exceed 64 bits; after normalization
+    /// limbs `0..LIMBS-1` lie in `[0, 2^64)` and the top limb carries the sign.
+    limbs: [i128; LIMBS],
+    /// Adds since the last carry propagation.
+    pending: u32,
+    /// Sum of the non-finite addends (0.0 when none were seen).
+    special: f64,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactSum {
+    /// The empty sum (rounds to `0.0`).
+    pub fn new() -> Self {
+        Self {
+            limbs: [0; LIMBS],
+            pending: 0,
+            special: 0.0,
+        }
+    }
+
+    /// Add one value exactly.
+    pub fn add(&mut self, x: f64) {
+        let bits = x.to_bits();
+        let exp = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        if exp == 0x7FF {
+            // ±∞ / NaN: accumulate separately, dominating `round`.
+            self.special += x;
+            return;
+        }
+        let mant = if exp == 0 {
+            if frac == 0 {
+                return; // ±0 contributes nothing
+            }
+            frac // subnormal: value = frac · 2^-1074
+        } else {
+            frac | (1u64 << 52) // normal: value = mant · 2^(exp - 1075)
+        };
+        // Scaled exponent: value = mant · 2^(s) · 2^-1074 with s ∈ [0, 2045].
+        let s = if exp == 0 { 0 } else { (exp - 1) as u32 };
+        let limb = (s >> 6) as usize;
+        let shift = s & 63;
+        let contribution = (mant as i128) << shift;
+        self.limbs[limb] += if bits >> 63 == 1 {
+            -contribution
+        } else {
+            contribution
+        };
+        self.pending += 1;
+        if self.pending >= NORMALIZE_EVERY {
+            self.normalize();
+        }
+    }
+
+    /// Fold another sum into this one. Exact and associative: any merge tree over
+    /// the same addends yields the same state.
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.special += other.special;
+        if self.pending > 0 {
+            self.normalize();
+        }
+        for k in 0..LIMBS {
+            self.limbs[k] += other.limbs[k];
+        }
+        self.normalize();
+    }
+
+    /// Propagate carries so limbs `0..LIMBS-1` lie in `[0, 2^64)`; the top limb
+    /// absorbs the residue (and the sign).
+    fn normalize(&mut self) {
+        for k in 0..LIMBS - 1 {
+            let carry = self.limbs[k] >> 64; // arithmetic shift = floor division
+            self.limbs[k] -= carry << 64;
+            self.limbs[k + 1] += carry;
+        }
+        self.pending = 0;
+    }
+
+    /// The exact total, rounded to the nearest `f64` (ties to even; ±∞ on
+    /// overflow). Any non-finite addend dominates.
+    pub fn round(&self) -> f64 {
+        if self.special != 0.0 || self.special.is_nan() {
+            return self.special;
+        }
+        let mut l = self.limbs;
+        carry_propagate(&mut l);
+        let negative = l[LIMBS - 1] < 0;
+        if negative {
+            for v in l.iter_mut() {
+                *v = -*v;
+            }
+            carry_propagate(&mut l);
+        }
+        // All limbs now lie in [0, 2^64); find the most significant set bit.
+        let top = match (0..LIMBS).rev().find(|&k| l[k] != 0) {
+            Some(k) => k,
+            None => return 0.0,
+        };
+        let h = top as i64 * 64 + (127 - l[top].leading_zeros() as i64);
+        let sign = if negative { -1.0 } else { 1.0 };
+        if h <= 52 {
+            // Fits the significand exactly; the bit pattern IS the scaled value.
+            return sign * f64::from_bits(l[0] as u64);
+        }
+        let mut mant = extract_53(&l, h - 52);
+        let round_bit = bit(&l, h - 53);
+        let sticky = any_below(&l, h - 53);
+        let mut h = h;
+        if round_bit && (sticky || mant & 1 == 1) {
+            mant += 1;
+            if mant == 1 << 53 {
+                mant >>= 1;
+                h += 1;
+            }
+        }
+        let e = h - 52 - 1074; // value = mant · 2^e, mant ∈ [2^52, 2^53)
+        if e > 971 {
+            return sign * f64::INFINITY;
+        }
+        sign * (mant as f64) * pow2(e as i32)
+    }
+
+    /// Whether any non-finite value was added.
+    pub fn is_finite(&self) -> bool {
+        self.special == 0.0 && !self.special.is_nan()
+    }
+}
+
+/// Full carry propagation over a limb array (same contract as `normalize`).
+fn carry_propagate(l: &mut [i128; LIMBS]) {
+    for k in 0..LIMBS - 1 {
+        let carry = l[k] >> 64;
+        l[k] -= carry << 64;
+        l[k + 1] += carry;
+    }
+}
+
+/// Bit `pos` (≥ 0) of the canonical limb array.
+fn bit(l: &[i128; LIMBS], pos: i64) -> bool {
+    if pos < 0 {
+        return false;
+    }
+    let k = (pos / 64) as usize;
+    if k >= LIMBS {
+        return false;
+    }
+    (l[k] >> (pos % 64)) & 1 == 1
+}
+
+/// Whether any bit strictly below `pos` is set.
+fn any_below(l: &[i128; LIMBS], pos: i64) -> bool {
+    if pos <= 0 {
+        return false;
+    }
+    let k = (pos / 64) as usize;
+    let o = pos % 64;
+    for limb in l.iter().take(k.min(LIMBS)) {
+        if *limb != 0 {
+            return true;
+        }
+    }
+    if k < LIMBS && o > 0 && (l[k] as u64) & ((1u64 << o) - 1) != 0 {
+        return true;
+    }
+    false
+}
+
+/// The 53 bits `[lo, lo + 53)` of the canonical limb array as an integer.
+fn extract_53(l: &[i128; LIMBS], lo: i64) -> u64 {
+    debug_assert!(lo >= 0);
+    let k = (lo / 64) as usize;
+    let o = (lo % 64) as u32;
+    let mut v = (l[k] as u64) >> o;
+    if o > 64 - 53 && k + 1 < LIMBS {
+        v |= (l[k + 1] as u64) << (64 - o);
+    }
+    v & ((1u64 << 53) - 1)
+}
+
+/// `2^e` for `e ∈ [-1074, 1023]`, exact (subnormal powers included).
+fn pow2(e: i32) -> f64 {
+    if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (e + 1074))
+    }
+}
+
+/// Exact, mergeable first and second moments of concatenated views.
+///
+/// Views are the paper's `d_p × N` layout (features in rows, instances in
+/// columns). The moments are taken over the concatenated feature vector
+/// `x = [x_1; …; x_m] ∈ R^D`: exact sums `Σ x` and the upper triangle of
+/// `Σ x xᵀ` (each per-sample product `x_i·x_j` is one rounded `f64` multiply —
+/// identical for every chunking — and the *sums* are exact). Any chunking or
+/// merge order over the same samples therefore produces bit-identical means and
+/// covariance blocks.
+#[derive(Clone, Debug)]
+pub struct JointMoments {
+    dims: Vec<usize>,
+    offsets: Vec<usize>,
+    n: u64,
+    s1: Vec<ExactSum>,
+    /// Upper triangle of the raw second-moment matrix, row-major by `tri(i, j)`.
+    s2: Vec<ExactSum>,
+}
+
+impl JointMoments {
+    /// Empty moments for views of the given feature dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(dims.len());
+        let mut total = 0usize;
+        for &d in dims {
+            offsets.push(total);
+            total += d;
+        }
+        Self {
+            dims: dims.to_vec(),
+            offsets,
+            n: 0,
+            s1: vec![ExactSum::new(); total],
+            s2: vec![ExactSum::new(); total * (total + 1) / 2],
+        }
+    }
+
+    /// Moments of one batch of views (`new` + `update`).
+    pub fn from_views<B: std::borrow::Borrow<Matrix>>(views: &[B]) -> Result<Self> {
+        let dims: Vec<usize> = views.iter().map(|v| v.borrow().rows()).collect();
+        let mut m = Self::new(&dims);
+        m.update(views)?;
+        Ok(m)
+    }
+
+    /// Total feature dimension `D = Σ d_p`.
+    fn total_dim(&self) -> usize {
+        self.s1.len()
+    }
+
+    /// Per-view feature dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of accumulated samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn tri(&self, i: usize, j: usize) -> usize {
+        let (i, j) = if i <= j { (i, j) } else { (j, i) };
+        let d = self.total_dim();
+        i * d - (i * i - i) / 2 + (j - i)
+    }
+
+    /// Absorb one chunk of samples (one matrix per view, shared instance axis).
+    pub fn update<B: std::borrow::Borrow<Matrix>>(&mut self, views: &[B]) -> Result<()> {
+        if views.len() != self.dims.len() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "moments track {} views, chunk has {}",
+                self.dims.len(),
+                views.len()
+            )));
+        }
+        let n = views.first().map_or(0, |v| v.borrow().cols());
+        for (p, v) in views.iter().enumerate() {
+            let v = v.borrow();
+            if v.rows() != self.dims[p] {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "view {p} has {} features, moments expect {}",
+                    v.rows(),
+                    self.dims[p]
+                )));
+            }
+            if v.cols() != n {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "view {p} has {} instances, view 0 has {n}",
+                    v.cols()
+                )));
+            }
+        }
+        let d = self.total_dim();
+        let mut x = vec![0.0; d];
+        for j in 0..n {
+            for (p, v) in views.iter().enumerate() {
+                let v = v.borrow();
+                let base = self.offsets[p];
+                for i in 0..v.rows() {
+                    x[base + i] = v[(i, j)];
+                }
+            }
+            for i in 0..d {
+                self.s1[i].add(x[i]);
+                let row = i * d - (i * i - i) / 2 - i;
+                for k in i..d {
+                    self.s2[row + k].add(x[i] * x[k]);
+                }
+            }
+        }
+        self.n += n as u64;
+        Ok(())
+    }
+
+    /// Fold another accumulator over the *same* view dimensions into this one.
+    pub fn merge(&mut self, other: &JointMoments) -> Result<()> {
+        if other.dims != self.dims {
+            return Err(LinalgError::InvalidArgument(format!(
+                "cannot merge moments over dims {:?} into dims {:?}",
+                other.dims, self.dims
+            )));
+        }
+        self.n += other.n;
+        for (a, b) in self.s1.iter_mut().zip(&other.s1) {
+            a.merge(b);
+        }
+        for (a, b) in self.s2.iter_mut().zip(&other.s2) {
+            a.merge(b);
+        }
+        Ok(())
+    }
+
+    /// The exact sub-accumulator over a subset of views (e.g. one pair). Equal,
+    /// bit for bit, to having accumulated only those views from the start.
+    pub fn select_views(&self, which: &[usize]) -> JointMoments {
+        let dims: Vec<usize> = which.iter().map(|&p| self.dims[p]).collect();
+        let mut out = JointMoments::new(&dims);
+        out.n = self.n;
+        let mut map = Vec::with_capacity(out.total_dim());
+        for &p in which {
+            for i in 0..self.dims[p] {
+                map.push(self.offsets[p] + i);
+            }
+        }
+        for (new_i, &old_i) in map.iter().enumerate() {
+            out.s1[new_i] = self.s1[old_i].clone();
+            for (new_j, &old_j) in map.iter().enumerate().skip(new_i) {
+                let dst = out.tri(new_i, new_j);
+                out.s2[dst] = self.s2[self.tri(old_i, old_j)].clone();
+            }
+        }
+        out
+    }
+
+    /// Mean vector of view `p`: `round(Σ x_p) / n`.
+    pub fn mean(&self, p: usize) -> Vec<f64> {
+        let n = self.n as f64;
+        let base = self.offsets[p];
+        (0..self.dims[p])
+            .map(|i| self.s1[base + i].round() / n)
+            .collect()
+    }
+
+    /// Raw second-moment block `E[x_p x_qᵀ] = round(Σ x_p x_qᵀ) / n` (`d_p × d_q`).
+    pub fn raw_second_moment(&self, p: usize, q: usize) -> Matrix {
+        let n = self.n as f64;
+        let (bp, bq) = (self.offsets[p], self.offsets[q]);
+        let mut out = Matrix::zeros(self.dims[p], self.dims[q]);
+        for i in 0..self.dims[p] {
+            for j in 0..self.dims[q] {
+                out[(i, j)] = self.s2[self.tri(bp + i, bq + j)].round() / n;
+            }
+        }
+        out
+    }
+
+    /// Covariance block `C_pq = E[x_p x_qᵀ] − μ_p μ_qᵀ` (`d_p × d_q`).
+    ///
+    /// This is the raw-moment (non-centering) covariance formula: it trades the
+    /// two-pass centered computation for one that is derivable from mergeable
+    /// sums. It is deterministic for any chunking; for data whose magnitude
+    /// dwarfs its spread it loses accuracy to cancellation like any one-pass
+    /// estimator — center such data upstream.
+    pub fn covariance(&self, p: usize, q: usize) -> Matrix {
+        let mut out = self.raw_second_moment(p, q);
+        let mp = self.mean(p);
+        let mq = self.mean(q);
+        for i in 0..self.dims[p] {
+            for j in 0..self.dims[q] {
+                out[(i, j)] -= mp[i] * mq[j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bits_eq(a: f64, b: f64) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{a} != {b}");
+    }
+
+    #[test]
+    fn sums_exactly_and_ignores_order() {
+        // A sum that plain f64 addition gets wrong in most orders.
+        let xs = [1e16, 1.0, -1e16, 1e-300, 3.5, -1e-300, -3.5];
+        let mut forward = ExactSum::new();
+        for &x in &xs {
+            forward.add(x);
+        }
+        let mut backward = ExactSum::new();
+        for &x in xs.iter().rev() {
+            backward.add(x);
+        }
+        assert_bits_eq(forward.round(), 1.0);
+        assert_bits_eq(backward.round(), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let xs: Vec<f64> = (0..2000)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.7).sin() * 10f64.powi((i % 60) - 30)
+            })
+            .collect();
+        let mut whole = ExactSum::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        // Three uneven chunks merged in a shuffled order.
+        let mut a = ExactSum::new();
+        let mut b = ExactSum::new();
+        let mut c = ExactSum::new();
+        for (i, &x) in xs.iter().enumerate() {
+            match i % 7 {
+                0..=1 => a.add(x),
+                2..=5 => b.add(x),
+                _ => c.add(x),
+            }
+        }
+        let mut merged = ExactSum::new();
+        merged.merge(&c);
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_bits_eq(merged.round(), whole.round());
+    }
+
+    #[test]
+    fn handles_subnormals_negatives_and_cancellation() {
+        let tiny = f64::from_bits(3); // subnormal
+        let mut s = ExactSum::new();
+        s.add(tiny);
+        s.add(tiny);
+        s.add(-tiny);
+        assert_bits_eq(s.round(), tiny);
+
+        let mut s = ExactSum::new();
+        s.add(f64::MAX);
+        s.add(-f64::MAX);
+        s.add(-0.0);
+        assert_bits_eq(s.round(), 0.0);
+
+        let mut s = ExactSum::new();
+        s.add(-2.5);
+        s.add(1.25);
+        assert_bits_eq(s.round(), -1.25);
+    }
+
+    #[test]
+    fn rounds_to_nearest_even_and_overflows_to_infinity() {
+        // 2^53 + 1 is exactly representable as a sum but not as one f64:
+        // nearest-even rounds down to 2^53.
+        let mut s = ExactSum::new();
+        s.add(9007199254740992.0); // 2^53
+        s.add(1.0);
+        assert_bits_eq(s.round(), 9007199254740992.0);
+        // 2^53 + 3 rounds up to 2^53 + 4.
+        let mut s = ExactSum::new();
+        s.add(9007199254740992.0);
+        s.add(3.0);
+        assert_bits_eq(s.round(), 9007199254740996.0);
+
+        let mut s = ExactSum::new();
+        for _ in 0..3 {
+            s.add(f64::MAX);
+        }
+        assert!(s.round().is_infinite() && s.round() > 0.0);
+
+        let mut s = ExactSum::new();
+        s.add(f64::NEG_INFINITY);
+        s.add(1.0);
+        assert!(s.round().is_infinite() && s.round() < 0.0);
+        assert!(!s.is_finite());
+    }
+
+    #[test]
+    fn many_adds_trigger_internal_normalization() {
+        let mut s = ExactSum::new();
+        let mut plain = 0.0f64;
+        for i in 0..5000 {
+            s.add(i as f64);
+            plain += i as f64;
+        }
+        // Integer sums below 2^53 are exact in plain f64 too.
+        assert_bits_eq(s.round(), plain);
+    }
+
+    #[test]
+    fn joint_moments_are_chunking_invariant() {
+        let n = 23;
+        let views: Vec<Matrix> = [3usize, 2]
+            .iter()
+            .enumerate()
+            .map(|(p, &d)| {
+                let mut m = Matrix::zeros(d, n);
+                for i in 0..d {
+                    for j in 0..n {
+                        m[(i, j)] = ((p * 31 + i * 7 + j) as f64 * 0.37).sin() * 1e3
+                            + (j as f64).cos() * 1e-6;
+                    }
+                }
+                m
+            })
+            .collect();
+
+        let one_shot = JointMoments::from_views(&views).unwrap();
+
+        // Split into 3 uneven chunks, accumulate in shuffled order via merge.
+        let cuts = [0usize, 9, 10, n];
+        let chunk = |a: usize, b: usize| -> Vec<Matrix> {
+            views
+                .iter()
+                .map(|v| v.select_columns(&(a..b).collect::<Vec<_>>()))
+                .collect()
+        };
+        let mut parts: Vec<JointMoments> = (0..3)
+            .map(|c| JointMoments::from_views(&chunk(cuts[c], cuts[c + 1])).unwrap())
+            .collect();
+        let mut merged = parts.remove(2);
+        merged.merge(&parts[0]).unwrap();
+        merged.merge(&parts[1]).unwrap();
+
+        assert_eq!(merged.count(), one_shot.count());
+        for p in 0..2 {
+            for (a, b) in merged.mean(p).iter().zip(one_shot.mean(p)) {
+                assert_bits_eq(*a, b);
+            }
+            for q in 0..2 {
+                let ca = merged.covariance(p, q);
+                let cb = one_shot.covariance(p, q);
+                assert_eq!(ca, cb, "covariance block ({p},{q})");
+            }
+        }
+
+        // A pair selection equals accumulating only that pair.
+        let pair = one_shot.select_views(&[1, 0]);
+        let direct = JointMoments::from_views(&[views[1].clone(), views[0].clone()]).unwrap();
+        assert_eq!(pair.covariance(0, 1), direct.covariance(0, 1));
+        for (a, b) in pair.mean(0).iter().zip(direct.mean(0)) {
+            assert_bits_eq(*a, b);
+        }
+    }
+
+    #[test]
+    fn moments_validate_shapes() {
+        let mut m = JointMoments::new(&[2, 3]);
+        assert!(m.update(&[Matrix::zeros(2, 4)]).is_err());
+        assert!(m
+            .update(&[Matrix::zeros(2, 4), Matrix::zeros(3, 5)])
+            .is_err());
+        assert!(m
+            .update(&[Matrix::zeros(3, 4), Matrix::zeros(3, 4)])
+            .is_err());
+        assert!(m.merge(&JointMoments::new(&[2, 2])).is_err());
+        assert!(m
+            .update(&[Matrix::zeros(2, 4), Matrix::zeros(3, 4)])
+            .is_ok());
+    }
+}

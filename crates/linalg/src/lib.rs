@@ -26,6 +26,7 @@
 mod cholesky;
 mod eigen;
 mod error;
+pub mod exact;
 pub mod gemm;
 mod matrix;
 mod ops;
@@ -37,6 +38,7 @@ mod view;
 pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
+pub use exact::{ExactSum, JointMoments};
 pub use matrix::Matrix;
 pub use ops::{dot, norm2, normalize};
 pub use solve::{ridge_solve, solve_spd};

@@ -96,6 +96,21 @@ pub struct EngineStats {
     pub zero_copy_batches: usize,
 }
 
+impl EngineStats {
+    /// The counters as name/value pairs, the shape the wire-level `Stats` op
+    /// reports (and a router sums across shards).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("requests".into(), self.requests as u64),
+            ("batches".into(), self.batches as u64),
+            ("coalesced_requests".into(), self.coalesced_requests as u64),
+            ("fallbacks".into(), self.fallbacks as u64),
+            ("singleton_batches".into(), self.singleton_batches as u64),
+            ("zero_copy_batches".into(), self.zero_copy_batches as u64),
+        ]
+    }
+}
+
 /// What a pending request asks the model to do — part of the batching key, so
 /// full transforms and per-view projections never coalesce with each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -3,11 +3,14 @@
 //! ```text
 //! tcca_serve serve   --models DIR [--addr HOST:PORT] [--max-batch N] [--max-wait-ms M]
 //!                    [--rescan-ms MS] [--payload-budget-mb MB]
+//!                    [--train MODEL] [--train-interval-ms MS] [--train-reservoir N]
+//!                    [--train-rank R] [--train-seed S] [--train-history true]
 //! tcca_serve route   [--models DIR --shards N] [--shard ADDR ...] [--addr HOST:PORT]
 //!                    [--replication R] [--max-batch N] [--max-wait-ms M]
 //! tcca_serve bench   [--clients N] [--requests N] [--shards N] [--models N] [--out FILE]
 //! tcca_serve embed   --model FILE --view CSV [--view CSV ...] [--out FILE]
 //! tcca_serve inspect --model FILE
+//! tcca_serve stats   --addr HOST:PORT [--refit true]
 //! tcca_serve demo    --out DIR [--method NAME] [--instances N] [--rank R]
 //! ```
 //!
@@ -29,13 +32,23 @@
 //! * `embed` is the one-shot offline mode: load one model file, read one CSV per
 //!   view (rows = features, columns = instances, matching the `d × N` layout), and
 //!   write the `N × dim` embedding as CSV to `--out` (default stdout).
-//! * `inspect` prints a model file's header metadata without loading the payload.
+//! * `--train MODEL` (under `serve`) opts into live refresh: transform traffic for
+//!   that model feeds a bounded reservoir, and the `Refit` wire op (or the
+//!   `--train-interval-ms` timer) refits off the event loop and atomically swaps
+//!   the new generation in — requests never block or fail across the swap.
+//! * `inspect` prints a model file's header metadata without loading the payload,
+//!   including refit lineage (`version`, `parent crc`).
+//! * `stats` dumps a live server's counters (engine + `trainer/*` + `router/*`);
+//!   `--refit true` also triggers an asynchronous refresh first.
 //! * `demo` fits a small model on synthetic SecStr-like data and saves it — enough
 //!   to smoke-test the serving path end to end without a dataset download.
 
 use linalg::Matrix;
 use mvcore::{EstimatorRegistry, FitSpec, MultiViewModel};
-use serve::{BatchConfig, Client, ModelStore, Router, RouterBuilder, RouterConfig, Server};
+use serve::{
+    BatchConfig, Client, ModelStore, Router, RouterBuilder, RouterConfig, Server, TrainerConfig,
+    TrainerService,
+};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -50,6 +63,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("embed") => cmd_embed(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("--help" | "-h") | None => {
             eprintln!("{USAGE}");
@@ -69,11 +83,14 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   tcca_serve serve   --models DIR [--addr HOST:PORT] [--max-batch N] [--max-wait-ms M]
                      [--rescan-ms MS] [--payload-budget-mb MB]
+                     [--train MODEL] [--train-interval-ms MS] [--train-reservoir N]
+                     [--train-rank R] [--train-seed S] [--train-history true]
   tcca_serve route   [--models DIR --shards N] [--shard ADDR ...] [--addr HOST:PORT]
                      [--replication R] [--max-batch N] [--max-wait-ms M]
   tcca_serve bench   [--clients N] [--requests N] [--shards N] [--models N] [--out FILE]
   tcca_serve embed   --model FILE --view CSV [--view CSV ...] [--out FILE]
   tcca_serve inspect --model FILE
+  tcca_serve stats   --addr HOST:PORT [--refit true]
   tcca_serve demo    --out DIR [--method NAME] [--instances N] [--rank R]";
 
 /// Minimal `--flag value` parser; repeated flags accumulate.
@@ -166,7 +183,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("spawning the rescan thread: {e}"))?;
     }
     let names = store.names();
-    let server = Server::bind(addr, store, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    // Opt-in live refresh: wrap the engine in a trainer watching one model.
+    let server = if let Some(train_model) = flags.get("train") {
+        let spec = FitSpec::with_rank(flags.parsed("train-rank", 2usize)?)
+            .epsilon(1e-2)
+            .seed(flags.parsed("train-seed", 7u64)?);
+        let interval_ms: u64 = flags.parsed("train-interval-ms", 0)?;
+        let mut trainer_config = TrainerConfig::watching(train_model, spec);
+        trainer_config.interval = (interval_ms > 0).then(|| Duration::from_millis(interval_ms));
+        trainer_config.reservoir_chunks = flags.parsed("train-reservoir", 256usize)?;
+        trainer_config.keep_history = flags.get("train-history").map(str::parse) == Some(Ok(true));
+        let engine = Arc::new(serve::BatchEngine::start(Arc::clone(&store), config));
+        let trainer = Arc::new(TrainerService::start(
+            engine,
+            PathBuf::from(dir),
+            trainer_config,
+        ));
+        Server::bind_service(addr, trainer as Arc<dyn serve::TransformService>)
+    } else {
+        Server::bind(addr, store, config)
+    }
+    .map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!("serving {} model(s): {}", names.len(), names.join(", "));
     println!("listening on {bound}");
@@ -484,6 +521,26 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     println!("input kind: {:?}", meta.input_kind);
     println!("payload:    {} bytes", meta.payload_len);
     println!("checksum:   {:#010x}", meta.checksum);
+    println!("version:    {}", meta.model_version);
+    println!("parent crc: {:#010x}", meta.parent_crc);
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let mut client = serve::Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    if flags.get("refit").map(str::parse) == Some(Ok(true)) {
+        client.refit().map_err(|e| format!("refit: {e}"))?;
+        println!("refit triggered");
+    }
+    let counters = client.stats().map_err(|e| format!("stats: {e}"))?;
+    if counters.is_empty() {
+        println!("(no counters reported)");
+    }
+    for (name, value) in counters {
+        println!("{name}: {value}");
+    }
     Ok(())
 }
 

@@ -141,6 +141,31 @@ impl Client {
         }
     }
 
+    /// The server's observability counters (v3): engine statistics plus trainer
+    /// counters when a live-refresh trainer is attached.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(counters) => Ok(counters),
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Trigger an asynchronous model refresh from live-traffic statistics (v3).
+    /// Returns the counter snapshot at trigger time; poll [`Client::stats`] for
+    /// `trainer/refits` to watch the refresh land.
+    pub fn refit(&mut self) -> Result<Vec<(String, u64)>> {
+        match self.call(&Request::Refit)? {
+            Response::Stats(counters) => Ok(counters),
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Refit: {other:?}"
+            ))),
+        }
+    }
+
     /// The server's model catalog.
     pub fn list_models(&mut self) -> Result<Vec<ModelInfo>> {
         match self.call(&Request::ListModels)? {

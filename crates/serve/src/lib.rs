@@ -46,6 +46,7 @@ mod router;
 mod server;
 mod service;
 mod store;
+mod trainer;
 pub mod wire;
 
 pub use batch::{BatchConfig, BatchEngine, EngineStats, OutputsCallback, ReplyCallback};
@@ -55,6 +56,7 @@ pub use router::{Router, RouterBuilder, RouterConfig, RouterStats, Shard};
 pub use server::Server;
 pub use service::TransformService;
 pub use store::{ModelStore, StoredModel, MODEL_EXTENSION};
+pub use trainer::{TrainerConfig, TrainerService};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -52,6 +52,11 @@ pub struct RouterConfig {
     /// fails over, instead of wedging an I/O worker forever. Generous by default:
     /// it must exceed the slowest legitimate batched transform.
     pub remote_timeout: std::time::Duration,
+    /// How often a background probe re-dials shards marked dead. A remote shard
+    /// that answers a fresh connect + ping (a restarted child process), or a local
+    /// shard whose engine is still running (a failover false positive), returns to
+    /// rotation. `Duration::ZERO` disables the probe thread.
+    pub probe_interval: std::time::Duration,
 }
 
 impl Default for RouterConfig {
@@ -60,6 +65,7 @@ impl Default for RouterConfig {
             replication: 2,
             connections_per_shard: 4,
             remote_timeout: std::time::Duration::from_secs(30),
+            probe_interval: std::time::Duration::from_secs(1),
         }
     }
 }
@@ -71,6 +77,8 @@ pub struct RouterStats {
     pub routed: Vec<usize>,
     /// Requests re-submitted to another shard after a shard failure.
     pub failovers: usize,
+    /// Dead shards returned to rotation by the health probe.
+    pub revivals: usize,
 }
 
 enum Backend {
@@ -232,21 +240,84 @@ impl RouterBuilder {
                 })
             })
             .collect();
-        Router {
-            inner: Arc::new(Inner {
-                shards,
-                replication: self.config.replication.max(1),
-                connections_per_shard: self.config.connections_per_shard.max(1),
-                remote_timeout: self.config.remote_timeout,
-                // Remote calls block a worker each; size for every shard making
-                // progress concurrently plus failover headroom.
-                io_pool: Pool::new((2 * n).max(4)),
-                rr: AtomicUsize::new(0),
-                stats: Mutex::new(RouterStats {
-                    routed: vec![0; n],
-                    failovers: 0,
-                }),
+        let inner = Arc::new(Inner {
+            shards,
+            replication: self.config.replication.max(1),
+            connections_per_shard: self.config.connections_per_shard.max(1),
+            remote_timeout: self.config.remote_timeout,
+            // Remote calls block a worker each; size for every shard making
+            // progress concurrently plus failover headroom.
+            io_pool: Pool::new((2 * n).max(4)),
+            rr: AtomicUsize::new(0),
+            stats: Mutex::new(RouterStats {
+                routed: vec![0; n],
+                failovers: 0,
+                revivals: 0,
             }),
+        });
+        if !self.config.probe_interval.is_zero() {
+            spawn_probe(Arc::downgrade(&inner), self.config.probe_interval);
+        }
+        Router { inner }
+    }
+}
+
+/// Background health probe: holds only a `Weak` on the router internals (so a
+/// dropped router is not kept alive by its own probe) and wakes every `interval`
+/// to re-check dead shards. Sleeps in short steps so the thread notices the
+/// router's death within ~50ms rather than a full interval.
+fn spawn_probe(weak: std::sync::Weak<Inner>, interval: std::time::Duration) {
+    let step = std::time::Duration::from_millis(50).min(interval);
+    let spawned = std::thread::Builder::new()
+        .name("tcca-router-probe".into())
+        .spawn(move || {
+            let mut elapsed = std::time::Duration::ZERO;
+            loop {
+                std::thread::sleep(step);
+                let Some(inner) = weak.upgrade() else { return };
+                elapsed += step;
+                if elapsed >= interval {
+                    elapsed = std::time::Duration::ZERO;
+                    probe_dead_shards(&inner);
+                }
+            }
+        });
+    // A spawn failure only costs revival, not serving — degrade silently.
+    drop(spawned);
+}
+
+/// One probe pass: every dead shard gets a liveness re-check, and recovered
+/// shards return to rotation. A remote shard proves itself with a fresh connect
+/// and ping (its old pooled sockets are stale after a restart, so the probe
+/// connection seeds the pool). A local shard recovers only from a failover
+/// false positive: its engine runs in-process, so a *stopped* engine is gone
+/// for good and the shard stays dead.
+fn probe_dead_shards(inner: &Inner) {
+    for shard in &inner.shards {
+        if shard.is_alive() {
+            continue;
+        }
+        let recovered = match &shard.backend {
+            Backend::Local { engine } => !engine.is_stopped(),
+            Backend::Remote { addr, conns } => {
+                match Client::connect_timeout(addr, inner.remote_timeout) {
+                    Ok(mut client) => {
+                        if client.ping().is_ok() {
+                            let mut pool = conns.lock().expect("shard connection pool lock");
+                            pool.clear(); // pre-restart sockets are all stale
+                            pool.push(client);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Err(_) => false,
+                }
+            }
+        };
+        if recovered {
+            shard.alive.store(true, Ordering::SeqCst);
+            inner.stats.lock().expect("router stats lock").revivals += 1;
         }
     }
 }
@@ -304,6 +375,22 @@ impl Router {
                 engine.stop();
             }
         }
+    }
+
+    /// Mark a shard dead *without* touching its backend — what failover does when
+    /// a request-level transport error implicates a shard. Unlike
+    /// [`Router::kill_shard`] the backend keeps running, so the health probe (or
+    /// [`Router::probe_now`]) can prove it healthy and return it to rotation.
+    pub fn mark_dead(&self, id: usize) {
+        if let Some(shard) = self.inner.shards.get(id) {
+            shard.alive.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Run one health-probe pass synchronously (the background thread does the
+    /// same on its own clock). Deterministic revival for tests and operators.
+    pub fn probe_now(&self) {
+        probe_dead_shards(&self.inner);
     }
 
     /// Counters since start.
@@ -571,6 +658,68 @@ impl TransformService for Router {
             _ => Ok(total),
         }
     }
+
+    /// Counters summed by name across every live shard, plus the router's own
+    /// (`router/failovers`, `router/revivals`, `router/routed`).
+    fn stats(&self) -> Vec<(String, u64)> {
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for shard in self.inner.shards.iter().filter(|s| s.is_alive()) {
+            let counters = match &shard.backend {
+                Backend::Local { engine } => Ok(engine.stats().counters()),
+                Backend::Remote { .. } => with_remote_conn(&self.inner, shard, |c| c.stats()),
+            };
+            if let Ok(counters) = counters {
+                for (name, value) in counters {
+                    *merged.entry(name).or_insert(0) += value;
+                }
+            }
+        }
+        {
+            let own = self.inner.stats.lock().expect("router stats lock");
+            merged.insert("router/failovers".into(), own.failovers as u64);
+            merged.insert("router/revivals".into(), own.revivals as u64);
+            merged.insert(
+                "router/routed".into(),
+                own.routed.iter().sum::<usize>() as u64,
+            );
+        }
+        merged.into_iter().collect()
+    }
+
+    /// Forward the refit trigger to every live *remote* shard (a local engine has
+    /// no trainer — the trainer wraps the engine, and a trainer-wrapped backend is
+    /// served directly, not through a router's local shard). Counter snapshots are
+    /// summed by name; an error only surfaces when no shard accepted the trigger.
+    fn trigger_refit(&self) -> Result<Vec<(String, u64)>> {
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        let mut reached = 0usize;
+        let mut last_err = None;
+        for shard in self.inner.shards.iter().filter(|s| s.is_alive()) {
+            if let Backend::Remote { .. } = &shard.backend {
+                match with_remote_conn(&self.inner, shard, |c| c.refit()) {
+                    Ok(counters) => {
+                        reached += 1;
+                        for (name, value) in counters {
+                            *merged.entry(name).or_insert(0) += value;
+                        }
+                    }
+                    Err(e) => {
+                        if is_shard_failure(&e) {
+                            shard.alive.store(false, Ordering::SeqCst);
+                        }
+                        last_err = Some(e);
+                    }
+                }
+            }
+        }
+        match (reached, last_err) {
+            (0, Some(e)) => Err(e),
+            (0, None) => Err(ServeError::Remote(
+                "no live shard has a trainer attached".into(),
+            )),
+            _ => Ok(merged.into_iter().collect()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -726,6 +875,82 @@ mod tests {
         let report = router.rescan().unwrap();
         assert_eq!(report.added, 2, "both shards must index the new file");
         assert!(transform(&router, "y", views.clone()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_revives_a_falsely_accused_shard_but_not_a_stopped_one() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("revive", &views, &["m"]);
+        let router = router_over(&dir, 2);
+
+        // Failover false positive: the shard is marked dead but its engine still
+        // runs, so one probe pass proves it healthy and restores it to rotation.
+        router.mark_dead(0);
+        assert_eq!(router.live_shards(), vec![1]);
+        router.probe_now();
+        assert_eq!(router.live_shards(), vec![0, 1]);
+        assert_eq!(router.stats().revivals, 1);
+
+        // A stopped in-process engine is gone for good: the probe must not lie.
+        router.kill_shard(0);
+        router.probe_now();
+        assert_eq!(router.live_shards(), vec![1]);
+        assert_eq!(router.stats().revivals, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_probe_restores_rotation_without_an_explicit_pass() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("bg-revive", &views, &["m"]);
+        let router = Router::open_local(
+            &dir,
+            2,
+            BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(1),
+            },
+            RouterConfig {
+                probe_interval: Duration::from_millis(100),
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+
+        router.mark_dead(1);
+        assert_eq!(router.live_shards(), vec![0]);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while router.live_shards().len() < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background probe never revived the shard"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(router.stats().revivals >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_sum_across_shards_and_include_router_counters() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("stats", &views, &["m"]);
+        let router = router_over(&dir, 2);
+        let _ = transform(&router, "m", views.clone()).unwrap();
+        let stats = TransformService::stats(&router);
+        let get = |name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}: {stats:?}"))
+        };
+        assert_eq!(get("requests"), 1, "engine counters must be summed in");
+        assert_eq!(get("router/routed"), 1);
+        assert_eq!(get("router/failovers"), 0);
+        // No shard carries a trainer, so the trigger must report that cleanly.
+        assert!(router.trigger_refit().is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -225,6 +225,11 @@ impl Server {
                 Ok(report) => Response::Rescanned(report),
                 Err(e) => Response::Error(e.to_string()),
             })),
+            Request::Stats => Some(tag(Response::Stats(self.service.stats()))),
+            Request::Refit => Some(tag(match self.service.trigger_refit() {
+                Ok(counters) => Response::Stats(counters),
+                Err(e) => Response::Error(e.to_string()),
+            })),
             Request::Transform { model, inputs } => {
                 let complete = self.completer(conn_id, gen, id, v1_seq);
                 self.service.submit_transform(
@@ -709,6 +714,11 @@ fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Res
                     },
                     Request::Rescan => match service.rescan() {
                         Ok(report) => Response::Rescanned(report),
+                        Err(e) => Response::Error(e.to_string()),
+                    },
+                    Request::Stats => Response::Stats(service.stats()),
+                    Request::Refit => match service.trigger_refit() {
+                        Ok(counters) => Response::Stats(counters),
                         Err(e) => Response::Error(e.to_string()),
                     },
                     Request::Transform { model, inputs } => {

@@ -40,6 +40,22 @@ pub trait TransformService: Send + Sync {
 
     /// Re-scan backing model directories for new/changed/removed files.
     fn rescan(&self) -> Result<RescanReport>;
+
+    /// Observability counters as name/value pairs (engine statistics, and
+    /// `trainer/*` counters when a live-refresh trainer sits in the stack). A
+    /// router sums them across live shards.
+    fn stats(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Trigger an asynchronous model refresh from accumulated live-traffic
+    /// statistics, returning the counter snapshot at trigger time. Backends
+    /// without a trainer report an error.
+    fn trigger_refit(&self) -> Result<Vec<(String, u64)>> {
+        Err(crate::ServeError::Remote(
+            "this serving backend has no trainer attached".into(),
+        ))
+    }
 }
 
 /// Catalog of one store, from header metadata alone.
@@ -54,6 +70,7 @@ pub fn store_catalog(store: &ModelStore) -> Vec<ModelInfo> {
             dim: entry.meta().dim,
             num_views: entry.meta().num_views,
             input_kind: entry.meta().input_kind,
+            version: entry.meta().model_version,
         })
         .collect()
 }
@@ -83,5 +100,9 @@ impl TransformService for BatchEngine {
 
     fn rescan(&self) -> Result<RescanReport> {
         self.store().rescan()
+    }
+
+    fn stats(&self) -> Vec<(String, u64)> {
+        BatchEngine::stats(self).counters()
     }
 }

@@ -10,9 +10,9 @@
 //!
 //! A store opened over a directory remembers it, and [`ModelStore::rescan`] makes
 //! new `.mvm` files servable **without a restart**: new files are indexed, files
-//! whose mtime/size changed get their header re-read and their cached payload
-//! dropped (the next request deserializes the new bytes), and entries whose backing
-//! file vanished are removed. Corrupt files encountered during a rescan are skipped
+//! whose mtime/size/checksum changed get their header re-read and their cached
+//! payload dropped (the next request deserializes the new bytes), and entries whose
+//! backing file vanished are removed. Corrupt files encountered during a rescan are skipped
 //! — a live server must not die because someone half-copied a model in.
 //!
 //! [`ModelStore::set_payload_budget`] bounds resident deserialized payload bytes:
@@ -169,6 +169,8 @@ impl ModelStore {
             dim: model.dim(),
             num_views: model.num_views(),
             input_kind: model.input_kind(),
+            model_version: 0,
+            parent_crc: 0,
             payload_len: 0,
             checksum: 0,
         };
@@ -310,8 +312,9 @@ impl ModelStore {
     }
 
     /// Re-scan the directory this store was opened over: index new `.mvm` files,
-    /// re-read the header (and drop the cached payload) of files whose mtime or
-    /// size changed, and remove entries whose backing file vanished. In-memory
+    /// re-read the header (and drop the cached payload) of files whose mtime, size
+    /// or persisted checksum changed, and remove entries whose backing file
+    /// vanished. In-memory
     /// [`ModelStore::insert`] entries are untouched; corrupt files are skipped so a
     /// half-written model cannot take down a live server. Returns what changed.
     pub fn rescan(&self) -> Result<RescanReport> {
@@ -336,8 +339,17 @@ impl ModelStore {
                 // model; the file only takes over once the entry is removed.
                 Some(e) if e.path.is_none() => {}
                 Some(e) => {
+                    // mtime + size alone miss an in-place same-size rewrite that
+                    // lands within the filesystem's timestamp granularity (exactly
+                    // what an atomic model swap produces), so when they look
+                    // unchanged the persisted CRC breaks the tie via a cheap
+                    // header-only read.
                     let changed = match std::fs::metadata(&path) {
-                        Ok(m) => m.len() != e.file_len || m.modified().ok() != e.mtime,
+                        Ok(m) => {
+                            m.len() != e.file_len
+                                || m.modified().ok() != e.mtime
+                                || header_checksum(&path).is_some_and(|crc| crc != e.meta.checksum)
+                        }
                         Err(_) => false,
                     };
                     if changed && self.index_file(&path).is_ok() {
@@ -375,6 +387,13 @@ impl ModelStore {
     pub fn registry(&self) -> &EstimatorRegistry {
         &self.registry
     }
+}
+
+/// Payload checksum from a header-only read; `None` when the file is unreadable
+/// or mid-write (rescan treats that as "unchanged" rather than fatal).
+fn header_checksum(path: &Path) -> Option<u32> {
+    let mut reader = BufReader::new(std::fs::File::open(path).ok()?);
+    persist::read_meta(&mut reader).ok().map(|m| m.checksum)
 }
 
 /// Non-blocking residency probe for budget accounting: a held mutex means the
@@ -507,6 +526,55 @@ mod tests {
         std::fs::write(dir.join("junk.mvm"), b"garbage").unwrap();
         let report = store.rescan().unwrap();
         assert_eq!(report, crate::wire::RescanReport::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rescan_detects_same_size_rewrite_within_mtime_granularity() {
+        let dir = tmp_dir("crc");
+        let registry = EstimatorRegistry::with_builtin();
+        let spec = FitSpec::with_rank(2).epsilon(1e-2).seed(3);
+        let views_a = fixture_views();
+        // Same shapes, different values → same payload length, different CRC.
+        let data_b = secstr_dataset(&SecStrConfig {
+            n_instances: 30,
+            seed: 10,
+            difficulty: 0.8,
+        });
+        let views_b: Vec<Matrix> = data_b
+            .views()
+            .iter()
+            .map(|v| v.select_rows(&(0..8.min(v.rows())).collect::<Vec<_>>()))
+            .collect();
+        let a = registry.fit("PCA", &views_a, &spec).unwrap();
+        let b = registry.fit("PCA", &views_b, &spec).unwrap();
+
+        let writer = ModelStore::new(EstimatorRegistry::with_builtin());
+        writer.save(&dir, "m", a.as_ref()).unwrap();
+        let store = ModelStore::open(EstimatorRegistry::with_builtin(), &dir).unwrap();
+        store.get("m").unwrap();
+        let path = dir.join("m.mvm");
+        let before = std::fs::metadata(&path).unwrap();
+        let old_mtime = before.modified().unwrap();
+
+        writer.save(&dir, "m", b.as_ref()).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            before.len(),
+            "fixture models must serialize to the same byte length"
+        );
+        // Pin the mtime back so size + mtime alone cannot reveal the rewrite.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(old_mtime))
+            .unwrap();
+        drop(f);
+
+        let report = store.rescan().unwrap();
+        assert_eq!((report.added, report.removed, report.reloaded), (0, 0, 1));
+        assert_eq!(
+            store.get("m").unwrap().transform(&views_b).unwrap(),
+            b.transform(&views_b).unwrap()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

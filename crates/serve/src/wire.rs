@@ -16,6 +16,8 @@
 //! | 4 | `Outputs` | name, `u32` input count, matrices (v2) |
 //! | 5 | `TransformView` | name, `u32` view index, one matrix (v2) |
 //! | 6 | `Rescan` | — (v2) |
+//! | 7 | `Stats` | — (v3) |
+//! | 8 | `Refit` | — (v3) |
 //! | 16 | `Tagged` | `u64` request id, then a nested untagged request (v2) |
 //!
 //! Responses:
@@ -24,10 +26,11 @@
 //! |---|---|---|
 //! | 0 | `Embedding` | one matrix |
 //! | 1 | `Error` | message (`u32` + UTF-8) |
-//! | 2 | `Models` | `u32` count, then per model: name, method, `u64` dim, `u32` views, `u8` kind |
+//! | 2 | `Models` | `u32` count, then per model: name, method, `u64` dim, `u32` views, `u8` kind, `u64` version (v3) |
 //! | 3 | `Pong` | — |
 //! | 4 | `Outputs` | `u32` count, then per candidate: label, `u8` kind, one matrix (v2) |
 //! | 5 | `Rescanned` | `u32` added, `u32` removed, `u32` reloaded (v2) |
+//! | 6 | `Stats` | `u32` count, then per counter: name (`u32` + UTF-8), `u64` value (v3) |
 //! | 16 | `Tagged` | `u64` request id, then a nested untagged response (v2) |
 //!
 //! ## Protocol v2: request ids and pipelining
@@ -41,6 +44,16 @@
 //! models complete independently). Clients match replies to requests by id. The
 //! nested message may be any untagged request; nesting a `Tagged` inside a `Tagged`
 //! is a protocol violation.
+//!
+//! ## Protocol v3: live refresh
+//!
+//! v3 adds the observability and model-refresh surface of the streaming-fit
+//! subsystem: `Stats` returns the server's counters as name/value pairs (batch
+//! engine counters plus, when a trainer is attached, `trainer/*` counters), and
+//! `Refit` asks the serving tier to refresh its refreshable models from accumulated
+//! traffic — the trigger is asynchronous, so the reply carries the counters as of
+//! the trigger; poll `Stats` to watch the refit land. Each `Models` catalog entry
+//! now ends with the model's lineage version (`0` for files that predate lineage).
 
 use crate::{Result, ServeError};
 use linalg::Matrix;
@@ -90,6 +103,13 @@ pub enum Request {
     /// Re-scan the server's model directory for new/changed/removed `.mvm` files
     /// (v2). A router forwards this to every live shard.
     Rescan,
+    /// Ask for the server's counters (v3): batch-engine statistics plus trainer
+    /// counters when a live-refresh trainer is attached. A router sums counters
+    /// across its live shards.
+    Stats,
+    /// Trigger a model refresh from accumulated live-traffic statistics (v3). The
+    /// trigger is asynchronous: the reply is the counter snapshot at trigger time.
+    Refit,
     /// The v2 envelope: an id the server echoes around its reply, enabling
     /// pipelining and out-of-order completion.
     Tagged {
@@ -113,6 +133,9 @@ pub struct ModelInfo {
     pub num_views: usize,
     /// Input kind expected by `transform`.
     pub input_kind: InputKind,
+    /// Lineage version of the backing file (v3): `0` for freshly fitted or
+    /// pre-lineage models, incremented by every live refresh.
+    pub version: u64,
 }
 
 /// Whether a served candidate is an embedding or a precomputed distance matrix
@@ -171,6 +194,8 @@ pub enum Response {
     Outputs(Vec<NamedOutput>),
     /// Reply to `Rescan` (v2).
     Rescanned(RescanReport),
+    /// Reply to `Stats` and `Refit` (v3): counter name/value pairs.
+    Stats(Vec<(String, u64)>),
     /// The v2 envelope echoing a `Tagged` request's id.
     Tagged {
         /// The id of the request this reply answers.
@@ -307,6 +332,8 @@ impl Request {
                 push_matrix(out, input);
             }
             Request::Rescan => out.push(6),
+            Request::Stats => out.push(7),
+            Request::Refit => out.push(8),
             Request::Tagged { id, inner } => {
                 out.push(TAGGED_OPCODE);
                 push_u64(out, *id);
@@ -361,6 +388,8 @@ impl Request {
                 Request::TransformView { model, view, input }
             }
             6 => Request::Rescan,
+            7 => Request::Stats,
+            8 => Request::Refit,
             TAGGED_OPCODE if allow_tag => {
                 let id = c.u64("request id")?;
                 let inner = Box::new(Self::decode_cursor(c, false)?);
@@ -407,6 +436,7 @@ impl Response {
                         InputKind::Views => 0,
                         InputKind::Kernels => 1,
                     });
+                    push_u64(out, info.version);
                 }
             }
             Response::Pong => out.push(3),
@@ -427,6 +457,14 @@ impl Response {
                 push_u32(out, report.added as u32);
                 push_u32(out, report.removed as u32);
                 push_u32(out, report.reloaded as u32);
+            }
+            Response::Stats(counters) => {
+                out.push(6);
+                push_u32(out, counters.len() as u32);
+                for (name, value) in counters {
+                    push_str(out, name);
+                    push_u64(out, *value);
+                }
             }
             Response::Tagged { id, inner } => {
                 out.push(TAGGED_OPCODE);
@@ -476,12 +514,14 @@ impl Response {
                             )))
                         }
                     };
+                    let version = c.u64("model version")?;
                     models.push(ModelInfo {
                         name,
                         method,
                         dim,
                         num_views,
                         input_kind,
+                        version,
                     });
                 }
                 Response::Models(models)
@@ -515,6 +555,16 @@ impl Response {
                 removed: c.u32("rescan removed")? as usize,
                 reloaded: c.u32("rescan reloaded")? as usize,
             }),
+            6 => {
+                let count = c.u32("counter count")? as usize;
+                let mut counters = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = c.string("counter name")?;
+                    let value = c.u64("counter value")?;
+                    counters.push((name, value));
+                }
+                Response::Stats(counters)
+            }
             TAGGED_OPCODE if allow_tag => {
                 let id = c.u64("response id")?;
                 let inner = Box::new(Self::decode_cursor(c, false)?);
@@ -611,6 +661,8 @@ mod tests {
                 input: sample_matrix(),
             },
             Request::Rescan,
+            Request::Stats,
+            Request::Refit,
             Request::Ping.tagged(u64::MAX),
             Request::Transform {
                 model: "m".into(),
@@ -641,6 +693,7 @@ mod tests {
                 dim: 6,
                 num_views: 3,
                 input_kind: InputKind::Kernels,
+                version: 41,
             }]),
             Response::Pong,
             Response::Outputs(vec![
@@ -660,6 +713,11 @@ mod tests {
                 removed: 1,
                 reloaded: 3,
             }),
+            Response::Stats(vec![
+                ("requests".into(), 12),
+                ("trainer/model_version".into(), u64::MAX),
+            ]),
+            Response::Stats(Vec::new()),
             Response::Embedding(sample_matrix()).tagged(99),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

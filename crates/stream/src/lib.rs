@@ -1,0 +1,333 @@
+//! `stream` — streaming fits: mergeable sufficient statistics and warm-started
+//! refits for the paper's estimator family.
+//!
+//! The one-shot API fits on all samples at once (`registry.fit(name, &views, …)`).
+//! This crate splits that into **accumulate → merge → finalize** over chunks of
+//! instances (see [`mvcore::SufficientStats`]), which is what a serving tier needs
+//! to refresh models from live traffic without ever holding the full sample set:
+//!
+//! ```
+//! use linalg::Matrix;
+//! use mvcore::FitSpec;
+//! use stream::StreamingRegistry;
+//!
+//! let registry = StreamingRegistry::with_builtin();
+//! let spec = FitSpec::with_rank(1).epsilon(1e-2);
+//! let dims = [3usize, 2];
+//! let mut stats = registry.new_stats("CCA-MAXVAR", &dims, &spec).unwrap();
+//!
+//! // Feed chunks as they arrive (here: 30 instances in chunks of 10)…
+//! for chunk in 0..3 {
+//!     let views: Vec<Matrix> = dims
+//!         .iter()
+//!         .map(|&d| {
+//!             let mut v = Matrix::zeros(d, 10);
+//!             for j in 0..10 {
+//!                 let t = (chunk * 10 + j) as f64 * 0.37;
+//!                 for i in 0..d {
+//!                     v[(i, j)] = (t + i as f64).sin();
+//!                 }
+//!             }
+//!             v
+//!         })
+//!         .collect();
+//!     stats.partial_fit(&views).unwrap();
+//! }
+//! assert_eq!(stats.count(), 30);
+//!
+//! // …then solve the method from the summary alone.
+//! let model = stats.finalize().unwrap();
+//! assert_eq!(model.num_views(), 2);
+//! ```
+//!
+//! ## Supported methods and their contracts
+//!
+//! | Method | Stats | Contract vs one-shot fit |
+//! |---|---|---|
+//! | BSF, CAT | dims + count | trivially identical |
+//! | PCA, CCA (BST), CCA (AVG), CCA-MAXVAR | exact joint moments | **bit-identical** under any chunking / merge order |
+//! | TCCA | joint moments + raw moment tensor | tolerance; warm-startable via [`StreamingRegistry::refit`] |
+//!
+//! Not streamable: CCA-LS (its alternating solver updates a per-instance latent
+//! vector, which is not a fixed-size function of the samples), DSE / SSMVD
+//! (consensus over per-view spectral embeddings of the full sample set) and the
+//! kernel methods (the Gram matrix grows with `N`).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod stats;
+
+pub use stats::{FeatureStats, MomentMethod, MomentStats, TccaStats};
+
+use linalg::Matrix;
+use mvcore::{CoreError, FitSpec, MultiViewModel, StreamingEstimator, SufficientStats};
+
+/// Convenience alias for results produced by this crate (same error type as
+/// `mvcore` so streaming and one-shot code paths compose).
+pub type Result<T> = mvcore::Result<T>;
+
+macro_rules! simple_streaming {
+    ($(#[$doc:meta])* $name:ident, $display:expr, $make:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name;
+
+        impl StreamingEstimator for $name {
+            fn name(&self) -> &str {
+                $display
+            }
+
+            fn new_stats(
+                &self,
+                dims: &[usize],
+                spec: &FitSpec,
+            ) -> Result<Box<dyn SufficientStats>> {
+                #[allow(clippy::redundant_closure_call)]
+                ($make)(dims, spec)
+            }
+
+            fn refit(
+                &self,
+                _prev: Option<&dyn MultiViewModel>,
+                stats: &dyn SufficientStats,
+            ) -> Result<(Box<dyn MultiViewModel>, usize)> {
+                if stats.method() != self.name() {
+                    return Err(CoreError::InvalidInput(format!(
+                        "{} estimator got {} stats",
+                        self.name(),
+                        stats.method()
+                    )));
+                }
+                Ok((stats.finalize()?, 0))
+            }
+        }
+    };
+}
+
+simple_streaming!(
+    /// Streaming BSF (no learned parameters; stats are dims + count).
+    StreamingBsf,
+    "BSF",
+    |dims: &[usize], _spec: &FitSpec| Ok(Box::new(FeatureStats::bsf(dims)) as Box<dyn SufficientStats>)
+);
+
+simple_streaming!(
+    /// Streaming CAT (no learned parameters; stats are dims + count).
+    StreamingCat,
+    "CAT",
+    |dims: &[usize], _spec: &FitSpec| Ok(Box::new(FeatureStats::cat(dims)) as Box<dyn SufficientStats>)
+);
+
+simple_streaming!(
+    /// Streaming per-view PCA (bit-identical to the one-shot fit).
+    StreamingPca,
+    "PCA",
+    |dims: &[usize], spec: &FitSpec| Ok(Box::new(MomentStats::new(
+        MomentMethod::Pca,
+        dims,
+        spec.rank,
+        spec.epsilon
+    )) as Box<dyn SufficientStats>)
+);
+
+simple_streaming!(
+    /// Streaming pairwise CCA, best pair ("CCA (BST)"; bit-identical).
+    StreamingCcaBest,
+    "CCA (BST)",
+    |dims: &[usize], spec: &FitSpec| Ok(Box::new(MomentStats::new(
+        MomentMethod::CcaBest,
+        dims,
+        spec.rank,
+        spec.epsilon
+    )) as Box<dyn SufficientStats>)
+);
+
+simple_streaming!(
+    /// Streaming pairwise CCA, averaged pairs ("CCA (AVG)"; bit-identical).
+    StreamingCcaAverage,
+    "CCA (AVG)",
+    |dims: &[usize], spec: &FitSpec| Ok(Box::new(MomentStats::new(
+        MomentMethod::CcaAverage,
+        dims,
+        spec.rank,
+        spec.epsilon
+    )) as Box<dyn SufficientStats>)
+);
+
+simple_streaming!(
+    /// Streaming CCA-MAXVAR via the Gram eigenproblem (bit-identical).
+    StreamingMaxVar,
+    "CCA-MAXVAR",
+    |dims: &[usize], spec: &FitSpec| Ok(Box::new(MomentStats::new(
+        MomentMethod::MaxVar,
+        dims,
+        spec.rank,
+        spec.epsilon
+    )) as Box<dyn SufficientStats>)
+);
+
+/// Streaming TCCA: moment-tensor stats plus warm-started CP-ALS refits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamingTcca;
+
+impl StreamingEstimator for StreamingTcca {
+    fn name(&self) -> &str {
+        "TCCA"
+    }
+
+    fn new_stats(&self, dims: &[usize], spec: &FitSpec) -> Result<Box<dyn SufficientStats>> {
+        Ok(Box::new(TccaStats::new(dims, spec.tcca_options())))
+    }
+
+    fn refit(
+        &self,
+        prev: Option<&dyn MultiViewModel>,
+        stats: &dyn SufficientStats,
+    ) -> Result<(Box<dyn MultiViewModel>, usize)> {
+        let stats = stats
+            .as_any()
+            .downcast_ref::<TccaStats>()
+            .ok_or_else(|| CoreError::InvalidInput("TCCA estimator needs TCCA stats".into()))?;
+        // Previous factors come through the persistence surface, so a model loaded
+        // from disk warm-starts exactly like one still in memory. Files written
+        // before factors were recorded simply fall back to a cold start.
+        let warm_matrices;
+        let warm: Option<&[Matrix]> = match prev {
+            Some(model) if model.name() == "TCCA" => {
+                let state = model.save_state()?;
+                if state.contains("factors/len") {
+                    warm_matrices = state.matrices("factors")?;
+                    Some(&warm_matrices)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let (inner, sweeps) = stats.refit_inner(warm)?;
+        let model =
+            mvcore::estimators::tcca_model_from_parts(inner, stats.dims(), stats.count() as usize);
+        Ok((model, sweeps))
+    }
+}
+
+/// Name → [`StreamingEstimator`] dispatch, mirroring
+/// [`mvcore::EstimatorRegistry`] for the streamable subset of methods.
+pub struct StreamingRegistry {
+    entries: Vec<Box<dyn StreamingEstimator + Send + Sync>>,
+}
+
+impl StreamingRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Every built-in streaming estimator (see the crate docs for the table).
+    pub fn with_builtin() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(StreamingBsf));
+        r.register(Box::new(StreamingCat));
+        r.register(Box::new(StreamingPca));
+        r.register(Box::new(StreamingCcaBest));
+        r.register(Box::new(StreamingCcaAverage));
+        r.register(Box::new(StreamingMaxVar));
+        r.register(Box::new(StreamingTcca));
+        r
+    }
+
+    /// Register an estimator (replacing any previous entry with the same name).
+    pub fn register(&mut self, estimator: Box<dyn StreamingEstimator + Send + Sync>) {
+        self.entries.retain(|e| e.name() != estimator.name());
+        self.entries.push(estimator);
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+
+    /// Whether a method supports streaming fits.
+    pub fn supports(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name() == name)
+    }
+
+    /// Look up an estimator by registry name.
+    pub fn get(&self, name: &str) -> Result<&(dyn StreamingEstimator + Send + Sync)> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == name)
+            .map(|e| e.as_ref())
+            .ok_or_else(|| CoreError::UnknownEstimator {
+                name: name.to_string(),
+                known: self.names().iter().map(|s| s.to_string()).collect(),
+            })
+    }
+
+    /// Fresh stats for a method over views of the given dimensions.
+    pub fn new_stats(
+        &self,
+        name: &str,
+        dims: &[usize],
+        spec: &FitSpec,
+    ) -> Result<Box<dyn SufficientStats>> {
+        self.get(name)?.new_stats(dims, spec)
+    }
+
+    /// Refit a method from accumulated stats, warm-starting from `prev` where the
+    /// method supports it. Returns the model and the iterative sweep count.
+    pub fn refit(
+        &self,
+        name: &str,
+        prev: Option<&dyn MultiViewModel>,
+        stats: &dyn SufficientStats,
+    ) -> Result<(Box<dyn MultiViewModel>, usize)> {
+        self.get(name)?.refit(prev, stats)
+    }
+}
+
+impl Default for StreamingRegistry {
+    fn default() -> Self {
+        Self::with_builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_knows_the_streamable_subset() {
+        let r = StreamingRegistry::with_builtin();
+        for name in [
+            "BSF",
+            "CAT",
+            "PCA",
+            "CCA (BST)",
+            "CCA (AVG)",
+            "CCA-MAXVAR",
+            "TCCA",
+        ] {
+            assert!(r.supports(name), "{name} should stream");
+        }
+        for name in ["CCA-LS", "DSE", "SSMVD", "KTCCA", "KCCA (BST)"] {
+            assert!(!r.supports(name), "{name} must not claim streaming support");
+        }
+        let err = r.get("CCA-LS").map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("TCCA"), "{err}");
+    }
+
+    #[test]
+    fn new_stats_dispatches_by_name() {
+        let r = StreamingRegistry::with_builtin();
+        let spec = FitSpec::with_rank(2);
+        let stats = r.new_stats("TCCA", &[3, 2], &spec).unwrap();
+        assert_eq!(stats.method(), "TCCA");
+        assert_eq!(stats.count(), 0);
+        let stats = r.new_stats("PCA", &[3, 2], &spec).unwrap();
+        assert_eq!(stats.method(), "PCA");
+    }
+}

@@ -1,0 +1,536 @@
+//! Per-family [`SufficientStats`] implementations.
+//!
+//! Three stats shapes cover every supported method:
+//!
+//! * [`FeatureStats`] — BSF / CAT carry no learned parameters; the stats are just
+//!   the view dimensions and the instance count.
+//! * [`MomentStats`] — PCA, CCA (BST) / (AVG) and CCA-MAXVAR are closed forms of
+//!   first and second moments; a [`JointMoments`] accumulator (exact Kulisch sums)
+//!   makes accumulate → merge → finalize **bit-identical** to the one-shot fit
+//!   under any chunking, because the per-method `fit` routes through the very same
+//!   `fit_from_moments` constructors.
+//! * [`TccaStats`] — TCCA additionally needs the order-`m` covariance tensor. The
+//!   centered tensor depends on the final means, so the stats accumulate the *raw*
+//!   moment tensor of mean-augmented samples `(x_p, 1)` and finalize recovers the
+//!   centered tensor by inclusion–exclusion. The tensor sums are plain `f64`
+//!   (merge-order-sensitive in the last bits), which is why TCCA's streaming
+//!   contract is a convergence tolerance rather than bit-identity.
+
+use crate::Result;
+use baselines::{view_pairs, Cca, CcaMaxVar, Pca};
+use linalg::{JointMoments, Matrix};
+use mvcore::estimators::{
+    bsf_model_from_parts, cat_model_from_parts, cca_maxvar_model_from_parts,
+    pairwise_cca_model_from_parts, pca_model_from_parts, tcca_model_from_parts,
+};
+use mvcore::{CoreError, MultiViewModel, SufficientStats};
+use std::any::Any;
+use tcca::{Tcca, TccaOptions};
+use tensor::DenseTensor;
+
+/// Validate one chunk against the stats' per-view dimensions; returns the chunk's
+/// instance count.
+fn check_chunk(dims: &[usize], views: &[Matrix]) -> Result<usize> {
+    if views.len() != dims.len() {
+        return Err(CoreError::InvalidInput(format!(
+            "expected {} views, got {}",
+            dims.len(),
+            views.len()
+        )));
+    }
+    let n = views.first().map_or(0, Matrix::cols);
+    for (p, (v, &d)) in views.iter().zip(dims.iter()).enumerate() {
+        if v.rows() != d {
+            return Err(CoreError::InvalidInput(format!(
+                "view {p} has {} features but the stats expect {d}",
+                v.rows()
+            )));
+        }
+        if v.cols() != n {
+            return Err(CoreError::InvalidInput(format!(
+                "view {p} has {} instances, expected {n}",
+                v.cols()
+            )));
+        }
+    }
+    Ok(n)
+}
+
+fn merge_mismatch(expected: &str) -> CoreError {
+    CoreError::InvalidInput(format!(
+        "cannot merge: other stats are not {expected} stats over the same shape \
+         and hyperparameters"
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// BSF / CAT
+// ---------------------------------------------------------------------------
+
+/// Stats for the parameter-free feature methods (BSF, CAT): dimensions + count.
+pub struct FeatureStats {
+    method: &'static str,
+    dims: Vec<usize>,
+    n: u64,
+}
+
+impl FeatureStats {
+    /// Fresh BSF stats.
+    pub fn bsf(dims: &[usize]) -> Self {
+        Self {
+            method: "BSF",
+            dims: dims.to_vec(),
+            n: 0,
+        }
+    }
+
+    /// Fresh CAT stats.
+    pub fn cat(dims: &[usize]) -> Self {
+        Self {
+            method: "CAT",
+            dims: dims.to_vec(),
+            n: 0,
+        }
+    }
+}
+
+impl SufficientStats for FeatureStats {
+    fn method(&self) -> &str {
+        self.method
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn partial_fit(&mut self, views: &[Matrix]) -> Result<()> {
+        let n = check_chunk(&self.dims, views)?;
+        self.n += n as u64;
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn SufficientStats) -> Result<()> {
+        let other = other
+            .as_any()
+            .downcast_ref::<FeatureStats>()
+            .filter(|o| o.method == self.method && o.dims == self.dims)
+            .ok_or_else(|| merge_mismatch(self.method))?;
+        self.n += other.n;
+        Ok(())
+    }
+
+    fn finalize(&self) -> Result<Box<dyn MultiViewModel>> {
+        let n = self.n as usize;
+        Ok(match self.method {
+            "BSF" => bsf_model_from_parts(self.dims.clone(), n),
+            _ => cat_model_from_parts(self.dims.clone(), n),
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PCA / CCA (BST) / CCA (AVG) / CCA-MAXVAR
+// ---------------------------------------------------------------------------
+
+/// Which closed-form moment method a [`MomentStats`] finalizes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MomentMethod {
+    /// Per-view PCA, concatenated.
+    Pca,
+    /// Pairwise CCA, best pair on validation ("CCA (BST)").
+    CcaBest,
+    /// Pairwise CCA, averaged pairs ("CCA (AVG)").
+    CcaAverage,
+    /// Multiset CCA via the Gram eigenproblem ("CCA-MAXVAR").
+    MaxVar,
+}
+
+impl MomentMethod {
+    fn name(self) -> &'static str {
+        match self {
+            MomentMethod::Pca => "PCA",
+            MomentMethod::CcaBest => "CCA (BST)",
+            MomentMethod::CcaAverage => "CCA (AVG)",
+            MomentMethod::MaxVar => "CCA-MAXVAR",
+        }
+    }
+}
+
+/// Stats for the closed-form linear methods: exact joint first/second moments.
+pub struct MomentStats {
+    method: MomentMethod,
+    rank: usize,
+    epsilon: f64,
+    moments: JointMoments,
+}
+
+impl MomentStats {
+    /// Fresh stats for the given method over views of the given dimensions.
+    pub fn new(method: MomentMethod, dims: &[usize], rank: usize, epsilon: f64) -> Self {
+        Self {
+            method,
+            rank,
+            epsilon,
+            moments: JointMoments::new(dims),
+        }
+    }
+
+    /// The accumulated joint moments.
+    pub fn moments(&self) -> &JointMoments {
+        &self.moments
+    }
+}
+
+impl SufficientStats for MomentStats {
+    fn method(&self) -> &str {
+        self.method.name()
+    }
+
+    fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    fn partial_fit(&mut self, views: &[Matrix]) -> Result<()> {
+        check_chunk(self.moments.dims(), views)?;
+        self.moments.update(views)?;
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn SufficientStats) -> Result<()> {
+        let other = other
+            .as_any()
+            .downcast_ref::<MomentStats>()
+            .filter(|o| {
+                o.method == self.method
+                    && o.rank == self.rank
+                    && o.epsilon == self.epsilon
+                    && o.moments.dims() == self.moments.dims()
+            })
+            .ok_or_else(|| merge_mismatch(self.method.name()))?;
+        self.moments.merge(&other.moments)?;
+        Ok(())
+    }
+
+    fn finalize(&self) -> Result<Box<dyn MultiViewModel>> {
+        let dims = self.moments.dims().to_vec();
+        let n = self.moments.count() as usize;
+        match self.method {
+            MomentMethod::Pca => {
+                if self.rank == 0 {
+                    return Err(CoreError::InvalidInput("rank must be positive".into()));
+                }
+                // Exactly PcaEstimator::fit: one PCA per view. select_views is a
+                // bit-exact sub-accumulator, so each per-view fit sees the same
+                // moments a standalone Pca::fit would have produced.
+                let pcas = (0..dims.len())
+                    .map(|p| Pca::fit_from_moments(&self.moments.select_views(&[p]), self.rank))
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                Ok(pca_model_from_parts(pcas, n))
+            }
+            MomentMethod::CcaBest | MomentMethod::CcaAverage => {
+                let models = view_pairs(dims.len())
+                    .into_iter()
+                    .map(|(p, q)| {
+                        Cca::fit_from_moments(
+                            &self.moments.select_views(&[p, q]),
+                            self.rank,
+                            self.epsilon,
+                        )
+                    })
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                pairwise_cca_model_from_parts(
+                    self.method == MomentMethod::CcaBest,
+                    &dims,
+                    models,
+                    n,
+                )
+            }
+            MomentMethod::MaxVar => {
+                let inner = CcaMaxVar::fit_from_moments(&self.moments, self.rank, self.epsilon)?;
+                Ok(cca_maxvar_model_from_parts(inner, &dims, n))
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCCA
+// ---------------------------------------------------------------------------
+
+/// Stats for TCCA: exact joint moments (means, view covariances) plus the raw
+/// order-`m` moment tensor of mean-augmented samples.
+///
+/// Each sample contributes the outer product `(x₁,1) ∘ (x₂,1) ∘ … ∘ (xₘ,1)` to a
+/// tensor of shape `Π (d_p + 1)`: choosing the extra index in mode `p`
+/// marginalizes that mode, so this one tensor holds the raw moments `E_S` of every
+/// view subset `S` at once. Finalize recovers the centered covariance tensor by
+/// inclusion–exclusion over subsets,
+/// `C = Σ_S (−1)^{m−|S|} E_S · Π_{p∉S} μ_p`.
+pub struct TccaStats {
+    options: TccaOptions,
+    dims: Vec<usize>,
+    /// Extended shape `d_p + 1` per view, first index fastest (tensor layout).
+    ext_shape: Vec<usize>,
+    moments: JointMoments,
+    /// Flat raw-moment-tensor sums (not yet divided by the count).
+    raw: Vec<f64>,
+}
+
+impl TccaStats {
+    /// Fresh TCCA stats over views of the given dimensions.
+    pub fn new(dims: &[usize], options: TccaOptions) -> Self {
+        let ext_shape: Vec<usize> = dims.iter().map(|&d| d + 1).collect();
+        let total = ext_shape.iter().product::<usize>().max(1);
+        Self {
+            options,
+            dims: dims.to_vec(),
+            ext_shape,
+            moments: JointMoments::new(dims),
+            raw: vec![0.0; total],
+        }
+    }
+
+    /// The decomposition options the stats will finalize with.
+    pub fn options(&self) -> &TccaOptions {
+        &self.options
+    }
+
+    /// Per-view feature dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Accumulate one sample's extended outer product into `scratch`, then fold it
+    /// into the raw sums.
+    fn accumulate_sample(&mut self, views: &[Matrix], j: usize, scratch: &mut [f64]) {
+        // Expand mode by mode, first view's index fastest, exactly like a
+        // Khatri–Rao column: after mode p the leading Π_{q≤p}(d_q+1) entries hold
+        // the partial outer product. Processed backwards so nothing is read after
+        // it is overwritten.
+        let d0 = self.dims[0];
+        for i in 0..d0 {
+            scratch[i] = views[0][(i, j)];
+        }
+        scratch[d0] = 1.0;
+        let mut len = d0 + 1;
+        for (p, v) in views.iter().enumerate().skip(1) {
+            let d = self.dims[p];
+            for k in (1..=d).rev() {
+                let c = if k == d { 1.0 } else { v[(k, j)] };
+                let (head, tail) = scratch.split_at_mut(k * len);
+                for (t, &h) in tail[..len].iter_mut().zip(head[..len].iter()) {
+                    *t = h * c;
+                }
+            }
+            let c0 = v[(0, j)];
+            for x in scratch[..len].iter_mut() {
+                *x *= c0;
+            }
+            len *= d + 1;
+        }
+        for (r, &s) in self.raw.iter_mut().zip(scratch.iter()) {
+            *r += s;
+        }
+    }
+
+    /// The centered covariance tensor `C₁₂…ₘ` recovered by inclusion–exclusion.
+    pub fn covariance_tensor(&self) -> Result<DenseTensor> {
+        let m = self.dims.len();
+        let n = self.moments.count();
+        if n == 0 {
+            return Err(CoreError::InvalidInput(
+                "cannot finalize TCCA stats on zero instances".into(),
+            ));
+        }
+        let inv_n = 1.0 / n as f64;
+        let means: Vec<Vec<f64>> = (0..m).map(|p| self.moments.mean(p)).collect();
+        let total: usize = self.dims.iter().product::<usize>().max(1);
+        let mut data = vec![0.0; total];
+        // Walk the output tensor (first index fastest) with an odometer index.
+        let mut idx = vec![0usize; m];
+        for slot in data.iter_mut() {
+            let mut value = 0.0;
+            // Subsets S of the modes: bit p set → take the sample index in mode p,
+            // clear → take the marginalizing index d_p and multiply by μ_p.
+            for mask in 0u32..(1u32 << m) {
+                let mut flat = 0usize;
+                let mut stride = 1usize;
+                let mut mean_prod = 1.0;
+                for (p, (&i, &ext)) in idx.iter().zip(self.ext_shape.iter()).enumerate() {
+                    if mask & (1 << p) != 0 {
+                        flat += i * stride;
+                    } else {
+                        flat += self.dims[p] * stride;
+                        mean_prod *= means[p][i];
+                    }
+                    stride *= ext;
+                }
+                let sign = if (m - mask.count_ones() as usize).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
+                value += sign * self.raw[flat] * inv_n * mean_prod;
+            }
+            *slot = value;
+            for (i, &d) in idx.iter_mut().zip(self.dims.iter()) {
+                *i += 1;
+                if *i < d {
+                    break;
+                }
+                *i = 0;
+            }
+        }
+        DenseTensor::from_vec(&self.dims, data).map_err(CoreError::Tensor)
+    }
+
+    /// Refit from the accumulated stats, optionally warm-starting the CP sweeps
+    /// from a previous model's factors. Returns the fitted inner model and the
+    /// sweep count.
+    pub fn refit_inner(&self, warm_start: Option<&[Matrix]>) -> Result<(Tcca, usize)> {
+        let m = self.dims.len();
+        let means: Vec<Vec<f64>> = (0..m).map(|p| self.moments.mean(p)).collect();
+        let covariances: Vec<Matrix> = (0..m).map(|p| self.moments.covariance(p, p)).collect();
+        let tensor = self.covariance_tensor()?;
+        let (inner, sweeps) =
+            Tcca::fit_from_moments(means, &covariances, &tensor, &self.options, warm_start)?;
+        Ok((inner, sweeps))
+    }
+}
+
+impl SufficientStats for TccaStats {
+    fn method(&self) -> &str {
+        "TCCA"
+    }
+
+    fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    fn partial_fit(&mut self, views: &[Matrix]) -> Result<()> {
+        let n = check_chunk(&self.dims, views)?;
+        self.moments.update(views)?;
+        let total = self.raw.len();
+        let mut scratch = vec![0.0; total];
+        for j in 0..n {
+            self.accumulate_sample(views, j, &mut scratch);
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn SufficientStats) -> Result<()> {
+        let other = other
+            .as_any()
+            .downcast_ref::<TccaStats>()
+            .filter(|o| {
+                o.dims == self.dims
+                    && o.options.rank == self.options.rank
+                    && o.options.epsilon == self.options.epsilon
+            })
+            .ok_or_else(|| merge_mismatch("TCCA"))?;
+        self.moments.merge(&other.moments)?;
+        for (r, &o) in self.raw.iter_mut().zip(other.raw.iter()) {
+            *r += o;
+        }
+        Ok(())
+    }
+
+    fn finalize(&self) -> Result<Box<dyn MultiViewModel>> {
+        let (inner, _sweeps) = self.refit_inner(None)?;
+        Ok(tcca_model_from_parts(
+            inner,
+            &self.dims,
+            self.moments.count() as usize,
+        ))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::GaussianRng;
+
+    fn random_views(dims: &[usize], n: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = GaussianRng::new(seed);
+        dims.iter()
+            .map(|&d| {
+                let mut v = Matrix::zeros(d, n);
+                for j in 0..n {
+                    for i in 0..d {
+                        v[(i, j)] = rng.standard_normal();
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    fn split_cols(views: &[Matrix], at: usize) -> (Vec<Matrix>, Vec<Matrix>) {
+        let n = views[0].cols();
+        let left: Vec<usize> = (0..at).collect();
+        let right: Vec<usize> = (at..n).collect();
+        (
+            views.iter().map(|v| v.select_columns(&left)).collect(),
+            views.iter().map(|v| v.select_columns(&right)).collect(),
+        )
+    }
+
+    #[test]
+    fn tcca_stats_recover_the_covariance_tensor() {
+        let dims = [3usize, 4, 2];
+        let views = random_views(&dims, 60, 5);
+        let expected = tcca::covariance_tensor(&views).unwrap();
+
+        let mut stats = TccaStats::new(&dims, TccaOptions::with_rank(2));
+        let (a, b) = split_cols(&views, 23);
+        stats.partial_fit(&a).unwrap();
+        let mut tail = TccaStats::new(&dims, TccaOptions::with_rank(2));
+        tail.partial_fit(&b).unwrap();
+        stats.merge(&tail).unwrap();
+
+        let got = stats.covariance_tensor().unwrap();
+        assert_eq!(got.shape(), expected.shape());
+        let err: f64 = got
+            .as_slice()
+            .iter()
+            .zip(expected.as_slice())
+            .map(|(g, e)| (g - e).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-10, "max entry error {err}");
+    }
+
+    #[test]
+    fn stats_reject_shape_and_family_mismatches() {
+        let dims = [3usize, 2];
+        let views = random_views(&dims, 10, 1);
+        let mut stats = MomentStats::new(MomentMethod::MaxVar, &dims, 2, 1e-2);
+        assert!(stats.partial_fit(&views[..1]).is_err());
+        let bad = random_views(&[3, 5], 10, 2);
+        assert!(stats.partial_fit(&bad).is_err());
+        stats.partial_fit(&views).unwrap();
+
+        // Different hyperparameters must not merge.
+        let other = MomentStats::new(MomentMethod::MaxVar, &dims, 3, 1e-2);
+        assert!(stats.merge(&other).is_err());
+        // Different family must not merge.
+        let other = FeatureStats::cat(&dims);
+        assert!(stats.merge(&other).is_err());
+
+        let mut feat = FeatureStats::bsf(&dims);
+        feat.partial_fit(&views).unwrap();
+        assert_eq!(feat.count(), 10);
+        assert!(feat.merge(&stats).is_err());
+    }
+}

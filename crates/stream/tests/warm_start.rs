@@ -1,0 +1,121 @@
+//! Deterministic warm-start convergence test backing the acceptance criterion:
+//! a TCCA refit seeded from a previous model's factors must reach the batch
+//! objective within tolerance in **at most half the sweeps** of a cold fit.
+
+use datasets::GaussianRng;
+use linalg::Matrix;
+use mvcore::FitSpec;
+use stream::StreamingRegistry;
+
+const DIMS: [usize; 3] = [4, 3, 3];
+
+fn noisy_views(n: usize, seed: u64) -> Vec<Matrix> {
+    let mut rng = GaussianRng::new(seed);
+    let mut views: Vec<Matrix> = DIMS.iter().map(|&d| Matrix::zeros(d, n)).collect();
+    for j in 0..n {
+        // Two overlapping latent signals plus noise: the whitened tensor is not
+        // close to exactly rank-2, so cold ALS needs several sweeps to settle.
+        let s = rng.standard_normal();
+        let t = rng.standard_normal();
+        for v in views.iter_mut() {
+            for i in 0..v.rows() {
+                v[(i, j)] = s * (0.5 + i as f64)
+                    + t * ((i as f64 * 1.3).cos())
+                    + 0.6 * rng.standard_normal();
+            }
+        }
+    }
+    views
+}
+
+fn spec() -> FitSpec {
+    // A tight tolerance makes the sweep counts meaningful: cold ALS has to grind
+    // down to it from the HOSVD initialization, the warm start begins there.
+    FitSpec::with_rank(2)
+        .epsilon(1e-2)
+        .seed(17)
+        .tolerance(1e-10)
+}
+
+#[test]
+fn warm_refit_halves_the_sweeps_of_a_cold_fit() {
+    let views = noisy_views(120, 41);
+    let streaming = StreamingRegistry::with_builtin();
+    let mut stats = streaming.new_stats("TCCA", &DIMS, &spec()).unwrap();
+    stats.partial_fit(&views).unwrap();
+
+    let (cold, cold_sweeps) = streaming.refit("TCCA", None, stats.as_ref()).unwrap();
+    let (warm, warm_sweeps) = streaming
+        .refit("TCCA", Some(cold.as_ref()), stats.as_ref())
+        .unwrap();
+
+    assert!(
+        cold_sweeps >= 2,
+        "cold fit converged in {cold_sweeps} sweeps; fixture too easy"
+    );
+    assert!(
+        warm_sweeps * 2 <= cold_sweeps,
+        "warm refit took {warm_sweeps} sweeps, cold took {cold_sweeps}"
+    );
+
+    // Same optimum: embeddings agree within tolerance.
+    let zc = cold.transform(&views).unwrap();
+    let zw = warm.transform(&views).unwrap();
+    let max_diff = zc
+        .as_slice()
+        .iter()
+        .zip(zw.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    // The ALS stopping rule bounds the *fit* change, so parameters (and hence
+    // embeddings) agree to roughly the square root of that — not bit-for-bit.
+    assert!(max_diff < 1e-4, "embeddings diverge by {max_diff}");
+}
+
+#[test]
+fn refit_from_perturbed_factors_recovers_the_batch_objective() {
+    let views = noisy_views(120, 42);
+    let streaming = StreamingRegistry::with_builtin();
+    let fit_spec = spec();
+    let mut stats = streaming.new_stats("TCCA", &DIMS, &fit_spec).unwrap();
+    stats.partial_fit(&views).unwrap();
+    let (cold, cold_sweeps) = streaming.refit("TCCA", None, stats.as_ref()).unwrap();
+
+    // Simulate a model that drifted: perturb the converged factors slightly and
+    // hand the result back as the warm-start seed.
+    let inner = tcca::Tcca::fit(&views, &fit_spec.tcca_options()).unwrap();
+    let perturbed: Vec<Matrix> = inner
+        .factors()
+        .iter()
+        .map(|f| {
+            let mut p = f.clone();
+            for i in 0..p.rows() {
+                for j in 0..p.cols() {
+                    p[(i, j)] += 1e-3 * ((i * 7 + j * 3) as f64).sin();
+                }
+            }
+            p
+        })
+        .collect();
+    let n = views[0].cols();
+    let prev_inner = inner.with_factors(perturbed).unwrap();
+    let prev = mvcore::estimators::tcca_model_from_parts(prev_inner, &DIMS, n);
+
+    let (warm, warm_sweeps) = streaming
+        .refit("TCCA", Some(prev.as_ref()), stats.as_ref())
+        .unwrap();
+    assert!(
+        warm_sweeps * 2 <= cold_sweeps,
+        "warm refit took {warm_sweeps} sweeps, cold took {cold_sweeps}"
+    );
+
+    let zc = cold.transform(&views).unwrap();
+    let zw = warm.transform(&views).unwrap();
+    let max_diff = zc
+        .as_slice()
+        .iter()
+        .zip(zw.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(max_diff < 1e-4, "embeddings diverge by {max_diff}");
+}

@@ -98,6 +98,34 @@ impl TccaOptions {
             .decompose(tensor, rank),
         }
     }
+
+    /// Run the configured decomposition, optionally warm-started from a previous
+    /// model's factor matrices, reporting the number of sweeps executed.
+    ///
+    /// Warm starting and sweep reporting are supported for ALS (the paper's choice);
+    /// the other methods fall back to a cold run and report 0 sweeps.
+    pub(crate) fn decompose_sweeps(
+        &self,
+        tensor: &DenseTensor,
+        rank: usize,
+        warm_start: Option<&[linalg::Matrix]>,
+    ) -> tensor::Result<(CpDecomposition, usize)> {
+        if self.method == DecompositionMethod::Als {
+            let als = CpAls::new(CpOptions {
+                max_iterations: self.max_iterations,
+                tolerance: self.tolerance,
+                seed: self.seed,
+                hosvd_init: true,
+            });
+            let (cp, sweeps, _) = match warm_start {
+                Some(init) => als.decompose_warm(tensor, rank, init)?,
+                None => als.decompose_detailed(tensor, rank)?,
+            };
+            Ok((cp, sweeps))
+        } else {
+            self.decompose(tensor, rank).map(|cp| (cp, 0))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -148,6 +148,10 @@ pub struct Tcca {
     projections: Vec<Matrix>,
     /// Canonical correlations `ρ_k` (the CP weights), in decreasing magnitude.
     correlations: Vec<f64>,
+    /// CP factors `U_p` of the whitened covariance tensor (`d_p × r`), kept to
+    /// warm-start streaming refits. Empty on models loaded from files persisted
+    /// before factors were recorded.
+    factors: Vec<Matrix>,
     options: TccaOptions,
 }
 
@@ -188,8 +192,87 @@ impl Tcca {
             means,
             projections,
             correlations: cp.weights,
+            factors: cp.factors,
             options: options.clone(),
         })
+    }
+
+    /// Fit TCCA from accumulated sufficient statistics instead of raw samples: the
+    /// per-view `means`, the per-view covariance blocks `C_pp`, and the centered
+    /// covariance tensor `C₁₂…ₘ` — all derivable from mergeable streaming moments.
+    ///
+    /// The whitened tensor is formed as `M = C₁₂…ₘ ×₁ W₁ … ×ₘ Wₘ` (Theorem 2's
+    /// mode-product identity, the path [`whitened_covariance_tensor`] avoids when raw
+    /// data is at hand). When `warm_start` carries a previous model's
+    /// [`Tcca::factors`], the decomposition is seeded from them and typically
+    /// converges in a few sweeps. Returns the model and the sweep count.
+    pub fn fit_from_moments(
+        means: Vec<Vec<f64>>,
+        view_covariances: &[Matrix],
+        covariance_tensor: &DenseTensor,
+        options: &TccaOptions,
+        warm_start: Option<&[Matrix]>,
+    ) -> Result<(Self, usize)> {
+        if options.rank == 0 {
+            return Err(TccaError::InvalidInput("rank must be positive".into()));
+        }
+        let m = means.len();
+        if m < 2 {
+            return Err(TccaError::InvalidInput(
+                "TCCA needs at least two views".into(),
+            ));
+        }
+        if view_covariances.len() != m || covariance_tensor.order() != m {
+            return Err(TccaError::InvalidInput(format!(
+                "inconsistent moment arity: {m} means, {} covariances, order-{} tensor",
+                view_covariances.len(),
+                covariance_tensor.order()
+            )));
+        }
+        for (p, (mean, c)) in means.iter().zip(view_covariances.iter()).enumerate() {
+            let d = mean.len();
+            if c.rows() != d || c.cols() != d || covariance_tensor.shape()[p] != d {
+                return Err(TccaError::InvalidInput(format!(
+                    "view {p}: mean has {d} entries but covariance is {}x{} and tensor \
+                     dimension is {}",
+                    c.rows(),
+                    c.cols(),
+                    covariance_tensor.shape()[p]
+                )));
+            }
+        }
+
+        let mut whiteners = Vec::with_capacity(m);
+        for c in view_covariances {
+            let mut c = c.clone();
+            c.add_diagonal(options.epsilon);
+            whiteners.push(c.inverse_sqrt_spd(1e-12)?);
+        }
+
+        let mut whitened = covariance_tensor.clone();
+        for (p, w) in whiteners.iter().enumerate() {
+            whitened = whitened
+                .mode_product(p, w)
+                .map_err(|e| TccaError::InvalidInput(e.to_string()))?;
+        }
+
+        let (cp, sweeps) = options.decompose_sweeps(&whitened, options.rank, warm_start)?;
+
+        let mut projections = Vec::with_capacity(m);
+        for (p, w) in whiteners.iter().enumerate() {
+            projections.push(w.matmul(&cp.factors[p])?);
+        }
+
+        Ok((
+            Self {
+                means,
+                projections,
+                correlations: cp.weights,
+                factors: cp.factors,
+                options: options.clone(),
+            },
+            sweeps,
+        ))
     }
 
     /// Rebuild a fitted model from its parts (the persistence path).
@@ -219,8 +302,35 @@ impl Tcca {
             means,
             projections,
             correlations,
+            factors: Vec::new(),
             options,
         })
+    }
+
+    /// Attach the CP factors `U_p` of the whitened tensor to a rebuilt model (the
+    /// persistence path for files that recorded them). Each factor must have the same
+    /// row count as the corresponding projection.
+    pub fn with_factors(mut self, factors: Vec<Matrix>) -> Result<Self> {
+        if !factors.is_empty() {
+            if factors.len() != self.projections.len() {
+                return Err(TccaError::InvalidInput(format!(
+                    "{} factor matrices for {} views",
+                    factors.len(),
+                    self.projections.len()
+                )));
+            }
+            for (p, (f, proj)) in factors.iter().zip(self.projections.iter()).enumerate() {
+                if f.rows() != proj.rows() {
+                    return Err(TccaError::InvalidInput(format!(
+                        "view {p}: factor has {} rows but projection has {}",
+                        f.rows(),
+                        proj.rows()
+                    )));
+                }
+            }
+        }
+        self.factors = factors;
+        Ok(self)
     }
 
     /// The per-view training means subtracted before projecting.
@@ -237,6 +347,13 @@ impl Tcca {
     /// The per-view projection matrices `H_p = C̃_pp^{-1/2} U_p` (`d_p × r`).
     pub fn projections(&self) -> &[Matrix] {
         &self.projections
+    }
+
+    /// The CP factors `U_p` of the whitened covariance tensor (`d_p × r`), the seed
+    /// for warm-started refits. Empty on models loaded from files persisted before
+    /// factors were recorded.
+    pub fn factors(&self) -> &[Matrix] {
+        &self.factors
     }
 
     /// Number of views the model was fitted on.

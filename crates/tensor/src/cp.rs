@@ -81,6 +81,76 @@ impl CpAls {
         tensor: &DenseTensor,
         rank: usize,
     ) -> Result<(CpDecomposition, usize, f64)> {
+        self.check_arguments(tensor, rank)?;
+        let shape = tensor.shape().to_vec();
+        if let Some(zero) = Self::zero_tensor_shortcut(tensor, &shape, rank) {
+            return Ok(zero);
+        }
+        let factors = self.initialize(tensor, &shape, rank)?;
+        self.run_sweeps(tensor, rank, factors)
+    }
+
+    /// Run CP-ALS seeded from a previous decomposition's factors instead of a fresh
+    /// HOSVD/random initialization — the streaming-refit warm start.
+    ///
+    /// `init` must have one matrix per tensor mode with matching row dimensions; its
+    /// columns are truncated to `rank` or padded with seeded random columns when the
+    /// requested rank differs from the previous model's. When the seed is close to
+    /// the solution (a drifted covariance tensor), ALS converges in a few sweeps
+    /// instead of a full cold run (Chen, Kolar & Tsay, arXiv 1906.05358).
+    pub fn decompose_warm(
+        &self,
+        tensor: &DenseTensor,
+        rank: usize,
+        init: &[Matrix],
+    ) -> Result<(CpDecomposition, usize, f64)> {
+        self.check_arguments(tensor, rank)?;
+        let shape = tensor.shape().to_vec();
+        if init.len() != shape.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "warm start has {} factor matrices but the tensor has {} modes",
+                init.len(),
+                shape.len()
+            )));
+        }
+        for (mode, (f, &dim)) in init.iter().zip(shape.iter()).enumerate() {
+            if f.rows() != dim {
+                return Err(TensorError::InvalidArgument(format!(
+                    "warm-start factor for mode {mode} has {} rows, tensor dimension is {dim}",
+                    f.rows()
+                )));
+            }
+        }
+        if let Some(zero) = Self::zero_tensor_shortcut(tensor, &shape, rank) {
+            return Ok(zero);
+        }
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let factors: Vec<Matrix> = init
+            .iter()
+            .map(|f| {
+                if f.cols() == rank {
+                    f.clone()
+                } else {
+                    // Rank changed since the previous fit: keep the leading columns,
+                    // pad any extra ones with random entries.
+                    let mut out = Matrix::zeros(f.rows(), rank);
+                    for i in 0..f.rows() {
+                        for j in 0..rank {
+                            out[(i, j)] = if j < f.cols() {
+                                f[(i, j)]
+                            } else {
+                                rng.gen_range(-1.0..1.0)
+                            };
+                        }
+                    }
+                    out
+                }
+            })
+            .collect();
+        self.run_sweeps(tensor, rank, factors)
+    }
+
+    fn check_arguments(&self, tensor: &DenseTensor, rank: usize) -> Result<()> {
         if rank == 0 {
             return Err(TensorError::InvalidArgument(
                 "CP rank must be at least 1".into(),
@@ -92,27 +162,37 @@ impl CpAls {
                 "CP decomposition needs an order >= 2 tensor, got order {order}"
             )));
         }
-        let shape = tensor.shape().to_vec();
-        let max_rank = *shape.iter().min().expect("non-empty shape");
-        // ALS happily runs with rank > min dimension, but the extra components are
-        // redundant for TCCA; we allow it and let callers decide.
-        let _ = max_rank;
+        Ok(())
+    }
 
-        let norm = tensor.frobenius_norm();
-        if norm == 0.0 {
-            // Zero tensor: return zero factors with zero weights.
-            let factors = shape.iter().map(|&d| Matrix::zeros(d, rank)).collect();
-            return Ok((
-                CpDecomposition {
-                    weights: vec![0.0; rank],
-                    factors,
-                },
-                0,
-                0.0,
-            ));
+    fn zero_tensor_shortcut(
+        tensor: &DenseTensor,
+        shape: &[usize],
+        rank: usize,
+    ) -> Option<(CpDecomposition, usize, f64)> {
+        if tensor.frobenius_norm() != 0.0 {
+            return None;
         }
+        // Zero tensor: return zero factors with zero weights.
+        let factors = shape.iter().map(|&d| Matrix::zeros(d, rank)).collect();
+        Some((
+            CpDecomposition {
+                weights: vec![0.0; rank],
+                factors,
+            },
+            0,
+            0.0,
+        ))
+    }
 
-        let mut factors = self.initialize(tensor, &shape, rank)?;
+    fn run_sweeps(
+        &self,
+        tensor: &DenseTensor,
+        rank: usize,
+        mut factors: Vec<Matrix>,
+    ) -> Result<(CpDecomposition, usize, f64)> {
+        let order = tensor.order();
+        let norm = tensor.frobenius_norm();
         // Cached r × r Grams A_kᵀ A_k, refreshed whenever a factor is updated.
         let mut grams: Vec<Matrix> = factors.iter().map(|f| f.gram_t()).collect();
         let mut weights = vec![1.0; rank];
@@ -380,6 +460,72 @@ mod tests {
         });
         let cp = als.decompose(&t, 2).unwrap();
         assert!(cp.relative_error(&t) < 1e-4);
+    }
+
+    /// A planted rank-2 tensor plus deterministic low-amplitude noise, so ALS needs a
+    /// nontrivial number of sweeps to converge.
+    fn noisy_rank2() -> DenseTensor {
+        let (mut t, _) = planted_rank2();
+        let shape = t.shape().to_vec();
+        let mut idx = 0usize;
+        for i in 0..shape[0] {
+            for j in 0..shape[1] {
+                for k in 0..shape[2] {
+                    let noise = 0.05 * ((idx as f64 * 0.91).sin() + (idx as f64 * 0.37).cos());
+                    let v = t.get(&[i, j, k]) + noise;
+                    t.set(&[i, j, k], v);
+                    idx += 1;
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn warm_start_from_perturbed_solution_halves_sweeps() {
+        let t = noisy_rank2();
+        let als = CpAls::new(CpOptions {
+            hosvd_init: false,
+            max_iterations: 500,
+            seed: 11,
+            ..CpOptions::default()
+        });
+        let (cold, cold_iters, cold_err) = als.decompose_detailed(&t, 2).unwrap();
+        // Perturb the converged factors and restart warm: it must reach the cold
+        // objective in at most half the sweeps.
+        let mut init = cold.factors.clone();
+        for f in init.iter_mut() {
+            for i in 0..f.rows() {
+                for j in 0..f.cols() {
+                    f[(i, j)] += 1e-3 * ((i * 7 + j * 3) as f64).sin();
+                }
+            }
+        }
+        let (_, warm_iters, warm_err) = als.decompose_warm(&t, 2, &init).unwrap();
+        assert!(
+            warm_iters * 2 <= cold_iters,
+            "warm start took {warm_iters} sweeps, cold fit took {cold_iters}"
+        );
+        assert!(
+            warm_err <= cold_err * (1.0 + 1e-6) + 1e-9,
+            "warm error {warm_err} vs cold {cold_err}"
+        );
+    }
+
+    #[test]
+    fn warm_start_adapts_rank_and_validates_shapes() {
+        let (t, truth) = planted_rank2();
+        let als = CpAls::default();
+        // Rank grows: previous rank-1 factors are padded with random columns.
+        let rank1: Vec<Matrix> = truth.factors.iter().map(|f| f.leading_columns(1)).collect();
+        let (cp, _, err) = als.decompose_warm(&t, 2, &rank1).unwrap();
+        assert_eq!(cp.rank(), 2);
+        assert!(err < 1e-4, "relative error {err}");
+        // Wrong mode count or row dimension is rejected.
+        assert!(als.decompose_warm(&t, 2, &rank1[..2]).is_err());
+        let mut bad = rank1.clone();
+        bad[0] = Matrix::zeros(7, 1);
+        assert!(als.decompose_warm(&t, 2, &bad).is_err());
     }
 
     #[test]
