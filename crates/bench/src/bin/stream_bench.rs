@@ -216,6 +216,7 @@ fn main() {
         BatchConfig {
             max_batch: 32,
             max_wait: Duration::from_millis(1),
+            ..BatchConfig::default()
         },
     ));
     let svc = TrainerService::start(engine, &dir, TrainerConfig::watching("live", swap_spec));
@@ -230,6 +231,7 @@ fn main() {
     svc.submit_transform(
         "live",
         Arc::new(swap_views.clone()),
+        None,
         Box::new(move |r| drop(tx.send(r.map(|_| ())))),
     );
     rx.recv().unwrap().unwrap();

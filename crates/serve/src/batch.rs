@@ -45,7 +45,7 @@ use crate::{ModelStore, Result, ServeError};
 use linalg::{ColsView, Matrix};
 use mvcore::{InputKind, MultiViewModel, Output};
 use parallel::Pool;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -57,13 +57,22 @@ pub type ReplyCallback = Box<dyn FnOnce(Result<Matrix>) + Send + 'static>;
 /// Completion callback for an `outputs` request: the model's named candidates.
 pub type OutputsCallback = Box<dyn FnOnce(Result<Vec<NamedOutput>>) + Send + 'static>;
 
-/// Micro-batching knobs.
+/// Micro-batching and admission-control knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
     /// Maximum instances coalesced into one `transform` call.
     pub max_batch: usize,
     /// Maximum time a batch stays open waiting for more same-model requests.
     pub max_wait: Duration,
+    /// Total queued requests the engine admits before shedding with
+    /// [`ServeError::Overloaded`] (0 = unbounded). A full queue means the
+    /// execution pool is behind; admitting more work only grows latency for
+    /// answers nobody is still waiting on.
+    pub max_queue: usize,
+    /// Queued requests one model may hold before its *additional* requests are
+    /// shed (0 = unbounded). Bounds how far a single hot tenant can starve the
+    /// rest of the queue.
+    pub max_per_model: usize,
 }
 
 impl Default for BatchConfig {
@@ -71,6 +80,8 @@ impl Default for BatchConfig {
         Self {
             max_batch: 256,
             max_wait: Duration::from_millis(2),
+            max_queue: 4096,
+            max_per_model: 1024,
         }
     }
 }
@@ -94,6 +105,13 @@ pub struct EngineStats {
     /// verified against the stitch counter, so a model that falls back to the
     /// stitching default impl is never miscounted as zero-copy.
     pub zero_copy_batches: usize,
+    /// Requests shed at admission because the whole queue was full.
+    pub shed_queue_full: usize,
+    /// Requests shed at admission because their model hit its per-model cap.
+    pub shed_model_limit: usize,
+    /// Requests dropped (in-band, with [`ServeError::DeadlineExceeded`]) because
+    /// their deadline passed before execution.
+    pub deadline_dropped: usize,
 }
 
 impl EngineStats {
@@ -107,6 +125,9 @@ impl EngineStats {
             ("fallbacks".into(), self.fallbacks as u64),
             ("singleton_batches".into(), self.singleton_batches as u64),
             ("zero_copy_batches".into(), self.zero_copy_batches as u64),
+            ("shed_queue_full".into(), self.shed_queue_full as u64),
+            ("shed_model_limit".into(), self.shed_model_limit as u64),
+            ("deadline_dropped".into(), self.deadline_dropped as u64),
         ]
     }
 }
@@ -157,14 +178,60 @@ struct Pending {
     model: String,
     op: BatchOp,
     inputs: PendingInputs,
+    /// Point past which the answer is dead: the engine replies
+    /// [`ServeError::DeadlineExceeded`] instead of computing it.
+    deadline: Option<Instant>,
     reply: ReplyCallback,
+}
+
+impl Pending {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+/// The pending queue plus the per-model admission census. Both live under one
+/// mutex so a shed decision and the push it guards are atomic.
+#[derive(Default)]
+struct AdmissionQueue {
+    q: VecDeque<Pending>,
+    /// Queued request count per model name; entries are removed at zero so the
+    /// census cannot outgrow the set of currently queued models.
+    per_model: BTreeMap<String, usize>,
+}
+
+impl AdmissionQueue {
+    fn push(&mut self, p: Pending) {
+        *self.per_model.entry(p.model.clone()).or_insert(0) += 1;
+        self.q.push_back(p);
+    }
+
+    fn note_removed(&mut self, model: &str) {
+        if let Some(n) = self.per_model.get_mut(model) {
+            *n -= 1;
+            if *n == 0 {
+                self.per_model.remove(model);
+            }
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<Pending> {
+        let p = self.q.pop_front()?;
+        self.note_removed(&p.model);
+        Some(p)
+    }
+
+    fn drain_all(&mut self) -> Vec<Pending> {
+        self.per_model.clear();
+        self.q.drain(..).collect()
+    }
 }
 
 struct Shared {
     store: Arc<ModelStore>,
     config: BatchConfig,
     pool: Arc<Pool>,
-    queue: Mutex<VecDeque<Pending>>,
+    queue: Mutex<AdmissionQueue>,
     wake: Condvar,
     stop: AtomicBool,
     /// Behind its own `Arc` so pool jobs can record fallbacks after the dispatcher
@@ -194,10 +261,10 @@ impl BatchEngine {
             store,
             config: BatchConfig {
                 max_batch: config.max_batch.max(1),
-                max_wait: config.max_wait,
+                ..config
             },
             pool,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(AdmissionQueue::default()),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
             stats: Arc::new(Mutex::new(EngineStats::default())),
@@ -215,11 +282,32 @@ impl BatchEngine {
         }
     }
 
-    /// Enqueue an op, or fast-fail the callback without queueing.
-    fn enqueue(&self, model: &str, op: BatchOp, inputs: PendingInputs, reply: ReplyCallback) {
+    /// Enqueue an op, or fast-fail the callback without queueing. Admission
+    /// control happens here: a request that would overflow the queue (or its
+    /// model's share of it) is shed with [`ServeError::Overloaded`] *before* any
+    /// work is spent on it, and a request whose deadline already passed is
+    /// answered [`ServeError::DeadlineExceeded`] — in-band, never silently.
+    fn enqueue(
+        &self,
+        model: &str,
+        op: BatchOp,
+        inputs: PendingInputs,
+        deadline: Option<Instant>,
+        reply: ReplyCallback,
+    ) {
         // Resolve the name eagerly so unknown models fail fast with the catalog.
         if let Err(e) = self.shared.store.entry(model) {
             return reply(Err(e));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.shared
+                .stats
+                .lock()
+                .expect("engine stats lock")
+                .deadline_dropped += 1;
+            return reply(Err(ServeError::DeadlineExceeded(
+                "deadline passed before the request was admitted".into(),
+            )));
         }
         {
             let mut queue = self.shared.queue.lock().expect("engine queue lock");
@@ -232,10 +320,38 @@ impl BatchEngine {
                 drop(queue);
                 return reply(Err(ServeError::EngineStopped));
             }
-            queue.push_back(Pending {
+            let cfg = &self.shared.config;
+            if cfg.max_queue > 0 && queue.q.len() >= cfg.max_queue {
+                let depth = queue.q.len();
+                drop(queue);
+                self.shared
+                    .stats
+                    .lock()
+                    .expect("engine stats lock")
+                    .shed_queue_full += 1;
+                return reply(Err(ServeError::Overloaded(format!(
+                    "engine queue full ({depth} pending)"
+                ))));
+            }
+            if cfg.max_per_model > 0
+                && queue.per_model.get(model).copied().unwrap_or(0) >= cfg.max_per_model
+            {
+                let held = queue.per_model.get(model).copied().unwrap_or(0);
+                drop(queue);
+                self.shared
+                    .stats
+                    .lock()
+                    .expect("engine stats lock")
+                    .shed_model_limit += 1;
+                return reply(Err(ServeError::Overloaded(format!(
+                    "model {model:?} at its admission limit ({held} pending)"
+                ))));
+            }
+            queue.push(Pending {
                 model: model.to_string(),
                 op,
                 inputs,
+                deadline,
                 reply,
             });
             self.shared
@@ -251,12 +367,20 @@ impl BatchEngine {
     /// coalescing with concurrent requests for the same model. The callback runs
     /// when the result is ready — the submitting thread never blocks, which is what
     /// the event-loop server needs. The inputs are `Arc`-shared: the engine only
-    /// ever borrows them.
-    pub fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback) {
+    /// ever borrows them. A `deadline` bounds how long the answer stays worth
+    /// computing: work still queued past it is failed in-band instead of run.
+    pub fn submit_transform(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: ReplyCallback,
+    ) {
         self.enqueue(
             model,
             BatchOp::Transform,
             PendingInputs::Full(inputs),
+            deadline,
             reply,
         );
     }
@@ -271,12 +395,14 @@ impl BatchEngine {
         model: &str,
         which: usize,
         input: Arc<Matrix>,
+        deadline: Option<Instant>,
         reply: ReplyCallback,
     ) {
         self.enqueue(
             model,
             BatchOp::View(which),
             PendingInputs::View(input),
+            deadline,
             reply,
         );
     }
@@ -284,12 +410,28 @@ impl BatchEngine {
     /// Asynchronously compute all named candidate outputs. Multi-candidate requests
     /// are comparatively rare and heterogeneous, so they skip the micro-batcher and
     /// run directly on the pool.
-    pub fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback) {
+    pub fn submit_outputs(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: OutputsCallback,
+    ) {
         if self.shared.stop.load(Ordering::SeqCst) {
             return reply(Err(ServeError::EngineStopped));
         }
         if let Err(e) = self.shared.store.entry(model) {
             return reply(Err(e));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.shared
+                .stats
+                .lock()
+                .expect("engine stats lock")
+                .deadline_dropped += 1;
+            return reply(Err(ServeError::DeadlineExceeded(
+                "deadline passed before the request was admitted".into(),
+            )));
         }
         self.shared
             .stats
@@ -297,8 +439,17 @@ impl BatchEngine {
             .expect("engine stats lock")
             .requests += 1;
         let store = Arc::clone(&self.shared.store);
+        let stats = Arc::clone(&self.shared.stats);
         let model = model.to_string();
         self.shared.pool.spawn(move || {
+            // Re-check on the worker: the pool may have been backed up past the
+            // budget, and a dead answer is not worth the model call.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                stats.lock().expect("engine stats lock").deadline_dropped += 1;
+                return reply(Err(ServeError::DeadlineExceeded(
+                    "deadline passed while queued for execution".into(),
+                )));
+            }
             let result = store
                 .get(&model)
                 .and_then(|m| named_outputs(m.as_ref(), &inputs));
@@ -312,7 +463,12 @@ impl BatchEngine {
     /// there, and blocking a worker on its own queue can deadlock.)
     pub fn transform(&self, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_transform(model, Arc::new(inputs), Box::new(move |r| drop(tx.send(r))));
+        self.submit_transform(
+            model,
+            Arc::new(inputs),
+            None,
+            Box::new(move |r| drop(tx.send(r))),
+        );
         rx.recv().map_err(|_| ServeError::EngineStopped)?
     }
 
@@ -323,6 +479,7 @@ impl BatchEngine {
             model,
             which,
             Arc::new(input),
+            None,
             Box::new(move |r| drop(tx.send(r))),
         );
         rx.recv().map_err(|_| ServeError::EngineStopped)?
@@ -331,8 +488,18 @@ impl BatchEngine {
     /// Blocking counterpart of [`BatchEngine::submit_outputs`].
     pub fn outputs(&self, model: &str, inputs: Vec<Matrix>) -> Result<Vec<NamedOutput>> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_outputs(model, Arc::new(inputs), Box::new(move |r| drop(tx.send(r))));
+        self.submit_outputs(
+            model,
+            Arc::new(inputs),
+            None,
+            Box::new(move |r| drop(tx.send(r))),
+        );
         rx.recv().map_err(|_| ServeError::EngineStopped)?
+    }
+
+    /// Requests currently queued (admitted but not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("engine queue lock").q.len()
     }
 
     /// Stop accepting work and fail queued requests with
@@ -418,7 +585,7 @@ fn dispatch_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("engine queue lock");
             loop {
                 if shared.stop.load(Ordering::SeqCst) {
-                    let drained: Vec<Pending> = queue.drain(..).collect();
+                    let drained = queue.drain_all();
                     drop(queue);
                     for pending in drained {
                         (pending.reply)(Err(ServeError::EngineStopped));
@@ -431,6 +598,21 @@ fn dispatch_loop(shared: &Shared) {
                 queue = shared.wake.wait(queue).expect("engine queue lock");
             }
         };
+
+        // A request whose deadline passed while queued must not open a batch
+        // window (the window would make *later* requests late too). Answer it
+        // in-band and move on.
+        if first.expired(Instant::now()) {
+            shared
+                .stats
+                .lock()
+                .expect("engine stats lock")
+                .deadline_dropped += 1;
+            (first.reply)(Err(ServeError::DeadlineExceeded(
+                "deadline passed while queued for dispatch".into(),
+            )));
+            continue;
+        }
 
         // The batching axis comes from the header metadata alone — a *cold* model's
         // payload is deserialized inside the pool job below, never on the
@@ -454,11 +636,13 @@ fn dispatch_loop(shared: &Shared) {
             loop {
                 while instances < shared.config.max_batch {
                     let next = queue
+                        .q
                         .iter()
                         .position(|p| p.model == batch[0].model && p.op == batch[0].op)
-                        .and_then(|i| queue.remove(i));
+                        .and_then(|i| queue.q.remove(i));
                     match next {
                         Some(p) => {
+                            queue.note_removed(&p.model);
                             instances += request_instances(kind, &p.inputs);
                             batch.push(p);
                         }
@@ -520,6 +704,23 @@ fn execute_batch(
     batch: Vec<Pending>,
     stats: &Arc<Mutex<EngineStats>>,
 ) {
+    // Deadlines are re-checked at execution: the pool may be backed up, and a
+    // batch member whose budget ran out while waiting gets an in-band
+    // DeadlineExceeded instead of a dead answer (its neighbours still run).
+    let now = Instant::now();
+    let (batch, expired): (Vec<Pending>, Vec<Pending>) =
+        batch.into_iter().partition(|p| !p.expired(now));
+    if !expired.is_empty() {
+        stats.lock().expect("engine stats lock").deadline_dropped += expired.len();
+        for pending in expired {
+            (pending.reply)(Err(ServeError::DeadlineExceeded(
+                "deadline passed while queued for execution".into(),
+            )));
+        }
+    }
+    if batch.is_empty() {
+        return;
+    }
     let model: Arc<dyn MultiViewModel> = match store.get(&batch[0].model) {
         Ok(m) => m,
         Err(e) => {
@@ -730,8 +931,33 @@ mod tests {
             BatchConfig {
                 max_batch: 64,
                 max_wait: Duration::from_millis(20),
+                ..BatchConfig::default()
             },
         )
+    }
+
+    /// Two fast PCA models behind one engine with the given admission config.
+    fn two_model_engine(config: BatchConfig) -> (BatchEngine, Vec<Matrix>) {
+        let views = fixture_views();
+        let registry = EstimatorRegistry::with_builtin();
+        let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+        for name in ["a", "b"] {
+            let model = registry
+                .fit("PCA", &views, &FitSpec::with_rank(2).seed(2))
+                .unwrap();
+            store.insert(name, model);
+        }
+        (BatchEngine::start(store, config), views)
+    }
+
+    /// Wait until the dispatcher has drained the queue (popped everything into
+    /// an open batch window or onto the pool).
+    fn wait_queue_empty(engine: &BatchEngine) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.queue_depth() > 0 {
+            assert!(Instant::now() < deadline, "queue never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     #[test]
@@ -890,5 +1116,159 @@ mod tests {
         let engine = BatchEngine::start(store, BatchConfig::default());
         let err = engine.transform("cat", views).map(|_| ()).unwrap_err();
         assert!(matches!(err, ServeError::UnknownModel { .. }));
+    }
+
+    #[test]
+    fn per_model_cap_sheds_the_hot_tenant_in_band() {
+        // A long batch window for model "a" holds the dispatcher while "b"
+        // requests pile up in the queue; the per-model cap bounds the pile.
+        let (engine, views) = two_model_engine(BatchConfig {
+            max_batch: 10_000,
+            max_wait: Duration::from_millis(400),
+            max_queue: 0,
+            max_per_model: 2,
+        });
+        let inputs = Arc::new(views.clone());
+        let (tx, rx) = std::sync::mpsc::channel();
+        let submit = |model: &str| {
+            let tx = tx.clone();
+            engine.submit_transform(
+                model,
+                Arc::clone(&inputs),
+                None,
+                Box::new(move |r| drop(tx.send(r))),
+            );
+        };
+        submit("a"); // opens the window
+        for _ in 0..5 {
+            submit("b"); // 2 admitted, 3 shed
+        }
+        drop(tx);
+        let results: Vec<_> = rx.iter().collect();
+        assert_eq!(results.len(), 6, "every request must get exactly one reply");
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(ServeError::Overloaded(_))))
+            .count();
+        assert_eq!(
+            (ok, shed),
+            (3, 3),
+            "sheds must be typed, not generic errors"
+        );
+        assert_eq!(engine.stats().shed_model_limit, 3);
+        assert_eq!(engine.stats().shed_queue_full, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_in_band() {
+        let (engine, views) = two_model_engine(BatchConfig {
+            max_batch: 10_000,
+            max_wait: Duration::from_millis(400),
+            max_queue: 3,
+            max_per_model: 0,
+        });
+        let inputs = Arc::new(views.clone());
+        let (tx, rx) = std::sync::mpsc::channel();
+        let submit = |model: &str| {
+            let tx = tx.clone();
+            engine.submit_transform(
+                model,
+                Arc::clone(&inputs),
+                None,
+                Box::new(move |r| drop(tx.send(r))),
+            );
+        };
+        submit("a");
+        wait_queue_empty(&engine); // "a" popped: its batch window is open
+        for _ in 0..5 {
+            submit("b"); // 3 fill the queue, 2 shed
+        }
+        drop(tx);
+        let results: Vec<_> = rx.iter().collect();
+        assert_eq!(results.len(), 6);
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(ServeError::Overloaded(_))))
+            .count();
+        assert_eq!((ok, shed), (4, 2));
+        assert_eq!(engine.stats().shed_queue_full, 2);
+    }
+
+    #[test]
+    fn expired_deadlines_are_failed_in_band_never_computed() {
+        let (engine, views) = two_model_engine(BatchConfig::default());
+        let inputs = Arc::new(views.clone());
+
+        // Already expired at submission: rejected synchronously.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        engine.submit_transform(
+            "a",
+            Arc::clone(&inputs),
+            Some(Instant::now()),
+            Box::new(move |r| drop(tx.send(r))),
+        );
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Err(ServeError::DeadlineExceeded(_))
+        ));
+
+        // Same for the outputs path.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        engine.submit_outputs(
+            "a",
+            Arc::clone(&inputs),
+            Some(Instant::now()),
+            Box::new(move |r| drop(tx.send(r))),
+        );
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Err(ServeError::DeadlineExceeded(_))
+        ));
+        assert_eq!(engine.stats().deadline_dropped, 2);
+
+        // A generous deadline still computes normally.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        engine.submit_transform(
+            "a",
+            Arc::clone(&inputs),
+            Some(Instant::now() + Duration::from_secs(30)),
+            Box::new(move |r| drop(tx.send(r))),
+        );
+        assert!(rx.recv().unwrap().is_ok());
+    }
+
+    #[test]
+    fn deadline_expiring_in_queue_is_dropped_at_dispatch() {
+        // "a" holds the dispatcher's batch window open longer than "b"'s
+        // budget; when "b" is finally popped its deadline has passed.
+        let (engine, views) = two_model_engine(BatchConfig {
+            max_batch: 10_000,
+            max_wait: Duration::from_millis(300),
+            ..BatchConfig::default()
+        });
+        let inputs = Arc::new(views.clone());
+        let (tx_a, rx_a) = std::sync::mpsc::sync_channel(1);
+        engine.submit_transform(
+            "a",
+            Arc::clone(&inputs),
+            None,
+            Box::new(move |r| drop(tx_a.send(r))),
+        );
+        wait_queue_empty(&engine);
+        let (tx_b, rx_b) = std::sync::mpsc::sync_channel(1);
+        engine.submit_transform(
+            "b",
+            Arc::clone(&inputs),
+            Some(Instant::now() + Duration::from_millis(30)),
+            Box::new(move |r| drop(tx_b.send(r))),
+        );
+        assert!(rx_a.recv().unwrap().is_ok(), "the window holder succeeds");
+        assert!(matches!(
+            rx_b.recv().unwrap(),
+            Err(ServeError::DeadlineExceeded(_))
+        ));
+        assert!(engine.stats().deadline_dropped >= 1);
     }
 }

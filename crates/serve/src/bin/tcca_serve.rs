@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! tcca_serve serve   --models DIR [--addr HOST:PORT] [--max-batch N] [--max-wait-ms M]
+//!                    [--max-queue N] [--max-per-model N]
 //!                    [--rescan-ms MS] [--payload-budget-mb MB]
 //!                    [--train MODEL] [--train-interval-ms MS] [--train-reservoir N]
 //!                    [--train-rank R] [--train-seed S] [--train-history true]
 //! tcca_serve route   [--models DIR --shards N] [--shard ADDR ...] [--addr HOST:PORT]
 //!                    [--replication R] [--max-batch N] [--max-wait-ms M]
+//!                    [--max-queue N] [--max-per-model N]
 //! tcca_serve bench   [--clients N] [--requests N] [--shards N] [--models N] [--out FILE]
+//! tcca_serve soak    [--seed S] [--clients N] [--models N] [--shards N] [--phase-ms MS]
+//!                    [--deadline-ms MS] [--max-queue N] [--max-per-model N]
+//!                    [--assert true] [--out FILE]
 //! tcca_serve embed   --model FILE --view CSV [--view CSV ...] [--out FILE]
 //! tcca_serve inspect --model FILE
 //! tcca_serve stats   --addr HOST:PORT [--refit true]
@@ -29,6 +34,15 @@
 //! * `bench` measures loopback throughput: a single-process server vs a local
 //!   `--shards`-way router under the same many-client small-request workload, plus
 //!   the batched `transform_view` path vs full `transform`. Emits JSON.
+//! * `soak` runs the seeded chaos harness (`serve::soak`): a sharded tier under
+//!   Zipf/bursty traffic with a mid-run shard crash, injected link faults, rescan
+//!   churn and eviction pressure. Emits JSON (phase metrics + counters + the fault
+//!   seed for replay); `--assert true` exits non-zero if the overload contract was
+//!   violated (any front-connection hang, transport error or protocol violation,
+//!   or recovery below 90% of the pre-chaos baseline).
+//! * `--max-queue` / `--max-per-model` bound each engine's admission queue; work
+//!   beyond a bound is shed with an in-band `Overloaded` reply instead of queuing
+//!   without limit (0 = unbounded).
 //! * `embed` is the one-shot offline mode: load one model file, read one CSV per
 //!   view (rows = features, columns = instances, matching the `d × N` layout), and
 //!   write the `N × dim` embedding as CSV to `--out` (default stdout).
@@ -61,6 +75,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("soak") => cmd_soak(&args[1..]),
         Some("embed") => cmd_embed(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -82,16 +97,33 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   tcca_serve serve   --models DIR [--addr HOST:PORT] [--max-batch N] [--max-wait-ms M]
+                     [--max-queue N] [--max-per-model N]
                      [--rescan-ms MS] [--payload-budget-mb MB]
                      [--train MODEL] [--train-interval-ms MS] [--train-reservoir N]
                      [--train-rank R] [--train-seed S] [--train-history true]
   tcca_serve route   [--models DIR --shards N] [--shard ADDR ...] [--addr HOST:PORT]
                      [--replication R] [--max-batch N] [--max-wait-ms M]
+                     [--max-queue N] [--max-per-model N]
   tcca_serve bench   [--clients N] [--requests N] [--shards N] [--models N] [--out FILE]
+  tcca_serve soak    [--seed S] [--clients N] [--models N] [--shards N] [--phase-ms MS]
+                     [--deadline-ms MS] [--max-queue N] [--max-per-model N]
+                     [--assert true] [--out FILE]
   tcca_serve embed   --model FILE --view CSV [--view CSV ...] [--out FILE]
   tcca_serve inspect --model FILE
   tcca_serve stats   --addr HOST:PORT [--refit true]
   tcca_serve demo    --out DIR [--method NAME] [--instances N] [--rank R]";
+
+/// Parse the shared `--max-batch/--max-wait-ms/--max-queue/--max-per-model`
+/// engine flags on top of the defaults.
+fn batch_flags(flags: &Flags) -> Result<BatchConfig, String> {
+    let defaults = BatchConfig::default();
+    Ok(BatchConfig {
+        max_batch: flags.parsed("max-batch", defaults.max_batch)?,
+        max_wait: Duration::from_millis(flags.parsed("max-wait-ms", 2u64)?),
+        max_queue: flags.parsed("max-queue", defaults.max_queue)?,
+        max_per_model: flags.parsed("max-per-model", defaults.max_per_model)?,
+    })
+}
 
 /// Minimal `--flag value` parser; repeated flags accumulate.
 struct Flags {
@@ -150,10 +182,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let dir = flags.require("models")?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
-    let config = BatchConfig {
-        max_batch: flags.parsed("max-batch", BatchConfig::default().max_batch)?,
-        max_wait: Duration::from_millis(flags.parsed("max-wait-ms", 2u64)?),
-    };
+    let config = batch_flags(&flags)?;
     let rescan_ms: u64 = flags.parsed("rescan-ms", 0)?;
     let budget_mb: u64 = flags.parsed("payload-budget-mb", 0)?;
     let store = Arc::new(
@@ -214,10 +243,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 fn cmd_route(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7879");
-    let batch = BatchConfig {
-        max_batch: flags.parsed("max-batch", BatchConfig::default().max_batch)?,
-        max_wait: Duration::from_millis(flags.parsed("max-wait-ms", 2u64)?),
-    };
+    let batch = batch_flags(&flags)?;
     let config = RouterConfig {
         replication: flags.parsed("replication", RouterConfig::default().replication)?,
         ..RouterConfig::default()
@@ -363,6 +389,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let batch = BatchConfig {
         max_batch: 256,
         max_wait: Duration::from_millis(max_wait_ms),
+        ..BatchConfig::default()
     };
 
     // Baseline: the single-process server (one engine, one dispatcher).
@@ -476,6 +503,53 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         None => println!("{json}"),
     }
     let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+fn cmd_soak(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let defaults = serve::soak::SoakConfig::default();
+    let config = serve::soak::SoakConfig {
+        seed: flags.parsed("seed", defaults.seed)?,
+        models: flags.parsed("models", defaults.models)?,
+        clients: flags.parsed("clients", defaults.clients)?,
+        phase: Duration::from_millis(flags.parsed("phase-ms", defaults.phase.as_millis() as u64)?),
+        deadline_ms: flags.parsed("deadline-ms", defaults.deadline_ms)?,
+        max_queue: flags.parsed("max-queue", defaults.max_queue)?,
+        max_per_model: flags.parsed("max-per-model", defaults.max_per_model)?,
+        local_shards: flags.parsed("shards", defaults.local_shards)?,
+    };
+    let report = serve::soak::run_soak(&config)?;
+    let json = report.to_json();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).map_err(|e| format!("writing {path}: {e}"))?
+        }
+        None => println!("{json}"),
+    }
+    for phase in &report.phases {
+        eprintln!(
+            "{}: {} req, {} ok, {} overloaded, {} deadline, {:.0} rps, p99 {}us",
+            phase.name,
+            phase.requests,
+            phase.ok,
+            phase.overloaded,
+            phase.deadline_exceeded,
+            phase.rps,
+            phase.p99_us
+        );
+    }
+    let violations = report.violations();
+    if flags.get("assert").map(str::parse) == Some(Ok(true)) && !violations.is_empty() {
+        return Err(format!(
+            "overload contract violated (seed {}):\n  {}",
+            report.seed,
+            violations.join("\n  ")
+        ));
+    }
+    for v in &violations {
+        eprintln!("tcca_serve: soak violation: {v}");
+    }
     Ok(())
 }
 

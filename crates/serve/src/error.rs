@@ -24,6 +24,54 @@ pub enum ServeError {
     EngineStopped,
     /// Every shard that could serve the request is dead.
     NoLiveShards,
+    /// Admission control shed the request: a queue or in-flight cap was hit.
+    /// The work was rejected *before* any computation — retrying elsewhere (or
+    /// later) is safe and encouraged.
+    Overloaded(String),
+    /// The request's deadline passed before the work ran; the answer would have
+    /// been dead on arrival, so it was never computed.
+    DeadlineExceeded(String),
+}
+
+/// How a failed request should be treated by a retrying caller (the router, or
+/// any client wrapping the serving tier). Derived from [`ServeError::class`] so
+/// every layer agrees on one taxonomy instead of ad-hoc `matches!` lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The transport or peer process failed (I/O error, protocol violation,
+    /// engine shut down). The request may never have been seen: fail the shard
+    /// over and retry elsewhere, and mark the source unhealthy.
+    Transport,
+    /// The peer is healthy but shed the request under load. Retry elsewhere
+    /// (subject to the retry budget) but do **not** mark the source dead —
+    /// overload is not failure.
+    Overload,
+    /// Retrying cannot help: the request itself is bad (unknown model,
+    /// malformed input), the deadline already passed, or every alternative is
+    /// exhausted. Fail fast to the caller.
+    Terminal,
+}
+
+impl ServeError {
+    /// Classify this error for retry/failover decisions.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ServeError::Io(_) | ServeError::Protocol(_) | ServeError::EngineStopped => {
+                ErrorClass::Transport
+            }
+            ServeError::Overloaded(_) => ErrorClass::Overload,
+            ServeError::UnknownModel { .. }
+            | ServeError::Core(_)
+            | ServeError::Remote(_)
+            | ServeError::NoLiveShards
+            | ServeError::DeadlineExceeded(_) => ErrorClass::Terminal,
+        }
+    }
+
+    /// Whether a retry (on another shard, or after a backoff) could succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.class() != ErrorClass::Terminal
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -38,6 +86,8 @@ impl fmt::Display for ServeError {
             ServeError::Remote(msg) => write!(f, "server error: {msg}"),
             ServeError::EngineStopped => write!(f, "batch engine stopped"),
             ServeError::NoLiveShards => write!(f, "no live shard can serve the request"),
+            ServeError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            ServeError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }
@@ -79,5 +129,41 @@ mod tests {
         assert!(ServeError::EngineStopped.to_string().contains("stopped"));
         let e: ServeError = mvcore::CoreError::InvalidInput("x".into()).into();
         assert!(e.to_string().contains("x"));
+        assert!(ServeError::Overloaded("q full".into())
+            .to_string()
+            .contains("overloaded"));
+        assert!(ServeError::DeadlineExceeded("late".into())
+            .to_string()
+            .contains("deadline"));
+    }
+
+    #[test]
+    fn taxonomy_splits_retryable_from_terminal() {
+        use std::io;
+        let transport = [
+            ServeError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "rst")),
+            ServeError::Protocol("junk".into()),
+            ServeError::EngineStopped,
+        ];
+        for e in transport {
+            assert_eq!(e.class(), ErrorClass::Transport, "{e}");
+            assert!(e.is_retryable());
+        }
+        let overload = ServeError::Overloaded("queue full".into());
+        assert_eq!(overload.class(), ErrorClass::Overload);
+        assert!(overload.is_retryable());
+        let terminal = [
+            ServeError::UnknownModel {
+                name: "m".into(),
+                known: vec![],
+            },
+            ServeError::Remote("bad input".into()),
+            ServeError::NoLiveShards,
+            ServeError::DeadlineExceeded("late".into()),
+        ];
+        for e in terminal {
+            assert_eq!(e.class(), ErrorClass::Terminal, "{e}");
+            assert!(!e.is_retryable());
+        }
     }
 }

@@ -1,0 +1,325 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! Every distributed-failure path in this crate — connect refusal, a peer that
+//! stalls mid-read, a truncated frame, a reply that arrives late — can be
+//! triggered here *in-process* and *reproducibly*, without SIGKILL races or
+//! real packet loss. A [`FaultPlan`] names a seed and per-site firing rates
+//! (in permille); each decision hashes `seed ⊕ site ⊕ sequence-counter`
+//! through SplitMix64, so the same plan produces the same fault sequence on
+//! every run. The soak harness records the seed in its report, making any
+//! chaos run replayable bit-for-bit at the decision level.
+//!
+//! The layer is **zero-cost when off**: the only always-on work is one relaxed
+//! atomic load ([`active`]). Plans are installed programmatically
+//! ([`install`]/[`clear`]) or from the `TCCA_FAULTS` environment variable, a
+//! comma-separated `key=value` list:
+//!
+//! ```text
+//! TCCA_FAULTS=seed=42,port=9201,connect_refuse=50,read_delay=100,read_delay_ms=20,write_trunc=10
+//! ```
+//!
+//! `port` scopes the plan to connections whose peer listens on that port
+//! (e.g. fault only the router→shard link while the client→router link stays
+//! clean); omit it to target every [`crate::Client`] connection in the
+//! process.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Where in the request path a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// `Client::connect` fails with `ConnectionRefused` without dialing.
+    ConnectRefuse,
+    /// A read stalls for the plan's `read_delay_ms` before proceeding.
+    ReadDelay,
+    /// A frame write emits a truncated header then fails — the peer sees a
+    /// length prefix whose payload never arrives.
+    WriteTrunc,
+    /// A write stalls for the plan's `write_delay_ms` before proceeding.
+    WriteDelay,
+}
+
+impl Site {
+    fn salt(self) -> u64 {
+        match self {
+            Site::ConnectRefuse => 0x1000_0000_0000_0001,
+            Site::ReadDelay => 0x2000_0000_0000_0002,
+            Site::WriteTrunc => 0x3000_0000_0000_0003,
+            Site::WriteDelay => 0x4000_0000_0000_0004,
+        }
+    }
+}
+
+/// A seeded fault schedule. Rates are permille (`0..=1000`): `50` fires on
+/// ~5% of decisions at that site, deterministically in sequence.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the decision hash; recorded by harnesses for replay.
+    pub seed: u64,
+    /// Restrict injection to connections whose peer port matches; `None`
+    /// faults every client connection in the process.
+    pub target_port: Option<u16>,
+    /// Permille of connects that fail with `ConnectionRefused`.
+    pub connect_refuse: u16,
+    /// Permille of reads delayed by [`FaultPlan::read_delay_ms`].
+    pub read_delay: u16,
+    /// Stall applied when a read-delay fault fires.
+    pub read_delay_ms: u64,
+    /// Permille of frame writes truncated mid-header.
+    pub write_trunc: u16,
+    /// Permille of writes delayed by [`FaultPlan::write_delay_ms`].
+    pub write_delay: u16,
+    /// Stall applied when a write-delay fault fires.
+    pub write_delay_ms: u64,
+}
+
+impl FaultPlan {
+    /// Parse the `TCCA_FAULTS` `key=value,key=value` format.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec {pair:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let parse = |what: &str| -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad {what} value {value:?} in fault spec"))
+            };
+            match key {
+                "seed" => plan.seed = parse("seed")?,
+                "port" => plan.target_port = Some(parse("port")? as u16),
+                "connect_refuse" => plan.connect_refuse = parse("connect_refuse")? as u16,
+                "read_delay" => plan.read_delay = parse("read_delay")? as u16,
+                "read_delay_ms" => plan.read_delay_ms = parse("read_delay_ms")?,
+                "write_trunc" => plan.write_trunc = parse("write_trunc")? as u16,
+                "write_delay" => plan.write_delay = parse("write_delay")? as u16,
+                "write_delay_ms" => plan.write_delay_ms = parse("write_delay_ms")?,
+                _ => return Err(format!("unknown fault spec key {key:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    fn rate(&self, site: Site) -> u16 {
+        match site {
+            Site::ConnectRefuse => self.connect_refuse,
+            Site::ReadDelay => self.read_delay,
+            Site::WriteTrunc => self.write_trunc,
+            Site::WriteDelay => self.write_delay,
+        }
+    }
+}
+
+struct Layer {
+    active: AtomicBool,
+    counter: AtomicU64,
+    plan: Mutex<Option<FaultPlan>>,
+}
+
+fn layer() -> &'static Layer {
+    static LAYER: OnceLock<Layer> = OnceLock::new();
+    LAYER.get_or_init(|| {
+        let plan = std::env::var("TCCA_FAULTS")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .and_then(|spec| match FaultPlan::parse(&spec) {
+                Ok(plan) => Some(plan),
+                Err(e) => {
+                    eprintln!("ignoring TCCA_FAULTS: {e}");
+                    None
+                }
+            });
+        Layer {
+            active: AtomicBool::new(plan.is_some()),
+            counter: AtomicU64::new(0),
+            plan: Mutex::new(plan),
+        }
+    })
+}
+
+/// Whether any fault plan is installed. One relaxed load — this is the entire
+/// cost of the layer on the happy path.
+#[inline]
+pub fn active() -> bool {
+    layer().active.load(Ordering::Relaxed)
+}
+
+/// Install a plan, replacing any previous one and resetting the decision
+/// sequence (so an install is a reproducibility boundary).
+pub fn install(plan: FaultPlan) {
+    let l = layer();
+    *l.plan.lock().expect("fault plan lock") = Some(plan);
+    l.counter.store(0, Ordering::Relaxed);
+    l.active.store(true, Ordering::Relaxed);
+}
+
+/// Remove the installed plan; all sites stop firing.
+pub fn clear() {
+    let l = layer();
+    l.active.store(false, Ordering::Relaxed);
+    *l.plan.lock().expect("fault plan lock") = None;
+}
+
+/// Whether connections to `port` are in the installed plan's blast radius.
+pub fn targets_port(port: u16) -> bool {
+    if !active() {
+        return false;
+    }
+    match &*layer().plan.lock().expect("fault plan lock") {
+        Some(plan) => plan.target_port.is_none_or(|p| p == port),
+        None => false,
+    }
+}
+
+/// The decision hash — also reused by the router's deterministic retry jitter.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Decide whether the next fault at `site` fires, advancing the deterministic
+/// decision sequence. Returns the configured delay for delay sites (zero for
+/// refuse/truncate sites). `None` means no fault.
+pub fn fires(site: Site) -> Option<Duration> {
+    if !active() {
+        return None;
+    }
+    let l = layer();
+    let guard = l.plan.lock().expect("fault plan lock");
+    let plan = guard.as_ref()?;
+    let rate = plan.rate(site);
+    if rate == 0 {
+        return None;
+    }
+    let n = l.counter.fetch_add(1, Ordering::Relaxed);
+    let roll = splitmix64(plan.seed ^ site.salt() ^ n) % 1000;
+    if roll >= u64::from(rate) {
+        return None;
+    }
+    Some(match site {
+        Site::ReadDelay => Duration::from_millis(plan.read_delay_ms),
+        Site::WriteDelay => Duration::from_millis(plan.write_delay_ms),
+        Site::ConnectRefuse | Site::WriteTrunc => Duration::ZERO,
+    })
+}
+
+/// The injected-connect-refusal error, distinguishable in logs from a real one.
+pub fn refusal() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::ConnectionRefused,
+        "injected connect refusal (fault layer)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The layer is process-global and other tests in this crate open real
+    // client connections; serialize these tests and scope every installed plan
+    // to port 1 (nothing real listens there) so concurrent tests are never in
+    // the blast radius.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn decisions(plan: &FaultPlan, n: usize) -> Vec<bool> {
+        install(plan.clone());
+        let out = (0..n).map(|_| fires(Site::WriteTrunc).is_some()).collect();
+        clear();
+        out
+    }
+
+    #[test]
+    fn same_seed_same_sequence_different_seed_differs() {
+        let _g = test_lock();
+        let plan = FaultPlan {
+            seed: 42,
+            target_port: Some(1),
+            write_trunc: 300,
+            ..FaultPlan::default()
+        };
+        let a = decisions(&plan, 256);
+        let b = decisions(&plan, 256);
+        assert_eq!(a, b, "same seed must replay the same fault sequence");
+        assert!(a.iter().any(|&f| f), "a 30% rate must fire in 256 draws");
+        assert!(!a.iter().all(|&f| f), "a 30% rate must not always fire");
+        let other = decisions(
+            &FaultPlan {
+                seed: 43,
+                ..plan.clone()
+            },
+            256,
+        );
+        assert_ne!(a, other, "different seeds must diverge");
+    }
+
+    #[test]
+    fn rate_is_roughly_honoured() {
+        let _g = test_lock();
+        let plan = FaultPlan {
+            seed: 7,
+            target_port: Some(1),
+            write_trunc: 100,
+            ..FaultPlan::default()
+        };
+        let hits = decisions(&plan, 2000).iter().filter(|&&f| f).count();
+        // 10% of 2000 = 200 expected; accept a generous band.
+        assert!((100..=320).contains(&hits), "hits {hits} far from 10%");
+    }
+
+    #[test]
+    fn inactive_layer_never_fires_and_is_cheap() {
+        let _g = test_lock();
+        clear();
+        assert!(!active());
+        assert!(fires(Site::ConnectRefuse).is_none());
+        assert!(!targets_port(80));
+    }
+
+    #[test]
+    fn parse_round_trips_the_env_format() {
+        let plan = FaultPlan::parse(
+            "seed=9,port=1234,connect_refuse=50,read_delay=100,read_delay_ms=20,\
+             write_trunc=10,write_delay=5,write_delay_ms=3",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.target_port, Some(1234));
+        assert_eq!(plan.connect_refuse, 50);
+        assert_eq!(plan.read_delay, 100);
+        assert_eq!(plan.read_delay_ms, 20);
+        assert_eq!(plan.write_trunc, 10);
+        assert_eq!(plan.write_delay, 5);
+        assert_eq!(plan.write_delay_ms, 3);
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        assert!(FaultPlan::parse("unknown=1").is_err());
+    }
+
+    #[test]
+    fn port_scoping_limits_the_blast_radius() {
+        let _g = test_lock();
+        install(FaultPlan {
+            target_port: Some(1),
+            connect_refuse: 1000,
+            ..FaultPlan::default()
+        });
+        assert!(targets_port(1));
+        assert!(!targets_port(2));
+        clear();
+        // No target port: every connection is in scope (rates all zero, so a
+        // concurrent connect elsewhere in the test process still sees no
+        // injected faults during this window).
+        install(FaultPlan::default());
+        assert!(targets_port(9201) && targets_port(1));
+        clear();
+    }
+}

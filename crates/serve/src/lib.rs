@@ -20,8 +20,18 @@
 //!   mid-request failover when a shard dies.
 //! * [`Server`] / [`Client`] — a poll(2)-based event-loop TCP server speaking the
 //!   length-prefixed frame protocol (see [`wire`]; v2 adds tagged request ids for
-//!   pipelined, out-of-order replies) plus the `tcca_serve` binary, which also
-//!   offers one-shot CLI modes for offline embedding and routing.
+//!   pipelined, out-of-order replies, v4 adds wire deadlines and in-band overload
+//!   verdicts) plus the `tcca_serve` binary, which also offers one-shot CLI modes
+//!   for offline embedding and routing.
+//!
+//! The stack protects itself under overload rather than degrading silently:
+//! bounded admission queues shed excess work with in-band
+//! [`ServeError::Overloaded`] verdicts (never a dropped connection), request
+//! deadlines propagate down to the engine and across shard hops so dead work is
+//! discarded instead of computed, the router's failover pays from per-shard
+//! retry budgets with jittered exponential backoff, and a deterministic fault
+//! layer ([`faults`]) plus the `tcca_serve soak` chaos harness prove the whole
+//! thing under seeded, replayable failure schedules.
 //!
 //! ```no_run
 //! use mvcore::EstimatorRegistry;
@@ -42,18 +52,21 @@
 mod batch;
 mod client;
 mod error;
+pub mod faults;
 mod router;
 mod server;
 mod service;
+pub mod soak;
 mod store;
 mod trainer;
 pub mod wire;
 
 pub use batch::{BatchConfig, BatchEngine, EngineStats, OutputsCallback, ReplyCallback};
 pub use client::Client;
-pub use error::ServeError;
+pub use error::{ErrorClass, ServeError};
+pub use faults::{FaultPlan, Site};
 pub use router::{Router, RouterBuilder, RouterConfig, RouterStats, Shard};
-pub use server::Server;
+pub use server::{Server, ServerTuning};
 pub use service::TransformService;
 pub use store::{ModelStore, StoredModel, MODEL_EXTENSION};
 pub use trainer::{TrainerConfig, TrainerService};

@@ -19,26 +19,34 @@
 //! what a shard stops seeing). Adding or removing a shard only remaps the models
 //! whose top-scoring shard changed — no global reshuffle.
 //!
-//! ## Failover
+//! ## Failover, retry budgets and deadlines
 //!
-//! A transport-level failure (dead socket, stopped engine, protocol corruption)
-//! marks the shard dead and **re-submits the request** to the next candidate: the
-//! rest of the replica set first, then every remaining live shard. In-band request
-//! errors (unknown model, shape mismatch) are *not* retried — they would fail
-//! identically everywhere. The caller only sees an error when every live shard has
-//! been exhausted.
+//! Failover policy is driven by the error taxonomy ([`crate::ErrorClass`]): a
+//! **transport** failure (dead socket, stopped engine, protocol corruption)
+//! marks the shard dead and re-submits the request to the next candidate; an
+//! **overload** verdict fails over *without* marking the shard dead (it is
+//! healthy, just full); **terminal** errors (unknown model, shape mismatch,
+//! deadline exceeded) are never retried — they would fail identically
+//! everywhere. Retries pay from a per-shard **retry budget** (a token bucket
+//! refilled by successes), so a stack-wide outage degrades into fast failures
+//! instead of a retry storm, and each retry waits out an exponential backoff
+//! with seeded deterministic jitter. A request carrying a deadline is dropped
+//! the moment it expires, and the *remaining* budget is re-encoded onto the
+//! wire for remote shards.
 
 use crate::batch::{OutputsCallback, ReplyCallback};
+use crate::faults::splitmix64;
 use crate::service::{store_catalog, TransformService};
 use crate::wire::{ModelInfo, NamedOutput, RescanReport};
-use crate::{BatchConfig, BatchEngine, Client, ModelStore, Result, ServeError};
+use crate::{BatchConfig, BatchEngine, Client, ErrorClass, ModelStore, Result, ServeError};
 use linalg::Matrix;
 use mvcore::EstimatorRegistry;
 use parallel::Pool;
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Router knobs.
 #[derive(Debug, Clone, Copy)]
@@ -50,13 +58,28 @@ pub struct RouterConfig {
     /// Deadline on remote-shard connects, reads and writes. A shard that hangs
     /// (rather than erroring) surfaces as an I/O failure after this long and
     /// fails over, instead of wedging an I/O worker forever. Generous by default:
-    /// it must exceed the slowest legitimate batched transform.
+    /// it must exceed the slowest legitimate batched transform. A request-level
+    /// deadline shortens individual attempts below this.
     pub remote_timeout: std::time::Duration,
     /// How often a background probe re-dials shards marked dead. A remote shard
     /// that answers a fresh connect + ping (a restarted child process), or a local
     /// shard whose engine is still running (a failover false positive), returns to
     /// rotation. `Duration::ZERO` disables the probe thread.
     pub probe_interval: std::time::Duration,
+    /// Base delay before the first retry; attempt `k` waits up to
+    /// `retry_base * 2^k` (capped by [`RouterConfig::retry_max`]), jittered
+    /// down to at least half. `Duration::ZERO` retries immediately.
+    pub retry_base: std::time::Duration,
+    /// Cap on any single retry backoff.
+    pub retry_max: std::time::Duration,
+    /// Seed for the deterministic backoff jitter — a seeded run replays the
+    /// same jitter sequence.
+    pub retry_seed: u64,
+    /// Per-shard retry budget: a bucket that starts with this many retries and
+    /// earns back one retry per eight successes, so retries stay a bounded
+    /// fraction of real traffic under sustained failure. `0` disables the
+    /// budget (every failover may retry).
+    pub retry_budget: u32,
 }
 
 impl Default for RouterConfig {
@@ -66,6 +89,10 @@ impl Default for RouterConfig {
             connections_per_shard: 4,
             remote_timeout: std::time::Duration::from_secs(30),
             probe_interval: std::time::Duration::from_secs(1),
+            retry_base: std::time::Duration::from_millis(10),
+            retry_max: std::time::Duration::from_millis(500),
+            retry_seed: 0,
+            retry_budget: 16,
         }
     }
 }
@@ -79,6 +106,58 @@ pub struct RouterStats {
     pub failovers: usize,
     /// Dead shards returned to rotation by the health probe.
     pub revivals: usize,
+    /// Failovers denied because the next shard's retry budget was exhausted.
+    pub retries_denied: usize,
+    /// Requests dropped because their deadline expired before (or between)
+    /// attempts.
+    pub deadline_drops: usize,
+}
+
+/// A per-shard retry token bucket, scaled so a success refills a *fraction* of
+/// a retry: starting balance `budget` retries, each retry spends one, each
+/// success earns back an eighth — under sustained failure, retries converge to
+/// at most one per eight successful requests instead of amplifying the outage.
+struct RetryBudget {
+    /// Balance in eighths of a retry.
+    balance: AtomicI64,
+    /// Cap in eighths; `0` disables accounting entirely.
+    max: i64,
+}
+
+impl RetryBudget {
+    const RETRY_COST: i64 = 8;
+
+    fn new(budget: u32) -> Self {
+        let max = i64::from(budget) * Self::RETRY_COST;
+        Self {
+            balance: AtomicI64::new(max),
+            max,
+        }
+    }
+
+    /// Spend one retry; `false` (and no state change) when the bucket is dry.
+    fn try_spend(&self) -> bool {
+        if self.max == 0 {
+            return true;
+        }
+        let prev = self.balance.fetch_sub(Self::RETRY_COST, Ordering::Relaxed);
+        if prev < Self::RETRY_COST {
+            self.balance.fetch_add(Self::RETRY_COST, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// A success earns back an eighth of a retry, up to the cap.
+    fn refill(&self) {
+        if self.max == 0 {
+            return;
+        }
+        let prev = self.balance.fetch_add(1, Ordering::Relaxed);
+        if prev >= self.max {
+            self.balance.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
 }
 
 enum Backend {
@@ -97,6 +176,7 @@ pub struct Shard {
     label: String,
     backend: Backend,
     alive: AtomicBool,
+    retry: RetryBudget,
 }
 
 impl Shard {
@@ -121,12 +201,36 @@ struct Inner {
     replication: usize,
     connections_per_shard: usize,
     remote_timeout: std::time::Duration,
+    retry_base: Duration,
+    retry_max: Duration,
+    retry_seed: u64,
+    /// Sequence counter feeding the deterministic backoff jitter.
+    backoff_seq: AtomicU64,
     /// Executes blocking remote-shard I/O so callers (the event loop!) never wait
     /// on a socket. Sized by the shard count, independent of the kernel pools.
     io_pool: Pool,
     /// Round-robin cursor rotating requests inside a replica set.
     rr: AtomicUsize,
     stats: Mutex<RouterStats>,
+}
+
+impl Inner {
+    /// The backoff before retry attempt `k` (0-based): exponential in `k`,
+    /// capped, then jittered into `[1/2, 1)` of the cap by a seeded hash —
+    /// deterministic for a given `retry_seed` and retry sequence, but spread
+    /// enough that synchronized failures don't retry in lockstep.
+    fn backoff(&self, k: usize) -> Duration {
+        if self.retry_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .retry_base
+            .saturating_mul(1u32 << k.min(16) as u32)
+            .min(self.retry_max);
+        let n = self.backoff_seq.fetch_add(1, Ordering::Relaxed);
+        let roll = splitmix64(self.retry_seed ^ n) % 500;
+        exp.mul_f64(0.5 + roll as f64 / 1000.0)
+    }
 }
 
 /// A sharded serving tier implementing [`TransformService`] — drop it behind a
@@ -149,12 +253,10 @@ fn rendezvous_score(model: &str, shard_id: usize) -> u64 {
     h
 }
 
-/// Errors that indicate the *shard* (not the request) failed: worth a failover.
+/// Errors that implicate the *shard* (not the request): worth marking it dead.
+/// Defined by the crate-wide taxonomy, not ad-hoc matching.
 fn is_shard_failure(e: &ServeError) -> bool {
-    matches!(
-        e,
-        ServeError::Io(_) | ServeError::EngineStopped | ServeError::Protocol(_)
-    )
+    e.class() == ErrorClass::Transport
 }
 
 /// One shard description held until [`RouterBuilder::build`] (local engines are
@@ -212,6 +314,7 @@ impl RouterBuilder {
             .filter(|p| matches!(p, PendingShard::Local { .. }))
             .count();
         let workers_per_shard = (parallel::max_threads() / locals.max(1)).max(1);
+        let retry_budget = self.config.retry_budget;
         let shards: Vec<Arc<Shard>> = self
             .pending
             .into_iter()
@@ -226,6 +329,7 @@ impl RouterBuilder {
                             label: format!("local-{id}"),
                             backend: Backend::Local { engine },
                             alive: AtomicBool::new(true),
+                            retry: RetryBudget::new(retry_budget),
                         }
                     }
                     PendingShard::Remote { addr } => Shard {
@@ -236,6 +340,7 @@ impl RouterBuilder {
                             conns: Mutex::new(Vec::new()),
                         },
                         alive: AtomicBool::new(true),
+                        retry: RetryBudget::new(retry_budget),
                     },
                 })
             })
@@ -245,14 +350,17 @@ impl RouterBuilder {
             replication: self.config.replication.max(1),
             connections_per_shard: self.config.connections_per_shard.max(1),
             remote_timeout: self.config.remote_timeout,
+            retry_base: self.config.retry_base,
+            retry_max: self.config.retry_max.max(self.config.retry_base),
+            retry_seed: self.config.retry_seed,
+            backoff_seq: AtomicU64::new(0),
             // Remote calls block a worker each; size for every shard making
             // progress concurrently plus failover headroom.
             io_pool: Pool::new((2 * n).max(4)),
             rr: AtomicUsize::new(0),
             stats: Mutex::new(RouterStats {
                 routed: vec![0; n],
-                failovers: 0,
-                revivals: 0,
+                ..RouterStats::default()
             }),
         });
         if !self.config.probe_interval.is_zero() {
@@ -432,19 +540,36 @@ impl Router {
 /// failover re-runs it against the next candidate.
 type Attempt<T> = Arc<dyn Fn(&Arc<Inner>, usize, Box<dyn FnOnce(Result<T>) + Send>) + Send + Sync>;
 
-/// Try candidates in order, failing over on shard-level errors. Each attempt's
-/// continuation recurses from whatever thread completed it (pool worker or the
-/// submitting thread on fast-fail paths) — nothing here blocks.
+/// Try candidates in order, failing over per the error taxonomy: transport
+/// failures mark the shard dead and move on, overload verdicts move on without
+/// an accusation, terminal errors stop immediately. A failover must win a
+/// token from the *next* shard's retry budget and wait out a jittered
+/// exponential backoff (scheduled on the I/O pool — nothing here blocks the
+/// submitting thread). An expired deadline fails the request in-band before a
+/// dead answer is computed. Each attempt's continuation recurses from whatever
+/// thread completed it (pool worker or the submitting thread on fast-fail
+/// paths).
 fn try_shards<T: Send + 'static>(
     inner: Arc<Inner>,
     candidates: Vec<usize>,
     idx: usize,
+    deadline: Option<Instant>,
     attempt: Attempt<T>,
     reply: Box<dyn FnOnce(Result<T>) + Send>,
 ) {
     let Some(&sid) = candidates.get(idx) else {
         return reply(Err(ServeError::NoLiveShards));
     };
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        inner
+            .stats
+            .lock()
+            .expect("router stats lock")
+            .deadline_drops += 1;
+        return reply(Err(ServeError::DeadlineExceeded(
+            "deadline passed before the request reached a shard".into(),
+        )));
+    }
     {
         let mut stats = inner.stats.lock().expect("router stats lock");
         stats.routed[sid] += 1;
@@ -452,16 +577,43 @@ fn try_shards<T: Send + 'static>(
     let inner2 = Arc::clone(&inner);
     let attempt2 = Arc::clone(&attempt);
     let cont: Box<dyn FnOnce(Result<T>) + Send> = Box::new(move |result| match result {
-        Err(e) if is_shard_failure(&e) => {
-            inner2.shards[sid].alive.store(false, Ordering::SeqCst);
-            if idx + 1 < candidates.len() {
-                inner2.stats.lock().expect("router stats lock").failovers += 1;
-                try_shards(inner2, candidates, idx + 1, attempt2, reply);
-            } else {
-                reply(Err(e));
-            }
+        Ok(value) => {
+            inner2.shards[sid].retry.refill();
+            reply(Ok(value));
         }
-        other => reply(other),
+        Err(e) => match e.class() {
+            ErrorClass::Terminal => reply(Err(e)),
+            class => {
+                if class == ErrorClass::Transport {
+                    inner2.shards[sid].alive.store(false, Ordering::SeqCst);
+                }
+                let Some(&next) = candidates.get(idx + 1) else {
+                    return reply(Err(e));
+                };
+                if !inner2.shards[next].retry.try_spend() {
+                    inner2
+                        .stats
+                        .lock()
+                        .expect("router stats lock")
+                        .retries_denied += 1;
+                    return reply(Err(e));
+                }
+                inner2.stats.lock().expect("router stats lock").failovers += 1;
+                // Never sleep past the deadline: an expired request should get
+                // its in-band verdict promptly, not after a full backoff.
+                let mut delay = inner2.backoff(idx);
+                if let Some(d) = deadline {
+                    delay = delay.min(d.saturating_duration_since(Instant::now()));
+                }
+                let inner3 = Arc::clone(&inner2);
+                inner2.io_pool.spawn(move || {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    try_shards(inner3, candidates, idx + 1, deadline, attempt2, reply);
+                });
+            }
+        },
     });
     attempt(&inner, sid, cont);
 }
@@ -483,7 +635,21 @@ fn with_remote_conn<T>(
     let Backend::Remote { addr, conns } = &shard.backend else {
         return Err(ServeError::Protocol("not a remote shard".into()));
     };
-    let pool_back = |client: Client| {
+    // A clean in-band reply (the frame boundary held, so the stream is still
+    // synchronized) returns the connection to the pool — including overload and
+    // deadline verdicts, which say nothing about the socket's health.
+    let clean = |r: &Result<T>| {
+        matches!(
+            r,
+            Ok(_)
+                | Err(ServeError::Remote(_))
+                | Err(ServeError::Overloaded(_))
+                | Err(ServeError::DeadlineExceeded(_))
+        )
+    };
+    let pool_back = |mut client: Client| {
+        // Undo any per-request deadline shortening before the next borrower.
+        client.set_op_timeout(Some(inner.remote_timeout));
         let mut pool = conns.lock().expect("shard connection pool lock");
         if pool.len() < inner.connections_per_shard {
             pool.push(client);
@@ -498,7 +664,7 @@ fn with_remote_conn<T>(
         match result {
             Err(ref e) if is_shard_failure(e) => {} // stale socket? try fresh below
             other => {
-                if matches!(other, Ok(_) | Err(ServeError::Remote(_))) {
+                if clean(&other) {
                     pool_back(client);
                 }
                 return other;
@@ -507,14 +673,37 @@ fn with_remote_conn<T>(
     }
     let mut client = Client::connect_timeout(addr, inner.remote_timeout)?;
     let result = f(&mut client);
-    if matches!(result, Ok(_) | Err(ServeError::Remote(_))) {
+    if clean(&result) {
         pool_back(client);
     }
     result
 }
 
+/// Arm a remote attempt against the request deadline: the socket timeout drops
+/// to the time remaining (never above the router's remote timeout), and the
+/// remaining budget in milliseconds is returned for in-band propagation — the
+/// shard sheds the work itself if it can't finish in time.
+fn arm_deadline(
+    c: &mut Client,
+    deadline: Option<Instant>,
+    remote_timeout: Duration,
+) -> Option<u32> {
+    let d = deadline?;
+    let left = d
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(1));
+    c.set_op_timeout(Some(left.min(remote_timeout)));
+    Some(left.as_millis().min(u128::from(u32::MAX)) as u32)
+}
+
 impl TransformService for Router {
-    fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback) {
+    fn submit_transform(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: ReplyCallback,
+    ) {
         let candidates = self.candidates(model);
         let model = model.to_string();
         // Each retryable attempt clones the `Arc` handle, never the matrices: on
@@ -524,7 +713,7 @@ impl TransformService for Router {
             let shard = &inner.shards[sid];
             match &shard.backend {
                 Backend::Local { engine } => {
-                    engine.submit_transform(&model, Arc::clone(&inputs), cb)
+                    engine.submit_transform(&model, Arc::clone(&inputs), deadline, cb)
                 }
                 Backend::Remote { .. } => {
                     let inner = Arc::clone(inner);
@@ -533,13 +722,23 @@ impl TransformService for Router {
                     inner.clone().io_pool.spawn(move || {
                         let shard = Arc::clone(&inner.shards[sid]);
                         cb(with_remote_conn(&inner, &shard, |c| {
-                            c.transform(&model, &inputs)
+                            match arm_deadline(c, deadline, inner.remote_timeout) {
+                                Some(ms) => c.transform_deadline(&model, &inputs, ms),
+                                None => c.transform(&model, &inputs),
+                            }
                         }));
                     });
                 }
             }
         });
-        try_shards(Arc::clone(&self.inner), candidates, 0, attempt, reply);
+        try_shards(
+            Arc::clone(&self.inner),
+            candidates,
+            0,
+            deadline,
+            attempt,
+            reply,
+        );
     }
 
     fn submit_transform_view(
@@ -547,6 +746,7 @@ impl TransformService for Router {
         model: &str,
         which: usize,
         input: Arc<Matrix>,
+        deadline: Option<Instant>,
         reply: ReplyCallback,
     ) {
         let candidates = self.candidates(model);
@@ -555,7 +755,7 @@ impl TransformService for Router {
             let shard = &inner.shards[sid];
             match &shard.backend {
                 Backend::Local { engine } => {
-                    engine.submit_transform_view(&model, which, Arc::clone(&input), cb)
+                    engine.submit_transform_view(&model, which, Arc::clone(&input), deadline, cb)
                 }
                 Backend::Remote { .. } => {
                     let inner = Arc::clone(inner);
@@ -564,22 +764,40 @@ impl TransformService for Router {
                     inner.clone().io_pool.spawn(move || {
                         let shard = Arc::clone(&inner.shards[sid]);
                         cb(with_remote_conn(&inner, &shard, |c| {
-                            c.transform_view(&model, which, &input)
+                            match arm_deadline(c, deadline, inner.remote_timeout) {
+                                Some(ms) => c.transform_view_deadline(&model, which, &input, ms),
+                                None => c.transform_view(&model, which, &input),
+                            }
                         }));
                     });
                 }
             }
         });
-        try_shards(Arc::clone(&self.inner), candidates, 0, attempt, reply);
+        try_shards(
+            Arc::clone(&self.inner),
+            candidates,
+            0,
+            deadline,
+            attempt,
+            reply,
+        );
     }
 
-    fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback) {
+    fn submit_outputs(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: OutputsCallback,
+    ) {
         let candidates = self.candidates(model);
         let model = model.to_string();
         let attempt: Attempt<Vec<NamedOutput>> = Arc::new(move |inner, sid, cb| {
             let shard = &inner.shards[sid];
             match &shard.backend {
-                Backend::Local { engine } => engine.submit_outputs(&model, Arc::clone(&inputs), cb),
+                Backend::Local { engine } => {
+                    engine.submit_outputs(&model, Arc::clone(&inputs), deadline, cb)
+                }
                 Backend::Remote { .. } => {
                     let inner = Arc::clone(inner);
                     let model = model.clone();
@@ -587,13 +805,23 @@ impl TransformService for Router {
                     inner.clone().io_pool.spawn(move || {
                         let shard = Arc::clone(&inner.shards[sid]);
                         cb(with_remote_conn(&inner, &shard, |c| {
-                            c.outputs(&model, &inputs)
+                            match arm_deadline(c, deadline, inner.remote_timeout) {
+                                Some(ms) => c.outputs_deadline(&model, &inputs, ms),
+                                None => c.outputs(&model, &inputs),
+                            }
                         }));
                     });
                 }
             }
         });
-        try_shards(Arc::clone(&self.inner), candidates, 0, attempt, reply);
+        try_shards(
+            Arc::clone(&self.inner),
+            candidates,
+            0,
+            deadline,
+            attempt,
+            reply,
+        );
     }
 
     /// The union of every live shard's catalog (first shard wins on name clashes).
@@ -682,6 +910,8 @@ impl TransformService for Router {
                 "router/routed".into(),
                 own.routed.iter().sum::<usize>() as u64,
             );
+            merged.insert("router/retries_denied".into(), own.retries_denied as u64);
+            merged.insert("router/deadline_drops".into(), own.deadline_drops as u64);
         }
         merged.into_iter().collect()
     }
@@ -763,10 +993,14 @@ mod tests {
             BatchConfig {
                 max_batch: 64,
                 max_wait: Duration::from_millis(1),
+                ..BatchConfig::default()
             },
             RouterConfig {
                 replication: 2,
                 connections_per_shard: 2,
+                // Retry instantly: these tests provoke failover on purpose and
+                // assert on outcomes, not pacing.
+                retry_base: Duration::ZERO,
                 ..RouterConfig::default()
             },
         )
@@ -776,7 +1010,12 @@ mod tests {
     /// Blocking helper mirroring `BatchEngine::transform`.
     fn transform(router: &Router, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        router.submit_transform(model, Arc::new(inputs), Box::new(move |r| drop(tx.send(r))));
+        router.submit_transform(
+            model,
+            Arc::new(inputs),
+            None,
+            Box::new(move |r| drop(tx.send(r))),
+        );
         rx.recv().expect("router reply")
     }
 
@@ -910,6 +1149,7 @@ mod tests {
             BatchConfig {
                 max_batch: 64,
                 max_wait: Duration::from_millis(1),
+                ..BatchConfig::default()
             },
             RouterConfig {
                 probe_interval: Duration::from_millis(100),
@@ -951,6 +1191,135 @@ mod tests {
         assert_eq!(get("router/failovers"), 0);
         // No shard carries a trainer, so the trigger must report that cleanly.
         assert!(router.trigger_refit().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_budget_spends_and_refills_at_the_documented_ratio() {
+        let budget = RetryBudget::new(2); // 2 retries banked
+        assert!(budget.try_spend());
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend(), "bucket must run dry after its balance");
+        // Eight successes earn back exactly one retry.
+        for _ in 0..7 {
+            budget.refill();
+            assert!(!budget.try_spend());
+        }
+        budget.refill();
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend());
+        // Refills cap at the starting balance.
+        for _ in 0..1000 {
+            budget.refill();
+        }
+        assert!(budget.try_spend());
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend());
+        // Budget 0 disables accounting.
+        let unlimited = RetryBudget::new(0);
+        for _ in 0..100 {
+            assert!(unlimited.try_spend());
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered_in_band() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("backoff", &views, &["m"]);
+        let seq = |seed: u64| -> Vec<Duration> {
+            let router = Router::open_local(
+                &dir,
+                1,
+                BatchConfig::default(),
+                RouterConfig {
+                    retry_base: Duration::from_millis(10),
+                    retry_max: Duration::from_millis(100),
+                    retry_seed: seed,
+                    probe_interval: Duration::ZERO,
+                    ..RouterConfig::default()
+                },
+            )
+            .unwrap();
+            (0..8).map(|k| router.inner.backoff(k)).collect()
+        };
+        let a = seq(1);
+        let b = seq(1);
+        assert_eq!(a, b, "same seed must replay the same jitter sequence");
+        assert_ne!(a, seq(2), "different seeds must diverge");
+        for (k, &d) in a.iter().enumerate() {
+            let cap = Duration::from_millis(10)
+                .saturating_mul(1 << k as u32)
+                .min(Duration::from_millis(100));
+            assert!(
+                d >= cap / 2 && d < cap,
+                "attempt {k}: backoff {d:?} outside [{:?}, {cap:?})",
+                cap / 2
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_deadline_is_dropped_in_band_before_any_shard_runs() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("deadline", &views, &["m"]);
+        let router = router_over(&dir, 2);
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        router.submit_transform(
+            "m",
+            Arc::new(views.clone()),
+            Some(Instant::now() - Duration::from_millis(1)),
+            Box::new(move |r| drop(tx.send(r))),
+        );
+        match rx.recv().expect("router reply") {
+            Err(ServeError::DeadlineExceeded(_)) => {}
+            other => panic!("expected an in-band deadline verdict, got {other:?}"),
+        }
+        let stats = router.stats();
+        assert_eq!(stats.deadline_drops, 1);
+        assert_eq!(
+            stats.routed.iter().sum::<usize>(),
+            0,
+            "a dead request must never be routed"
+        );
+        // A generous deadline sails through.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        router.submit_transform(
+            "m",
+            Arc::new(views.clone()),
+            Some(Instant::now() + Duration::from_secs(30)),
+            Box::new(move |r| drop(tx.send(r))),
+        );
+        assert!(rx.recv().expect("router reply").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_denies_failover_in_band() {
+        let views = fixture_views();
+        let dir = tmp_models_dir("retry-deny", &views, &["m"]);
+        let router = Router::open_local(
+            &dir,
+            2,
+            BatchConfig::default(),
+            RouterConfig {
+                retry_base: Duration::ZERO,
+                probe_interval: Duration::ZERO,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        // Drain every shard's bucket, then crash a shard: failover has no
+        // tokens left, so the transport error surfaces instead of a retry.
+        for shard in router.shards() {
+            while shard.retry.try_spend() {}
+        }
+        router.crash_shard(0);
+        router.crash_shard(1);
+        let err = transform(&router, "m", views.clone()).unwrap_err();
+        assert!(is_shard_failure(&err), "expected the raw failure: {err}");
+        assert!(router.stats().retries_denied >= 1);
+        assert_eq!(router.stats().failovers, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

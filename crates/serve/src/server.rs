@@ -22,10 +22,11 @@
 
 use crate::service::TransformService;
 use crate::wire::{Request, Response};
-use crate::{BatchConfig, BatchEngine, ModelStore, Result};
+use crate::{BatchConfig, BatchEngine, ModelStore, Result, ServeError};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 #[cfg(unix)]
 use crate::wire::MAX_FRAME_LEN;
@@ -52,6 +53,46 @@ const READ_BUDGET: usize = 4 * READ_CHUNK;
 /// of growing `wbuf` without bound — the same effect the old thread-per-connection
 /// server got from blocking on `write_frame`.
 const WBUF_HIGH_WATER: usize = 8 * 1024 * 1024;
+
+/// Default cap on async replies owed to a single connection before further
+/// transform submissions are shed with an in-band [`Response::Overloaded`].
+const MAX_INFLIGHT_PER_CONN: usize = 1024;
+
+/// Tunable per-connection limits for a bound server. The defaults match the
+/// historical constants; tests and the soak harness shrink them to provoke
+/// backpressure and shedding deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerTuning {
+    /// Write-buffer high-water mark: while a connection holds this many
+    /// unflushed (or v1-order-held) reply bytes, the loop stops reading new
+    /// requests from it.
+    pub wbuf_high_water: usize,
+    /// Maximum async replies owed to one connection. A request that would
+    /// exceed it is answered with an in-band [`Response::Overloaded`] instead
+    /// of being submitted — bounding per-connection queue memory no matter how
+    /// aggressively a client pipelines.
+    pub max_inflight_per_conn: usize,
+}
+
+impl Default for ServerTuning {
+    fn default() -> Self {
+        Self {
+            wbuf_high_water: WBUF_HIGH_WATER,
+            max_inflight_per_conn: MAX_INFLIGHT_PER_CONN,
+        }
+    }
+}
+
+/// Map a service error to its wire response: overload and deadline verdicts
+/// travel as their own opcodes so clients can apply retry policy without
+/// string-matching; everything else stays a plain error.
+fn error_response(e: ServeError) -> Response {
+    match e {
+        ServeError::Overloaded(msg) => Response::Overloaded(msg),
+        ServeError::DeadlineExceeded(msg) => Response::DeadlineExceeded(msg),
+        other => Response::Error(other.to_string()),
+    }
+}
 
 /// Raw poll(2) FFI — the libc symbols are always linked; declaring them here keeps
 /// the workspace free of external crates (the build environment has no registry).
@@ -118,6 +159,12 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     completions: Arc<Mutex<Vec<Completion>>>,
     waker: Arc<Waker>,
+    tuning: ServerTuning,
+    /// Connections that crossed the write-buffer high-water mark (counted once
+    /// per excursion, not per poll pass).
+    throttled: AtomicU64,
+    /// Requests shed at the per-connection in-flight cap.
+    shed_inflight: AtomicU64,
     #[cfg(unix)]
     wake_rx: UnixStream,
 }
@@ -143,6 +190,15 @@ impl Server {
         addr: impl ToSocketAddrs,
         service: Arc<dyn TransformService>,
     ) -> Result<Self> {
+        Self::bind_service_tuned(addr, service, ServerTuning::default())
+    }
+
+    /// [`Server::bind_service`] with explicit per-connection limits.
+    pub fn bind_service_tuned(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn TransformService>,
+        tuning: ServerTuning,
+    ) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         #[cfg(unix)]
         let (wake_rx, wake_tx) = {
@@ -161,9 +217,32 @@ impl Server {
                 #[cfg(unix)]
                 tx: wake_tx,
             }),
+            tuning,
+            throttled: AtomicU64::new(0),
+            shed_inflight: AtomicU64::new(0),
             #[cfg(unix)]
             wake_rx,
         })
+    }
+
+    /// Service counters plus this front's own overload counters.
+    fn stats_snapshot(&self) -> Vec<(String, u64)> {
+        let mut counters = self.service.stats();
+        // Merge rather than append: a front server over a router sees the same
+        // counter names again from remote shards' servers.
+        for (name, value) in [
+            ("server/throttled", self.throttled.load(Ordering::Relaxed)),
+            (
+                "server/shed_inflight",
+                self.shed_inflight.load(Ordering::Relaxed),
+            ),
+        ] {
+            match counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v += value,
+                None => counters.push((name.into(), value)),
+            }
+        }
+        counters
     }
 
     /// The bound address (the real port when bound with port 0).
@@ -209,6 +288,7 @@ impl Server {
         gen: u64,
         id: Option<u64>,
         v1_seq: Option<u64>,
+        deadline: Option<Instant>,
         inner: Request,
     ) -> Option<Response> {
         let tag = move |resp: Response| match id {
@@ -219,26 +299,27 @@ impl Server {
             Request::Ping => Some(tag(Response::Pong)),
             Request::ListModels => Some(tag(match self.service.catalog() {
                 Ok(models) => Response::Models(models),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             })),
             Request::Rescan => Some(tag(match self.service.rescan() {
                 Ok(report) => Response::Rescanned(report),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             })),
-            Request::Stats => Some(tag(Response::Stats(self.service.stats()))),
+            Request::Stats => Some(tag(Response::Stats(self.stats_snapshot()))),
             Request::Refit => Some(tag(match self.service.trigger_refit() {
                 Ok(counters) => Response::Stats(counters),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             })),
             Request::Transform { model, inputs } => {
                 let complete = self.completer(conn_id, gen, id, v1_seq);
                 self.service.submit_transform(
                     &model,
                     std::sync::Arc::new(inputs),
+                    deadline,
                     Box::new(move |result| {
                         complete(match result {
                             Ok(z) => Response::Embedding(z),
-                            Err(e) => Response::Error(e.to_string()),
+                            Err(e) => error_response(e),
                         })
                     }),
                 );
@@ -250,10 +331,11 @@ impl Server {
                     &model,
                     view as usize,
                     std::sync::Arc::new(input),
+                    deadline,
                     Box::new(move |result| {
                         complete(match result {
                             Ok(z) => Response::Embedding(z),
-                            Err(e) => Response::Error(e.to_string()),
+                            Err(e) => error_response(e),
                         })
                     }),
                 );
@@ -264,10 +346,11 @@ impl Server {
                 self.service.submit_outputs(
                     &model,
                     std::sync::Arc::new(inputs),
+                    deadline,
                     Box::new(move |result| {
                         complete(match result {
                             Ok(candidates) => Response::Outputs(candidates),
-                            Err(e) => Response::Error(e.to_string()),
+                            Err(e) => error_response(e),
                         })
                     }),
                 );
@@ -358,6 +441,9 @@ struct Conn {
     /// backpressure high-water mark (a reply held behind a slow earlier request
     /// occupies memory just like one sitting in `wbuf`).
     v1_held_bytes: usize,
+    /// Whether the last poll pass had this connection above the write-buffer
+    /// high-water mark — lets the server count excursions, not poll passes.
+    was_throttled: bool,
 }
 
 #[cfg(unix)]
@@ -459,11 +545,15 @@ impl Server {
                 revents: 0,
             });
             let mut slots = Vec::with_capacity(live);
-            for (slot, conn) in conns.iter().enumerate() {
+            for (slot, conn) in conns.iter_mut().enumerate() {
                 if let Some(conn) = conn {
                     // Backpressure: stop reading while the peer owes us a drain.
                     let throttled = conn.wbuf.len().saturating_sub(conn.wpos) + conn.v1_held_bytes
-                        >= WBUF_HIGH_WATER;
+                        >= self.tuning.wbuf_high_water;
+                    if throttled && !conn.was_throttled {
+                        self.throttled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    conn.was_throttled = throttled;
                     let mut events = if conn.closing || throttled { 0 } else { POLLIN };
                     if conn.has_pending_writes() {
                         events |= POLLOUT;
@@ -508,6 +598,7 @@ impl Server {
                                 v1_send: 0,
                                 v1_held: std::collections::BTreeMap::new(),
                                 v1_held_bytes: 0,
+                                was_throttled: false,
                             };
                             next_gen += 1;
                             match conns.iter().position(Option::is_none) {
@@ -618,10 +709,18 @@ impl Server {
             pos += 4 + len;
             match Request::decode(&payload) {
                 Ok(req) => {
-                    let (id, inner) = match req {
-                        Request::Tagged { id, inner } => (Some(id), *inner),
-                        other => (None, other),
+                    let (id, deadline_ms, inner) = match req {
+                        Request::Tagged {
+                            id,
+                            deadline_ms,
+                            inner,
+                        } => (Some(id), deadline_ms, *inner),
+                        other => (None, None, other),
                     };
+                    // The wire deadline is a relative budget: the clock starts
+                    // at receipt (absolute instants don't survive the wire).
+                    let deadline =
+                        deadline_ms.map(|ms| Instant::now() + Duration::from_millis(u64::from(ms)));
                     // Untagged requests get a sequence number so their replies go
                     // out in request order even when an async transform is slower
                     // than a later inline op. Tagged replies may overtake freely.
@@ -632,7 +731,32 @@ impl Server {
                     } else {
                         None
                     };
-                    match self.handle_request(slot, conn.gen, id, v1_seq, inner) {
+                    // Admission control: a connection already owed its full
+                    // in-flight quota of async replies gets an in-band shed
+                    // instead of another engine submission.
+                    let wants_async = matches!(
+                        inner,
+                        Request::Transform { .. }
+                            | Request::TransformView { .. }
+                            | Request::Outputs { .. }
+                    );
+                    if wants_async && conn.inflight >= self.tuning.max_inflight_per_conn {
+                        self.shed_inflight.fetch_add(1, Ordering::Relaxed);
+                        let resp = Response::Overloaded(format!(
+                            "connection at its in-flight limit ({} pending)",
+                            conn.inflight
+                        ));
+                        let resp = match id {
+                            Some(id) => resp.tagged(id),
+                            None => resp,
+                        };
+                        match v1_seq {
+                            Some(seq) => conn.deliver_v1(seq, resp.encode()),
+                            None => conn.queue_frame(&resp.encode()),
+                        }
+                        continue;
+                    }
+                    match self.handle_request(slot, conn.gen, id, v1_seq, deadline, inner) {
                         Some(resp) => match v1_seq {
                             Some(seq) => conn.deliver_v1(seq, resp.encode()),
                             None => conn.queue_frame(&resp.encode()),
@@ -702,35 +826,42 @@ fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Res
     while let Some(payload) = read_frame(&mut reader)? {
         let response = match Request::decode(&payload) {
             Ok(req) => {
-                let (id, inner) = match req {
-                    Request::Tagged { id, inner } => (Some(id), *inner),
-                    other => (None, other),
+                let (id, deadline_ms, inner) = match req {
+                    Request::Tagged {
+                        id,
+                        deadline_ms,
+                        inner,
+                    } => (Some(id), deadline_ms, *inner),
+                    other => (None, None, other),
                 };
+                let deadline =
+                    deadline_ms.map(|ms| Instant::now() + Duration::from_millis(u64::from(ms)));
                 let resp = match inner {
                     Request::Ping => Response::Pong,
                     Request::ListModels => match service.catalog() {
                         Ok(models) => Response::Models(models),
-                        Err(e) => Response::Error(e.to_string()),
+                        Err(e) => error_response(e),
                     },
                     Request::Rescan => match service.rescan() {
                         Ok(report) => Response::Rescanned(report),
-                        Err(e) => Response::Error(e.to_string()),
+                        Err(e) => error_response(e),
                     },
                     Request::Stats => Response::Stats(service.stats()),
                     Request::Refit => match service.trigger_refit() {
                         Ok(counters) => Response::Stats(counters),
-                        Err(e) => Response::Error(e.to_string()),
+                        Err(e) => error_response(e),
                     },
                     Request::Transform { model, inputs } => {
                         let (tx, rx) = std::sync::mpsc::sync_channel(1);
                         service.submit_transform(
                             &model,
                             std::sync::Arc::new(inputs),
+                            deadline,
                             Box::new(move |r| drop(tx.send(r))),
                         );
                         match rx.recv() {
                             Ok(Ok(z)) => Response::Embedding(z),
-                            Ok(Err(e)) => Response::Error(e.to_string()),
+                            Ok(Err(e)) => error_response(e),
                             Err(_) => Response::Error(ServeError::EngineStopped.to_string()),
                         }
                     }
@@ -740,11 +871,12 @@ fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Res
                             &model,
                             view as usize,
                             std::sync::Arc::new(input),
+                            deadline,
                             Box::new(move |r| drop(tx.send(r))),
                         );
                         match rx.recv() {
                             Ok(Ok(z)) => Response::Embedding(z),
-                            Ok(Err(e)) => Response::Error(e.to_string()),
+                            Ok(Err(e)) => error_response(e),
                             Err(_) => Response::Error(ServeError::EngineStopped.to_string()),
                         }
                     }
@@ -753,11 +885,12 @@ fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Res
                         service.submit_outputs(
                             &model,
                             std::sync::Arc::new(inputs),
+                            deadline,
                             Box::new(move |r| drop(tx.send(r))),
                         );
                         match rx.recv() {
                             Ok(Ok(c)) => Response::Outputs(c),
-                            Ok(Err(e)) => Response::Error(e.to_string()),
+                            Ok(Err(e)) => error_response(e),
                             Err(_) => Response::Error(ServeError::EngineStopped.to_string()),
                         }
                     }
@@ -803,6 +936,7 @@ mod tests {
             BatchConfig {
                 max_batch: 16,
                 max_wait: Duration::from_millis(1),
+                ..BatchConfig::default()
             },
         )
         .unwrap();

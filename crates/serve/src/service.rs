@@ -12,6 +12,7 @@ use crate::wire::{ModelInfo, RescanReport};
 use crate::{BatchEngine, ModelStore, Result};
 use linalg::Matrix;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An asynchronous transform backend: the [`crate::Server`] submits requests and
 /// returns to its poll loop; the backend invokes each callback exactly once.
@@ -19,9 +20,21 @@ use std::sync::Arc;
 /// Inputs are `Arc`-shared end to end: the server wraps each decoded request once,
 /// and every layer below (router failover retries, engine queueing, coalescing)
 /// clones the handle, never the matrices.
+///
+/// Every submission carries an optional **deadline**: the instant past which the
+/// caller no longer wants the answer. Backends drop expired work in-band (with
+/// [`crate::ServeError::DeadlineExceeded`]) rather than computing dead answers,
+/// and forward the remaining budget across process boundaries (the router
+/// re-encodes it into the v4 wire envelope).
 pub trait TransformService: Send + Sync {
     /// Project instances through the named model (all views).
-    fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback);
+    fn submit_transform(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: ReplyCallback,
+    );
 
     /// Project a single view through the model's per-view projection.
     fn submit_transform_view(
@@ -29,11 +42,18 @@ pub trait TransformService: Send + Sync {
         model: &str,
         which: usize,
         input: Arc<Matrix>,
+        deadline: Option<Instant>,
         reply: ReplyCallback,
     );
 
     /// Compute all named candidate outputs of the model.
-    fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback);
+    fn submit_outputs(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: OutputsCallback,
+    );
 
     /// The model catalog (header metadata only).
     fn catalog(&self) -> Result<Vec<ModelInfo>>;
@@ -76,8 +96,14 @@ pub fn store_catalog(store: &ModelStore) -> Vec<ModelInfo> {
 }
 
 impl TransformService for BatchEngine {
-    fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback) {
-        BatchEngine::submit_transform(self, model, inputs, reply);
+    fn submit_transform(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: ReplyCallback,
+    ) {
+        BatchEngine::submit_transform(self, model, inputs, deadline, reply);
     }
 
     fn submit_transform_view(
@@ -85,13 +111,20 @@ impl TransformService for BatchEngine {
         model: &str,
         which: usize,
         input: Arc<Matrix>,
+        deadline: Option<Instant>,
         reply: ReplyCallback,
     ) {
-        BatchEngine::submit_transform_view(self, model, which, input, reply);
+        BatchEngine::submit_transform_view(self, model, which, input, deadline, reply);
     }
 
-    fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback) {
-        BatchEngine::submit_outputs(self, model, inputs, reply);
+    fn submit_outputs(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: OutputsCallback,
+    ) {
+        BatchEngine::submit_outputs(self, model, inputs, deadline, reply);
     }
 
     fn catalog(&self) -> Result<Vec<ModelInfo>> {
@@ -103,6 +136,8 @@ impl TransformService for BatchEngine {
     }
 
     fn stats(&self) -> Vec<(String, u64)> {
-        BatchEngine::stats(self).counters()
+        let mut counters = BatchEngine::stats(self).counters();
+        counters.extend(self.store().counters());
+        counters
     }
 }

@@ -82,6 +82,11 @@ pub struct ModelStore {
     budget: AtomicU64,
     /// Monotonic logical clock stamping [`StoredModel::last_used`].
     clock: AtomicU64,
+    /// Lifetime count of files a rescan skipped because their header failed to
+    /// parse — silent serving degradation unless surfaced.
+    rescan_corrupt: AtomicU64,
+    /// Lifetime count of entries dropped because their backing file vanished.
+    rescan_vanished: AtomicU64,
 }
 
 impl ModelStore {
@@ -93,7 +98,25 @@ impl ModelStore {
             dir: RwLock::new(None),
             budget: AtomicU64::new(0),
             clock: AtomicU64::new(1),
+            rescan_corrupt: AtomicU64::new(0),
+            rescan_vanished: AtomicU64::new(0),
         }
+    }
+
+    /// Lifetime health counters, exported through the `Stats` wire op so
+    /// operators can see degradation (corrupt or vanished model files) that a
+    /// single [`ModelStore::rescan`] reply would only show once.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            (
+                "store/rescan_corrupt_skipped".into(),
+                self.rescan_corrupt.load(Ordering::Relaxed),
+            ),
+            (
+                "store/rescan_vanished".into(),
+                self.rescan_vanished.load(Ordering::Relaxed),
+            ),
+        ]
     }
 
     /// Create a store and index every `*.mvm` file in `dir` (header-only; payloads
@@ -352,13 +375,21 @@ impl ModelStore {
                         }
                         Err(_) => false,
                     };
-                    if changed && self.index_file(&path).is_ok() {
-                        report.reloaded += 1;
+                    if changed {
+                        if self.index_file(&path).is_ok() {
+                            report.reloaded += 1;
+                        } else {
+                            report.corrupt_skipped += 1;
+                            self.rescan_corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
                 None => {
                     if self.index_file(&path).is_ok() {
                         report.added += 1;
+                    } else {
+                        report.corrupt_skipped += 1;
+                        self.rescan_corrupt.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
@@ -378,6 +409,7 @@ impl ModelStore {
         for name in stale {
             if map.remove(&name).is_some() {
                 report.removed += 1;
+                self.rescan_vanished.fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(report)
@@ -522,10 +554,27 @@ mod tests {
         assert_eq!((report.added, report.removed, report.reloaded), (0, 1, 0));
         assert!(store.entry("pca").is_err());
 
-        // Corrupt files are skipped, not fatal.
+        // Corrupt files are skipped, not fatal — and the skip is counted, both
+        // in the report and in the store's lifetime health counters.
         std::fs::write(dir.join("junk.mvm"), b"garbage").unwrap();
         let report = store.rescan().unwrap();
-        assert_eq!(report, crate::wire::RescanReport::default());
+        assert_eq!(
+            (report.added, report.removed, report.reloaded),
+            (0, 0, 0),
+            "corrupt file must not index"
+        );
+        assert_eq!(report.corrupt_skipped, 1);
+        let counter = |name: &str| {
+            store
+                .counters()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(counter("store/rescan_corrupt_skipped"), 1);
+        // "pca" vanished earlier in this test; the lifetime counter saw it.
+        assert_eq!(counter("store/rescan_vanished"), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

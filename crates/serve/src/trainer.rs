@@ -292,7 +292,13 @@ fn do_refit(shared: &Shared) -> Result<bool> {
 }
 
 impl TransformService for TrainerService {
-    fn submit_transform(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: ReplyCallback) {
+    fn submit_transform(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: ReplyCallback,
+    ) {
         if model == shared_model(&self.shared) {
             let mut st = self.shared.state.lock().expect("trainer state lock");
             st.counters.observed_chunks += 1;
@@ -301,7 +307,9 @@ impl TransformService for TrainerService {
                 st.reservoir.pop_front();
             }
         }
-        self.shared.engine.submit_transform(model, inputs, reply);
+        self.shared
+            .engine
+            .submit_transform(model, inputs, deadline, reply);
     }
 
     fn submit_transform_view(
@@ -309,17 +317,26 @@ impl TransformService for TrainerService {
         model: &str,
         which: usize,
         input: Arc<Matrix>,
+        deadline: Option<Instant>,
         reply: ReplyCallback,
     ) {
         // Single-view requests are not recorded: a sufficient-statistics update
         // needs every view of an instance.
         self.shared
             .engine
-            .submit_transform_view(model, which, input, reply);
+            .submit_transform_view(model, which, input, deadline, reply);
     }
 
-    fn submit_outputs(&self, model: &str, inputs: Arc<Vec<Matrix>>, reply: OutputsCallback) {
-        self.shared.engine.submit_outputs(model, inputs, reply);
+    fn submit_outputs(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Matrix>>,
+        deadline: Option<Instant>,
+        reply: OutputsCallback,
+    ) {
+        self.shared
+            .engine
+            .submit_outputs(model, inputs, deadline, reply);
     }
 
     fn catalog(&self) -> Result<Vec<ModelInfo>> {
@@ -394,6 +411,7 @@ mod tests {
             BatchConfig {
                 max_batch: 32,
                 max_wait: Duration::from_millis(1),
+                ..BatchConfig::default()
             },
         ));
         TrainerService::start(engine, dir, config)
@@ -401,7 +419,12 @@ mod tests {
 
     fn transform(svc: &TrainerService, model: &str, inputs: Vec<Matrix>) -> Result<Matrix> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        svc.submit_transform(model, Arc::new(inputs), Box::new(move |r| drop(tx.send(r))));
+        svc.submit_transform(
+            model,
+            Arc::new(inputs),
+            None,
+            Box::new(move |r| drop(tx.send(r))),
+        );
         rx.recv().expect("trainer reply")
     }
 

@@ -19,6 +19,7 @@
 //! | 7 | `Stats` | — (v3) |
 //! | 8 | `Refit` | — (v3) |
 //! | 16 | `Tagged` | `u64` request id, then a nested untagged request (v2) |
+//! | 17 | `Tagged` + deadline | `u64` request id, `u32` deadline ms, then a nested untagged request (v4) |
 //!
 //! Responses:
 //!
@@ -29,8 +30,10 @@
 //! | 2 | `Models` | `u32` count, then per model: name, method, `u64` dim, `u32` views, `u8` kind, `u64` version (v3) |
 //! | 3 | `Pong` | — |
 //! | 4 | `Outputs` | `u32` count, then per candidate: label, `u8` kind, one matrix (v2) |
-//! | 5 | `Rescanned` | `u32` added, `u32` removed, `u32` reloaded (v2) |
+//! | 5 | `Rescanned` | `u32` added, `u32` removed, `u32` reloaded, `u32` corrupt skipped (v4) |
 //! | 6 | `Stats` | `u32` count, then per counter: name (`u32` + UTF-8), `u64` value (v3) |
+//! | 7 | `Overloaded` | reason (`u32` + UTF-8) (v4) |
+//! | 8 | `DeadlineExceeded` | reason (`u32` + UTF-8) (v4) |
 //! | 16 | `Tagged` | `u64` request id, then a nested untagged response (v2) |
 //!
 //! ## Protocol v2: request ids and pipelining
@@ -54,6 +57,20 @@
 //! traffic — the trigger is asynchronous, so the reply carries the counters as of
 //! the trigger; poll `Stats` to watch the refit land. Each `Models` catalog entry
 //! now ends with the model's lineage version (`0` for files that predate lineage).
+//!
+//! ## Protocol v4: overload protection and deadlines
+//!
+//! v4 makes rejection **in-band and typed**, never silent. A request shed by
+//! admission control (a full queue, a per-model cap, a per-connection in-flight
+//! cap) is answered with `Overloaded` rather than a generic `Error`, so callers
+//! can distinguish *retry elsewhere* from *the request itself is bad*. A request
+//! whose deadline passed before it ran is answered with `DeadlineExceeded` — the
+//! server refuses to compute dead answers. Deadlines travel in the tagged
+//! envelope: opcode 17 is a `Tagged` whose id is followed by a `u32` budget in
+//! milliseconds, relative to receipt (absolute clocks don't survive the wire).
+//! Opcode 16 is unchanged, so v2/v3 clients keep working byte-for-byte.
+//! `Rescanned` replies grow a fourth counter: files skipped because their header
+//! failed to parse — previously silent degradation.
 
 use crate::{Result, ServeError};
 use linalg::Matrix;
@@ -65,6 +82,9 @@ pub const MAX_FRAME_LEN: u32 = 1 << 30;
 
 /// Opcode of the v2 `Tagged` envelope (shared by requests and responses).
 pub const TAGGED_OPCODE: u8 = 16;
+
+/// Opcode of the v4 deadline-carrying `Tagged` request envelope.
+pub const TAGGED_DEADLINE_OPCODE: u8 = 17;
 
 /// A request from client to server.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +135,11 @@ pub enum Request {
     Tagged {
         /// Client-chosen request id.
         id: u64,
+        /// Remaining time budget in milliseconds, relative to server receipt
+        /// (v4). `None` encodes as the v2 opcode 16 envelope; `Some` as opcode
+        /// 17. Work still queued when the budget runs out is answered with
+        /// [`Response::DeadlineExceeded`] instead of being computed.
+        deadline_ms: Option<u32>,
         /// The wrapped (untagged) request.
         inner: Box<Request>,
     },
@@ -168,6 +193,9 @@ pub struct RescanReport {
     pub removed: usize,
     /// Entries whose file changed on disk (header re-read, cached payload dropped).
     pub reloaded: usize,
+    /// Files skipped because their header failed to parse (v4). Non-zero means
+    /// the directory holds models the store silently cannot serve.
+    pub corrupt_skipped: usize,
 }
 
 impl RescanReport {
@@ -176,6 +204,7 @@ impl RescanReport {
         self.added += other.added;
         self.removed += other.removed;
         self.reloaded += other.reloaded;
+        self.corrupt_skipped += other.corrupt_skipped;
     }
 }
 
@@ -196,6 +225,11 @@ pub enum Response {
     Rescanned(RescanReport),
     /// Reply to `Stats` and `Refit` (v3): counter name/value pairs.
     Stats(Vec<(String, u64)>),
+    /// Admission control shed the request (v4); human-readable reason. The
+    /// request was rejected before any computation — retrying elsewhere is safe.
+    Overloaded(String),
+    /// The request's deadline passed before the work ran (v4); reason.
+    DeadlineExceeded(String),
     /// The v2 envelope echoing a `Tagged` request's id.
     Tagged {
         /// The id of the request this reply answers.
@@ -334,9 +368,22 @@ impl Request {
             Request::Rescan => out.push(6),
             Request::Stats => out.push(7),
             Request::Refit => out.push(8),
-            Request::Tagged { id, inner } => {
-                out.push(TAGGED_OPCODE);
-                push_u64(out, *id);
+            Request::Tagged {
+                id,
+                deadline_ms,
+                inner,
+            } => {
+                match deadline_ms {
+                    None => {
+                        out.push(TAGGED_OPCODE);
+                        push_u64(out, *id);
+                    }
+                    Some(ms) => {
+                        out.push(TAGGED_DEADLINE_OPCODE);
+                        push_u64(out, *id);
+                        push_u32(out, *ms);
+                    }
+                }
                 inner.encode_into(out);
             }
         }
@@ -346,6 +393,18 @@ impl Request {
     pub fn tagged(self, id: u64) -> Request {
         Request::Tagged {
             id,
+            deadline_ms: None,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Wrap this request in a v4 deadline-carrying [`Request::Tagged`] envelope:
+    /// the server drops the work with [`Response::DeadlineExceeded`] if it is
+    /// still queued `deadline_ms` milliseconds after receipt.
+    pub fn tagged_deadline(self, id: u64, deadline_ms: u32) -> Request {
+        Request::Tagged {
+            id,
+            deadline_ms: Some(deadline_ms),
             inner: Box::new(self),
         }
     }
@@ -390,12 +449,21 @@ impl Request {
             6 => Request::Rescan,
             7 => Request::Stats,
             8 => Request::Refit,
-            TAGGED_OPCODE if allow_tag => {
+            op @ (TAGGED_OPCODE | TAGGED_DEADLINE_OPCODE) if allow_tag => {
                 let id = c.u64("request id")?;
+                let deadline_ms = if op == TAGGED_DEADLINE_OPCODE {
+                    Some(c.u32("request deadline")?)
+                } else {
+                    None
+                };
                 let inner = Box::new(Self::decode_cursor(c, false)?);
-                Request::Tagged { id, inner }
+                Request::Tagged {
+                    id,
+                    deadline_ms,
+                    inner,
+                }
             }
-            TAGGED_OPCODE => {
+            TAGGED_OPCODE | TAGGED_DEADLINE_OPCODE => {
                 return Err(ServeError::Protocol(
                     "tagged request nested inside a tagged request".into(),
                 ))
@@ -457,6 +525,7 @@ impl Response {
                 push_u32(out, report.added as u32);
                 push_u32(out, report.removed as u32);
                 push_u32(out, report.reloaded as u32);
+                push_u32(out, report.corrupt_skipped as u32);
             }
             Response::Stats(counters) => {
                 out.push(6);
@@ -465,6 +534,14 @@ impl Response {
                     push_str(out, name);
                     push_u64(out, *value);
                 }
+            }
+            Response::Overloaded(msg) => {
+                out.push(7);
+                push_str(out, msg);
+            }
+            Response::DeadlineExceeded(msg) => {
+                out.push(8);
+                push_str(out, msg);
             }
             Response::Tagged { id, inner } => {
                 out.push(TAGGED_OPCODE);
@@ -554,6 +631,7 @@ impl Response {
                 added: c.u32("rescan added")? as usize,
                 removed: c.u32("rescan removed")? as usize,
                 reloaded: c.u32("rescan reloaded")? as usize,
+                corrupt_skipped: c.u32("rescan corrupt skipped")? as usize,
             }),
             6 => {
                 let count = c.u32("counter count")? as usize;
@@ -565,6 +643,8 @@ impl Response {
                 }
                 Response::Stats(counters)
             }
+            7 => Response::Overloaded(c.string("overload reason")?),
+            8 => Response::DeadlineExceeded(c.string("deadline reason")?),
             TAGGED_OPCODE if allow_tag => {
                 let id = c.u64("response id")?;
                 let inner = Box::new(Self::decode_cursor(c, false)?);
@@ -669,6 +749,12 @@ mod tests {
                 inputs: vec![sample_matrix()],
             }
             .tagged(7),
+            Request::Transform {
+                model: "m".into(),
+                inputs: vec![sample_matrix()],
+            }
+            .tagged_deadline(8, 250),
+            Request::Ping.tagged_deadline(9, 0),
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -678,8 +764,23 @@ mod tests {
     fn nested_tags_are_rejected() {
         let req = Request::Ping.tagged(1).tagged(2);
         assert!(Request::decode(&req.encode()).is_err());
+        let req = Request::Ping.tagged_deadline(1, 5).tagged(2);
+        assert!(Request::decode(&req.encode()).is_err());
         let resp = Response::Pong.tagged(1).tagged(2);
         assert!(Response::decode(&resp.encode()).is_err());
+    }
+
+    #[test]
+    fn deadline_envelope_is_opcode_17_and_plain_tag_is_unchanged() {
+        // v2 compatibility: a deadline-free tag must still encode as opcode 16
+        // with the exact v2 layout.
+        let plain = Request::Ping.tagged(3).encode();
+        assert_eq!(plain[0], TAGGED_OPCODE);
+        assert_eq!(plain.len(), 1 + 8 + 1);
+        let with_deadline = Request::Ping.tagged_deadline(3, 1500).encode();
+        assert_eq!(with_deadline[0], TAGGED_DEADLINE_OPCODE);
+        assert_eq!(with_deadline.len(), 1 + 8 + 4 + 1);
+        assert_eq!(&with_deadline[9..13], &1500u32.to_le_bytes());
     }
 
     #[test]
@@ -712,7 +813,10 @@ mod tests {
                 added: 2,
                 removed: 1,
                 reloaded: 3,
+                corrupt_skipped: 4,
             }),
+            Response::Overloaded("queue full (64 pending)".into()),
+            Response::DeadlineExceeded("expired 12ms before dispatch".into()),
             Response::Stats(vec![
                 ("requests".into(), 12),
                 ("trainer/model_version".into(), u64::MAX),

@@ -37,6 +37,7 @@ fn start_server() -> (SocketAddr, impl FnOnce()) {
         BatchConfig {
             max_batch: 16,
             max_wait: Duration::from_millis(1),
+            ..BatchConfig::default()
         },
     )
     .unwrap();

@@ -70,6 +70,7 @@ fn hammered_model_survives_repeated_live_swaps() {
         BatchConfig {
             max_batch: 32,
             max_wait: Duration::from_millis(1),
+            ..BatchConfig::default()
         },
     ));
     let mut trainer_config = TrainerConfig::watching("live", spec);

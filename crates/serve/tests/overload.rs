@@ -1,0 +1,266 @@
+//! Overload-protection contract tests: a server under pressure must shed,
+//! throttle or reject *in band* — never hang, never buffer without bound,
+//! never silently drop a request that was admitted.
+
+use linalg::Matrix;
+use mvcore::{EstimatorRegistry, FitSpec};
+use serve::wire::{read_frame, write_frame, Request, Response};
+use serve::{BatchConfig, Client, ModelStore, ServeError, Server, ServerTuning};
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fixture_views() -> Vec<Matrix> {
+    let data = datasets::secstr_dataset(&datasets::SecStrConfig {
+        n_instances: 24,
+        seed: 3,
+        difficulty: 0.8,
+    });
+    data.views()
+        .iter()
+        .map(|v| v.select_rows(&(0..8.min(v.rows())).collect::<Vec<_>>()))
+        .collect()
+}
+
+fn fixture_store(rank: usize) -> Arc<ModelStore> {
+    let views = fixture_views();
+    let registry = EstimatorRegistry::with_builtin();
+    let model = registry
+        .fit("PCA", &views, &FitSpec::with_rank(rank).seed(7))
+        .unwrap();
+    let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+    store.insert("pca", model);
+    store
+}
+
+fn start_tuned(
+    batch: BatchConfig,
+    tuning: ServerTuning,
+    rank: usize,
+) -> (SocketAddr, impl FnOnce()) {
+    let engine = Arc::new(serve::BatchEngine::start(fixture_store(rank), batch));
+    let server = Server::bind_service_tuned("127.0.0.1:0", engine, tuning).unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().unwrap());
+    (addr, move || {
+        shutdown.shutdown();
+        thread.join().unwrap();
+    })
+}
+
+fn counter(stats: &[(String, u64)], name: &str) -> u64 {
+    stats
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("counter {name} missing from {stats:?}"))
+}
+
+/// A connection whose pending replies pile up must trip the write-buffer
+/// high-water mark (visible in `server/throttled`) instead of growing buffers
+/// without bound — and still receive every reply, in order, once the jam
+/// clears. Throttling is backpressure, not loss.
+///
+/// The jam is built deterministically through the v1 ordering gate: one
+/// untagged transform parks in a wide batching window at the head of the
+/// line, so every fast sync reply behind it is *held* by the gate (held bytes
+/// count against the mark) — no dependence on kernel socket buffer sizes.
+#[test]
+fn slow_reader_is_throttled_not_buffered_unboundedly() {
+    let followers: usize = 200;
+    let (addr, stop) = start_tuned(
+        BatchConfig {
+            max_batch: 64,
+            // Parks the head-of-line transform so held replies accumulate.
+            max_wait: Duration::from_millis(400),
+            ..BatchConfig::default()
+        },
+        ServerTuning {
+            // Far below the held-reply volume, so the mark must trip.
+            wbuf_high_water: 2 * 1024,
+            ..ServerTuning::default()
+        },
+        2,
+    );
+    let views = fixture_views();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let head = Request::Transform {
+        model: "pca".into(),
+        inputs: views.clone(),
+    };
+    write_frame(&mut stream, &head.encode()).unwrap();
+    for _ in 0..followers {
+        write_frame(&mut stream, &Request::ListModels.encode()).unwrap();
+    }
+
+    // A second connection watches the throttle counter. The counter is
+    // cumulative (it counts excursions), so there is no race with the jam
+    // clearing before we look.
+    let mut observer = Client::connect(addr).unwrap();
+    let tripped_by = Instant::now() + Duration::from_secs(30);
+    loop {
+        let throttled = counter(&observer.stats().unwrap(), "server/throttled");
+        if throttled >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < tripped_by,
+            "high-water mark never tripped while {followers} held replies piled up"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Once the head-of-line batch executes, everything flushes — every
+    // request answered, v1 ordering intact.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let payload = read_frame(&mut stream)
+        .unwrap()
+        .expect("reply stream ended early");
+    assert!(
+        matches!(Response::decode(&payload).unwrap(), Response::Embedding(_)),
+        "the head-of-line transform must be answered first"
+    );
+    for i in 0..followers {
+        let payload = read_frame(&mut stream)
+            .unwrap()
+            .unwrap_or_else(|| panic!("reply stream ended after {i} of {followers} held replies"));
+        assert!(
+            matches!(Response::decode(&payload).unwrap(), Response::Models(_)),
+            "held replies must flush in order"
+        );
+    }
+    stop();
+}
+
+/// Pipelining past the per-connection in-flight limit gets the excess shed
+/// with an in-band `Overloaded` reply — every request is answered, none hang.
+#[test]
+fn pipelined_flood_beyond_inflight_limit_is_shed_in_band() {
+    let requests: u64 = 64;
+    let (addr, stop) = start_tuned(
+        BatchConfig {
+            max_batch: 64,
+            // A wide window parks admitted work so the in-flight count stays
+            // up while the flood arrives.
+            max_wait: Duration::from_millis(200),
+            ..BatchConfig::default()
+        },
+        ServerTuning {
+            max_inflight_per_conn: 4,
+            ..ServerTuning::default()
+        },
+        2,
+    );
+    let views = fixture_views();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    for id in 0..requests {
+        let frame = Request::Transform {
+            model: "pca".into(),
+            inputs: views.clone(),
+        }
+        .tagged(id)
+        .encode();
+        write_frame(&mut stream, &frame).unwrap();
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let (mut served, mut shed) = (0u64, 0u64);
+    let mut seen = BTreeSet::new();
+    for _ in 0..requests {
+        let payload = read_frame(&mut stream)
+            .unwrap()
+            .expect("reply stream ended early");
+        match Response::decode(&payload).unwrap() {
+            Response::Tagged { id, inner } => {
+                assert!(seen.insert(id), "duplicate reply for request {id}");
+                match *inner {
+                    Response::Embedding(_) => served += 1,
+                    Response::Overloaded(_) => shed += 1,
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            other => panic!("expected a tagged reply, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        seen.len() as u64,
+        requests,
+        "every request must be answered"
+    );
+    assert!(served >= 1, "the in-flight window must serve something");
+    assert!(
+        shed >= 1,
+        "a 64-deep pipeline against a 4-deep limit must shed ({served} served)"
+    );
+    let mut observer = Client::connect(addr).unwrap();
+    assert!(
+        counter(&observer.stats().unwrap(), "server/shed_inflight") >= shed,
+        "sheds must be visible in server/shed_inflight"
+    );
+    stop();
+}
+
+/// A wire deadline (opcode 17) shorter than the batching window expires while
+/// the request is parked, and the client gets an in-band `DeadlineExceeded` —
+/// the work is discarded, not computed late.
+#[test]
+fn expired_wire_deadline_is_answered_in_band() {
+    let (addr, stop) = start_tuned(
+        BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(300),
+            ..BatchConfig::default()
+        },
+        ServerTuning::default(),
+        2,
+    );
+    let views = fixture_views();
+    let mut client = Client::connect(addr).unwrap();
+    match client.transform_deadline("pca", &views, 1) {
+        Err(ServeError::DeadlineExceeded(_)) => {}
+        other => panic!("expected an in-band deadline verdict, got {other:?}"),
+    }
+    // A deadline-free request on the same connection still works: the expired
+    // one was discarded cleanly, not left to poison the stream.
+    client.transform("pca", &views).unwrap();
+    assert!(
+        counter(&client.stats().unwrap(), "deadline_dropped") >= 1,
+        "the engine must count the dropped-deadline request"
+    );
+    stop();
+}
+
+/// The client's per-operation timeout bounds every socket wait: a server that
+/// accepts and then stalls forever surfaces as a transport error in bounded
+/// time, not a hung caller.
+#[test]
+fn per_op_timeout_bounds_a_stalled_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let stall = std::thread::spawn(move || {
+        // Accept and hold the socket open without ever replying.
+        let conn = listener.accept().map(|(s, _)| s);
+        let _ = done_rx.recv();
+        drop(conn);
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client.set_op_timeout(Some(Duration::from_millis(300)));
+    let started = Instant::now();
+    let err = client.ping().expect_err("a stalled server cannot pong");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the op timeout must bound the wait (took {:?})",
+        started.elapsed()
+    );
+    assert_eq!(err.class(), serve::ErrorClass::Transport, "got {err:?}");
+    done_tx.send(()).unwrap();
+    stall.join().unwrap();
+}

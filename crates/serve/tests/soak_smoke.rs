@@ -1,0 +1,58 @@
+//! A short seeded run of the chaos soak harness, end to end: shard kill,
+//! fault injection, rescan churn and recovery, with the overload contract
+//! asserted the same way CI asserts it.
+
+use serve::soak::{run_soak, SoakConfig};
+use std::time::Duration;
+
+#[test]
+fn seeded_soak_with_chaos_upholds_the_overload_contract() {
+    let config = SoakConfig {
+        seed: 1234,
+        models: 4,
+        clients: 4,
+        phase: Duration::from_millis(800),
+        deadline_ms: 2_000,
+        local_shards: 2,
+        ..SoakConfig::default()
+    };
+    let report = run_soak(&config).expect("the soak harness must run");
+    assert_eq!(report.seed, 1234, "the report must record the fault seed");
+    assert_eq!(report.phases.len(), 3);
+    for phase in &report.phases {
+        assert_eq!(
+            phase.protocol_violations, 0,
+            "{}: protocol violations on front connections",
+            phase.name
+        );
+        assert_eq!(
+            phase.transport_errors, 0,
+            "{}: hung or broken front connections",
+            phase.name
+        );
+        assert!(phase.requests > 0, "{}: no traffic completed", phase.name);
+        assert_eq!(
+            phase.requests,
+            phase.ok
+                + phase.overloaded
+                + phase.deadline_exceeded
+                + phase.rejected_in_band
+                + phase.transport_errors
+                + phase.protocol_violations,
+            "{}: every request must be accounted for",
+            phase.name
+        );
+    }
+    // The strict ≥90% recovery bar is asserted by the CI soak job over longer
+    // phases; with this test's short windows on a shared machine, only gross
+    // failures to recover are meaningful.
+    assert!(
+        report.recovery_ratio >= 0.6,
+        "throughput did not recover after chaos (ratio {:.2})",
+        report.recovery_ratio
+    );
+    // The report renders to the BENCH/CI JSON shape.
+    let json = report.to_json();
+    assert!(json.contains("\"fault_seed\": 1234"));
+    assert!(json.contains("\"recovery_ratio\""));
+}

@@ -41,6 +41,7 @@ fn submit_view_burst(
             model,
             which,
             Arc::clone(slice),
+            None,
             Box::new(move |r| drop(tx.send((i, r)))),
         );
     }
@@ -68,6 +69,7 @@ fn serving_happy_paths_copy_no_input_matrices() {
         BatchConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(100),
+            ..BatchConfig::default()
         },
     );
     let direct = engine
@@ -140,6 +142,7 @@ fn serving_happy_paths_copy_no_input_matrices() {
         BatchConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(50),
+            ..BatchConfig::default()
         },
     )
     .build();
@@ -185,6 +188,7 @@ fn serving_happy_paths_copy_no_input_matrices() {
         engine.submit_transform(
             "pca",
             Arc::clone(inputs),
+            None,
             Box::new(move |r| drop(tx.send(r))),
         );
     }
