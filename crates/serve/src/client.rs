@@ -1,4 +1,4 @@
-//! Blocking TCP client for the `tcca_serve` protocol (v1–v4).
+//! Blocking TCP client for the `tcca_serve` protocol (v1–v5).
 //!
 //! The one-call-at-a-time methods ([`Client::transform`], [`Client::ping`], …)
 //! speak plain v1 frames. The v2 surface is [`Client::send`] / [`Client::recv`]:
@@ -29,7 +29,7 @@
 
 use crate::faults::{self, Site};
 use crate::wire::{
-    read_frame, write_frame, ModelInfo, NamedOutput, Request, RescanReport, Response,
+    read_frame, write_frame, ModelInfo, NamedOutput, Request, RescanReport, Response, ShardInfo,
 };
 use crate::{Result, ServeError};
 use linalg::Matrix;
@@ -360,6 +360,36 @@ impl Client {
         match self.call(&Request::ListModels)? {
             Response::Models(models) => Ok(models),
             other => Err(Self::error_from(other, "ListModels")),
+        }
+    }
+
+    /// The cluster membership table of a router-backed server (v5).
+    pub fn cluster_info(&mut self) -> Result<Vec<ShardInfo>> {
+        match self.call(&Request::ClusterInfo)? {
+            Response::Cluster(shards) => Ok(shards),
+            other => Err(Self::error_from(other, "ClusterInfo")),
+        }
+    }
+
+    /// Admit a new remote shard at `addr` into a router-backed server (v5).
+    /// The server validates the shard (connect + ping) before admitting it;
+    /// returns the updated cluster snapshot.
+    pub fn add_shard(&mut self, addr: &str) -> Result<Vec<ShardInfo>> {
+        match self.call(&Request::AddShard {
+            addr: addr.to_string(),
+        })? {
+            Response::Cluster(shards) => Ok(shards),
+            other => Err(Self::error_from(other, "AddShard")),
+        }
+    }
+
+    /// Drain and remove the shard with the given stable id (v5). Blocks until
+    /// in-flight work on the shard completed (or the server's drain timeout
+    /// expired); returns the updated cluster snapshot.
+    pub fn remove_shard(&mut self, shard: u64) -> Result<Vec<ShardInfo>> {
+        match self.call(&Request::RemoveShard { shard })? {
+            Response::Cluster(shards) => Ok(shards),
+            other => Err(Self::error_from(other, "RemoveShard")),
         }
     }
 

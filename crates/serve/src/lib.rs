@@ -18,11 +18,14 @@
 //! * [`Router`] — a sharded serving tier: N in-process or child-process shards,
 //!   rendezvous-hash placement by model name with a replicated hot set, and
 //!   mid-request failover when a shard dies.
-//! * [`Server`] / [`Client`] — a poll(2)-based event-loop TCP server speaking the
-//!   length-prefixed frame protocol (see [`wire`]; v2 adds tagged request ids for
-//!   pipelined, out-of-order replies, v4 adds wire deadlines and in-band overload
-//!   verdicts) plus the `tcca_serve` binary, which also offers one-shot CLI modes
-//!   for offline embedding and routing.
+//! * [`Server`] / [`Client`] — an event-loop TCP server multiplexing all sockets
+//!   on a pluggable readiness [`reactor`] (epoll(7) on Linux, poll(2) as the
+//!   portable fallback, selected at runtime), speaking the length-prefixed frame
+//!   protocol (see [`wire`]; v2 adds tagged request ids for pipelined,
+//!   out-of-order replies, v4 adds wire deadlines and in-band overload verdicts,
+//!   v5 adds live control-plane ops for runtime shard add/remove) plus the
+//!   `tcca_serve` binary, which also offers one-shot CLI modes for offline
+//!   embedding and routing.
 //!
 //! The stack protects itself under overload rather than degrading silently:
 //! bounded admission queues shed excess work with in-band
@@ -53,6 +56,7 @@ mod batch;
 mod client;
 mod error;
 pub mod faults;
+pub mod reactor;
 mod router;
 mod server;
 mod service;
@@ -65,8 +69,9 @@ pub use batch::{BatchConfig, BatchEngine, EngineStats, OutputsCallback, ReplyCal
 pub use client::Client;
 pub use error::{ErrorClass, ServeError};
 pub use faults::{FaultPlan, Site};
+pub use reactor::ReactorKind;
 pub use router::{Router, RouterBuilder, RouterConfig, RouterStats, Shard};
-pub use server::{Server, ServerTuning};
+pub use server::{Server, ServerTuning, ShutdownHandle};
 pub use service::TransformService;
 pub use store::{ModelStore, StoredModel, MODEL_EXTENSION};
 pub use trainer::{TrainerConfig, TrainerService};

@@ -1,0 +1,183 @@
+//! The portable poll(2) backend.
+//!
+//! This is the original serving event loop's readiness mechanism, retrofitted
+//! behind the [`Reactor`] trait. poll has no persistent kernel-side interest
+//! table, so every [`Reactor::wait`] rebuilds the full `pollfd` array from the
+//! registration list and the kernel rescans it — per-wakeup cost is O(all
+//! registered descriptors), which is exactly the scaling the epoll backend
+//! exists to fix. It stays as the fallback for unixes without epoll and as the
+//! semantic reference implementation.
+
+use super::{Event, Interest, Reactor, ReactorKind, Waker};
+use std::io::{self, Read};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+
+/// Raw poll(2) FFI — the libc symbols are always linked; declaring them here
+/// keeps the workspace free of external crates (the build environment has no
+/// registry access).
+mod sys {
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// `poll` retrying on EINTR. `timeout` in milliseconds, `-1` blocks.
+    pub fn poll_retry(fds: &mut [PollFd], timeout: i32) -> std::io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// One registration: descriptor, caller token, current interest.
+struct Registration {
+    fd: i32,
+    token: u64,
+    interest: Interest,
+}
+
+/// The poll(2) [`Reactor`].
+pub struct PollReactor {
+    registrations: Vec<Registration>,
+    wake_rx: UnixStream,
+    waker: Waker,
+}
+
+impl PollReactor {
+    /// Create a reactor with its internal wake pipe.
+    pub fn new() -> io::Result<Self> {
+        let (rx, tx) = UnixStream::pair()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        Ok(PollReactor {
+            registrations: Vec::new(),
+            wake_rx: rx,
+            waker: Waker::new(tx),
+        })
+    }
+
+    fn position(&self, fd: i32) -> Option<usize> {
+        self.registrations.iter().position(|r| r.fd == fd)
+    }
+}
+
+impl Reactor for PollReactor {
+    fn kind(&self) -> ReactorKind {
+        ReactorKind::Poll
+    }
+
+    fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        if self.position(fd).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("fd {fd} is already registered"),
+            ));
+        }
+        self.registrations.push(Registration {
+            fd,
+            token,
+            interest,
+        });
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        let idx = self.position(fd).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} is not registered"),
+            )
+        })?;
+        self.registrations[idx].token = token;
+        self.registrations[idx].interest = interest;
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: i32) -> io::Result<()> {
+        let idx = self.position(fd).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} is not registered"),
+            )
+        })?;
+        self.registrations.swap_remove(idx);
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        use sys::*;
+        events.clear();
+
+        // Slot 0 is always the wake pipe; registrations follow in list order.
+        let mut fds = Vec::with_capacity(self.registrations.len() + 1);
+        fds.push(PollFd {
+            fd: self.wake_rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for reg in &self.registrations {
+            let mut ev = 0i16;
+            if reg.interest.read {
+                ev |= POLLIN;
+            }
+            if reg.interest.write {
+                ev |= POLLOUT;
+            }
+            // events == 0 still reports POLLERR/POLLHUP/POLLNVAL.
+            fds.push(PollFd {
+                fd: reg.fd,
+                events: ev,
+                revents: 0,
+            });
+        }
+
+        poll_retry(&mut fds, timeout_ms)?;
+
+        if fds[0].revents & POLLIN != 0 {
+            let mut sink = [0u8; 64];
+            while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+        for (reg, pfd) in self.registrations.iter().zip(&fds[1..]) {
+            let re = pfd.revents;
+            if re == 0 {
+                continue;
+            }
+            events.push(Event {
+                token: reg.token,
+                readable: re & POLLIN != 0,
+                writable: re & POLLOUT != 0,
+                error: re & (POLLERR | POLLNVAL) != 0,
+                hangup: re & POLLHUP != 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn waker(&self) -> Waker {
+        self.waker.clone()
+    }
+
+    fn registered(&self) -> usize {
+        self.registrations.len()
+    }
+}

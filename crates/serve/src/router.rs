@@ -33,11 +33,25 @@
 //! with seeded deterministic jitter. A request carrying a deadline is dropped
 //! the moment it expires, and the *remaining* budget is re-encoded onto the
 //! wire for remote shards.
+//!
+//! ## The live control plane (protocol v5)
+//!
+//! The shard table is **dynamic**: [`Router::add_shard`] validates a new remote
+//! shard (fresh connect + ping) and admits it under a fresh stable id —
+//! rendezvous hashing then remaps only the models whose top-scoring shard
+//! changed, so admission is an incremental rebalance, not a reshuffle.
+//! [`Router::remove_shard`] **drains before removing**: the shard stops
+//! receiving new requests (it leaves every candidate list) while in-flight
+//! work on it runs to completion; only then does it leave the table (and a
+//! local shard's engine stops). Requests never drop across the transition —
+//! anything still racing the removal fails over through the normal transport
+//! path. The health probe walks the *current* table each pass, so shards added
+//! at runtime are probed and removed ones are forgotten.
 
 use crate::batch::{OutputsCallback, ReplyCallback};
 use crate::faults::splitmix64;
 use crate::service::{store_catalog, TransformService};
-use crate::wire::{ModelInfo, NamedOutput, RescanReport};
+use crate::wire::{ModelInfo, NamedOutput, RescanReport, ShardInfo};
 use crate::{BatchConfig, BatchEngine, Client, ErrorClass, ModelStore, Result, ServeError};
 use linalg::Matrix;
 use mvcore::EstimatorRegistry;
@@ -45,7 +59,7 @@ use parallel::Pool;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Router knobs.
@@ -80,6 +94,10 @@ pub struct RouterConfig {
     /// fraction of real traffic under sustained failure. `0` disables the
     /// budget (every failover may retry).
     pub retry_budget: u32,
+    /// How long [`Router::remove_shard`] waits for in-flight work on the
+    /// draining shard to complete before removing it anyway. Work still racing
+    /// past the timeout fails over through the normal transport path.
+    pub drain_timeout: std::time::Duration,
 }
 
 impl Default for RouterConfig {
@@ -93,6 +111,7 @@ impl Default for RouterConfig {
             retry_max: std::time::Duration::from_millis(500),
             retry_seed: 0,
             retry_budget: 16,
+            drain_timeout: std::time::Duration::from_secs(5),
         }
     }
 }
@@ -111,6 +130,8 @@ pub struct RouterStats {
     /// Requests dropped because their deadline expired before (or between)
     /// attempts.
     pub deadline_drops: usize,
+    /// Control-plane operations served (cluster info, shard add, shard remove).
+    pub control_ops: usize,
 }
 
 /// A per-shard retry token bucket, scaled so a success refills a *fraction* of
@@ -176,11 +197,17 @@ pub struct Shard {
     label: String,
     backend: Backend,
     alive: AtomicBool,
+    /// Draining shards take no new work (they leave every candidate list) but
+    /// finish what they hold — the first half of drain-before-remove.
+    draining: AtomicBool,
+    /// Requests currently executing on this shard; a drain completes when it
+    /// reaches zero.
+    inflight: AtomicU64,
     retry: RetryBudget,
 }
 
 impl Shard {
-    /// Shard id (index in the router).
+    /// Stable shard id (never reused within one router's lifetime).
     pub fn id(&self) -> usize {
         self.id
     }
@@ -194,13 +221,33 @@ impl Shard {
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::SeqCst)
     }
+
+    /// Whether the shard is draining ahead of removal.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently executing on this shard.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Whether this shard takes new work.
+    fn accepts_work(&self) -> bool {
+        self.is_alive() && !self.is_draining()
+    }
 }
 
 struct Inner {
-    shards: Vec<Arc<Shard>>,
+    /// The dynamic shard table. Reads (routing, probing, stats) take the read
+    /// lock for a snapshot; only control-plane add/remove take the write lock.
+    shards: RwLock<Vec<Arc<Shard>>>,
+    /// Next id handed to an admitted shard — ids are stable and never reused.
+    next_shard_id: AtomicUsize,
     replication: usize,
     connections_per_shard: usize,
     remote_timeout: std::time::Duration,
+    drain_timeout: Duration,
     retry_base: Duration,
     retry_max: Duration,
     retry_seed: u64,
@@ -215,6 +262,30 @@ struct Inner {
 }
 
 impl Inner {
+    /// A point-in-time copy of the shard table (cheap: clones the `Arc`s).
+    fn snapshot(&self) -> Vec<Arc<Shard>> {
+        self.shards.read().expect("shard table lock").clone()
+    }
+
+    /// Look up a shard by stable id, if it is still in the table.
+    fn shard(&self, id: usize) -> Option<Arc<Shard>> {
+        self.shards
+            .read()
+            .expect("shard table lock")
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
+    }
+
+    /// Count a request routed to shard `sid` (the stats vector grows with the
+    /// id space — ids of removed shards keep their history).
+    fn note_routed(&self, sid: usize) {
+        let mut stats = self.stats.lock().expect("router stats lock");
+        if stats.routed.len() <= sid {
+            stats.routed.resize(sid + 1, 0);
+        }
+        stats.routed[sid] += 1;
+    }
     /// The backoff before retry attempt `k` (0-based): exponential in `k`,
     /// capped, then jittered into `[1/2, 1)` of the cap by a seeded hash —
     /// deterministic for a given `retry_seed` and retry sequence, but spread
@@ -329,6 +400,8 @@ impl RouterBuilder {
                             label: format!("local-{id}"),
                             backend: Backend::Local { engine },
                             alive: AtomicBool::new(true),
+                            draining: AtomicBool::new(false),
+                            inflight: AtomicU64::new(0),
                             retry: RetryBudget::new(retry_budget),
                         }
                     }
@@ -340,16 +413,20 @@ impl RouterBuilder {
                             conns: Mutex::new(Vec::new()),
                         },
                         alive: AtomicBool::new(true),
+                        draining: AtomicBool::new(false),
+                        inflight: AtomicU64::new(0),
                         retry: RetryBudget::new(retry_budget),
                     },
                 })
             })
             .collect();
         let inner = Arc::new(Inner {
-            shards,
+            shards: RwLock::new(shards),
+            next_shard_id: AtomicUsize::new(n),
             replication: self.config.replication.max(1),
             connections_per_shard: self.config.connections_per_shard.max(1),
             remote_timeout: self.config.remote_timeout,
+            drain_timeout: self.config.drain_timeout,
             retry_base: self.config.retry_base,
             retry_max: self.config.retry_max.max(self.config.retry_base),
             retry_seed: self.config.retry_seed,
@@ -400,9 +477,13 @@ fn spawn_probe(weak: std::sync::Weak<Inner>, interval: std::time::Duration) {
 /// connection seeds the pool). A local shard recovers only from a failover
 /// false positive: its engine runs in-process, so a *stopped* engine is gone
 /// for good and the shard stays dead.
+///
+/// The probe walks a snapshot of the *current* table each pass: shards admitted
+/// at runtime are probed from their first dead moment, and removed shards are
+/// never dialled again.
 fn probe_dead_shards(inner: &Inner) {
-    for shard in &inner.shards {
-        if shard.is_alive() {
+    for shard in inner.snapshot() {
+        if shard.is_alive() || shard.is_draining() {
             continue;
         }
         let recovered = match &shard.backend {
@@ -447,15 +528,15 @@ impl Router {
         Ok(builder.build())
     }
 
-    /// The shards, in id order.
-    pub fn shards(&self) -> &[Arc<Shard>] {
-        &self.inner.shards
+    /// A snapshot of the shard table, in admission order.
+    pub fn shards(&self) -> Vec<Arc<Shard>> {
+        self.inner.snapshot()
     }
 
     /// Ids of shards still considered live.
     pub fn live_shards(&self) -> Vec<usize> {
         self.inner
-            .shards
+            .snapshot()
             .iter()
             .filter(|s| s.is_alive())
             .map(|s| s.id)
@@ -465,7 +546,7 @@ impl Router {
     /// Kill a shard administratively: mark it dead and stop its engine (local
     /// shards). New requests never route to it.
     pub fn kill_shard(&self, id: usize) {
-        if let Some(shard) = self.inner.shards.get(id) {
+        if let Some(shard) = self.inner.shard(id) {
             shard.alive.store(false, Ordering::SeqCst);
             if let Backend::Local { engine } = &shard.backend {
                 engine.stop();
@@ -478,7 +559,7 @@ impl Router {
     /// a remote shard. The next request routed to it fails, gets failed over, and
     /// only then is the shard marked dead. Tests and the failover smoke use this.
     pub fn crash_shard(&self, id: usize) {
-        if let Some(shard) = self.inner.shards.get(id) {
+        if let Some(shard) = self.inner.shard(id) {
             if let Backend::Local { engine } = &shard.backend {
                 engine.stop();
             }
@@ -490,9 +571,29 @@ impl Router {
     /// [`Router::kill_shard`] the backend keeps running, so the health probe (or
     /// [`Router::probe_now`]) can prove it healthy and return it to rotation.
     pub fn mark_dead(&self, id: usize) {
-        if let Some(shard) = self.inner.shards.get(id) {
+        if let Some(shard) = self.inner.shard(id) {
             shard.alive.store(false, Ordering::SeqCst);
         }
+    }
+
+    /// The cluster membership table (what the v5 `ClusterInfo` op returns).
+    pub fn cluster_snapshot(&self) -> Vec<ShardInfo> {
+        let routed = {
+            let stats = self.inner.stats.lock().expect("router stats lock");
+            stats.routed.clone()
+        };
+        self.inner
+            .snapshot()
+            .iter()
+            .map(|s| ShardInfo {
+                id: s.id as u64,
+                label: s.label.clone(),
+                alive: s.is_alive(),
+                draining: s.is_draining(),
+                inflight: s.inflight(),
+                routed: routed.get(s.id).copied().unwrap_or(0) as u64,
+            })
+            .collect()
     }
 
     /// Run one health-probe pass synchronously (the background thread does the
@@ -512,9 +613,9 @@ impl Router {
     fn candidates(&self, model: &str) -> Vec<usize> {
         let inner = &self.inner;
         let mut scored: Vec<(u64, usize)> = inner
-            .shards
+            .snapshot()
             .iter()
-            .filter(|s| s.is_alive())
+            .filter(|s| s.accepts_work())
             .map(|s| (rendezvous_score(model, s.id), s.id))
             .collect();
         scored.sort_unstable_by(|a, b| b.cmp(a));
@@ -538,7 +639,8 @@ impl Router {
 
 /// How one attempt of an op executes on one shard. `Fn` (not `FnOnce`) because a
 /// failover re-runs it against the next candidate.
-type Attempt<T> = Arc<dyn Fn(&Arc<Inner>, usize, Box<dyn FnOnce(Result<T>) + Send>) + Send + Sync>;
+type Attempt<T> =
+    Arc<dyn Fn(&Arc<Inner>, &Arc<Shard>, Box<dyn FnOnce(Result<T>) + Send>) + Send + Sync>;
 
 /// Try candidates in order, failing over per the error taxonomy: transport
 /// failures mark the shard dead and move on, overload verdicts move on without
@@ -549,6 +651,11 @@ type Attempt<T> = Arc<dyn Fn(&Arc<Inner>, usize, Box<dyn FnOnce(Result<T>) + Sen
 /// dead answer is computed. Each attempt's continuation recurses from whatever
 /// thread completed it (pool worker or the submitting thread on fast-fail
 /// paths).
+///
+/// Candidates are *stable ids*, resolved against the live table at attempt
+/// time — a shard removed since the candidate list was computed is skipped,
+/// not routed to. Each attempt holds the shard's in-flight count for its whole
+/// duration, which is what drain-before-remove waits on.
 fn try_shards<T: Send + 'static>(
     inner: Arc<Inner>,
     candidates: Vec<usize>,
@@ -560,6 +667,11 @@ fn try_shards<T: Send + 'static>(
     let Some(&sid) = candidates.get(idx) else {
         return reply(Err(ServeError::NoLiveShards));
     };
+    // Resolve the stable id against the *current* table: a shard the control
+    // plane removed mid-request is skipped without spending a retry token.
+    let Some(shard) = inner.shard(sid) else {
+        return try_shards(inner, candidates, idx + 1, deadline, attempt, reply);
+    };
     if deadline.is_some_and(|d| Instant::now() >= d) {
         inner
             .stats
@@ -570,52 +682,61 @@ fn try_shards<T: Send + 'static>(
             "deadline passed before the request reached a shard".into(),
         )));
     }
-    {
-        let mut stats = inner.stats.lock().expect("router stats lock");
-        stats.routed[sid] += 1;
-    }
+    inner.note_routed(sid);
+    shard.inflight.fetch_add(1, Ordering::SeqCst);
     let inner2 = Arc::clone(&inner);
     let attempt2 = Arc::clone(&attempt);
-    let cont: Box<dyn FnOnce(Result<T>) + Send> = Box::new(move |result| match result {
-        Ok(value) => {
-            inner2.shards[sid].retry.refill();
-            reply(Ok(value));
-        }
-        Err(e) => match e.class() {
-            ErrorClass::Terminal => reply(Err(e)),
-            class => {
-                if class == ErrorClass::Transport {
-                    inner2.shards[sid].alive.store(false, Ordering::SeqCst);
-                }
-                let Some(&next) = candidates.get(idx + 1) else {
-                    return reply(Err(e));
-                };
-                if !inner2.shards[next].retry.try_spend() {
-                    inner2
-                        .stats
-                        .lock()
-                        .expect("router stats lock")
-                        .retries_denied += 1;
-                    return reply(Err(e));
-                }
-                inner2.stats.lock().expect("router stats lock").failovers += 1;
-                // Never sleep past the deadline: an expired request should get
-                // its in-band verdict promptly, not after a full backoff.
-                let mut delay = inner2.backoff(idx);
-                if let Some(d) = deadline {
-                    delay = delay.min(d.saturating_duration_since(Instant::now()));
-                }
-                let inner3 = Arc::clone(&inner2);
-                inner2.io_pool.spawn(move || {
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
-                    }
-                    try_shards(inner3, candidates, idx + 1, deadline, attempt2, reply);
-                });
+    let shard2 = Arc::clone(&shard);
+    let cont: Box<dyn FnOnce(Result<T>) + Send> = Box::new(move |result| {
+        // The attempt is over either way: release the drain gate before
+        // anything else (a failover must not hold the dying shard's drain).
+        shard2.inflight.fetch_sub(1, Ordering::SeqCst);
+        match result {
+            Ok(value) => {
+                shard2.retry.refill();
+                reply(Ok(value));
             }
-        },
+            Err(e) => match e.class() {
+                ErrorClass::Terminal => reply(Err(e)),
+                class => {
+                    if class == ErrorClass::Transport {
+                        shard2.alive.store(false, Ordering::SeqCst);
+                    }
+                    let Some(&next) = candidates.get(idx + 1) else {
+                        return reply(Err(e));
+                    };
+                    // A removed next candidate is a skip, not a retry: recurse
+                    // without charging anyone's budget.
+                    let Some(next_shard) = inner2.shard(next) else {
+                        return try_shards(inner2, candidates, idx + 1, deadline, attempt2, reply);
+                    };
+                    if !next_shard.retry.try_spend() {
+                        inner2
+                            .stats
+                            .lock()
+                            .expect("router stats lock")
+                            .retries_denied += 1;
+                        return reply(Err(e));
+                    }
+                    inner2.stats.lock().expect("router stats lock").failovers += 1;
+                    // Never sleep past the deadline: an expired request should get
+                    // its in-band verdict promptly, not after a full backoff.
+                    let mut delay = inner2.backoff(idx);
+                    if let Some(d) = deadline {
+                        delay = delay.min(d.saturating_duration_since(Instant::now()));
+                    }
+                    let inner3 = Arc::clone(&inner2);
+                    inner2.io_pool.spawn(move || {
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        try_shards(inner3, candidates, idx + 1, deadline, attempt2, reply);
+                    });
+                }
+            },
+        }
     });
-    attempt(&inner, sid, cont);
+    attempt(&inner, &shard, cont);
 }
 
 /// Run a blocking remote call through the shard's connection pool. Connections
@@ -709,26 +830,23 @@ impl TransformService for Router {
         // Each retryable attempt clones the `Arc` handle, never the matrices: on
         // the zero-failover happy path the request buffers the server decoded are
         // the very ones the winning shard's engine reads.
-        let attempt: Attempt<Matrix> = Arc::new(move |inner, sid, cb| {
-            let shard = &inner.shards[sid];
-            match &shard.backend {
-                Backend::Local { engine } => {
-                    engine.submit_transform(&model, Arc::clone(&inputs), deadline, cb)
-                }
-                Backend::Remote { .. } => {
-                    let inner = Arc::clone(inner);
-                    let model = model.clone();
-                    let inputs = Arc::clone(&inputs);
-                    inner.clone().io_pool.spawn(move || {
-                        let shard = Arc::clone(&inner.shards[sid]);
-                        cb(with_remote_conn(&inner, &shard, |c| {
-                            match arm_deadline(c, deadline, inner.remote_timeout) {
-                                Some(ms) => c.transform_deadline(&model, &inputs, ms),
-                                None => c.transform(&model, &inputs),
-                            }
-                        }));
-                    });
-                }
+        let attempt: Attempt<Matrix> = Arc::new(move |inner, shard, cb| match &shard.backend {
+            Backend::Local { engine } => {
+                engine.submit_transform(&model, Arc::clone(&inputs), deadline, cb)
+            }
+            Backend::Remote { .. } => {
+                let inner = Arc::clone(inner);
+                let shard = Arc::clone(shard);
+                let model = model.clone();
+                let inputs = Arc::clone(&inputs);
+                inner.clone().io_pool.spawn(move || {
+                    cb(with_remote_conn(&inner, &shard, |c| {
+                        match arm_deadline(c, deadline, inner.remote_timeout) {
+                            Some(ms) => c.transform_deadline(&model, &inputs, ms),
+                            None => c.transform(&model, &inputs),
+                        }
+                    }));
+                });
             }
         });
         try_shards(
@@ -751,26 +869,23 @@ impl TransformService for Router {
     ) {
         let candidates = self.candidates(model);
         let model = model.to_string();
-        let attempt: Attempt<Matrix> = Arc::new(move |inner, sid, cb| {
-            let shard = &inner.shards[sid];
-            match &shard.backend {
-                Backend::Local { engine } => {
-                    engine.submit_transform_view(&model, which, Arc::clone(&input), deadline, cb)
-                }
-                Backend::Remote { .. } => {
-                    let inner = Arc::clone(inner);
-                    let model = model.clone();
-                    let input = Arc::clone(&input);
-                    inner.clone().io_pool.spawn(move || {
-                        let shard = Arc::clone(&inner.shards[sid]);
-                        cb(with_remote_conn(&inner, &shard, |c| {
-                            match arm_deadline(c, deadline, inner.remote_timeout) {
-                                Some(ms) => c.transform_view_deadline(&model, which, &input, ms),
-                                None => c.transform_view(&model, which, &input),
-                            }
-                        }));
-                    });
-                }
+        let attempt: Attempt<Matrix> = Arc::new(move |inner, shard, cb| match &shard.backend {
+            Backend::Local { engine } => {
+                engine.submit_transform_view(&model, which, Arc::clone(&input), deadline, cb)
+            }
+            Backend::Remote { .. } => {
+                let inner = Arc::clone(inner);
+                let shard = Arc::clone(shard);
+                let model = model.clone();
+                let input = Arc::clone(&input);
+                inner.clone().io_pool.spawn(move || {
+                    cb(with_remote_conn(&inner, &shard, |c| {
+                        match arm_deadline(c, deadline, inner.remote_timeout) {
+                            Some(ms) => c.transform_view_deadline(&model, which, &input, ms),
+                            None => c.transform_view(&model, which, &input),
+                        }
+                    }));
+                });
             }
         });
         try_shards(
@@ -792,18 +907,17 @@ impl TransformService for Router {
     ) {
         let candidates = self.candidates(model);
         let model = model.to_string();
-        let attempt: Attempt<Vec<NamedOutput>> = Arc::new(move |inner, sid, cb| {
-            let shard = &inner.shards[sid];
-            match &shard.backend {
+        let attempt: Attempt<Vec<NamedOutput>> =
+            Arc::new(move |inner, shard, cb| match &shard.backend {
                 Backend::Local { engine } => {
                     engine.submit_outputs(&model, Arc::clone(&inputs), deadline, cb)
                 }
                 Backend::Remote { .. } => {
                     let inner = Arc::clone(inner);
+                    let shard = Arc::clone(shard);
                     let model = model.clone();
                     let inputs = Arc::clone(&inputs);
                     inner.clone().io_pool.spawn(move || {
-                        let shard = Arc::clone(&inner.shards[sid]);
                         cb(with_remote_conn(&inner, &shard, |c| {
                             match arm_deadline(c, deadline, inner.remote_timeout) {
                                 Some(ms) => c.outputs_deadline(&model, &inputs, ms),
@@ -812,8 +926,7 @@ impl TransformService for Router {
                         }));
                     });
                 }
-            }
-        });
+            });
         try_shards(
             Arc::clone(&self.inner),
             candidates,
@@ -829,7 +942,7 @@ impl TransformService for Router {
         let mut merged: BTreeMap<String, ModelInfo> = BTreeMap::new();
         let mut last_err = None;
         let mut reached = 0usize;
-        for shard in self.inner.shards.iter().filter(|s| s.is_alive()) {
+        for shard in self.inner.snapshot().iter().filter(|s| s.is_alive()) {
             let listed = match &shard.backend {
                 Backend::Local { engine } => Ok(store_catalog(engine.store())),
                 Backend::Remote { .. } => with_remote_conn(&self.inner, shard, |c| c.list_models()),
@@ -862,7 +975,7 @@ impl TransformService for Router {
         let mut total = RescanReport::default();
         let mut reached = 0usize;
         let mut last_err = None;
-        for shard in self.inner.shards.iter().filter(|s| s.is_alive()) {
+        for shard in self.inner.snapshot().iter().filter(|s| s.is_alive()) {
             let report = match &shard.backend {
                 Backend::Local { engine } => engine.store().rescan(),
                 Backend::Remote { .. } => with_remote_conn(&self.inner, shard, |c| c.rescan()),
@@ -891,7 +1004,7 @@ impl TransformService for Router {
     /// (`router/failovers`, `router/revivals`, `router/routed`).
     fn stats(&self) -> Vec<(String, u64)> {
         let mut merged: BTreeMap<String, u64> = BTreeMap::new();
-        for shard in self.inner.shards.iter().filter(|s| s.is_alive()) {
+        for shard in self.inner.snapshot().iter().filter(|s| s.is_alive()) {
             let counters = match &shard.backend {
                 Backend::Local { engine } => Ok(engine.stats().counters()),
                 Backend::Remote { .. } => with_remote_conn(&self.inner, shard, |c| c.stats()),
@@ -912,8 +1025,96 @@ impl TransformService for Router {
             );
             merged.insert("router/retries_denied".into(), own.retries_denied as u64);
             merged.insert("router/deadline_drops".into(), own.deadline_drops as u64);
+            merged.insert("router/control_ops".into(), own.control_ops as u64);
         }
         merged.into_iter().collect()
+    }
+
+    /// The live membership table (v5 `ClusterInfo`).
+    fn cluster(&self) -> Result<Vec<ShardInfo>> {
+        self.inner
+            .stats
+            .lock()
+            .expect("router stats lock")
+            .control_ops += 1;
+        Ok(self.cluster_snapshot())
+    }
+
+    /// Validate and admit a remote shard (v5 `AddShard`): a fresh connect and
+    /// ping must succeed before the shard enters the table (the probe
+    /// connection seeds its pool), so a typo'd address is an in-band error,
+    /// never a dead shard in rotation. Rendezvous hashing remaps only the
+    /// models whose top-scoring shard changed.
+    fn add_shard(&self, addr: &str) -> Result<Vec<ShardInfo>> {
+        self.inner
+            .stats
+            .lock()
+            .expect("router stats lock")
+            .control_ops += 1;
+        let mut client = Client::connect_timeout(addr, self.inner.remote_timeout)?;
+        client.ping()?;
+        let id = self.inner.next_shard_id.fetch_add(1, Ordering::SeqCst);
+        let shard = Arc::new(Shard {
+            id,
+            label: addr.to_string(),
+            backend: Backend::Remote {
+                addr: addr.to_string(),
+                conns: Mutex::new(vec![client]),
+            },
+            alive: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            retry: RetryBudget::new({
+                // Match the budget the built shards got: reconstruct from any
+                // existing shard's cap, falling back to the config default.
+                let snapshot = self.inner.snapshot();
+                snapshot
+                    .first()
+                    .map(|s| (s.retry.max / RetryBudget::RETRY_COST) as u32)
+                    .unwrap_or(RouterConfig::default().retry_budget)
+            }),
+        });
+        self.inner
+            .shards
+            .write()
+            .expect("shard table lock")
+            .push(shard);
+        Ok(self.cluster_snapshot())
+    }
+
+    /// Drain and remove a shard (v5 `RemoveShard`): mark it draining (new
+    /// requests stop routing to it immediately), wait for its in-flight count
+    /// to reach zero (bounded by [`RouterConfig::drain_timeout`]), then take it
+    /// out of the table — stopping a local shard's engine only after the
+    /// drain, so completed work is never thrown away. Runs on the server's
+    /// control thread, never the event loop.
+    fn remove_shard(&self, shard_id: u64) -> Result<Vec<ShardInfo>> {
+        self.inner
+            .stats
+            .lock()
+            .expect("router stats lock")
+            .control_ops += 1;
+        let id = usize::try_from(shard_id)
+            .map_err(|_| ServeError::Remote(format!("no shard with id {shard_id}")))?;
+        let Some(shard) = self.inner.shard(id) else {
+            return Err(ServeError::Remote(format!("no shard with id {shard_id}")));
+        };
+        shard.draining.store(true, Ordering::SeqCst);
+        // Wait out the in-flight work this shard still holds. Requests that
+        // raced the draining flag hold the count too, so they finish (or fail
+        // over) before the shard disappears.
+        let deadline = Instant::now() + self.inner.drain_timeout;
+        while shard.inflight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let mut table = self.inner.shards.write().expect("shard table lock");
+            table.retain(|s| s.id != id);
+        }
+        if let Backend::Local { engine } = &shard.backend {
+            engine.stop();
+        }
+        Ok(self.cluster_snapshot())
     }
 
     /// Forward the refit trigger to every live *remote* shard (a local engine has
@@ -924,7 +1125,7 @@ impl TransformService for Router {
         let mut merged: BTreeMap<String, u64> = BTreeMap::new();
         let mut reached = 0usize;
         let mut last_err = None;
-        for shard in self.inner.shards.iter().filter(|s| s.is_alive()) {
+        for shard in self.inner.snapshot().iter().filter(|s| s.is_alive()) {
             if let Backend::Remote { .. } = &shard.backend {
                 match with_remote_conn(&self.inner, shard, |c| c.refit()) {
                     Ok(counters) => {

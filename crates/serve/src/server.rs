@@ -1,19 +1,29 @@
-//! The TCP front of the serving stack: a poll(2)-based event loop.
+//! The TCP front of the serving stack: a reactor-based event loop.
 //!
-//! One thread owns every socket. The loop multiplexes the listener, a self-pipe
-//! waker and all client connections through nonblocking `poll` readiness — thousands
-//! of idle connections cost one `pollfd` each, not one parked thread each (the
-//! thread-per-connection model this replaced). Transform work never runs on the
-//! loop: requests are submitted to a [`TransformService`] (a [`BatchEngine`] or a
-//! [`crate::Router`]) with a completion callback that encodes the reply, pushes it
-//! onto a completion queue and pokes the waker; the loop drains completions into
-//! per-connection write buffers. Cheap metadata ops (`Ping`, `ListModels`,
-//! `Rescan`) are answered inline — which is also what lets tagged (protocol v2)
-//! replies overtake in-flight transforms out of request order. Untagged (v1)
-//! replies pass through a per-connection sequencing gate instead, so a v1 client
-//! pipelining plain frames still sees replies in request order, exactly like the
-//! thread-per-connection server it replaced. A connection that half-closes after
-//! sending requests stays alive until every owed reply has been written.
+//! One thread owns every socket. The loop multiplexes the listener and all
+//! client connections through nonblocking readiness on a pluggable
+//! [`Reactor`](crate::reactor::Reactor) — epoll(7) on Linux by default, the
+//! portable poll(2) backend as fallback, selected at runtime via
+//! [`ServerTuning::reactor`] or the `TCCA_REACTOR` environment variable.
+//! Registrations are persistent: interest is modified only when a connection's
+//! state changes (backpressure, pending writes, closing), so an epoll wakeup
+//! costs O(ready events) no matter how many idle connections are parked.
+//!
+//! Nothing slow runs on the loop. Transform work is submitted to a
+//! [`TransformService`] (a [`BatchEngine`] or a [`crate::Router`]) with a
+//! completion callback that encodes the reply, pushes it onto a completion
+//! queue and pokes the waker. Metadata and control-plane ops (`ListModels`,
+//! `Rescan`, `Stats`, `Refit`, and the v5 `AddShard`/`RemoveShard`/
+//! `ClusterInfo`) run on a dedicated **control thread** through the same
+//! completion-queue handoff — a rescan fanning out to slow remote shards, or a
+//! drain-before-remove that waits for in-flight work, can never stall
+//! transform traffic. Only `Ping` is answered inline. Tagged (protocol v2)
+//! replies may overtake in-flight work out of request order; untagged (v1)
+//! replies pass through a per-connection sequencing gate instead, so a v1
+//! client pipelining plain frames still sees replies in request order, exactly
+//! like the thread-per-connection server this replaced. A connection that
+//! half-closes after sending requests stays alive until every owed reply has
+//! been written.
 //!
 //! Malformed frames get an in-band [`Response::Error`] instead of a dropped
 //! connection wherever the frame boundary is still trustworthy (bad opcode, bad
@@ -22,29 +32,31 @@
 
 use crate::service::TransformService;
 use crate::wire::{Request, Response};
-use crate::{BatchConfig, BatchEngine, ModelStore, Result, ServeError};
+use crate::{BatchConfig, BatchEngine, ModelStore, ReactorKind, Result, ServeError};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 #[cfg(unix)]
+use crate::reactor::{self, Event, Interest, Reactor};
+#[cfg(unix)]
 use crate::wire::MAX_FRAME_LEN;
 #[cfg(unix)]
-use std::io::{Read, Write};
-#[cfg(unix)]
-use std::os::unix::net::UnixStream;
+use std::io::Read;
 
-/// Connections accepted at once; beyond this the listener stops accepting until a
-/// slot frees up (pending connections wait in the OS backlog).
+/// Connections accepted at once; beyond this the listener's read interest is
+/// dropped until a slot frees up (pending connections wait in the OS backlog).
 const MAX_CONNS: usize = 4096;
 
 /// Read-buffer chunk size for one `read` call.
 const READ_CHUNK: usize = 64 * 1024;
 
 /// Bytes read per readiness event per socket before yielding back to the loop, so
-/// one firehose connection cannot starve its neighbours (poll is level-triggered:
-/// leftover bytes re-report readiness on the next pass).
+/// one firehose connection cannot starve its neighbours (both reactor backends
+/// are level-triggered: leftover bytes re-report readiness on the next pass).
+#[cfg(unix)]
 const READ_BUDGET: usize = 4 * READ_CHUNK;
 
 /// Write-buffer high-water mark: while a connection has this many unflushed reply
@@ -57,6 +69,11 @@ const WBUF_HIGH_WATER: usize = 8 * 1024 * 1024;
 /// Default cap on async replies owed to a single connection before further
 /// transform submissions are shed with an in-band [`Response::Overloaded`].
 const MAX_INFLIGHT_PER_CONN: usize = 1024;
+
+/// Token the listener is registered under; connection tokens are slot indices,
+/// far below this.
+#[cfg(unix)]
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
 
 /// Tunable per-connection limits for a bound server. The defaults match the
 /// historical constants; tests and the soak harness shrink them to provoke
@@ -72,6 +89,10 @@ pub struct ServerTuning {
     /// of being submitted — bounding per-connection queue memory no matter how
     /// aggressively a client pipelines.
     pub max_inflight_per_conn: usize,
+    /// Readiness backend override. `None` resolves the `TCCA_REACTOR`
+    /// environment variable, then the platform default (epoll on Linux, poll
+    /// elsewhere).
+    pub reactor: Option<ReactorKind>,
 }
 
 impl Default for ServerTuning {
@@ -79,6 +100,7 @@ impl Default for ServerTuning {
         Self {
             wbuf_high_water: WBUF_HIGH_WATER,
             max_inflight_per_conn: MAX_INFLIGHT_PER_CONN,
+            reactor: None,
         }
     }
 }
@@ -94,38 +116,14 @@ fn error_response(e: ServeError) -> Response {
     }
 }
 
-/// Raw poll(2) FFI — the libc symbols are always linked; declaring them here keeps
-/// the workspace free of external crates (the build environment has no registry).
-#[cfg(unix)]
-mod sys {
-    #[repr(C)]
-    pub struct PollFd {
-        pub fd: i32,
-        pub events: i16,
-        pub revents: i16,
-    }
-
-    pub const POLLIN: i16 = 0x001;
-    pub const POLLOUT: i16 = 0x004;
-    pub const POLLERR: i16 = 0x008;
-    pub const POLLHUP: i16 = 0x010;
-    pub const POLLNVAL: i16 = 0x020;
-
-    extern "C" {
-        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
-    }
-
-    /// `poll` retrying on EINTR. `timeout` in milliseconds.
-    pub fn poll_retry(fds: &mut [PollFd], timeout: i32) -> std::io::Result<usize> {
-        loop {
-            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout) };
-            if rc >= 0 {
-                return Ok(rc as usize);
-            }
-            let err = std::io::Error::last_os_error();
-            if err.kind() != std::io::ErrorKind::Interrupted {
-                return Err(err);
-            }
+/// Merge counters by name (used when layering this front's counters over the
+/// service's: a front server over a router sees the same counter names again
+/// from remote shards' servers).
+fn merge_counters(counters: &mut Vec<(String, u64)>, extra: Vec<(String, u64)>) {
+    for (name, value) in extra {
+        match counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += value,
+            None => counters.push((name, value)),
         }
     }
 }
@@ -135,38 +133,97 @@ mod sys {
 /// requests, encoded response payload)`.
 type Completion = (usize, u64, Option<u64>, Vec<u8>);
 
-/// Wakes the poll loop from worker threads (completion callbacks, shutdown).
-struct Waker {
+/// Wakes the event loop from worker threads (completion callbacks, shutdown).
+struct LoopWaker {
     #[cfg(unix)]
-    tx: UnixStream,
+    inner: reactor::Waker,
 }
 
-impl Waker {
+impl LoopWaker {
     fn wake(&self) {
         #[cfg(unix)]
-        {
-            // Nonblocking: if the pipe is already full the loop is awake anyway.
-            let _ = (&self.tx).write(&[1u8]);
+        self.inner.wake();
+    }
+}
+
+/// One queued metadata/control job: runs on the control thread, replies
+/// through the completion queue.
+type ControlJob = Box<dyn FnOnce() + Send>;
+
+/// The control thread's work queue. Metadata and control-plane requests are
+/// pushed here by the event loop and executed off-loop, so an op that talks to
+/// slow remote shards (rescan fan-out, drain-before-remove) can never stall
+/// socket traffic.
+struct ControlQueue {
+    state: Mutex<(VecDeque<ControlJob>, bool)>,
+    cv: Condvar,
+}
+
+impl ControlQueue {
+    fn new() -> Self {
+        ControlQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: ControlJob) {
+        let mut st = self.state.lock().expect("control queue lock");
+        st.0.push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn stop(&self) {
+        let mut st = self.state.lock().expect("control queue lock");
+        st.1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Worker loop: run jobs until stopped *and* drained (queued ops still get
+    /// their in-band replies attempted during shutdown).
+    fn run(&self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("control queue lock");
+                loop {
+                    if let Some(job) = st.0.pop_front() {
+                        break job;
+                    }
+                    if st.1 {
+                        return;
+                    }
+                    st = self.cv.wait(st).expect("control queue lock");
+                }
+            };
+            job();
         }
     }
 }
 
-/// A bound serving endpoint running a poll-based event loop.
+/// A bound serving endpoint running a reactor-based event loop.
 pub struct Server {
     listener: TcpListener,
     service: Arc<dyn TransformService>,
     engine: Option<Arc<BatchEngine>>,
     stop: Arc<AtomicBool>,
     completions: Arc<Mutex<Vec<Completion>>>,
-    waker: Arc<Waker>,
+    waker: Arc<LoopWaker>,
     tuning: ServerTuning,
+    control: Arc<ControlQueue>,
     /// Connections that crossed the write-buffer high-water mark (counted once
-    /// per excursion, not per poll pass).
+    /// per excursion, not per loop pass).
     throttled: AtomicU64,
     /// Requests shed at the per-connection in-flight cap.
     shed_inflight: AtomicU64,
+    /// Times the reactor's `wait` returned.
+    wakeups: AtomicU64,
+    /// Readiness events delivered across all wakeups.
+    loop_events: AtomicU64,
     #[cfg(unix)]
-    wake_rx: UnixStream,
+    backend: ReactorKind,
+    /// The reactor, parked here between bind and run (`run` takes it).
+    #[cfg(unix)]
+    reactor: Mutex<Option<Box<dyn Reactor>>>,
 }
 
 impl Server {
@@ -177,9 +234,23 @@ impl Server {
         store: Arc<ModelStore>,
         config: BatchConfig,
     ) -> Result<Self> {
+        Self::bind_tuned(addr, store, config, ServerTuning::default())
+    }
+
+    /// [`Server::bind`] with explicit per-connection limits and reactor backend
+    /// choice.
+    pub fn bind_tuned(
+        addr: impl ToSocketAddrs,
+        store: Arc<ModelStore>,
+        config: BatchConfig,
+        tuning: ServerTuning,
+    ) -> Result<Self> {
         let engine = Arc::new(BatchEngine::start(store, config));
-        let mut server =
-            Self::bind_service(addr, Arc::clone(&engine) as Arc<dyn TransformService>)?;
+        let mut server = Self::bind_service_tuned(
+            addr,
+            Arc::clone(&engine) as Arc<dyn TransformService>,
+            tuning,
+        )?;
         server.engine = Some(engine);
         Ok(server)
     }
@@ -193,7 +264,8 @@ impl Server {
         Self::bind_service_tuned(addr, service, ServerTuning::default())
     }
 
-    /// [`Server::bind_service`] with explicit per-connection limits.
+    /// [`Server::bind_service`] with explicit per-connection limits and reactor
+    /// backend choice.
     pub fn bind_service_tuned(
         addr: impl ToSocketAddrs,
         service: Arc<dyn TransformService>,
@@ -201,48 +273,66 @@ impl Server {
     ) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         #[cfg(unix)]
-        let (wake_rx, wake_tx) = {
-            let (rx, tx) = UnixStream::pair()?;
-            rx.set_nonblocking(true)?;
-            tx.set_nonblocking(true)?;
-            (rx, tx)
+        let (reactor, waker, backend) = {
+            let r = reactor::new_reactor(ReactorKind::resolve(tuning.reactor))?;
+            let waker = LoopWaker { inner: r.waker() };
+            let backend = r.kind();
+            (Mutex::new(Some(r)), waker, backend)
         };
+        #[cfg(not(unix))]
+        let waker = LoopWaker {};
         Ok(Self {
             listener,
             service,
             engine: None,
             stop: Arc::new(AtomicBool::new(false)),
             completions: Arc::new(Mutex::new(Vec::new())),
-            waker: Arc::new(Waker {
-                #[cfg(unix)]
-                tx: wake_tx,
-            }),
+            waker: Arc::new(waker),
             tuning,
+            control: Arc::new(ControlQueue::new()),
             throttled: AtomicU64::new(0),
             shed_inflight: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            loop_events: AtomicU64::new(0),
             #[cfg(unix)]
-            wake_rx,
+            backend,
+            #[cfg(unix)]
+            reactor,
         })
     }
 
-    /// Service counters plus this front's own overload counters.
-    fn stats_snapshot(&self) -> Vec<(String, u64)> {
-        let mut counters = self.service.stats();
-        // Merge rather than append: a front server over a router sees the same
-        // counter names again from remote shards' servers.
-        for (name, value) in [
-            ("server/throttled", self.throttled.load(Ordering::Relaxed)),
+    /// Which readiness backend this server's event loop runs on.
+    pub fn backend(&self) -> ReactorKind {
+        #[cfg(unix)]
+        {
+            self.backend
+        }
+        #[cfg(not(unix))]
+        {
+            ReactorKind::Poll
+        }
+    }
+
+    /// This front's own counters (merged over the service's by `Stats`).
+    fn own_counters(&self) -> Vec<(String, u64)> {
+        let wakeups = self.wakeups.load(Ordering::Relaxed);
+        let events = self.loop_events.load(Ordering::Relaxed);
+        vec![
+            ("server/backend".into(), self.backend().id()),
             (
-                "server/shed_inflight",
+                "server/throttled".into(),
+                self.throttled.load(Ordering::Relaxed),
+            ),
+            (
+                "server/shed_inflight".into(),
                 self.shed_inflight.load(Ordering::Relaxed),
             ),
-        ] {
-            match counters.iter_mut().find(|(n, _)| n == name) {
-                Some((_, v)) => *v += value,
-                None => counters.push((name.into(), value)),
-            }
-        }
-        counters
+            ("server/wakeups".into(), wakeups),
+            (
+                "server/events_per_wakeup".into(),
+                events.checked_div(wakeups).unwrap_or(0),
+            ),
+        ]
     }
 
     /// The bound address (the real port when bound with port 0).
@@ -266,7 +356,8 @@ impl Server {
     }
 
     /// Run the event loop until shut down. Blocks the calling thread; every
-    /// connection is serviced by this one thread plus the service's workers.
+    /// connection is serviced by this one thread plus the service's workers and
+    /// the control thread.
     pub fn run(&self) -> Result<()> {
         #[cfg(unix)]
         {
@@ -278,10 +369,12 @@ impl Server {
         }
     }
 
-    /// Dispatch one untagged request. Metadata ops answer inline (the returned
-    /// response, already tagged when `id` is set); transform ops are submitted
-    /// asynchronously (returns `None`) and reply through the completion queue,
-    /// carrying `v1_seq` so untagged replies regain request order.
+    /// Dispatch one untagged request. `Ping` answers inline (the returned
+    /// response, already tagged when `id` is set); everything else is
+    /// asynchronous (returns `None`) and replies through the completion queue,
+    /// carrying `v1_seq` so untagged replies regain request order — transforms
+    /// via the service's workers, metadata and control-plane ops via the
+    /// control thread.
     fn handle_request(
         &self,
         conn_id: usize,
@@ -297,19 +390,91 @@ impl Server {
         };
         match inner {
             Request::Ping => Some(tag(Response::Pong)),
-            Request::ListModels => Some(tag(match self.service.catalog() {
-                Ok(models) => Response::Models(models),
-                Err(e) => error_response(e),
-            })),
-            Request::Rescan => Some(tag(match self.service.rescan() {
-                Ok(report) => Response::Rescanned(report),
-                Err(e) => error_response(e),
-            })),
-            Request::Stats => Some(tag(Response::Stats(self.stats_snapshot()))),
-            Request::Refit => Some(tag(match self.service.trigger_refit() {
-                Ok(counters) => Response::Stats(counters),
-                Err(e) => error_response(e),
-            })),
+            Request::ListModels => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                let service = Arc::clone(&self.service);
+                self.control.push(Box::new(move || {
+                    complete(match service.catalog() {
+                        Ok(models) => Response::Models(models),
+                        Err(e) => error_response(e),
+                    })
+                }));
+                None
+            }
+            Request::Rescan => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                let service = Arc::clone(&self.service);
+                self.control.push(Box::new(move || {
+                    complete(match service.rescan() {
+                        Ok(report) => Response::Rescanned(report),
+                        Err(e) => error_response(e),
+                    })
+                }));
+                None
+            }
+            Request::Stats => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                let service = Arc::clone(&self.service);
+                // Snapshot this front's counters on the loop; the service's
+                // counters (which may fan out to remote shards) off it.
+                let own = self.own_counters();
+                self.control.push(Box::new(move || {
+                    let mut counters = service.stats();
+                    // `server/backend` is an id, not a count: summing it across
+                    // layered servers (a front over remote shards, each
+                    // reporting its own loop) would scramble it. This front's
+                    // value wins; query a shard directly for its backend.
+                    counters.retain(|(name, _)| name != "server/backend");
+                    merge_counters(&mut counters, own);
+                    complete(Response::Stats(counters));
+                }));
+                None
+            }
+            Request::Refit => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                let service = Arc::clone(&self.service);
+                self.control.push(Box::new(move || {
+                    complete(match service.trigger_refit() {
+                        Ok(counters) => Response::Stats(counters),
+                        Err(e) => error_response(e),
+                    })
+                }));
+                None
+            }
+            Request::AddShard { addr } => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                let service = Arc::clone(&self.service);
+                self.control.push(Box::new(move || {
+                    complete(match service.add_shard(&addr) {
+                        Ok(shards) => Response::Cluster(shards),
+                        Err(e) => error_response(e),
+                    })
+                }));
+                None
+            }
+            Request::RemoveShard { shard } => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                let service = Arc::clone(&self.service);
+                self.control.push(Box::new(move || {
+                    // Blocks the control thread for the drain, not the loop.
+                    complete(match service.remove_shard(shard) {
+                        Ok(shards) => Response::Cluster(shards),
+                        Err(e) => error_response(e),
+                    })
+                }));
+                None
+            }
+            Request::ClusterInfo => {
+                let complete = self.completer(conn_id, gen, id, v1_seq);
+                let service = Arc::clone(&self.service);
+                self.control.push(Box::new(move || {
+                    complete(match service.cluster() {
+                        Ok(shards) => Response::Cluster(shards),
+                        Err(e) => error_response(e),
+                    })
+                }));
+                None
+            }
             Request::Transform { model, inputs } => {
                 let complete = self.completer(conn_id, gen, id, v1_seq);
                 self.service.submit_transform(
@@ -364,7 +529,7 @@ impl Server {
     }
 
     /// A callback that encodes a reply (tagged when the request was), pushes it on
-    /// the completion queue and wakes the poll loop. Invoked once from a worker.
+    /// the completion queue and wakes the event loop. Invoked once from a worker.
     fn completer(
         &self,
         conn_id: usize,
@@ -393,7 +558,7 @@ impl Server {
 /// Makes a running [`Server::run`] loop return.
 pub struct ShutdownHandle {
     stop: Arc<AtomicBool>,
-    waker: Arc<Waker>,
+    waker: Arc<LoopWaker>,
     addr: Option<SocketAddr>,
 }
 
@@ -416,6 +581,9 @@ struct Conn {
     stream: TcpStream,
     /// Slot generation: completions for a previous tenant of this slot are dropped.
     gen: u64,
+    /// The interest currently registered with the reactor (diffed each pass so
+    /// unchanged connections cost no `modify` syscall).
+    interest: Interest,
     /// Received, not yet parsed bytes.
     rbuf: Vec<u8>,
     /// Encoded frames not yet written to the socket.
@@ -441,8 +609,8 @@ struct Conn {
     /// backpressure high-water mark (a reply held behind a slow earlier request
     /// occupies memory just like one sitting in `wbuf`).
     v1_held_bytes: usize,
-    /// Whether the last poll pass had this connection above the write-buffer
-    /// high-water mark — lets the server count excursions, not poll passes.
+    /// Whether the last loop pass had this connection above the write-buffer
+    /// high-water mark — lets the server count excursions, not loop passes.
     was_throttled: bool,
 }
 
@@ -468,6 +636,7 @@ impl Conn {
 
     /// Write as much of `wbuf` as the socket accepts right now.
     fn flush(&mut self) {
+        use std::io::Write;
         while self.wpos < self.wbuf.len() {
             match self.stream.write(&self.wbuf[self.wpos..]) {
                 Ok(0) => {
@@ -495,12 +664,41 @@ impl Conn {
 #[cfg(unix)]
 impl Server {
     fn run_event_loop(&self) -> Result<()> {
+        let mut reactor = self
+            .reactor
+            .lock()
+            .expect("reactor lock")
+            .take()
+            .ok_or_else(|| {
+                ServeError::Io(std::io::Error::other(
+                    "server event loop already ran; bind a fresh server",
+                ))
+            })?;
+
+        // The control thread lives exactly as long as the loop: metadata and
+        // control-plane ops queued by the loop run here, off the socket path.
+        let control = Arc::clone(&self.control);
+        let worker = std::thread::Builder::new()
+            .name("tcca-serve-control".into())
+            .spawn(move || control.run())
+            .map_err(ServeError::Io)?;
+
+        let result = self.event_loop(reactor.as_mut());
+        self.control.stop();
+        let _ = worker.join();
+        result
+    }
+
+    fn event_loop(&self, reactor: &mut dyn Reactor) -> Result<()> {
         use std::os::unix::io::AsRawFd;
-        use sys::*;
 
         self.listener.set_nonblocking(true)?;
+        reactor.register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        let mut listener_active = true;
+
         let mut conns: Vec<Option<Conn>> = Vec::new();
         let mut next_gen: u64 = 1;
+        let mut events: Vec<Event> = Vec::new();
 
         loop {
             if self.stop.load(Ordering::SeqCst) {
@@ -523,137 +721,159 @@ impl Server {
                 }
             }
 
-            // 2. Opportunistic flush (skips a poll round-trip for small replies).
+            // 2. Opportunistic flush (skips a wait round-trip for small replies).
             for conn in conns.iter_mut().flatten() {
                 if conn.has_pending_writes() {
                     conn.flush();
                 }
             }
-            self.reap(&mut conns);
+            self.reap(reactor, &mut conns);
 
-            // 3. Build the pollfd set: waker, listener, then live connections.
-            let live = conns.iter().flatten().count();
-            let mut fds = Vec::with_capacity(live + 2);
-            fds.push(PollFd {
-                fd: self.wake_rx.as_raw_fd(),
-                events: POLLIN,
-                revents: 0,
-            });
-            fds.push(PollFd {
-                fd: self.listener.as_raw_fd(),
-                events: if live < MAX_CONNS { POLLIN } else { 0 },
-                revents: 0,
-            });
-            let mut slots = Vec::with_capacity(live);
+            // 3. Interest maintenance: diff each connection's desired interest
+            //    against what the reactor has, and modify only on change — idle
+            //    connections cost nothing here and nothing in the kernel (epoll).
+            let mut live = 0usize;
             for (slot, conn) in conns.iter_mut().enumerate() {
-                if let Some(conn) = conn {
-                    // Backpressure: stop reading while the peer owes us a drain.
-                    let throttled = conn.wbuf.len().saturating_sub(conn.wpos) + conn.v1_held_bytes
-                        >= self.tuning.wbuf_high_water;
-                    if throttled && !conn.was_throttled {
-                        self.throttled.fetch_add(1, Ordering::Relaxed);
-                    }
-                    conn.was_throttled = throttled;
-                    let mut events = if conn.closing || throttled { 0 } else { POLLIN };
-                    if conn.has_pending_writes() {
-                        events |= POLLOUT;
-                    }
-                    fds.push(PollFd {
-                        fd: conn.stream.as_raw_fd(),
-                        events,
-                        revents: 0,
-                    });
-                    slots.push(slot);
+                let Some(conn) = conn else { continue };
+                live += 1;
+                // Backpressure: stop reading while the peer owes us a drain.
+                let throttled = conn.wbuf.len().saturating_sub(conn.wpos) + conn.v1_held_bytes
+                    >= self.tuning.wbuf_high_water;
+                if throttled && !conn.was_throttled {
+                    self.throttled.fetch_add(1, Ordering::Relaxed);
                 }
+                conn.was_throttled = throttled;
+                let desired = Interest {
+                    read: !(conn.closing || throttled),
+                    write: conn.has_pending_writes(),
+                };
+                if desired != conn.interest {
+                    match reactor.modify(conn.stream.as_raw_fd(), slot as u64, desired) {
+                        Ok(()) => conn.interest = desired,
+                        Err(_) => conn.dead = true,
+                    }
+                }
+            }
+            let want_listener = live < MAX_CONNS;
+            if want_listener != listener_active {
+                let interest = if want_listener {
+                    Interest::READ
+                } else {
+                    Interest::NONE
+                };
+                reactor.modify(self.listener.as_raw_fd(), TOKEN_LISTENER, interest)?;
+                listener_active = want_listener;
             }
 
             // 4. Wait for readiness (bounded so the stop flag is honoured).
-            poll_retry(&mut fds, 250)?;
+            reactor.wait(&mut events, 250)?;
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.loop_events
+                .fetch_add(events.len() as u64, Ordering::Relaxed);
 
-            // 5. Waker: drain the self-pipe; completions are picked up next pass.
-            if fds[0].revents & POLLIN != 0 {
-                let mut sink = [0u8; 64];
-                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
-            }
-
-            // 6. Listener: accept everything that is ready.
-            if fds[1].revents & POLLIN != 0 {
-                loop {
-                    match self.listener.accept() {
-                        Ok((stream, _peer)) => {
-                            if stream.set_nonblocking(true).is_err() {
-                                continue;
-                            }
-                            let _ = stream.set_nodelay(true);
-                            let conn = Conn {
-                                stream,
-                                gen: next_gen,
-                                rbuf: Vec::new(),
-                                wbuf: Vec::new(),
-                                wpos: 0,
-                                closing: false,
-                                dead: false,
-                                inflight: 0,
-                                v1_assign: 0,
-                                v1_send: 0,
-                                v1_held: std::collections::BTreeMap::new(),
-                                v1_held_bytes: 0,
-                                was_throttled: false,
-                            };
-                            next_gen += 1;
-                            match conns.iter().position(Option::is_none) {
-                                Some(slot) => conns[slot] = Some(conn),
-                                None => conns.push(Some(conn)),
-                            }
-                            if conns.iter().flatten().count() >= MAX_CONNS {
-                                break;
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                        Err(e) => {
-                            // A failed accept (peer vanished) is not fatal.
-                            eprintln!("tcca_serve: accept failed: {e}");
-                            break;
-                        }
-                    }
-                }
-            }
-
-            // 7. Connection readiness.
-            for (fd_idx, &slot) in slots.iter().enumerate() {
-                let revents = fds[fd_idx + 2].revents;
-                if revents == 0 {
+            // 5. Dispatch. Tokens are stable across the pass: nothing is reaped
+            //    between wait and dispatch, and connections accepted during the
+            //    pass can have no events yet.
+            for ev in &events {
+                if ev.token == TOKEN_LISTENER {
+                    self.accept_ready(reactor, &mut conns, &mut next_gen);
                     continue;
                 }
-                let Some(conn) = conns[slot].as_mut() else {
+                let slot = ev.token as usize;
+                let Some(Some(conn)) = conns.get_mut(slot) else {
                     continue;
                 };
-                if revents & (POLLERR | POLLNVAL) != 0 {
+                if ev.error {
                     conn.dead = true;
                     continue;
                 }
-                if revents & POLLIN != 0 {
+                if ev.readable {
                     self.read_ready(slot, conn);
                 }
-                if revents & (POLLOUT | POLLHUP) != 0 && !conn.dead {
+                if (ev.writable || ev.hangup) && !conn.dead {
                     conn.flush();
                 }
             }
-            self.reap(&mut conns);
+            self.reap(reactor, &mut conns);
+        }
+    }
+
+    /// Accept everything the listener has ready, registering each connection
+    /// with the reactor under its slot token.
+    fn accept_ready(
+        &self,
+        reactor: &mut dyn Reactor,
+        conns: &mut Vec<Option<Conn>>,
+        next_gen: &mut u64,
+    ) {
+        use std::os::unix::io::AsRawFd;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn = Conn {
+                        stream,
+                        gen: *next_gen,
+                        interest: Interest::READ,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        closing: false,
+                        dead: false,
+                        inflight: 0,
+                        v1_assign: 0,
+                        v1_send: 0,
+                        v1_held: std::collections::BTreeMap::new(),
+                        v1_held_bytes: 0,
+                        was_throttled: false,
+                    };
+                    *next_gen += 1;
+                    let slot = match conns.iter().position(Option::is_none) {
+                        Some(slot) => slot,
+                        None => {
+                            conns.push(None);
+                            conns.len() - 1
+                        }
+                    };
+                    if reactor
+                        .register(conn.stream.as_raw_fd(), slot as u64, Interest::READ)
+                        .is_err()
+                    {
+                        // Registration failed (fd pressure): drop the socket.
+                        continue;
+                    }
+                    conns[slot] = Some(conn);
+                    if conns.iter().flatten().count() >= MAX_CONNS {
+                        break; // interest maintenance mutes the listener next pass
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // A failed accept (peer vanished) is not fatal.
+                    eprintln!("tcca_serve: accept failed: {e}");
+                    break;
+                }
+            }
         }
     }
 
     /// Drop connections that are dead, or closing with nothing left to flush and
     /// no replies still owed (a half-closed peer is still waiting to read them).
-    fn reap(&self, conns: &mut [Option<Conn>]) {
+    /// Deregisters each reaped socket before closing it.
+    fn reap(&self, reactor: &mut dyn Reactor, conns: &mut [Option<Conn>]) {
+        use std::os::unix::io::AsRawFd;
         for conn in conns.iter_mut() {
             let drop_it = match conn {
                 Some(c) => c.dead || (c.closing && !c.has_pending_writes() && c.inflight == 0),
                 None => false,
             };
             if drop_it {
-                *conn = None;
+                let c = conn.take().expect("reaped conn exists");
+                let _ = reactor.deregister(c.stream.as_raw_fd());
             }
         }
     }
@@ -673,7 +893,7 @@ impl Server {
                     conn.rbuf.extend_from_slice(&chunk[..n]);
                     taken += n;
                     if taken >= READ_BUDGET {
-                        break; // level-triggered poll re-reports the leftovers
+                        break; // level-triggered readiness re-reports the leftovers
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -723,7 +943,7 @@ impl Server {
                         deadline_ms.map(|ms| Instant::now() + Duration::from_millis(u64::from(ms)));
                     // Untagged requests get a sequence number so their replies go
                     // out in request order even when an async transform is slower
-                    // than a later inline op. Tagged replies may overtake freely.
+                    // than a later cheap op. Tagged replies may overtake freely.
                     let v1_seq = if id.is_none() {
                         let seq = conn.v1_assign;
                         conn.v1_assign += 1;
@@ -733,14 +953,16 @@ impl Server {
                     };
                     // Admission control: a connection already owed its full
                     // in-flight quota of async replies gets an in-band shed
-                    // instead of another engine submission.
-                    let wants_async = matches!(
+                    // instead of another engine submission. Metadata and
+                    // control ops are exempt — observability must stay
+                    // responsive on a loaded connection.
+                    let wants_transform = matches!(
                         inner,
                         Request::Transform { .. }
                             | Request::TransformView { .. }
                             | Request::Outputs { .. }
                     );
-                    if wants_async && conn.inflight >= self.tuning.max_inflight_per_conn {
+                    if wants_transform && conn.inflight >= self.tuning.max_inflight_per_conn {
                         self.shed_inflight.fetch_add(1, Ordering::Relaxed);
                         let resp = Response::Overloaded(format!(
                             "connection at its in-flight limit ({} pending)",
@@ -851,6 +1073,18 @@ fn serve_blocking(stream: TcpStream, service: &Arc<dyn TransformService>) -> Res
                         Ok(counters) => Response::Stats(counters),
                         Err(e) => error_response(e),
                     },
+                    Request::AddShard { addr } => match service.add_shard(&addr) {
+                        Ok(shards) => Response::Cluster(shards),
+                        Err(e) => error_response(e),
+                    },
+                    Request::RemoveShard { shard } => match service.remove_shard(shard) {
+                        Ok(shards) => Response::Cluster(shards),
+                        Err(e) => error_response(e),
+                    },
+                    Request::ClusterInfo => match service.cluster() {
+                        Ok(shards) => Response::Cluster(shards),
+                        Err(e) => error_response(e),
+                    },
                     Request::Transform { model, inputs } => {
                         let (tx, rx) = std::sync::mpsc::sync_channel(1);
                         service.submit_transform(
@@ -930,16 +1164,21 @@ mod tests {
     }
 
     fn bound_server(store: Arc<ModelStore>) -> (Server, SocketAddr) {
-        let server = Server::bind(
-            "127.0.0.1:0",
+        bound_server_tuned(store, ServerTuning::default())
+    }
+
+    fn bound_server_tuned(store: Arc<ModelStore>, tuning: ServerTuning) -> (Server, SocketAddr) {
+        let engine = Arc::new(BatchEngine::start(
             store,
             BatchConfig {
                 max_batch: 16,
                 max_wait: Duration::from_millis(1),
                 ..BatchConfig::default()
             },
-        )
-        .unwrap();
+        ));
+        let server =
+            Server::bind_service_tuned("127.0.0.1:0", engine as Arc<dyn TransformService>, tuning)
+                .unwrap();
         let addr = server.local_addr().unwrap();
         (server, addr)
     }
@@ -1050,6 +1289,92 @@ mod tests {
         let mut client = Client::connect(addr).unwrap();
         assert!(client.transform("pca", &views).is_ok());
         drop(idle);
+        client.ping().unwrap();
+
+        shutdown.shutdown();
+        server_thread.join().unwrap();
+    }
+
+    /// Serve one transform through a server pinned to the given backend and
+    /// return the reply bytes plus the stats counters.
+    #[cfg(unix)]
+    fn transform_via_backend(kind: ReactorKind, views: &[Matrix]) -> (Matrix, Vec<(String, u64)>) {
+        let registry = EstimatorRegistry::with_builtin();
+        let model = registry
+            .fit("TCCA", views, &FitSpec::with_rank(2).seed(6))
+            .unwrap();
+        let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+        store.insert("tcca", model);
+        let (server, addr) = bound_server_tuned(
+            store,
+            ServerTuning {
+                reactor: Some(kind),
+                ..ServerTuning::default()
+            },
+        );
+        assert_eq!(server.backend(), ReactorKind::resolve(Some(kind)));
+        let shutdown = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = Client::connect(addr).unwrap();
+        let z = client.transform("tcca", views).unwrap();
+        let stats = client.stats().unwrap();
+        shutdown.shutdown();
+        server_thread.join().unwrap();
+        (z, stats)
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn replies_bit_identical_across_reactor_backends() {
+        let views = fixture_views();
+        let registry = EstimatorRegistry::with_builtin();
+        let model = registry
+            .fit("TCCA", &views, &FitSpec::with_rank(2).seed(6))
+            .unwrap();
+        let expected = model.transform(&views).unwrap();
+
+        let (via_poll, poll_stats) = transform_via_backend(ReactorKind::Poll, &views);
+        let (via_epoll, epoll_stats) = transform_via_backend(ReactorKind::Epoll, &views);
+        assert_eq!(via_poll, expected, "poll backend must be bit-exact");
+        assert_eq!(
+            via_poll, via_epoll,
+            "replies must be bit-identical across reactor backends"
+        );
+
+        // Reactor observability: backend id, wakeups and events/wakeup surface
+        // through Stats under both backends.
+        let get = |stats: &[(String, u64)], name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(get(&poll_stats, "server/backend"), ReactorKind::Poll.id());
+        assert!(get(&poll_stats, "server/wakeups") > 0);
+        let _ = get(&poll_stats, "server/events_per_wakeup");
+        let resolved = ReactorKind::resolve(Some(ReactorKind::Epoll));
+        assert_eq!(get(&epoll_stats, "server/backend"), resolved.id());
+        assert!(get(&epoll_stats, "server/wakeups") > 0);
+    }
+
+    #[test]
+    fn control_ops_error_in_band_on_engine_backed_server() {
+        let store = Arc::new(ModelStore::new(EstimatorRegistry::with_builtin()));
+        let (server, addr) = bound_server(store);
+        let shutdown = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+        // A plain engine has no shard table: control ops answer with an
+        // in-band error and the connection survives.
+        let mut client = Client::connect(addr).unwrap();
+        let err = client.cluster_info().unwrap_err();
+        assert!(err.to_string().contains("control plane"), "{err}");
+        let err = client.add_shard("127.0.0.1:1").unwrap_err();
+        assert!(err.to_string().contains("control plane"), "{err}");
+        let err = client.remove_shard(0).unwrap_err();
+        assert!(err.to_string().contains("control plane"), "{err}");
         client.ping().unwrap();
 
         shutdown.shutdown();

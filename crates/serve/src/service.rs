@@ -8,7 +8,7 @@
 //! served from headers, never from payloads.
 
 use crate::batch::{OutputsCallback, ReplyCallback};
-use crate::wire::{ModelInfo, RescanReport};
+use crate::wire::{ModelInfo, RescanReport, ShardInfo};
 use crate::{BatchEngine, ModelStore, Result};
 use linalg::Matrix;
 use std::sync::Arc;
@@ -74,6 +74,34 @@ pub trait TransformService: Send + Sync {
     fn trigger_refit(&self) -> Result<Vec<(String, u64)>> {
         Err(crate::ServeError::Remote(
             "this serving backend has no trainer attached".into(),
+        ))
+    }
+
+    /// The cluster membership table (v5). Backends without a shard table — a
+    /// plain [`BatchEngine`] — report an error; the [`crate::Router`]
+    /// overrides all three control-plane ops.
+    fn cluster(&self) -> Result<Vec<ShardInfo>> {
+        Err(crate::ServeError::Remote(
+            "this serving backend has no shard control plane".into(),
+        ))
+    }
+
+    /// Validate and admit a new remote shard at `addr`, returning the updated
+    /// cluster snapshot (v5).
+    fn add_shard(&self, addr: &str) -> Result<Vec<ShardInfo>> {
+        let _ = addr;
+        Err(crate::ServeError::Remote(
+            "this serving backend has no shard control plane".into(),
+        ))
+    }
+
+    /// Drain and remove the shard with the given stable id, returning the
+    /// updated cluster snapshot (v5). Blocks until in-flight work on the shard
+    /// has completed (or the backend's drain timeout expired).
+    fn remove_shard(&self, shard: u64) -> Result<Vec<ShardInfo>> {
+        let _ = shard;
+        Err(crate::ServeError::Remote(
+            "this serving backend has no shard control plane".into(),
         ))
     }
 }

@@ -1,11 +1,12 @@
 //! Chaos soak harness: drive the full serving stack through a seeded failure
 //! schedule and prove the overload contract held.
 //!
-//! The harness builds a production-shaped topology *in one process*: several
-//! local shards plus two loopback "remote" shards (real [`Server`]s reached
-//! over TCP) behind a [`crate::Router`], behind a front [`Server`] — then runs
-//! three phases of seeded client traffic (Zipf model popularity, bursty
-//! arrivals, mixed op types, wire deadlines):
+//! The harness builds a production-shaped topology *in one process*:
+//! [`SoakConfig::local_shards`] in-process shards plus
+//! [`SoakConfig::remote_shards`] loopback "remote" shards (real [`Server`]s
+//! reached over TCP) behind a [`crate::Router`], behind a front [`Server`] —
+//! then runs three phases of seeded client traffic (Zipf model popularity,
+//! bursty arrivals, mixed op types, wire deadlines):
 //!
 //! 1. **pre** — steady state, the throughput baseline;
 //! 2. **chaos** — one remote shard is killed outright (its process gone, its
@@ -16,7 +17,12 @@
 //!    evictions;
 //! 3. **recovery** — faults cleared, the killed shard restarts on its old
 //!    port, the probe returns both remotes to rotation, and throughput must
-//!    return to ≥ 90% of the baseline.
+//!    return to ≥ 90% of the baseline. Mid-phase, a **control-plane cycle**
+//!    runs against the live front: a fresh shard is started, admitted with the
+//!    v5 `AddShard` op, serves rebalanced traffic for a third of the phase,
+//!    and is then drained and removed with `RemoveShard` — all while the
+//!    seeded clients hammer the front, proving zero requests drop across a
+//!    membership change.
 //!
 //! The contract asserted ([`SoakReport::violations`]): **zero** protocol
 //! violations and **zero** transport errors on front connections (every
@@ -56,8 +62,11 @@ pub struct SoakConfig {
     pub max_queue: usize,
     /// Per-model admission cap per shard.
     pub max_per_model: usize,
-    /// Local shards (one is crashed in the chaos phase).
+    /// Local shards (one is crashed in the chaos phase). Clamped to ≥ 2.
     pub local_shards: usize,
+    /// Loopback remote shards. Clamped to ≥ 2: the chaos phase needs one to
+    /// kill and one to fault; any extras just serve.
+    pub remote_shards: usize,
 }
 
 impl Default for SoakConfig {
@@ -71,6 +80,7 @@ impl Default for SoakConfig {
             max_queue: 256,
             max_per_model: 64,
             local_shards: 3,
+            remote_shards: 2,
         }
     }
 }
@@ -136,6 +146,9 @@ pub struct SoakReport {
     pub phases: Vec<PhaseReport>,
     /// `recovery.rps / pre.rps`.
     pub recovery_ratio: f64,
+    /// Failures of the mid-run control-plane cycle (shard add → rebalance →
+    /// drain → remove under live traffic) — must stay empty.
+    pub control_errors: Vec<String>,
     /// Final server/engine/router counters (`Stats` wire op) after recovery.
     pub stats: Vec<(String, u64)>,
 }
@@ -168,6 +181,7 @@ impl SoakReport {
                 self.recovery_ratio * 100.0
             ));
         }
+        out.extend(self.control_errors.iter().cloned());
         out
     }
 
@@ -183,24 +197,26 @@ impl SoakReport {
             .iter()
             .map(|(name, value)| format!("    \"{name}\": {value}"))
             .collect();
-        let violations = self.violations();
-        let violations = if violations.is_empty() {
-            "[]".to_string()
-        } else {
-            let quoted: Vec<String> = violations
-                .iter()
-                .map(|v| format!("    \"{}\"", v.replace('"', "'")))
-                .collect();
-            format!("[\n{}\n  ]", quoted.join(",\n"))
+        let string_list = |items: &[String]| {
+            if items.is_empty() {
+                "[]".to_string()
+            } else {
+                let quoted: Vec<String> = items
+                    .iter()
+                    .map(|v| format!("    \"{}\"", v.replace('"', "'")))
+                    .collect();
+                format!("[\n{}\n  ]", quoted.join(",\n"))
+            }
         };
         format!(
             "{{\n  \"fault_seed\": {},\n  \"recovery_ratio\": {:.3},\n  \"phases\": [\n{}\n  ],\n  \
-             \"counters\": {{\n{}\n  }},\n  \"violations\": {}\n}}",
+             \"counters\": {{\n{}\n  }},\n  \"control_errors\": {},\n  \"violations\": {}\n}}",
             self.seed,
             self.recovery_ratio,
             phases.join(",\n"),
             counters.join(",\n"),
-            violations,
+            string_list(&self.control_errors),
+            string_list(&self.violations()),
         )
     }
 }
@@ -481,9 +497,15 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
         max_per_model: config.max_per_model,
     };
 
-    // Two remotes: one to kill and restart, one to keep alive but faulted.
-    let doomed = RemoteShard::start("127.0.0.1:0", &dir, batch)?;
-    let faulted = RemoteShard::start("127.0.0.1:0", &dir, batch)?;
+    // The remote fleet: the first is killed and restarted, the second keeps
+    // running but gets its link faulted; any extras just serve.
+    let n_remotes = config.remote_shards.max(2);
+    let mut remotes = Vec::with_capacity(n_remotes);
+    for _ in 0..n_remotes {
+        remotes.push(RemoteShard::start("127.0.0.1:0", &dir, batch)?);
+    }
+    let doomed = remotes.remove(0);
+    let faulted = remotes.remove(0);
 
     // Local shards + the remotes, behind one router with a fast probe and the
     // seeded retry discipline.
@@ -496,6 +518,7 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
         retry_max: Duration::from_millis(50),
         retry_seed: config.seed,
         retry_budget: 64,
+        drain_timeout: Duration::from_secs(2),
     });
     let mut shard_stores = Vec::new();
     for _ in 0..config.local_shards.max(2) {
@@ -508,8 +531,11 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
     }
     builder = builder.remote_shard(doomed.addr.to_string());
     builder = builder.remote_shard(faulted.addr.to_string());
+    for extra in &remotes {
+        builder = builder.remote_shard(extra.addr.to_string());
+    }
     let router = Arc::new(builder.build());
-    let remote_ids = router.shards().len() - 2..router.shards().len();
+    let remote_ids = router.shards().len() - n_remotes..router.shards().len();
 
     // The front everything is judged at.
     let front = Server::bind_service_tuned(
@@ -609,7 +635,64 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
         router.probe_now();
         std::thread::sleep(Duration::from_millis(20));
     }
+
+    // Mid-recovery control-plane cycle, concurrent with live traffic: start a
+    // fresh shard, admit it through the wire (v5 AddShard), let rebalanced
+    // traffic hit it for a third of the phase, then drain and remove it (v5
+    // RemoveShard). The front's zero-transport-error contract holding across
+    // the membership change is the "no dropped requests" proof.
+    let control_errors: Arc<std::sync::Mutex<Vec<String>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let control_thread = {
+        let errors = Arc::clone(&control_errors);
+        let dir = dir.clone();
+        let dwell = config.phase / 3;
+        std::thread::spawn(move || {
+            let note = |msg: String| errors.lock().expect("control errors lock").push(msg);
+            let joiner = match RemoteShard::start("127.0.0.1:0", &dir, batch) {
+                Ok(shard) => shard,
+                Err(e) => return note(format!("control: starting joiner shard: {e}")),
+            };
+            let joiner_label = joiner.addr.to_string();
+            let mut client = match Client::connect(front_addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    note(format!("control: connecting to the front: {e}"));
+                    joiner.kill();
+                    return;
+                }
+            };
+            client.set_op_timeout(Some(Duration::from_secs(10)));
+            let cluster = match client.add_shard(&joiner_label) {
+                Ok(cluster) => cluster,
+                Err(e) => {
+                    note(format!("control: AddShard {joiner_label}: {e}"));
+                    joiner.kill();
+                    return;
+                }
+            };
+            let Some(added) = cluster.iter().find(|s| s.label == joiner_label) else {
+                note(format!(
+                    "control: admitted shard {joiner_label} missing from the cluster snapshot"
+                ));
+                joiner.kill();
+                return;
+            };
+            let id = added.id;
+            std::thread::sleep(dwell);
+            match client.remove_shard(id) {
+                Ok(cluster) => {
+                    if cluster.iter().any(|s| s.id == id) {
+                        note(format!("control: removed shard {id} still in the table"));
+                    }
+                }
+                Err(e) => note(format!("control: RemoveShard {id}: {e}")),
+            }
+            joiner.kill();
+        })
+    };
     let recovery = run_phase("recovery", front_addr, config, &names, &views, &cdf, 3);
+    let _ = control_thread.join();
 
     // Final counter snapshot through the wire, like an operator would take it.
     let stats = Client::connect(front_addr)
@@ -623,6 +706,9 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
     let _ = front_thread.join();
     revived.kill();
     faulted.kill();
+    for extra in remotes {
+        extra.kill();
+    }
     let _ = std::fs::remove_dir_all(&dir);
 
     let recovery_ratio = if pre.rps > 0.0 {
@@ -630,10 +716,12 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
     } else {
         0.0
     };
+    let control_errors = control_errors.lock().expect("control errors lock").clone();
     Ok(SoakReport {
         seed: config.seed,
         phases: vec![pre, chaos, recovery],
         recovery_ratio,
+        control_errors,
         stats,
     })
 }

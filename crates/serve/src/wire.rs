@@ -18,6 +18,9 @@
 //! | 6 | `Rescan` | — (v2) |
 //! | 7 | `Stats` | — (v3) |
 //! | 8 | `Refit` | — (v3) |
+//! | 9 | `AddShard` | address (`u32` + UTF-8) (v5) |
+//! | 10 | `RemoveShard` | `u64` shard id (v5) |
+//! | 11 | `ClusterInfo` | — (v5) |
 //! | 16 | `Tagged` | `u64` request id, then a nested untagged request (v2) |
 //! | 17 | `Tagged` + deadline | `u64` request id, `u32` deadline ms, then a nested untagged request (v4) |
 //!
@@ -34,6 +37,7 @@
 //! | 6 | `Stats` | `u32` count, then per counter: name (`u32` + UTF-8), `u64` value (v3) |
 //! | 7 | `Overloaded` | reason (`u32` + UTF-8) (v4) |
 //! | 8 | `DeadlineExceeded` | reason (`u32` + UTF-8) (v4) |
+//! | 9 | `Cluster` | `u32` count, then per shard: `u64` id, label, `u8` flags (bit 0 alive, bit 1 draining), `u64` in-flight, `u64` routed (v5) |
 //! | 16 | `Tagged` | `u64` request id, then a nested untagged response (v2) |
 //!
 //! ## Protocol v2: request ids and pipelining
@@ -71,6 +75,19 @@
 //! Opcode 16 is unchanged, so v2/v3 clients keep working byte-for-byte.
 //! `Rescanned` replies grow a fourth counter: files skipped because their header
 //! failed to parse — previously silent degradation.
+//!
+//! ## Protocol v5: the live control plane
+//!
+//! v5 adds runtime shard membership. `AddShard` asks a router-backed server to
+//! validate (connect + ping) and admit a new remote shard; `RemoveShard` drains
+//! a shard — it stops receiving new placements immediately, in-flight work
+//! completes, and only then is it dropped from the table; `ClusterInfo` reads
+//! the membership table. All three reply with `Cluster`: the post-op shard
+//! list, each entry carrying the shard's stable id (ids are never reused), its
+//! label/address, alive and draining flags, its current in-flight count and
+//! how many requests have been routed to it. Sent to a server without a shard
+//! table (a plain engine-backed `tcca_serve serve`), the ops are answered with
+//! an in-band `Error` — the connection survives.
 
 use crate::{Result, ServeError};
 use linalg::Matrix;
@@ -130,6 +147,22 @@ pub enum Request {
     /// Trigger a model refresh from accumulated live-traffic statistics (v3). The
     /// trigger is asynchronous: the reply is the counter snapshot at trigger time.
     Refit,
+    /// Admit a new remote shard at the given address (v5). The server validates
+    /// the address with a connect + ping before it joins the rendezvous table;
+    /// the reply is the updated cluster snapshot.
+    AddShard {
+        /// `host:port` of a running serving endpoint.
+        addr: String,
+    },
+    /// Drain and remove the shard with this id (v5). The shard stops receiving
+    /// new placements immediately; the reply is sent once in-flight work has
+    /// completed (or the drain timeout expired) and the shard left the table.
+    RemoveShard {
+        /// The shard's stable id, as reported by `ClusterInfo`.
+        shard: u64,
+    },
+    /// Read the cluster membership table (v5).
+    ClusterInfo,
     /// The v2 envelope: an id the server echoes around its reply, enabling
     /// pipelining and out-of-order completion.
     Tagged {
@@ -208,6 +241,27 @@ impl RescanReport {
     }
 }
 
+/// One shard's entry in a [`Response::Cluster`] membership snapshot (v5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Stable shard id. Ids are assigned once and never reused, so a client
+    /// holding an id across a remove/add cycle can never address the wrong
+    /// shard.
+    pub id: u64,
+    /// Human-readable label: `local-N` for in-process shards, the socket
+    /// address for remote ones.
+    pub label: String,
+    /// Whether the shard is currently considered live by the health tracker.
+    pub alive: bool,
+    /// Whether the shard is draining: excluded from new placements, finishing
+    /// in-flight work before removal.
+    pub draining: bool,
+    /// Requests currently in flight against this shard.
+    pub inflight: u64,
+    /// Requests routed to this shard since it joined.
+    pub routed: u64,
+}
+
 /// A server reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -230,6 +284,9 @@ pub enum Response {
     Overloaded(String),
     /// The request's deadline passed before the work ran (v4); reason.
     DeadlineExceeded(String),
+    /// Cluster membership snapshot (v5): the reply to `ClusterInfo` and to a
+    /// completed `AddShard` / `RemoveShard`.
+    Cluster(Vec<ShardInfo>),
     /// The v2 envelope echoing a `Tagged` request's id.
     Tagged {
         /// The id of the request this reply answers.
@@ -368,6 +425,15 @@ impl Request {
             Request::Rescan => out.push(6),
             Request::Stats => out.push(7),
             Request::Refit => out.push(8),
+            Request::AddShard { addr } => {
+                out.push(9);
+                push_str(out, addr);
+            }
+            Request::RemoveShard { shard } => {
+                out.push(10);
+                push_u64(out, *shard);
+            }
+            Request::ClusterInfo => out.push(11),
             Request::Tagged {
                 id,
                 deadline_ms,
@@ -449,6 +515,13 @@ impl Request {
             6 => Request::Rescan,
             7 => Request::Stats,
             8 => Request::Refit,
+            9 => Request::AddShard {
+                addr: c.string("shard address")?,
+            },
+            10 => Request::RemoveShard {
+                shard: c.u64("shard id")?,
+            },
+            11 => Request::ClusterInfo,
             op @ (TAGGED_OPCODE | TAGGED_DEADLINE_OPCODE) if allow_tag => {
                 let id = c.u64("request id")?;
                 let deadline_ms = if op == TAGGED_DEADLINE_OPCODE {
@@ -542,6 +615,17 @@ impl Response {
             Response::DeadlineExceeded(msg) => {
                 out.push(8);
                 push_str(out, msg);
+            }
+            Response::Cluster(shards) => {
+                out.push(9);
+                push_u32(out, shards.len() as u32);
+                for s in shards {
+                    push_u64(out, s.id);
+                    push_str(out, &s.label);
+                    out.push(u8::from(s.alive) | (u8::from(s.draining) << 1));
+                    push_u64(out, s.inflight);
+                    push_u64(out, s.routed);
+                }
             }
             Response::Tagged { id, inner } => {
                 out.push(TAGGED_OPCODE);
@@ -645,6 +729,31 @@ impl Response {
             }
             7 => Response::Overloaded(c.string("overload reason")?),
             8 => Response::DeadlineExceeded(c.string("deadline reason")?),
+            9 => {
+                let count = c.u32("shard count")? as usize;
+                let mut shards = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = c.u64("shard id")?;
+                    let label = c.string("shard label")?;
+                    let flags = c.u8("shard flags")?;
+                    if flags & !0b11 != 0 {
+                        return Err(ServeError::Protocol(format!(
+                            "unknown shard-flag bits {flags:#04x}"
+                        )));
+                    }
+                    let inflight = c.u64("shard inflight")?;
+                    let routed = c.u64("shard routed")?;
+                    shards.push(ShardInfo {
+                        id,
+                        label,
+                        alive: flags & 1 != 0,
+                        draining: flags & 2 != 0,
+                        inflight,
+                        routed,
+                    });
+                }
+                Response::Cluster(shards)
+            }
             TAGGED_OPCODE if allow_tag => {
                 let id = c.u64("response id")?;
                 let inner = Box::new(Self::decode_cursor(c, false)?);
@@ -743,6 +852,12 @@ mod tests {
             Request::Rescan,
             Request::Stats,
             Request::Refit,
+            Request::AddShard {
+                addr: "10.0.0.7:7878".into(),
+            },
+            Request::RemoveShard { shard: 3 },
+            Request::ClusterInfo,
+            Request::RemoveShard { shard: u64::MAX }.tagged(12),
             Request::Ping.tagged(u64::MAX),
             Request::Transform {
                 model: "m".into(),
@@ -822,10 +937,49 @@ mod tests {
                 ("trainer/model_version".into(), u64::MAX),
             ]),
             Response::Stats(Vec::new()),
+            Response::Cluster(vec![
+                ShardInfo {
+                    id: 0,
+                    label: "local-0".into(),
+                    alive: true,
+                    draining: false,
+                    inflight: 2,
+                    routed: 917,
+                },
+                ShardInfo {
+                    id: 5,
+                    label: "127.0.0.1:40123".into(),
+                    alive: false,
+                    draining: true,
+                    inflight: 0,
+                    routed: u64::MAX,
+                },
+            ]),
+            Response::Cluster(Vec::new()),
             Response::Embedding(sample_matrix()).tagged(99),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn truncated_control_ops_are_rejected() {
+        // AddShard whose declared address length exceeds the payload.
+        let mut payload = vec![9u8];
+        payload.extend_from_slice(&100u32.to_le_bytes());
+        payload.extend_from_slice(b"short");
+        assert!(Request::decode(&payload).is_err());
+        // RemoveShard with a truncated id.
+        assert!(Request::decode(&[10u8, 1, 2, 3]).is_err());
+        // Cluster reply with undefined flag bits.
+        let mut payload = vec![9u8];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.push(0b100);
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        assert!(Response::decode(&payload).is_err());
     }
 
     #[test]

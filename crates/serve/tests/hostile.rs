@@ -194,6 +194,93 @@ fn pipelined_v1_requests_get_replies_in_request_order() {
     stop();
 }
 
+/// Send one raw payload as a frame, expect an in-band error mentioning
+/// `needle`, then prove the connection survived by pinging on it.
+fn expect_error_then_ping_survives(addr: SocketAddr, payload: &[u8], needle: &str) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    expect_protocol_error(read_reply(&mut stream), needle);
+    stream.write_all(&1u32.to_le_bytes()).unwrap();
+    stream.write_all(&[3]).unwrap();
+    assert_eq!(read_reply(&mut stream), Response::Pong);
+}
+
+#[test]
+fn truncated_add_shard_address_is_answered_in_band() {
+    let (addr, stop) = start_server();
+    // Opcode 9 (AddShard) declaring a 1000-byte address with 4 bytes present.
+    let mut payload = vec![9u8];
+    payload.extend_from_slice(&1000u32.to_le_bytes());
+    payload.extend_from_slice(b"10.0");
+    expect_error_then_ping_survives(addr, &payload, "truncated");
+    stop();
+}
+
+#[test]
+fn oversized_add_shard_length_is_answered_in_band() {
+    let (addr, stop) = start_server();
+    // The declared address length alone exceeds any plausible frame.
+    let mut payload = vec![9u8];
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    expect_error_then_ping_survives(addr, &payload, "truncated");
+    stop();
+}
+
+#[test]
+fn junk_utf8_add_shard_address_is_answered_in_band() {
+    let (addr, stop) = start_server();
+    // Well-framed AddShard whose address bytes are not UTF-8.
+    let mut payload = vec![9u8];
+    payload.extend_from_slice(&2u32.to_le_bytes());
+    payload.extend_from_slice(&[0xFF, 0xFE]);
+    expect_error_then_ping_survives(addr, &payload, "not valid UTF-8");
+    stop();
+}
+
+#[test]
+fn truncated_remove_shard_id_is_answered_in_band() {
+    let (addr, stop) = start_server();
+    // Opcode 10 (RemoveShard) with 3 of the 8 id bytes.
+    expect_error_then_ping_survives(addr, &[10u8, 1, 2, 3], "truncated");
+    stop();
+}
+
+#[test]
+fn trailing_junk_after_cluster_info_is_answered_in_band() {
+    let (addr, stop) = start_server();
+    // Opcode 11 (ClusterInfo) takes no payload; trailing bytes are a violation.
+    expect_error_then_ping_survives(addr, &[11u8, 0xAB, 0xCD], "trailing bytes");
+    stop();
+}
+
+#[test]
+fn valid_control_ops_against_an_engine_backed_server_error_in_band() {
+    // This server fronts a local engine, not a router: every well-formed v5
+    // control op must come back as an in-band error, and the connection (and
+    // transform service) must survive.
+    let (addr, stop) = start_server();
+    let mut client = Client::connect(addr).unwrap();
+    for result in [
+        client.add_shard("127.0.0.1:1").map(|_| ()),
+        client.remove_shard(0).map(|_| ()),
+        client.cluster_info().map(|_| ()),
+    ] {
+        let err = result.expect_err("engine-backed servers have no control plane");
+        assert!(
+            err.to_string().contains("no shard control plane"),
+            "unexpected error: {err}"
+        );
+    }
+    client.ping().unwrap();
+    let views = fixture_views();
+    let z = client.transform("pca", &views).unwrap();
+    assert_eq!(z.rows(), views[0].cols());
+    stop();
+}
+
 #[test]
 fn hostile_connections_do_not_poison_service_for_others() {
     let (addr, stop) = start_server();
