@@ -3,20 +3,30 @@
 //!
 //! ```text
 //! cargo run --release -p tcca-bench --bin kernel_bench [-- --samples N] [--out FILE]
-//! cargo run --release -p tcca-bench --bin kernel_bench -- --checksums [--out FILE]
+//!     [--mode strict|fma] [--precision f64|f32]
+//! cargo run --release -p tcca-bench --bin kernel_bench -- --checksums [--mode …] [--out FILE]
 //! ```
 //!
 //! The default mode times the hot kernels of the TCCA pipeline — MTTKRP, the dense
 //! matrix products (including a tile-sweep straddling the blocked GEMM's
-//! `MR`/`KC`/`MC` boundaries and the skinny serving-projection shape), the
-//! covariance / whitened-covariance tensor build, and the three decomposition
-//! solvers — and emits one JSON object per run:
+//! `MR`/`KC`/`MC` boundaries, the skinny serving-projection shapes, and a large
+//! square product sized for peak-throughput comparison), the covariance /
+//! whitened-covariance tensor build, and the three decomposition solvers — and
+//! emits one JSON object per run. GEMM-shaped entries carry a `gflops` field
+//! computed from the fastest sample, so mode/precision speedups read directly:
 //!
 //! ```json
-//! {"schema": "tcca-kernel-bench/v1", "threads": 1, "kernels": [
-//!    {"name": "mttkrp/32x32x32/r8", "mean_ns": 123, "min_ns": 100, "samples": 10}, …
+//! {"schema": "tcca-kernel-bench/v2", "threads": 1, "mode": "strict", "kernels": [
+//!    {"name": "matmul/512x512x512", "mean_ns": 123, "min_ns": 100, "samples": 10,
+//!     "gflops": 12.3}, …
 //! ]}
 //! ```
+//!
+//! `--mode fma` resolves the process-wide kernel mode to the FMA microkernel
+//! before any product runs (`TCCA_KERNEL_MODE` in the environment still wins —
+//! it is the operator override). `--precision f32` additionally times the
+//! serving projection through the `f32` fast path. The JSON records the
+//! *resolved* mode, so a host without AVX2+FMA shows `"strict"`.
 //!
 //! `--checksums` instead runs every kernel **once** on fixed seeded inputs at sizes
 //! large enough to engage multithreading, and emits an FNV-1a hash of each output's
@@ -24,18 +34,23 @@
 //! anything else machine-dependent from the JSON:
 //!
 //! ```json
-//! {"schema": "tcca-kernel-checksums/v1", "kernels": [
+//! {"schema": "tcca-kernel-checksums/v2", "mode": "strict", "kernels": [
 //!    {"name": "matmul/131x163x127", "checksum": "a1b2c3…"}, …
 //! ]}
 //! ```
 //!
-//! CI runs the checksum mode under `TCCA_NUM_THREADS=1` and `=4` and diffs the two
-//! files byte for byte: any divergence means a kernel's accumulation schedule leaked
-//! a thread-count dependence. Timings are logged as artifacts, never asserted —
-//! shared runners lie about speed, but bits are bits.
+//! CI runs the checksum mode under `TCCA_NUM_THREADS=1` and `=4` **per kernel
+//! mode** and diffs the two files byte for byte: any divergence means a kernel's
+//! accumulation schedule leaked a thread-count dependence. Each mode is also
+//! diffed against its own committed baseline (`ci/kernel-checksums-strict.json`,
+//! `ci/kernel-checksums-fma.json`) — never against the other mode's: FMA
+//! contracts each multiply-add to one rounding, so its bits legitimately differ
+//! from strict while remaining deterministic within the mode. Timings are logged
+//! as artifacts, never asserted — shared runners lie about speed, but bits are
+//! bits.
 
 use datasets::GaussianRng;
-use linalg::{gemm, ColsView, Matrix};
+use linalg::{gemm, ColsView, Matrix, MatrixF32};
 use std::fmt::Write as _;
 use std::time::Instant;
 use tcca::{covariance_tensor, whitened_covariance_tensor};
@@ -46,9 +61,18 @@ struct Record {
     mean_ns: u128,
     min_ns: u128,
     samples: usize,
+    /// Floating-point operations one invocation performs (`2·m·k·n` for a GEMM);
+    /// 0 for kernels without a clean flop count. Non-zero counts turn into a
+    /// `gflops` field computed from the *fastest* sample — the least
+    /// noise-contaminated estimate a shared machine gives.
+    flops: u128,
 }
 
-fn time<F: FnMut()>(name: &str, samples: usize, mut f: F) -> Record {
+fn time<F: FnMut()>(name: &str, samples: usize, f: F) -> Record {
+    time_flops(name, samples, 0, f)
+}
+
+fn time_flops<F: FnMut()>(name: &str, samples: usize, flops: u128, mut f: F) -> Record {
     // One warm-up run keeps first-touch page faults out of the measurement.
     f();
     let mut times = Vec::with_capacity(samples);
@@ -62,6 +86,7 @@ fn time<F: FnMut()>(name: &str, samples: usize, mut f: F) -> Record {
         mean_ns: times.iter().sum::<u128>() / times.len().max(1) as u128,
         min_ns: times.iter().min().copied().unwrap_or(0),
         samples,
+        flops,
     }
 }
 
@@ -126,6 +151,15 @@ fn checksum_suite() -> Vec<(String, u64)> {
     let mut acc = Matrix::filled(m, n, 0.25);
     at.t_matmul_acc(&b, &mut acc).unwrap();
     push(format!("t_matmul_acc/{m}x{k}x{n}"), acc.as_slice());
+
+    // The skinny serving-projection dispatch (`n ≤ NR/2` instantiates the
+    // narrow-tile kernel and the direct-A strided path): its bits must match
+    // the wide instantiation, so it gets its own checksum entry.
+    let skinny = random_matrix(k, gemm::NR / 2, 31);
+    push(
+        format!("t_matmul_skinny/{m}x{k}x{}", gemm::NR / 2),
+        at.t_matmul(&skinny).unwrap().as_slice(),
+    );
 
     // Symmetric rank-k (upper triangle + mirror) at a non-multiple size.
     let s = random_matrix(gemm::KC / 2 + 5, 2 * gemm::MC + 1, 15);
@@ -197,30 +231,61 @@ fn main() {
     let mut samples = 10usize;
     let mut out_path: Option<String> = None;
     let mut checksums = false;
+    let mut mode = gemm::KernelMode::Strict;
+    let mut f32_path = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         match flag {
-            "--samples" | "--out" => {
+            "--samples" | "--out" | "--mode" | "--precision" => {
                 i += 1;
                 let value = args
                     .get(i)
                     .unwrap_or_else(|| panic!("{flag} requires a value"));
-                if flag == "--samples" {
-                    samples = value.parse().expect("--samples takes an integer");
-                } else {
-                    out_path = Some(value.clone());
+                match flag {
+                    "--samples" => samples = value.parse().expect("--samples takes an integer"),
+                    "--out" => out_path = Some(value.clone()),
+                    "--mode" => {
+                        mode = match value.as_str() {
+                            "strict" => gemm::KernelMode::Strict,
+                            "fma" => gemm::KernelMode::Fma,
+                            other => panic!("--mode takes strict or fma, got {other}"),
+                        }
+                    }
+                    "--precision" => {
+                        f32_path = match value.as_str() {
+                            "f64" => false,
+                            "f32" => true,
+                            other => panic!("--precision takes f64 or f32, got {other}"),
+                        }
+                    }
+                    _ => unreachable!(),
                 }
             }
             "--checksums" => checksums = true,
-            other => panic!("unknown argument {other}; use --samples N / --out FILE / --checksums"),
+            other => panic!(
+                "unknown argument {other}; use --samples N / --out FILE / --checksums \
+                 / --mode strict|fma / --precision f64|f32"
+            ),
         }
         i += 1;
     }
 
+    // Resolve the process-wide kernel mode before the first product runs; the
+    // resolution is permanent, and the JSON records what actually resolved
+    // (`TCCA_KERNEL_MODE` overrides the flag; a host without AVX2+FMA clamps
+    // `fma` back to `strict`).
+    let mode = gemm::set_kernel_mode(mode);
+    let mode_name = match mode {
+        gemm::KernelMode::Strict => "strict",
+        gemm::KernelMode::Fma => "fma",
+    };
+
     if checksums {
         let mut json = String::new();
-        json.push_str("{\n  \"schema\": \"tcca-kernel-checksums/v1\",\n  \"kernels\": [\n");
+        json.push_str("{\n  \"schema\": \"tcca-kernel-checksums/v2\",\n");
+        let _ = writeln!(json, "  \"mode\": \"{mode_name}\",");
+        json.push_str("  \"kernels\": [\n");
         let records = checksum_suite();
         for (i, (name, sum)) in records.iter().enumerate() {
             let _ = write!(
@@ -262,15 +327,39 @@ fn main() {
     // Dense products at covariance-build-like sizes.
     let a = random_matrix(200, 400, 2);
     let b = random_matrix(400, 200, 3);
-    records.push(time("matmul/200x400x200", samples, || {
-        std::hint::black_box(a.matmul(&b).unwrap());
-    }));
-    records.push(time("t_matmul/400x200x200", samples, || {
-        std::hint::black_box(a.t_matmul(&a).unwrap());
-    }));
+    records.push(time_flops(
+        "matmul/200x400x200",
+        samples,
+        2 * 200 * 400 * 200,
+        || {
+            std::hint::black_box(a.matmul(&b).unwrap());
+        },
+    ));
+    records.push(time_flops(
+        "t_matmul/400x200x200",
+        samples,
+        2 * 400 * 200 * 400,
+        || {
+            std::hint::black_box(a.t_matmul(&a).unwrap());
+        },
+    ));
     records.push(time("transpose/200x400", samples, || {
         std::hint::black_box(a.transpose());
     }));
+
+    // A large square product sized for peak throughput: this is the entry the
+    // FMA-vs-strict comparison reads, far enough from the tile edges that the
+    // microkernel dominates over packing.
+    let sq_a = random_matrix(512, 512, 26);
+    let sq_b = random_matrix(512, 512, 27);
+    records.push(time_flops(
+        "matmul/512x512x512",
+        samples,
+        2 * 512 * 512 * 512,
+        || {
+            std::hint::black_box(sq_a.matmul(&sq_b).unwrap());
+        },
+    ));
 
     // Tile sweep: square-ish products one element below, at, and above the blocked
     // engine's MC/KC boundaries, so a packing or edge-tile regression shows up as a
@@ -281,16 +370,54 @@ fn main() {
         let n = (16 * gemm::NR as i64 + delta) as usize;
         let ta = random_matrix(m, k, 40 + delta as u64);
         let tb = random_matrix(k, n, 43 + delta as u64);
-        records.push(time(&format!("matmul_tile/{m}x{k}x{n}"), samples, || {
-            std::hint::black_box(ta.matmul(&tb).unwrap());
-        }));
+        records.push(time_flops(
+            &format!("matmul_tile/{m}x{k}x{n}"),
+            samples,
+            2 * (m * k * n) as u128,
+            || {
+                std::hint::black_box(ta.matmul(&tb).unwrap());
+            },
+        ));
     }
     // The serving-projection shape: many instances, few features, skinny output.
+    // `n = 4 ≤ NR/2` takes the narrow-tile kernel plus the direct-A strided path.
     let inst = random_matrix(64, 4096, 7);
     let proj = random_matrix(64, 4, 8);
-    records.push(time("t_matmul_proj/4096x64x4", samples, || {
-        std::hint::black_box(inst.t_matmul(&proj).unwrap());
-    }));
+    records.push(time_flops(
+        "t_matmul_proj/4096x64x4",
+        samples,
+        2 * 4096 * 64 * 4,
+        || {
+            std::hint::black_box(inst.t_matmul(&proj).unwrap());
+        },
+    ));
+    if f32_path {
+        // The same projection through the f32 serving fast path: a ColsView over
+        // the instance block, centered during packing, against an f32 shadow of
+        // the projection — exactly what `Precision::F32` requests execute. Its
+        // f64 twin runs the identical ColsView+shift path so the pair isolates
+        // the precision delta from the direct-A dispatch above.
+        let cols = ColsView::from_matrices(std::iter::once(&inst)).unwrap();
+        let proj32 = MatrixF32::from_f64(&proj);
+        let shift64: Vec<f64> = (0..64).map(|i| (i as f64) * 0.01 - 0.25).collect();
+        let shift32: Vec<f32> = shift64.iter().map(|&x| x as f32).collect();
+        records.push(time_flops(
+            "cols_proj_f64/4096x64x4",
+            samples,
+            2 * 4096 * 64 * 4,
+            || {
+                std::hint::black_box(cols.shifted_t_matmul(Some(&shift64), &proj).unwrap());
+            },
+        ));
+        records.push(time_flops(
+            "cols_proj_f32/4096x64x4",
+            samples,
+            2 * 4096 * 64 * 4,
+            || {
+                std::hint::black_box(cols.shifted_t_matmul_f32(Some(&shift32), &proj32).unwrap());
+            },
+        ));
+    }
 
     // Self-products (the covariance / whitening symmetric rank-k path).
     records.push(time("gram/200x400", samples, || {
@@ -339,15 +466,21 @@ fn main() {
     }));
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"tcca-kernel-bench/v1\",\n");
+    json.push_str("{\n  \"schema\": \"tcca-kernel-bench/v2\",\n");
     let _ = writeln!(json, "  \"threads\": {},", parallel::max_threads());
+    let _ = writeln!(json, "  \"mode\": \"{mode_name}\",");
     json.push_str("  \"kernels\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}",
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}",
             r.name, r.mean_ns, r.min_ns, r.samples
         );
+        if r.flops > 0 && r.min_ns > 0 {
+            let gflops = r.flops as f64 / r.min_ns as f64;
+            let _ = write!(json, ", \"gflops\": {gflops:.3}");
+        }
+        json.push('}');
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");

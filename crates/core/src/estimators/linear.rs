@@ -324,6 +324,13 @@ impl MultiViewModel for CcaLsModel {
         Ok(self.inner.transform_view_cols(which, cols)?)
     }
 
+    fn view_projection(&self, which: usize) -> Option<crate::ViewProjection<'_>> {
+        Some(crate::ViewProjection {
+            weights: self.inner.projections().get(which)?,
+            shift: Some(self.inner.means().get(which)?),
+        })
+    }
+
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
@@ -428,6 +435,13 @@ impl MultiViewModel for CcaMaxVarModel {
             )));
         }
         Ok(self.inner.transform_view_cols(which, cols)?)
+    }
+
+    fn view_projection(&self, which: usize) -> Option<crate::ViewProjection<'_>> {
+        Some(crate::ViewProjection {
+            weights: self.inner.projections().get(which)?,
+            shift: Some(self.inner.means().get(which)?),
+        })
     }
 
     fn memory(&self) -> &MemoryModel {
@@ -555,6 +569,14 @@ impl MultiViewModel for PcaModel {
         Ok(pca.transform_cols(cols)?)
     }
 
+    fn view_projection(&self, which: usize) -> Option<crate::ViewProjection<'_>> {
+        let pca = self.pcas.get(which)?;
+        Some(crate::ViewProjection {
+            weights: pca.components(),
+            shift: Some(pca.mean()),
+        })
+    }
+
     fn memory(&self) -> &MemoryModel {
         &self.memory
     }
@@ -661,6 +683,13 @@ impl MultiViewModel for TccaModel {
 
     fn transform_view_cols(&self, which: usize, cols: &linalg::ColsView<'_>) -> Result<Matrix> {
         Ok(self.inner.transform_view_cols(which, cols)?)
+    }
+
+    fn view_projection(&self, which: usize) -> Option<crate::ViewProjection<'_>> {
+        Some(crate::ViewProjection {
+            weights: self.inner.projections().get(which)?,
+            shift: Some(self.inner.means().get(which)?),
+        })
     }
 
     fn memory(&self) -> &MemoryModel {

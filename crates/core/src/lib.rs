@@ -64,7 +64,7 @@ pub use error::CoreError;
 pub use memcost::MemoryModel;
 pub use model::{
     check_same_instances, check_square_kernels, CombineRule, InputKind, MultiViewEstimator,
-    MultiViewModel, Output,
+    MultiViewModel, Output, ViewProjection,
 };
 pub use persist::{ModelMeta, ModelState};
 pub use pipeline::Pipeline;

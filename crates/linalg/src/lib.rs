@@ -39,7 +39,7 @@ pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
 pub use exact::{ExactSum, JointMoments};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixF32};
 pub use ops::{dot, norm2, normalize};
 pub use solve::{ridge_solve, solve_spd};
 pub use stats::{

@@ -93,14 +93,21 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols(), other.cols());
-        gemm::gemm(
+        // The left operand is already lane-fastest in memory (MR contiguous
+        // output rows per reduction step), so skinny products can stream it in
+        // place instead of packing.
+        gemm::gemm_a(
             self.cols(),
             other.cols(),
             self.rows(),
             &mut out,
             threads,
             false,
-            &gemm::pack_cols(self),
+            gemm::ASource::Strided {
+                data: self.as_slice(),
+                stride: self.cols(),
+                pack: &gemm::pack_cols(self),
+            },
             &gemm::pack_panel_rows(other),
         );
         Ok(out)
@@ -118,14 +125,18 @@ impl Matrix {
             });
         }
         let flops = self.rows() * self.cols() * other.cols();
-        gemm::gemm(
+        gemm::gemm_a(
             self.cols(),
             other.cols(),
             self.rows(),
             out,
             parallel::threads_for_work(flops),
             false,
-            &gemm::pack_cols(self),
+            gemm::ASource::Strided {
+                data: self.as_slice(),
+                stride: self.cols(),
+                pack: &gemm::pack_cols(self),
+            },
             &gemm::pack_panel_rows(other),
         );
         Ok(())

@@ -21,6 +21,7 @@
 //! | 9 | `AddShard` | address (`u32` + UTF-8) (v5) |
 //! | 10 | `RemoveShard` | `u64` shard id (v5) |
 //! | 11 | `ClusterInfo` | — (v5) |
+//! | 12 | `TransformView` + precision | name, `u32` view index, `u8` precision, one matrix (v6) |
 //! | 16 | `Tagged` | `u64` request id, then a nested untagged request (v2) |
 //! | 17 | `Tagged` + deadline | `u64` request id, `u32` deadline ms, then a nested untagged request (v4) |
 //!
@@ -88,6 +89,19 @@
 //! how many requests have been routed to it. Sent to a server without a shard
 //! table (a plain engine-backed `tcca_serve serve`), the ops are answered with
 //! an in-band `Error` — the connection survives.
+//!
+//! ## Protocol v6: per-request transform precision
+//!
+//! v6 lets a client ask for the reduced-precision serving fast path on a
+//! per-request basis. `TransformView` grows a [`Precision`] field: requests at
+//! the default [`Precision::F64`] still encode as opcode 5 — byte-for-byte the
+//! v2 layout, so v2–v5 peers interoperate unchanged — while [`Precision::F32`]
+//! encodes as the new opcode 12, which inserts one `u8` precision byte between
+//! the view index and the matrix. Matrices always travel as `f64` bit patterns
+//! regardless of precision: the field selects the *compute* path (the engine's
+//! cached `f32` shadow of the factor matrices), not the wire encoding. Servers
+//! without an `f32` shadow for the model silently serve the `f64` path; the
+//! reply shape is identical either way.
 
 use crate::{Result, ServeError};
 use linalg::Matrix;
@@ -102,6 +116,22 @@ pub const TAGGED_OPCODE: u8 = 16;
 
 /// Opcode of the v4 deadline-carrying `Tagged` request envelope.
 pub const TAGGED_DEADLINE_OPCODE: u8 = 17;
+
+/// Arithmetic precision a `TransformView` request asks the engine to compute in
+/// (v6). Inputs and replies are `f64` on the wire either way; `F32` routes the
+/// projection through the engine's cached single-precision shadow of the factor
+/// matrices — roughly half the memory traffic, bounded relative error (see
+/// `linalg::ColsView::shifted_t_matmul_f32`) — when the model exposes one, and
+/// falls back to the bit-exact `f64` path when it does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full double precision — the default, bit-identical to every prior
+    /// protocol version.
+    #[default]
+    F64,
+    /// Opt-in single-precision compute path.
+    F32,
+}
 
 /// A request from client to server.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,6 +166,9 @@ pub enum Request {
         view: u32,
         /// The view matrix (features × instances, or a kernel block).
         input: Matrix,
+        /// Requested compute precision (v6). [`Precision::F64`] encodes as the
+        /// v2 opcode 5 layout; [`Precision::F32`] as opcode 12.
+        precision: Precision,
     },
     /// Re-scan the server's model directory for new/changed/removed `.mvm` files
     /// (v2). A router forwards this to every live shard.
@@ -416,12 +449,26 @@ impl Request {
                     push_matrix(out, m);
                 }
             }
-            Request::TransformView { model, view, input } => {
-                out.push(5);
-                push_str(out, model);
-                push_u32(out, *view);
-                push_matrix(out, input);
-            }
+            Request::TransformView {
+                model,
+                view,
+                input,
+                precision,
+            } => match precision {
+                Precision::F64 => {
+                    out.push(5);
+                    push_str(out, model);
+                    push_u32(out, *view);
+                    push_matrix(out, input);
+                }
+                Precision::F32 => {
+                    out.push(12);
+                    push_str(out, model);
+                    push_u32(out, *view);
+                    out.push(1);
+                    push_matrix(out, input);
+                }
+            },
             Request::Rescan => out.push(6),
             Request::Stats => out.push(7),
             Request::Refit => out.push(8),
@@ -510,7 +557,12 @@ impl Request {
                 let model = c.string("model name")?;
                 let view = c.u32("view index")?;
                 let input = c.matrix("view matrix")?;
-                Request::TransformView { model, view, input }
+                Request::TransformView {
+                    model,
+                    view,
+                    input,
+                    precision: Precision::F64,
+                }
             }
             6 => Request::Rescan,
             7 => Request::Stats,
@@ -522,6 +574,26 @@ impl Request {
                 shard: c.u64("shard id")?,
             },
             11 => Request::ClusterInfo,
+            12 => {
+                let model = c.string("model name")?;
+                let view = c.u32("view index")?;
+                let precision = match c.u8("transform precision")? {
+                    0 => Precision::F64,
+                    1 => Precision::F32,
+                    p => {
+                        return Err(ServeError::Protocol(format!(
+                            "unknown transform precision {p}"
+                        )))
+                    }
+                };
+                let input = c.matrix("view matrix")?;
+                Request::TransformView {
+                    model,
+                    view,
+                    input,
+                    precision,
+                }
+            }
             op @ (TAGGED_OPCODE | TAGGED_DEADLINE_OPCODE) if allow_tag => {
                 let id = c.u64("request id")?;
                 let deadline_ms = if op == TAGGED_DEADLINE_OPCODE {
@@ -848,6 +920,13 @@ mod tests {
                 model: "cca-ls".into(),
                 view: 2,
                 input: sample_matrix(),
+                precision: Precision::F64,
+            },
+            Request::TransformView {
+                model: "cca-ls".into(),
+                view: 2,
+                input: sample_matrix(),
+                precision: Precision::F32,
             },
             Request::Rescan,
             Request::Stats,
@@ -896,6 +975,48 @@ mod tests {
         assert_eq!(with_deadline[0], TAGGED_DEADLINE_OPCODE);
         assert_eq!(with_deadline.len(), 1 + 8 + 4 + 1);
         assert_eq!(&with_deadline[9..13], &1500u32.to_le_bytes());
+    }
+
+    #[test]
+    fn f64_transform_view_keeps_the_v2_opcode_5_layout() {
+        // v6 compatibility: the default precision must encode byte-for-byte as
+        // the v2 request, so pre-v6 servers keep understanding default clients.
+        let input = sample_matrix();
+        let v6 = Request::TransformView {
+            model: "m".into(),
+            view: 1,
+            input: input.clone(),
+            precision: Precision::F64,
+        }
+        .encode();
+        assert_eq!(v6[0], 5);
+        let mut v2 = vec![5u8];
+        push_str(&mut v2, "m");
+        push_u32(&mut v2, 1);
+        push_matrix(&mut v2, &input);
+        assert_eq!(v6, v2);
+
+        let f32_bytes = Request::TransformView {
+            model: "m".into(),
+            view: 1,
+            input,
+            precision: Precision::F32,
+        }
+        .encode();
+        assert_eq!(f32_bytes[0], 12);
+        // name (4 + 1) then view index (4), then the precision byte.
+        assert_eq!(f32_bytes[1 + 5 + 4], 1);
+    }
+
+    #[test]
+    fn unknown_precision_byte_is_a_protocol_error() {
+        let mut payload = vec![12u8];
+        push_str(&mut payload, "m");
+        push_u32(&mut payload, 0);
+        payload.push(9); // not a precision
+        push_matrix(&mut payload, &sample_matrix());
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(err.to_string().contains("unknown transform precision"));
     }
 
     #[test]
