@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p tcca-bench --bin kernel_bench [-- --samples N] [--out FILE]
-//!     [--mode strict|fma] [--precision f64|f32]
+//!     [--mode strict|fma] [--precision f64|f32] [--whiten]
 //! cargo run --release -p tcca-bench --bin kernel_bench -- --checksums [--mode …] [--out FILE]
 //! ```
 //!
@@ -25,8 +25,11 @@
 //! `--mode fma` resolves the process-wide kernel mode to the FMA microkernel
 //! before any product runs (`TCCA_KERNEL_MODE` in the environment still wins —
 //! it is the operator override). `--precision f32` additionally times the
-//! serving projection through the `f32` fast path. The JSON records the
-//! *resolved* mode, so a host without AVX2+FMA shows `"strict"`.
+//! serving projection through the `f32` fast path. `--whiten` appends the
+//! whitening-fit comparison — exact `(C + εI)^{-1/2}` at `d = 512` against the
+//! randomized range-finder at `d ∈ {512, 8192, 100000}` — which takes a few extra
+//! seconds, so it is opt-in. The JSON records the *resolved* mode, so a host
+//! without AVX2+FMA shows `"strict"`.
 //!
 //! `--checksums` instead runs every kernel **once** on fixed seeded inputs at sizes
 //! large enough to engage multithreading, and emits an FNV-1a hash of each output's
@@ -223,6 +226,18 @@ fn checksum_suite() -> Vec<(String, u64)> {
         covariance_tensor(&views).unwrap().as_slice(),
     );
 
+    // Randomized whitening end to end: sequential Gaussian sketch, blocked sketch
+    // GEMMs, subspace iteration, thin QR and the small eigensolve. The CI harness
+    // diffs this entry across `TCCA_NUM_THREADS=1` and `=4`, pinning the seeded
+    // range-finder (and therefore every randomized-whitening fit) to one bit
+    // pattern regardless of thread count.
+    let view = random_matrix(600, 512, 24);
+    let (centered, _) = linalg::center_rows(&view);
+    let eig = linalg::randomized_covariance_eig(&centered, 32, 8, 2, 77).unwrap();
+    let mut combined = eig.eigenvalues.clone();
+    combined.extend_from_slice(eig.eigenvectors.as_slice());
+    push("randomized_whiten/600x512/k32".to_string(), &combined);
+
     out
 }
 
@@ -233,6 +248,7 @@ fn main() {
     let mut checksums = false;
     let mut mode = gemm::KernelMode::Strict;
     let mut f32_path = false;
+    let mut whiten = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -263,9 +279,10 @@ fn main() {
                 }
             }
             "--checksums" => checksums = true,
+            "--whiten" => whiten = true,
             other => panic!(
                 "unknown argument {other}; use --samples N / --out FILE / --checksums \
-                 / --mode strict|fma / --precision f64|f32"
+                 / --whiten / --mode strict|fma / --precision f64|f32"
             ),
         }
         i += 1;
@@ -452,6 +469,45 @@ fn main() {
             std::hint::black_box(whitened_covariance_tensor(&centered, &whiteners).unwrap());
         },
     ));
+
+    if whiten {
+        // Whitening-fit comparison: the dense exact path ((C + εI)^{-1/2} via a
+        // d×d Jacobi eigensolve) against the randomized range-finder at growing
+        // view dimensions. Exact is O(d³) and only feasible at d = 512; the
+        // randomized path never materializes the d×d covariance, so it scales to
+        // the d ≈ 100k views the stage API targets. Sample counts shrink with d
+        // to keep the largest entry in single-digit seconds.
+        let n = 256;
+        let (rank, oversample, power_iters) = (100usize, 8usize, 2usize);
+        let exact_view = random_matrix(512, n, 50);
+        let (exact_centered, _) = linalg::center_rows(&exact_view);
+        records.push(time("whiten_exact/d512/n256", samples.min(3), || {
+            let mut c = linalg::covariance(&exact_centered);
+            c.add_diagonal(1e-2);
+            std::hint::black_box(c.inverse_sqrt_spd(1e-12).unwrap());
+        }));
+        for d in [512usize, 8192, 100_000] {
+            let view = random_matrix(d, n, 51 + d as u64);
+            let (centered, _) = linalg::center_rows(&view);
+            let s = if d > 4096 { samples.min(2) } else { samples };
+            records.push(time(
+                &format!("whiten_randomized/d{d}/n{n}/k{rank}"),
+                s,
+                || {
+                    std::hint::black_box(
+                        linalg::randomized_covariance_eig(
+                            &centered,
+                            rank.min(d).min(n),
+                            oversample,
+                            power_iters,
+                            7,
+                        )
+                        .unwrap(),
+                    );
+                },
+            ));
+        }
+    }
 
     // Decomposition solvers end to end.
     let t = random_tensor(&[24, 24, 24], 5);

@@ -12,6 +12,15 @@ use std::fmt;
 pub enum CoreError {
     /// Inputs had inconsistent shapes or invalid parameters.
     InvalidInput(String),
+    /// A preprocessing stage met a feature it cannot transform — e.g. scaling a
+    /// zero-variance column, whose inverse standard deviation is undefined. Carries
+    /// the offending column (feature row) index so callers can point at the data.
+    DegenerateFeature {
+        /// Index of the degenerate feature row within its view.
+        column: usize,
+        /// What made it degenerate.
+        reason: String,
+    },
     /// A method name was not found in the [`crate::EstimatorRegistry`].
     UnknownEstimator {
         /// The requested name.
@@ -32,6 +41,9 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::DegenerateFeature { column, reason } => {
+                write!(f, "degenerate feature at column {column}: {reason}")
+            }
             CoreError::UnknownEstimator { name, known } => {
                 write!(
                     f,

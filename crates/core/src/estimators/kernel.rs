@@ -193,12 +193,23 @@ impl MultiViewEstimator for KtccaEstimator {
     fn fit(&self, kernels: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
         let n = check_square_kernels(kernels)?;
         let m = kernels.len();
-        let inner = Ktcca::fit(kernels, &spec.tcca_options())?;
         let mut memory = MemoryModel::new();
         for p in 0..m {
             memory.add_matrix(format!("kernel {p}"), n, n);
         }
-        memory.add_tensor("gram tensor", &vec![n; m]);
+        // `WhitenSpec::Randomized` selects the seeded Nyström landmark
+        // factorization: the O(Nᵐ) whitened Gram tensor shrinks to the landmark
+        // dimension while the fitted model keeps the exact-path shape (N × r dual
+        // coefficients), so transform and persistence are identical. `Exact` (and
+        // `None`) keep the full Cholesky path — it *is* the exact whitening.
+        let inner = if spec.whiten.randomized_budget().is_some() {
+            let landmarks = spec.effective_per_view_dim().min(n);
+            memory.add_tensor("gram tensor", &vec![landmarks; m]);
+            Ktcca::fit_nystrom(kernels, &spec.tcca_options(), landmarks)?
+        } else {
+            memory.add_tensor("gram tensor", &vec![n; m]);
+            Ktcca::fit(kernels, &spec.tcca_options())?
+        };
         let dim: usize = inner.coefficients().iter().map(Matrix::cols).sum();
         memory.add_matrix("dual coefficients", n, dim);
         Ok(Box::new(KtccaModel { inner, dim, memory }))

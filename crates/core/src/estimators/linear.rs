@@ -1,6 +1,7 @@
 //! Linear-method estimators: pairwise CCA, CCA-LS, CCA-MAXVAR, PCA and TCCA.
 
 use crate::model::check_same_instances;
+use crate::stage::{fit_whitener, stage_seed};
 use crate::{
     CombineRule, CoreError, FitSpec, MemoryModel, ModelState, MultiViewEstimator, MultiViewModel,
     Output, Result,
@@ -608,9 +609,62 @@ impl MultiViewEstimator for TccaEstimator {
 
     fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
         let n = check_same_instances(views)?;
-        let inner = Tcca::fit(views, &spec.tcca_options())?;
         let dims: Vec<usize> = views.iter().map(Matrix::rows).collect();
-        Ok(tcca_model_from_parts(inner, &dims, n))
+        if spec.whiten.is_none() {
+            let inner = Tcca::fit(views, &spec.tcca_options())?;
+            return Ok(tcca_model_from_parts(inner, &dims, n));
+        }
+
+        // Spec-driven whitening path: decorrelate (and, for the randomized mode,
+        // reduce) each view up front, fit TCCA on the whitened views — whose
+        // internal `(C + εI)^{-1/2}` is now a cheap k × k problem — and fold the
+        // whitener into the projection. The fitted model keeps the exact same
+        // shape as the plain path (`d × r` projections plus per-view means), so
+        // persistence, serving's zero-copy `transform_view_cols` and the f32
+        // shadow path are untouched.
+        let mut means = Vec::with_capacity(views.len());
+        let mut whiteners = Vec::with_capacity(views.len());
+        let mut whitened = Vec::with_capacity(views.len());
+        for (p, v) in views.iter().enumerate() {
+            let (mean, weights) = fit_whitener(v, spec.whiten, spec, stage_seed(spec.seed, p))?
+                .ok_or_else(|| CoreError::InvalidInput("whitening mode resolved to none".into()))?;
+            // Z = Wᵀ(X − μ·1ᵀ), k × N — centering happens while the GEMM packs.
+            let z = linalg::ColsView::from_matrices([v])?
+                .shifted_t_matmul(Some(&mean), &weights)?
+                .transpose();
+            means.push(mean);
+            whiteners.push(weights);
+            whitened.push(z);
+        }
+        let inner = Tcca::fit(&whitened, &spec.tcca_options())?;
+        // transform_view(x) = H_pᵀ · W_pᵀ · (x − μ_p): composite projections
+        // W_p H_p (the inner means of the whitened views are exactly zero).
+        let projections = whiteners
+            .iter()
+            .zip(inner.projections())
+            .map(|(w, h)| w.matmul(h))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let mut memory = MemoryModel::new();
+        let inner_dims: Vec<usize> = whitened.iter().map(Matrix::rows).collect();
+        memory.add_tensor("covariance tensor", &inner_dims);
+        let mut dim = 0;
+        for (p, proj) in projections.iter().enumerate() {
+            memory.add_matrix(format!("whitener {p}"), dims[p], inner_dims[p]);
+            memory.add_matrix(format!("factor {p}"), proj.rows(), proj.cols());
+            dim += proj.cols();
+        }
+        memory.add_matrix("embedding", n, dim);
+        let composed = Tcca::from_parts(
+            means,
+            projections,
+            inner.correlations().to_vec(),
+            spec.tcca_options(),
+        )?;
+        Ok(Box::new(TccaModel {
+            inner: composed,
+            dim,
+            memory,
+        }))
     }
 
     fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {

@@ -26,11 +26,17 @@ use crate::Pipeline;
 /// The paper's DSE: per-view PCA pre-reduction (to `spec.effective_per_view_dim()`
 /// components) followed by the spectral consensus, expressed as a [`Pipeline`].
 pub fn dse_pipeline() -> Pipeline {
-    Pipeline::with_pca(Box::new(DseConsensus))
+    Pipeline::builder()
+        .standardize()
+        .pca()
+        .build(Box::new(DseConsensus))
 }
 
 /// The paper's SSMVD: per-view PCA pre-reduction followed by the IRLS group-sparse
 /// consensus, expressed as a [`Pipeline`].
 pub fn ssmvd_pipeline() -> Pipeline {
-    Pipeline::with_pca(Box::new(SsmvdConsensus))
+    Pipeline::builder()
+        .standardize()
+        .pca()
+        .build(Box::new(SsmvdConsensus))
 }

@@ -58,6 +58,7 @@ mod pipeline;
 mod preprocess;
 mod registry;
 mod spec;
+mod stage;
 mod streaming;
 
 pub use error::CoreError;
@@ -67,10 +68,14 @@ pub use model::{
     MultiViewModel, Output, ViewProjection,
 };
 pub use persist::{ModelMeta, ModelState};
-pub use pipeline::Pipeline;
+pub use pipeline::{Pipeline, PipelineBuilder};
 pub use preprocess::Standardizer;
 pub use registry::{EstimatorFactory, EstimatorRegistry};
-pub use spec::{FitSpec, DEFAULT_DECOMPOSITION_ITERATIONS, DEFAULT_PER_VIEW_DIM};
+pub use spec::{
+    FitSpec, WhitenSpec, DEFAULT_DECOMPOSITION_ITERATIONS, DEFAULT_PER_VIEW_DIM,
+    DEFAULT_WHITEN_OVERSAMPLE, DEFAULT_WHITEN_POWER_ITERS,
+};
+pub use stage::{FittedStage, PcaReduce, Standardize, ViewStage, Whiten};
 pub use streaming::{StreamingEstimator, SufficientStats};
 
 /// Convenience alias for results produced by this crate.

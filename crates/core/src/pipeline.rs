@@ -1,56 +1,131 @@
-//! [`Pipeline`]: center/scale → per-view PCA pre-reduction → inner estimator.
+//! [`Pipeline`]: a composable per-view preprocessing stage list in front of any
+//! inner estimator.
 //!
 //! The paper's DSE and SSMVD runs reduce every view to 100 principal components
 //! before learning the consensus; cca_zoo-style workflows standardize features
-//! first. Both preambles used to be hand-rolled inside the individual methods —
-//! the pipeline factors them into one reusable combinator that wraps *any*
-//! [`MultiViewEstimator`] and replays the training-time preprocessing on held-out
-//! instances at transform time.
+//! first; million-feature views need a whitening stage that never forms the
+//! `d × d` covariance. All of these are [`crate::ViewStage`]s now: the pipeline
+//! fits each stage per view (in order), feeds the transformed views to the inner
+//! estimator, and replays the fitted stages on held-out instances at transform
+//! time. Build one with [`Pipeline::builder`]:
+//!
+//! ```ignore
+//! let pipeline = Pipeline::builder()
+//!     .standardize()
+//!     .pca()
+//!     .whiten(WhitenSpec::randomized())
+//!     .build(Box::new(DseConsensus));
+//! ```
+//!
+//! The old constructors remain as shims: [`Pipeline::new`] is
+//! `builder().standardize()` and [`Pipeline::with_pca`] is
+//! `builder().standardize().pca()`, with identical semantics (standardization is
+//! still gated on the spec's `center`/`scale` switches).
 
-use crate::estimators::{load_pca, save_pca};
 use crate::model::check_same_instances;
-use crate::preprocess::Standardizer;
+use crate::stage::load_fitted_stage;
 use crate::{
-    CombineRule, CoreError, FitSpec, InputKind, MemoryModel, ModelState, MultiViewEstimator,
-    MultiViewModel, Output, Result,
+    CombineRule, CoreError, FitSpec, FittedStage, InputKind, MemoryModel, ModelState,
+    MultiViewEstimator, MultiViewModel, Output, PcaReduce, Result, Standardize, ViewProjection,
+    ViewStage, WhitenSpec,
 };
-use baselines::Pca;
-use linalg::Matrix;
+use linalg::{ColsView, Matrix};
 
-/// An estimator combinator applying per-view preprocessing before an inner estimator.
+/// An estimator combinator applying an ordered list of per-view preprocessing
+/// stages before an inner estimator.
 ///
-/// Preprocessing has two optional stages, both driven by the [`FitSpec`]:
-///
-/// 1. **Standardization** — when `spec.center` / `spec.scale` are set, each feature is
-///    centered and/or scaled with statistics learned at fit time.
-/// 2. **PCA pre-reduction** — when built with [`Pipeline::with_pca`], each view is
-///    reduced to at most `spec.effective_per_view_dim()` principal components.
+/// Each [`ViewStage`] may be inert under the given [`FitSpec`] (e.g.
+/// [`Standardize`] when neither `center` nor `scale` is set): inert stages drop
+/// out of the fitted model entirely, so a stage-less pipeline delegates
+/// `transform_view_cols` / `view_projection` straight to the inner model and
+/// keeps its zero-copy serving paths.
 ///
 /// The pipeline reports the inner estimator's name, so registering
-/// `Pipeline::with_pca(Box::new(DseConsensus))` under `"DSE"` is transparent to
-/// callers.
+/// `Pipeline::builder().standardize().pca().build(Box::new(DseConsensus))` under
+/// `"DSE"` is transparent to callers.
 pub struct Pipeline {
     inner: Box<dyn MultiViewEstimator>,
-    pre_reduce: bool,
+    stages: Vec<Box<dyn ViewStage>>,
+}
+
+/// Builder for [`Pipeline`] stage lists. Stages apply in the order they are added.
+#[derive(Default)]
+pub struct PipelineBuilder {
+    stages: Vec<Box<dyn ViewStage>>,
+}
+
+impl PipelineBuilder {
+    /// Append a spec-gated center/scale stage (active when `spec.center` /
+    /// `spec.scale` are set).
+    pub fn standardize(mut self) -> Self {
+        self.stages.push(Box::new(Standardize));
+        self
+    }
+
+    /// Append a per-view PCA reduction to `spec.effective_per_view_dim()`
+    /// components.
+    pub fn pca(mut self) -> Self {
+        self.stages.push(Box::new(PcaReduce));
+        self
+    }
+
+    /// Append a whitening stage with a fixed mode (ignoring `spec.whiten`).
+    pub fn whiten(mut self, mode: WhitenSpec) -> Self {
+        self.stages.push(Box::new(crate::Whiten::fixed(mode)));
+        self
+    }
+
+    /// Append a whitening stage that reads its mode from `spec.whiten` at fit
+    /// time (inert when the spec says [`WhitenSpec::None`]).
+    pub fn whiten_from_spec(mut self) -> Self {
+        self.stages.push(Box::new(crate::Whiten::from_spec()));
+        self
+    }
+
+    /// Append an arbitrary custom stage.
+    pub fn stage(mut self, stage: Box<dyn ViewStage>) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Wrap the inner estimator with the accumulated stage list.
+    pub fn build(self, inner: Box<dyn MultiViewEstimator>) -> Pipeline {
+        Pipeline {
+            inner,
+            stages: self.stages,
+        }
+    }
 }
 
 impl Pipeline {
+    /// Start an empty stage list.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
     /// Wrap an estimator with standardization-only preprocessing (active when the
     /// spec's `center`/`scale` switches are set).
+    #[deprecated(note = "use `Pipeline::builder().standardize().build(inner)`")]
     pub fn new(inner: Box<dyn MultiViewEstimator>) -> Self {
-        Self {
-            inner,
-            pre_reduce: false,
-        }
+        Self::builder().standardize().build(inner)
     }
 
     /// Wrap an estimator with standardization plus per-view PCA pre-reduction to
     /// `spec.effective_per_view_dim()` components.
+    #[deprecated(note = "use `Pipeline::builder().standardize().pca().build(inner)`")]
     pub fn with_pca(inner: Box<dyn MultiViewEstimator>) -> Self {
-        Self {
-            inner,
-            pre_reduce: true,
-        }
+        Self::builder().standardize().pca().build(inner)
+    }
+}
+
+/// One fitted stage across all views (`fitted[p]` transforms view `p`).
+struct StageSlot {
+    fitted: Vec<Box<dyn FittedStage>>,
+}
+
+impl StageSlot {
+    fn kind(&self) -> &'static str {
+        self.fitted[0].kind()
     }
 }
 
@@ -64,91 +139,64 @@ impl MultiViewEstimator for Pipeline {
     }
 
     fn fit(&self, views: &[Matrix], spec: &FitSpec) -> Result<Box<dyn MultiViewModel>> {
-        let n = check_same_instances(views)?;
+        check_same_instances(views)?;
         let mut memory = MemoryModel::new();
 
-        let standardizers: Option<Vec<Standardizer>> = if spec.center || spec.scale {
-            Some(
-                views
-                    .iter()
-                    .map(|v| Standardizer::fit(v, spec.center, spec.scale))
-                    .collect(),
-            )
-        } else {
-            None
-        };
-        // Borrow the inputs unless standardization produced new matrices — a plain
-        // PCA pipeline must not deep-copy every raw view just to read it.
-        let standardized: Option<Vec<Matrix>> = match &standardizers {
-            Some(scalers) => Some(
-                views
-                    .iter()
-                    .zip(scalers.iter())
-                    .map(|(v, s)| s.apply(v))
-                    .collect::<Result<_>>()?,
-            ),
-            None => None,
-        };
-        let inputs: &[Matrix] = standardized.as_deref().unwrap_or(views);
-
-        let (pcas, reduced) = if self.pre_reduce {
-            let width = spec.effective_per_view_dim();
-            if width == 0 {
-                return Err(CoreError::InvalidInput(
-                    "per-view dimension must be positive".into(),
-                ));
+        let mut slots: Vec<StageSlot> = Vec::new();
+        // Borrow the raw inputs until a stage actually transforms something — a
+        // pipeline of inert stages must not deep-copy every view just to read it.
+        let mut owned: Option<Vec<Matrix>> = None;
+        for stage in &self.stages {
+            let inputs: &[Matrix] = owned.as_deref().unwrap_or(views);
+            // Whether the stage is active is a property of the spec, not of any
+            // single view — decided on the first view, enforced on the rest.
+            let Some(first) = stage.fit(0, &inputs[0], spec)? else {
+                continue;
+            };
+            let mut fitted = vec![first];
+            for (p, v) in inputs.iter().enumerate().skip(1) {
+                fitted.push(stage.fit(p, v, spec)?.ok_or_else(|| {
+                    CoreError::InvalidInput(format!(
+                        "stage {:?} fitted view 0 but was inert on view {p}",
+                        stage.kind()
+                    ))
+                })?);
             }
-            let mut pcas = Vec::with_capacity(views.len());
-            let mut reduced = Vec::with_capacity(views.len());
-            for (p, v) in inputs.iter().enumerate() {
-                let k = width.min(v.rows()).min(n.max(1));
-                let pca = Pca::fit(v, k)?;
-                let scores = pca.transform(v)?; // N × k
-                memory.add_matrix(format!("PCA view {p}"), n, k);
-                reduced.push(scores.transpose()); // back to the k × N view layout
-                pcas.push(pca);
+            let mut transformed = Vec::with_capacity(inputs.len());
+            for (p, (f, v)) in fitted.iter().zip(inputs.iter()).enumerate() {
+                let out = f.apply(v)?;
+                memory.add_matrix(format!("{} view {p}", f.kind()), out.rows(), out.cols());
+                transformed.push(out);
             }
-            (Some(pcas), Some(reduced))
-        } else {
-            (None, None)
-        };
+            owned = Some(transformed);
+            slots.push(StageSlot { fitted });
+        }
 
-        let inner = self.inner.fit(reduced.as_deref().unwrap_or(inputs), spec)?;
+        let inner = self.inner.fit(owned.as_deref().unwrap_or(views), spec)?;
         memory.merge(inner.memory());
         Ok(Box::new(PipelineModel {
-            standardizers,
-            pcas,
+            slots,
             inner,
             memory,
         }))
     }
 
     fn load_state(&self, state: &ModelState) -> Result<Box<dyn MultiViewModel>> {
-        let standardizers = if state.boolean("has_standardizers")? {
-            let len = state.index("standardizers/len")?;
-            let mut scalers = Vec::with_capacity(len);
-            for i in 0..len {
-                scalers.push(Standardizer::from_parts(
-                    state.vector(&format!("standardizers/{i}/means"))?.to_vec(),
-                    state
-                        .vector(&format!("standardizers/{i}/inverse_stds"))?
-                        .to_vec(),
-                )?);
+        let len = state.index("stages/len")?;
+        let mut slots = Vec::with_capacity(len);
+        for i in 0..len {
+            let kind = state.text(&format!("stages/{i}/kind"))?.to_string();
+            let views = state.index(&format!("stages/{i}/views"))?;
+            if views == 0 {
+                return Err(CoreError::Persist(format!(
+                    "persisted stage {i} ({kind:?}) covers no views"
+                )));
             }
-            Some(scalers)
-        } else {
-            None
-        };
-        let pcas = if state.boolean("has_pcas")? {
-            let len = state.index("pcas/len")?;
-            Some(
-                (0..len)
-                    .map(|i| load_pca(state, &format!("pcas/{i}")))
-                    .collect::<Result<Vec<_>>>()?,
-            )
-        } else {
-            None
-        };
+            let fitted = (0..views)
+                .map(|p| load_fitted_stage(&kind, state, &format!("stages/{i}/{p}")))
+                .collect::<Result<Vec<_>>>()?;
+            slots.push(StageSlot { fitted });
+        }
         let inner_name = state.text("inner/name")?;
         if inner_name != self.inner.name() {
             return Err(CoreError::Persist(format!(
@@ -158,8 +206,7 @@ impl MultiViewEstimator for Pipeline {
         }
         let inner = self.inner.load_state(&state.nested("inner")?)?;
         Ok(Box::new(PipelineModel {
-            standardizers,
-            pcas,
+            slots,
             inner,
             memory: state.memory()?,
         }))
@@ -167,33 +214,27 @@ impl MultiViewEstimator for Pipeline {
 }
 
 struct PipelineModel {
-    standardizers: Option<Vec<Standardizer>>,
-    pcas: Option<Vec<Pca>>,
+    slots: Vec<StageSlot>,
     inner: Box<dyn MultiViewModel>,
     memory: MemoryModel,
 }
 
 impl PipelineModel {
     fn preprocessed_views(&self) -> Option<usize> {
-        self.standardizers
-            .as_ref()
-            .map(Vec::len)
-            .or_else(|| self.pcas.as_ref().map(Vec::len))
+        self.slots.first().map(|s| s.fitted.len())
+    }
+
+    fn stage_for<'a>(&self, slot: &'a StageSlot, which: usize) -> Result<&'a dyn FittedStage> {
+        slot.fitted
+            .get(which)
+            .map(AsRef::as_ref)
+            .ok_or_else(|| CoreError::InvalidInput(format!("view index {which} out of range")))
     }
 
     fn reduce_view(&self, which: usize, view: &Matrix) -> Result<Matrix> {
         let mut out = view.clone();
-        if let Some(scalers) = &self.standardizers {
-            out = scalers
-                .get(which)
-                .ok_or_else(|| CoreError::InvalidInput(format!("view index {which} out of range")))?
-                .apply(&out)?;
-        }
-        if let Some(pcas) = &self.pcas {
-            let pca = pcas.get(which).ok_or_else(|| {
-                CoreError::InvalidInput(format!("view index {which} out of range"))
-            })?;
-            out = pca.transform(&out)?.transpose();
+        for slot in &self.slots {
+            out = self.stage_for(slot, which)?.apply(&out)?;
         }
         Ok(out)
     }
@@ -233,6 +274,31 @@ impl MultiViewModel for PipelineModel {
             .transform_view(which, &self.reduce_view(which, view)?)
     }
 
+    fn transform_view_cols(&self, which: usize, cols: &ColsView<'_>) -> Result<Matrix> {
+        let Some((head, tail)) = self.slots.split_first() else {
+            // No stages: the inner model keeps its own zero-copy path.
+            return self.inner.transform_view_cols(which, cols);
+        };
+        // The first stage consumes the borrowed column blocks directly (projection
+        // stages center-while-packing instead of stitching); later stages and the
+        // inner model see ordinary owned matrices.
+        let mut out = self.stage_for(head, which)?.apply_cols(cols)?;
+        for slot in tail {
+            out = self.stage_for(slot, which)?.apply(&out)?;
+        }
+        self.inner.transform_view(which, &out)
+    }
+
+    fn view_projection(&self, which: usize) -> Option<ViewProjection<'_>> {
+        // A staged transform is a composition, not a single shifted projection;
+        // only a stage-less pipeline can expose the inner model's weights.
+        if self.slots.is_empty() {
+            self.inner.view_projection(which)
+        } else {
+            None
+        }
+    }
+
     fn outputs(&self, views: &[Matrix]) -> Result<Vec<Output>> {
         self.inner.outputs(&self.reduce(views)?)
     }
@@ -260,19 +326,12 @@ impl MultiViewModel for PipelineModel {
 
     fn save_state(&self) -> Result<ModelState> {
         let mut state = ModelState::new();
-        state.put_bool("has_standardizers", self.standardizers.is_some());
-        if let Some(scalers) = &self.standardizers {
-            state.put_int("standardizers/len", scalers.len() as u64);
-            for (i, s) in scalers.iter().enumerate() {
-                state.put_vector(format!("standardizers/{i}/means"), s.means());
-                state.put_vector(format!("standardizers/{i}/inverse_stds"), s.inverse_stds());
-            }
-        }
-        state.put_bool("has_pcas", self.pcas.is_some());
-        if let Some(pcas) = &self.pcas {
-            state.put_int("pcas/len", pcas.len() as u64);
-            for (i, pca) in pcas.iter().enumerate() {
-                save_pca(&mut state, &format!("pcas/{i}"), pca);
+        state.put_int("stages/len", self.slots.len() as u64);
+        for (i, slot) in self.slots.iter().enumerate() {
+            state.put_text(format!("stages/{i}/kind"), slot.kind());
+            state.put_int(format!("stages/{i}/views"), slot.fitted.len() as u64);
+            for (p, f) in slot.fitted.iter().enumerate() {
+                f.save(&mut state, &format!("stages/{i}/{p}"));
             }
         }
         state.put_text("inner/name", self.inner.name());
@@ -294,10 +353,12 @@ mod tests {
         for j in 0..n {
             let t = if j % 3 == 0 { 1.2 } else { -0.4 };
             for i in 0..6 {
-                v1[(i, j)] = t * (i as f64 + 1.0) + 10.0;
+                v1[(i, j)] = t * (i as f64 + 1.0) + 10.0 + (i as f64 * 7.3 + j as f64 * 1.9).sin();
             }
             for i in 0..5 {
-                v2[(i, j)] = -t * (i as f64 + 0.5) + (j as f64) * 0.01;
+                v2[(i, j)] = -t * (i as f64 + 0.5)
+                    + (j as f64) * 0.01
+                    + (i as f64 * 3.1 + j as f64 * 0.7).cos() * 0.2;
             }
         }
         vec![v1, v2]
@@ -306,7 +367,10 @@ mod tests {
     #[test]
     fn pca_pipeline_reduces_each_view() {
         let views = toy_views();
-        let pipeline = Pipeline::with_pca(Box::new(PcaEstimator));
+        let pipeline = Pipeline::builder()
+            .standardize()
+            .pca()
+            .build(Box::new(PcaEstimator));
         let spec = FitSpec::with_rank(2).per_view_dim(3);
         let model = pipeline.fit(&views, &spec).unwrap();
         assert_eq!(model.name(), "PCA");
@@ -318,12 +382,28 @@ mod tests {
             .memory()
             .entries()
             .iter()
-            .any(|(l, _)| l.contains("PCA view")));
+            .any(|(l, _)| l.contains("pca view")));
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_builder() {
+        let views = toy_views();
+        let spec = FitSpec::with_rank(2).per_view_dim(3).center(true);
+        #[allow(deprecated)]
+        let shim = Pipeline::with_pca(Box::new(PcaEstimator));
+        let built = Pipeline::builder()
+            .standardize()
+            .pca()
+            .build(Box::new(PcaEstimator));
+        let a = shim.fit(&views, &spec).unwrap().transform(&views).unwrap();
+        let b = built.fit(&views, &spec).unwrap().transform(&views).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
     fn standardization_is_replayed_on_new_instances() {
         let views = toy_views();
+        #[allow(deprecated)]
         let pipeline = Pipeline::new(Box::new(PcaEstimator));
         let spec = FitSpec::with_rank(2).center(true).scale(true);
         let model = pipeline.fit(&views, &spec).unwrap();
@@ -337,5 +417,57 @@ mod tests {
         }
         // Wrong view count is rejected.
         assert!(model.transform(&views[..1]).is_err());
+    }
+
+    #[test]
+    fn whitening_stage_composes_and_round_trips() {
+        let views = toy_views();
+        let pipeline = Pipeline::builder()
+            .standardize()
+            .whiten_from_spec()
+            .build(Box::new(PcaEstimator));
+        let spec = FitSpec::with_rank(2)
+            .center(true)
+            .per_view_dim(3)
+            .whiten(WhitenSpec::randomized());
+        let model = pipeline.fit(&views, &spec).unwrap();
+        let z = model.transform(&views).unwrap();
+
+        // Save → load → transform is bit-identical.
+        let reload = Pipeline::builder()
+            .standardize()
+            .whiten_from_spec()
+            .build(Box::new(PcaEstimator));
+        let reloaded = reload.load_state(&model.save_state().unwrap()).unwrap();
+        assert_eq!(z, reloaded.transform(&views).unwrap());
+
+        // transform_view_cols over split blocks matches the stitched transform.
+        let (left, right) = (&views[0], &views[0]);
+        let cols = ColsView::from_matrices([left, right]).unwrap();
+        let stitched = left.hstack(right).unwrap();
+        assert_eq!(
+            model.transform_view_cols(0, &cols).unwrap(),
+            model.transform_view(0, &stitched).unwrap()
+        );
+    }
+
+    #[test]
+    fn inert_stages_keep_the_inner_projection() {
+        let views = toy_views();
+        let pipeline = Pipeline::builder()
+            .standardize()
+            .whiten_from_spec()
+            .build(Box::new(PcaEstimator));
+        // Nothing active: no centering, no scaling, no whitening.
+        let spec = FitSpec::with_rank(2);
+        let model = pipeline.fit(&views, &spec).unwrap();
+        // The stage-less model delegates straight to the inner model.
+        let direct = PcaEstimator.fit(&views, &spec).unwrap();
+        assert_eq!(
+            model.view_projection(0).is_some(),
+            direct.view_projection(0).is_some()
+        );
+        let state = model.save_state().unwrap();
+        assert_eq!(state.index("stages/len").unwrap(), 0);
     }
 }

@@ -8,8 +8,11 @@
 use crate::{CoreError, Result};
 use linalg::Matrix;
 
-/// Floor below which a feature's standard deviation is treated as zero (the feature is
-/// left unscaled instead of being blown up).
+/// Floor below which a feature's standard deviation is treated as zero. Scaling such
+/// a feature would divide by (numerical) zero, so [`Standardizer::fit`] rejects it
+/// with a typed [`CoreError::DegenerateFeature`] instead of silently leaving the
+/// column unscaled (the behaviour before the stage API landed — which made the same
+/// pipeline mean different transforms depending on the data).
 const MIN_STD: f64 = 1e-12;
 
 /// A fitted per-feature center/scale transformation for one view.
@@ -22,7 +25,13 @@ pub struct Standardizer {
 impl Standardizer {
     /// Learn the transformation from a `d × N` view. `center` subtracts the feature
     /// mean, `scale` divides by the feature's population standard deviation.
-    pub fn fit(view: &Matrix, center: bool, scale: bool) -> Self {
+    ///
+    /// When `scale` is requested and a feature has (numerically) zero variance, the
+    /// fit fails with [`CoreError::DegenerateFeature`] naming the column: there is no
+    /// scale that makes a constant feature unit-variance, and silently leaving it
+    /// unscaled (the old behaviour) produced a transform that quietly depended on
+    /// the data. Drop the column or fit with `scale = false`.
+    pub fn fit(view: &Matrix, center: bool, scale: bool) -> Result<Self> {
         let d = view.rows();
         let n = view.cols().max(1) as f64;
         let mut means = vec![0.0; d];
@@ -36,15 +45,22 @@ impl Standardizer {
             if scale {
                 let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
                 let std = var.sqrt();
-                if std > MIN_STD {
-                    inverse_stds[i] = 1.0 / std;
+                if std <= MIN_STD {
+                    return Err(CoreError::DegenerateFeature {
+                        column: i,
+                        reason: format!(
+                            "standard deviation {std:.3e} is below {MIN_STD:.0e}; a \
+                             constant feature cannot be scaled to unit variance"
+                        ),
+                    });
                 }
+                inverse_stds[i] = 1.0 / std;
             }
         }
-        Self {
+        Ok(Self {
             means,
             inverse_stds,
-        }
+        })
     }
 
     /// Rebuild a fitted standardizer from its parts (the persistence path).
@@ -99,31 +115,51 @@ mod tests {
     use super::*;
 
     fn toy_view() -> Matrix {
-        Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 10.0, 10.0, 10.0]]).unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 11.0, 9.0, 10.0]]).unwrap()
     }
 
     #[test]
     fn centers_and_scales_features() {
         let v = toy_view();
-        let s = Standardizer::fit(&v, true, true);
+        let s = Standardizer::fit(&v, true, true).unwrap();
         let t = s.apply(&v).unwrap();
         for i in 0..2 {
             let mean: f64 = t.row(i).iter().sum::<f64>() / 4.0;
             assert!(mean.abs() < 1e-12, "row {i} mean {mean}");
+            let var: f64 = t.row(i).iter().map(|x| x * x).sum::<f64>() / 4.0;
+            assert!((var - 1.0).abs() < 1e-12, "row {i} variance {var}");
         }
-        // First row has unit population variance after scaling.
-        let var: f64 = t.row(0).iter().map(|x| x * x).sum::<f64>() / 4.0;
-        assert!((var - 1.0).abs() < 1e-12, "variance {var}");
-        // Constant rows are centered but not blown up.
-        assert!(t.row(1).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scaling_a_constant_feature_is_a_typed_error() {
+        let v =
+            Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 10.0, 10.0, 10.0]]).unwrap();
+        // Centering alone is fine — the constant row just becomes zero.
+        let centered = Standardizer::fit(&v, true, false)
+            .unwrap()
+            .apply(&v)
+            .unwrap();
+        assert!(centered.row(1).iter().all(|&x| x == 0.0));
+        // Scaling it names the offending column.
+        match Standardizer::fit(&v, true, true) {
+            Err(CoreError::DegenerateFeature { column, .. }) => assert_eq!(column, 1),
+            other => panic!("expected DegenerateFeature, got {other:?}"),
+        }
     }
 
     #[test]
     fn center_only_and_scale_only() {
         let v = toy_view();
-        let centered = Standardizer::fit(&v, true, false).apply(&v).unwrap();
+        let centered = Standardizer::fit(&v, true, false)
+            .unwrap()
+            .apply(&v)
+            .unwrap();
         assert!((centered[(0, 0)] + 1.5).abs() < 1e-12);
-        let scaled = Standardizer::fit(&v, false, true).apply(&v).unwrap();
+        let scaled = Standardizer::fit(&v, false, true)
+            .unwrap()
+            .apply(&v)
+            .unwrap();
         // Mean is untouched when only scaling.
         let mean: f64 = scaled.row(0).iter().sum::<f64>() / 4.0;
         assert!(mean > 0.0);
@@ -131,7 +167,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_dimensionality() {
-        let s = Standardizer::fit(&toy_view(), true, true);
+        let s = Standardizer::fit(&toy_view(), true, true).unwrap();
         assert!(s.apply(&Matrix::zeros(3, 4)).is_err());
         // Same feature count, different instance count is fine (out-of-sample use).
         assert!(s.apply(&Matrix::zeros(2, 9)).is_ok());

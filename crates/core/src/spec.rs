@@ -18,8 +18,77 @@ pub const DEFAULT_PER_VIEW_DIM: usize = 100;
 /// [`FitSpec::decomposition_iterations`] is unset (matches `TccaOptions::default`).
 pub const DEFAULT_DECOMPOSITION_ITERATIONS: usize = 60;
 
+/// Default sketch oversampling for [`WhitenSpec::Randomized`] (extra Gaussian probe
+/// columns beyond the target rank; the standard recommendation of 5–10).
+pub const DEFAULT_WHITEN_OVERSAMPLE: usize = 8;
+
+/// Default subspace (power) iterations for [`WhitenSpec::Randomized`]; two rounds
+/// sharpen the recovered range enough for whitening on any decaying spectrum.
+pub const DEFAULT_WHITEN_POWER_ITERS: usize = 2;
+
+/// How (and whether) a per-view whitening stage decorrelates the features before the
+/// estimator runs. This is the structured replacement for growing [`FitSpec`] one
+/// flat field per whitening knob.
+///
+/// * `None` — no whitening stage (estimators still whiten internally where their
+///   math requires it, e.g. TCCA's covariance inverse square root).
+/// * `Exact` — dense eigendecomposition of the `d × d` regularized covariance
+///   (`(C + εI)^{-1/2}`); exact but `O(d³)`, for small `d` only.
+/// * `Randomized` — seeded Gaussian range-finder over the sketched covariance:
+///   never forms the `d × d` matrix, reducing *and* whitening to the estimator's
+///   per-view width in `O(d·N·ℓ)` — the path that opens `d ≈ 100k` views. On kernel
+///   inputs the same spec selects the Nyström landmark factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum WhitenSpec {
+    /// No whitening stage.
+    #[default]
+    None,
+    /// Dense `(C + εI)^{-1/2}` whitening (small `d` only).
+    Exact,
+    /// Randomized range-finder whitening (linear views) / Nyström (kernel inputs).
+    Randomized {
+        /// Extra sketch columns beyond the target rank.
+        oversample: usize,
+        /// Subspace-iteration rounds applied to the sketch.
+        power_iters: usize,
+    },
+}
+
+impl WhitenSpec {
+    /// The randomized variant with the default oversample / power-iteration budget.
+    pub fn randomized() -> Self {
+        Self::Randomized {
+            oversample: DEFAULT_WHITEN_OVERSAMPLE,
+            power_iters: DEFAULT_WHITEN_POWER_ITERS,
+        }
+    }
+
+    /// True when no whitening stage is requested.
+    pub fn is_none(&self) -> bool {
+        matches!(self, WhitenSpec::None)
+    }
+
+    /// The `(oversample, power_iters)` sketch budget when the randomized mode is
+    /// selected, `None` otherwise.
+    pub fn randomized_budget(&self) -> Option<(usize, usize)> {
+        match self {
+            WhitenSpec::Randomized {
+                oversample,
+                power_iters,
+            } => Some((*oversample, *power_iters)),
+            _ => None,
+        }
+    }
+}
+
 /// Unified fitting parameters understood by every [`crate::MultiViewEstimator`].
+///
+/// The struct is `#[non_exhaustive]`: construct it through [`FitSpec::default`] /
+/// [`FitSpec::with_rank`] and the builder setters, so future stages can add fields
+/// without breaking every struct-literal constructor again.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct FitSpec {
     /// Dimension `r` of the learned common subspace (per view where applicable).
     pub rank: usize,
@@ -48,6 +117,10 @@ pub struct FitSpec {
     /// Scale each feature to unit variance before fitting (applied by
     /// [`crate::Pipeline`]).
     pub scale: bool,
+    /// Per-view whitening stage (none / exact / randomized), applied by
+    /// [`crate::Pipeline`] whitening stages and consulted by TCCA / KTCCA to pick
+    /// their whitening path.
+    pub whiten: WhitenSpec,
 }
 
 impl Default for FitSpec {
@@ -63,6 +136,7 @@ impl Default for FitSpec {
             decomposition: DecompositionMethod::Als,
             center: false,
             scale: false,
+            whiten: WhitenSpec::None,
         }
     }
 }
@@ -136,6 +210,12 @@ impl FitSpec {
         self
     }
 
+    /// Builder-style setter for the whitening stage.
+    pub fn whiten(mut self, whiten: WhitenSpec) -> Self {
+        self.whiten = whiten;
+        self
+    }
+
     /// The per-view PCA width, falling back to the paper's default of 100.
     pub fn effective_per_view_dim(&self) -> usize {
         self.per_view_dim.unwrap_or(DEFAULT_PER_VIEW_DIM)
@@ -176,7 +256,8 @@ mod tests {
             .per_view_dim(40)
             .decomposition(DecompositionMethod::Hopm)
             .center(true)
-            .scale(true);
+            .scale(true)
+            .whiten(WhitenSpec::randomized());
         assert_eq!(spec.rank, 5);
         assert_eq!(spec.epsilon, 0.5);
         assert_eq!(spec.seed, 99);
@@ -188,6 +269,13 @@ mod tests {
         assert_eq!(spec.effective_per_view_dim(), 40);
         assert_eq!(spec.decomposition, DecompositionMethod::Hopm);
         assert!(spec.center && spec.scale);
+        assert_eq!(
+            spec.whiten,
+            WhitenSpec::Randomized {
+                oversample: DEFAULT_WHITEN_OVERSAMPLE,
+                power_iters: DEFAULT_WHITEN_POWER_ITERS
+            }
+        );
     }
 
     #[test]
@@ -202,6 +290,7 @@ mod tests {
             DEFAULT_DECOMPOSITION_ITERATIONS
         );
         assert!(!spec.center && !spec.scale);
+        assert!(spec.whiten.is_none());
     }
 
     #[test]

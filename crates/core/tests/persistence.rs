@@ -5,7 +5,7 @@
 
 use datasets::{center_kernel, gram_matrix, secstr_dataset, Kernel, SecStrConfig};
 use linalg::Matrix;
-use mvcore::{CoreError, EstimatorRegistry, FitSpec, InputKind, Output};
+use mvcore::{CoreError, EstimatorRegistry, FitSpec, InputKind, Output, WhitenSpec};
 
 const N: usize = 40;
 
@@ -164,6 +164,111 @@ fn transductive_models_keep_their_fingerprints() {
         // …and a different batch is still rejected as out-of-sample.
         let other: Vec<Matrix> = views.iter().map(|v| v.scale(2.0)).collect();
         assert!(loaded.transform(&other).is_err(), "{name}");
+    }
+}
+
+#[test]
+fn whitened_models_roundtrip_bit_identically() {
+    // Whitening changes how TCCA / KTCCA fit, but not the shape of the fitted
+    // model — so the existing persistence format must carry whitened models
+    // unchanged, bit for bit, including on held-out instances.
+    let registry = EstimatorRegistry::with_builtin();
+    let views = fixture_views();
+    let kernels = fixture_kernels();
+    let holdout: Vec<Matrix> = views
+        .iter()
+        .map(|v| v.select_columns(&[0, 3, 7, 11, 19]))
+        .collect();
+    let kernel_blocks: Vec<Matrix> = kernels
+        .iter()
+        .map(|k| k.select_rows(&[0, 3, 7, 11, 19]))
+        .collect();
+
+    for whiten in [WhitenSpec::Exact, WhitenSpec::randomized()] {
+        let spec = spec().whiten(whiten);
+
+        let model = registry.fit("TCCA", &views, &spec).unwrap();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = registry.load_model(&mut buf.as_slice()).unwrap();
+        assert_bit_identical(
+            &model.transform(&holdout).unwrap(),
+            &loaded.transform(&holdout).unwrap(),
+            &format!("TCCA {whiten:?}"),
+        );
+
+        let model = registry.fit("KTCCA", &kernels, &spec).unwrap();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = registry.load_model(&mut buf.as_slice()).unwrap();
+        assert_bit_identical(
+            &model.transform(&kernel_blocks).unwrap(),
+            &loaded.transform(&kernel_blocks).unwrap(),
+            &format!("KTCCA {whiten:?}"),
+        );
+    }
+}
+
+#[test]
+fn stage_pipelines_roundtrip_bit_identically_for_every_combo() {
+    use mvcore::estimators::PcaEstimator;
+    use mvcore::{MultiViewEstimator, Pipeline};
+
+    // Synthetic noisy views (every feature has variance, so `scale` is legal).
+    let n = 30;
+    let mut views = vec![Matrix::zeros(6, n), Matrix::zeros(5, n)];
+    for (p, v) in views.iter_mut().enumerate() {
+        for j in 0..n {
+            let t = if j % 3 == 0 { 1.4 } else { -0.5 };
+            for i in 0..v.rows() {
+                v[(i, j)] =
+                    t * (i as f64 + 1.0) + ((i + 7 * p) as f64 * 2.3 + j as f64 * 0.9).sin();
+            }
+        }
+    }
+    let holdout: Vec<Matrix> = views
+        .iter()
+        .map(|v| v.select_columns(&[1, 4, 9, 16]))
+        .collect();
+
+    let build = |with_pca: bool| {
+        let mut b = Pipeline::builder().standardize();
+        if with_pca {
+            b = b.pca();
+        }
+        b.whiten_from_spec().build(Box::new(PcaEstimator))
+    };
+
+    for whiten in [
+        WhitenSpec::None,
+        WhitenSpec::Exact,
+        WhitenSpec::randomized(),
+    ] {
+        for (center, scale) in [(false, false), (true, false), (true, true)] {
+            for with_pca in [false, true] {
+                let context =
+                    format!("whiten={whiten:?} center={center} scale={scale} pca={with_pca}");
+                let spec = FitSpec::with_rank(2)
+                    .per_view_dim(3)
+                    .center(center)
+                    .scale(scale)
+                    .whiten(whiten);
+                let model = build(with_pca).fit(&views, &spec).unwrap();
+                let state = model.save_state().unwrap();
+                let loaded = build(with_pca).load_state(&state).unwrap();
+                assert_bit_identical(
+                    &model.transform(&holdout).unwrap(),
+                    &loaded.transform(&holdout).unwrap(),
+                    &context,
+                );
+                // Saving the loaded model reproduces the original state exactly.
+                assert_eq!(
+                    state.names(),
+                    loaded.save_state().unwrap().names(),
+                    "{context}: section layout changed across the round-trip"
+                );
+            }
+        }
     }
 }
 

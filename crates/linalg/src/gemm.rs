@@ -34,7 +34,7 @@
 //!
 //! The k-block loop sits *outside* the row-band parallelism: the driver walks the
 //! reduction dimension in super-blocks of k-blocks sized to a fixed arena budget
-//! ([`B_ARENA_BUDGET`]), packs every B panel of the super-block **once** (itself
+//! (`B_ARENA_BUDGET`), packs every B panel of the super-block **once** (itself
 //! fanned out over the worker threads), then lets all row bands consume the
 //! read-only arena. Thread bands therefore no longer duplicate the O(k·n) packing
 //! work — bit-identical by construction, since the packed bytes and every band's
@@ -47,7 +47,7 @@
 //! read back exactly once — and for the `Aᵀ` operand of `t_matmul` the source
 //! already *is* in microkernel order (`MR` contiguous lanes per reduction step,
 //! stride = the row length). Packing would be a pure copy tax on a
-//! bandwidth-bound shape, so [`ASource::Strided`] lets the band loop stream those
+//! bandwidth-bound shape, so `ASource::Strided` lets the band loop stream those
 //! operands straight from the caller's buffer (edge tiles still go through the
 //! packer). Same values in the same order — bit-identical to the packed path.
 //!
@@ -296,7 +296,7 @@ fn microkernel<E: Element, const NRV: usize, const FMA: bool>(
 
 /// [`microkernel`] reading the A operand in place at `a[p * stride..][..MR]`
 /// instead of from a packed micro-panel — the direct path for
-/// [`ASource::Strided`] operands. Identical values in identical order, so the
+/// `ASource::Strided` operands. Identical values in identical order, so the
 /// bits match the packed variant exactly.
 #[inline(always)]
 fn microkernel_strided<E: Element, const NRV: usize, const FMA: bool>(

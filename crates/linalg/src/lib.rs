@@ -30,6 +30,8 @@ pub mod exact;
 pub mod gemm;
 mod matrix;
 mod ops;
+mod qr;
+mod sketch;
 mod solve;
 mod stats;
 mod svd;
@@ -41,6 +43,8 @@ pub use error::LinalgError;
 pub use exact::{ExactSum, JointMoments};
 pub use matrix::{Matrix, MatrixF32};
 pub use ops::{dot, norm2, normalize};
+pub use qr::thin_qr;
+pub use sketch::{gaussian_matrix, nystrom_eig, randomized_covariance_eig, LowRankEig, SketchRng};
 pub use solve::{ridge_solve, solve_spd};
 pub use stats::{
     center_columns, center_rows, column_means, covariance, cross_covariance, row_means,

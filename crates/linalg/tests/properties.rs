@@ -407,4 +407,51 @@ proptest! {
             prop_assert!(l > -1e-9);
         }
     }
+
+    #[test]
+    fn randomized_range_finder_recovers_the_exact_subspace(
+        data_seed in 0u64..500,
+        sketch_seed in 0u64..500,
+    ) {
+        // A d × N view with a planted rank-3 signal well above the noise floor:
+        // the randomized range-finder's top-3 eigenvectors must span the same
+        // subspace as the dense Jacobi eigensolver's, measured by principal
+        // angles (the singular values of UₑᵀUᵣ are the angle cosines — all ≈ 1
+        // iff the subspaces coincide; this is basis- and sign-independent).
+        let (d, n, k) = (12usize, 80usize, 3usize);
+        let mut rng = linalg::SketchRng::new(data_seed.wrapping_mul(2) + 1);
+        let mut x = Matrix::zeros(d, n);
+        for j in 0..n {
+            let latents = [3.0 * rng.standard_normal(), 2.0 * rng.standard_normal(), rng.standard_normal()];
+            for i in 0..d {
+                let basis = [
+                    ((i + 1) as f64 * 0.7).sin(),
+                    ((i + 1) as f64 * 1.9).cos(),
+                    if i % 2 == 0 { 1.0 } else { -1.0 },
+                ];
+                x[(i, j)] = latents.iter().zip(basis).map(|(l, b)| l * b).sum::<f64>()
+                    + 0.01 * rng.standard_normal();
+            }
+        }
+        let (centered, _) = center_rows(&x);
+        let exact = SymmetricEigen::new(&covariance(&centered)).unwrap();
+        let ue = exact.eigenvectors.leading_columns(k);
+        let rand = linalg::randomized_covariance_eig(&centered, k, 8, 2, sketch_seed).unwrap();
+        let ur = rand.eigenvectors;
+        prop_assert_eq!(ur.shape(), (d, k));
+        let overlap = ue.t_matmul(&ur).unwrap();
+        let angles = Svd::new(&overlap).unwrap();
+        for (i, &cosine) in angles.singular_values.iter().enumerate() {
+            prop_assert!(
+                cosine > 1.0 - 1e-6,
+                "principal angle {i} too wide: cos = {cosine}"
+            );
+        }
+        // The recovered eigenvalues agree with the exact ones too.
+        for i in 0..k {
+            let rel = (rand.eigenvalues[i] - exact.eigenvalues[i]).abs()
+                / exact.eigenvalues[i].max(1e-12);
+            prop_assert!(rel < 1e-6, "eigenvalue {i} off by {rel}");
+        }
+    }
 }

@@ -15,7 +15,7 @@
 //! — the paper uses a 500-image subset for the non-linear experiments.
 
 use crate::{Result, TccaError, TccaOptions};
-use linalg::{Cholesky, Matrix};
+use linalg::{nystrom_eig, Cholesky, Matrix};
 use tensor::DenseTensor;
 
 /// Options for [`Ktcca`]; currently identical to [`TccaOptions`] (the regularizer ε is
@@ -101,6 +101,116 @@ impl Ktcca {
         let mut coefficients = Vec::with_capacity(kernels.len());
         for (p, linv) in inv_lowers.iter().enumerate() {
             coefficients.push(linv.matmul(&cp.factors[p])?);
+        }
+
+        Ok(Self {
+            coefficients,
+            correlations: cp.weights,
+            n_train: n,
+        })
+    }
+
+    /// Fit KTCCA through a seeded Nyström landmark factorization of each kernel.
+    ///
+    /// The exact path is `O(N³)` per view (Cholesky of `K² + εK`) plus an `O(Nᵐ)`
+    /// whitened Gram tensor. This path approximates each centered kernel as
+    /// `K ≈ UΛUᵀ` from `landmarks ≪ N` seeded landmark columns
+    /// ([`linalg::nystrom_eig`]), so `K² + εK ≈ U(Λ² + εΛ)Uᵀ` and the whitened view
+    /// collapses to the `m × N` matrix `Z = (Λ² + εΛ)^{-1/2} Λ Uᵀ` — the Gram
+    /// tensor shrinks from `O(Nᵐ)` to `O(mᵐ)` while the dual coefficients keep
+    /// their exact-path shape (`N × r`, via `A_p = U (Λ² + εΛ)^{-1/2} B_p`), so
+    /// transform and persistence are unchanged. Landmark selection and the
+    /// factorization are bit-deterministic in `options.seed` (each view draws a
+    /// distinct stream) and independent of the thread count.
+    pub fn fit_nystrom(
+        kernels: &[Matrix],
+        options: &KtccaOptions,
+        landmarks: usize,
+    ) -> Result<Self> {
+        if kernels.len() < 2 {
+            return Err(TccaError::InvalidInput(
+                "KTCCA needs at least two views".into(),
+            ));
+        }
+        let n = kernels[0].rows();
+        if n == 0 {
+            return Err(TccaError::InvalidInput("kernels are empty".into()));
+        }
+        for (p, k) in kernels.iter().enumerate() {
+            if !k.is_square() || k.rows() != n {
+                return Err(TccaError::InvalidInput(format!(
+                    "kernel {p} must be {n}x{n}, got {}x{}",
+                    k.rows(),
+                    k.cols()
+                )));
+            }
+        }
+        if options.rank == 0 {
+            return Err(TccaError::InvalidInput("rank must be positive".into()));
+        }
+        if landmarks == 0 {
+            return Err(TccaError::InvalidInput(
+                "landmark count must be positive".into(),
+            ));
+        }
+        let landmarks = landmarks.min(n);
+
+        // Per view: K ≈ UΛUᵀ, whitening factor (K² + εK)^{1/2} ≈ U D^{1/2} Uᵀ with
+        // D = Λ² + εΛ. Whitened columns y_n = U D^{-1/2} Λ Uᵀ e_n live in span(U),
+        // so the Gram tensor can be accumulated in the m-dimensional coordinates
+        // z_n = D^{-1/2} Λ Uᵀ e_n and its CP factors lifted back afterwards
+        // (multiplying by the orthonormal U is an isometry).
+        let mut bases = Vec::with_capacity(kernels.len()); // U (N × m)
+        let mut inv_sqrts = Vec::with_capacity(kernels.len()); // D^{-1/2} diagonal
+        let mut whitened = Vec::with_capacity(kernels.len()); // Z (m × N)
+        for (p, k) in kernels.iter().enumerate() {
+            let seed = options
+                .seed
+                .wrapping_add((p as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let eig = nystrom_eig(k, landmarks, seed)?;
+            let m = eig.eigenvalues.len();
+            let inv_sqrt: Vec<f64> = eig
+                .eigenvalues
+                .iter()
+                .map(|&l| 1.0 / (l * l + options.epsilon * l).sqrt())
+                .collect();
+            // Z = D^{-1/2} Λ Uᵀ, built by scaling the rows of Uᵀ.
+            let mut z = eig.eigenvectors.transpose();
+            for (i, s) in inv_sqrt.iter().enumerate().take(m) {
+                let scale = eig.eigenvalues[i] * s;
+                for v in z.row_mut(i) {
+                    *v *= scale;
+                }
+            }
+            bases.push(eig.eigenvectors);
+            inv_sqrts.push(inv_sqrt);
+            whitened.push(z);
+        }
+
+        // Reduced whitened Gram tensor S̃ = (1/N) Σ_n z_1n ∘ … ∘ z_mn.
+        let shape: Vec<usize> = whitened.iter().map(Matrix::rows).collect();
+        let mut s = DenseTensor::zeros(&shape);
+        let weight = 1.0 / n as f64;
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); kernels.len()];
+        for j in 0..n {
+            for (p, z) in whitened.iter().enumerate() {
+                cols[p] = z.column(j);
+            }
+            let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+            s.add_rank_one(weight, &refs);
+        }
+
+        // Rank-r decomposition and lift-back: A_p = U D^{-1/2} B̃_p (N × r).
+        let cp = options.decompose(&s, options.rank)?;
+        let mut coefficients = Vec::with_capacity(kernels.len());
+        for (p, u) in bases.iter().enumerate() {
+            let mut b = cp.factors[p].clone();
+            for (i, &scale) in inv_sqrts[p].iter().enumerate().take(b.rows()) {
+                for v in b.row_mut(i) {
+                    *v *= scale;
+                }
+            }
+            coefficients.push(u.matmul(&b)?);
         }
 
         Ok(Self {
@@ -286,11 +396,62 @@ mod tests {
     }
 
     #[test]
+    fn nystrom_fit_matches_the_exact_fit_with_full_landmarks() {
+        let views = shared_signal_views(50, 86, 0.15);
+        let kernels = linear_kernels(&views);
+        let opts = KtccaOptions::with_rank(1).epsilon(1e-1);
+        let exact = Ktcca::fit(&kernels, &opts).unwrap();
+        let nys = Ktcca::fit_nystrom(&kernels, &opts, 50).unwrap();
+        // With every instance as a landmark the kernel factorization is exact, so
+        // both paths recover the same dominant canonical variable. (The CP weight
+        // *magnitudes* are not comparable: the exact path whitens with a
+        // triangular factor whose jitter-level directions mix into the data
+        // span, inflating its weights; the Nyström path's symmetric whitening
+        // confines itself to the kernel's numerical range.)
+        let ze = exact.transform_view(0, &kernels[0]).unwrap().column(0);
+        let zn = nys.transform_view(0, &kernels[0]).unwrap().column(0);
+        let corr = pearson(&ze, &zn).abs();
+        assert!(corr > 0.95, "canonical variables diverge: {corr}");
+    }
+
+    #[test]
+    fn nystrom_with_few_landmarks_still_finds_the_signal() {
+        let views = shared_signal_views(60, 87, 0.15);
+        let kernels = linear_kernels(&views);
+        let opts = KtccaOptions::with_rank(1).epsilon(1e-1);
+        // 12 landmarks out of 60: the planted 1-D signal dominates the spectrum.
+        let nys = Ktcca::fit_nystrom(&kernels, &opts, 12).unwrap();
+        let exact = Ktcca::fit(&kernels, &opts).unwrap();
+        let ze = exact.transform_view(0, &kernels[0]).unwrap().column(0);
+        let zn = nys.transform_view(0, &kernels[0]).unwrap().column(0);
+        let corr = pearson(&ze, &zn).abs();
+        assert!(corr > 0.9, "canonical variables diverge: {corr}");
+    }
+
+    #[test]
+    fn nystrom_fit_is_bit_deterministic() {
+        let views = shared_signal_views(40, 88, 0.2);
+        let kernels = linear_kernels(&views);
+        let opts = KtccaOptions::with_rank(2).epsilon(1e-1);
+        let a = Ktcca::fit_nystrom(&kernels, &opts, 15).unwrap();
+        let b = Ktcca::fit_nystrom(&kernels, &opts, 15).unwrap();
+        assert_eq!(a.correlations(), b.correlations());
+        for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+            assert_eq!(x, y);
+        }
+        // A different seed draws different landmarks.
+        let c = Ktcca::fit_nystrom(&kernels, &opts.clone().seed(99), 15).unwrap();
+        assert_ne!(a.coefficients()[0], c.coefficients()[0]);
+    }
+
+    #[test]
     fn invalid_inputs_are_rejected() {
         let views = shared_signal_views(20, 85, 0.3);
         let kernels = linear_kernels(&views);
         assert!(Ktcca::fit(&kernels[..1], &KtccaOptions::default()).is_err());
         assert!(Ktcca::fit(&kernels, &KtccaOptions::with_rank(0)).is_err());
+        assert!(Ktcca::fit_nystrom(&kernels, &KtccaOptions::with_rank(1), 0).is_err());
+        assert!(Ktcca::fit_nystrom(&kernels[..1], &KtccaOptions::with_rank(1), 5).is_err());
         let mut bad = kernels.clone();
         bad[1] = Matrix::zeros(20, 19);
         assert!(Ktcca::fit(&bad, &KtccaOptions::default()).is_err());
